@@ -1,0 +1,30 @@
+//! Figure 2(a): Liberty messages per hour, with the OS-upgrade regime
+//! shift detected by CUSUM.
+
+use sclog_bench::{banner, downsample, sparkline, HARNESS_SEED};
+use sclog_core::figures::fig2a;
+use sclog_core::Study;
+use sclog_types::{Duration, SystemId};
+
+fn main() {
+    banner("Figure 2a", "Liberty messages bucketed by hour", "alerts 0.05 / bg 0.0005");
+    let run = Study::new(0.05, 0.0005, HARNESS_SEED).run_system(SystemId::Liberty);
+    let fig = fig2a(&run, Duration::from_hours(24));
+    println!("daily message counts ({} days):", fig.counts.len());
+    println!("{}", sparkline(&downsample(&fig.counts, 105)));
+    println!("\ndetected change points (CUSUM, threshold 8σ):");
+    for cp in &fig.changepoints {
+        println!(
+            "  day {:>3} ({:>4.1}% of span): mean {:>8.1} -> {:>8.1} msgs/day",
+            cp.index,
+            cp.index as f64 / fig.counts.len() as f64 * 100.0,
+            cp.mean_before,
+            cp.mean_after
+        );
+    }
+    println!(
+        "\npaper: first major shift at the end of Q1-2005 (~35% of span), an OS\n\
+         upgrade that raised traffic sharply; later shifts 'not well understood'."
+    );
+    assert!(!fig.changepoints.is_empty(), "regime shift not detected");
+}

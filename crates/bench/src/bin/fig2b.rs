@@ -1,0 +1,32 @@
+//! Figure 2(b): Liberty messages by source, sorted by decreasing
+//! quantity — chatty admin-node head, corrupted-source tail.
+
+use sclog_bench::{banner, HARNESS_SEED};
+use sclog_core::figures::fig2b;
+use sclog_core::Study;
+use sclog_types::SystemId;
+
+fn main() {
+    banner("Figure 2b", "Liberty messages by source", "alerts 0.02 / bg 0.001");
+    let run = Study::new(0.02, 0.001, HARNESS_SEED).run_system(SystemId::Liberty);
+    let fig = fig2b(&run);
+    println!("top 10 sources:");
+    for (node, count) in fig.by_source.iter().take(10) {
+        println!("  {:<12} {:>8}", run.log.interner.name(*node), count);
+    }
+    println!("  ...");
+    println!("bottom 5 sources:");
+    let n = fig.by_source.len();
+    for (node, count) in &fig.by_source[n.saturating_sub(5)..] {
+        println!("  {:<12} {:>8}", run.log.interner.name(*node), count);
+    }
+    let head = fig.by_source[0].1 as f64;
+    let median = fig.by_source[n / 2].1 as f64;
+    println!("\nsources: {n}   head/median ratio: {:.1}", head / median);
+    println!("corrupted (unattributable) sources: {}", fig.corrupted_sources);
+    println!(
+        "\npaper: 'the most prolific sources were administrative nodes or those\n\
+         with significant problems; the cluster at the bottom is from messages\n\
+         whose source field was corrupted, thwarting attribution.'"
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 4: categorized filtered alerts on Liberty over time — the
+//! PBS-bug horizontal clusters.
+
+use sclog_bench::{banner, HARNESS_SEED};
+use sclog_core::figures::fig4;
+use sclog_core::Study;
+use sclog_types::SystemId;
+
+fn main() {
+    banner("Figure 4", "Categorized filtered alerts on Liberty", "alerts 1.0 / bg 0.00005");
+    let run = Study::new(1.0, 0.00005, HARNESS_SEED).run_system(SystemId::Liberty);
+    let points = fig4(&run);
+    let spec = SystemId::Liberty.spec();
+    let span = spec.span().as_secs_f64();
+
+    // Render one row per category: 100 time columns, '#' where alerts.
+    let mut cats: Vec<_> = run.registry.for_system(SystemId::Liberty).collect();
+    cats.sort_by_key(|(id, _)| *id);
+    println!("filtered alerts over the observation window (100 columns = {span:.0}s):");
+    for (cat, def) in cats {
+        let mut row = vec![b'.'; 100];
+        let mut count = 0;
+        for (t, c) in &points {
+            if *c == cat {
+                let f = (*t - spec.start()).as_secs_f64() / span;
+                let col = ((f * 100.0) as usize).min(99);
+                row[col] = b'#';
+                count += 1;
+            }
+        }
+        println!("  {:<9} {:>5}  {}", def.name, count, String::from_utf8_lossy(&row));
+    }
+    println!(
+        "\npaper: the PBS_CHK/PBS_BFD horizontal clusters 'are not evidence of\n\
+         poor filtering; they are actually instances of individual failures'\n\
+         from the PBS bug (Section 3.3.1); correlated categories land in the\n\
+         same window."
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 5: critical ECC memory alerts on Thunderbird — interarrivals
+//! look exponential / roughly lognormal: independent physical failures.
+
+use sclog_bench::{banner, HARNESS_SEED};
+use sclog_core::figures::fig5;
+use sclog_core::Study;
+use sclog_stats::Histogram;
+use sclog_types::SystemId;
+
+fn main() {
+    banner("Figure 5", "Critical ECC alerts on Thunderbird", "alerts 1.0 (ECC only) / bg 0.00002");
+    let run = Study::new(1.0, 0.00002, HARNESS_SEED).run_subset(SystemId::Thunderbird, &["ECC"]);
+    let fig = fig5(&run, "ECC").expect("ECC alerts present");
+    println!("filtered ECC alerts: {}   interarrival gaps: {}", fig.gaps.len() + 1, fig.gaps.len());
+
+    let mut h = Histogram::log10(60.0, 3.0e7, 2);
+    h.add_all(&fig.gaps);
+    println!("\nlog-binned interarrival histogram (seconds):");
+    print!("{}", h.to_ascii(40));
+
+    println!("\nmodel fits (AIC-ranked):");
+    for m in &fig.fit.models {
+        println!(
+            "  {:<12} {:<24} logL {:>10.1}  AIC {:>10.1}  KS D={:.3} p={:.3}",
+            m.name, m.params, m.log_likelihood, m.aic, m.ks_stat, m.ks_p
+        );
+    }
+    let exp = fig.fit.models.iter().find(|m| m.name == "exponential").unwrap();
+    println!(
+        "\nexponential is {} at the 1% level (paper: 'these low-level failures\n\
+         are basically independent'; distribution 'appears exponential and is\n\
+         roughly log normal').",
+        if exp.ks_p > 0.01 { "NOT rejected" } else { "rejected" }
+    );
+}

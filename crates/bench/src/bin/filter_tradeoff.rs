@@ -1,0 +1,55 @@
+//! Section 3.3.2's filter comparison, now with ground truth: the
+//! simultaneous filter removes cross-source redundancy the serial
+//! filter misses, at the cost of at most ~one true positive.
+
+use sclog_bench::{banner, HARNESS_SEED};
+use sclog_core::Study;
+use sclog_filter::{compare, score, AlertFilter, SerialFilter, SpatioTemporalFilter, TupleFilter};
+use sclog_types::{SystemId, ALL_SYSTEMS};
+
+fn main() {
+    banner(
+        "§3.3.2",
+        "Serial vs simultaneous filtering, scored against ground truth",
+        "uniform 0.002",
+    );
+    let study = Study::new(0.002, 0.0002, HARNESS_SEED);
+    for &sys in &ALL_SYSTEMS {
+        let run = study.run_system(sys);
+        let raw = &run.tagged.alerts;
+        let simul = SpatioTemporalFilter::paper().filter(raw);
+        let serial = SerialFilter::paper().filter(raw);
+        let tuple = TupleFilter::paper().filter(raw);
+        let s_sim = score(raw, &simul);
+        let s_ser = score(raw, &serial);
+        let s_tup = score(raw, &tuple);
+        let diff = compare(&serial, &simul);
+        println!("\n{sys}: {} raw alerts, {} ground-truth failures", raw.len(), s_sim.failures);
+        println!(
+            "  simultaneous: kept {:>6}  coverage {:.4}  lost {:>3}  residual {:>5}",
+            s_sim.kept, s_sim.coverage(), s_sim.lost, s_sim.residual_redundancy
+        );
+        println!(
+            "  serial      : kept {:>6}  coverage {:.4}  lost {:>3}  residual {:>5}",
+            s_ser.kept, s_ser.coverage(), s_ser.lost, s_ser.residual_redundancy
+        );
+        println!(
+            "  tuple       : kept {:>6}  coverage {:.4}  lost {:>3}  residual {:>5}",
+            s_tup.kept, s_tup.coverage(), s_tup.lost, s_tup.residual_redundancy
+        );
+        println!(
+            "  serial-only keeps {:>5} alerts (false positives the simultaneous\n\
+             \u{20}  filter removes); simultaneous-only keeps {}; extra failures lost\n\
+             \u{20}  by simultaneous vs serial: {}",
+            diff.only_first.len(),
+            diff.only_second.len(),
+            s_sim.lost.saturating_sub(s_ser.lost),
+        );
+    }
+    println!(
+        "\npaper: 'at most one true positive was removed on any single machine,\n\
+         whereas sometimes dozens of false positives were removed by using our\n\
+         filter instead of the serial algorithm.'"
+    );
+    let _ = SystemId::Liberty;
+}

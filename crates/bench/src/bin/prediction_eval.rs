@@ -1,0 +1,54 @@
+//! The paper's prediction recommendation, evaluated: per-category
+//! predictors and their ensemble, scored with ground-truth failures.
+
+use sclog_bench::{banner, HARNESS_SEED};
+use sclog_core::Study;
+use sclog_predict::{
+    evaluate, failure_onsets, mine_precursors, Ensemble, PrecursorPredictor, Predictor,
+    RateThresholdPredictor,
+};
+use sclog_types::{Duration, SystemId};
+
+fn main() {
+    banner("§4/§5", "Ensemble failure prediction on Liberty", "alerts 1.0 / bg 0.00005");
+    let run = Study::new(1.0, 0.00005, HARNESS_SEED).run_system(SystemId::Liberty);
+    let alerts = &run.tagged.alerts;
+    let horizon = Duration::from_hours(4);
+
+    // Mine precursor structure from the alert stream itself.
+    println!("mined precursor rules (window 30 min, lift > 3):");
+    let rules = mine_precursors(alerts, Duration::from_mins(30), 3, 3.0);
+    for r in rules.iter().take(6) {
+        println!(
+            "  {} -> {}  confidence {:.2}  lift {:>8.1}  support {}",
+            run.registry.name(r.precursor),
+            run.registry.name(r.target),
+            r.confidence,
+            r.lift,
+            r.support
+        );
+    }
+
+    // Target: GM_LANAI failures, predicted three ways.
+    let target = run.registry.lookup(SystemId::Liberty, "GM_LANAI").expect("category");
+    let gm_par = run.registry.lookup(SystemId::Liberty, "GM_PAR").expect("category");
+    let failures = failure_onsets(alerts, target);
+    println!("\ntarget: GM_LANAI ({} failures), horizon {}h", failures.len(), 4);
+
+    let rate_all = RateThresholdPredictor::new(None, Duration::from_mins(30), 5);
+    let precursor = PrecursorPredictor::new(gm_par);
+    let ensemble = Ensemble::new()
+        .with(RateThresholdPredictor::new(None, Duration::from_mins(30), 5))
+        .with(PrecursorPredictor::new(gm_par));
+
+    for p in [&rate_all as &dyn Predictor, &precursor, &ensemble] {
+        let warnings = p.warnings(alerts);
+        let s = evaluate(&warnings, &failures, horizon);
+        println!("  {:<24} {}", p.name(), s);
+    }
+    println!(
+        "\npaper: 'predictors should specialize in sets of failures with similar\n\
+         predictive behaviors' — the specialized precursor predictor should\n\
+         dominate the generic rate detector on this category."
+    );
+}

@@ -1,0 +1,27 @@
+//! Section 4's spatial-correlation discovery: the SMP clock bug (CPU
+//! alerts) is spatially correlated across nodes; ECC alerts are not.
+
+use sclog_bench::{banner, HARNESS_SEED};
+use sclog_core::figures::spatial;
+use sclog_core::Study;
+use sclog_types::{Duration, SystemId};
+
+fn main() {
+    banner("§4", "Spatial correlation: CPU clock bug vs ECC", "alerts 1.0 (CPU+ECC) / bg 0.00002");
+    let run = Study::new(1.0, 0.00002, HARNESS_SEED)
+        .run_subset(SystemId::Thunderbird, &["CPU", "ECC"]);
+    let window = Duration::from_mins(2);
+    for cat in ["CPU", "ECC"] {
+        let s = spatial(&run, cat, window).expect("category fires");
+        println!(
+            "{cat:<4} active windows {:>5}  mean sources/window {:>6.2}  multi-source fraction {:.3}",
+            s.active_windows, s.mean_sources_per_window, s.multi_source_fraction
+        );
+    }
+    println!(
+        "\npaper: 'we were surprised to observe clear spatial correlations' in\n\
+         CPU clock alerts — a Linux SMP kernel bug triggered by communication-\n\
+         heavy jobs across whole node sets — while ECC failures are driven by\n\
+         independent physical processes."
+    );
+}

@@ -1,0 +1,11 @@
+//! Table 1: system characteristics at the time of collection.
+
+use sclog_bench::banner;
+use sclog_core::tables::Table1;
+
+fn main() {
+    banner("Table 1", "System characteristics", "static data");
+    print!("{}", Table1::build().render());
+    println!();
+    println!("All values reproduce the paper's Table 1 exactly (static data).");
+}

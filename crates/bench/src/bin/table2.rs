@@ -1,0 +1,54 @@
+//! Table 2: log characteristics, regenerated at scale and compared
+//! against the paper's counts.
+
+use sclog_bench::{banner, compare, scaled, table_study, TABLE_SCALE};
+use sclog_core::tables::Table2;
+
+/// The paper's Table 2 (messages, alerts) per system.
+const PAPER: [(&str, u64, u64); 5] = [
+    ("Blue Gene/L", 4_747_963, 348_460),
+    ("Thunderbird", 211_212_192, 3_248_239),
+    ("Red Storm", 219_096_168, 1_665_744),
+    ("Spirit (ICC2)", 272_298_969, 172_816_564),
+    ("Liberty", 265_569_231, 2452),
+];
+
+fn main() {
+    banner(
+        "Table 2",
+        "Log characteristics",
+        &format!("uniform {TABLE_SCALE}"),
+    );
+    let runs = table_study().run_all();
+    let table = Table2::build(&runs);
+    print!("{}", table.render());
+    println!();
+    println!("Paper-vs-measured (paper counts scaled by {TABLE_SCALE}):");
+    for (row, (name, msgs, alerts)) in table.rows.iter().zip(PAPER) {
+        assert_eq!(row.system, name);
+        compare(
+            &format!("{name} messages"),
+            scaled(msgs, TABLE_SCALE),
+            row.messages as f64,
+        );
+        compare(
+            &format!("{name} alerts"),
+            scaled(alerts, TABLE_SCALE),
+            row.alerts as f64,
+        );
+    }
+    println!();
+    println!("Compression ratios (paper, gzip: 10.2 / 4.8 / 24.7 / 18.1 / 36.7):");
+    for row in &table.rows {
+        println!(
+            "  {:<14} {:.1}x",
+            row.system,
+            row.size_bytes as f64 / row.compressed_bytes.max(1) as f64
+        );
+    }
+    println!();
+    println!("Category counts observed (paper: 41/10/12/8/6):");
+    for row in &table.rows {
+        println!("  {:<14} {}", row.system, row.categories);
+    }
+}

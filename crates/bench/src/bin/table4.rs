@@ -1,0 +1,46 @@
+//! Table 4: per-category raw and filtered alert counts for every
+//! system, with example message bodies.
+
+use sclog_bench::{alert_table_study, banner, ALERT_TABLE_SCALE};
+use sclog_core::tables::Table4;
+use sclog_rules::catalog;
+
+fn main() {
+    banner(
+        "Table 4",
+        "Alert categories per system",
+        &format!("alerts {ALERT_TABLE_SCALE} / bg 0.0005"),
+    );
+    let runs = alert_table_study().run_all();
+    for run in &runs {
+        let table = Table4::build(run);
+        println!("{}", table.render());
+        // Rank correlation against the paper's ordering: the most
+        // common categories should stay the most common.
+        let paper_order: Vec<&str> = {
+            let mut specs: Vec<_> = catalog(run.system).iter().collect();
+            specs.sort_by_key(|s| std::cmp::Reverse(s.raw_count));
+            specs.iter().map(|s| s.name).take(5).collect()
+        };
+        let measured_order: Vec<&str> = table
+            .rows
+            .iter()
+            .take(5)
+            .map(|r| {
+                catalog(run.system)
+                    .iter()
+                    .find(|s| s.name == r.1)
+                    .map(|s| s.name)
+                    .unwrap_or("?")
+            })
+            .collect();
+        let agree = paper_order
+            .iter()
+            .filter(|n| measured_order.contains(n))
+            .count();
+        println!(
+            "top-5 raw categories overlap with paper: {agree}/5 ({:?})\n",
+            measured_order
+        );
+    }
+}

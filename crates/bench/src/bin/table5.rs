@@ -1,0 +1,23 @@
+//! Table 5: BG/L severity distribution among messages and alerts, and
+//! the severity-baseline false-positive rate (paper: 59.34%).
+
+use sclog_bench::{banner, compare, HARNESS_SEED};
+use sclog_core::tables::SeverityTable;
+use sclog_core::Study;
+use sclog_types::SystemId;
+
+fn main() {
+    banner("Table 5", "BG/L severity vs expert alerts", "uniform 0.02");
+    let run = Study::new(0.02, 0.02, HARNESS_SEED).run_system(SystemId::BlueGeneL);
+    let table = SeverityTable::table5(&run);
+    println!("{}", table.render());
+    let fp = table.baseline_false_positive_rate(&["FATAL", "FAILURE"]);
+    compare("FATAL/FAILURE baseline FP rate (%)", 59.34, fp * 100.0);
+    let fatal_share = table
+        .rows
+        .iter()
+        .find(|r| r.0 == "FATAL")
+        .map(|r| r.2 as f64 / table.alert_total().max(1) as f64)
+        .unwrap_or(0.0);
+    compare("FATAL share of alerts (%)", 99.98, fatal_share * 100.0);
+}

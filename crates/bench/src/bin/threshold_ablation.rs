@@ -1,0 +1,121 @@
+//! Section 4's recommendation, made concrete: per-category thresholds
+//! beat any single global threshold.
+
+use sclog_bench::{banner, HARNESS_SEED};
+use sclog_core::Study;
+use sclog_filter::{score, AdaptiveFilter, AlertFilter, SpatioTemporalFilter};
+use sclog_types::{Duration, SystemId};
+
+fn main() {
+    banner("§4 ablation", "Global vs per-category filtering thresholds", "uniform 0.002");
+    let study = Study::new(0.002, 0.0002, HARNESS_SEED);
+    let run = study.run_system(SystemId::Spirit);
+    let raw = &run.tagged.alerts;
+    println!("Spirit: {} raw alerts\n", raw.len());
+    println!("{:<22} {:>8} {:>10} {:>8} {:>10}", "filter", "kept", "coverage", "lost", "residual");
+    for t in [1i64, 5, 30, 120, 600] {
+        let f = SpatioTemporalFilter::new(Duration::from_secs(t));
+        let kept = f.filter(raw);
+        let s = score(raw, &kept);
+        println!(
+            "{:<22} {:>8} {:>10.4} {:>8} {:>10}",
+            format!("global T={t}s"),
+            s.kept,
+            s.coverage(),
+            s.lost,
+            s.residual_redundancy
+        );
+    }
+    // The learned threshold's floor must exceed syslog's one-second
+    // timestamp granularity: at T = 1 s a multi-hour disk storm leaks
+    // one "novel" alert per second, because recorded gaps are never in
+    // (0, 1).
+    let learned = AdaptiveFilter::learn(
+        raw,
+        0.8,
+        Duration::from_secs(5),
+        Duration::from_secs(2),
+        Duration::from_secs(600),
+    );
+    let kept = learned.filter(raw);
+    let s = score(raw, &kept);
+    println!(
+        "{:<22} {:>8} {:>10.4} {:>8} {:>10}",
+        "learned per-category",
+        s.kept,
+        s.coverage(),
+        s.lost,
+        s.residual_redundancy
+    );
+    println!(
+        "\npaper: 'each alert category may require a different threshold, which\n\
+         may change over time' — the learned per-category filter should match\n\
+         the best global threshold's residual redundancy without sacrificing\n\
+         coverage."
+    );
+
+    // Part 2: the crossover the paper predicts. Category A repeats its
+    // redundant messages every ~9 s (slow chatter, like the PBS bug's
+    // task_check retries); category B has *independent failures* only
+    // ~9 s apart during an episode. No global threshold handles both:
+    // T < 9 s under-merges A, T > 9 s over-merges B.
+    println!("\n--- crossover: slow-chatter category A vs rapid-failure category B ---");
+    let mut alerts = Vec::new();
+    let cat_a = sclog_types::CategoryId::from_index(1000);
+    let cat_b = sclog_types::CategoryId::from_index(1001);
+    let mut idx = 0usize;
+    let mut fid = 0u64;
+    for failure in 0..40i64 {
+        fid += 1;
+        for k in 0..12i64 {
+            alerts.push(
+                sclog_types::Alert::new(
+                    sclog_types::Timestamp::from_secs(failure * 3600 + k * 9),
+                    sclog_types::NodeId::from_index(0),
+                    cat_a,
+                    idx,
+                )
+                .with_failure(sclog_types::FailureId(fid)),
+            );
+            idx += 1;
+        }
+    }
+    for episode in 0..40i64 {
+        for k in 0..12i64 {
+            fid += 1;
+            alerts.push(
+                sclog_types::Alert::new(
+                    sclog_types::Timestamp::from_secs(1800 + episode * 3600 + k * 9),
+                    sclog_types::NodeId::from_index(1),
+                    cat_b,
+                    idx,
+                )
+                .with_failure(sclog_types::FailureId(fid)),
+            );
+            idx += 1;
+        }
+    }
+    alerts.sort_by_key(|a| (a.time, a.message_index));
+    println!("{:<22} {:>8} {:>10} {:>8} {:>10}", "filter", "kept", "coverage", "lost", "residual");
+    for t in [5i64, 20] {
+        let f = SpatioTemporalFilter::new(Duration::from_secs(t));
+        let s = score(&alerts, &f.filter(&alerts));
+        println!(
+            "{:<22} {:>8} {:>10.4} {:>8} {:>10}",
+            format!("global T={t}s"), s.kept, s.coverage(), s.lost, s.residual_redundancy
+        );
+    }
+    let per_cat = AdaptiveFilter::new(Duration::from_secs(5))
+        .with_threshold(cat_a, Duration::from_secs(20))
+        .with_threshold(cat_b, Duration::from_secs(5));
+    let s = score(&alerts, &per_cat.filter(&alerts));
+    println!(
+        "{:<22} {:>8} {:>10.4} {:>8} {:>10}",
+        "per-category", s.kept, s.coverage(), s.lost, s.residual_redundancy
+    );
+    println!(
+        "\nglobal T=5s leaves category A's chatter unmerged (residual); global\n\
+         T=20s erases category B's distinct failures (lost); the per-category\n\
+         filter achieves both zero residual and zero lost."
+    );
+}

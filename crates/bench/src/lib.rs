@@ -1,0 +1,118 @@
+//! Shared harness utilities for the table/figure reproduction
+//! binaries.
+//!
+//! Every binary prints its experiment id, the scale it ran at, the
+//! regenerated rows/series, and — where the paper gives numbers — a
+//! paper-vs-measured comparison. EXPERIMENTS.md records one captured
+//! run of each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sclog_core::Study;
+
+/// The seed every harness binary uses, so EXPERIMENTS.md is
+/// reproducible verbatim.
+pub const HARNESS_SEED: u64 = 20_070_625; // DSN 2007, Edinburgh
+
+/// Uniform scale used for the Table 2 reproduction: both alerts and
+/// background at 0.2% of the paper's volumes.
+pub const TABLE_SCALE: f64 = 0.002;
+
+/// Alert scale for the type-mix tables (3 and 4): 2% keeps the
+/// per-category filtered counts above the one-failure clamp so the
+/// paper's filtered type shares are visible. Background does not enter
+/// those tables, so it stays small.
+pub const ALERT_TABLE_SCALE: f64 = 0.02;
+
+/// Background scale accompanying [`ALERT_TABLE_SCALE`].
+pub const ALERT_TABLE_BG: f64 = 0.0005;
+
+/// A study at the alert-table scale (Tables 3–4).
+pub fn alert_table_study() -> Study {
+    Study::new(ALERT_TABLE_SCALE, ALERT_TABLE_BG, HARNESS_SEED)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, scale: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("scale: {scale}   seed: {HARNESS_SEED}");
+    println!("================================================================");
+}
+
+/// A study at the uniform table scale.
+pub fn table_study() -> Study {
+    Study::new(TABLE_SCALE, TABLE_SCALE, HARNESS_SEED)
+}
+
+/// Prints a paper-vs-measured comparison line with the ratio.
+pub fn compare(label: &str, paper: f64, measured: f64) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!("{label:<40} paper {paper:>14.2}   measured {measured:>14.2}   ratio {ratio:>6.3}");
+}
+
+/// Formats a scaled paper count (paper value × scale) for comparison
+/// against a measured count.
+pub fn scaled(paper: u64, scale: f64) -> f64 {
+    paper as f64 * scale
+}
+
+/// Renders a sparkline of a numeric series using eight block levels.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    if values.is_empty() || max <= min {
+        return "▁".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|v| {
+            let f = (v - min) / (max - min);
+            BLOCKS[((f * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `n` points by averaging buckets —
+/// keeps sparkline output terminal-width friendly.
+pub fn downsample(values: &[u64], n: usize) -> Vec<f64> {
+    if values.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let chunk = values.len().div_ceil(n);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>() as f64 / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0]), "▁▁");
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let v: Vec<u64> = (0..100).collect();
+        let d = downsample(&v, 10);
+        assert_eq!(d.len(), 10);
+        let mean: f64 = d.iter().sum::<f64>() / d.len() as f64;
+        assert!((mean - 49.5).abs() < 1.0);
+        assert!(downsample(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        assert_eq!(scaled(1000, 0.002), 2.0);
+    }
+}

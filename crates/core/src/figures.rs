@@ -1,0 +1,354 @@
+//! Data behind the paper's Figures 2–6.
+//!
+//! Each function extracts the exact series a figure plots, so the bench
+//! binaries (and tests) can assert the paper's qualitative claims:
+//! regime shifts, per-source skew, inter-category correlation,
+//! exponential ECC interarrivals, and interarrival modality.
+
+use crate::study::SystemRun;
+use sclog_stats::correlation::{best_lag, SpatialCooccurrence};
+use sclog_stats::timeseries::ChangePoint;
+use sclog_stats::{bucket_counts, cusum_changepoints, interarrivals, FitReport, Histogram};
+use sclog_types::{CategoryId, Duration, NodeId, Timestamp};
+use std::collections::HashMap;
+
+/// Figure 2(a): hourly message counts plus detected change points.
+#[derive(Debug, Clone)]
+pub struct Fig2a {
+    /// Messages per bucket across the observation window.
+    pub counts: Vec<u64>,
+    /// Bucket width.
+    pub bucket: Duration,
+    /// Detected regime shifts (CUSUM).
+    pub changepoints: Vec<ChangePoint>,
+}
+
+/// Builds Figure 2(a) for a run.
+pub fn fig2a(run: &SystemRun, bucket: Duration) -> Fig2a {
+    let spec = run.system.spec();
+    let times: Vec<Timestamp> = run.log.messages.iter().map(|m| m.time).collect();
+    let counts = bucket_counts(&times, spec.start(), spec.end(), bucket);
+    let series: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    let changepoints = cusum_changepoints(&series, 8.0, 0.3);
+    Fig2a {
+        counts,
+        bucket,
+        changepoints,
+    }
+}
+
+/// Figure 2(b): per-source message counts, sorted descending, with the
+/// corrupted-source tail separated out.
+#[derive(Debug, Clone)]
+pub struct Fig2b {
+    /// `(source, count)` sorted by descending count.
+    pub by_source: Vec<(NodeId, u64)>,
+    /// Number of corrupted (unattributable) sources.
+    pub corrupted_sources: usize,
+}
+
+/// Builds Figure 2(b) for a run.
+pub fn fig2b(run: &SystemRun) -> Fig2b {
+    let mut counts: HashMap<NodeId, u64> = HashMap::new();
+    for m in &run.log.messages {
+        *counts.entry(m.source).or_insert(0) += 1;
+    }
+    let mut by_source: Vec<(NodeId, u64)> = counts.into_iter().collect();
+    by_source.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let corrupted_sources = by_source
+        .iter()
+        .filter(|(n, _)| run.log.interner.name(*n).starts_with('\u{fffd}'))
+        .count();
+    Fig2b {
+        by_source,
+        corrupted_sources,
+    }
+}
+
+/// Figure 3: two categories' daily alert counts and their lagged
+/// cross-correlation.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// First category's bucketed counts.
+    pub series_a: Vec<f64>,
+    /// Second category's bucketed counts.
+    pub series_b: Vec<f64>,
+    /// Best (lag, correlation) within ±7 buckets.
+    pub best: (i64, f64),
+}
+
+/// Builds Figure 3: the relationship between two categories' filtered
+/// alert streams (GM_PAR and GM_LANAI on Liberty in the paper).
+///
+/// Returns `None` if either category never fires in the run.
+pub fn fig3(run: &SystemRun, cat_a: &str, cat_b: &str, bucket: Duration) -> Option<Fig3> {
+    let spec = run.system.spec();
+    let a = run.registry.lookup(run.system, cat_a)?;
+    let b = run.registry.lookup(run.system, cat_b)?;
+    let times_of = |cat: CategoryId| -> Vec<Timestamp> {
+        run.tagged
+            .alerts
+            .iter()
+            .filter(|al| al.category == cat)
+            .map(|al| al.time)
+            .collect()
+    };
+    let ta = times_of(a);
+    let tb = times_of(b);
+    if ta.is_empty() || tb.is_empty() {
+        return None;
+    }
+    let ca: Vec<f64> = bucket_counts(&ta, spec.start(), spec.end(), bucket)
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    let cb: Vec<f64> = bucket_counts(&tb, spec.start(), spec.end(), bucket)
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    let max_lag = 7.min(ca.len().saturating_sub(1));
+    let best = best_lag(&ca, &cb, max_lag);
+    Some(Fig3 {
+        series_a: ca,
+        series_b: cb,
+        best,
+    })
+}
+
+/// Figure 4: the filtered alert scatter — `(time, category)` points.
+pub fn fig4(run: &SystemRun) -> Vec<(Timestamp, CategoryId)> {
+    run.filtered.iter().map(|a| (a.time, a.category)).collect()
+}
+
+/// Figure 5: interarrival analysis of one category's filtered alerts.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// Interarrival gaps, seconds.
+    pub gaps: Vec<f64>,
+    /// Model fits ranked by AIC.
+    pub fit: FitReport,
+}
+
+/// Builds Figure 5 for a category (ECC on Thunderbird in the paper).
+///
+/// Returns `None` with fewer than 8 filtered alerts.
+pub fn fig5(run: &SystemRun, category: &str) -> Option<Fig5> {
+    let cat = run.registry.lookup(run.system, category)?;
+    let times: Vec<Timestamp> = run
+        .filtered
+        .iter()
+        .filter(|a| a.category == cat)
+        .map(|a| a.time)
+        .collect();
+    if times.len() < 8 {
+        return None;
+    }
+    let gaps = interarrivals(&times, 1.0);
+    let fit = FitReport::fit_all(&gaps);
+    Some(Fig5 { gaps, fit })
+}
+
+/// Figure 6: log-binned interarrival histogram of all filtered alerts.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// The log10 histogram of interarrival seconds.
+    pub histogram: Histogram,
+    /// Smoothed peak count (≥ 2 ⇒ bimodal, the BG/L case).
+    pub peaks: usize,
+}
+
+/// Builds Figure 6 for a run's filtered alert stream.
+///
+/// Returns `None` with fewer than 16 filtered alerts.
+pub fn fig6(run: &SystemRun) -> Option<Fig6> {
+    if run.filtered.len() < 16 {
+        return None;
+    }
+    let times: Vec<Timestamp> = run.filtered.iter().map(|a| a.time).collect();
+    let gaps = interarrivals(&times, 1.0);
+    let mut histogram = Histogram::log10(1.0, 1e7, 2);
+    histogram.add_all(&gaps);
+    let peaks = histogram.peak_count(0.04);
+    Some(Fig6 { histogram, peaks })
+}
+
+/// Section 4's spatial-correlation analysis for one category: how many
+/// distinct nodes fire together within a window.
+pub fn spatial(run: &SystemRun, category: &str, window: Duration) -> Option<SpatialCooccurrence> {
+    let cat = run.registry.lookup(run.system, category)?;
+    let events: Vec<(Timestamp, NodeId)> = run
+        .tagged
+        .alerts
+        .iter()
+        .filter(|a| a.category == cat)
+        .map(|a| (a.time, a.source))
+        .collect();
+    if events.is_empty() {
+        return None;
+    }
+    Some(sclog_stats::correlation::spatial_cooccurrence(&events, window))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Study;
+    use sclog_types::SystemId;
+
+    #[test]
+    fn fig2a_detects_liberty_upgrade() {
+        let run = Study::new(0.05, 0.0005, 61).run_system(SystemId::Liberty);
+        let fig = fig2a(&run, Duration::from_hours(24));
+        assert_eq!(fig.counts.len(), 315);
+        assert!(
+            !fig.changepoints.is_empty(),
+            "the OS-upgrade regime shift should be detected"
+        );
+        // The first shift lands near 35% of the span (day ~110).
+        let first = fig.changepoints[0].index as f64 / fig.counts.len() as f64;
+        assert!((0.25..0.45).contains(&first), "first shift at {first}");
+        assert!(fig.changepoints[0].mean_after > fig.changepoints[0].mean_before);
+    }
+
+    #[test]
+    fn fig2b_head_is_admin_and_tail_has_corruption() {
+        let run = Study::new(0.02, 0.001, 62).run_system(SystemId::Liberty);
+        let fig = fig2b(&run);
+        assert!(fig.by_source.len() > 100);
+        // Sorted descending.
+        assert!(fig.by_source.windows(2).all(|w| w[0].1 >= w[1].1));
+        // The most prolific sources are admin nodes.
+        let head: Vec<&str> = fig.by_source[..2]
+            .iter()
+            .map(|(n, _)| run.log.interner.name(*n))
+            .collect();
+        assert!(
+            head.iter().any(|n| n.starts_with("ladmin")),
+            "head sources {head:?}"
+        );
+        assert!(fig.corrupted_sources > 0, "corrupted-source tail expected");
+    }
+
+    #[test]
+    fn fig3_finds_gm_correlation() {
+        // Figure 3's claim: "GM_LANAI messages do not always follow
+        // GM_PAR messages, nor vice versa. However, the correlation is
+        // clear." Assert the linked pair correlates far better than an
+        // unlinked pair on the same run.
+        let run = Study::new(1.0, 0.00005, 63).run_system(SystemId::Liberty);
+        let bucket = Duration::from_days(7);
+        let linked = fig3(&run, "GM_PAR", "GM_LANAI", bucket)
+            .expect("both categories fire at full alert scale");
+        let (lag, corr) = linked.best;
+        assert!(corr > 0.2, "linked correlation {corr}");
+        assert!((0..=2).contains(&lag), "lag {lag}");
+
+        // Event-level check: the fraction of GM_LANAI alerts preceded
+        // by a GM_PAR alert within 30 minutes vastly exceeds chance.
+        let times_of = |name: &str| -> Vec<Timestamp> {
+            let cat = run.registry.lookup(SystemId::Liberty, name).unwrap();
+            run.tagged
+                .alerts
+                .iter()
+                .filter(|a| a.category == cat)
+                .map(|a| a.time)
+                .collect()
+        };
+        let par = times_of("GM_PAR");
+        let lanai = times_of("GM_LANAI");
+        let window = Duration::from_mins(30);
+        let preceded = lanai
+            .iter()
+            .filter(|&&t| {
+                let i = par.partition_point(|&p| p <= t);
+                i > 0 && t - par[i - 1] <= window
+            })
+            .count();
+        let confidence = preceded as f64 / lanai.len() as f64;
+        // Chance of a random 30-min window containing a GM_PAR alert.
+        let span = SystemId::Liberty.spec().span().as_secs_f64();
+        let chance = (par.len() as f64 * window.as_secs_f64() / span).min(1.0);
+        assert!(
+            confidence > 0.3 && confidence > 20.0 * chance,
+            "confidence {confidence} vs chance {chance}"
+        );
+    }
+
+    #[test]
+    fn fig4_has_pbs_window_clustering() {
+        let run = Study::new(1.0, 0.00005, 64).run_system(SystemId::Liberty);
+        let points = fig4(&run);
+        assert!(points.len() > 200);
+        let pbs = run.registry.lookup(SystemId::Liberty, "PBS_CHK").unwrap();
+        let spec = SystemId::Liberty.spec();
+        let span = spec.span().as_secs_f64();
+        let fracs: Vec<f64> = points
+            .iter()
+            .filter(|(_, c)| *c == pbs)
+            .map(|(t, _)| (*t - spec.start()).as_secs_f64() / span)
+            .collect();
+        assert!(!fracs.is_empty());
+        // The PBS bug lives in the (0.7, 0.97) window.
+        let inside = fracs.iter().filter(|&&f| (0.65..1.0).contains(&f)).count();
+        assert!(
+            inside as f64 > 0.95 * fracs.len() as f64,
+            "PBS_CHK alerts outside the bug window"
+        );
+    }
+
+    #[test]
+    fn fig5_ecc_is_exponential() {
+        // Subset generation: the full Thunderbird log has 3.2M VAPI
+        // alerts we don't need here.
+        let run = Study::new(1.0, 0.00002, 65).run_subset(SystemId::Thunderbird, &["ECC"]);
+        let fig = fig5(&run, "ECC").expect("ECC fires at full scale");
+        let exp = fig
+            .fit
+            .models
+            .iter()
+            .find(|m| m.name == "exponential")
+            .expect("exponential fitted");
+        assert!(
+            exp.ks_p > 0.01,
+            "ECC interarrivals should look exponential, p = {}",
+            exp.ks_p
+        );
+    }
+
+    #[test]
+    fn fig6_bgl_bimodal_spirit_unimodal() {
+        let bgl = Study::new(0.3, 0.0002, 66).run_system(SystemId::BlueGeneL);
+        let fig_bgl = fig6(&bgl).expect("enough BG/L alerts");
+        assert!(fig_bgl.peaks >= 2, "BG/L should be multimodal: {} peaks", fig_bgl.peaks);
+
+        // PBS/GM categories only: Spirit's disk storms dwarf everything
+        // else at any uniform scale.
+        let spirit = Study::new(0.5, 0.0001, 66).run_subset(
+            SystemId::Spirit,
+            &["PBS_CHK", "PBS_BFD", "PBS_CON", "GM_LANAI", "GM_MAP", "GM_PAR"],
+        );
+        let fig_sp = fig6(&spirit).expect("enough Spirit alerts");
+        assert!(fig_sp.peaks <= 2, "Spirit should be near-unimodal: {} peaks", fig_sp.peaks);
+    }
+
+    #[test]
+    fn spatial_correlation_cpu_vs_ecc() {
+        let run = Study::new(1.0, 0.00002, 67).run_subset(SystemId::Thunderbird, &["CPU", "ECC"]);
+        let cpu = spatial(&run, "CPU", Duration::from_mins(2)).expect("CPU fires");
+        let ecc = spatial(&run, "ECC", Duration::from_mins(2)).expect("ECC fires");
+        assert!(
+            cpu.multi_source_fraction > ecc.multi_source_fraction + 0.2,
+            "CPU {} vs ECC {}",
+            cpu.multi_source_fraction,
+            ecc.multi_source_fraction
+        );
+    }
+
+    #[test]
+    fn fig_functions_handle_missing_categories() {
+        let run = Study::new(0.01, 0.0001, 68).run_system(SystemId::Liberty);
+        assert!(fig3(&run, "NOPE", "GM_PAR", Duration::from_days(1)).is_none());
+        assert!(fig5(&run, "NOPE").is_none());
+        assert!(spatial(&run, "NOPE", Duration::from_secs(60)).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering.
+
+/// Renders an aligned text table: a header row, a rule, then rows.
+/// Columns are right-aligned except the first.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_core::text::render_table;
+///
+/// let s = render_table(
+///     &["System", "Procs"],
+///     &[vec!["Liberty".into(), "512".into()]],
+/// );
+/// assert!(s.contains("Liberty"));
+/// assert!(s.lines().count() == 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a count with thousands separators, e.g. `1,665,744`.
+pub fn commas(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with two decimals, e.g. `98.04`.
+pub fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "0.00".to_owned()
+    } else {
+        format!("{:.2}", part as f64 / whole as f64 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commas_grouping() {
+        assert_eq!(commas(0), "0");
+        assert_eq!(commas(999), "999");
+        assert_eq!(commas(1000), "1,000");
+        assert_eq!(commas(178_081_459), "178,081,459");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1, 2), "50.00");
+        assert_eq!(pct(0, 0), "0.00");
+        assert_eq!(pct(174_586_516, 178_081_459), "98.04");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["Name", "N"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width.
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("long-name"));
+        assert!(lines[2].ends_with("    1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["A", "B"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! `sclog-simgen` replays two years of supercomputer logging activity as
+//! a discrete-event simulation: failure processes fire, nodes emit
+//! messages, collection paths delay/drop/corrupt them. This crate is the
+//! substrate: a deterministic event [`Scheduler`], reproducible
+//! [`rng`] streams, and the renewal/burst [`process`] generators the
+//! generator composes.
+//!
+//! Everything is seeded and deterministic: the same seed always produces
+//! the same event trace, which the test suite relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use sclog_desim::Scheduler;
+//! use sclog_types::{Duration, Timestamp};
+//!
+//! let mut sched = Scheduler::new(Timestamp::EPOCH);
+//! sched.schedule_after(Duration::from_secs(10), "world");
+//! sched.schedule_after(Duration::from_secs(5), "hello");
+//! let mut order = Vec::new();
+//! while let Some((t, ev)) = sched.next_event() {
+//!     order.push((t.as_secs(), ev));
+//! }
+//! assert_eq!(order, vec![(5, "hello"), (10, "world")]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod process;
+pub mod rng;
+mod scheduler;
+
+pub use process::{BurstSpec, MarkovBurstProcess, PoissonProcess, RenewalProcess};
+pub use rng::{derive_seed, DistSampler, RngStream};
+pub use scheduler::Scheduler;

@@ -1,0 +1,345 @@
+//! Arrival-process generators.
+//!
+//! These produce the *failure event* streams that drive the log
+//! generator: memoryless arrivals for physically driven failures (the
+//! paper found ECC alerts "basically independent", Figure 5), general
+//! renewal processes for heavy-tailed categories, and a two-state
+//! Markov-modulated burst process for episodic pathologies like the
+//! Spirit disk storms and the Liberty PBS bug.
+
+use crate::rng::{DistSampler, RngStream};
+use sclog_types::{Duration, Timestamp};
+
+/// Homogeneous Poisson process: exponential interarrivals at `rate`
+/// events per second.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_desim::{PoissonProcess, RngStream};
+/// use sclog_types::{Duration, Timestamp};
+///
+/// let mut rng = RngStream::from_seed(1);
+/// let start = Timestamp::EPOCH;
+/// let end = start + Duration::from_hours(10);
+/// let events = PoissonProcess::new(1.0 / 60.0) // one per minute
+///     .generate(start, end, &mut rng);
+/// assert!(events.iter().all(|&t| t >= start && t < end));
+/// // ~600 expected
+/// assert!((400..800).contains(&events.len()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given rate (events/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        PoissonProcess { rate }
+    }
+
+    /// The process rate in events per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Generates all event times in `[start, end)`.
+    pub fn generate(&self, start: Timestamp, end: Timestamp, rng: &mut RngStream) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            t += Duration::from_secs_f64(rng.exponential(self.rate));
+            if t >= end {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+/// Renewal process with interarrivals drawn from an arbitrary
+/// [`DistSampler`].
+#[derive(Debug)]
+pub struct RenewalProcess {
+    sampler: DistSampler,
+    /// Interarrivals shorter than this are clamped, preventing a
+    /// heavy-left-tail sampler from generating unbounded event counts.
+    min_gap: Duration,
+}
+
+impl RenewalProcess {
+    /// Creates a renewal process from an interarrival sampler.
+    pub fn new(sampler: DistSampler) -> Self {
+        RenewalProcess {
+            sampler,
+            min_gap: Duration::from_micros(1),
+        }
+    }
+
+    /// Sets the minimum interarrival gap (clamp).
+    pub fn with_min_gap(mut self, min_gap: Duration) -> Self {
+        self.min_gap = min_gap;
+        self
+    }
+
+    /// Generates all event times in `[start, end)`.
+    pub fn generate(
+        &mut self,
+        start: Timestamp,
+        end: Timestamp,
+        rng: &mut RngStream,
+    ) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            let gap = Duration::from_secs_f64(self.sampler.sample(rng).max(0.0)).max(self.min_gap);
+            t += gap;
+            if t >= end {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+/// Shape of one burst of redundant alerts caused by a single failure.
+///
+/// Section 3.3 motivates filtering with bursts: a single PBS bug
+/// produced "up to 74" repeats per job on Liberty; a single Thunderbird
+/// node emitted 643,925 VAPI alerts; Spirit's `sn373` logged 89M+ disk
+/// messages. A `BurstSpec` describes how many redundant messages one
+/// failure yields and how they spread over time and nodes.
+#[derive(Debug, Clone)]
+pub struct BurstSpec {
+    /// Mean number of messages per burst (geometric length ≥ 1).
+    pub mean_len: f64,
+    /// Mean gap between consecutive messages in a burst, seconds.
+    pub mean_gap_secs: f64,
+    /// Number of distinct nodes the burst spreads over (≥ 1); messages
+    /// round-robin across them, reproducing the paper's spatial
+    /// redundancy ("k nodes report the same alert in a round-robin
+    /// fashion").
+    pub spread: u32,
+}
+
+impl BurstSpec {
+    /// A burst of exactly one message on one node.
+    pub fn singleton() -> Self {
+        BurstSpec {
+            mean_len: 1.0,
+            mean_gap_secs: 1.0,
+            spread: 1,
+        }
+    }
+
+    /// Samples the number of messages for one burst (≥ 1).
+    pub fn sample_len(&self, rng: &mut RngStream) -> u64 {
+        if self.mean_len <= 1.0 {
+            return 1;
+        }
+        // Geometric with mean `mean_len`: success prob 1/mean_len.
+        1 + rng.geometric(1.0 / self.mean_len)
+    }
+
+    /// Samples offsets (seconds from the burst start) for a burst of
+    /// length `len`, in non-decreasing order starting at zero.
+    pub fn sample_offsets(&self, len: u64, rng: &mut RngStream) -> Vec<f64> {
+        let mut t = 0.0;
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            if i > 0 {
+                t += rng.exponential(1.0 / self.mean_gap_secs.max(1e-6));
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Two-state Markov-modulated Poisson process.
+///
+/// Alternates between a *quiet* state and a *burst* state with
+/// exponentially distributed sojourn times; events arrive as a Poisson
+/// process whose rate depends on the state. This reproduces the episodic
+/// pathologies of Section 3.3.1 (multi-day disk-error storms, the PBS
+/// bug's three-month activity window).
+#[derive(Debug, Clone)]
+pub struct MarkovBurstProcess {
+    /// Event rate in the quiet state (events/second; may be 0).
+    pub quiet_rate: f64,
+    /// Event rate in the burst state (events/second).
+    pub burst_rate: f64,
+    /// Mean quiet sojourn, seconds.
+    pub mean_quiet_secs: f64,
+    /// Mean burst sojourn, seconds.
+    pub mean_burst_secs: f64,
+}
+
+impl MarkovBurstProcess {
+    /// Generates event times in `[start, end)`, starting in the quiet
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are negative or sojourn means are not positive.
+    pub fn generate(&self, start: Timestamp, end: Timestamp, rng: &mut RngStream) -> Vec<Timestamp> {
+        assert!(self.quiet_rate >= 0.0 && self.burst_rate >= 0.0, "rates must be non-negative");
+        assert!(
+            self.mean_quiet_secs > 0.0 && self.mean_burst_secs > 0.0,
+            "sojourn means must be positive"
+        );
+        let mut out = Vec::new();
+        let mut t = start;
+        let mut bursting = false;
+        while t < end {
+            let sojourn = if bursting {
+                rng.exponential(1.0 / self.mean_burst_secs)
+            } else {
+                rng.exponential(1.0 / self.mean_quiet_secs)
+            };
+            let state_end = (t + Duration::from_secs_f64(sojourn)).min(end);
+            let rate = if bursting { self.burst_rate } else { self.quiet_rate };
+            if rate > 0.0 {
+                let mut et = t;
+                loop {
+                    et += Duration::from_secs_f64(rng.exponential(rate));
+                    if et >= state_end {
+                        break;
+                    }
+                    out.push(et);
+                }
+            }
+            t = state_end;
+            bursting = !bursting;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_count_is_near_expectation() {
+        let mut rng = RngStream::from_seed(42);
+        let start = Timestamp::EPOCH;
+        let end = start + Duration::from_secs(100_000);
+        let events = PoissonProcess::new(0.01).generate(start, end, &mut rng);
+        let n = events.len() as f64; // expect 1000
+        assert!((900.0..1100.0).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn poisson_events_sorted_and_in_range() {
+        let mut rng = RngStream::from_seed(43);
+        let start = Timestamp::from_secs(500);
+        let end = start + Duration::from_secs(1000);
+        let events = PoissonProcess::new(0.5).generate(start, end, &mut rng);
+        assert!(events.windows(2).all(|w| w[0] <= w[1]));
+        assert!(events.iter().all(|&t| t >= start && t < end));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = PoissonProcess::new(0.0);
+    }
+
+    #[test]
+    fn renewal_with_lognormal_generates_sorted() {
+        let mut rng = RngStream::from_seed(44);
+        let mut p = RenewalProcess::new(DistSampler::lognormal(3.0, 1.0));
+        let start = Timestamp::EPOCH;
+        let end = start + Duration::from_secs(10_000);
+        let events = p.generate(start, end, &mut rng);
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn renewal_min_gap_enforced() {
+        let mut rng = RngStream::from_seed(45);
+        let gap = Duration::from_secs(10);
+        let mut p = RenewalProcess::new(DistSampler::new("tiny", |_| 0.001)).with_min_gap(gap);
+        let start = Timestamp::EPOCH;
+        let end = start + Duration::from_secs(100);
+        let events = p.generate(start, end, &mut rng);
+        assert_eq!(events.len(), 9);
+        assert!(events.windows(2).all(|w| w[1] - w[0] >= gap));
+    }
+
+    #[test]
+    fn burst_len_mean_close() {
+        let mut rng = RngStream::from_seed(46);
+        let spec = BurstSpec {
+            mean_len: 20.0,
+            mean_gap_secs: 1.0,
+            spread: 4,
+        };
+        let mean = (0..5000).map(|_| spec.sample_len(&mut rng) as f64).sum::<f64>() / 5000.0;
+        assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
+        assert!(spec.sample_len(&mut rng) >= 1);
+        assert_eq!(BurstSpec::singleton().sample_len(&mut rng), 1);
+    }
+
+    #[test]
+    fn burst_offsets_start_at_zero_and_increase() {
+        let mut rng = RngStream::from_seed(47);
+        let spec = BurstSpec {
+            mean_len: 10.0,
+            mean_gap_secs: 2.0,
+            spread: 1,
+        };
+        let offs = spec.sample_offsets(10, &mut rng);
+        assert_eq!(offs.len(), 10);
+        assert_eq!(offs[0], 0.0);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn markov_burst_is_bursty() {
+        let mut rng = RngStream::from_seed(48);
+        let p = MarkovBurstProcess {
+            quiet_rate: 0.0,
+            burst_rate: 10.0,
+            mean_quiet_secs: 1000.0,
+            mean_burst_secs: 100.0,
+        };
+        let start = Timestamp::EPOCH;
+        let end = start + Duration::from_secs(100_000);
+        let events = p.generate(start, end, &mut rng);
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0] <= w[1]));
+        // With quiet_rate 0 the interarrival distribution must be a
+        // mixture: many short gaps (in-burst) and some very long ones
+        // (quiet sojourns).
+        let gaps: Vec<f64> = events.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let short = gaps.iter().filter(|&&g| g < 1.0).count();
+        let long = gaps.iter().filter(|&&g| g > 100.0).count();
+        assert!(short > 10 * long.max(1), "short {short} long {long}");
+        assert!(long >= 1, "expected at least one quiet sojourn gap");
+    }
+
+    #[test]
+    fn markov_burst_respects_range() {
+        let mut rng = RngStream::from_seed(49);
+        let p = MarkovBurstProcess {
+            quiet_rate: 0.1,
+            burst_rate: 5.0,
+            mean_quiet_secs: 50.0,
+            mean_burst_secs: 20.0,
+        };
+        let start = Timestamp::from_secs(1000);
+        let end = start + Duration::from_secs(5000);
+        for &t in &p.generate(start, end, &mut rng) {
+            assert!(t >= start && t < end);
+        }
+    }
+}

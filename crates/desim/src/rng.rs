@@ -1,0 +1,412 @@
+//! Reproducible random-number streams and distribution samplers.
+//!
+//! The generator runs many logical processes (one per failure category
+//! per system, plus background traffic per node group). Each gets its own
+//! [`RngStream`] derived from the master seed and a label, so adding or
+//! reordering processes never perturbs the samples other processes draw
+//! — a property the calibration tests depend on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Derives a child seed from a master seed and a label.
+///
+/// Uses SplitMix64 over the master seed and an FNV-1a hash of the label,
+/// which is enough mixing for statistically independent `SmallRng`
+/// streams.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_desim::derive_seed;
+///
+/// assert_eq!(derive_seed(42, "ecc"), derive_seed(42, "ecc"));
+/// assert_ne!(derive_seed(42, "ecc"), derive_seed(42, "vapi"));
+/// assert_ne!(derive_seed(42, "ecc"), derive_seed(43, "ecc"));
+/// ```
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(master ^ h)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random stream with the distribution samplers the log
+/// generator needs.
+///
+/// Wraps `rand::SmallRng`; the distribution samplers are implemented
+/// here (inverse transform / Box–Muller) rather than pulling in
+/// `rand_distr`, keeping the dependency set to the pre-approved crates.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: SmallRng,
+    /// Cached second normal variate from Box–Muller.
+    spare_normal: Option<f64>,
+}
+
+impl RngStream {
+    /// Creates a stream from a raw seed.
+    pub fn from_seed(seed: u64) -> Self {
+        RngStream {
+            rng: SmallRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Creates a stream from a master seed and a label via
+    /// [`derive_seed`].
+    pub fn derived(master: u64, label: &str) -> Self {
+        Self::from_seed(derive_seed(master, label))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform in `(0, 1]` — safe to take logarithms of.
+    pub fn uniform_open(&mut self) -> f64 {
+        1.0 - self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen::<f64>() < p
+        }
+    }
+
+    /// Standard normal variate (Box–Muller, with spare caching).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1 = self.uniform_open();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Exponential variate with rate `lambda` (mean `1/lambda`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        -self.uniform_open().ln() / lambda
+    }
+
+    /// Log-normal variate with location `mu` and scale `sigma` (of the
+    /// underlying normal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "lognormal sigma must be non-negative");
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Weibull variate with shape `k` and scale `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0` or `lambda <= 0`.
+    pub fn weibull(&mut self, k: f64, lambda: f64) -> f64 {
+        assert!(k > 0.0 && lambda > 0.0, "weibull parameters must be positive");
+        lambda * (-self.uniform_open().ln()).powf(1.0 / k)
+    }
+
+    /// Pareto variate with minimum `xm` and shape `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xm <= 0` or `alpha <= 0`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        xm / self.uniform_open().powf(1.0 / alpha)
+    }
+
+    /// Geometric variate: number of Bernoulli(`p`) failures before the
+    /// first success, in `0..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0,1]");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.uniform_open();
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Poisson variate with mean `lambda` (Knuth for small means, normal
+    /// approximation above 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 0`.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "poisson mean must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 64.0 {
+            let v = lambda + lambda.sqrt() * self.normal();
+            return v.max(0.0).round() as u64;
+        }
+        let limit = (-lambda).exp();
+        let mut prod = self.uniform();
+        let mut n = 0;
+        while prod > limit {
+            prod *= self.uniform();
+            n += 1;
+        }
+        n
+    }
+
+    /// Samples an index from a slice of non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index on empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Raw access for APIs that want a `rand::Rng`.
+    pub fn inner_mut(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+}
+
+/// A named, boxed sampler of positive durations (seconds), used to plug
+/// interchangeable interarrival models into renewal processes.
+pub struct DistSampler {
+    name: &'static str,
+    f: Box<dyn FnMut(&mut RngStream) -> f64 + Send>,
+}
+
+impl std::fmt::Debug for DistSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistSampler").field("name", &self.name).finish()
+    }
+}
+
+impl DistSampler {
+    /// Wraps a closure as a sampler.
+    pub fn new(name: &'static str, f: impl FnMut(&mut RngStream) -> f64 + Send + 'static) -> Self {
+        DistSampler { name, f: Box::new(f) }
+    }
+
+    /// Exponential interarrivals with the given rate (events/second).
+    pub fn exponential(rate: f64) -> Self {
+        Self::new("exponential", move |r| r.exponential(rate))
+    }
+
+    /// Log-normal interarrivals.
+    pub fn lognormal(mu: f64, sigma: f64) -> Self {
+        Self::new("lognormal", move |r| r.lognormal(mu, sigma))
+    }
+
+    /// Weibull interarrivals.
+    pub fn weibull(k: f64, lambda: f64) -> Self {
+        Self::new("weibull", move |r| r.weibull(k, lambda))
+    }
+
+    /// Pareto interarrivals.
+    pub fn pareto(xm: f64, alpha: f64) -> Self {
+        Self::new("pareto", move |r| r.pareto(xm, alpha))
+    }
+
+    /// The sampler's name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self, rng: &mut RngStream) -> f64 {
+        (self.f)(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = RngStream::derived(7, "x");
+        let mut b = RngStream::derived(7, "x");
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = RngStream::derived(7, "x");
+        let mut b = RngStream::derived(7, "y");
+        let same = (0..100).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = RngStream::from_seed(1);
+        let m = mean_of(20_000, || r.exponential(2.0));
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = RngStream::from_seed(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let mut r = RngStream::from_seed(3);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| r.lognormal(1.0, 0.5)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 1f64.exp()).abs() / 1f64.exp() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn weibull_k1_is_exponential() {
+        let mut r = RngStream::from_seed(4);
+        let m = mean_of(20_000, || r.weibull(1.0, 3.0));
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut r = RngStream::from_seed(5);
+        for _ in 0..1000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut r = RngStream::from_seed(6);
+        let m = mean_of(5000, || r.poisson(3.5) as f64);
+        assert!((m - 3.5).abs() < 0.1, "mean {m}");
+        let m = mean_of(5000, || r.poisson(200.0) as f64);
+        assert!((m - 200.0).abs() < 1.0, "mean {m}");
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_close() {
+        let mut r = RngStream::from_seed(7);
+        let p: f64 = 0.25;
+        let m = mean_of(20_000, || r.geometric(p) as f64);
+        let expect = (1.0 - p) / p;
+        assert!((m - expect).abs() < 0.1, "mean {m} expect {expect}");
+        assert_eq!(r.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn chance_edges() {
+        let mut r = RngStream::from_seed(8);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let mut r = RngStream::from_seed(9);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dist_sampler_dispatch() {
+        let mut r = RngStream::from_seed(10);
+        let mut s = DistSampler::exponential(1.0);
+        assert_eq!(s.name(), "exponential");
+        assert!(s.sample(&mut r) > 0.0);
+        let mut s = DistSampler::lognormal(0.0, 1.0);
+        assert!(s.sample(&mut r) > 0.0);
+        let mut s = DistSampler::weibull(2.0, 1.0);
+        assert!(s.sample(&mut r) > 0.0);
+        let mut s = DistSampler::pareto(1.0, 2.0);
+        assert!(s.sample(&mut r) >= 1.0);
+    }
+
+    #[test]
+    fn below_and_int_in() {
+        let mut r = RngStream::from_seed(11);
+        for _ in 0..100 {
+            assert!(r.below(5) < 5);
+            let v = r.int_in(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The event scheduler: a priority queue ordered by simulated time.
+
+use sclog_types::{Duration, Timestamp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: ordered by time, then by insertion sequence so that
+/// same-time events pop in FIFO order (determinism matters more here
+/// than in a general simulator — the log generator's output must be
+/// bit-stable across runs).
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic discrete-event scheduler.
+///
+/// Events of type `E` are scheduled at absolute or relative simulated
+/// times and popped in time order; ties pop in scheduling order. Popping
+/// advances the simulation clock, which never runs backwards.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_desim::Scheduler;
+/// use sclog_types::{Duration, Timestamp};
+///
+/// let mut s = Scheduler::new(Timestamp::from_secs(100));
+/// s.schedule(Timestamp::from_secs(101), 'a');
+/// s.schedule(Timestamp::from_secs(101), 'b'); // same time: FIFO
+/// assert_eq!(s.next_event(), Some((Timestamp::from_secs(101), 'a')));
+/// assert_eq!(s.now(), Timestamp::from_secs(101));
+/// assert_eq!(s.next_event(), Some((Timestamp::from_secs(101), 'b')));
+/// assert_eq!(s.next_event(), None);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: Timestamp,
+    seq: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at `start`.
+    pub fn new(start: Timestamp) -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: start,
+            seq: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last event
+    /// popped, or the start time if none has been.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now`: the event fires
+    /// immediately on the next pop. (Collection-path jitter can otherwise
+    /// produce out-of-order deliveries; clamping models a collector that
+    /// stamps arrival time.)
+    pub fn schedule(&mut self, at: Timestamp, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules `event` at `now() + delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) {
+        assert!(!delay.is_negative(), "negative delay: {delay}");
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn next_event(&mut self) -> Option<(Timestamp, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "scheduler clock ran backwards");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// The time of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Pops the next event only if it is at or before `deadline`.
+    pub fn next_event_before(&mut self, deadline: Timestamp) -> Option<(Timestamp, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.next_event(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new(Timestamp::EPOCH);
+        s.schedule(Timestamp::from_secs(3), 3);
+        s.schedule(Timestamp::from_secs(1), 1);
+        s.schedule(Timestamp::from_secs(2), 2);
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut s = Scheduler::new(Timestamp::EPOCH);
+        for i in 0..100 {
+            s.schedule(Timestamp::from_secs(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut s = Scheduler::new(Timestamp::from_secs(50));
+        s.schedule(Timestamp::from_secs(10), 'x');
+        let (t, _) = s.next_event().unwrap();
+        assert_eq!(t, Timestamp::from_secs(50));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s = Scheduler::new(Timestamp::EPOCH);
+        s.schedule(Timestamp::from_secs(5), ());
+        s.schedule(Timestamp::from_secs(9), ());
+        let mut last = s.now();
+        while let Some((t, ())) = s.next_event() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(s.now(), Timestamp::from_secs(9));
+    }
+
+    #[test]
+    fn next_event_before_respects_deadline() {
+        let mut s = Scheduler::new(Timestamp::EPOCH);
+        s.schedule(Timestamp::from_secs(5), 'a');
+        s.schedule(Timestamp::from_secs(15), 'b');
+        assert_eq!(
+            s.next_event_before(Timestamp::from_secs(10)),
+            Some((Timestamp::from_secs(5), 'a'))
+        );
+        assert_eq!(s.next_event_before(Timestamp::from_secs(10)), None);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn schedule_after_uses_clock() {
+        let mut s = Scheduler::new(Timestamp::from_secs(100));
+        s.schedule_after(Duration::from_secs(5), 'a');
+        let (t, _) = s.next_event().unwrap();
+        assert_eq!(t, Timestamp::from_secs(105));
+        s.schedule_after(Duration::from_secs(5), 'b');
+        let (t, _) = s.next_event().unwrap();
+        assert_eq!(t, Timestamp::from_secs(110));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative delay")]
+    fn negative_delay_panics() {
+        let mut s = Scheduler::new(Timestamp::EPOCH);
+        s.schedule_after(Duration::from_secs(-1), ());
+    }
+}

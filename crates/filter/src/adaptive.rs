@@ -1,0 +1,207 @@
+//! Per-category thresholds: the paper's recommended future work.
+//!
+//! Section 4: "a filtering threshold must be selected in advance and is
+//! then applied across all kinds of alerts. In reality, each alert
+//! category may require a different threshold." [`AdaptiveFilter`]
+//! implements that, either with explicit per-category thresholds or
+//! with thresholds learned from each category's interarrival
+//! distribution.
+
+use crate::{assert_sorted, AlertFilter};
+use sclog_types::{Alert, CategoryId, Duration, Timestamp};
+use std::collections::HashMap;
+
+/// Simultaneous spatio-temporal filtering with a per-category
+/// threshold.
+///
+/// Semantics are Algorithm 3.1's, except the redundancy test for an
+/// alert of category `c` uses `T_c` instead of a global `T`.
+#[derive(Debug, Clone)]
+pub struct AdaptiveFilter {
+    default: Duration,
+    per_category: HashMap<CategoryId, Duration>,
+}
+
+impl AdaptiveFilter {
+    /// Creates a filter that uses `default` for categories without an
+    /// explicit threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default` is not positive.
+    pub fn new(default: Duration) -> Self {
+        assert!(default.as_micros() > 0, "threshold must be positive");
+        AdaptiveFilter {
+            default,
+            per_category: HashMap::new(),
+        }
+    }
+
+    /// Sets the threshold for one category (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    pub fn with_threshold(mut self, category: CategoryId, threshold: Duration) -> Self {
+        assert!(threshold.as_micros() > 0, "threshold must be positive");
+        self.per_category.insert(category, threshold);
+        self
+    }
+
+    /// The threshold used for a category.
+    pub fn threshold_for(&self, category: CategoryId) -> Duration {
+        self.per_category.get(&category).copied().unwrap_or(self.default)
+    }
+
+    /// Learns per-category thresholds from the alert stream itself.
+    ///
+    /// For each category, the threshold is set to 1.5× the `q`-quantile
+    /// of that category's interarrival gaps, clamped to `[min, max]`. The
+    /// intuition: redundancy shows up as a dense mass of short gaps
+    /// (Figure 6a's first mode); a quantile inside that mass separates
+    /// burst-internal gaps from inter-failure gaps. Categories with
+    /// fewer than 3 gaps keep the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or `min > max`.
+    pub fn learn(
+        alerts: &[Alert],
+        q: f64,
+        default: Duration,
+        min: Duration,
+        max: Duration,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(min <= max, "min must not exceed max");
+        let mut gaps: HashMap<CategoryId, Vec<f64>> = HashMap::new();
+        let mut last: HashMap<CategoryId, Timestamp> = HashMap::new();
+        for a in alerts {
+            if let Some(prev) = last.insert(a.category, a.time) {
+                gaps.entry(a.category).or_default().push((a.time - prev).as_secs_f64());
+            }
+        }
+        let mut filter = AdaptiveFilter::new(default);
+        for (cat, mut g) in gaps {
+            if g.len() < 3 {
+                continue;
+            }
+            g.sort_by(f64::total_cmp);
+            let idx = ((g.len() - 1) as f64 * q).round() as usize;
+            // 1.5x margin: the threshold must strictly exceed the
+            // burst-internal gaps it is meant to merge.
+            let t = Duration::from_secs_f64(g[idx] * 1.5).max(min).min(max);
+            filter.per_category.insert(cat, t);
+        }
+        filter
+    }
+}
+
+impl AlertFilter for AdaptiveFilter {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn filter(&self, alerts: &[Alert]) -> Vec<Alert> {
+        assert_sorted(alerts);
+        let mut table: HashMap<CategoryId, Timestamp> = HashMap::new();
+        let mut out = Vec::new();
+        for a in alerts {
+            let t_c = self.threshold_for(a.category);
+            match table.get_mut(&a.category) {
+                Some(last) if a.time - *last < t_c => {
+                    *last = a.time;
+                }
+                _ => {
+                    table.insert(a.category, a.time);
+                    out.push(*a);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::alerts;
+    use crate::SpatioTemporalFilter;
+
+    #[test]
+    fn equals_fixed_filter_when_no_overrides() {
+        let input: Vec<(f64, u32, u16)> = (0..100)
+            .map(|i| ((i as f64 * 1.3) % 41.0, i % 4, (i % 3) as u16))
+            .collect();
+        let sorted = alerts(&input);
+        let fixed = SpatioTemporalFilter::paper().filter(&sorted);
+        let adaptive = AdaptiveFilter::new(Duration::from_secs(5)).filter(&sorted);
+        assert_eq!(fixed, adaptive);
+    }
+
+    #[test]
+    fn per_category_thresholds_differ() {
+        let cat0 = CategoryId::from_index(0);
+        let f = AdaptiveFilter::new(Duration::from_secs(5))
+            .with_threshold(cat0, Duration::from_secs(60));
+        // Category 0: 30s gaps are still redundant under T_0 = 60.
+        let input = alerts(&[(0.0, 0, 0), (30.0, 0, 0), (0.5, 0, 1), (30.0, 1, 1)]);
+        let kept: Vec<usize> = f.filter(&input).iter().map(|a| a.message_index).collect();
+        // For category 1 (default T=5), the 29.5s gap keeps both.
+        assert_eq!(kept, vec![0, 2, 3]);
+        assert_eq!(f.threshold_for(cat0), Duration::from_secs(60));
+        assert_eq!(f.threshold_for(CategoryId::from_index(9)), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn learn_separates_burst_gaps_from_failure_gaps() {
+        // Category 0: bursts of 10 alerts 1s apart, failures 1000s
+        // apart. The 0.9-quantile of gaps lands in the burst mass.
+        let mut spec = Vec::new();
+        for failure in 0..10 {
+            for k in 0..10 {
+                spec.push((failure as f64 * 1000.0 + k as f64 * 9.0, 0u32, 0u16));
+            }
+        }
+        let sorted = alerts(&spec);
+        // With the paper's fixed T=5s, the 9s intra-burst gaps are NOT
+        // merged: 100 alerts survive.
+        assert_eq!(SpatioTemporalFilter::paper().filter(&sorted).len(), 100);
+        // The learned filter picks a threshold above 9s for this
+        // category and recovers ~10 (one per failure).
+        let learned = AdaptiveFilter::learn(
+            &sorted,
+            0.8,
+            Duration::from_secs(5),
+            Duration::from_secs(1),
+            Duration::from_secs(120),
+        );
+        let kept = learned.filter(&sorted).len();
+        assert_eq!(kept, 10, "learned threshold should isolate failures");
+    }
+
+    #[test]
+    fn learn_keeps_default_for_sparse_categories() {
+        let sorted = alerts(&[(0.0, 0, 7), (50.0, 0, 7)]);
+        let f = AdaptiveFilter::learn(
+            &sorted,
+            0.9,
+            Duration::from_secs(5),
+            Duration::from_secs(1),
+            Duration::from_secs(100),
+        );
+        assert_eq!(f.threshold_for(CategoryId::from_index(7)), Duration::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn learn_rejects_bad_quantile() {
+        let _ = AdaptiveFilter::learn(
+            &[],
+            1.5,
+            Duration::from_secs(5),
+            Duration::from_secs(1),
+            Duration::from_secs(10),
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Ground-truth evaluation of filters.
+//!
+//! The paper could only argue its filter's quality anecdotally ("at most
+//! one true positive was removed on any single machine, whereas
+//! sometimes dozens of false positives were removed"). The simulator
+//! attaches a [`FailureId`] to every generated alert, so here the claim
+//! becomes measurable: a filter *loses a failure* if none of that
+//! failure's alerts survive, and it *under-merges* when several kept
+//! alerts share one failure.
+
+use sclog_types::{Alert, FailureId};
+use std::collections::HashSet;
+
+/// Ground-truth scorecard for one filter run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterScore {
+    /// Alerts before filtering.
+    pub raw: usize,
+    /// Alerts kept.
+    pub kept: usize,
+    /// Distinct ground-truth failures among the raw alerts.
+    pub failures: usize,
+    /// Failures with at least one kept alert.
+    pub covered: usize,
+    /// Failures whose every alert was removed (true positives lost).
+    pub lost: usize,
+    /// Kept alerts beyond the first for their failure (residual
+    /// redundancy the filter failed to merge).
+    pub residual_redundancy: usize,
+}
+
+impl FilterScore {
+    /// Compression ratio raw/kept (∞-safe: 0 when nothing kept).
+    pub fn compression(&self) -> f64 {
+        if self.kept == 0 {
+            0.0
+        } else {
+            self.raw as f64 / self.kept as f64
+        }
+    }
+
+    /// Fraction of failures covered by at least one kept alert.
+    pub fn coverage(&self) -> f64 {
+        if self.failures == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.failures as f64
+        }
+    }
+}
+
+/// Scores a filter run against ground truth.
+///
+/// Alerts without a [`FailureId`] (real, non-simulated logs) are
+/// ignored for the failure-level metrics but still counted in
+/// `raw`/`kept`.
+pub fn score(raw_alerts: &[Alert], kept_alerts: &[Alert]) -> FilterScore {
+    let failures: HashSet<FailureId> = raw_alerts.iter().filter_map(|a| a.failure).collect();
+    let mut covered: HashSet<FailureId> = HashSet::new();
+    let mut residual = 0usize;
+    for a in kept_alerts {
+        if let Some(f) = a.failure {
+            if !covered.insert(f) {
+                residual += 1;
+            }
+        }
+    }
+    FilterScore {
+        raw: raw_alerts.len(),
+        kept: kept_alerts.len(),
+        failures: failures.len(),
+        covered: covered.len(),
+        lost: failures.len() - covered.len(),
+        residual_redundancy: residual,
+    }
+}
+
+/// Which alerts two filters disagree on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterComparison {
+    /// Message indices kept by the first filter only.
+    pub only_first: Vec<usize>,
+    /// Message indices kept by the second filter only.
+    pub only_second: Vec<usize>,
+    /// Kept by both.
+    pub both: usize,
+}
+
+/// Compares two filters' kept sets (by message index).
+pub fn compare(first_kept: &[Alert], second_kept: &[Alert]) -> FilterComparison {
+    let a: HashSet<usize> = first_kept.iter().map(|x| x.message_index).collect();
+    let b: HashSet<usize> = second_kept.iter().map(|x| x.message_index).collect();
+    let mut only_first: Vec<usize> = a.difference(&b).copied().collect();
+    let mut only_second: Vec<usize> = b.difference(&a).copied().collect();
+    only_first.sort_unstable();
+    only_second.sort_unstable();
+    FilterComparison {
+        both: a.intersection(&b).count(),
+        only_first,
+        only_second,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::alert;
+
+    fn with_failure(mut a: Alert, f: u64) -> Alert {
+        a.failure = Some(FailureId(f));
+        a
+    }
+
+    #[test]
+    fn score_counts_lost_and_residual() {
+        let raw = vec![
+            with_failure(alert(0.0, 0, 0, 0), 1),
+            with_failure(alert(1.0, 0, 0, 1), 1),
+            with_failure(alert(2.0, 1, 0, 2), 2),
+        ];
+        // Filter kept both alerts of failure 1, none of failure 2.
+        let kept = vec![raw[0], raw[1]];
+        let s = score(&raw, &kept);
+        assert_eq!(s.raw, 3);
+        assert_eq!(s.kept, 2);
+        assert_eq!(s.failures, 2);
+        assert_eq!(s.covered, 1);
+        assert_eq!(s.lost, 1);
+        assert_eq!(s.residual_redundancy, 1);
+        assert_eq!(s.coverage(), 0.5);
+        assert!((s.compression() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_perfect_filter() {
+        let raw: Vec<Alert> = (0..10)
+            .map(|i| with_failure(alert(i as f64, 0, 0, i), (i / 5) as u64))
+            .collect();
+        let kept = vec![raw[0], raw[5]];
+        let s = score(&raw, &kept);
+        assert_eq!(s.failures, 2);
+        assert_eq!(s.covered, 2);
+        assert_eq!(s.lost, 0);
+        assert_eq!(s.residual_redundancy, 0);
+        assert_eq!(s.coverage(), 1.0);
+        assert_eq!(s.compression(), 5.0);
+    }
+
+    #[test]
+    fn score_without_truth_is_degenerate_but_safe() {
+        let raw = vec![alert(0.0, 0, 0, 0), alert(1.0, 0, 0, 1)];
+        let s = score(&raw, &raw[..1]);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.coverage(), 1.0);
+        let s0 = score(&raw, &[]);
+        assert_eq!(s0.compression(), 0.0);
+    }
+
+    #[test]
+    fn compare_partitions_kept_sets() {
+        let a = vec![alert(0.0, 0, 0, 0), alert(1.0, 0, 0, 1)];
+        let b = vec![alert(1.0, 0, 0, 1), alert(2.0, 0, 0, 2)];
+        let c = compare(&a, &b);
+        assert_eq!(c.only_first, vec![0]);
+        assert_eq!(c.only_second, vec![2]);
+        assert_eq!(c.both, 1);
+    }
+}

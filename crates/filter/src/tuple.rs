@@ -1,0 +1,102 @@
+//! Tsao-style tupling (related work [4, 26] in the paper).
+
+use crate::{assert_sorted, AlertFilter};
+use sclog_types::{Alert, Duration, NodeId, Timestamp};
+use std::collections::HashMap;
+
+/// Category-blind per-source tupling.
+///
+/// Tsao's tuple concept groups *all* events on a machine that occur
+/// within a window of each other, regardless of message content; the
+/// first event of each tuple represents it. This predates category-aware
+/// filtering and over-merges unrelated alerts that happen to coincide on
+/// a node — which is exactly why it makes a useful ablation baseline
+/// against Algorithm 3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleFilter {
+    window: Duration,
+}
+
+impl TupleFilter {
+    /// Creates a tupling filter with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive.
+    pub fn new(window: Duration) -> Self {
+        assert!(window.as_micros() > 0, "window must be positive");
+        TupleFilter { window }
+    }
+
+    /// The same 5-second window the paper uses for its own filter.
+    pub fn paper() -> Self {
+        TupleFilter::new(crate::PAPER_THRESHOLD)
+    }
+}
+
+impl AlertFilter for TupleFilter {
+    fn name(&self) -> &'static str {
+        "tuple"
+    }
+
+    fn filter(&self, alerts: &[Alert]) -> Vec<Alert> {
+        assert_sorted(alerts);
+        let mut last: HashMap<NodeId, Timestamp> = HashMap::new();
+        let mut out = Vec::new();
+        for a in alerts {
+            match last.get_mut(&a.source) {
+                Some(t) if a.time - *t < self.window => {
+                    *t = a.time; // tuple continues
+                }
+                _ => {
+                    last.insert(a.source, a.time);
+                    out.push(*a);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::alerts;
+
+    fn kept(input: &[(f64, u32, u16)]) -> Vec<usize> {
+        TupleFilter::paper()
+            .filter(&alerts(input))
+            .iter()
+            .map(|a| a.message_index)
+            .collect()
+    }
+
+    #[test]
+    fn merges_across_categories_on_one_node() {
+        // GM_PAR followed 2s later by GM_LANAI on the same node: one
+        // tuple — losing the category distinction Figure 3 cares about.
+        assert_eq!(kept(&[(0.0, 0, 0), (2.0, 0, 1)]), vec![0]);
+    }
+
+    #[test]
+    fn does_not_merge_across_nodes() {
+        assert_eq!(kept(&[(0.0, 0, 0), (1.0, 1, 0)]), vec![0, 1]);
+    }
+
+    #[test]
+    fn window_refreshes_within_tuple() {
+        let input: Vec<(f64, u32, u16)> = (0..10).map(|i| (4.0 * i as f64, 0, (i % 3) as u16)).collect();
+        assert_eq!(kept(&input), vec![0]);
+    }
+
+    #[test]
+    fn new_tuple_after_quiet_gap() {
+        assert_eq!(kept(&[(0.0, 0, 0), (10.0, 0, 0)]), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = TupleFilter::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,32 @@
+//! Operational context (Figure 1 of the paper).
+//!
+//! "The most salient missing data is *operational context*, which
+//! captures the system's expected behavior. … It may be sufficient to
+//! record only a few bytes of data: the time and cause of system state
+//! changes."
+//!
+//! This crate implements that recommendation end to end:
+//!
+//! * [`OpState`] — the operational states of the Figure 1 diagram (the
+//!   basis of the Red Storm RAS metrics under development by LANL, LLNL
+//!   and SNL at the time).
+//! * [`ContextLog`] — an append-only log of state transitions with
+//!   causes, queryable by time.
+//! * Transition serialization to and from single log lines, showing how
+//!   cheap the paper's proposal is ("only a few bytes").
+//! * [`RasMetrics`] — time-in-state accounting, availability, and the
+//!   paper's preferred "useful work lost" quantity.
+//! * [`Disposition`] — alert disambiguation: the same `ciodb exited
+//!   normally` message is harmless during scheduled downtime and
+//!   catastrophic during production (Section 3.2.1's example).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod metrics;
+mod suppress;
+
+pub use machine::{ContextError, ContextLog, Disposition, OpState, Transition};
+pub use metrics::RasMetrics;
+pub use suppress::Triage;

@@ -1,0 +1,427 @@
+//! The operational-context state machine.
+
+use sclog_types::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Operational states, after the Figure 1 diagram: total time divides
+/// into production and engineering time; production time divides into
+/// uptime and (scheduled or unscheduled) downtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpState {
+    /// In production, up, running user jobs.
+    ProductionUptime,
+    /// Down for planned maintenance (OS upgrades, hardware swaps).
+    ScheduledDowntime,
+    /// Down because something failed.
+    UnscheduledDowntime,
+    /// Dedicated system testing / diagnostics time (Feitelson's
+    /// "workload flurries" live here).
+    EngineeringTime,
+}
+
+/// All states, for iteration.
+pub const ALL_STATES: [OpState; 4] = [
+    OpState::ProductionUptime,
+    OpState::ScheduledDowntime,
+    OpState::UnscheduledDowntime,
+    OpState::EngineeringTime,
+];
+
+impl OpState {
+    /// Stable token used in transition log lines.
+    pub const fn token(self) -> &'static str {
+        match self {
+            OpState::ProductionUptime => "production-uptime",
+            OpState::ScheduledDowntime => "scheduled-downtime",
+            OpState::UnscheduledDowntime => "unscheduled-downtime",
+            OpState::EngineeringTime => "engineering-time",
+        }
+    }
+
+    /// Whether a transition from `self` to `to` is meaningful.
+    ///
+    /// All pairs of distinct states are legal except self-loops: the
+    /// Figure 1 taxonomy is about accounting, not protocol.
+    pub fn can_transition_to(self, to: OpState) -> bool {
+        self != to
+    }
+}
+
+impl fmt::Display for OpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for OpState {
+    type Err = ContextError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_STATES
+            .into_iter()
+            .find(|st| st.token() == s)
+            .ok_or_else(|| ContextError::UnknownState(s.to_owned()))
+    }
+}
+
+/// One recorded state change: "the time and cause of system state
+/// changes" — the few bytes the paper asks operators to log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// When the state changed.
+    pub time: Timestamp,
+    /// State being left.
+    pub from: OpState,
+    /// State being entered.
+    pub to: OpState,
+    /// Human-supplied cause ("OS upgrade to 2.6.12", "PBS outage").
+    pub cause: String,
+}
+
+impl Transition {
+    /// Renders as a single log-line body, e.g.
+    /// `OPCTX 1131566461 production-uptime -> scheduled-downtime : OS upgrade`.
+    pub fn to_log_body(&self) -> String {
+        format!(
+            "OPCTX {} {} -> {} : {}",
+            self.time.as_secs(),
+            self.from.token(),
+            self.to.token(),
+            self.cause
+        )
+    }
+
+    /// Parses a log-line body produced by [`Self::to_log_body`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::BadLine`] on malformed input and
+    /// [`ContextError::UnknownState`] on unknown state tokens.
+    pub fn from_log_body(body: &str) -> Result<Self, ContextError> {
+        let rest = body
+            .strip_prefix("OPCTX ")
+            .ok_or_else(|| ContextError::BadLine(body.to_owned()))?;
+        let mut parts = rest.splitn(2, " : ");
+        let head = parts.next().unwrap_or("");
+        let cause = parts
+            .next()
+            .ok_or_else(|| ContextError::BadLine(body.to_owned()))?
+            .to_owned();
+        let toks: Vec<&str> = head.split_whitespace().collect();
+        let [secs, from, arrow, to] = toks[..] else {
+            return Err(ContextError::BadLine(body.to_owned()));
+        };
+        if arrow != "->" {
+            return Err(ContextError::BadLine(body.to_owned()));
+        }
+        let secs: i64 = secs
+            .parse()
+            .map_err(|_| ContextError::BadLine(body.to_owned()))?;
+        Ok(Transition {
+            time: Timestamp::from_secs(secs),
+            from: from.parse()?,
+            to: to.parse()?,
+            cause,
+        })
+    }
+}
+
+/// Errors from context-log operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextError {
+    /// Transition time precedes the last recorded transition.
+    NonMonotonic {
+        /// Time of the last recorded transition.
+        last: Timestamp,
+        /// The offending earlier time.
+        attempted: Timestamp,
+    },
+    /// Transition to the state the machine is already in.
+    SelfLoop(OpState),
+    /// Unknown state token in a parsed line.
+    UnknownState(String),
+    /// Malformed transition line.
+    BadLine(String),
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::NonMonotonic { last, attempted } => {
+                write!(f, "transition at {attempted} precedes last transition at {last}")
+            }
+            ContextError::SelfLoop(s) => write!(f, "self-transition to {s}"),
+            ContextError::UnknownState(s) => write!(f, "unknown state token {s:?}"),
+            ContextError::BadLine(s) => write!(f, "malformed transition line {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}
+
+/// Append-only operational-context log for one system, queryable by
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_opctx::{ContextLog, OpState};
+/// use sclog_types::Timestamp;
+///
+/// let mut ctx = ContextLog::new(Timestamp::from_secs(0), OpState::ProductionUptime);
+/// ctx.transition(Timestamp::from_secs(100), OpState::ScheduledDowntime, "OS upgrade")?;
+/// ctx.transition(Timestamp::from_secs(200), OpState::ProductionUptime, "upgrade done")?;
+/// assert_eq!(ctx.state_at(Timestamp::from_secs(150)), OpState::ScheduledDowntime);
+/// assert_eq!(ctx.state_at(Timestamp::from_secs(250)), OpState::ProductionUptime);
+/// # Ok::<(), sclog_opctx::ContextError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextLog {
+    start: Timestamp,
+    initial: OpState,
+    transitions: Vec<Transition>,
+}
+
+impl ContextLog {
+    /// Creates a context log starting in `initial` at `start`.
+    pub fn new(start: Timestamp, initial: OpState) -> Self {
+        ContextLog {
+            start,
+            initial,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Records a state change.
+    ///
+    /// # Errors
+    ///
+    /// [`ContextError::NonMonotonic`] if `time` precedes the previous
+    /// transition (or the log start); [`ContextError::SelfLoop`] if
+    /// `to` equals the current state.
+    pub fn transition(
+        &mut self,
+        time: Timestamp,
+        to: OpState,
+        cause: impl Into<String>,
+    ) -> Result<(), ContextError> {
+        let last_time = self.transitions.last().map_or(self.start, |t| t.time);
+        if time < last_time {
+            return Err(ContextError::NonMonotonic {
+                last: last_time,
+                attempted: time,
+            });
+        }
+        let from = self.current_state();
+        if !from.can_transition_to(to) {
+            return Err(ContextError::SelfLoop(to));
+        }
+        self.transitions.push(Transition {
+            time,
+            from,
+            to,
+            cause: cause.into(),
+        });
+        Ok(())
+    }
+
+    /// The state after all recorded transitions.
+    pub fn current_state(&self) -> OpState {
+        self.transitions.last().map_or(self.initial, |t| t.to)
+    }
+
+    /// The state in effect at time `t` (the log start state for times
+    /// before the first transition).
+    pub fn state_at(&self, t: Timestamp) -> OpState {
+        match self.transitions.partition_point(|tr| tr.time <= t) {
+            0 => self.initial,
+            n => self.transitions[n - 1].to,
+        }
+    }
+
+    /// When the log begins.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// The recorded transitions, in time order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Classifies an alert by the operational state it occurred in —
+    /// the Section 3.2.1 disambiguation. A `FAILURE`-severity message
+    /// during scheduled downtime is probably a maintenance artifact;
+    /// the same message during production uptime demands action.
+    pub fn classify(&self, alert_time: Timestamp) -> Disposition {
+        match self.state_at(alert_time) {
+            OpState::ProductionUptime => Disposition::Actionable,
+            OpState::UnscheduledDowntime => Disposition::KnownOutage,
+            OpState::ScheduledDowntime => Disposition::MaintenanceArtifact,
+            OpState::EngineeringTime => Disposition::EngineeringArtifact,
+        }
+    }
+
+    /// Renders every transition as a log-line body, one per line.
+    pub fn to_log_bodies(&self) -> String {
+        let mut out = String::new();
+        for t in &self.transitions {
+            out.push_str(&t.to_log_body());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Reconstructs a context log from rendered transition lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors; also rejects non-monotonic or
+    /// self-looping sequences.
+    pub fn from_log_bodies(
+        start: Timestamp,
+        initial: OpState,
+        text: &str,
+    ) -> Result<Self, ContextError> {
+        let mut log = ContextLog::new(start, initial);
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let t = Transition::from_log_body(line)?;
+            log.transition(t.time, t.to, t.cause)?;
+        }
+        Ok(log)
+    }
+}
+
+/// What operational context says about an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Occurred in production uptime: demands attention.
+    Actionable,
+    /// Occurred during a known unscheduled outage: symptom, not news.
+    KnownOutage,
+    /// Occurred during scheduled maintenance: probably an artifact of
+    /// the maintenance itself.
+    MaintenanceArtifact,
+    /// Occurred during engineering/testing time: expected noise.
+    EngineeringArtifact,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn state_at_boundaries() {
+        let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
+        ctx.transition(t(100), OpState::ScheduledDowntime, "maint").unwrap();
+        assert_eq!(ctx.state_at(t(0)), OpState::ProductionUptime);
+        assert_eq!(ctx.state_at(t(99)), OpState::ProductionUptime);
+        // Transitions take effect at their timestamp.
+        assert_eq!(ctx.state_at(t(100)), OpState::ScheduledDowntime);
+        assert_eq!(ctx.current_state(), OpState::ScheduledDowntime);
+    }
+
+    #[test]
+    fn rejects_non_monotonic() {
+        let mut ctx = ContextLog::new(t(1000), OpState::ProductionUptime);
+        let err = ctx
+            .transition(t(500), OpState::EngineeringTime, "x")
+            .unwrap_err();
+        assert!(matches!(err, ContextError::NonMonotonic { .. }));
+        assert!(err.to_string().contains("precedes"));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
+        let err = ctx
+            .transition(t(10), OpState::ProductionUptime, "noop")
+            .unwrap_err();
+        assert_eq!(err, ContextError::SelfLoop(OpState::ProductionUptime));
+    }
+
+    #[test]
+    fn ciodb_example_disambiguation() {
+        // The paper's BGLMASTER FAILURE example: same message, two
+        // meanings.
+        let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
+        ctx.transition(t(1000), OpState::ScheduledDowntime, "ciodb maintenance")
+            .unwrap();
+        ctx.transition(t(2000), OpState::ProductionUptime, "maintenance complete")
+            .unwrap();
+        // During maintenance: harmless artifact.
+        assert_eq!(ctx.classify(t(1500)), Disposition::MaintenanceArtifact);
+        // During production: all running jobs were killed.
+        assert_eq!(ctx.classify(t(2500)), Disposition::Actionable);
+    }
+
+    #[test]
+    fn log_body_round_trip() {
+        let tr = Transition {
+            time: t(1_131_566_461),
+            from: OpState::ProductionUptime,
+            to: OpState::ScheduledDowntime,
+            cause: "OS upgrade to 2.6.12 : phase 1".to_owned(),
+        };
+        let body = tr.to_log_body();
+        assert_eq!(
+            body,
+            "OPCTX 1131566461 production-uptime -> scheduled-downtime : OS upgrade to 2.6.12 : phase 1"
+        );
+        let parsed = Transition::from_log_body(&body).unwrap();
+        assert_eq!(parsed, tr);
+    }
+
+    #[test]
+    fn log_body_rejects_malformed() {
+        for bad in [
+            "",
+            "OPCTX",
+            "OPCTX 123 production-uptime scheduled-downtime : x",
+            "OPCTX abc production-uptime -> scheduled-downtime : x",
+            "OPCTX 123 production-uptime -> bogus-state : x",
+            "not even close",
+            "OPCTX 123 production-uptime -> scheduled-downtime",
+        ] {
+            assert!(Transition::from_log_body(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn whole_log_round_trips() {
+        let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
+        ctx.transition(t(100), OpState::ScheduledDowntime, "upgrade").unwrap();
+        ctx.transition(t(200), OpState::ProductionUptime, "done").unwrap();
+        ctx.transition(t(300), OpState::UnscheduledDowntime, "PBS died").unwrap();
+        let text = ctx.to_log_bodies();
+        let back = ContextLog::from_log_bodies(t(0), OpState::ProductionUptime, &text).unwrap();
+        assert_eq!(ctx, back);
+    }
+
+    #[test]
+    fn state_token_round_trip() {
+        for s in ALL_STATES {
+            assert_eq!(s.token().parse::<OpState>().unwrap(), s);
+            assert_eq!(s.to_string(), s.token());
+        }
+        assert!("production".parse::<OpState>().is_err());
+    }
+
+    #[test]
+    fn transition_takes_only_a_few_bytes() {
+        // The paper: "it may be sufficient to record only a few bytes".
+        let tr = Transition {
+            time: t(1_131_566_461),
+            from: OpState::ProductionUptime,
+            to: OpState::ScheduledDowntime,
+            cause: "OS upgrade".to_owned(),
+        };
+        assert!(tr.to_log_body().len() < 100);
+    }
+}

@@ -1,0 +1,209 @@
+//! RAS metrics over an operational-context log.
+//!
+//! Section 5 of the paper warns against computing MTTF from log
+//! contents ("using logs to compare machines is absurd") and recommends
+//! "calculating RAS metrics based on quantities of direct interest,
+//! such as the amount of useful work lost due to failures". With an
+//! operational-context log those quantities are directly computable.
+
+use crate::machine::{ContextLog, OpState};
+use sclog_types::{Duration, Timestamp};
+use serde::Serialize;
+
+/// Time-in-state accounting over a window, plus derived metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RasMetrics {
+    /// Time spent in production uptime.
+    pub production_uptime: Duration,
+    /// Time spent in scheduled downtime.
+    pub scheduled_downtime: Duration,
+    /// Time spent in unscheduled downtime.
+    pub unscheduled_downtime: Duration,
+    /// Time spent in engineering time.
+    pub engineering: Duration,
+    /// Number of transitions into unscheduled downtime (failures that
+    /// took the system down).
+    pub outages: u64,
+}
+
+impl RasMetrics {
+    /// Computes metrics for `[ctx.start(), end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the log start.
+    pub fn compute(ctx: &ContextLog, end: Timestamp) -> Self {
+        assert!(end >= ctx.start(), "end precedes log start");
+        let mut acc = [Duration::ZERO; 4];
+        let mut outages = 0;
+        let mut cur_state = ctx.state_at(ctx.start());
+        let mut cur_time = ctx.start();
+        for tr in ctx.transitions() {
+            let t = tr.time.min(end);
+            acc[state_index(cur_state)] = acc[state_index(cur_state)] + (t - cur_time);
+            if tr.time >= end {
+                cur_time = end;
+                break;
+            }
+            if tr.to == OpState::UnscheduledDowntime {
+                outages += 1;
+            }
+            cur_state = tr.to;
+            cur_time = tr.time;
+        }
+        if cur_time < end {
+            acc[state_index(cur_state)] = acc[state_index(cur_state)] + (end - cur_time);
+        }
+        RasMetrics {
+            production_uptime: acc[0],
+            scheduled_downtime: acc[1],
+            unscheduled_downtime: acc[2],
+            engineering: acc[3],
+            outages,
+        }
+    }
+
+    /// Production time: uptime plus both kinds of downtime.
+    pub fn production_time(&self) -> Duration {
+        self.production_uptime + self.scheduled_downtime + self.unscheduled_downtime
+    }
+
+    /// Availability within production time: uptime / production time.
+    pub fn availability(&self) -> f64 {
+        let prod = self.production_time().as_secs_f64();
+        if prod <= 0.0 {
+            1.0
+        } else {
+            self.production_uptime.as_secs_f64() / prod
+        }
+    }
+
+    /// Scheduled availability: uptime / (production − scheduled
+    /// downtime) — the operator-friendly number.
+    pub fn scheduled_availability(&self) -> f64 {
+        let denom = (self.production_time() - self.scheduled_downtime).as_secs_f64();
+        if denom <= 0.0 {
+            1.0
+        } else {
+            self.production_uptime.as_secs_f64() / denom
+        }
+    }
+
+    /// The paper's preferred quantity: useful work lost to failures, in
+    /// node-hours, given the machine's node count.
+    pub fn work_lost_node_hours(&self, nodes: u32) -> f64 {
+        self.unscheduled_downtime.as_secs_f64() / 3600.0 * f64::from(nodes)
+    }
+
+    /// Mean time between outages within the window (production time /
+    /// outages); `None` with no outages.
+    pub fn mean_time_between_outages(&self) -> Option<Duration> {
+        if self.outages == 0 {
+            None
+        } else {
+            Some(self.production_time() / self.outages as i64)
+        }
+    }
+}
+
+fn state_index(s: OpState) -> usize {
+    match s {
+        OpState::ProductionUptime => 0,
+        OpState::ScheduledDowntime => 1,
+        OpState::UnscheduledDowntime => 2,
+        OpState::EngineeringTime => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    fn sample_log() -> ContextLog {
+        let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
+        ctx.transition(t(1000), OpState::ScheduledDowntime, "maint").unwrap();
+        ctx.transition(t(1500), OpState::ProductionUptime, "done").unwrap();
+        ctx.transition(t(2000), OpState::UnscheduledDowntime, "disk").unwrap();
+        ctx.transition(t(2600), OpState::ProductionUptime, "repaired").unwrap();
+        ctx.transition(t(3000), OpState::EngineeringTime, "testing").unwrap();
+        ctx
+    }
+
+    #[test]
+    fn time_accounting_sums_to_window() {
+        let ctx = sample_log();
+        let m = RasMetrics::compute(&ctx, t(4000));
+        let total = m.production_uptime
+            + m.scheduled_downtime
+            + m.unscheduled_downtime
+            + m.engineering;
+        assert_eq!(total, Duration::from_secs(4000));
+        assert_eq!(m.production_uptime, Duration::from_secs(1000 + 500 + 400));
+        assert_eq!(m.scheduled_downtime, Duration::from_secs(500));
+        assert_eq!(m.unscheduled_downtime, Duration::from_secs(600));
+        assert_eq!(m.engineering, Duration::from_secs(1000));
+        assert_eq!(m.outages, 1);
+    }
+
+    #[test]
+    fn window_cuts_mid_state() {
+        let ctx = sample_log();
+        let m = RasMetrics::compute(&ctx, t(1200));
+        assert_eq!(m.production_uptime, Duration::from_secs(1000));
+        assert_eq!(m.scheduled_downtime, Duration::from_secs(200));
+        assert_eq!(m.unscheduled_downtime, Duration::ZERO);
+        // Transitions past the window don't count as outages.
+        assert_eq!(m.outages, 0);
+    }
+
+    #[test]
+    fn availability_metrics() {
+        let ctx = sample_log();
+        let m = RasMetrics::compute(&ctx, t(3000));
+        // Production time = 3000 (engineering starts at the cut).
+        assert_eq!(m.production_time(), Duration::from_secs(3000));
+        assert!((m.availability() - 1900.0 / 3000.0).abs() < 1e-12);
+        assert!((m.scheduled_availability() - 1900.0 / 2500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_lost_scales_with_nodes() {
+        let ctx = sample_log();
+        let m = RasMetrics::compute(&ctx, t(4000));
+        // 600 s unscheduled = 1/6 h; × 512 nodes.
+        assert!((m.work_lost_node_hours(512) - 512.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtbo() {
+        let ctx = sample_log();
+        let m = RasMetrics::compute(&ctx, t(4000));
+        assert_eq!(
+            m.mean_time_between_outages(),
+            Some(m.production_time() / 1)
+        );
+        let empty = ContextLog::new(t(0), OpState::ProductionUptime);
+        let m0 = RasMetrics::compute(&empty, t(100));
+        assert_eq!(m0.mean_time_between_outages(), None);
+        assert_eq!(m0.availability(), 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let ctx = sample_log();
+        let m = RasMetrics::compute(&ctx, t(0));
+        assert_eq!(m.production_time(), Duration::ZERO);
+        assert_eq!(m.availability(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end precedes")]
+    fn end_before_start_panics() {
+        let ctx = ContextLog::new(t(100), OpState::ProductionUptime);
+        let _ = RasMetrics::compute(&ctx, t(50));
+    }
+}

@@ -1,0 +1,116 @@
+//! Context-aware alert triage.
+//!
+//! The paper's recommendation made executable: "some alerts may be
+//! ignored during a scheduled downtime that would be significant during
+//! production time" (§3.2.1, citing Feitelson's workload sanitation).
+//! Given an operational-context log, an alert stream partitions into
+//! what still demands attention and what the declared state already
+//! explains.
+
+use crate::machine::{ContextLog, Disposition};
+use sclog_types::Alert;
+
+/// An alert stream partitioned by operational context.
+#[derive(Debug, Clone, Default)]
+pub struct Triage {
+    /// Alerts during production uptime: these demand attention.
+    pub actionable: Vec<Alert>,
+    /// Alerts during a known unscheduled outage (symptoms of an issue
+    /// already being handled).
+    pub known_outage: Vec<Alert>,
+    /// Alerts during scheduled maintenance (probable artifacts).
+    pub maintenance: Vec<Alert>,
+    /// Alerts during engineering/testing time (expected noise,
+    /// Feitelson's "workload flurries").
+    pub engineering: Vec<Alert>,
+}
+
+impl Triage {
+    /// Partitions a time-sorted alert stream against a context log.
+    pub fn partition(alerts: &[Alert], ctx: &ContextLog) -> Self {
+        let mut out = Triage::default();
+        for &a in alerts {
+            match ctx.classify(a.time) {
+                Disposition::Actionable => out.actionable.push(a),
+                Disposition::KnownOutage => out.known_outage.push(a),
+                Disposition::MaintenanceArtifact => out.maintenance.push(a),
+                Disposition::EngineeringArtifact => out.engineering.push(a),
+            }
+        }
+        out
+    }
+
+    /// Total alerts across all partitions.
+    pub fn total(&self) -> usize {
+        self.actionable.len() + self.known_outage.len() + self.maintenance.len()
+            + self.engineering.len()
+    }
+
+    /// Fraction of alerts the context log explains away (everything
+    /// except the actionable partition).
+    pub fn suppression_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.actionable.len() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::OpState;
+    use sclog_types::{CategoryId, NodeId, Timestamp};
+
+    fn alert(secs: i64) -> Alert {
+        Alert::new(
+            Timestamp::from_secs(secs),
+            NodeId::from_index(0),
+            CategoryId::from_index(0),
+            secs as usize,
+        )
+    }
+
+    fn ctx() -> ContextLog {
+        let mut c = ContextLog::new(Timestamp::from_secs(0), OpState::ProductionUptime);
+        c.transition(Timestamp::from_secs(100), OpState::ScheduledDowntime, "maint")
+            .unwrap();
+        c.transition(Timestamp::from_secs(200), OpState::ProductionUptime, "done")
+            .unwrap();
+        c.transition(Timestamp::from_secs(300), OpState::UnscheduledDowntime, "outage")
+            .unwrap();
+        c.transition(Timestamp::from_secs(400), OpState::EngineeringTime, "testing")
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn partitions_by_state() {
+        let alerts = vec![alert(50), alert(150), alert(250), alert(350), alert(450)];
+        let t = Triage::partition(&alerts, &ctx());
+        assert_eq!(t.actionable.len(), 2); // 50, 250
+        assert_eq!(t.maintenance.len(), 1); // 150
+        assert_eq!(t.known_outage.len(), 1); // 350
+        assert_eq!(t.engineering.len(), 1); // 450
+        assert_eq!(t.total(), 5);
+        assert!((t.suppression_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_safe() {
+        let t = Triage::partition(&[], &ctx());
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.suppression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn all_production_means_nothing_suppressed() {
+        let c = ContextLog::new(Timestamp::from_secs(0), OpState::ProductionUptime);
+        let alerts = vec![alert(1), alert(2)];
+        let t = Triage::partition(&alerts, &c);
+        assert_eq!(t.actionable.len(), 2);
+        assert_eq!(t.suppression_ratio(), 0.0);
+    }
+}

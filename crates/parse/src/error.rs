@@ -1,0 +1,59 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// Why a log line could not be parsed into a [`sclog_types::Message`].
+///
+/// Corruption tolerance means most damage still parses; these errors
+/// cover the cases where the line is beyond recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is empty or whitespace-only.
+    EmptyLine,
+    /// The timestamp could not be recovered.
+    BadTimestamp {
+        /// The token(s) that failed to parse as a timestamp.
+        token: String,
+    },
+    /// The line has too few fields to contain a message at all.
+    TooShort {
+        /// Number of fields found.
+        found: usize,
+        /// Minimum number of fields the format requires.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::EmptyLine => f.write_str("empty log line"),
+            ParseError::BadTimestamp { token } => {
+                write!(f, "unrecoverable timestamp: {token:?}")
+            }
+            ParseError::TooShort { found, needed } => {
+                write!(f, "line has {found} fields, format needs at least {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ParseError::EmptyLine.to_string(), "empty log line");
+        assert!(ParseError::BadTimestamp {
+            token: "Xyz 99".into()
+        }
+        .to_string()
+        .contains("Xyz 99"));
+        assert!(ParseError::TooShort { found: 2, needed: 5 }
+            .to_string()
+            .contains("2 fields"));
+    }
+}

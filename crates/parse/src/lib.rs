@@ -1,0 +1,105 @@
+//! Log-format renderers and corruption-tolerant parsers.
+//!
+//! Section 3.2.1 of the paper lists *inconsistent structure* and
+//! *corruption* among the obstacles to automated log analysis: "BG/L and
+//! Red Storm use custom databases and formats, and commodity
+//! syslog-based systems do not even record fields such as severity by
+//! default", and "we saw messages truncated, partially overwritten, and
+//! incorrectly timestamped".
+//!
+//! This crate defines the three concrete line formats the reproduction
+//! uses, one per logging path in Section 3.1:
+//!
+//! * [`SyslogFormat`] — classic BSD syslog (`Nov  9 12:01:01 host
+//!   facility: body`), as collected by `syslog-ng` on Liberty, Spirit
+//!   and Thunderbird. Optionally records a severity token, as Red
+//!   Storm's syslog path does. Note the missing year — parsers must
+//!   recover it from context, including rollover at New Year.
+//! * [`BglFormat`] — the BG/L RAS database export
+//!   (`2005-06-03-15.42.50.363779 R02-M1-N0-C:J12-U11 RAS KERNEL INFO
+//!   body`), microsecond-granular with an explicit severity.
+//! * [`EventFormat`] — Red Storm's RAS-network event path
+//!   (`EV 1142800000 c3-0c1s4n2 ec_heartbeat_stop body`).
+//!
+//! Parsing is *corruption-tolerant*: a garbled source or severity token
+//! still yields a [`Message`] (with the garbled source interned as-is,
+//! reproducing Figure 2b's unattributable tail), and only a line whose
+//! timestamp cannot be recovered is rejected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compress;
+mod error;
+mod format;
+mod reader;
+
+pub use error::ParseError;
+pub use format::{BglFormat, EventFormat, LineFormat, ParseContext, RedStormFormat, SyslogFormat};
+pub use reader::{LogReader, ParseStats};
+
+use sclog_types::{Message, SourceInterner, SystemId};
+
+/// The native line format for a system's primary log path.
+///
+/// Red Storm gets the mixed format ([`RedStormFormat`]) covering both
+/// its syslog and RAS-event logging paths.
+pub fn format_for(system: SystemId) -> Box<dyn LineFormat> {
+    match system {
+        SystemId::BlueGeneL => Box::new(BglFormat),
+        SystemId::RedStorm => Box::new(RedStormFormat),
+        _ => Box::new(SyslogFormat::plain()),
+    }
+}
+
+/// Renders a message in its system's native line form, picking the
+/// Red Storm sub-format (syslog vs RAS event) by the facility: `ec_*`
+/// facilities ride the TCP event path.
+pub fn render_native(msg: &Message, interner: &SourceInterner) -> String {
+    match msg.system {
+        SystemId::BlueGeneL => BglFormat.render(msg, interner),
+        SystemId::RedStorm if msg.facility.starts_with("ec_") => {
+            EventFormat.render(msg, interner)
+        }
+        SystemId::RedStorm => SyslogFormat::with_severity().render(msg, interner),
+        _ => SyslogFormat::plain().render(msg, interner),
+    }
+}
+
+/// Splits a line into awk-style whitespace-separated fields.
+///
+/// Field numbering in the expert rules is 1-based (`$1` is the first
+/// field, `$0` the whole line); this returns the fields so that
+/// `fields[0]` is awk's `$1`.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_parse::fields;
+///
+/// let f = fields("a  b\tc");
+/// assert_eq!(f, vec!["a", "b", "c"]);
+/// ```
+pub fn fields(line: &str) -> Vec<&str> {
+    line.split_whitespace().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_collapse_whitespace() {
+        assert_eq!(fields("  x   y  "), vec!["x", "y"]);
+        assert!(fields("").is_empty());
+        assert!(fields("   ").is_empty());
+    }
+
+    #[test]
+    fn format_for_matches_paths() {
+        // Spot checks; behaviour is covered in format tests.
+        let _ = format_for(SystemId::BlueGeneL);
+        let _ = format_for(SystemId::Liberty);
+        let _ = format_for(SystemId::RedStorm);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: parsers never panic, and render/parse round-trips.
+
+use proptest::prelude::*;
+use sclog_parse::{BglFormat, EventFormat, LineFormat, ParseContext, SyslogFormat};
+use sclog_types::{
+    BglSeverity, Duration, Message, NodeId, Severity, SourceInterner, SystemId,
+    Timestamp,
+};
+
+fn body_strategy() -> impl Strategy<Value = String> {
+    // Printable ASCII bodies without newlines, including colons and
+    // brackets like real messages.
+    proptest::string::string_regex("[ -~]{0,120}").unwrap()
+}
+
+fn any_line() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\t]{0,200}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn syslog_parser_never_panics(line in any_line()) {
+        let mut ctx = ParseContext::new(2005);
+        let _ = SyslogFormat::plain().parse(&line, SystemId::Spirit, &mut ctx);
+        let _ = SyslogFormat::with_severity().parse(&line, SystemId::RedStorm, &mut ctx);
+    }
+
+    #[test]
+    fn bgl_parser_never_panics(line in any_line()) {
+        let mut ctx = ParseContext::new(2005);
+        let _ = BglFormat.parse(&line, SystemId::BlueGeneL, &mut ctx);
+    }
+
+    #[test]
+    fn event_parser_never_panics(line in any_line()) {
+        let mut ctx = ParseContext::new(2006);
+        let _ = EventFormat.parse(&line, SystemId::RedStorm, &mut ctx);
+    }
+
+    #[test]
+    fn syslog_round_trips(
+        secs in 1_104_537_600i64..1_150_000_000, // 2005-01-01 .. mid-2006
+        body in body_strategy(),
+        sev_idx in 0usize..8,
+    ) {
+        // Body must not begin with something that parses as a facility
+        // token; normalize whitespace the way syslog does.
+        let body = body.split_whitespace().collect::<Vec<_>>().join(" ");
+        let mut interner = SourceInterner::new();
+        let source = NodeId::from_index(0);
+        interner.intern("dn101");
+        let msg = Message {
+            system: SystemId::RedStorm,
+            time: Timestamp::from_secs(secs),
+            source,
+            facility: "kernel".into(),
+            severity: Severity::Syslog(sclog_types::severity::ALL_SYSLOG_SEVERITIES[sev_idx]),
+            body,
+        };
+        let f = SyslogFormat::with_severity();
+        let line = f.render(&msg, &interner);
+        let mut ctx = ParseContext::new(msg.time.to_civil().0);
+        let parsed = f.parse(&line, SystemId::RedStorm, &mut ctx).unwrap();
+        prop_assert_eq!(parsed.time, msg.time);
+        prop_assert_eq!(parsed.severity, msg.severity);
+        prop_assert_eq!(&parsed.facility, "kernel");
+        prop_assert_eq!(parsed.body, msg.body);
+    }
+
+    #[test]
+    fn bgl_round_trips(
+        secs in 1_117_756_800i64..1_140_000_000,
+        micros in 0i64..1_000_000,
+        body in body_strategy(),
+        sev_idx in 0usize..6,
+    ) {
+        let body = body.split_whitespace().collect::<Vec<_>>().join(" ");
+        let mut interner = SourceInterner::new();
+        interner.intern("R02-M1-N0-C:J12-U11");
+        let msg = Message {
+            system: SystemId::BlueGeneL,
+            time: Timestamp::from_secs(secs) + Duration::from_micros(micros),
+            source: NodeId::from_index(0),
+            facility: "KERNEL".into(),
+            severity: Severity::Bgl(sclog_types::severity::ALL_BGL_SEVERITIES[sev_idx]),
+            body,
+        };
+        let line = BglFormat.render(&msg, &interner);
+        let mut ctx = ParseContext::new(2005);
+        let parsed = BglFormat.parse(&line, SystemId::BlueGeneL, &mut ctx).unwrap();
+        prop_assert_eq!(parsed.time, msg.time);
+        prop_assert_eq!(parsed.severity, msg.severity);
+        prop_assert_eq!(parsed.body, msg.body);
+    }
+
+    #[test]
+    fn truncation_never_panics_on_valid_prefixes(
+        cut in 0usize..100,
+    ) {
+        // Simulate the paper's truncated-message corruption on a real
+        // line: every prefix must either parse or be cleanly rejected.
+        let line = "Nov  9 12:01:01 tbird-admin1 kernel: VIPKL(1): [create_mr] MM_bld_hh_mr failed (-253:VAPI_EAGAIN)";
+        let cut = cut.min(line.len());
+        let mut ctx = ParseContext::new(2005);
+        let _ = SyslogFormat::plain().parse(&line[..cut], SystemId::Thunderbird, &mut ctx);
+    }
+}
+
+#[test]
+fn bgl_severity_round_trip_table() {
+    // Deterministic check of the severity mapping used by Table 5.
+    let mut interner = SourceInterner::new();
+    interner.intern("R00");
+    for sev in [
+        BglSeverity::Fatal,
+        BglSeverity::Failure,
+        BglSeverity::Severe,
+        BglSeverity::Error,
+        BglSeverity::Warning,
+        BglSeverity::Info,
+    ] {
+        let msg = Message {
+            system: SystemId::BlueGeneL,
+            time: Timestamp::from_ymd_hms(2005, 6, 3, 0, 0, 0),
+            source: NodeId::from_index(0),
+            facility: "KERNEL".into(),
+            severity: Severity::Bgl(sev),
+            body: "x".into(),
+        };
+        let line = BglFormat.render(&msg, &interner);
+        let mut ctx = ParseContext::new(2005);
+        let parsed = BglFormat.parse(&line, SystemId::BlueGeneL, &mut ctx).unwrap();
+        assert_eq!(parsed.severity, Severity::Bgl(sev));
+    }
+}
+
+#[test]
+fn syslog_severity_round_trip_table() {
+    let mut interner = SourceInterner::new();
+    interner.intern("nid0");
+    for sev in sclog_types::severity::ALL_SYSLOG_SEVERITIES {
+        let msg = Message {
+            system: SystemId::RedStorm,
+            time: Timestamp::from_ymd_hms(2006, 3, 19, 0, 0, 0),
+            source: NodeId::from_index(0),
+            facility: "kernel".into(),
+            severity: Severity::Syslog(sev),
+            body: "x".into(),
+        };
+        let f = SyslogFormat::with_severity();
+        let line = f.render(&msg, &interner);
+        let mut ctx = ParseContext::new(2006);
+        let parsed = f.parse(&line, SystemId::RedStorm, &mut ctx).unwrap();
+        assert_eq!(parsed.severity, Severity::Syslog(sev));
+    }
+}

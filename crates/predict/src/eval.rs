@@ -1,0 +1,200 @@
+//! Prediction evaluation: precision, recall, lead time.
+
+use sclog_types::{Duration, Timestamp};
+use std::fmt;
+
+/// Scorecard for a predictor against known failure times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionScore {
+    /// Warnings followed by a failure within the horizon.
+    pub true_positives: usize,
+    /// Warnings with no failure in the horizon (crying wolf).
+    pub false_positives: usize,
+    /// Failures with no warning in the preceding horizon.
+    pub false_negatives: usize,
+    /// Mean lead time of detected failures (warning → failure).
+    pub mean_lead: Duration,
+}
+
+impl PredictionScore {
+    /// Precision: TP / (TP + FP); 1.0 with no warnings.
+    pub fn precision(&self) -> f64 {
+        let d = self.true_positives + self.false_positives;
+        if d == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// Recall: detected failures / all failures; 1.0 with no failures.
+    pub fn recall(&self) -> f64 {
+        let d = self.true_positives + self.false_negatives;
+        if d == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl fmt::Display for PredictionScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3} lead={:.0}s (tp={} fp={} fn={})",
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.mean_lead.as_secs_f64(),
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives
+        )
+    }
+}
+
+/// Evaluates warnings against failure times.
+///
+/// A failure is *detected* if some warning precedes it within
+/// `horizon` (warning time in `[failure − horizon, failure)`). Each
+/// warning can detect at most one failure (the earliest undetected one
+/// in range); remaining warnings are false positives.
+///
+/// Both inputs must be time-sorted.
+///
+/// # Panics
+///
+/// Panics if `horizon` is not positive.
+pub fn evaluate(
+    warnings: &[Timestamp],
+    failures: &[Timestamp],
+    horizon: Duration,
+) -> PredictionScore {
+    assert!(horizon.as_micros() > 0, "horizon must be positive");
+    debug_assert!(warnings.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(failures.windows(2).all(|w| w[0] <= w[1]));
+
+    let mut detected = vec![false; failures.len()];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut lead_sum = Duration::ZERO;
+    let mut fi = 0usize;
+    for &w in warnings {
+        // Advance past failures at or before the warning.
+        while fi < failures.len() && failures[fi] <= w {
+            fi += 1;
+        }
+        // Find the earliest undetected failure within the horizon.
+        let mut j = fi;
+        let mut matched = false;
+        while j < failures.len() && failures[j] - w <= horizon {
+            if !detected[j] {
+                detected[j] = true;
+                tp += 1;
+                lead_sum = lead_sum + (failures[j] - w);
+                matched = true;
+                break;
+            }
+            j += 1;
+        }
+        if !matched {
+            fp += 1;
+        }
+    }
+    let false_negatives = detected.iter().filter(|&&d| !d).count();
+    PredictionScore {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives,
+        mean_lead: if tp == 0 { Duration::ZERO } else { lead_sum / tp as i64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let warnings = [t(90), t(490)];
+        let failures = [t(100), t(500)];
+        let s = evaluate(&warnings, &failures, Duration::from_secs(60));
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+        assert_eq!(s.mean_lead, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn warning_after_failure_does_not_count() {
+        let s = evaluate(&[t(101)], &[t(100)], Duration::from_secs(60));
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+    }
+
+    #[test]
+    fn warning_too_early_is_false_positive() {
+        let s = evaluate(&[t(0)], &[t(1000)], Duration::from_secs(60));
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn one_warning_detects_one_failure() {
+        // Two failures close together, one warning: only one detected.
+        let s = evaluate(&[t(90)], &[t(100), t(110)], Duration::from_secs(60));
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        // Two warnings, two failures in range: both detected.
+        let s = evaluate(&[t(80), t(90)], &[t(100), t(110)], Duration::from_secs(60));
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_negatives, 0);
+    }
+
+    #[test]
+    fn empty_edges() {
+        let s = evaluate(&[], &[], Duration::from_secs(60));
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        let s = evaluate(&[], &[t(10)], Duration::from_secs(60));
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.mean_lead, Duration::ZERO);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = evaluate(&[t(90)], &[t(100)], Duration::from_secs(60));
+        let text = s.to_string();
+        assert!(text.contains("P=1.000"));
+        assert!(text.contains("lead=10s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let _ = evaluate(&[], &[], Duration::ZERO);
+    }
+}

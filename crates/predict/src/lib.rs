@@ -1,0 +1,35 @@
+//! Failure prediction: the paper's recommended ensemble direction.
+//!
+//! Section 4: "whereas the failures in this study have widely varying
+//! signatures, previous prediction approaches focused on single
+//! features for detecting all failure types … Future research should
+//! consider ensembles of predictors based on multiple features, with
+//! failure categories being predicted according to their respective
+//! behavior."
+//!
+//! This crate implements three predictor families and the machinery to
+//! combine and evaluate them:
+//!
+//! * [`RateThresholdPredictor`] — warns when the trailing-window alert
+//!   rate exceeds a threshold (the classic "failures tend to be
+//!   preceded by an increased rate of non-fatal errors" signal of the
+//!   paper's reference \[13\]).
+//! * [`PrecursorPredictor`] — warns when a *precursor category* fires
+//!   (cascades like GM_PAR → GM_LANAI, Figure 3), with precursor pairs
+//!   minable from data via [`mine_precursors`].
+//! * [`Ensemble`] — a per-target combination of predictors, the paper's
+//!   recommendation.
+//! * [`evaluate`] — precision/recall/F1 and lead time against failure
+//!   times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod predictors;
+
+pub use eval::{evaluate, PredictionScore};
+pub use predictors::{
+    failure_onsets, mine_precursors, Ensemble, PrecursorPredictor, Predictor, PrecursorRule,
+    RateThresholdPredictor,
+};

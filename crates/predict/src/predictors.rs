@@ -1,0 +1,452 @@
+//! The predictor families and precursor mining.
+
+use sclog_types::{Alert, CategoryId, Duration, Timestamp};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A failure predictor: consumes the alert stream, produces warning
+/// times.
+///
+/// Warnings are deduplicated by a refractory period internally so that
+/// one episode yields one warning, not one per alert.
+pub trait Predictor {
+    /// Display name for reports.
+    fn name(&self) -> String;
+
+    /// Produces warning times from a time-sorted alert stream.
+    fn warnings(&self, alerts: &[Alert]) -> Vec<Timestamp>;
+}
+
+/// Warns when the count of alerts (optionally restricted to one
+/// category) within a trailing window reaches a threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateThresholdPredictor {
+    /// Restrict to this category; `None` = all alerts.
+    pub category: Option<CategoryId>,
+    /// Trailing window length.
+    pub window: Duration,
+    /// Alert count that triggers a warning.
+    pub threshold: usize,
+    /// Minimum spacing between consecutive warnings.
+    pub refractory: Duration,
+}
+
+impl RateThresholdPredictor {
+    /// Convenience constructor with a 10-minute refractory period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` or `window` is not positive.
+    pub fn new(category: Option<CategoryId>, window: Duration, threshold: usize) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        assert!(window.as_micros() > 0, "window must be positive");
+        RateThresholdPredictor {
+            category,
+            window,
+            threshold,
+            refractory: Duration::from_mins(10),
+        }
+    }
+}
+
+impl Predictor for RateThresholdPredictor {
+    fn name(&self) -> String {
+        match self.category {
+            Some(c) => format!("rate[{c}]≥{}/{}", self.threshold, self.window),
+            None => format!("rate[*]≥{}/{}", self.threshold, self.window),
+        }
+    }
+
+    fn warnings(&self, alerts: &[Alert]) -> Vec<Timestamp> {
+        let mut recent: VecDeque<Timestamp> = VecDeque::new();
+        let mut out = Vec::new();
+        let mut last_warn: Option<Timestamp> = None;
+        for a in alerts {
+            if self.category.is_some_and(|c| c != a.category) {
+                continue;
+            }
+            recent.push_back(a.time);
+            while let Some(&front) = recent.front() {
+                if a.time - front > self.window {
+                    recent.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if recent.len() >= self.threshold
+                && last_warn.is_none_or(|w| a.time - w >= self.refractory)
+            {
+                out.push(a.time);
+                last_warn = Some(a.time);
+            }
+        }
+        out
+    }
+}
+
+/// Warns whenever a precursor category fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecursorPredictor {
+    /// The precursor category to watch.
+    pub precursor: CategoryId,
+    /// Minimum spacing between consecutive warnings.
+    pub refractory: Duration,
+}
+
+impl PrecursorPredictor {
+    /// Creates a predictor with a 10-minute refractory period.
+    pub fn new(precursor: CategoryId) -> Self {
+        PrecursorPredictor {
+            precursor,
+            refractory: Duration::from_mins(10),
+        }
+    }
+}
+
+impl Predictor for PrecursorPredictor {
+    fn name(&self) -> String {
+        format!("precursor[{}]", self.precursor)
+    }
+
+    fn warnings(&self, alerts: &[Alert]) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let mut last: Option<Timestamp> = None;
+        for a in alerts {
+            if a.category == self.precursor
+                && last.is_none_or(|w| a.time - w >= self.refractory)
+            {
+                out.push(a.time);
+                last = Some(a.time);
+            }
+        }
+        out
+    }
+}
+
+/// A mined precursor relationship.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecursorRule {
+    /// Category whose alerts precede the target's.
+    pub precursor: CategoryId,
+    /// Category being predicted.
+    pub target: CategoryId,
+    /// Fraction of precursor alerts followed by a target alert within
+    /// the window.
+    pub confidence: f64,
+    /// Confidence divided by the target's base rate in a random window
+    /// (how much better than chance).
+    pub lift: f64,
+    /// Number of precursor alerts supporting the rule.
+    pub support: usize,
+}
+
+/// Mines precursor pairs: for every ordered category pair `(p, t)`,
+/// measures how often a `p` alert is followed by a `t` alert within
+/// `window`, and compares against chance.
+///
+/// Returns rules with `support >= min_support` and `lift > min_lift`,
+/// sorted by descending lift.
+pub fn mine_precursors(
+    alerts: &[Alert],
+    window: Duration,
+    min_support: usize,
+    min_lift: f64,
+) -> Vec<PrecursorRule> {
+    let mut by_cat: HashMap<CategoryId, Vec<Timestamp>> = HashMap::new();
+    for a in alerts {
+        by_cat.entry(a.category).or_default().push(a.time);
+    }
+    if alerts.is_empty() {
+        return Vec::new();
+    }
+    let span_start = alerts.first().expect("non-empty").time;
+    let span_end = alerts.last().expect("non-empty").time;
+    let span = (span_end - span_start).as_secs_f64().max(1.0);
+    let w = window.as_secs_f64();
+
+    let mut rules = Vec::new();
+    for (&p, p_times) in &by_cat {
+        for (&t, t_times) in &by_cat {
+            if p == t || p_times.len() < min_support {
+                continue;
+            }
+            // Confidence: fraction of p alerts followed by a t alert
+            // within the window.
+            let mut hits = 0usize;
+            for &pt in p_times {
+                let idx = t_times.partition_point(|&x| x <= pt);
+                if t_times.get(idx).is_some_and(|&x| x - pt <= window) {
+                    hits += 1;
+                }
+            }
+            let confidence = hits as f64 / p_times.len() as f64;
+            // Base rate: probability a random window of length w
+            // contains a t alert (union-bound approximation, capped).
+            let base = (t_times.len() as f64 * w / span).min(1.0);
+            let lift = if base > 0.0 { confidence / base } else { f64::INFINITY };
+            if hits >= min_support.min(p_times.len()) && lift > min_lift && confidence > 0.0 {
+                rules.push(PrecursorRule {
+                    precursor: p,
+                    target: t,
+                    confidence,
+                    lift,
+                    support: hits,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| b.lift.total_cmp(&a.lift));
+    rules
+}
+
+/// The ensemble: a set of predictors whose warnings are unioned
+/// (deduplicated within a merge window).
+pub struct Ensemble {
+    members: Vec<Box<dyn Predictor>>,
+    /// Warnings within this window of each other merge into one.
+    pub merge_window: Duration,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("members", &self.members.iter().map(|m| m.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Creates an empty ensemble with a 1-minute merge window.
+    pub fn new() -> Self {
+        Ensemble {
+            members: Vec::new(),
+            merge_window: Duration::from_mins(1),
+        }
+    }
+
+    /// Adds a member predictor (builder style).
+    pub fn with(mut self, p: impl Predictor + 'static) -> Self {
+        self.members.push(Box::new(p));
+        self
+    }
+
+    /// Builds an ensemble of precursor predictors from mined rules
+    /// (one member per distinct precursor category) — the end-to-end
+    /// "learn the ensemble from the logs" path.
+    pub fn from_rules(rules: &[PrecursorRule]) -> Self {
+        let mut seen = HashSet::new();
+        let mut e = Ensemble::new();
+        for r in rules {
+            if seen.insert(r.precursor) {
+                e.members.push(Box::new(PrecursorPredictor::new(r.precursor)));
+            }
+        }
+        e
+    }
+
+    /// Number of member predictors.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Default for Ensemble {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Predictor for Ensemble {
+    fn name(&self) -> String {
+        format!("ensemble({})", self.members.len())
+    }
+
+    fn warnings(&self, alerts: &[Alert]) -> Vec<Timestamp> {
+        let mut all: Vec<Timestamp> = self
+            .members
+            .iter()
+            .flat_map(|m| m.warnings(alerts))
+            .collect();
+        all.sort_unstable();
+        let mut out: Vec<Timestamp> = Vec::new();
+        for t in all {
+            if out.last().is_none_or(|&l| t - l > self.merge_window) {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// Extracts per-failure onset times (the first alert of each distinct
+/// ground-truth failure) for alerts of one category — the evaluation
+/// target.
+pub fn failure_onsets(alerts: &[Alert], category: CategoryId) -> Vec<Timestamp> {
+    let mut seen: HashSet<sclog_types::FailureId> = HashSet::new();
+    let mut out = Vec::new();
+    for a in alerts {
+        if a.category != category {
+            continue;
+        }
+        match a.failure {
+            Some(f) => {
+                if seen.insert(f) {
+                    out.push(a.time);
+                }
+            }
+            None => out.push(a.time),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::NodeId;
+
+    fn alert(secs: i64, cat: u16) -> Alert {
+        Alert::new(
+            Timestamp::from_secs(secs),
+            NodeId::from_index(0),
+            CategoryId::from_index(cat),
+            0,
+        )
+    }
+
+    #[test]
+    fn rate_threshold_fires_on_bursts_only() {
+        let p = RateThresholdPredictor::new(None, Duration::from_secs(60), 3);
+        // Sparse alerts: no warning.
+        let sparse: Vec<Alert> = (0..10).map(|i| alert(i * 600, 0)).collect();
+        assert!(p.warnings(&sparse).is_empty());
+        // A burst of 3 within a minute: one warning (refractory).
+        let burst = vec![alert(0, 0), alert(10, 0), alert(20, 0), alert(30, 0)];
+        let w = p.warnings(&burst);
+        assert_eq!(w, vec![Timestamp::from_secs(20)]);
+    }
+
+    #[test]
+    fn rate_threshold_category_filter() {
+        let p = RateThresholdPredictor::new(
+            Some(CategoryId::from_index(7)),
+            Duration::from_secs(60),
+            2,
+        );
+        let alerts = vec![alert(0, 0), alert(1, 0), alert(2, 7), alert(3, 7)];
+        assert_eq!(p.warnings(&alerts), vec![Timestamp::from_secs(3)]);
+        assert!(p.name().contains("cat#7"));
+    }
+
+    #[test]
+    fn refractory_suppresses_repeat_warnings() {
+        let p = RateThresholdPredictor::new(None, Duration::from_secs(60), 2);
+        // Continuous burst for 30 minutes: warnings every ≥10 min.
+        let alerts: Vec<Alert> = (0..360).map(|i| alert(i * 5, 0)).collect();
+        let w = p.warnings(&alerts);
+        assert!(w.len() <= 4, "{w:?}");
+        assert!(w.windows(2).all(|x| x[1] - x[0] >= Duration::from_mins(10)));
+    }
+
+    #[test]
+    fn precursor_predictor_warns_on_precursor() {
+        let p = PrecursorPredictor::new(CategoryId::from_index(1));
+        let alerts = vec![alert(0, 0), alert(100, 1), alert(5000, 1)];
+        let w = p.warnings(&alerts);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], Timestamp::from_secs(100));
+    }
+
+    #[test]
+    fn mine_precursors_finds_planted_cascade() {
+        // Category 0 fires, category 1 follows 30s later, every 5000s.
+        let mut alerts = Vec::new();
+        for k in 0..50i64 {
+            alerts.push(alert(k * 5000, 0));
+            alerts.push(alert(k * 5000 + 30, 1));
+        }
+        let rules = mine_precursors(&alerts, Duration::from_secs(60), 10, 2.0);
+        assert!(!rules.is_empty());
+        let top = rules[0];
+        assert_eq!(top.precursor, CategoryId::from_index(0));
+        assert_eq!(top.target, CategoryId::from_index(1));
+        assert!(top.confidence > 0.9, "confidence {}", top.confidence);
+        assert!(top.lift > 10.0, "lift {}", top.lift);
+        // The reverse direction must NOT be a strong rule.
+        assert!(!rules
+            .iter()
+            .any(|r| r.precursor == CategoryId::from_index(1) && r.confidence > 0.5));
+    }
+
+    #[test]
+    fn mine_precursors_empty_and_independent() {
+        assert!(mine_precursors(&[], Duration::from_secs(60), 5, 2.0).is_empty());
+        // Interleaved but far apart: no rule above lift 2.
+        let mut alerts = Vec::new();
+        for k in 0..50i64 {
+            alerts.push(alert(k * 7000, 0));
+            alerts.push(alert(k * 7000 + 3500, 1));
+        }
+        let rules = mine_precursors(&alerts, Duration::from_secs(60), 10, 3.0);
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn ensemble_unions_and_merges() {
+        let e = Ensemble::new()
+            .with(PrecursorPredictor::new(CategoryId::from_index(0)))
+            .with(PrecursorPredictor::new(CategoryId::from_index(1)));
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        // Both categories fire within the merge window: one warning.
+        let alerts = vec![alert(100, 0), alert(110, 1), alert(9000, 1)];
+        let w = e.warnings(&alerts);
+        assert_eq!(w.len(), 2, "{w:?}");
+    }
+
+    #[test]
+    fn ensemble_from_rules_dedups_precursors() {
+        let rules = vec![
+            PrecursorRule {
+                precursor: CategoryId::from_index(0),
+                target: CategoryId::from_index(1),
+                confidence: 0.9,
+                lift: 10.0,
+                support: 20,
+            },
+            PrecursorRule {
+                precursor: CategoryId::from_index(0),
+                target: CategoryId::from_index(2),
+                confidence: 0.5,
+                lift: 5.0,
+                support: 10,
+            },
+            PrecursorRule {
+                precursor: CategoryId::from_index(3),
+                target: CategoryId::from_index(1),
+                confidence: 0.4,
+                lift: 4.0,
+                support: 8,
+            },
+        ];
+        let e = Ensemble::from_rules(&rules);
+        assert_eq!(e.len(), 2, "one member per distinct precursor");
+    }
+
+    #[test]
+    fn failure_onsets_dedup_by_failure_id() {
+        use sclog_types::FailureId;
+        let mut a1 = alert(10, 0);
+        a1.failure = Some(FailureId(1));
+        let mut a2 = alert(12, 0);
+        a2.failure = Some(FailureId(1));
+        let mut a3 = alert(500, 0);
+        a3.failure = Some(FailureId(2));
+        let onsets = failure_onsets(&[a1, a2, a3], CategoryId::from_index(0));
+        assert_eq!(onsets, vec![Timestamp::from_secs(10), Timestamp::from_secs(500)]);
+    }
+}

@@ -1,0 +1,217 @@
+//! The severity-field baseline tagger and its evaluation.
+//!
+//! Prior work (refs. 9, 10, 20 in the paper) identified alerts by the
+//! message severity field. Section 3.2 shows why that is unreliable:
+//! tagging every `FATAL`/`FAILURE` BG/L message as an alert yields a 0%
+//! false-negative rate but a **59.34% false-positive rate** (Table 5),
+//! and Red Storm's syslog severities are "of dubious value as a failure
+//! indicator" (Table 6). This module implements the baseline so the
+//! comparison can be reproduced.
+
+use sclog_types::{BglSeverity, Message, SyslogSeverity};
+
+/// The severity-threshold baseline tagger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeverityBaseline {
+    /// BG/L severities at or above this level are alerts.
+    pub bgl_threshold: BglSeverity,
+    /// Syslog severities at or above this level are alerts.
+    pub syslog_threshold: SyslogSeverity,
+}
+
+impl Default for SeverityBaseline {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SeverityBaseline {
+    /// The baseline evaluated in the paper: BG/L `FATAL`/`FAILURE`
+    /// (the two most severe levels), syslog `CRIT` or worse.
+    pub fn paper() -> Self {
+        SeverityBaseline {
+            bgl_threshold: BglSeverity::Failure,
+            syslog_threshold: SyslogSeverity::Crit,
+        }
+    }
+
+    /// Whether the baseline flags this message as an alert.
+    ///
+    /// Messages on systems that record no severity are never flagged —
+    /// the baseline is simply inapplicable there, which is itself one of
+    /// the paper's points.
+    pub fn is_alert(&self, msg: &Message) -> bool {
+        match msg.severity {
+            sclog_types::Severity::Bgl(s) => s <= self.bgl_threshold,
+            sclog_types::Severity::Syslog(s) => s.is_at_least(self.syslog_threshold),
+            sclog_types::Severity::None => false,
+        }
+    }
+
+    /// Evaluates the baseline against expert-tagged truth.
+    ///
+    /// `expert_alert_indices` must be the sorted message indices the
+    /// expert ruleset tagged.
+    pub fn evaluate(&self, messages: &[Message], expert_alert_indices: &[usize]) -> Confusion {
+        let mut expert = expert_alert_indices.iter().copied().peekable();
+        let mut c = Confusion::default();
+        for (i, msg) in messages.iter().enumerate() {
+            let is_expert = expert.peek() == Some(&i);
+            if is_expert {
+                expert.next();
+            }
+            match (self.is_alert(msg), is_expert) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, true) => c.false_negatives += 1,
+                (false, false) => c.true_negatives += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Confusion-matrix counts for a binary tagger against expert truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Baseline alert and expert alert.
+    pub true_positives: u64,
+    /// Baseline alert but not expert alert.
+    pub false_positives: u64,
+    /// Expert alert missed by baseline.
+    pub false_negatives: u64,
+    /// Neither flags it.
+    pub true_negatives: u64,
+}
+
+impl Confusion {
+    /// False-positive rate among baseline positives: FP / (TP + FP).
+    ///
+    /// This is the paper's "59% false positive rate" metric — the
+    /// fraction of severity-flagged messages that are not real alerts.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / denom as f64
+        }
+    }
+
+    /// False-negative rate among expert alerts: FN / (TP + FN).
+    pub fn false_negative_rate(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / denom as f64
+        }
+    }
+
+    /// Precision = TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        1.0 - self.false_positive_rate()
+    }
+
+    /// Recall = TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        1.0 - self.false_negative_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::{NodeId, Severity, SystemId, Timestamp};
+
+    fn bgl_msg(sev: BglSeverity) -> Message {
+        Message::new(
+            SystemId::BlueGeneL,
+            Timestamp::EPOCH,
+            NodeId::from_index(0),
+            "KERNEL",
+            Severity::Bgl(sev),
+            "x",
+        )
+    }
+
+    #[test]
+    fn bgl_threshold_flags_fatal_and_failure_only() {
+        let b = SeverityBaseline::paper();
+        assert!(b.is_alert(&bgl_msg(BglSeverity::Fatal)));
+        assert!(b.is_alert(&bgl_msg(BglSeverity::Failure)));
+        assert!(!b.is_alert(&bgl_msg(BglSeverity::Severe)));
+        assert!(!b.is_alert(&bgl_msg(BglSeverity::Info)));
+    }
+
+    #[test]
+    fn syslog_threshold() {
+        let b = SeverityBaseline::paper();
+        let mk = |s| {
+            Message::new(
+                SystemId::RedStorm,
+                Timestamp::EPOCH,
+                NodeId::from_index(0),
+                "kernel",
+                Severity::Syslog(s),
+                "x",
+            )
+        };
+        assert!(b.is_alert(&mk(SyslogSeverity::Emerg)));
+        assert!(b.is_alert(&mk(SyslogSeverity::Crit)));
+        assert!(!b.is_alert(&mk(SyslogSeverity::Error)));
+        assert!(!b.is_alert(&mk(SyslogSeverity::Info)));
+    }
+
+    #[test]
+    fn severity_less_systems_never_flag() {
+        let b = SeverityBaseline::paper();
+        let msg = Message::new(
+            SystemId::Liberty,
+            Timestamp::EPOCH,
+            NodeId::from_index(0),
+            "kernel",
+            Severity::None,
+            "GM: LANai is not running",
+        );
+        assert!(!b.is_alert(&msg));
+    }
+
+    #[test]
+    fn confusion_counts_and_rates() {
+        // Messages: FATAL(expert), FATAL(not), INFO(expert), INFO(not).
+        let msgs = vec![
+            bgl_msg(BglSeverity::Fatal),
+            bgl_msg(BglSeverity::Fatal),
+            bgl_msg(BglSeverity::Info),
+            bgl_msg(BglSeverity::Info),
+        ];
+        let c = SeverityBaseline::paper().evaluate(&msgs, &[0, 2]);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert_eq!(c.false_positive_rate(), 0.5);
+        assert_eq!(c.false_negative_rate(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_confusion_is_safe() {
+        let c = Confusion::default();
+        assert_eq!(c.false_positive_rate(), 0.0);
+        assert_eq!(c.false_negative_rate(), 0.0);
+    }
+
+    #[test]
+    fn paper_shape_fp_rate() {
+        // 59% of FATAL messages are not expert alerts (Table 5 shape):
+        // 100 FATAL, 41 of them expert-tagged.
+        let msgs: Vec<Message> = (0..100).map(|_| bgl_msg(BglSeverity::Fatal)).collect();
+        let expert: Vec<usize> = (0..41).collect();
+        let c = SeverityBaseline::paper().evaluate(&msgs, &expert);
+        assert!((c.false_positive_rate() - 0.59).abs() < 1e-9);
+        assert_eq!(c.false_negative_rate(), 0.0);
+    }
+}

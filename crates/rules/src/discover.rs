@@ -1,0 +1,221 @@
+//! Automatic message-template discovery (SLCT-style frequent-pattern
+//! clustering).
+//!
+//! The paper's related work (Vaarandi's breadth-first frequent-pattern
+//! mining, ref. 27; Hellerstein's actionable patterns, ref. 7) explores
+//! "automatically discovering alerts in log data … from a
+//! pattern-learning perspective", in contrast to the expert rules this
+//! crate encodes. This module implements a small two-pass clustering in
+//! the spirit of SLCT:
+//!
+//! 1. count `(position, word)` frequencies across message bodies;
+//! 2. reduce each body to a candidate template that keeps frequent
+//!    words and wildcards the rest, and count candidate support.
+//!
+//! Discovered [`Template`]s convert to rule-language sources
+//! ([`Template::to_rule_source`]), closing the loop with the expert
+//! ruleset machinery: discovery proposes, the administrator curates,
+//! the loader deploys.
+
+use sclog_types::Message;
+use std::collections::HashMap;
+
+/// A discovered message template: per-position tokens, `None` marking
+/// wildcard (variable) positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Facility the template's messages share.
+    pub facility: String,
+    /// Token pattern; `None` is a single-token wildcard.
+    pub tokens: Vec<Option<String>>,
+    /// Number of messages supporting the template.
+    pub support: u64,
+}
+
+impl Template {
+    /// Human-readable form, wildcards rendered as `*`.
+    pub fn pattern(&self) -> String {
+        self.tokens
+            .iter()
+            .map(|t| t.as_deref().unwrap_or("*"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Whether a message body matches this template (token-exact on
+    /// fixed positions, any single token on wildcards, same length).
+    pub fn matches(&self, body: &str) -> bool {
+        let toks: Vec<&str> = body.split_whitespace().collect();
+        toks.len() == self.tokens.len()
+            && self
+                .tokens
+                .iter()
+                .zip(&toks)
+                .all(|(t, w)| t.as_deref().is_none_or(|fixed| fixed == *w))
+    }
+
+    /// Converts to rule-language source: a `/…/` line regex with the
+    /// fixed tokens escaped and wildcards as non-space runs.
+    pub fn to_rule_source(&self) -> String {
+        let mut re = String::new();
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                re.push(' ');
+            }
+            match t {
+                Some(fixed) => re.push_str(&escape_regex(fixed)),
+                None => re.push_str(r"\S+"),
+            }
+        }
+        format!("/{re}/")
+    }
+}
+
+fn escape_regex(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if "\\.+*?()|[]{}^$#&-~/".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Mines templates from messages with at least `min_support`
+/// occurrences, sorted by descending support.
+///
+/// # Panics
+///
+/// Panics if `min_support == 0`.
+pub fn mine_templates(messages: &[Message], min_support: u64) -> Vec<Template> {
+    assert!(min_support > 0, "support threshold must be positive");
+    // Pass 1: frequent (facility, position, word) triples.
+    let mut word_counts: HashMap<(&str, usize, &str), u64> = HashMap::new();
+    for m in messages {
+        for (i, w) in m.body.split_whitespace().enumerate() {
+            *word_counts.entry((m.facility.as_str(), i, w)).or_insert(0) += 1;
+        }
+    }
+    // Pass 2: candidate templates.
+    let mut candidates: HashMap<(String, Vec<Option<String>>), u64> = HashMap::new();
+    for m in messages {
+        let tokens: Vec<Option<String>> = m
+            .body
+            .split_whitespace()
+            .enumerate()
+            .map(|(i, w)| {
+                (word_counts[&(m.facility.as_str(), i, w)] >= min_support)
+                    .then(|| w.to_owned())
+            })
+            .collect();
+        if tokens.is_empty() || tokens.iter().all(Option::is_none) {
+            continue;
+        }
+        *candidates.entry((m.facility.clone(), tokens)).or_insert(0) += 1;
+    }
+    let mut out: Vec<Template> = candidates
+        .into_iter()
+        .filter(|&(_, support)| support >= min_support)
+        .map(|((facility, tokens), support)| Template {
+            facility,
+            tokens,
+            support,
+        })
+        .collect();
+    out.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.pattern().cmp(&b.pattern())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::{NodeId, Severity, SystemId, Timestamp};
+
+    fn msg(facility: &str, body: &str) -> Message {
+        Message::new(
+            SystemId::Liberty,
+            Timestamp::EPOCH,
+            NodeId::from_index(0),
+            facility,
+            Severity::None,
+            body,
+        )
+    }
+
+    fn corpus() -> Vec<Message> {
+        let mut v = Vec::new();
+        for job in 0..20 {
+            v.push(msg(
+                "pbs_mom",
+                &format!("task_check, cannot tm_reply to {job} task 1"),
+            ));
+        }
+        for i in 0..15 {
+            v.push(msg("kernel", &format!("eth0: link up at speed {i}")));
+        }
+        // Noise below support.
+        v.push(msg("kernel", "something entirely unique happened"));
+        v
+    }
+
+    #[test]
+    fn discovers_the_planted_templates() {
+        let templates = mine_templates(&corpus(), 10);
+        assert!(templates.len() >= 2, "{templates:?}");
+        let top = &templates[0];
+        assert_eq!(top.facility, "pbs_mom");
+        assert_eq!(top.support, 20);
+        assert_eq!(top.pattern(), "task_check, cannot tm_reply to * task 1");
+        let second = &templates[1];
+        assert_eq!(second.pattern(), "eth0: link up at speed *");
+        // The unique message is not a template.
+        assert!(!templates.iter().any(|t| t.pattern().contains("unique")));
+    }
+
+    #[test]
+    fn templates_match_their_instances() {
+        let templates = mine_templates(&corpus(), 10);
+        let pbs = &templates[0];
+        assert!(pbs.matches("task_check, cannot tm_reply to 9999 task 1"));
+        assert!(!pbs.matches("task_check, cannot tm_reply to 9999 task 2"));
+        assert!(!pbs.matches("task_check, cannot tm_reply to 9999 extra task 1"));
+    }
+
+    #[test]
+    fn discovered_rules_compile_and_tag() {
+        let templates = mine_templates(&corpus(), 10);
+        let src = templates[0].to_rule_source();
+        let pred = crate::lang::Predicate::parse(&src)
+            .unwrap_or_else(|e| panic!("generated rule {src:?} invalid: {e}"));
+        assert!(pred.matches(
+            "Mar  7 14:30:05 ln3 pbs_mom: task_check, cannot tm_reply to 4418 task 1"
+        ));
+        assert!(!pred.matches("Mar  7 14:30:05 ln3 kernel: all quiet"));
+    }
+
+    #[test]
+    fn regex_metacharacters_in_bodies_are_escaped() {
+        let mut v = Vec::new();
+        for i in 0..12 {
+            v.push(msg("kernel", &format!("GM: LANAI[0]: PANIC: f({i}) failed")));
+        }
+        let templates = mine_templates(&v, 10);
+        assert_eq!(templates.len(), 1);
+        let src = templates[0].to_rule_source();
+        let pred = crate::lang::Predicate::parse(&src)
+            .unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        assert!(pred.matches("x ln1 kernel: GM: LANAI[0]: PANIC: f(3) failed"));
+    }
+
+    #[test]
+    fn min_support_filters_everything_when_high() {
+        assert!(mine_templates(&corpus(), 1000).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_support_panics() {
+        let _ = mine_templates(&[], 0);
+    }
+}

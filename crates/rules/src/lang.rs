@@ -1,0 +1,470 @@
+//! The awk-like rule language.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( '||' and )*
+//! and     := unary ( '&&' unary )*
+//! unary   := '!' unary | primary
+//! primary := '(' expr ')'
+//!          | '/regex/'                  — match the whole line
+//!          | '$' N '~' '/regex/'        — match field N (1-based)
+//!          | '$' N '!~' '/regex/'       — field N does not match
+//! ```
+//!
+//! `$0` refers to the whole line, as in awk. Regex literals use `\/` to
+//! escape a slash.
+
+use regex::Regex;
+use std::fmt;
+
+/// A parsed rule expression (the AST).
+#[derive(Debug, Clone)]
+pub enum RuleExpr {
+    /// `/re/` — the whole line matches.
+    Line(String),
+    /// `$n ~ /re/` — field `n` matches (`n >= 1`; `$0` is the line).
+    Field(usize, String),
+    /// `!expr`.
+    Not(Box<RuleExpr>),
+    /// `a && b`.
+    And(Box<RuleExpr>, Box<RuleExpr>),
+    /// `a || b`.
+    Or(Box<RuleExpr>, Box<RuleExpr>),
+}
+
+impl fmt::Display for RuleExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleExpr::Line(re) => write!(f, "/{re}/"),
+            RuleExpr::Field(n, re) => write!(f, "(${n} ~ /{re}/)"),
+            RuleExpr::Not(e) => write!(f, "!{e}"),
+            RuleExpr::And(a, b) => write!(f, "({a} && {b})"),
+            RuleExpr::Or(a, b) => write!(f, "({a} || {b})"),
+        }
+    }
+}
+
+/// Error from parsing or compiling a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleError {
+    message: String,
+}
+
+impl RuleError {
+    fn new(message: impl Into<String>) -> Self {
+        RuleError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl RuleExpr {
+    /// Parses rule-language source into an AST.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError`] on syntax errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sclog_rules::RuleExpr;
+    ///
+    /// let e = RuleExpr::parse("($5 ~ /KERNEL/ && /kernel panic/)").unwrap();
+    /// assert!(e.to_string().contains("KERNEL"));
+    /// assert!(RuleExpr::parse("(((").is_err());
+    /// ```
+    pub fn parse(src: &str) -> Result<Self, RuleError> {
+        let mut p = Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        };
+        let expr = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return Err(RuleError::new(format!(
+                "unexpected trailing tokens at {:?}",
+                p.tokens[p.pos]
+            )));
+        }
+        Ok(expr)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    LParen,
+    RParen,
+    AndAnd,
+    OrOr,
+    Bang,
+    Tilde,
+    BangTilde,
+    Field(usize),
+    Regex(String),
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>, RuleError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(RuleError::new("single '&'"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(RuleError::new("single '|'"));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'~') {
+                    out.push(Token::BangTilde);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '~' => {
+                out.push(Token::Tilde);
+                i += 1;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(RuleError::new("'$' without field number"));
+                }
+                let n: usize = bytes[start..j]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|_| RuleError::new("field number out of range"))?;
+                out.push(Token::Field(n));
+                i = j;
+            }
+            '/' => {
+                let mut j = i + 1;
+                let mut re = String::new();
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(RuleError::new("unterminated regex literal")),
+                        Some('\\') if bytes.get(j + 1) == Some(&'/') => {
+                            re.push('/');
+                            j += 2;
+                        }
+                        Some('\\') => {
+                            re.push('\\');
+                            if let Some(&c) = bytes.get(j + 1) {
+                                re.push(c);
+                            }
+                            j += 2;
+                        }
+                        Some('/') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            re.push(c);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(Token::Regex(re));
+                i = j;
+            }
+            c => return Err(RuleError::new(format!("unexpected character {c:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_or(&mut self) -> Result<RuleExpr, RuleError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = RuleExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<RuleExpr, RuleError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = RuleExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<RuleExpr, RuleError> {
+        if self.peek() == Some(&Token::Bang) {
+            self.pos += 1;
+            return Ok(RuleExpr::Not(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<RuleExpr, RuleError> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                if self.peek() != Some(&Token::RParen) {
+                    return Err(RuleError::new("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(Token::Regex(re)) => {
+                self.pos += 1;
+                Ok(RuleExpr::Line(re))
+            }
+            Some(Token::Field(n)) => {
+                self.pos += 1;
+                let negated = match self.peek() {
+                    Some(Token::Tilde) => false,
+                    Some(Token::BangTilde) => true,
+                    _ => return Err(RuleError::new("expected '~' or '!~' after field")),
+                };
+                self.pos += 1;
+                match self.peek().cloned() {
+                    Some(Token::Regex(re)) => {
+                        self.pos += 1;
+                        let base = RuleExpr::Field(n, re);
+                        Ok(if negated {
+                            RuleExpr::Not(Box::new(base))
+                        } else {
+                            base
+                        })
+                    }
+                    _ => Err(RuleError::new("expected regex after '~'")),
+                }
+            }
+            other => Err(RuleError::new(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// A compiled, executable rule predicate.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Whole-line regex.
+    Line(Regex),
+    /// Field regex (`0` = whole line, per awk's `$0`).
+    Field(usize, Regex),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Compiles an AST into an executable predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError`] if a regex fails to compile.
+    pub fn compile(expr: &RuleExpr) -> Result<Self, RuleError> {
+        let rx = |re: &str| {
+            Regex::new(re).map_err(|e| RuleError::new(format!("bad regex /{re}/: {e}")))
+        };
+        Ok(match expr {
+            RuleExpr::Line(re) => Predicate::Line(rx(re)?),
+            RuleExpr::Field(n, re) => Predicate::Field(*n, rx(re)?),
+            RuleExpr::Not(e) => Predicate::Not(Box::new(Predicate::compile(e)?)),
+            RuleExpr::And(a, b) => Predicate::And(
+                Box::new(Predicate::compile(a)?),
+                Box::new(Predicate::compile(b)?),
+            ),
+            RuleExpr::Or(a, b) => Predicate::Or(
+                Box::new(Predicate::compile(a)?),
+                Box::new(Predicate::compile(b)?),
+            ),
+        })
+    }
+
+    /// Parses and compiles rule source in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError`] on syntax or regex errors.
+    pub fn parse(src: &str) -> Result<Self, RuleError> {
+        Predicate::compile(&RuleExpr::parse(src)?)
+    }
+
+    /// Evaluates the predicate against a log line.
+    ///
+    /// Fields are awk-style 1-based whitespace-split tokens; a field
+    /// reference beyond the end of the line simply does not match.
+    pub fn matches(&self, line: &str) -> bool {
+        self.matches_fields(line, &sclog_parse::fields(line))
+    }
+
+    /// Evaluates with pre-split fields (avoids re-splitting when many
+    /// rules run on one line).
+    pub fn matches_fields(&self, line: &str, fields: &[&str]) -> bool {
+        match self {
+            Predicate::Line(re) => re.is_match(line),
+            Predicate::Field(0, re) => re.is_match(line),
+            Predicate::Field(n, re) => fields.get(n - 1).is_some_and(|f| re.is_match(f)),
+            Predicate::Not(p) => !p.matches_fields(line, fields),
+            Predicate::And(a, b) => a.matches_fields(line, fields) && b.matches_fields(line, fields),
+            Predicate::Or(a, b) => a.matches_fields(line, fields) || b.matches_fields(line, fields),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        for src in [
+            "/kernel: EXT3-fs error/",
+            "/PANIC_SP WE ARE TOASTED!/",
+            "($5 ~ /KERNEL/ && /kernel panic/)",
+        ] {
+            let e = RuleExpr::parse(src).unwrap();
+            let _ = Predicate::compile(&e).unwrap();
+        }
+    }
+
+    #[test]
+    fn line_match() {
+        let p = Predicate::parse("/EXT3-fs error/").unwrap();
+        assert!(p.matches("Jan  1 00:00:01 sn373 kernel: EXT3-fs error (device sda5)"));
+        assert!(!p.matches("Jan  1 00:00:01 sn373 kernel: all quiet"));
+    }
+
+    #[test]
+    fn field_match_is_one_based() {
+        let p = Predicate::parse("($2 ~ /^foo$/)").unwrap();
+        assert!(p.matches("x foo y"));
+        assert!(!p.matches("foo x y"));
+        // Field beyond end: no match.
+        assert!(!p.matches("x"));
+    }
+
+    #[test]
+    fn field_zero_is_whole_line() {
+        let p = Predicate::parse("($0 ~ /a b/)").unwrap();
+        assert!(p.matches("a b"));
+    }
+
+    #[test]
+    fn negated_field_match() {
+        let p = Predicate::parse("($1 ~ /kernel/ && $2 !~ /panic/)").unwrap();
+        assert!(p.matches("kernel ok"));
+        assert!(!p.matches("kernel panic"));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = Predicate::parse("/a/ && (/b/ || /c/) && !/d/").unwrap();
+        assert!(p.matches("a b"));
+        assert!(p.matches("a c"));
+        assert!(!p.matches("a"));
+        assert!(!p.matches("a b d"));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let p = Predicate::parse("/a/ || /b/ && /c/").unwrap();
+        // a || (b && c)
+        assert!(p.matches("a"));
+        assert!(p.matches("b c"));
+        assert!(!p.matches("b"));
+    }
+
+    #[test]
+    fn escaped_slash_in_regex() {
+        let p = Predicate::parse(r"/rejecting I\/O to offline device/").unwrap();
+        assert!(p.matches("kernel: scsi0 (0:0): rejecting I/O to offline device"));
+    }
+
+    #[test]
+    fn regex_metacharacters_pass_through() {
+        let p = Predicate::parse(r"/Bad file descriptor \(9\) in tm_request/").unwrap();
+        assert!(p.matches("pbs_mom: Bad file descriptor (9) in tm_request, job 17 not running"));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(RuleExpr::parse("").is_err());
+        assert!(RuleExpr::parse("(/a/").is_err());
+        assert!(RuleExpr::parse("/a/ &&").is_err());
+        assert!(RuleExpr::parse("/a").is_err());
+        assert!(RuleExpr::parse("$ ~ /a/").is_err());
+        assert!(RuleExpr::parse("$1 /a/").is_err());
+        assert!(RuleExpr::parse("/a/ /b/").is_err());
+        assert!(RuleExpr::parse("& /a/").is_err());
+        assert!(RuleExpr::parse("| /a/").is_err());
+        assert!(RuleExpr::parse("%").is_err());
+    }
+
+    #[test]
+    fn bad_regex_fails_at_compile() {
+        assert!(Predicate::parse("/([unclosed/").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let srcs = [
+            "($5 ~ /KERNEL/ && /kernel panic/)",
+            "!/x/ || ($2 ~ /y/)",
+            "($1 !~ /z/)",
+        ];
+        for src in srcs {
+            let e1 = RuleExpr::parse(src).unwrap();
+            let e2 = RuleExpr::parse(&e1.to_string()).unwrap();
+            assert_eq!(e1.to_string(), e2.to_string());
+        }
+    }
+}

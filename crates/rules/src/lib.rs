@@ -1,0 +1,35 @@
+//! Expert alert-tagging rules.
+//!
+//! Section 3.2 of the paper: "the heuristics provided by the
+//! administrators were often in the form of regular expressions amenable
+//! for consumption by the logsurfer utility … Examples of
+//! alert-identifying rules using awk syntax include:
+//!
+//! ```text
+//! /kernel: EXT3-fs error/
+//! /PANIC_SP WE ARE TOASTED!/
+//! ($5 ~ /KERNEL/ && /kernel panic/)
+//! ```
+//!
+//! This crate implements that rule language ([`lang`]), a tagging engine
+//! that applies a per-system ruleset to parsed messages ([`tagger`]),
+//! the severity-field baseline tagger the paper compares against
+//! ([`baseline`]), and the encoded rulesets for all 77 categories of
+//! Table 4 ([`mod@catalog`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod catalog;
+pub mod discover;
+pub mod lang;
+pub mod loader;
+pub mod tagger;
+
+pub use baseline::{Confusion, SeverityBaseline};
+pub use catalog::{catalog, CategorySpec};
+pub use discover::{mine_templates, Template};
+pub use lang::{Predicate, RuleExpr};
+pub use loader::{export_builtin, parse_ruleset, render_ruleset, LoadError, RuleDef};
+pub use tagger::{RuleSet, TaggedLog};

@@ -1,0 +1,371 @@
+//! The tagging engine: applies a system's ruleset to parsed messages.
+
+use crate::catalog::{catalog, CategorySpec};
+use crate::lang::Predicate;
+use sclog_parse::render_native;
+use sclog_types::{Alert, CategoryId, CategoryRegistry, Message, SourceInterner, SystemId};
+
+/// One compiled rule within a [`RuleSet`].
+#[derive(Debug)]
+struct CompiledRule {
+    predicate: Predicate,
+    category: CategoryId,
+}
+
+/// A compiled per-system ruleset.
+///
+/// Rules are evaluated in catalog order; the first match tags the
+/// message ("two alerts are in the same category if they were tagged by
+/// the same expert rule").
+///
+/// # Examples
+///
+/// ```
+/// use sclog_rules::RuleSet;
+/// use sclog_types::{CategoryRegistry, SystemId};
+///
+/// let mut registry = CategoryRegistry::new();
+/// let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+/// let line = "Mar  7 14:30:05 dn228 pbs_mom: task_check, cannot tm_reply to 4418 task 1";
+/// let cat = rules.tag_line(line).expect("should tag");
+/// assert_eq!(registry.name(cat), "PBS_CHK");
+/// ```
+#[derive(Debug)]
+pub struct RuleSet {
+    system: SystemId,
+    rules: Vec<CompiledRule>,
+}
+
+impl RuleSet {
+    /// Compiles the built-in catalog ruleset for a system, registering
+    /// its categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a built-in rule fails to compile (a bug, covered by
+    /// tests).
+    pub fn builtin(system: SystemId, registry: &mut CategoryRegistry) -> Self {
+        Self::from_specs(system, catalog(system), registry)
+    }
+
+    /// Compiles an explicit list of category specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule fails to parse or compile, or if a spec's
+    /// system does not match `system`.
+    pub fn from_specs(
+        system: SystemId,
+        specs: &[CategorySpec],
+        registry: &mut CategoryRegistry,
+    ) -> Self {
+        let rules = specs
+            .iter()
+            .map(|spec| {
+                assert_eq!(spec.system, system, "spec {} is for another system", spec.name);
+                let predicate = Predicate::parse(spec.rule)
+                    .unwrap_or_else(|e| panic!("rule {} failed to compile: {e}", spec.name));
+                let category = registry.register(spec.name, system, spec.alert_type);
+                CompiledRule {
+                    predicate,
+                    category,
+                }
+            })
+            .collect();
+        RuleSet { system, rules }
+    }
+
+    /// Compiles a ruleset from owned definitions (see
+    /// [`crate::loader`]).
+    pub(crate) fn from_loaded(
+        system: SystemId,
+        defs: &[crate::loader::RuleDef],
+        registry: &mut CategoryRegistry,
+    ) -> Self {
+        let rules = defs
+            .iter()
+            .map(|d| {
+                let predicate = Predicate::parse(&d.rule)
+                    .unwrap_or_else(|e| panic!("rule {} failed to compile: {e}", d.name));
+                let category = registry.register(&d.name, system, d.alert_type);
+                CompiledRule {
+                    predicate,
+                    category,
+                }
+            })
+            .collect();
+        RuleSet { system, rules }
+    }
+
+    /// The system this ruleset belongs to.
+    pub fn system(&self) -> SystemId {
+        self.system
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the ruleset has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Tags one rendered log line, returning the first matching rule's
+    /// category.
+    pub fn tag_line(&self, line: &str) -> Option<CategoryId> {
+        let fields = sclog_parse::fields(line);
+        self.rules
+            .iter()
+            .find(|r| r.predicate.matches_fields(line, &fields))
+            .map(|r| r.category)
+    }
+
+    /// Tags a message by rendering it in its native format first.
+    pub fn tag_message(&self, msg: &Message, interner: &SourceInterner) -> Option<CategoryId> {
+        self.tag_line(&render_native(msg, interner))
+    }
+
+    /// Tags every message, producing the alert sequence.
+    ///
+    /// Messages are expected in time order (as logs are); the returned
+    /// alerts preserve that order.
+    pub fn tag_messages(&self, messages: &[Message], interner: &SourceInterner) -> TaggedLog {
+        let mut alerts = Vec::new();
+        for (i, msg) in messages.iter().enumerate() {
+            if let Some(category) = self.tag_message(msg, interner) {
+                alerts.push(Alert::new(msg.time, msg.source, category, i));
+            }
+        }
+        TaggedLog { alerts }
+    }
+
+    /// Tags every message using `threads` worker threads (crossbeam
+    /// scoped threads; order of the result is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn tag_messages_parallel(
+        &self,
+        messages: &[Message],
+        interner: &SourceInterner,
+        threads: usize,
+    ) -> TaggedLog {
+        assert!(threads > 0, "need at least one thread");
+        if threads == 1 || messages.len() < 4096 {
+            return self.tag_messages(messages, interner);
+        }
+        let chunk = messages.len().div_ceil(threads);
+        let mut partials: Vec<Vec<Alert>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = messages
+                .chunks(chunk)
+                .enumerate()
+                .map(|(k, msgs)| {
+                    scope.spawn(move |_| {
+                        let base = k * chunk;
+                        let mut out = Vec::new();
+                        for (i, msg) in msgs.iter().enumerate() {
+                            if let Some(category) = self.tag_message(msg, interner) {
+                                out.push(Alert::new(msg.time, msg.source, category, base + i));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("tagger thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        TaggedLog {
+            alerts: partials.concat(),
+        }
+    }
+}
+
+/// The output of tagging: the alert sequence in message order.
+#[derive(Debug, Clone, Default)]
+pub struct TaggedLog {
+    /// Tagged alerts, ordered by message index (hence by time).
+    pub alerts: Vec<Alert>,
+}
+
+impl TaggedLog {
+    /// Number of alerts.
+    pub fn len(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// True if no messages were tagged.
+    pub fn is_empty(&self) -> bool {
+        self.alerts.is_empty()
+    }
+
+    /// Counts alerts per category.
+    pub fn counts_by_category(&self) -> std::collections::HashMap<CategoryId, u64> {
+        let mut out = std::collections::HashMap::new();
+        for a in &self.alerts {
+            *out.entry(a.category).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Attaches ground-truth failure ids by message index (simulator
+    /// output); indices without truth stay `None`.
+    pub fn attach_truth(&mut self, truth: &[Option<sclog_types::FailureId>]) {
+        for a in &mut self.alerts {
+            if let Some(t) = truth.get(a.message_index) {
+                a.failure = *t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{example_body, catalog};
+    use sclog_types::{Message, NodeId, Severity, Timestamp};
+
+    fn render_and_tag_all(system: SystemId) {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(system, &mut registry);
+        let mut interner = SourceInterner::new();
+        let source = interner.intern("test-node");
+        for spec in catalog(system) {
+            let severity = match spec.severity {
+                crate::catalog::CatSeverity::None => Severity::None,
+                crate::catalog::CatSeverity::Bgl(s) => Severity::Bgl(s),
+                crate::catalog::CatSeverity::Syslog(s) => Severity::Syslog(s),
+            };
+            let facility = crate::catalog::fill_template(spec.facility, crate::catalog::example_value);
+            let msg = Message::new(
+                system,
+                Timestamp::from_ymd_hms(2006, 1, 15, 12, 0, 0),
+                source,
+                facility,
+                severity,
+                example_body(spec),
+            );
+            let tagged = rules.tag_message(&msg, &interner);
+            let got = tagged.map(|c| registry.name(c).to_owned());
+            assert_eq!(
+                got.as_deref(),
+                Some(spec.name),
+                "system {system}: body {:?} mis-tagged",
+                example_body(spec)
+            );
+        }
+    }
+
+    #[test]
+    fn every_category_tags_its_own_canonical_message() {
+        for &sys in &sclog_types::ALL_SYSTEMS {
+            render_and_tag_all(sys);
+        }
+    }
+
+    #[test]
+    fn background_messages_are_untagged() {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Spirit, &mut registry);
+        let mut interner = SourceInterner::new();
+        let source = interner.intern("sn001");
+        let benign = [
+            "session opened for user root",
+            "synchronized to NTP server 10.0.0.1",
+            "ACCEPT IN=eth0 OUT= SRC=10.2.3.4",
+            "running dkms autoinstaller",
+        ];
+        for body in benign {
+            let msg = Message::new(
+                SystemId::Spirit,
+                Timestamp::from_ymd_hms(2005, 5, 5, 5, 5, 5),
+                source,
+                "kernel",
+                Severity::None,
+                body,
+            );
+            assert_eq!(rules.tag_message(&msg, &interner), None, "{body}");
+        }
+    }
+
+    #[test]
+    fn tag_messages_produces_ordered_alerts() {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        let mut interner = SourceInterner::new();
+        let source = interner.intern("ln3");
+        let mk = |secs: i64, body: &str| {
+            Message::new(
+                SystemId::Liberty,
+                Timestamp::from_secs(1_102_809_600 + secs),
+                source,
+                "pbs_mom",
+                Severity::None,
+                body,
+            )
+        };
+        let msgs = vec![
+            mk(0, "task_check, cannot tm_reply to 1 task 1"),
+            mk(1, "all quiet"),
+            mk(2, "Bad file descriptor (9) in tm_request, job 2 not running"),
+        ];
+        let tagged = rules.tag_messages(&msgs, &interner);
+        assert_eq!(tagged.len(), 2);
+        assert_eq!(tagged.alerts[0].message_index, 0);
+        assert_eq!(tagged.alerts[1].message_index, 2);
+        assert_eq!(registry.name(tagged.alerts[0].category), "PBS_CHK");
+        assert_eq!(registry.name(tagged.alerts[1].category), "PBS_BFD");
+        let counts = tagged.counts_by_category();
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn parallel_tagging_matches_serial() {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        let mut interner = SourceInterner::new();
+        let source = interner.intern("ln1");
+        let msgs: Vec<Message> = (0..10_000)
+            .map(|i| {
+                let body = if i % 3 == 0 {
+                    "task_check, cannot tm_reply to 9 task 1"
+                } else {
+                    "nothing to see"
+                };
+                Message::new(
+                    SystemId::Liberty,
+                    Timestamp::from_secs(1_102_809_600 + i),
+                    source,
+                    "pbs_mom",
+                    Severity::None,
+                    body,
+                )
+            })
+            .collect();
+        let serial = rules.tag_messages(&msgs, &interner);
+        let parallel = rules.tag_messages_parallel(&msgs, &interner, 4);
+        assert_eq!(serial.alerts, parallel.alerts);
+    }
+
+    #[test]
+    fn attach_truth_joins_by_index() {
+        let mut tl = TaggedLog {
+            alerts: vec![Alert::new(
+                Timestamp::EPOCH,
+                NodeId::from_index(0),
+                CategoryId::from_index(0),
+                1,
+            )],
+        };
+        let truth = vec![None, Some(sclog_types::FailureId(9))];
+        tl.attach_truth(&truth);
+        assert_eq!(tl.alerts[0].failure, Some(sclog_types::FailureId(9)));
+        assert!(!tl.is_empty());
+    }
+}

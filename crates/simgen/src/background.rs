@@ -1,0 +1,269 @@
+//! Background (non-alert) traffic generation.
+
+use crate::nodes::NodeSet;
+use crate::profiles::{SystemProfile, RSTORM_EVENT_TEMPLATES};
+use sclog_desim::RngStream;
+use sclog_types::{BglSeverity, Message, NodeId, Severity, SyslogSeverity, SystemId, Timestamp};
+
+/// Precomputed sampling state for background traffic.
+pub struct BackgroundSampler<'a> {
+    profile: &'a SystemProfile,
+    nodes: &'a NodeSet,
+    /// Cumulative weights over rate regimes (per-regime mass =
+    /// duration × rate).
+    regime_cum: Vec<f64>,
+    /// Regime boundaries as fractions of the span, including 1.0.
+    regime_bounds: Vec<f64>,
+    /// Cumulative Zipf weights over compute nodes.
+    zipf_cum: Vec<f64>,
+    /// Cumulative severity weights.
+    severity_cum: Vec<(f64, Severity)>,
+    start: Timestamp,
+    span_secs: f64,
+}
+
+impl<'a> BackgroundSampler<'a> {
+    /// Builds the sampler for a system profile.
+    pub fn new(profile: &'a SystemProfile, nodes: &'a NodeSet) -> Self {
+        let spec = profile.system.spec();
+        let span_secs = spec.span().as_secs_f64();
+        // Regime bounds and masses.
+        let mut regime_bounds: Vec<f64> =
+            profile.rate_regimes.iter().map(|&(f, _)| f).skip(1).collect();
+        regime_bounds.push(1.0);
+        let mut regime_cum = Vec::with_capacity(profile.rate_regimes.len());
+        let mut acc = 0.0;
+        for (i, &(start_f, rate)) in profile.rate_regimes.iter().enumerate() {
+            let end_f = regime_bounds[i];
+            acc += (end_f - start_f) * rate;
+            regime_cum.push(acc);
+        }
+        // Zipf over compute nodes.
+        let mut zipf_cum = Vec::with_capacity(nodes.compute.len());
+        let mut zacc = 0.0;
+        for i in 0..nodes.compute.len() {
+            zacc += 1.0 / ((i + 1) as f64).powf(profile.zipf);
+            zipf_cum.push(zacc);
+        }
+        // Severity mix.
+        let mut severity_cum = Vec::new();
+        let mut sacc = 0.0;
+        for &(name, count) in profile.bg_severity {
+            sacc += count as f64;
+            let sev = parse_severity(profile.system, name);
+            severity_cum.push((sacc, sev));
+        }
+        BackgroundSampler {
+            profile,
+            nodes,
+            regime_cum,
+            regime_bounds,
+            zipf_cum,
+            severity_cum,
+            start: spec.start(),
+            span_secs,
+        }
+    }
+
+    /// Samples a message timestamp according to the rate regimes.
+    pub fn sample_time(&self, rng: &mut RngStream) -> Timestamp {
+        let total = *self.regime_cum.last().expect("at least one regime");
+        let x = rng.uniform() * total;
+        let idx = self.regime_cum.partition_point(|&c| c < x);
+        let idx = idx.min(self.regime_cum.len() - 1);
+        let start_f = self.profile.rate_regimes[idx].0;
+        let end_f = self.regime_bounds[idx];
+        let f = start_f + rng.uniform() * (end_f - start_f);
+        self.start + sclog_types::Duration::from_secs_f64(f * self.span_secs)
+    }
+
+    /// Samples an emitting node: admin nodes with probability
+    /// `admin_frac`, otherwise Zipf-weighted compute nodes.
+    pub fn sample_node(&self, rng: &mut RngStream) -> NodeId {
+        if rng.chance(self.profile.admin_frac) {
+            self.nodes.admin[rng.below(self.nodes.admin.len() as u64) as usize]
+        } else {
+            let total = *self.zipf_cum.last().expect("nodes exist");
+            let x = rng.uniform() * total;
+            let idx = self.zipf_cum.partition_point(|&c| c < x);
+            self.nodes.compute[idx.min(self.nodes.compute.len() - 1)]
+        }
+    }
+
+    /// Samples a severity from the background mix ([`Severity::None`]
+    /// when the system records none).
+    pub fn sample_severity(&self, rng: &mut RngStream) -> Severity {
+        if self.severity_cum.is_empty() {
+            return Severity::None;
+        }
+        let total = self.severity_cum.last().expect("non-empty").0;
+        let x = rng.uniform() * total;
+        let idx = self.severity_cum.partition_point(|&(c, _)| c < x);
+        self.severity_cum[idx.min(self.severity_cum.len() - 1)].1
+    }
+
+    /// Generates one background message.
+    pub fn sample_message(&self, rng: &mut RngStream, filler: &mut impl FnMut(&str, &mut RngStream) -> String) -> Message {
+        let system = self.profile.system;
+        let event_path = system == SystemId::RedStorm && rng.chance(self.profile.bg_event_frac);
+        let templates = if event_path {
+            RSTORM_EVENT_TEMPLATES
+        } else {
+            self.profile.bg_templates
+        };
+        let (facility_t, body_t) = templates[rng.below(templates.len() as u64) as usize];
+        let time = self.sample_time(rng);
+        let time = if system == SystemId::BlueGeneL {
+            // Microsecond jitter: BG/L's polling granularity.
+            time + sclog_types::Duration::from_micros(rng.below(1_000_000) as i64)
+        } else {
+            time.truncate_to_secs()
+        };
+        let severity = if event_path {
+            Severity::None // the TCP path has no severity analog
+        } else {
+            self.sample_severity(rng)
+        };
+        Message {
+            system,
+            time,
+            source: self.sample_node(rng),
+            facility: sclog_rules::catalog::fill_template(facility_t, |k| filler(k, rng)),
+            severity,
+            body: sclog_rules::catalog::fill_template(body_t, |k| filler(k, rng)),
+        }
+    }
+}
+
+fn parse_severity(system: SystemId, name: &str) -> Severity {
+    match system {
+        SystemId::BlueGeneL => Severity::Bgl(
+            name.parse::<BglSeverity>().expect("valid BG/L severity name"),
+        ),
+        _ => Severity::Syslog(
+            name.parse::<SyslogSeverity>().expect("valid syslog severity name"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::system_profile;
+    use sclog_types::SourceInterner;
+
+    fn filler(key: &str, _rng: &mut RngStream) -> String {
+        sclog_rules::catalog::example_value(key)
+    }
+
+    #[test]
+    fn times_respect_window() {
+        let profile = system_profile(SystemId::Liberty);
+        let mut interner = SourceInterner::new();
+        let nodes = NodeSet::build(SystemId::Liberty, &mut interner);
+        let sampler = BackgroundSampler::new(profile, &nodes);
+        let spec = SystemId::Liberty.spec();
+        let mut rng = RngStream::from_seed(1);
+        for _ in 0..1000 {
+            let t = sampler.sample_time(&mut rng);
+            assert!(t >= spec.start() && t < spec.end());
+        }
+    }
+
+    #[test]
+    fn liberty_regime_shift_shows_in_rates() {
+        // After the OS upgrade (35% of span) the rate triples: count
+        // messages on each side of the boundary.
+        let profile = system_profile(SystemId::Liberty);
+        let mut interner = SourceInterner::new();
+        let nodes = NodeSet::build(SystemId::Liberty, &mut interner);
+        let sampler = BackgroundSampler::new(profile, &nodes);
+        let spec = SystemId::Liberty.spec();
+        let boundary = spec.start()
+            + sclog_types::Duration::from_secs_f64(0.35 * spec.span().as_secs_f64());
+        let mut rng = RngStream::from_seed(2);
+        let mut before = 0.0;
+        let mut after = 0.0;
+        for _ in 0..20_000 {
+            if sampler.sample_time(&mut rng) < boundary {
+                before += 1.0;
+            } else {
+                after += 1.0;
+            }
+        }
+        // Rate density: before = n_before/0.35, after = n_after/0.65.
+        let ratio = (after / 0.65) / (before / 0.35);
+        assert!(ratio > 1.8, "post-upgrade rate should be much higher: {ratio}");
+    }
+
+    #[test]
+    fn bgl_severity_mix_is_respected() {
+        let profile = system_profile(SystemId::BlueGeneL);
+        let mut interner = SourceInterner::new();
+        let nodes = NodeSet::build(SystemId::BlueGeneL, &mut interner);
+        let sampler = BackgroundSampler::new(profile, &nodes);
+        let mut rng = RngStream::from_seed(3);
+        let mut info = 0;
+        let mut fatal = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            match sampler.sample_severity(&mut rng) {
+                Severity::Bgl(BglSeverity::Info) => info += 1,
+                Severity::Bgl(BglSeverity::Fatal) => fatal += 1,
+                _ => {}
+            }
+        }
+        // Expected: INFO ≈ 84.9%, FATAL ≈ 11.5% of background.
+        assert!((info as f64 / N as f64 - 0.849).abs() < 0.02, "info {info}");
+        assert!((fatal as f64 / N as f64 - 0.115).abs() < 0.02, "fatal {fatal}");
+    }
+
+    #[test]
+    fn redstorm_event_path_share() {
+        let profile = system_profile(SystemId::RedStorm);
+        let mut interner = SourceInterner::new();
+        let nodes = NodeSet::build(SystemId::RedStorm, &mut interner);
+        let sampler = BackgroundSampler::new(profile, &nodes);
+        let mut rng = RngStream::from_seed(4);
+        let mut f = |k: &str, r: &mut RngStream| filler(k, r);
+        let mut event = 0;
+        const N: usize = 5000;
+        for _ in 0..N {
+            let m = sampler.sample_message(&mut rng, &mut f);
+            if m.facility.starts_with("ec_") {
+                event += 1;
+                assert_eq!(m.severity, Severity::None);
+            }
+        }
+        let frac = event as f64 / N as f64;
+        assert!((frac - 0.89).abs() < 0.03, "event share {frac}");
+    }
+
+    #[test]
+    fn admin_nodes_receive_their_share() {
+        let profile = system_profile(SystemId::Liberty);
+        let mut interner = SourceInterner::new();
+        let nodes = NodeSet::build(SystemId::Liberty, &mut interner);
+        let sampler = BackgroundSampler::new(profile, &nodes);
+        let mut rng = RngStream::from_seed(5);
+        let admin: std::collections::HashSet<_> = nodes.admin.iter().copied().collect();
+        let hits = (0..10_000)
+            .filter(|_| admin.contains(&sampler.sample_node(&mut rng)))
+            .count();
+        assert!((hits as f64 / 10_000.0 - profile.admin_frac).abs() < 0.03);
+    }
+
+    #[test]
+    fn syslog_systems_have_second_granularity() {
+        let profile = system_profile(SystemId::Spirit);
+        let mut interner = SourceInterner::new();
+        let nodes = NodeSet::build(SystemId::Spirit, &mut interner);
+        let sampler = BackgroundSampler::new(profile, &nodes);
+        let mut rng = RngStream::from_seed(6);
+        let mut f = |k: &str, r: &mut RngStream| filler(k, r);
+        for _ in 0..100 {
+            let m = sampler.sample_message(&mut rng, &mut f);
+            assert_eq!(m.time.subsec_micros(), 0);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Node populations and naming schemes per system.
+
+use sclog_types::{NodeId, SourceInterner, SystemId};
+
+/// The node population of one simulated system.
+///
+/// `compute` holds the ordinary nodes; `admin` the chatty
+/// administrative/service nodes that dominate Figure 2(b)'s head;
+/// `hotspots` the designated pathological nodes (Spirit's `sn373`, the
+/// Thunderbird VAPI node) that profiles reference by index.
+#[derive(Debug)]
+pub struct NodeSet {
+    /// Ordinary compute/service sources.
+    pub compute: Vec<NodeId>,
+    /// Administrative nodes (syslog collectors, login nodes).
+    pub admin: Vec<NodeId>,
+    /// Pathological hotspot nodes, in profile order.
+    pub hotspots: Vec<NodeId>,
+}
+
+impl NodeSet {
+    /// Builds the population for a system, interning every name.
+    pub fn build(system: SystemId, interner: &mut SourceInterner) -> Self {
+        let spec = system.spec();
+        let n = spec.sources as usize;
+        let mut compute = Vec::with_capacity(n);
+        let mut admin = Vec::new();
+        let mut hotspots = Vec::new();
+        match system {
+            SystemId::BlueGeneL => {
+                // Midplane locations: R<rack>-M<mid>-N<node>-C:J<jtag>-U<unit>.
+                for i in 0..n {
+                    let rack = i / 32;
+                    let mid = (i / 16) % 2;
+                    let nc = i % 16;
+                    compute.push(interner.intern(&format!(
+                        "R{rack:02}-M{mid}-N{nc}-C:J{j:02}-U{u:02}",
+                        j = (i * 7) % 18,
+                        u = (i * 3) % 4,
+                    )));
+                }
+                for i in 0..4 {
+                    admin.push(interner.intern(&format!("bglsn{i}")));
+                }
+                hotspots.push(interner.intern("R23-M1-N2-C:J13-U11"));
+            }
+            SystemId::Thunderbird => {
+                for i in 1..=n {
+                    compute.push(interner.intern(&format!("tbird-cn{i}")));
+                }
+                for i in 1..=4 {
+                    admin.push(interner.intern(&format!("tbird-admin{i}")));
+                }
+                // The node responsible for 643,925 VAPI errors.
+                hotspots.push(compute[370]);
+            }
+            SystemId::RedStorm => {
+                for i in 0..n {
+                    compute.push(interner.intern(&format!("nid{i:05}")));
+                }
+                for i in 1..=8 {
+                    admin.push(interner.intern(&format!("ddn{i}")));
+                }
+                admin.push(interner.intern("smw0"));
+                hotspots.push(admin[2]); // ddn3
+            }
+            SystemId::Spirit => {
+                for i in 1..=n {
+                    compute.push(interner.intern(&format!("sn{i}")));
+                }
+                admin.push(interner.intern("sadmin1"));
+                admin.push(interner.intern("sadmin2"));
+                // sn373 logged more than half of all Spirit alerts;
+                // sn325 had the coincident independent disk failure.
+                hotspots.push(compute[372]); // sn373
+                hotspots.push(compute[324]); // sn325
+            }
+            SystemId::Liberty => {
+                for i in 1..=n {
+                    compute.push(interner.intern(&format!("ln{i}")));
+                }
+                admin.push(interner.intern("ladmin1"));
+                admin.push(interner.intern("ladmin2"));
+                hotspots.push(compute[187]); // ln188
+            }
+        }
+        NodeSet {
+            compute,
+            admin,
+            hotspots,
+        }
+    }
+
+    /// Number of distinct sources across all roles (hotspots may be
+    /// members of the compute or admin lists).
+    pub fn total(&self) -> usize {
+        let mut set: std::collections::HashSet<_> = self.compute.iter().copied().collect();
+        set.extend(self.admin.iter().copied());
+        set.extend(self.hotspots.iter().copied());
+        set.len()
+    }
+
+    /// Event-path component name for Red Storm (cabinet coordinates),
+    /// derived from a compute index.
+    pub fn rs_component_name(i: usize) -> String {
+        format!(
+            "c{}-{}c{}s{}n{}",
+            i / 768,
+            (i / 96) % 8,
+            (i / 32) % 3,
+            (i / 4) % 8,
+            i % 4
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_match_specs() {
+        let mut interner = SourceInterner::new();
+        for &sys in &sclog_types::ALL_SYSTEMS {
+            let mut local = SourceInterner::new();
+            let ns = NodeSet::build(sys, &mut local);
+            assert_eq!(ns.compute.len(), sys.spec().sources as usize, "{sys}");
+            assert!(!ns.admin.is_empty(), "{sys}");
+            assert!(!ns.hotspots.is_empty(), "{sys}");
+            // Every interned name belongs to a role; no accidental extras.
+            assert_eq!(local.len(), ns.total(), "{sys}: duplicate node names");
+            let _ = &mut interner;
+        }
+    }
+
+    #[test]
+    fn spirit_hotspots_are_the_paper_nodes() {
+        let mut interner = SourceInterner::new();
+        let ns = NodeSet::build(SystemId::Spirit, &mut interner);
+        assert_eq!(interner.name(ns.hotspots[0]), "sn373");
+        assert_eq!(interner.name(ns.hotspots[1]), "sn325");
+    }
+
+    #[test]
+    fn rs_component_names_are_formed() {
+        assert_eq!(NodeSet::rs_component_name(0), "c0-0c0s0n0");
+        let name = NodeSet::rs_component_name(1234);
+        assert!(name.starts_with('c'));
+    }
+
+    #[test]
+    fn bgl_locations_look_like_locations() {
+        let mut interner = SourceInterner::new();
+        let ns = NodeSet::build(SystemId::BlueGeneL, &mut interner);
+        let name = interner.name(ns.compute[0]);
+        assert!(name.starts_with("R00-M0-N0-C:J"), "{name}");
+    }
+}

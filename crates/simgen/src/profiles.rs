@@ -1,0 +1,545 @@
+//! Calibration profiles: how each system's failures and background
+//! traffic behave.
+//!
+//! Counts come from the catalog in `sclog-rules` (Table 4); this module
+//! adds the *dynamics*: arrival processes, burst shapes, node
+//! placement, episodic windows, cascades, and background severity mixes
+//! (Tables 5 and 6). Every documented anomaly gets an explicit knob:
+//! Spirit's `sn373` hotspot, the Thunderbird VAPI node, the Liberty PBS
+//! bug window, the GM_PAR→GM_LANAI cascade of Figure 3, the spatially
+//! correlated SMP clock bug, and Liberty's OS-upgrade rate shift
+//! (Figure 2a).
+
+use sclog_types::SystemId;
+
+/// Failure interarrival model for one category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Memoryless (Poisson) arrivals — physically driven failures like
+    /// ECC (Figure 5: "basically independent").
+    Exponential,
+    /// Log-normal renewal arrivals with the given sigma — clustered,
+    /// heavy-tailed arrivals (most software and storage categories).
+    LogNormal {
+        /// Sigma of the underlying normal; larger = burstier.
+        sigma: f64,
+    },
+}
+
+/// A cascade link: this category's failures tend to follow another
+/// category's failures (Figure 3's GM_PAR/GM_LANAI relationship,
+/// "a common such correlation results from cascading failures").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Name of the earlier-generated category to follow.
+    pub to: &'static str,
+    /// Fraction of this category's failures that follow a linked
+    /// failure (the rest are independent).
+    pub prob: f64,
+    /// Mean lag behind the linked failure, seconds (exponential
+    /// jitter).
+    pub lag_secs: f64,
+}
+
+/// Generation dynamics for one alert category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenProfile {
+    /// Category name — must match the `sclog-rules` catalog.
+    pub name: &'static str,
+    /// Failure arrival model.
+    pub arrival: Arrival,
+    /// Active window as a fraction of the observation span (episodic
+    /// pathologies like the PBS bug live in a sub-window).
+    pub window: (f64, f64),
+    /// Mean gap between redundant messages within one failure's burst,
+    /// seconds (kept below the 5 s filter threshold so that filtered ≈
+    /// failures, as the calibration requires).
+    pub burst_gap_secs: f64,
+    /// Number of distinct nodes a burst round-robins across.
+    pub spread: u32,
+    /// `(hotspot_index, fraction)`: route this fraction of failures to
+    /// the numbered hotspot node.
+    pub hotspot: Option<(usize, f64)>,
+    /// Place each failure on a *contiguous group* of this many nodes
+    /// simultaneously (the SMP clock bug under communication-heavy
+    /// jobs).
+    pub correlated_group: Option<u32>,
+    /// Cascade link to an earlier category.
+    pub link: Option<Link>,
+}
+
+impl GenProfile {
+    /// Default dynamics: lognormal renewal over the full window,
+    /// 1-second burst gaps, single-node bursts.
+    pub const fn defaults(name: &'static str) -> Self {
+        GenProfile {
+            name,
+            arrival: Arrival::LogNormal { sigma: 1.0 },
+            window: (0.0, 1.0),
+            burst_gap_secs: 1.0,
+            spread: 1,
+            hotspot: None,
+            correlated_group: None,
+            link: None,
+        }
+    }
+}
+
+macro_rules! profile {
+    ($name:literal $(, $field:ident : $value:expr)* $(,)?) => {
+        GenProfile {
+            $($field: $value,)*
+            ..GenProfile::defaults($name)
+        }
+    };
+}
+
+/// Severity weights for background traffic, as (severity name, count)
+/// pairs. Counts are the non-alert message counts from Tables 5/6.
+pub type SeverityWeights = &'static [(&'static str, u64)];
+
+/// Full generation profile for one system.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemProfile {
+    /// Which system.
+    pub system: SystemId,
+    /// Total non-alert messages over the observation window (Table 2
+    /// messages minus alerts), before scaling.
+    pub background_total: u64,
+    /// Background severity mix; empty for systems without severities.
+    pub bg_severity: SeverityWeights,
+    /// Background (facility, body-template) pool.
+    pub bg_templates: &'static [(&'static str, &'static str)],
+    /// Fraction of background riding Red Storm's event path (0 for
+    /// other systems).
+    pub bg_event_frac: f64,
+    /// Piecewise-constant background rate regimes: `(start_frac,
+    /// relative_rate)`, sorted by start. Liberty's OS upgrade lives
+    /// here.
+    pub rate_regimes: &'static [(f64, f64)],
+    /// Fraction of background emitted by administrative nodes (the
+    /// chatty head of Figure 2b).
+    pub admin_frac: f64,
+    /// Zipf exponent for the per-node share of compute-node traffic.
+    pub zipf: f64,
+    /// Probability a rendered message is corrupted.
+    pub corrupt_prob: f64,
+    /// Probability a message is lost in collection (UDP syslog paths;
+    /// models random drops).
+    pub loss_prob: f64,
+    /// Collector drain rate in messages/second for the token-bucket
+    /// contention model (0 disables it; reliable TCP/JTAG paths).
+    /// Sized above single-storm rates so calibrated counts survive;
+    /// only overlapping storms contend.
+    pub collector_rate: f64,
+    /// Per-category dynamics; must cover the system's whole catalog.
+    pub categories: &'static [GenProfile],
+}
+
+/// The profile for a system.
+pub fn system_profile(system: SystemId) -> &'static SystemProfile {
+    match system {
+        SystemId::BlueGeneL => &BGL_PROFILE,
+        SystemId::Thunderbird => &TBIRD_PROFILE,
+        SystemId::RedStorm => &RSTORM_PROFILE,
+        SystemId::Spirit => &SPIRIT_PROFILE,
+        SystemId::Liberty => &LIBERTY_PROFILE,
+    }
+}
+
+// ---------------------------------------------------------------- BG/L
+
+/// Non-alert severity mix from Table 5 (messages minus alerts).
+static BGL_BG_SEVERITY: SeverityWeights = &[
+    ("FATAL", 507_103),
+    ("FAILURE", 1652),
+    ("SEVERE", 19_213),
+    ("ERROR", 112_355),
+    ("WARNING", 23_357),
+    ("INFO", 3_735_823),
+];
+
+static BGL_BG_TEMPLATES: &[(&str, &str)] = &[
+    ("KERNEL", "instruction cache parity error corrected"),
+    ("KERNEL", "CE sym {num}, at {hex}, mask {hex}"),
+    ("KERNEL", "generating core.{num}"),
+    ("KERNEL", "total of {num} ddr error(s) detected and corrected"),
+    ("KERNEL", "{num} floating point alignment exceptions"),
+    ("APP", "ciod: generated {num} core files for program {path}"),
+    ("MMCS", "idoproxydb hit ASSERT condition: line {num} of file {path}"),
+    ("MONITOR", "node card status: no ALERTs are active"),
+    ("KERNEL", "NodeCard temperature reading {num} C"),
+    ("DISCOVERY", "node card VPD check: missing severity unknown"),
+];
+
+static BGL_CATEGORIES: &[GenProfile] = &[
+    profile!("KERNDTLB", spread: 4, burst_gap_secs: 0.4),
+    profile!("KERNSTOR", spread: 4, burst_gap_secs: 0.4),
+    profile!("APPSEV", spread: 8, burst_gap_secs: 0.8),
+    profile!("KERNMNTF", spread: 2, burst_gap_secs: 0.6),
+    profile!("KERNTERM", spread: 4, burst_gap_secs: 0.8,
+        link: Some(Link { to: "APPSEV", prob: 0.6, lag_secs: 25.0 })),
+    profile!("KERNREC", spread: 2),
+    profile!("APPREAD", spread: 4,
+        link: Some(Link { to: "APPSEV", prob: 0.5, lag_secs: 15.0 })),
+    profile!("KERNRTSP", spread: 2,
+        link: Some(Link { to: "KERNTERM", prob: 0.5, lag_secs: 40.0 })),
+    profile!("APPRES", spread: 4,
+        link: Some(Link { to: "APPSEV", prob: 0.4, lag_secs: 20.0 })),
+    profile!("APPUNAV", spread: 8),
+    profile!("KERNMC"),
+    profile!("KERNPAN", link: Some(Link { to: "KERNMC", prob: 0.3, lag_secs: 30.0 })),
+    profile!("KERNSOCK"),
+    profile!("KERNBIT"),
+    profile!("KERNDCR"),
+    profile!("KERNEXC"),
+    profile!("KERNFPU"),
+    profile!("KERNINST"),
+    profile!("KERNMICRO"),
+    profile!("KERNNOETH"),
+    profile!("KERNPROM"),
+    profile!("KERNRTSA"),
+    profile!("KERNTLBP"),
+    profile!("KERNCON"),
+    profile!("KERNPOW"),
+    profile!("CIODEXIT"),
+    profile!("LINKDISC"),
+    profile!("LINKPAP"),
+    profile!("LINKIAP"),
+    profile!("MASABNORM"),
+    profile!("MONILL"),
+    profile!("MONNULL"),
+    profile!("MONPOW"),
+    profile!("MONTEMP"),
+    profile!("MMCSRAS"),
+    profile!("CIODSOCK"),
+    profile!("APPALLOC"),
+    profile!("APPBUSY"),
+    profile!("APPCHILD"),
+    profile!("APPTORUS"),
+    profile!("KERNPBS"),
+];
+
+static BGL_PROFILE: SystemProfile = SystemProfile {
+    system: SystemId::BlueGeneL,
+    background_total: 4_399_503,
+    bg_severity: BGL_BG_SEVERITY,
+    bg_templates: BGL_BG_TEMPLATES,
+    bg_event_frac: 0.0,
+    rate_regimes: &[(0.0, 1.0)],
+    admin_frac: 0.05,
+    zipf: 0.6,
+    corrupt_prob: 0.0002,
+    loss_prob: 0.0, // JTAG/DB2 path is reliable
+    collector_rate: 0.0,
+    categories: BGL_CATEGORIES,
+};
+
+// --------------------------------------------------------- Thunderbird
+
+static TBIRD_BG_TEMPLATES: &[(&str, &str)] = &[
+    ("kernel", "eth0: no IPv6 routers present"),
+    ("sshd[{num}]", "session opened for user root by (uid=0)"),
+    ("ntpd[{num}]", "synchronized to 10.0.0.{num}, stratum 2"),
+    ("crond[{num}]", "(root) CMD (run-parts /etc/cron.hourly)"),
+    ("pbs_mom", "scan_for_terminated: job {job} task 1 terminated"),
+    ("kernel", "ib_sm_sweep.c: SM sweep complete"),
+    ("dhclient", "DHCPREQUEST on eth1 to 10.1.0.{num} port 67"),
+    ("postfix/smtpd[{num}]", "connect from localhost[127.0.0.1]"),
+    ("gmond", "metric tcp_retrans value {num}"),
+    ("irqbalance", "irq {num} affinity set"),
+];
+
+static TBIRD_CATEGORIES: &[GenProfile] = &[
+    profile!("VAPI", arrival: Arrival::LogNormal { sigma: 1.6 },
+        hotspot: Some((0, 0.2)), spread: 1, burst_gap_secs: 0.3),
+    profile!("PBS_CON", spread: 1, window: (0.1, 0.95)),
+    profile!("MPT", spread: 1, burst_gap_secs: 0.7),
+    profile!("EXT_FS", spread: 1, burst_gap_secs: 1.5),
+    // The SMP kernel clock bug: spatially correlated across the node
+    // groups running communication-heavy jobs.
+    profile!("CPU", correlated_group: Some(8), spread: 8, burst_gap_secs: 2.0),
+    profile!("SCSI", spread: 1, burst_gap_secs: 1.2),
+    // Critical ECC memory alerts: independent physical failures
+    // (Figure 5), essentially unfiltered (146 raw / 143 filtered).
+    profile!("ECC", arrival: Arrival::Exponential, spread: 1, burst_gap_secs: 0.1),
+    profile!("PBS_BFD", window: (0.3, 0.9)),
+    profile!("CHK_DSK", spread: 2, burst_gap_secs: 2.5),
+    profile!("NMI", spread: 1),
+];
+
+static TBIRD_PROFILE: SystemProfile = SystemProfile {
+    system: SystemId::Thunderbird,
+    background_total: 207_963_953,
+    bg_severity: &[],
+    bg_templates: TBIRD_BG_TEMPLATES,
+    bg_event_frac: 0.0,
+    rate_regimes: &[(0.0, 1.0), (0.55, 1.4)],
+    admin_frac: 0.25,
+    zipf: 0.8,
+    corrupt_prob: 0.0005, // the VAPI corruption examples of §3.2.1
+    loss_prob: 0.003,
+    collector_rate: 200.0,
+    categories: TBIRD_CATEGORIES,
+};
+
+// ----------------------------------------------------------- Red Storm
+
+/// Non-alert syslog severity mix from Table 6 (messages minus alerts).
+static RSTORM_BG_SEVERITY: SeverityWeights = &[
+    ("EMERG", 3),
+    ("ALERT", 609),
+    ("CRIT", 2693),
+    ("ERR", 2_015_814),
+    ("WARNING", 2_154_674),
+    ("NOTICE", 3_759_620),
+    ("INFO", 15_714_245),
+    ("DEBUG", 291_764),
+];
+
+static RSTORM_BG_TEMPLATES: &[(&str, &str)] = &[
+    ("kernel", "Lustre: {num}:({path}:{num}:ldlm_handle_ast()) completion AST arrived"),
+    ("kernel", "scsi: aborting command due to timeout recovered"),
+    ("syslogd", "restart (remote reception)"),
+    ("pbs_server", "job {job} queued at priority {num}"),
+    ("kernel", "ip_tables: (C) 2000-2002 Netfilter core team"),
+    ("ddn", "DMT_STAT tier {num} throughput {num} MB/s"),
+    ("kernel", "nfs: server responding again"),
+    ("init", "Switching to runlevel: {num}"),
+];
+
+/// Red Storm event-path background bodies (facility, body).
+pub static RSTORM_EVENT_TEMPLATES: &[(&str, &str)] = &[
+    ("ec_heartbeat", "src:::{node} svc:::{node} node heartbeat ok seq {num}"),
+    ("ec_console_log", "src:::{node} console buffer flushed {num} bytes"),
+    ("ec_power_status", "src:::{node} power rail nominal {num} mV"),
+    ("ec_link_status", "src:::{node} seastar link up lanes {num}"),
+];
+
+static RSTORM_CATEGORIES: &[GenProfile] = &[
+    // The DDN disk-failure storms behind Table 6's CRIT dominance.
+    profile!("BUS_PAR", arrival: Arrival::LogNormal { sigma: 1.8 },
+        hotspot: Some((0, 0.8)), burst_gap_secs: 0.05),
+    profile!("HBEAT", spread: 3, burst_gap_secs: 1.0),
+    profile!("PTL_EXP", spread: 4, burst_gap_secs: 1.5,
+        link: Some(Link { to: "HBEAT", prob: 0.4, lag_secs: 45.0 })),
+    profile!("ADDR_ERR", hotspot: Some((0, 0.9)), burst_gap_secs: 0.05),
+    profile!("CMD_ABORT", hotspot: Some((0, 0.5)), burst_gap_secs: 1.0),
+    profile!("PTL_ERR", spread: 2,
+        link: Some(Link { to: "PTL_EXP", prob: 0.5, lag_secs: 30.0 })),
+    profile!("TOAST", spread: 1),
+    profile!("EW", spread: 1, burst_gap_secs: 1.5),
+    profile!("WT", spread: 1,
+        link: Some(Link { to: "EW", prob: 0.6, lag_secs: 20.0 })),
+    profile!("RBB", spread: 2),
+    profile!("DSK_FAIL", arrival: Arrival::Exponential, hotspot: Some((0, 0.7)),
+        burst_gap_secs: 0.1),
+    profile!("OST", spread: 1),
+];
+
+static RSTORM_PROFILE: SystemProfile = SystemProfile {
+    system: SystemId::RedStorm,
+    background_total: 217_430_424,
+    bg_severity: RSTORM_BG_SEVERITY,
+    bg_templates: RSTORM_BG_TEMPLATES,
+    bg_event_frac: 0.89, // most Red Storm traffic rides the RAS network
+    rate_regimes: &[(0.0, 1.0)],
+    admin_frac: 0.15,
+    zipf: 0.7,
+    corrupt_prob: 0.0002,
+    loss_prob: 0.0, // TCP event path; syslog share small
+    collector_rate: 0.0,
+    categories: RSTORM_CATEGORIES,
+};
+
+// --------------------------------------------------------------- Spirit
+
+static SPIRIT_BG_TEMPLATES: &[(&str, &str)] = &[
+    ("kernel", "eth0: link up, 1000Mbps, full-duplex"),
+    ("sshd[{num}]", "session opened for user root by (uid=0)"),
+    ("ntpd[{num}]", "synchronized to 10.2.0.{num}, stratum 3"),
+    ("crond[{num}]", "(root) CMD (/usr/lib64/sa/sa1 1 1)"),
+    ("pbs_mom", "scan_for_terminated: job {job} task 1 terminated"),
+    ("automount[{num}]", "expired /home/{path}"),
+    ("kernel", "martian source 10.2.{num}.{num} from 10.2.{num}.{num}"),
+    ("syslogd", "restart"),
+];
+
+static SPIRIT_CATEGORIES: &[GenProfile] = &[
+    // sn373's disk produced more than half of all Spirit alerts; the
+    // 56.8M-alert six-day storm is one of these failures.
+    profile!("EXT_CCISS", arrival: Arrival::LogNormal { sigma: 1.8 },
+        hotspot: Some((0, 0.65)), burst_gap_secs: 0.009),
+    profile!("EXT_FS", arrival: Arrival::LogNormal { sigma: 1.8 },
+        hotspot: Some((0, 0.55)), burst_gap_secs: 0.012),
+    profile!("PBS_CHK", window: (0.55, 0.95), arrival: Arrival::LogNormal { sigma: 0.8 }),
+    profile!("GM_PAR", spread: 1),
+    profile!("GM_LANAI", link: Some(Link { to: "GM_PAR", prob: 0.5, lag_secs: 90.0 })),
+    profile!("PBS_CON", window: (0.2, 0.9)),
+    profile!("GM_MAP", spread: 1),
+    profile!("PBS_BFD", window: (0.55, 0.95),
+        link: Some(Link { to: "PBS_CHK", prob: 0.5, lag_secs: 60.0 })),
+];
+
+static SPIRIT_PROFILE: SystemProfile = SystemProfile {
+    system: SystemId::Spirit,
+    background_total: 99_482_405,
+    bg_severity: &[],
+    bg_templates: SPIRIT_BG_TEMPLATES,
+    bg_event_frac: 0.0,
+    rate_regimes: &[(0.0, 1.0), (0.4, 1.3)],
+    admin_frac: 0.2,
+    zipf: 0.8,
+    corrupt_prob: 0.0004,
+    loss_prob: 0.003,
+    collector_rate: 160.0,
+    categories: SPIRIT_CATEGORIES,
+};
+
+// -------------------------------------------------------------- Liberty
+
+static LIBERTY_BG_TEMPLATES: &[(&str, &str)] = &[
+    ("kernel", "eth0: link up, 1000Mbps, full-duplex"),
+    ("sshd[{num}]", "session opened for user root by (uid=0)"),
+    ("ntpd[{num}]", "synchronized to 10.3.0.{num}, stratum 3"),
+    ("crond[{num}]", "(root) CMD (run-parts /etc/cron.hourly)"),
+    ("pbs_mom", "scan_for_terminated: job {job} task 1 terminated"),
+    ("gm_board_info", "lanai clock value {num}"),
+    ("automount[{num}]", "attempting to mount entry /misc/{path}"),
+    ("kernel", "VFS: busy inodes on changed media"),
+];
+
+static LIBERTY_CATEGORIES: &[GenProfile] = &[
+    // The PBS bug: ~three months of job-fatal task_check alerts
+    // (Figure 4's dense horizontal cluster).
+    profile!("PBS_CHK", window: (0.7, 0.97), arrival: Arrival::LogNormal { sigma: 0.7 }),
+    profile!("PBS_BFD", window: (0.7, 0.97),
+        link: Some(Link { to: "PBS_CHK", prob: 0.6, lag_secs: 60.0 })),
+    profile!("PBS_CON", window: (0.2, 0.9)),
+    // GM_PAR precedes GM_LANAI often but not always (Figure 3).
+    profile!("GM_PAR", window: (0.15, 0.9)),
+    profile!("GM_LANAI", window: (0.15, 0.9),
+        link: Some(Link { to: "GM_PAR", prob: 0.6, lag_secs: 120.0 })),
+    profile!("GM_MAP", window: (0.15, 0.9)),
+];
+
+static LIBERTY_PROFILE: SystemProfile = SystemProfile {
+    system: SystemId::Liberty,
+    background_total: 265_566_779,
+    bg_severity: &[],
+    bg_templates: LIBERTY_BG_TEMPLATES,
+    bg_event_frac: 0.0,
+    // Figure 2a: the OS upgrade at the end of Q1-2005 (≈ day 110 of
+    // 315) tripled traffic; later shifts are "not well understood".
+    rate_regimes: &[(0.0, 1.0), (0.35, 3.2), (0.62, 2.2), (0.85, 1.4)],
+    admin_frac: 0.3,
+    zipf: 0.9,
+    corrupt_prob: 0.0005,
+    loss_prob: 0.003,
+    collector_rate: 150.0,
+    categories: LIBERTY_CATEGORIES,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_rules::catalog;
+    use std::collections::HashSet;
+
+    #[test]
+    fn profiles_cover_every_catalog_category_exactly() {
+        for &sys in &sclog_types::ALL_SYSTEMS {
+            let profile = system_profile(sys);
+            let profile_names: HashSet<&str> =
+                profile.categories.iter().map(|p| p.name).collect();
+            let catalog_names: HashSet<&str> =
+                catalog(sys).iter().map(|s| s.name).collect();
+            assert_eq!(
+                profile_names, catalog_names,
+                "{sys}: profile/catalog category mismatch"
+            );
+            assert_eq!(profile.categories.len(), catalog(sys).len(), "{sys}: duplicates");
+        }
+    }
+
+    #[test]
+    fn links_point_to_earlier_categories() {
+        for &sys in &sclog_types::ALL_SYSTEMS {
+            let cats = system_profile(sys).categories;
+            for (i, p) in cats.iter().enumerate() {
+                if let Some(link) = p.link {
+                    let target = cats.iter().position(|q| q.name == link.to);
+                    let target = target.unwrap_or_else(|| {
+                        panic!("{sys}: {} links to unknown {}", p.name, link.to)
+                    });
+                    assert!(target < i, "{sys}: {} links forward to {}", p.name, link.to);
+                    assert!(link.prob > 0.0 && link.prob <= 1.0);
+                    assert!(link.lag_secs > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn background_totals_match_table2() {
+        // messages(Table 2) − alerts(Table 2) per system.
+        let expect = [
+            (SystemId::BlueGeneL, 4_747_963u64 - 348_460),
+            (SystemId::Thunderbird, 211_212_192 - 3_248_239),
+            (SystemId::RedStorm, 219_096_168 - 1_665_744),
+            (SystemId::Spirit, 272_298_969 - 172_816_564),
+            (SystemId::Liberty, 265_569_231 - 2452),
+        ];
+        for (sys, bg) in expect {
+            assert_eq!(system_profile(sys).background_total, bg, "{sys}");
+        }
+    }
+
+    #[test]
+    fn bgl_severity_weights_sum_to_background() {
+        let total: u64 = BGL_BG_SEVERITY.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, BGL_PROFILE.background_total);
+    }
+
+    #[test]
+    fn rstorm_severity_weights_sum_to_syslog_background() {
+        let total: u64 = RSTORM_BG_SEVERITY.iter().map(|&(_, n)| n).sum();
+        // Syslog-path background = (1 - event_frac') of the total; the
+        // exact Table 6 sum is 23,939,422.
+        assert_eq!(total, 23_939_422);
+        // Event fraction is consistent with that split to within 1%.
+        let implied = 1.0 - total as f64 / RSTORM_PROFILE.background_total as f64;
+        assert!((implied - RSTORM_PROFILE.bg_event_frac).abs() < 0.01);
+    }
+
+    #[test]
+    fn regimes_are_sorted_and_start_at_zero() {
+        for &sys in &sclog_types::ALL_SYSTEMS {
+            let regimes = system_profile(sys).rate_regimes;
+            assert_eq!(regimes[0].0, 0.0, "{sys}");
+            assert!(
+                regimes.windows(2).all(|w| w[0].0 < w[1].0),
+                "{sys}: regimes out of order"
+            );
+            assert!(regimes.iter().all(|&(f, r)| (0.0..1.0).contains(&f) && r > 0.0));
+        }
+    }
+
+    #[test]
+    fn windows_and_gaps_are_sane() {
+        for &sys in &sclog_types::ALL_SYSTEMS {
+            for p in system_profile(sys).categories {
+                assert!(p.window.0 < p.window.1, "{sys}/{}", p.name);
+                assert!((0.0..=1.0).contains(&p.window.0));
+                assert!(p.window.1 <= 1.0);
+                assert!(p.burst_gap_secs > 0.0);
+                // Sub-threshold gaps keep filtered ≈ failures.
+                assert!(p.burst_gap_secs < 5.0, "{sys}/{}: gap ≥ T", p.name);
+                assert!(p.spread >= 1);
+                if let Some((_, frac)) = p.hotspot {
+                    assert!(frac > 0.0 && frac <= 1.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Correlation measures: Pearson/Spearman, lagged cross-correlation,
+//! and spatial co-occurrence.
+//!
+//! Figure 3 of the paper shows GM_LANAI and GM_PAR alerts on Liberty
+//! with a clear but inexact correlation; Section 4 recounts discovering
+//! the Linux SMP clock bug *because* CPU alerts were spatially
+//! correlated across nodes, unlike the independent ECC alerts. These
+//! functions reproduce both analyses.
+
+use sclog_types::{Duration, NodeId, Timestamp};
+use std::collections::HashSet;
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns 0 for degenerate (constant) series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(!xs.is_empty(), "empty series");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation (Pearson on average ranks).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks of a series (ties share the mean rank).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Normalized cross-correlation of two series at integer lags in
+/// `-max_lag..=max_lag`.
+///
+/// Returns `(lag, correlation)` pairs; positive lag means `ys` trails
+/// `xs` (an `xs` event tends to precede a `ys` event).
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or `max_lag >= len`.
+pub fn cross_correlation(xs: &[f64], ys: &[f64], max_lag: usize) -> Vec<(i64, f64)> {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(max_lag < xs.len(), "max_lag must be below series length");
+    let mut out = Vec::with_capacity(2 * max_lag + 1);
+    for lag in -(max_lag as i64)..=(max_lag as i64) {
+        let (a, b) = if lag >= 0 {
+            (&xs[..xs.len() - lag as usize], &ys[lag as usize..])
+        } else {
+            (&xs[(-lag) as usize..], &ys[..ys.len() - (-lag) as usize])
+        };
+        out.push((lag, pearson(a, b)));
+    }
+    out
+}
+
+/// The lag (within `max_lag`) with the highest cross-correlation.
+pub fn best_lag(xs: &[f64], ys: &[f64], max_lag: usize) -> (i64, f64) {
+    cross_correlation(xs, ys, max_lag)
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("cross_correlation is never empty")
+}
+
+/// Result of a spatial co-occurrence analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialCooccurrence {
+    /// Number of time windows containing at least one event.
+    pub active_windows: usize,
+    /// Mean number of *distinct sources* per active window.
+    pub mean_sources_per_window: f64,
+    /// Fraction of active windows where ≥ 2 distinct sources fired.
+    pub multi_source_fraction: f64,
+}
+
+/// Measures how spatially correlated a category's events are.
+///
+/// Slices time into `window`-wide bins and asks: when this category
+/// fires at all, how many *distinct nodes* fire together? Independent
+/// physical failures (ECC) give a multi-source fraction near the value
+/// expected under random scattering; a shared-cause bug (the SMP clock
+/// bug under communication-heavy jobs) gives a much higher one.
+///
+/// # Panics
+///
+/// Panics if `window` is not positive.
+pub fn spatial_cooccurrence(
+    events: &[(Timestamp, NodeId)],
+    window: Duration,
+) -> SpatialCooccurrence {
+    assert!(window.as_micros() > 0, "window must be positive");
+    if events.is_empty() {
+        return SpatialCooccurrence {
+            active_windows: 0,
+            mean_sources_per_window: 0.0,
+            multi_source_fraction: 0.0,
+        };
+    }
+    use std::collections::HashMap;
+    let mut per_window: HashMap<i64, HashSet<NodeId>> = HashMap::new();
+    for &(t, node) in events {
+        per_window
+            .entry(t.as_micros().div_euclid(window.as_micros()))
+            .or_default()
+            .insert(node);
+    }
+    let active = per_window.len();
+    let total_sources: usize = per_window.values().map(|s| s.len()).sum();
+    let multi = per_window.values().filter(|s| s.len() >= 2).count();
+    SpatialCooccurrence {
+        active_windows: active,
+        mean_sources_per_window: total_sources as f64 / active as f64,
+        multi_source_fraction: multi as f64 / active as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0, 8.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[8.0, 6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for the same data.
+        assert!(pearson(&xs, &ys) < 0.99);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn cross_correlation_finds_shift() {
+        // ys is xs delayed by 3.
+        let n = 200;
+        let xs: Vec<f64> = (0..n).map(|i| ((i % 17) as f64).sin()).collect();
+        let mut ys = vec![0.0; n];
+        ys[3..n].copy_from_slice(&xs[..n - 3]);
+        let (lag, corr) = best_lag(&xs, &ys, 10);
+        assert_eq!(lag, 3);
+        assert!(corr > 0.95);
+    }
+
+    #[test]
+    fn spatial_cooccurrence_independent_vs_correlated() {
+        let w = Duration::from_secs(10);
+        // Independent: 100 events in 100 separate windows, random nodes.
+        let independent: Vec<(Timestamp, NodeId)> = (0..100u32)
+            .map(|i| {
+                (
+                    Timestamp::from_secs(i64::from(i) * 100),
+                    NodeId::from_index(i % 7),
+                )
+            })
+            .collect();
+        let si = spatial_cooccurrence(&independent, w);
+        assert_eq!(si.active_windows, 100);
+        assert_eq!(si.multi_source_fraction, 0.0);
+
+        // Correlated: bursts of 5 nodes in the same window.
+        let mut correlated = Vec::new();
+        for b in 0..20i64 {
+            for node in 0..5u32 {
+                correlated.push((
+                    Timestamp::from_secs(b * 1000 + i64::from(node)),
+                    NodeId::from_index(node),
+                ));
+            }
+        }
+        let sc = spatial_cooccurrence(&correlated, w);
+        assert_eq!(sc.active_windows, 20);
+        assert!(sc.multi_source_fraction > 0.99);
+        assert!(sc.mean_sources_per_window > 4.9);
+    }
+
+    #[test]
+    fn spatial_cooccurrence_empty() {
+        let s = spatial_cooccurrence(&[], Duration::from_secs(1));
+        assert_eq!(s.active_windows, 0);
+        assert_eq!(s.mean_sources_per_window, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_lag")]
+    fn cross_correlation_big_lag_panics() {
+        let _ = cross_correlation(&[1.0, 2.0], &[1.0, 2.0], 5);
+    }
+}

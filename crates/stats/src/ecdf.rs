@@ -1,0 +1,107 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical CDF of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(2.0), 0.75);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF, sorting the sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF of empty sample");
+        assert!(sample.iter().all(|x| !x.is_nan()), "ECDF sample contains NaN");
+        sample.sort_by(f64::total_cmp);
+        Ecdf { sorted: sample }
+    }
+
+    /// `F(x)` — the fraction of the sample ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false — construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The empirical quantile function (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::summary::quantile_sorted(&self.sorted, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_semantics() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.9), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(vec![5.0; 10]);
+        assert_eq!(e.eval(4.999), 0.0);
+        assert_eq!(e.eval(5.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_from_sorted() {
+        let e = Ecdf::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.quantile(0.5), 2.5);
+        assert_eq!(e.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

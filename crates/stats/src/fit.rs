@@ -1,0 +1,468 @@
+//! Maximum-likelihood fitting of interarrival-time models.
+//!
+//! Section 4 of the paper fits failure interarrival models: ECC alerts
+//! look exponential and "roughly log normal with a heavy left tail",
+//! while most other categories fit nothing well. This module provides
+//! the four families the paper's discussion touches (exponential,
+//! log-normal, Weibull, Pareto), MLE fitting, and AIC-based model
+//! selection, so the benches can reproduce both the good fits
+//! (Figure 5) and the bad ones.
+
+use crate::special::{ln_gamma, std_normal_cdf};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A continuous positive-support distribution that can be fitted to a
+/// sample and evaluated.
+pub trait Distribution: fmt::Debug {
+    /// Human-readable family name (`"exponential"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution at `x`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Number of fitted parameters (for AIC).
+    fn param_count(&self) -> usize;
+
+    /// Log-likelihood of a sample under this distribution.
+    fn log_likelihood(&self, xs: &[f64]) -> f64 {
+        xs.iter().map(|&x| self.pdf(x).max(1e-300).ln()).sum()
+    }
+
+    /// Akaike information criterion for a sample.
+    fn aic(&self, xs: &[f64]) -> f64 {
+        2.0 * self.param_count() as f64 - 2.0 * self.log_likelihood(xs)
+    }
+
+    /// Distribution mean, if finite.
+    fn mean(&self) -> Option<f64>;
+}
+
+fn assert_positive_sample(xs: &[f64]) {
+    assert!(!xs.is_empty(), "cannot fit an empty sample");
+    assert!(
+        xs.iter().all(|&x| x > 0.0 && x.is_finite()),
+        "sample must be positive and finite"
+    );
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate parameter (events per unit time).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// MLE fit: `lambda = 1 / mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-positive values.
+    pub fn fit(xs: &[f64]) -> Self {
+        assert_positive_sample(xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        Exponential { lambda: 1.0 / mean }
+    }
+}
+
+impl Distribution for Exponential {
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+    fn param_count(&self) -> usize {
+        1
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+/// Log-normal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Location of the underlying normal.
+    pub mu: f64,
+    /// Scale of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// MLE fit: sample mean/std of `ln x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-positive values.
+    pub fn fit(xs: &[f64]) -> Self {
+        assert_positive_sample(xs);
+        let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let mu = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|l| (l - mu).powi(2)).sum::<f64>() / logs.len() as f64;
+        LogNormal {
+            mu,
+            sigma: var.sqrt().max(1e-12),
+        }
+    }
+}
+
+impl Distribution for LogNormal {
+    fn name(&self) -> &'static str {
+        "lognormal"
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            std_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+    fn param_count(&self) -> usize {
+        2
+    }
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    /// Shape parameter.
+    pub k: f64,
+    /// Scale parameter.
+    pub lambda: f64,
+}
+
+impl Weibull {
+    /// MLE fit via Newton iteration on the shape's profile likelihood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-positive values.
+    pub fn fit(xs: &[f64]) -> Self {
+        assert_positive_sample(xs);
+        let n = xs.len() as f64;
+        let mean_ln = xs.iter().map(|x| x.ln()).sum::<f64>() / n;
+        // Solve g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean_ln = 0.
+        let mut k = 1.0;
+        for _ in 0..100 {
+            let (mut s0, mut s1, mut s2) = (0.0, 0.0, 0.0);
+            for &x in xs {
+                let xk = x.powf(k);
+                let lx = x.ln();
+                s0 += xk;
+                s1 += xk * lx;
+                s2 += xk * lx * lx;
+            }
+            let g = s1 / s0 - 1.0 / k - mean_ln;
+            let gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+            let step = g / gp;
+            k -= step;
+            if k.is_nan() || k < 1e-6 {
+                k = 1e-6;
+            }
+            if step.abs() < 1e-10 {
+                break;
+            }
+        }
+        let lambda = (xs.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+        Weibull { k, lambda }
+    }
+}
+
+impl Distribution for Weibull {
+    fn name(&self) -> &'static str {
+        "weibull"
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let r = x / self.lambda;
+        (self.k / self.lambda) * r.powf(self.k - 1.0) * (-r.powf(self.k)).exp()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.lambda).powf(self.k)).exp()
+        }
+    }
+    fn param_count(&self) -> usize {
+        2
+    }
+    fn mean(&self) -> Option<f64> {
+        Some(self.lambda * (ln_gamma(1.0 + 1.0 / self.k)).exp())
+    }
+}
+
+/// Pareto (type I) distribution with minimum `xm` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Scale: the distribution's minimum.
+    pub xm: f64,
+    /// Tail index.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// MLE fit: `xm = min(x)`, `alpha = n / sum ln(x/xm)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-positive values.
+    pub fn fit(xs: &[f64]) -> Self {
+        assert_positive_sample(xs);
+        let xm = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let denom: f64 = xs.iter().map(|x| (x / xm).ln()).sum();
+        let alpha = if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            xs.len() as f64 / denom
+        };
+        Pareto { xm, alpha }
+    }
+}
+
+impl Distribution for Pareto {
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            0.0
+        } else {
+            self.alpha * self.xm.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            0.0
+        } else {
+            1.0 - (self.xm / x).powf(self.alpha)
+        }
+    }
+    fn param_count(&self) -> usize {
+        2
+    }
+    fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.xm / (self.alpha - 1.0))
+    }
+}
+
+/// One candidate model's scorecard within a [`FitReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct FittedModel {
+    /// Family name.
+    pub name: &'static str,
+    /// Fitted parameters rendered for display, e.g. `λ=0.004`.
+    pub params: String,
+    /// Log-likelihood on the sample.
+    pub log_likelihood: f64,
+    /// Akaike information criterion (lower is better).
+    pub aic: f64,
+    /// Kolmogorov–Smirnov statistic against the sample.
+    pub ks_stat: f64,
+    /// Asymptotic KS p-value.
+    pub ks_p: f64,
+}
+
+/// Result of fitting all candidate families to a sample.
+#[derive(Debug, Clone, Serialize)]
+pub struct FitReport {
+    /// Candidate models sorted by ascending AIC (best first).
+    pub models: Vec<FittedModel>,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl FitReport {
+    /// Fits exponential, log-normal, Weibull, and Pareto models to a
+    /// positive sample and ranks them by AIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-positive values.
+    pub fn fit_all(xs: &[f64]) -> Self {
+        assert_positive_sample(xs);
+        let exp = Exponential::fit(xs);
+        let lnorm = LogNormal::fit(xs);
+        let weib = Weibull::fit(xs);
+        let pareto = Pareto::fit(xs);
+        let dists: [(&dyn Distribution, String); 4] = [
+            (&exp, format!("λ={:.6}", exp.lambda)),
+            (&lnorm, format!("μ={:.4} σ={:.4}", lnorm.mu, lnorm.sigma)),
+            (&weib, format!("k={:.4} λ={:.4}", weib.k, weib.lambda)),
+            (&pareto, format!("xm={:.4} α={:.4}", pareto.xm, pareto.alpha)),
+        ];
+        let mut models: Vec<FittedModel> = dists
+            .iter()
+            .map(|(d, params)| {
+                let ks = crate::gof::ks_test(xs, |x| d.cdf(x));
+                FittedModel {
+                    name: d.name(),
+                    params: params.clone(),
+                    log_likelihood: d.log_likelihood(xs),
+                    aic: d.aic(xs),
+                    ks_stat: ks.statistic,
+                    ks_p: ks.p_value,
+                }
+            })
+            .collect();
+        models.sort_by(|a, b| a.aic.total_cmp(&b.aic));
+        FitReport {
+            models,
+            n: xs.len(),
+        }
+    }
+
+    /// The best model by AIC.
+    pub fn best(&self) -> &FittedModel {
+        &self.models[0]
+    }
+
+    /// Whether even the best model is a statistically poor fit at the
+    /// given significance level — the paper's "very poor statistical
+    /// goodness-of-fit" observation.
+    pub fn all_fits_poor(&self, alpha: f64) -> bool {
+        self.models.iter().all(|m| m.ks_p < alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_desim::RngStream;
+
+    #[test]
+    fn exponential_fit_recovers_rate() {
+        let mut rng = RngStream::from_seed(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.exponential(0.25)).collect();
+        let fit = Exponential::fit(&xs);
+        assert!((fit.lambda - 0.25).abs() < 0.01, "lambda {}", fit.lambda);
+        assert!((fit.mean().unwrap() - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_params() {
+        let mut rng = RngStream::from_seed(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.lognormal(2.0, 0.7)).collect();
+        let fit = LogNormal::fit(&xs);
+        assert!((fit.mu - 2.0).abs() < 0.03, "mu {}", fit.mu);
+        assert!((fit.sigma - 0.7).abs() < 0.03, "sigma {}", fit.sigma);
+    }
+
+    #[test]
+    fn weibull_fit_recovers_params() {
+        let mut rng = RngStream::from_seed(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.weibull(1.7, 3.0)).collect();
+        let fit = Weibull::fit(&xs);
+        assert!((fit.k - 1.7).abs() < 0.1, "k {}", fit.k);
+        assert!((fit.lambda - 3.0).abs() < 0.1, "lambda {}", fit.lambda);
+    }
+
+    #[test]
+    fn pareto_fit_recovers_params() {
+        let mut rng = RngStream::from_seed(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.pareto(2.0, 2.5)).collect();
+        let fit = Pareto::fit(&xs);
+        assert!((fit.xm - 2.0).abs() < 0.01, "xm {}", fit.xm);
+        assert!((fit.alpha - 2.5).abs() < 0.1, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn cdf_pdf_consistency() {
+        // Numerically integrate the pdf and compare with the cdf.
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Exponential { lambda: 0.5 }),
+            Box::new(LogNormal { mu: 0.0, sigma: 1.0 }),
+            Box::new(Weibull { k: 2.0, lambda: 1.5 }),
+            Box::new(Pareto { xm: 1.0, alpha: 3.0 }),
+        ];
+        for d in &dists {
+            let mut acc = 0.0;
+            let dx = 0.001;
+            let mut x = 0.0;
+            while x < 10.0 {
+                acc += d.pdf(x + dx / 2.0) * dx;
+                x += dx;
+            }
+            let cdf = d.cdf(10.0);
+            assert!(
+                (acc - cdf).abs() < 0.01,
+                "{}: integral {acc} vs cdf {cdf}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn aic_prefers_true_family() {
+        let mut rng = RngStream::from_seed(5);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.exponential(1.0)).collect();
+        let report = FitReport::fit_all(&xs);
+        // Exponential (1 param) should win or be within a whisker of
+        // Weibull (its 2-param superset).
+        let best = report.best();
+        assert!(
+            best.name == "exponential" || best.name == "weibull",
+            "best {}",
+            best.name
+        );
+        let exp_model = report.models.iter().find(|m| m.name == "exponential").unwrap();
+        assert!(exp_model.ks_p > 0.01, "exp should fit, p={}", exp_model.ks_p);
+    }
+
+    #[test]
+    fn lognormal_sample_rejects_exponential() {
+        let mut rng = RngStream::from_seed(6);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.lognormal(1.0, 1.5)).collect();
+        let report = FitReport::fit_all(&xs);
+        assert_eq!(report.best().name, "lognormal");
+        let exp_model = report.models.iter().find(|m| m.name == "exponential").unwrap();
+        assert!(exp_model.ks_p < 0.01, "exp should be rejected");
+        assert!(!report.all_fits_poor(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_empty_panics() {
+        let _ = Exponential::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fit_nonpositive_panics() {
+        let _ = LogNormal::fit(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn pareto_infinite_mean_below_alpha_one() {
+        let p = Pareto { xm: 1.0, alpha: 0.9 };
+        assert_eq!(p.mean(), None);
+    }
+}

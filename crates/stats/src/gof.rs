@@ -1,0 +1,255 @@
+//! Goodness-of-fit tests.
+//!
+//! The paper reports that "in even the best visual fit cases, heavy
+//! tails result in very poor statistical goodness-of-fit metrics"
+//! (Section 4). These tests let the reproduction quantify exactly that:
+//! one-sample Kolmogorov–Smirnov against a fitted CDF, and a χ² test on
+//! binned counts.
+
+use crate::special::chi2_cdf;
+use serde::Serialize;
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// One-sample KS test of `sample` against a theoretical CDF.
+///
+/// Uses the standard D statistic over the sorted sample and the
+/// asymptotic Kolmogorov p-value with the `sqrt(n)+0.12+0.11/sqrt(n)`
+/// effective-size correction.
+///
+/// Note: strictly, fitting parameters on the same sample biases the KS
+/// p-value upward (a Lilliefors correction would be needed for exact
+/// levels); the paper's conclusions rest on *gross* differences in fit
+/// quality, which this test resolves easily.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_stats::ks_test;
+///
+/// // A uniform sample against the uniform CDF: a good fit.
+/// let xs: Vec<f64> = (1..=1000).map(|i| i as f64 / 1000.0).collect();
+/// let r = ks_test(&xs, |x| x.clamp(0.0, 1.0));
+/// assert!(r.p_value > 0.9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the sample is empty.
+pub fn ks_test(sample: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    assert!(!sample.is_empty(), "KS test of empty sample");
+    let mut xs = sample.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    let nf = n as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let lo = i as f64 / nf;
+        let hi = (i + 1) as f64 / nf;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    KsResult {
+        statistic: d,
+        p_value: ks_p_value(d, n),
+        n,
+    }
+}
+
+/// Two-sample KS test.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn ks_test_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test of empty sample");
+    let ea = crate::ecdf::Ecdf::new(a.to_vec());
+    let eb = crate::ecdf::Ecdf::new(b.to_vec());
+    let mut d: f64 = 0.0;
+    for &x in ea.values().iter().chain(eb.values()) {
+        d = d.max((ea.eval(x) - eb.eval(x)).abs());
+    }
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let ne = na * nb / (na + nb);
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf((ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d),
+        n: a.len() + b.len(),
+    }
+}
+
+fn ks_p_value(d: f64, n: usize) -> f64 {
+    let sn = (n as f64).sqrt();
+    kolmogorov_sf((sn + 0.12 + 0.11 / sn) * d)
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ (−1)^{j−1} exp(−2 j² λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Result of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Chi2Result {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub dof: usize,
+    /// p-value from the χ² distribution.
+    pub p_value: f64,
+}
+
+/// χ² test of observed counts against expected counts.
+///
+/// Bins with expected count below 5 are merged into their neighbor, per
+/// standard practice. `fitted_params` reduces the degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, fewer than 2 usable
+/// bins remain, or any expected count is negative.
+pub fn chi_square_gof(observed: &[u64], expected: &[f64], fitted_params: usize) -> Chi2Result {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(expected.iter().all(|&e| e >= 0.0), "negative expected count");
+    // Merge small-expectation bins left to right.
+    let mut obs_m: Vec<f64> = Vec::new();
+    let mut exp_m: Vec<f64> = Vec::new();
+    let (mut o_acc, mut e_acc) = (0.0, 0.0);
+    for (&o, &e) in observed.iter().zip(expected) {
+        o_acc += o as f64;
+        e_acc += e;
+        if e_acc >= 5.0 {
+            obs_m.push(o_acc);
+            exp_m.push(e_acc);
+            o_acc = 0.0;
+            e_acc = 0.0;
+        }
+    }
+    if e_acc > 0.0 || o_acc > 0.0 {
+        if let (Some(lo), Some(le)) = (obs_m.last_mut(), exp_m.last_mut()) {
+            *lo += o_acc;
+            *le += e_acc;
+        } else {
+            obs_m.push(o_acc);
+            exp_m.push(e_acc);
+        }
+    }
+    assert!(obs_m.len() >= 2, "need at least two bins after merging");
+    let statistic: f64 = obs_m
+        .iter()
+        .zip(&exp_m)
+        .map(|(&o, &e)| (o - e).powi(2) / e.max(1e-12))
+        .sum();
+    let dof = obs_m.len().saturating_sub(1 + fitted_params).max(1);
+    Chi2Result {
+        statistic,
+        dof,
+        p_value: 1.0 - chi2_cdf(statistic, dof as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_desim::RngStream;
+
+    #[test]
+    fn ks_accepts_true_model() {
+        let mut rng = RngStream::from_seed(10);
+        let xs: Vec<f64> = (0..2000).map(|_| rng.exponential(2.0)).collect();
+        let r = ks_test(&xs, |x| 1.0 - (-2.0 * x).exp());
+        assert!(r.p_value > 0.05, "p {}", r.p_value);
+        assert!(r.statistic < 0.05);
+        assert_eq!(r.n, 2000);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_model() {
+        let mut rng = RngStream::from_seed(11);
+        let xs: Vec<f64> = (0..2000).map(|_| rng.lognormal(0.0, 2.0)).collect();
+        // Exponential CDF with the matching mean — still a bad model.
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let r = ks_test(&xs, |x| 1.0 - (-x / mean).exp());
+        assert!(r.p_value < 1e-6, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_two_sample_same_vs_different() {
+        let mut rng = RngStream::from_seed(12);
+        let a: Vec<f64> = (0..1500).map(|_| rng.exponential(1.0)).collect();
+        let b: Vec<f64> = (0..1500).map(|_| rng.exponential(1.0)).collect();
+        let c: Vec<f64> = (0..1500).map(|_| rng.exponential(4.0)).collect();
+        assert!(ks_test_two_sample(&a, &b).p_value > 0.01);
+        assert!(ks_test_two_sample(&a, &c).p_value < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_sf_limits() {
+        assert!((kolmogorov_sf(1e-12) - 1.0).abs() < 1e-9);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+        // Known value: Q(1.0) ≈ 0.27.
+        assert!((kolmogorov_sf(1.0) - 0.27).abs() < 0.01);
+    }
+
+    #[test]
+    fn chi2_accepts_fair_die() {
+        let observed = [98u64, 105, 102, 96, 103, 96];
+        let expected = [100.0; 6];
+        let r = chi_square_gof(&observed, &expected, 0);
+        assert_eq!(r.dof, 5);
+        assert!(r.p_value > 0.5, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn chi2_rejects_loaded_die() {
+        let observed = [200u64, 80, 80, 80, 80, 80];
+        let expected = [100.0; 6];
+        let r = chi_square_gof(&observed, &expected, 0);
+        assert!(r.p_value < 1e-6, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn chi2_merges_sparse_bins() {
+        let observed = [50u64, 1, 0, 1, 48];
+        let expected = [50.0, 1.0, 0.5, 1.0, 47.5];
+        // Bins 2..4 have tiny expectations; merging must not panic.
+        let r = chi_square_gof(&observed, &expected, 0);
+        assert!(r.p_value > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chi2_length_mismatch_panics() {
+        let _ = chi_square_gof(&[1, 2], &[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ks_empty_panics() {
+        let _ = ks_test(&[], |x| x);
+    }
+}

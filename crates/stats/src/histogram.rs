@@ -1,0 +1,336 @@
+//! Linear and logarithmic histograms.
+//!
+//! Figure 6 of the paper plots "the log distribution of interarrival
+//! times after filtering" — a histogram over logarithmically spaced
+//! bins, whose **modality** is the finding (bimodal on BG/L, unimodal on
+//! Spirit). [`Histogram`] supports both binnings and a simple smoothed
+//! peak count for asserting modality in tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Default number of logarithmic bins per decade, a resolution similar
+/// to the paper's Figure 6 plots.
+pub const LOG10_BINS_PER_DECADE: usize = 5;
+
+/// Binning scheme for a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Binning {
+    /// Equal-width bins covering `[lo, hi)`.
+    Linear {
+        /// Inclusive lower edge of the first bin.
+        lo: f64,
+        /// Exclusive upper edge of the last bin.
+        hi: f64,
+    },
+    /// Logarithmically spaced bins covering `[lo, hi)`; requires
+    /// `lo > 0`.
+    Log10 {
+        /// Inclusive lower edge (must be positive).
+        lo: f64,
+        /// Exclusive upper edge.
+        hi: f64,
+    },
+}
+
+/// A fixed-bin histogram with under/overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_stats::Histogram;
+///
+/// let mut h = Histogram::linear(0.0, 10.0, 5);
+/// for x in [0.5, 2.5, 2.7, 9.9, 12.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts(), &[1, 2, 0, 0, 1]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    binning: Binning,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a linear histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "lo must be below hi");
+        Histogram {
+            binning: Binning::Linear { lo, hi },
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Creates a log10 histogram over `[lo, hi)` with
+    /// `bins_per_decade` bins per factor of ten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `lo >= hi`, or `bins_per_decade == 0`.
+    pub fn log10(lo: f64, hi: f64, bins_per_decade: usize) -> Self {
+        assert!(lo > 0.0, "log histogram needs positive lo");
+        assert!(lo < hi, "lo must be below hi");
+        assert!(bins_per_decade > 0, "need at least one bin per decade");
+        let decades = (hi / lo).log10();
+        let bins = (decades * bins_per_decade as f64).ceil().max(1.0) as usize;
+        Histogram {
+            binning: Binning::Log10 { lo, hi },
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        match self.bin_of(x) {
+            BinIndex::Under => self.underflow += 1,
+            BinIndex::Over => self.overflow += 1,
+            BinIndex::In(i) => self.counts[i] += 1,
+        }
+    }
+
+    /// Adds every observation in a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    fn bin_of(&self, x: f64) -> BinIndex {
+        let n = self.counts.len() as f64;
+        let frac = match self.binning {
+            Binning::Linear { lo, hi } => (x - lo) / (hi - lo),
+            Binning::Log10 { lo, hi } => {
+                if x <= 0.0 {
+                    return BinIndex::Under;
+                }
+                (x / lo).log10() / (hi / lo).log10()
+            }
+        };
+        if frac < 0.0 {
+            BinIndex::Under
+        } else if frac >= 1.0 {
+            BinIndex::Over
+        } else {
+            BinIndex::In(((frac * n) as usize).min(self.counts.len() - 1))
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the first bin.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the last bin edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let n = self.counts.len() as f64;
+        match self.binning {
+            Binning::Linear { lo, hi } => {
+                let w = (hi - lo) / n;
+                (lo + w * i as f64, lo + w * (i + 1) as f64)
+            }
+            Binning::Log10 { lo, hi } => {
+                let lw = (hi / lo).log10() / n;
+                (
+                    lo * 10f64.powf(lw * i as f64),
+                    lo * 10f64.powf(lw * (i + 1) as f64),
+                )
+            }
+        }
+    }
+
+    /// Geometric/arithmetic center of bin `i` (matching the binning).
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (lo, hi) = self.bin_edges(i);
+        match self.binning {
+            Binning::Linear { .. } => (lo + hi) / 2.0,
+            Binning::Log10 { .. } => (lo * hi).sqrt(),
+        }
+    }
+
+    /// Number of local maxima in the (lightly smoothed) bin counts —
+    /// the modality check used for Figure 6.
+    ///
+    /// Smooths with a centered 3-bin moving average, then counts bins
+    /// that strictly exceed both neighbors and carry at least
+    /// `min_peak_frac` of the total mass.
+    pub fn peak_count(&self, min_peak_frac: f64) -> usize {
+        let n = self.counts.len();
+        if n < 3 || self.total() == 0 {
+            return usize::from(self.counts.iter().any(|&c| c > 0));
+        }
+        let smooth: Vec<f64> = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(1);
+                let hi = (i + 1).min(n - 1);
+                let span = (hi - lo + 1) as f64;
+                (lo..=hi).map(|j| self.counts[j] as f64).sum::<f64>() / span
+            })
+            .collect();
+        let thresh = min_peak_frac * self.total() as f64;
+        let mut peaks = 0;
+        for i in 0..n {
+            let left = if i == 0 { -1.0 } else { smooth[i - 1] };
+            let right = if i == n - 1 { -1.0 } else { smooth[i + 1] };
+            if smooth[i] > left && smooth[i] > right && smooth[i] >= thresh {
+                peaks += 1;
+            }
+        }
+        peaks
+    }
+
+    /// Renders a compact ASCII sketch of the histogram, one row per bin.
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:>10.3}, {hi:>10.3}) {c:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+enum BinIndex {
+    Under,
+    In(usize),
+    Over,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        h.add_all(&[0.0, 0.99, 1.0, 9.99]);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 1);
+        h.add(-0.1);
+        h.add(10.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn log_binning_covers_decades() {
+        let h = Histogram::log10(0.01, 1000.0, 2);
+        // 5 decades * 2 bins = 10 bins.
+        assert_eq!(h.counts().len(), 10);
+        let (lo, _) = h.bin_edges(0);
+        assert!((lo - 0.01).abs() < 1e-12);
+        let (_, hi) = h.bin_edges(9);
+        assert!((hi - 1000.0).abs() / 1000.0 < 1e-9);
+    }
+
+    #[test]
+    fn log_binning_places_values() {
+        let mut h = Histogram::log10(1.0, 100.0, 1);
+        h.add_all(&[1.5, 9.9, 10.1, 99.0]);
+        assert_eq!(h.counts(), &[2, 2]);
+        h.add(0.5);
+        assert_eq!(h.underflow(), 1);
+        h.add(-3.0); // non-positive goes to underflow, not a panic
+        assert_eq!(h.underflow(), 2);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let mut h = Histogram::log10(0.1, 1e4, 4);
+        let xs: Vec<f64> = (1..1000).map(|i| i as f64 * 0.37).collect();
+        h.add_all(&xs);
+        assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn bin_centers_are_inside_edges() {
+        let h = Histogram::log10(0.01, 100.0, 3);
+        for i in 0..h.counts().len() {
+            let (lo, hi) = h.bin_edges(i);
+            let c = h.bin_center(i);
+            assert!(lo < c && c < hi);
+        }
+    }
+
+    #[test]
+    fn peak_count_unimodal() {
+        let mut h = Histogram::linear(0.0, 10.0, 20);
+        // Triangular distribution peaked at 5 (sum of two uniforms).
+        for i in 0..1000 {
+            let a = (i as f64 * 0.618_034).fract();
+            let b = (i as f64 * 0.414_214).fract();
+            h.add(2.0 + 3.0 * (a + b));
+        }
+        assert_eq!(h.peak_count(0.01), 1);
+    }
+
+    #[test]
+    fn peak_count_bimodal() {
+        let mut h = Histogram::log10(0.01, 1e5, 2);
+        // Mode 1 near 0.1s (unfiltered redundancy), mode 2 near 1000s.
+        for i in 0..500 {
+            let a = (i as f64 * 0.618_034).fract();
+            let b = (i as f64 * 0.414_214).fract();
+            h.add(0.05 * 10f64.powf(a + b)); // peaked at ~0.5 in log space
+            h.add(300.0 * 10f64.powf(a + b));
+        }
+        assert_eq!(h.peak_count(0.02), 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_peaks() {
+        let h = Histogram::linear(0.0, 1.0, 5);
+        assert_eq!(h.peak_count(0.1), 0);
+    }
+
+    #[test]
+    fn ascii_render_is_nonempty() {
+        let mut h = Histogram::linear(0.0, 4.0, 4);
+        h.add_all(&[0.5, 1.5, 1.6]);
+        let s = h.to_ascii(10);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lo")]
+    fn log_rejects_nonpositive_lo() {
+        let _ = Histogram::log10(0.0, 1.0, 2);
+    }
+}

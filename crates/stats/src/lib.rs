@@ -1,0 +1,95 @@
+//! Statistics for supercomputer log analysis.
+//!
+//! Section 4 of the paper models alert timing: interarrival
+//! distributions (exponential for ECC, heavy-tailed elsewhere), visual
+//! and statistical goodness-of-fit ("heavy tails result in very poor
+//! statistical goodness-of-fit metrics"), hourly message-rate time
+//! series with regime shifts (Figure 2a), and spatial/temporal
+//! correlation across nodes and categories (Figures 3–6). This crate
+//! implements the needed machinery from scratch:
+//!
+//! * [`summary`] — moments, quantiles, online (Welford) accumulation.
+//! * [`histogram`] — linear and logarithmic binning, peak detection
+//!   (used to show Figure 6a's bimodality).
+//! * [`ecdf`] — empirical CDFs.
+//! * [`fit`] — MLE fitting of exponential, log-normal, Weibull and
+//!   Pareto models, with AIC model selection.
+//! * [`gof`] — Kolmogorov–Smirnov and χ² goodness-of-fit tests.
+//! * [`timeseries`] — bucketing, moving averages, CUSUM change-point
+//!   detection (the Figure 2a OS-upgrade shift).
+//! * [`correlation`] — Pearson/Spearman, lagged cross-correlation
+//!   (Figure 3), and spatial co-occurrence scoring (the SMP clock bug).
+//! * [`special`] — the special functions (`ln Γ`, regularized incomplete
+//!   gamma, `erf`) the above need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod ecdf;
+pub mod fit;
+pub mod gof;
+pub mod hazard;
+pub mod histogram;
+pub mod special;
+pub mod summary;
+pub mod timeseries;
+
+pub use ecdf::Ecdf;
+pub use fit::{Distribution, Exponential, FitReport, LogNormal, Pareto, Weibull};
+pub use gof::{chi_square_gof, ks_test, KsResult};
+pub use hazard::HazardCurve;
+pub use histogram::{Histogram, LOG10_BINS_PER_DECADE};
+pub use summary::Summary;
+pub use timeseries::{bucket_counts, cusum_changepoints, moving_average};
+
+/// Extracts interarrival gaps (in seconds) from a sorted sequence of
+/// timestamps.
+///
+/// Non-positive gaps (duplicate timestamps — common at syslog's
+/// one-second granularity) are clamped to `min_gap`.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_stats::interarrivals;
+/// use sclog_types::Timestamp;
+///
+/// let times = [1, 3, 6, 6].map(Timestamp::from_secs);
+/// assert_eq!(interarrivals(&times, 0.5), vec![2.0, 3.0, 0.5]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `times` is not sorted.
+pub fn interarrivals(times: &[sclog_types::Timestamp], min_gap: f64) -> Vec<f64> {
+    times
+        .windows(2)
+        .map(|w| {
+            let gap = (w[1] - w[0]).as_secs_f64();
+            assert!(gap >= 0.0, "timestamps must be sorted");
+            gap.max(min_gap)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::Timestamp;
+
+    #[test]
+    fn interarrivals_basic() {
+        let times = [0, 10, 15].map(Timestamp::from_secs);
+        assert_eq!(interarrivals(&times, 0.0), vec![10.0, 5.0]);
+        assert!(interarrivals(&times[..1], 0.0).is_empty());
+        assert!(interarrivals(&[], 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn interarrivals_rejects_unsorted() {
+        let times = [10, 0].map(Timestamp::from_secs);
+        let _ = interarrivals(&times, 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Special functions needed by the fitting and testing code.
+//!
+//! Implemented from standard numerical recipes (Lanczos approximation
+//! for `ln Γ`, series/continued-fraction for the regularized incomplete
+//! gamma, Abramowitz–Stegun rational approximation for `erf`), accurate
+//! to well beyond what log-analysis goodness-of-fit needs.
+
+/// Natural log of the gamma function, for `x > 0` (Lanczos, g=7, n=9).
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// `P(a, x) = γ(a, x) / Γ(a)`, used for the χ² CDF:
+/// `chi2_cdf(x; k) = P(k/2, x/2)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    1.0 - gamma_p(a, x)
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    // Lentz's algorithm for the continued fraction.
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function `erf(x)` (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// χ² CDF with `k` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `k <= 0` or `x < 0`.
+pub fn chi2_cdf(x: f64, k: f64) -> f64 {
+    assert!(k > 0.0, "chi2_cdf requires k > 0");
+    gamma_p(k / 2.0, x / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_integers() {
+        // Γ(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-10);
+        close(ln_gamma(2.0), 0.0, 1e-10);
+        close(ln_gamma(5.0), 24f64.ln(), 1e-10);
+        close(ln_gamma(10.0), 362_880f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - e^-x
+        for x in [0.1, 1.0, 3.0, 10.0] {
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-10);
+        }
+        close(gamma_p(2.5, 0.0), 0.0, 1e-15);
+        close(gamma_q(1.0, 2.0), (-2f64).exp(), 1e-10);
+    }
+
+    #[test]
+    fn chi2_cdf_known_values() {
+        // Median of chi2 with k=2 is 2 ln 2.
+        close(chi2_cdf(2.0 * 2f64.ln(), 2.0), 0.5, 1e-10);
+        // 95th percentile of chi2(1) is ~3.841.
+        close(chi2_cdf(3.841, 1.0), 0.95, 1e-3);
+        // 95th percentile of chi2(10) is ~18.307.
+        close(chi2_cdf(18.307, 10.0), 0.95, 1e-3);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-8);
+        close(erf(1.0), 0.842_700_79, 1e-6);
+        close(erf(-1.0), -0.842_700_79, 1e-6);
+        close(erf(2.0), 0.995_322_27, 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        close(std_normal_cdf(0.0), 0.5, 1e-8);
+        close(std_normal_cdf(1.96), 0.975, 1e-4);
+        close(std_normal_cdf(-1.96), 0.025, 1e-4);
+    }
+}

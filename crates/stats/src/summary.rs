@@ -1,0 +1,298 @@
+//! Summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass (Welford) summary of a sample: count, mean, variance,
+/// min/max. Quantiles require the sorted-sample constructor.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_stats::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Builds a summary from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (+∞ for an empty summary).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ for an empty summary).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Sample skewness (Fisher-Pearson, adjusted). Heavy right tails —
+/// the paper's recurring theme — give large positive values.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 observations.
+pub fn skewness(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 3, "skewness needs at least 3 observations");
+    let n = xs.len() as f64;
+    let mu = xs.iter().sum::<f64>() / n;
+    let m2: f64 = xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / n;
+    let m3: f64 = xs.iter().map(|x| (x - mu).powi(3)).sum::<f64>() / n;
+    if m2 <= 0.0 {
+        return 0.0;
+    }
+    let g1 = m3 / m2.powf(1.5);
+    ((n * (n - 1.0)).sqrt() / (n - 2.0)) * g1
+}
+
+/// Sample excess kurtosis. Zero for a normal sample; large for heavy
+/// tails.
+///
+/// # Panics
+///
+/// Panics if fewer than 4 observations.
+pub fn excess_kurtosis(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 4, "kurtosis needs at least 4 observations");
+    let n = xs.len() as f64;
+    let mu = xs.iter().sum::<f64>() / n;
+    let m2: f64 = xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / n;
+    let m4: f64 = xs.iter().map(|x| (x - mu).powi(4)).sum::<f64>() / n;
+    if m2 <= 0.0 {
+        return 0.0;
+    }
+    m4 / (m2 * m2) - 3.0
+}
+
+/// Quantile of a sample by linear interpolation (the "type 7" estimator).
+///
+/// Sorts a copy of the data; for repeated quantile queries sort once and
+/// use [`quantile_sorted`].
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    quantile_sorted(&v, q)
+}
+
+/// Quantile of an already-sorted sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = pos - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    }
+}
+
+/// Median convenience wrapper around [`quantile`].
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_slice(&xs);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::from_slice(&xs);
+        let mut a = Summary::from_slice(&xs[..37]);
+        let b = Summary::from_slice(&xs[37..]);
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.count(), whole.count());
+
+        let mut empty = Summary::new();
+        empty.merge(&whole);
+        assert_eq!(empty.count(), whole.count());
+        let mut c = whole;
+        c.merge(&Summary::new());
+        assert_eq!(c.count(), whole.count());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: Summary = (1..=3).map(|x| x as f64).collect();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn skewness_and_kurtosis() {
+        // Symmetric sample: ~0 skewness.
+        let sym: Vec<f64> = (-50..=50).map(f64::from).collect();
+        assert!(skewness(&sym).abs() < 1e-9);
+        // Right-skewed sample: positive.
+        let skewed: Vec<f64> = (1..200).map(|i| (f64::from(i) / 20.0).exp()).collect();
+        assert!(skewness(&skewed) > 1.0);
+        assert!(excess_kurtosis(&skewed) > 1.0);
+        // Uniform: negative excess kurtosis (~ -1.2).
+        assert!(excess_kurtosis(&sym) < -1.0);
+        // Degenerate: zero.
+        assert_eq!(skewness(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(excess_kurtosis(&[1.0; 4]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_out_of_range_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,331 @@
+//! Time-series utilities: bucketing, smoothing, change-point detection.
+//!
+//! Figure 2(a) of the paper plots Liberty's hourly message counts and
+//! shows "dramatic shifts in behavior over time" — the first caused by
+//! an OS upgrade. The paper argues that "the ability to detect phase
+//! shifts in behavior would be a valuable tool"; [`cusum_changepoints`]
+//! is that tool.
+
+use sclog_types::{Duration, Timestamp};
+
+/// Buckets event timestamps into fixed-width counts over
+/// `[start, start + width * n)` where `n` is chosen to cover `end`.
+///
+/// Events outside the range are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_stats::bucket_counts;
+/// use sclog_types::{Duration, Timestamp};
+///
+/// let events = [10, 20, 70, 130].map(Timestamp::from_secs);
+/// let counts = bucket_counts(
+///     &events,
+///     Timestamp::EPOCH,
+///     Timestamp::from_secs(180),
+///     Duration::from_secs(60),
+/// );
+/// assert_eq!(counts, vec![2, 1, 1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is not positive or `end <= start`.
+pub fn bucket_counts(
+    events: &[Timestamp],
+    start: Timestamp,
+    end: Timestamp,
+    width: Duration,
+) -> Vec<u64> {
+    assert!(width.as_micros() > 0, "bucket width must be positive");
+    assert!(end > start, "end must be after start");
+    let span = (end - start).as_micros();
+    let w = width.as_micros();
+    let n = ((span + w - 1) / w) as usize;
+    let mut counts = vec![0u64; n];
+    for &t in events {
+        if t < start || t >= end {
+            continue;
+        }
+        let i = ((t - start).as_micros() / width.as_micros()) as usize;
+        counts[i.min(n - 1)] += 1;
+    }
+    counts
+}
+
+/// Centered moving average with the given window (odd windows are
+/// symmetric; even windows lean left).
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let half = window / 2;
+    (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + window - half).min(xs.len());
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Sample autocorrelation of a series at integer lags `0..=max_lag`.
+///
+/// Returns one value per lag; lag 0 is always 1 for non-constant
+/// series. Bursty alert streams show slowly decaying autocorrelation;
+/// independent streams drop to ~0 immediately (the Figure 5 vs
+/// Figure 6 contrast in time-series form).
+///
+/// # Panics
+///
+/// Panics if `max_lag >= xs.len()`.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(max_lag < xs.len(), "max_lag must be below series length");
+    let n = xs.len() as f64;
+    let mu = xs.iter().sum::<f64>() / n;
+    let var: f64 = xs.iter().map(|x| (x - mu).powi(2)).sum();
+    if var <= 0.0 {
+        return vec![0.0; max_lag + 1];
+    }
+    (0..=max_lag)
+        .map(|lag| {
+            let cov: f64 = xs[..xs.len() - lag]
+                .iter()
+                .zip(&xs[lag..])
+                .map(|(a, b)| (a - mu) * (b - mu))
+                .sum();
+            cov / var
+        })
+        .collect()
+}
+
+/// A detected mean shift in a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePoint {
+    /// Index in the series where the new regime begins.
+    pub index: usize,
+    /// Mean before the shift (since the previous change point).
+    pub mean_before: f64,
+    /// Mean after the shift (to the next change point).
+    pub mean_after: f64,
+}
+
+/// Detects mean shifts with a segmented CUSUM scan.
+///
+/// The series is scanned left to right; within the current segment a
+/// two-sided CUSUM accumulates deviations from the segment's running
+/// mean, normalized by its running standard deviation. When the
+/// statistic exceeds `threshold` (in σ·samples units, e.g. 8.0), a
+/// change point is declared at the accumulation start and the scan
+/// restarts there.
+///
+/// Only shifts where the segment means differ by at least
+/// `min_rel_shift` (relative to the larger mean) are reported, which
+/// suppresses slow drift.
+///
+/// # Panics
+///
+/// Panics if `threshold` is not positive.
+pub fn cusum_changepoints(xs: &[f64], threshold: f64, min_rel_shift: f64) -> Vec<ChangePoint> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let mut points = Vec::new();
+    let mut seg_start = 0;
+    while seg_start + 4 < xs.len() {
+        match scan_segment(&xs[seg_start..], threshold) {
+            Some(rel) => {
+                let idx = seg_start + rel;
+                let before = &xs[seg_start..idx];
+                let next_end = xs.len();
+                let after = &xs[idx..next_end];
+                let mb = mean(before);
+                let ma = mean(after);
+                let denom = mb.abs().max(ma.abs()).max(1e-12);
+                if (ma - mb).abs() / denom >= min_rel_shift {
+                    points.push(ChangePoint {
+                        index: idx,
+                        mean_before: mb,
+                        mean_after: ma,
+                    });
+                }
+                seg_start = idx;
+            }
+            None => break,
+        }
+    }
+    // Recompute per-regime means now that all boundaries are known.
+    let bounds: Vec<usize> = std::iter::once(0)
+        .chain(points.iter().map(|p| p.index))
+        .chain(std::iter::once(xs.len()))
+        .collect();
+    for (k, p) in points.iter_mut().enumerate() {
+        p.mean_before = mean(&xs[bounds[k]..bounds[k + 1]]);
+        p.mean_after = mean(&xs[bounds[k + 1]..bounds[k + 2]]);
+    }
+    points
+}
+
+/// Scans one segment; returns the relative index where a shift begins.
+fn scan_segment(xs: &[f64], threshold: f64) -> Option<usize> {
+    // Reference statistics from a leading warmup (min 8 samples, max
+    // a quarter of the segment).
+    let warm = (xs.len() / 4).clamp(8, 256).min(xs.len());
+    let mu = mean(&xs[..warm]);
+    let sd = std_dev(&xs[..warm], mu).max(mu.abs() * 0.05).max(1e-9);
+    let (mut pos, mut neg) = (0.0f64, 0.0f64);
+    let (mut pos_start, mut neg_start) = (0usize, 0usize);
+    for (i, &x) in xs.iter().enumerate() {
+        let z = (x - mu) / sd;
+        // One-sided CUSUMs with a small drift allowance.
+        let drift = 0.5;
+        pos = (pos + z - drift).max(0.0);
+        if pos == 0.0 {
+            pos_start = i + 1;
+        }
+        neg = (neg - z - drift).max(0.0);
+        if neg == 0.0 {
+            neg_start = i + 1;
+        }
+        if pos > threshold {
+            return Some(pos_start.max(1));
+        }
+        if neg > threshold {
+            return Some(neg_start.max(1));
+        }
+    }
+    None
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn std_dev(xs: &[f64], mu: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    (xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_counts_edges() {
+        let events = [0, 59, 60, 179].map(Timestamp::from_secs);
+        let counts = bucket_counts(
+            &events,
+            Timestamp::EPOCH,
+            Timestamp::from_secs(180),
+            Duration::from_secs(60),
+        );
+        assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn bucket_counts_ignores_out_of_range() {
+        let events = [-5i64, 10, 500].map(Timestamp::from_secs);
+        let counts = bucket_counts(
+            &events,
+            Timestamp::EPOCH,
+            Timestamp::from_secs(100),
+            Duration::from_secs(50),
+        );
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn bucket_counts_partial_last_bucket() {
+        let counts = bucket_counts(
+            &[Timestamp::from_secs(99)],
+            Timestamp::EPOCH,
+            Timestamp::from_secs(100),
+            Duration::from_secs(40),
+        );
+        assert_eq!(counts.len(), 3); // 40, 40, 20
+        assert_eq!(counts[2], 1);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0];
+        let ma = moving_average(&xs, 3);
+        assert_eq!(ma.len(), 5);
+        assert!((ma[2] - 20.0 / 3.0).abs() < 1e-12);
+        // Constant series is unchanged.
+        let c = moving_average(&[3.0; 10], 5);
+        assert!(c.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn cusum_detects_single_shift() {
+        // Regime 1: mean 10; regime 2: mean 30 (the OS-upgrade pattern
+        // of Figure 2a).
+        let mut xs = vec![10.0; 200];
+        xs.extend(vec![30.0; 200]);
+        // Add mild deterministic wiggle.
+        for (i, x) in xs.iter_mut().enumerate() {
+            *x += ((i * 37) % 7) as f64 - 3.0;
+        }
+        let cps = cusum_changepoints(&xs, 8.0, 0.3);
+        assert_eq!(cps.len(), 1, "{cps:?}");
+        let cp = cps[0];
+        assert!((195..=210).contains(&cp.index), "index {}", cp.index);
+        assert!(cp.mean_before < 15.0 && cp.mean_after > 25.0);
+    }
+
+    #[test]
+    fn cusum_no_false_positive_on_stationary() {
+        let xs: Vec<f64> = (0..400).map(|i| 20.0 + ((i * 13) % 11) as f64 - 5.0).collect();
+        let cps = cusum_changepoints(&xs, 10.0, 0.3);
+        assert!(cps.is_empty(), "{cps:?}");
+    }
+
+    #[test]
+    fn cusum_detects_multiple_shifts() {
+        let mut xs = vec![10.0; 150];
+        xs.extend(vec![40.0; 150]);
+        xs.extend(vec![5.0; 150]);
+        for (i, x) in xs.iter_mut().enumerate() {
+            *x += ((i * 37) % 5) as f64 - 2.0;
+        }
+        let cps = cusum_changepoints(&xs, 8.0, 0.3);
+        assert_eq!(cps.len(), 2, "{cps:?}");
+        assert!((140..=160).contains(&cps[0].index));
+        assert!((290..=310).contains(&cps[1].index));
+    }
+
+    #[test]
+    fn cusum_short_series_is_quiet() {
+        assert!(cusum_changepoints(&[1.0, 2.0, 3.0], 8.0, 0.1).is_empty());
+    }
+
+    #[test]
+    fn autocorrelation_shapes() {
+        // Alternating series: perfect negative correlation at lag 1.
+        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ac = autocorrelation(&alt, 2);
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+        assert!(ac[1] < -0.9);
+        assert!(ac[2] > 0.9);
+        // Constant series: zeros.
+        assert_eq!(autocorrelation(&[5.0; 10], 3), vec![0.0; 4]);
+        // Smooth series: slow decay.
+        let smooth: Vec<f64> = (0..200).map(|i| (i as f64 / 30.0).sin()).collect();
+        let ac = autocorrelation(&smooth, 5);
+        assert!(ac[1] > 0.9 && ac[5] > 0.7, "{ac:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bucket_counts_zero_width_panics() {
+        let _ = bucket_counts(&[], Timestamp::EPOCH, Timestamp::from_secs(1), Duration::ZERO);
+    }
+}

@@ -1,0 +1,142 @@
+//! Alerts, alert types, and ground-truth failure identifiers.
+
+use crate::category::CategoryId;
+use crate::source::NodeId;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Administrator-assigned subsystem of origin for an alert category.
+///
+/// Table 3/Table 4 of the paper classify every category as Hardware,
+/// Software, or Indeterminate ("can originate from both hardware and
+/// software, or have unknown cause").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AlertType {
+    /// Hardware subsystem (e.g. disk, memory, NIC parity).
+    Hardware,
+    /// Software subsystem (e.g. PBS, kernel bugs, Lustre mounts).
+    Software,
+    /// Unknown or mixed origin.
+    Indeterminate,
+}
+
+/// All alert types in Table 3 order.
+pub const ALL_ALERT_TYPES: [AlertType; 3] = [
+    AlertType::Hardware,
+    AlertType::Software,
+    AlertType::Indeterminate,
+];
+
+impl AlertType {
+    /// The single-letter code used in Table 4 (`H`, `S`, `I`).
+    pub const fn code(self) -> char {
+        match self {
+            AlertType::Hardware => 'H',
+            AlertType::Software => 'S',
+            AlertType::Indeterminate => 'I',
+        }
+    }
+
+    /// Full name as used in Table 3.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AlertType::Hardware => "Hardware",
+            AlertType::Software => "Software",
+            AlertType::Indeterminate => "Indeterminate",
+        }
+    }
+}
+
+impl fmt::Display for AlertType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Ground-truth identifier of the underlying failure that caused an
+/// alert.
+///
+/// The paper had no ground truth — administrators estimated failure
+/// counts from filtered alerts. Our simulator knows which failure
+/// produced each alert, so filters can be scored exactly. Real ingested
+/// logs have `None` for every alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FailureId(pub u64);
+
+impl fmt::Display for FailureId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failure#{}", self.0)
+    }
+}
+
+/// A message tagged as an alert by an expert rule.
+///
+/// Alerts are the unit the filtering algorithms of Section 3.3 operate
+/// on: each carries its time, source, and category; `message_index`
+/// points back into the originating message sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Time of the underlying message.
+    pub time: Timestamp,
+    /// Source of the underlying message.
+    pub source: NodeId,
+    /// The expert rule that tagged it.
+    pub category: CategoryId,
+    /// Index of the underlying message in the parsed message sequence.
+    pub message_index: usize,
+    /// Ground-truth failure id (simulator-generated logs only).
+    pub failure: Option<FailureId>,
+}
+
+impl Alert {
+    /// Convenience constructor for an alert with no ground truth.
+    pub fn new(time: Timestamp, source: NodeId, category: CategoryId, message_index: usize) -> Self {
+        Alert {
+            time,
+            source,
+            category,
+            message_index,
+            failure: None,
+        }
+    }
+
+    /// Returns a copy with the ground-truth failure attached.
+    pub fn with_failure(mut self, failure: FailureId) -> Self {
+        self.failure = Some(failure);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_match_table4() {
+        assert_eq!(AlertType::Hardware.code(), 'H');
+        assert_eq!(AlertType::Software.code(), 'S');
+        assert_eq!(AlertType::Indeterminate.code(), 'I');
+    }
+
+    #[test]
+    fn type_display_matches_table3() {
+        assert_eq!(AlertType::Hardware.to_string(), "Hardware");
+        assert_eq!(AlertType::Indeterminate.to_string(), "Indeterminate");
+    }
+
+    #[test]
+    fn alert_builders() {
+        let a = Alert::new(
+            Timestamp::from_secs(5),
+            NodeId::from_index(1),
+            CategoryId::from_index(2),
+            99,
+        );
+        assert_eq!(a.failure, None);
+        let b = a.with_failure(FailureId(7));
+        assert_eq!(b.failure, Some(FailureId(7)));
+        assert_eq!(b.message_index, 99);
+        assert_eq!(FailureId(7).to_string(), "failure#7");
+    }
+}

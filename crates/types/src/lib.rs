@@ -1,0 +1,48 @@
+//! Core vocabulary for the `sclog` workspace.
+//!
+//! This crate defines the data model shared by every other crate in the
+//! reproduction of *What Supercomputers Say: A Study of Five System Logs*
+//! (Oliner & Stearley, DSN 2007):
+//!
+//! * [`Timestamp`] — microsecond-resolution instants (BG/L logs are
+//!   microsecond-granular; syslogs are second-granular).
+//! * [`SystemId`] — the five studied supercomputers, with their Table 1
+//!   characteristics available via [`SystemId::spec`].
+//! * [`Severity`] — both severity vocabularies seen in the paper: the BSD
+//!   syslog scale and the BG/L RAS scale.
+//! * [`NodeId`] / [`SourceInterner`] — compact interned message sources.
+//! * [`Message`] — one parsed log entry.
+//! * [`CategoryId`] / [`CategoryRegistry`] — alert categories ("two alerts
+//!   are in the same category if they were tagged by the same expert
+//!   rule").
+//! * [`Alert`] — a tagged alert, optionally carrying the ground-truth
+//!   [`FailureId`] when produced by the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use sclog_types::{SystemId, Timestamp};
+//!
+//! let t = Timestamp::from_ymd_hms(2005, 6, 3, 15, 42, 50);
+//! assert_eq!(t.to_bgl_string(), "2005-06-03-15.42.50.000000");
+//! assert_eq!(SystemId::BlueGeneL.spec().processors, 131_072);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod category;
+pub mod message;
+pub mod severity;
+pub mod source;
+pub mod system;
+pub mod time;
+
+pub use alert::{Alert, AlertType, FailureId};
+pub use category::{CategoryDef, CategoryId, CategoryRegistry};
+pub use message::Message;
+pub use severity::{BglSeverity, Severity, SyslogSeverity};
+pub use source::{NodeId, SourceInterner};
+pub use system::{SystemId, SystemSpec, ALL_SYSTEMS};
+pub use time::{Duration, Timestamp};

@@ -1,0 +1,120 @@
+//! Parsed log messages.
+
+use crate::severity::Severity;
+use crate::source::NodeId;
+use crate::system::SystemId;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One parsed log entry.
+///
+/// The fields mirror what every logging path in the study provides:
+/// a timestamp, a source, an optional facility/program, an optional
+/// severity, and an unstructured body. The paper emphasizes that the
+/// body is "the shorthand of multiple programmers" — analysis code must
+/// treat it as free text.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_types::{Message, NodeId, Severity, SystemId, Timestamp};
+///
+/// let msg = Message::new(
+///     SystemId::Liberty,
+///     Timestamp::from_secs(1_100_000_000),
+///     NodeId::from_index(0),
+///     "pbs_mom",
+///     Severity::None,
+///     "task_check, cannot tm_reply to 12345 task 1",
+/// );
+/// assert_eq!(msg.facility, "pbs_mom");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// System whose log this entry came from.
+    pub system: SystemId,
+    /// Time of the entry. Second-granular for syslog paths,
+    /// microsecond-granular for BG/L.
+    pub time: Timestamp,
+    /// Interned source (node, controller, service card…).
+    pub source: NodeId,
+    /// Program/facility that emitted the message (`kernel`, `pbs_mom`,
+    /// `RAS KERNEL`, …). Empty when unknown or corrupted away.
+    pub facility: String,
+    /// Severity, when the logging path records one.
+    pub severity: Severity,
+    /// Unstructured message body.
+    pub body: String,
+}
+
+impl Message {
+    /// Convenience constructor.
+    pub fn new(
+        system: SystemId,
+        time: Timestamp,
+        source: NodeId,
+        facility: impl Into<String>,
+        severity: Severity,
+        body: impl Into<String>,
+    ) -> Self {
+        Message {
+            system,
+            time,
+            source,
+            facility: facility.into(),
+            severity,
+            body: body.into(),
+        }
+    }
+
+    /// Approximate on-disk size in bytes of this entry when rendered in
+    /// its system's native format (used for Table 2's size column).
+    pub fn rendered_len(&self) -> usize {
+        // timestamp + source + facility + body + separators/newline.
+        // Renderers in `sclog-parse` produce within a few bytes of this.
+        26 + self.facility.len() + self.body.len() + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_populates_fields() {
+        let m = Message::new(
+            SystemId::Spirit,
+            Timestamp::from_secs(42),
+            NodeId::from_index(7),
+            "kernel",
+            Severity::None,
+            "EXT3-fs error (device sda5)",
+        );
+        assert_eq!(m.system, SystemId::Spirit);
+        assert_eq!(m.time, Timestamp::from_secs(42));
+        assert_eq!(m.source.index(), 7);
+        assert_eq!(m.severity, Severity::None);
+        assert!(m.body.starts_with("EXT3-fs"));
+    }
+
+    #[test]
+    fn rendered_len_scales_with_body() {
+        let short = Message::new(
+            SystemId::Liberty,
+            Timestamp::EPOCH,
+            NodeId::from_index(0),
+            "kernel",
+            Severity::None,
+            "x",
+        );
+        let long = Message::new(
+            SystemId::Liberty,
+            Timestamp::EPOCH,
+            NodeId::from_index(0),
+            "kernel",
+            Severity::None,
+            "x".repeat(100),
+        );
+        assert_eq!(long.rendered_len() - short.rendered_len(), 99);
+    }
+}

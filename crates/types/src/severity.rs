@@ -1,0 +1,310 @@
+//! Message severity vocabularies.
+//!
+//! The paper deals with two distinct severity scales:
+//!
+//! * the BSD **syslog** scale (`EMERG` … `DEBUG`), recorded only on
+//!   Red Storm among the Sandia machines (Table 6), and
+//! * the **BG/L RAS** scale (`FATAL`, `FAILURE`, `SEVERE`, `ERROR`,
+//!   `WARNING`, `INFO`; Table 5).
+//!
+//! A central finding of Section 3.2 is that neither scale is a reliable
+//! alert indicator; [`Severity`] keeps both representable so analyses can
+//! quantify exactly that (Tables 5 and 6).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The BSD syslog severity scale, most to least severe.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_types::SyslogSeverity;
+///
+/// assert!(SyslogSeverity::Crit.is_at_least(SyslogSeverity::Error));
+/// assert_eq!(SyslogSeverity::Warning.to_string(), "WARNING");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SyslogSeverity {
+    /// System is unusable.
+    Emerg,
+    /// Action must be taken immediately.
+    Alert,
+    /// Critical conditions.
+    Crit,
+    /// Error conditions.
+    Error,
+    /// Warning conditions.
+    Warning,
+    /// Normal but significant.
+    Notice,
+    /// Informational.
+    Info,
+    /// Debug-level messages.
+    Debug,
+}
+
+/// All syslog severities in the order of the paper's Table 6.
+pub const ALL_SYSLOG_SEVERITIES: [SyslogSeverity; 8] = [
+    SyslogSeverity::Emerg,
+    SyslogSeverity::Alert,
+    SyslogSeverity::Crit,
+    SyslogSeverity::Error,
+    SyslogSeverity::Warning,
+    SyslogSeverity::Notice,
+    SyslogSeverity::Info,
+    SyslogSeverity::Debug,
+];
+
+impl SyslogSeverity {
+    /// Numeric syslog priority (0 = EMERG … 7 = DEBUG).
+    pub const fn priority(self) -> u8 {
+        self as u8
+    }
+
+    /// True if `self` is at least as severe as `other`.
+    ///
+    /// Note severities *decrease* with priority number, so this compares
+    /// priorities inverted.
+    pub fn is_at_least(self, other: SyslogSeverity) -> bool {
+        self.priority() <= other.priority()
+    }
+
+    /// The canonical upper-case name (`"EMERG"`, …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SyslogSeverity::Emerg => "EMERG",
+            SyslogSeverity::Alert => "ALERT",
+            SyslogSeverity::Crit => "CRIT",
+            SyslogSeverity::Error => "ERR",
+            SyslogSeverity::Warning => "WARNING",
+            SyslogSeverity::Notice => "NOTICE",
+            SyslogSeverity::Info => "INFO",
+            SyslogSeverity::Debug => "DEBUG",
+        }
+    }
+}
+
+impl fmt::Display for SyslogSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a severity name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSeverityError(String);
+
+impl fmt::Display for ParseSeverityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown severity name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSeverityError {}
+
+impl FromStr for SyslogSeverity {
+    type Err = ParseSeverityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "EMERG" | "EMERGENCY" | "PANIC" => Ok(SyslogSeverity::Emerg),
+            "ALERT" => Ok(SyslogSeverity::Alert),
+            "CRIT" | "CRITICAL" => Ok(SyslogSeverity::Crit),
+            "ERR" | "ERROR" => Ok(SyslogSeverity::Error),
+            "WARNING" | "WARN" => Ok(SyslogSeverity::Warning),
+            "NOTICE" => Ok(SyslogSeverity::Notice),
+            "INFO" => Ok(SyslogSeverity::Info),
+            "DEBUG" => Ok(SyslogSeverity::Debug),
+            _ => Err(ParseSeverityError(s.to_owned())),
+        }
+    }
+}
+
+/// The BG/L RAS severity scale, most to least severe (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BglSeverity {
+    /// Fatal condition; the hardware or job cannot continue.
+    Fatal,
+    /// A component failure was recorded.
+    Failure,
+    /// Severe error.
+    Severe,
+    /// Ordinary error.
+    Error,
+    /// Warning.
+    Warning,
+    /// Informational.
+    Info,
+}
+
+/// All BG/L severities in the order of the paper's Table 5.
+pub const ALL_BGL_SEVERITIES: [BglSeverity; 6] = [
+    BglSeverity::Fatal,
+    BglSeverity::Failure,
+    BglSeverity::Severe,
+    BglSeverity::Error,
+    BglSeverity::Warning,
+    BglSeverity::Info,
+];
+
+impl BglSeverity {
+    /// The canonical upper-case name (`"FATAL"`, …).
+    pub const fn name(self) -> &'static str {
+        match self {
+            BglSeverity::Fatal => "FATAL",
+            BglSeverity::Failure => "FAILURE",
+            BglSeverity::Severe => "SEVERE",
+            BglSeverity::Error => "ERROR",
+            BglSeverity::Warning => "WARNING",
+            BglSeverity::Info => "INFO",
+        }
+    }
+
+    /// True for the severities that prior work (refs. 9, 10, 20 in the
+    /// paper) treated as alert-indicating: `FATAL` and `FAILURE`.
+    pub const fn is_failure_level(self) -> bool {
+        matches!(self, BglSeverity::Fatal | BglSeverity::Failure)
+    }
+}
+
+impl fmt::Display for BglSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BglSeverity {
+    type Err = ParseSeverityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "FATAL" => Ok(BglSeverity::Fatal),
+            "FAILURE" => Ok(BglSeverity::Failure),
+            "SEVERE" => Ok(BglSeverity::Severe),
+            "ERROR" => Ok(BglSeverity::Error),
+            "WARNING" | "WARN" => Ok(BglSeverity::Warning),
+            "INFO" => Ok(BglSeverity::Info),
+            _ => Err(ParseSeverityError(s.to_owned())),
+        }
+    }
+}
+
+/// Severity attached to a message, if the system records one.
+///
+/// Thunderbird, Spirit and Liberty logs carry no severity
+/// ([`Severity::None`]); Red Storm's syslog path uses the syslog scale;
+/// BG/L uses the RAS scale.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Severity {
+    /// The logging path does not record severity.
+    #[default]
+    None,
+    /// A BSD syslog severity.
+    Syslog(SyslogSeverity),
+    /// A BG/L RAS severity.
+    Bgl(BglSeverity),
+}
+
+impl Severity {
+    /// The syslog severity, if this is a syslog-scale value.
+    pub fn as_syslog(self) -> Option<SyslogSeverity> {
+        match self {
+            Severity::Syslog(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The BG/L severity, if this is a RAS-scale value.
+    pub fn as_bgl(self) -> Option<BglSeverity> {
+        match self {
+            Severity::Bgl(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if no severity is recorded.
+    pub fn is_none(self) -> bool {
+        self == Severity::None
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::None => f.write_str("-"),
+            Severity::Syslog(s) => s.fmt(f),
+            Severity::Bgl(s) => s.fmt(f),
+        }
+    }
+}
+
+impl From<SyslogSeverity> for Severity {
+    fn from(s: SyslogSeverity) -> Self {
+        Severity::Syslog(s)
+    }
+}
+
+impl From<BglSeverity> for Severity {
+    fn from(s: BglSeverity) -> Self {
+        Severity::Bgl(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syslog_ordering() {
+        assert!(SyslogSeverity::Emerg < SyslogSeverity::Debug);
+        assert!(SyslogSeverity::Crit.is_at_least(SyslogSeverity::Error));
+        assert!(!SyslogSeverity::Info.is_at_least(SyslogSeverity::Warning));
+        assert!(SyslogSeverity::Alert.is_at_least(SyslogSeverity::Alert));
+    }
+
+    #[test]
+    fn syslog_priorities_match_rfc() {
+        assert_eq!(SyslogSeverity::Emerg.priority(), 0);
+        assert_eq!(SyslogSeverity::Debug.priority(), 7);
+    }
+
+    #[test]
+    fn syslog_parse_round_trip() {
+        for sev in ALL_SYSLOG_SEVERITIES {
+            assert_eq!(sev.name().parse::<SyslogSeverity>(), Ok(sev));
+        }
+        assert_eq!("warn".parse::<SyslogSeverity>(), Ok(SyslogSeverity::Warning));
+        assert!("BOGUS".parse::<SyslogSeverity>().is_err());
+    }
+
+    #[test]
+    fn bgl_parse_round_trip() {
+        for sev in ALL_BGL_SEVERITIES {
+            assert_eq!(sev.name().parse::<BglSeverity>(), Ok(sev));
+        }
+        assert!("CRIT".parse::<BglSeverity>().is_err());
+    }
+
+    #[test]
+    fn bgl_failure_levels() {
+        assert!(BglSeverity::Fatal.is_failure_level());
+        assert!(BglSeverity::Failure.is_failure_level());
+        assert!(!BglSeverity::Severe.is_failure_level());
+        assert!(!BglSeverity::Info.is_failure_level());
+    }
+
+    #[test]
+    fn severity_wrappers() {
+        let s: Severity = SyslogSeverity::Crit.into();
+        assert_eq!(s.as_syslog(), Some(SyslogSeverity::Crit));
+        assert_eq!(s.as_bgl(), None);
+        assert!(!s.is_none());
+        assert!(Severity::None.is_none());
+        assert_eq!(Severity::None.to_string(), "-");
+        assert_eq!(Severity::Bgl(BglSeverity::Fatal).to_string(), "FATAL");
+    }
+}

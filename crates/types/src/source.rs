@@ -1,0 +1,161 @@
+//! Message sources (nodes, controllers, service cards) and interning.
+//!
+//! A study-scale log names the same few thousand sources hundreds of
+//! millions of times, so sources are interned to a compact [`NodeId`].
+//! Figure 2(b) of the paper sorts Liberty's sources by message count; the
+//! interner keeps that analysis cheap.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compact identifier for an interned message source.
+///
+/// Obtained from [`SourceInterner::intern`]; resolve back to the name
+/// with [`SourceInterner::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw index value.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a raw index.
+    ///
+    /// Only meaningful when the index came from the same
+    /// [`SourceInterner`] that will later resolve it.
+    pub const fn from_index(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Bijective mapping between source names and [`NodeId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_types::SourceInterner;
+///
+/// let mut interner = SourceInterner::new();
+/// let a = interner.intern("sn373");
+/// let b = interner.intern("sn325");
+/// assert_ne!(a, b);
+/// assert_eq!(interner.intern("sn373"), a);
+/// assert_eq!(interner.name(a), "sn373");
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SourceInterner {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, NodeId>,
+}
+
+impl SourceInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable [`NodeId`].
+    pub fn intern(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = NodeId(
+            u32::try_from(self.names.len()).expect("more than u32::MAX distinct sources"),
+        );
+        self.names.push(name.into());
+        self.index.insert(name.into(), id);
+        id
+    }
+
+    /// Looks up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<NodeId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name for an interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this interner.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct interned sources.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(NodeId, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = SourceInterner::new();
+        let a = i.intern("tbird-admin1");
+        assert_eq!(i.intern("tbird-admin1"), a);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut i = SourceInterner::new();
+        let ids: Vec<_> = (0..100).map(|n| i.intern(&format!("sn{n}"))).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(i.name(*id), format!("sn{n}"));
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = SourceInterner::new();
+        assert!(i.get("ladmin2").is_none());
+        assert!(i.is_empty());
+        let id = i.intern("ladmin2");
+        assert_eq!(i.get("ladmin2"), Some(id));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut i = SourceInterner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::from_index(7).to_string(), "node#7");
+        assert_eq!(NodeId::from_index(7).index(), 7);
+    }
+}

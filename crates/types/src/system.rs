@@ -1,0 +1,289 @@
+//! The five studied supercomputers and their Table 1/Table 2 metadata.
+
+use crate::time::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the five supercomputers studied in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_types::SystemId;
+///
+/// assert_eq!(SystemId::Liberty.to_string(), "Liberty");
+/// assert_eq!("Red Storm".parse::<SystemId>(), Ok(SystemId::RedStorm));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SystemId {
+    /// Blue Gene/L at Lawrence Livermore National Labs (IBM, 131 072 procs).
+    BlueGeneL,
+    /// Thunderbird at Sandia (Dell, 9024 procs, Infiniband).
+    Thunderbird,
+    /// Red Storm at Sandia (Cray, 10 880 procs, custom interconnect).
+    RedStorm,
+    /// Spirit (ICC2) at Sandia (HP, 1028 procs, GigEthernet).
+    Spirit,
+    /// Liberty at Sandia (HP, 512 procs, Myrinet).
+    Liberty,
+}
+
+/// All five systems in the order they appear in the paper's tables.
+pub const ALL_SYSTEMS: [SystemId; 5] = [
+    SystemId::BlueGeneL,
+    SystemId::Thunderbird,
+    SystemId::RedStorm,
+    SystemId::Spirit,
+    SystemId::Liberty,
+];
+
+impl SystemId {
+    /// Static characteristics of the system (the paper's Table 1 plus the
+    /// observation window of Table 2).
+    pub fn spec(self) -> &'static SystemSpec {
+        match self {
+            SystemId::BlueGeneL => &BGL_SPEC,
+            SystemId::Thunderbird => &TBIRD_SPEC,
+            SystemId::RedStorm => &RSTORM_SPEC,
+            SystemId::Spirit => &SPIRIT_SPEC,
+            SystemId::Liberty => &LIBERTY_SPEC,
+        }
+    }
+
+    /// Whether the system records message severity in its logs.
+    ///
+    /// Per Section 3.2 of the paper, only BG/L (RAS severities) and
+    /// Red Storm's syslog path store severities; Thunderbird, Spirit and
+    /// Liberty "did not even record this information".
+    pub fn records_severity(self) -> bool {
+        matches!(self, SystemId::BlueGeneL | SystemId::RedStorm)
+    }
+
+    /// Whether the system's primary log path is lossy (standard UDP
+    /// syslog forwarding) rather than reliable (TCP RAS network or local
+    /// database).
+    pub fn has_lossy_collection(self) -> bool {
+        matches!(
+            self,
+            SystemId::Thunderbird | SystemId::Spirit | SystemId::Liberty
+        )
+    }
+}
+
+impl fmt::Display for SystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+/// Error returned when parsing a [`SystemId`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSystemIdError(String);
+
+impl fmt::Display for ParseSystemIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown system name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSystemIdError {}
+
+impl FromStr for SystemId {
+    type Err = ParseSystemIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s
+            .to_ascii_lowercase()
+            .replace([' ', '-', '_', '/', '(', ')'], "")
+            .as_str()
+        {
+            "bluegenel" | "bgl" | "bluegene" => Ok(SystemId::BlueGeneL),
+            "thunderbird" | "tbird" => Ok(SystemId::Thunderbird),
+            "redstorm" => Ok(SystemId::RedStorm),
+            "spirit" | "icc2" | "spiriticc2" => Ok(SystemId::Spirit),
+            "liberty" => Ok(SystemId::Liberty),
+            _ => Err(ParseSystemIdError(s.to_owned())),
+        }
+    }
+}
+
+/// Static description of a system: the paper's Table 1 row plus the
+/// observation window from Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SystemSpec {
+    /// Which system this spec describes.
+    pub id_name: &'static str,
+    /// Human-readable name as printed in the paper.
+    pub name: &'static str,
+    /// Owning laboratory.
+    pub owner: &'static str,
+    /// Hardware vendor.
+    pub vendor: &'static str,
+    /// Rank on the June 2006 Top500 list.
+    pub top500_rank: u32,
+    /// Number of processors.
+    pub processors: u32,
+    /// Main memory in gigabytes.
+    pub memory_gb: u32,
+    /// Interconnect technology.
+    pub interconnect: &'static str,
+    /// First day of log collection (Table 2 "Start Date").
+    pub start_date: (i32, u32, u32),
+    /// Number of days of collected logs (Table 2 "Days").
+    pub days: u32,
+    /// Approximate number of distinct message sources we simulate.
+    ///
+    /// The paper does not tabulate source counts; these values are scaled
+    /// from the processor counts (multi-processor nodes) plus
+    /// administrative/service nodes, matching Figure 2(b)'s order of
+    /// magnitude for Liberty (~250 sources).
+    pub sources: u32,
+}
+
+impl SystemSpec {
+    /// Timestamp of the start of the observation window (midnight UTC).
+    pub fn start(&self) -> Timestamp {
+        let (y, m, d) = self.start_date;
+        Timestamp::from_ymd_hms(y, m, d, 0, 0, 0)
+    }
+
+    /// Length of the observation window.
+    pub fn span(&self) -> Duration {
+        Duration::from_days(i64::from(self.days))
+    }
+
+    /// Timestamp of the end of the observation window.
+    pub fn end(&self) -> Timestamp {
+        self.start() + self.span()
+    }
+}
+
+static BGL_SPEC: SystemSpec = SystemSpec {
+    id_name: "BlueGeneL",
+    name: "Blue Gene/L",
+    owner: "LLNL",
+    vendor: "IBM",
+    top500_rank: 1,
+    processors: 131_072,
+    memory_gb: 32_768,
+    interconnect: "Custom",
+    start_date: (2005, 6, 3),
+    days: 215,
+    sources: 2048,
+};
+
+static TBIRD_SPEC: SystemSpec = SystemSpec {
+    id_name: "Thunderbird",
+    name: "Thunderbird",
+    owner: "SNL",
+    vendor: "Dell",
+    top500_rank: 6,
+    processors: 9024,
+    memory_gb: 27_072,
+    interconnect: "Infiniband",
+    start_date: (2005, 11, 9),
+    days: 244,
+    sources: 4512,
+};
+
+static RSTORM_SPEC: SystemSpec = SystemSpec {
+    id_name: "RedStorm",
+    name: "Red Storm",
+    owner: "SNL",
+    vendor: "Cray",
+    top500_rank: 9,
+    processors: 10_880,
+    memory_gb: 32_640,
+    interconnect: "Custom",
+    start_date: (2006, 3, 19),
+    days: 104,
+    sources: 5440,
+};
+
+static SPIRIT_SPEC: SystemSpec = SystemSpec {
+    id_name: "Spirit",
+    name: "Spirit (ICC2)",
+    owner: "SNL",
+    vendor: "HP",
+    top500_rank: 202,
+    processors: 1028,
+    memory_gb: 1024,
+    interconnect: "GigEthernet",
+    start_date: (2005, 1, 1),
+    days: 558,
+    sources: 514,
+};
+
+static LIBERTY_SPEC: SystemSpec = SystemSpec {
+    id_name: "Liberty",
+    name: "Liberty",
+    owner: "SNL",
+    vendor: "HP",
+    top500_rank: 445,
+    processors: 512,
+    memory_gb: 944,
+    interconnect: "Myrinet",
+    start_date: (2004, 12, 12),
+    days: 315,
+    sources: 256,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(SystemId::BlueGeneL.spec().top500_rank, 1);
+        assert_eq!(SystemId::Thunderbird.spec().processors, 9024);
+        assert_eq!(SystemId::RedStorm.spec().memory_gb, 32_640);
+        assert_eq!(SystemId::Spirit.spec().interconnect, "GigEthernet");
+        assert_eq!(SystemId::Liberty.spec().top500_rank, 445);
+    }
+
+    #[test]
+    fn table2_windows() {
+        let bgl = SystemId::BlueGeneL.spec();
+        assert_eq!(bgl.start().to_iso_string(), "2005-06-03 00:00:00");
+        assert_eq!(bgl.span(), Duration::from_days(215));
+        let spirit = SystemId::Spirit.spec();
+        assert_eq!(spirit.end().to_iso_string(), "2006-07-13 00:00:00");
+    }
+
+    #[test]
+    fn severity_recording_matches_paper() {
+        assert!(SystemId::BlueGeneL.records_severity());
+        assert!(SystemId::RedStorm.records_severity());
+        assert!(!SystemId::Thunderbird.records_severity());
+        assert!(!SystemId::Spirit.records_severity());
+        assert!(!SystemId::Liberty.records_severity());
+    }
+
+    #[test]
+    fn lossy_collection_is_the_syslog_systems() {
+        assert!(!SystemId::BlueGeneL.has_lossy_collection());
+        assert!(!SystemId::RedStorm.has_lossy_collection());
+        assert!(SystemId::Thunderbird.has_lossy_collection());
+        assert!(SystemId::Spirit.has_lossy_collection());
+        assert!(SystemId::Liberty.has_lossy_collection());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for sys in ALL_SYSTEMS {
+            assert_eq!(sys.to_string().parse::<SystemId>(), Ok(sys));
+        }
+        assert_eq!("bgl".parse::<SystemId>(), Ok(SystemId::BlueGeneL));
+        assert!("cray-2".parse::<SystemId>().is_err());
+        let err = "cray-2".parse::<SystemId>().unwrap_err();
+        assert!(err.to_string().contains("cray-2"));
+    }
+
+    #[test]
+    fn ordering_matches_paper_tables() {
+        let mut sorted = ALL_SYSTEMS;
+        sorted.sort();
+        assert_eq!(sorted, ALL_SYSTEMS);
+    }
+}

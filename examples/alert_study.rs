@@ -1,0 +1,39 @@
+//! A miniature version of the paper's whole study: run all five
+//! systems through the pipeline and print the log-characteristics and
+//! alert-type tables.
+//!
+//! ```sh
+//! cargo run --release --example alert_study
+//! ```
+
+use sclog::core::tables::{Table1, Table2, Table3};
+use sclog::core::Study;
+
+fn main() {
+    println!("What Supercomputers Say — miniature five-system study\n");
+    println!("{}", Table1::build().render());
+
+    // 0.2% of the paper's alert and background volumes.
+    let study = Study::new(0.002, 0.0002, 7);
+    let runs = study.run_all();
+
+    println!("{}", Table2::build(&runs).render());
+    println!("{}", Table3::build(&runs).render());
+
+    for run in &runs {
+        let truth_failures = run.log.failure_count;
+        println!(
+            "{:<14} {:>9} msgs  {:>8} alerts  {:>6} filtered  {:>5} true failures",
+            run.system.spec().name,
+            run.messages(),
+            run.raw_alerts(),
+            run.filtered_alerts(),
+            truth_failures,
+        );
+    }
+    println!(
+        "\nNote how filtering collapses Spirit's disk storms by orders of\n\
+         magnitude while Liberty's small alert set barely shrinks — 'more\n\
+         alerts does not imply a less reliable system'."
+    );
+}

@@ -1,0 +1,39 @@
+//! Maintain expert rules as a plain text file, the way the paper's
+//! administrators kept theirs for logsurfer.
+//!
+//! ```sh
+//! cargo run --example custom_rules
+//! ```
+
+use sclog::rules::{export_builtin, parse_ruleset, RuleSet};
+use sclog::simgen::{generate, Scale};
+use sclog::types::{CategoryRegistry, SystemId};
+
+fn main() {
+    // Export the built-in Liberty ruleset to the text format...
+    let mut text = export_builtin(SystemId::Liberty);
+    println!("built-in Liberty ruleset:\n{text}");
+
+    // ...and extend it with a site-specific rule: this site considers
+    // any NTP desynchronization on an admin node alert-worthy.
+    text.push_str("NTP_DESYNC S ($4 ~ /^ladmin/ && /synchronized to/)\n");
+
+    let defs = parse_ruleset(&text).expect("ruleset parses");
+    let mut registry = CategoryRegistry::new();
+    let rules = RuleSet::from_defs(SystemId::Liberty, &defs, &mut registry);
+    println!("loaded {} rules ({} built-in + 1 custom)\n", rules.len(), defs.len() - 1);
+
+    // Tag a generated log with the extended ruleset.
+    let log = generate(SystemId::Liberty, Scale::new(0.1, 0.0002), 17);
+    let tagged = rules.tag_messages(&log.messages, &log.interner);
+    let mut counts: Vec<(&str, u64)> = tagged
+        .counts_by_category()
+        .into_iter()
+        .map(|(cat, n)| (registry.name(cat), n))
+        .collect();
+    counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("alerts by category (note the custom NTP_DESYNC tag):");
+    for (name, n) in counts {
+        println!("  {name:<12} {n}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Mine precursor rules from a Liberty run and evaluate an ensemble of
+//! per-category predictors, as Section 4 of the paper recommends.
+//!
+//! ```sh
+//! cargo run --release --example failure_prediction
+//! ```
+
+use sclog::core::Study;
+use sclog::predict::{
+    evaluate, failure_onsets, mine_precursors, Ensemble, PrecursorPredictor, Predictor,
+    RateThresholdPredictor,
+};
+use sclog::types::{Duration, SystemId};
+
+fn main() {
+    let run = Study::new(1.0, 0.00005, 9).run_system(SystemId::Liberty);
+    let alerts = &run.tagged.alerts;
+    println!("Liberty run: {} alerts\n", alerts.len());
+
+    println!("mined precursor rules (30-minute window):");
+    for r in mine_precursors(alerts, Duration::from_mins(30), 3, 3.0).iter().take(5) {
+        println!(
+            "  {:<9} -> {:<9} confidence {:.2}  lift {:>8.1}  support {}",
+            run.registry.name(r.precursor),
+            run.registry.name(r.target),
+            r.confidence,
+            r.lift,
+            r.support
+        );
+    }
+
+    let target = run.registry.lookup(SystemId::Liberty, "GM_LANAI").expect("category");
+    let precursor = run.registry.lookup(SystemId::Liberty, "GM_PAR").expect("category");
+    let failures = failure_onsets(alerts, target);
+    let horizon = Duration::from_hours(4);
+    println!("\npredicting GM_LANAI failures ({} of them), horizon 4 h:", failures.len());
+
+    let predictors: Vec<Box<dyn Predictor>> = vec![
+        Box::new(RateThresholdPredictor::new(None, Duration::from_mins(30), 5)),
+        Box::new(PrecursorPredictor::new(precursor)),
+        Box::new(
+            Ensemble::new()
+                .with(RateThresholdPredictor::new(None, Duration::from_mins(30), 5))
+                .with(PrecursorPredictor::new(precursor)),
+        ),
+    ];
+    for p in &predictors {
+        let s = evaluate(&p.warnings(alerts), &failures, horizon);
+        println!("  {:<26} {s}", p.name());
+    }
+}

@@ -1,0 +1,25 @@
+//! `sclog` — umbrella crate for the reproduction of *What Supercomputers
+//! Say: A Study of Five System Logs* (Oliner & Stearley, DSN 2007).
+//!
+//! This crate re-exports the workspace members under stable module names
+//! so that downstream users (and the `examples/` binaries) only need one
+//! dependency:
+//!
+//! ```
+//! use sclog::types::SystemId;
+//!
+//! assert_eq!(SystemId::RedStorm.spec().top500_rank, 9);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sclog_core as core;
+pub use sclog_desim as desim;
+pub use sclog_filter as filter;
+pub use sclog_opctx as opctx;
+pub use sclog_parse as parse;
+pub use sclog_predict as predict;
+pub use sclog_rules as rules;
+pub use sclog_simgen as simgen;
+pub use sclog_stats as stats;
+pub use sclog_types as types;

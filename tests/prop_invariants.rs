@@ -1,0 +1,79 @@
+//! Cross-crate property tests: whole-pipeline invariants under random
+//! seeds and scales.
+
+use proptest::prelude::*;
+use sclog::filter::{AlertFilter, SerialFilter, SpatioTemporalFilter};
+use sclog::parse::LogReader;
+use sclog::rules::RuleSet;
+use sclog::simgen::{generate, Scale};
+use sclog::types::{CategoryRegistry, SystemId};
+
+fn any_system() -> impl Strategy<Value = SystemId> {
+    prop_oneof![
+        Just(SystemId::BlueGeneL),
+        Just(SystemId::Thunderbird),
+        Just(SystemId::RedStorm),
+        Just(SystemId::Spirit),
+        Just(SystemId::Liberty),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_invariants_hold_for_any_seed(
+        sys in any_system(),
+        seed in 0u64..10_000,
+    ) {
+        let log = generate(sys, Scale::new(0.001, 0.00005), seed);
+        // Messages sorted.
+        prop_assert!(log.messages.windows(2).all(|w| w[0].time <= w[1].time));
+        // Truth arrays parallel.
+        prop_assert_eq!(log.messages.len(), log.truth.len());
+
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(sys, &mut registry);
+        let mut tagged = rules.tag_messages(&log.messages, &log.interner);
+        tagged.attach_truth(&log.truth);
+
+        // Tagged alerts reference valid messages, in order.
+        prop_assert!(tagged.alerts.windows(2).all(|w| w[0].message_index < w[1].message_index));
+        for a in &tagged.alerts {
+            prop_assert!(a.message_index < log.messages.len());
+            prop_assert_eq!(a.time, log.messages[a.message_index].time);
+        }
+
+        // Filter laws: subsequence, idempotence, simultaneous ≤ serial.
+        let simul = SpatioTemporalFilter::paper().filter(&tagged.alerts);
+        let serial = SerialFilter::paper().filter(&tagged.alerts);
+        prop_assert!(simul.len() <= serial.len());
+        prop_assert_eq!(&SpatioTemporalFilter::paper().filter(&simul), &simul);
+        prop_assert!(simul.len() <= tagged.alerts.len());
+    }
+
+    #[test]
+    fn rendered_logs_always_reparse(
+        sys in any_system(),
+        seed in 0u64..10_000,
+    ) {
+        let log = generate(sys, Scale::new(0.0005, 0.00005), seed);
+        let text = log.render();
+        let mut reader = LogReader::for_system(sys);
+        reader.push_text(&text);
+        let stats = reader.stats();
+        prop_assert_eq!(stats.total(), log.messages.len() as u64);
+        prop_assert!(stats.parsed as f64 >= 0.99 * log.messages.len() as f64,
+            "parsed {} of {}", stats.parsed, log.messages.len());
+    }
+
+    #[test]
+    fn compression_round_trips_on_generated_logs(
+        seed in 0u64..1_000,
+    ) {
+        let log = generate(SystemId::Liberty, Scale::new(0.001, 0.00002), seed);
+        let text = log.render();
+        let tokens = sclog::parse::compress::tokenize(text.as_bytes());
+        prop_assert_eq!(sclog::parse::compress::detokenize(&tokens), text.into_bytes());
+    }
+}
