@@ -1,9 +1,12 @@
-//! Criterion benchmark for Section 3.3.2's performance claim: the
+//! Wall-clock benchmark for Section 3.3.2's performance claim: the
 //! simultaneous spatio-temporal filter is faster than the serial
 //! temporal-then-spatial baseline (the paper measured ~16% on the
 //! Spirit logs).
+//!
+//! Emits one JSON record per benchmark on stdout; human-readable
+//! summaries go to stderr.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sclog_bench::BenchGroup;
 use sclog_core::Study;
 use sclog_filter::{AdaptiveFilter, AlertFilter, SerialFilter, SpatioTemporalFilter, TupleFilter};
 use sclog_types::{Alert, Duration};
@@ -15,30 +18,19 @@ fn spirit_alerts() -> Vec<Alert> {
     run.tagged.alerts
 }
 
-fn bench_filters(c: &mut Criterion) {
+fn main() {
     let alerts = spirit_alerts();
-    let mut group = c.benchmark_group("filter_spirit");
-    group.sample_size(20);
-    group.throughput(criterion::Throughput::Elements(alerts.len() as u64));
+    let mut group = BenchGroup::new("filter_spirit");
+    group
+        .sample_size(20)
+        .throughput_elements(alerts.len() as u64);
 
-    group.bench_function("simultaneous", |b| {
-        let f = SpatioTemporalFilter::paper();
-        b.iter_batched(|| &alerts, |a| f.filter(a), BatchSize::LargeInput)
-    });
-    group.bench_function("serial", |b| {
-        let f = SerialFilter::paper();
-        b.iter_batched(|| &alerts, |a| f.filter(a), BatchSize::LargeInput)
-    });
-    group.bench_function("tuple", |b| {
-        let f = TupleFilter::paper();
-        b.iter_batched(|| &alerts, |a| f.filter(a), BatchSize::LargeInput)
-    });
-    group.bench_function("adaptive_default", |b| {
-        let f = AdaptiveFilter::new(Duration::from_secs(5));
-        b.iter_batched(|| &alerts, |a| f.filter(a), BatchSize::LargeInput)
-    });
-    group.finish();
+    let f = SpatioTemporalFilter::paper();
+    group.bench("simultaneous", || f.filter(&alerts));
+    let f = SerialFilter::paper();
+    group.bench("serial", || f.filter(&alerts));
+    let f = TupleFilter::paper();
+    group.bench("tuple", || f.filter(&alerts));
+    let f = AdaptiveFilter::new(Duration::from_secs(5));
+    group.bench("adaptive_default", || f.filter(&alerts));
 }
-
-criterion_group!(benches, bench_filters);
-criterion_main!(benches);

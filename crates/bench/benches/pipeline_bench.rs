@@ -1,38 +1,36 @@
-//! Criterion benchmarks for the ingestion pipeline: parsing and expert
+//! Wall-clock benchmarks for the ingestion pipeline: parsing and expert
 //! tagging throughput on generated Liberty text.
+//!
+//! Emits one JSON record per benchmark on stdout; human-readable
+//! summaries go to stderr.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sclog_bench::BenchGroup;
 use sclog_parse::LogReader;
 use sclog_rules::RuleSet;
 use sclog_simgen::{generate, Scale};
 use sclog_types::{CategoryRegistry, SystemId};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let log = generate(SystemId::Liberty, Scale::new(0.05, 0.0002), 2);
     let text = log.render();
     let lines = text.lines().count() as u64;
 
-    let mut group = c.benchmark_group("pipeline_liberty");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(lines));
-    group.bench_function("parse", |b| {
-        b.iter(|| {
-            let mut reader = LogReader::for_system(SystemId::Liberty);
-            reader.push_text(&text);
-            reader.stats().parsed
-        })
+    let mut group = BenchGroup::new("pipeline_liberty");
+    group.sample_size(20).throughput_elements(lines);
+    group.bench("parse", || {
+        let mut reader = LogReader::for_system(SystemId::Liberty);
+        reader.push_text(&text);
+        reader.stats().parsed
     });
 
     let mut registry = CategoryRegistry::new();
     let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
-    group.bench_function("tag_serial", |b| {
-        b.iter(|| rules.tag_messages(&log.messages, &log.interner).len())
+    group.bench("tag_serial", || {
+        rules.tag_messages(&log.messages, &log.interner).len()
     });
-    group.bench_function("tag_parallel4", |b| {
-        b.iter(|| rules.tag_messages_parallel(&log.messages, &log.interner, 4).len())
+    group.bench("tag_parallel4", || {
+        rules
+            .tag_messages_parallel(&log.messages, &log.interner, 4)
+            .len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,26 +1,27 @@
-//! Criterion sweep over the filtering threshold T: cost is flat, but
-//! the kept-alert count (printed once) falls as T grows — the tradeoff
-//! behind the paper's fixed T = 5 s choice.
+//! Wall-clock sweep over the filtering threshold T: cost is flat, but
+//! the kept-alert count (printed once per T) falls as T grows — the
+//! tradeoff behind the paper's fixed T = 5 s choice.
+//!
+//! Emits one JSON record per benchmark on stdout; human-readable
+//! summaries go to stderr.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sclog_bench::BenchGroup;
 use sclog_core::Study;
 use sclog_filter::{AlertFilter, SpatioTemporalFilter};
 use sclog_types::{Duration, SystemId};
 
-fn bench_sweep(c: &mut Criterion) {
+fn main() {
     let run = Study::new(0.002, 0.00001, 3).run_system(SystemId::BlueGeneL);
     let alerts = run.tagged.alerts;
-    let mut group = c.benchmark_group("threshold_sweep_bgl");
+    let mut group = BenchGroup::new("threshold_sweep_bgl");
     group.sample_size(20);
     for t in [1i64, 5, 30, 300] {
         let f = SpatioTemporalFilter::new(Duration::from_secs(t));
-        println!("T={t}s keeps {} of {} alerts", f.filter(&alerts).len(), alerts.len());
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
-            b.iter(|| f.filter(&alerts).len())
-        });
+        eprintln!(
+            "T={t}s keeps {} of {} alerts",
+            f.filter(&alerts).len(),
+            alerts.len()
+        );
+        group.bench(&format!("T={t}s"), || f.filter(&alerts).len());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sweep);
-criterion_main!(benches);

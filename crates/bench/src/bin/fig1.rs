@@ -8,30 +8,81 @@ use sclog_opctx::{ContextLog, Disposition, OpState, RasMetrics};
 use sclog_types::{Duration, Timestamp};
 
 fn main() {
-    banner("Figure 1", "Operational context example", "state-machine walk");
+    banner(
+        "Figure 1",
+        "Operational context example",
+        "state-machine walk",
+    );
     let start = Timestamp::from_ymd_hms(2005, 6, 3, 0, 0, 0);
     let mut ctx = ContextLog::new(start, OpState::ProductionUptime);
     let d = Duration::from_hours(1);
-    ctx.transition(start + d * 100, OpState::ScheduledDowntime, "OS upgrade").unwrap();
-    ctx.transition(start + d * 108, OpState::ProductionUptime, "upgrade complete").unwrap();
-    ctx.transition(start + d * 400, OpState::UnscheduledDowntime, "Lustre outage").unwrap();
-    ctx.transition(start + d * 406, OpState::ProductionUptime, "failover complete").unwrap();
-    ctx.transition(start + d * 500, OpState::EngineeringTime, "dedicated system test").unwrap();
-    ctx.transition(start + d * 524, OpState::ProductionUptime, "returned to users").unwrap();
+    ctx.transition(start + d * 100, OpState::ScheduledDowntime, "OS upgrade")
+        .unwrap();
+    ctx.transition(
+        start + d * 108,
+        OpState::ProductionUptime,
+        "upgrade complete",
+    )
+    .unwrap();
+    ctx.transition(
+        start + d * 400,
+        OpState::UnscheduledDowntime,
+        "Lustre outage",
+    )
+    .unwrap();
+    ctx.transition(
+        start + d * 406,
+        OpState::ProductionUptime,
+        "failover complete",
+    )
+    .unwrap();
+    ctx.transition(
+        start + d * 500,
+        OpState::EngineeringTime,
+        "dedicated system test",
+    )
+    .unwrap();
+    ctx.transition(
+        start + d * 524,
+        OpState::ProductionUptime,
+        "returned to users",
+    )
+    .unwrap();
 
-    println!("Transition log ({} bytes total):", ctx.to_log_bodies().len());
+    println!(
+        "Transition log ({} bytes total):",
+        ctx.to_log_bodies().len()
+    );
     print!("{}", ctx.to_log_bodies());
 
     let end = start + d * 1000;
     let m = RasMetrics::compute(&ctx, end);
     println!("\nRAS metrics over {} hours:", 1000);
-    println!("  production uptime    {:>8.1} h", m.production_uptime.as_secs_f64() / 3600.0);
-    println!("  scheduled downtime   {:>8.1} h", m.scheduled_downtime.as_secs_f64() / 3600.0);
-    println!("  unscheduled downtime {:>8.1} h", m.unscheduled_downtime.as_secs_f64() / 3600.0);
-    println!("  engineering time     {:>8.1} h", m.engineering.as_secs_f64() / 3600.0);
+    println!(
+        "  production uptime    {:>8.1} h",
+        m.production_uptime.as_secs_f64() / 3600.0
+    );
+    println!(
+        "  scheduled downtime   {:>8.1} h",
+        m.scheduled_downtime.as_secs_f64() / 3600.0
+    );
+    println!(
+        "  unscheduled downtime {:>8.1} h",
+        m.unscheduled_downtime.as_secs_f64() / 3600.0
+    );
+    println!(
+        "  engineering time     {:>8.1} h",
+        m.engineering.as_secs_f64() / 3600.0
+    );
     println!("  availability                  {:.4}", m.availability());
-    println!("  scheduled availability        {:.4}", m.scheduled_availability());
-    println!("  work lost (131072-proc BG/L)  {:.0} proc-hours", m.work_lost_node_hours(131_072));
+    println!(
+        "  scheduled availability        {:.4}",
+        m.scheduled_availability()
+    );
+    println!(
+        "  work lost (131072-proc BG/L)  {:.0} proc-hours",
+        m.work_lost_node_hours(131_072)
+    );
 
     println!("\nDisambiguating 'BGLMASTER FAILURE ciodb exited normally with exit code 0':");
     for (label, t) in [

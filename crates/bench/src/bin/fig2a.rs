@@ -7,7 +7,11 @@ use sclog_core::Study;
 use sclog_types::{Duration, SystemId};
 
 fn main() {
-    banner("Figure 2a", "Liberty messages bucketed by hour", "alerts 0.05 / bg 0.0005");
+    banner(
+        "Figure 2a",
+        "Liberty messages bucketed by hour",
+        "alerts 0.05 / bg 0.0005",
+    );
     let run = Study::new(0.05, 0.0005, HARNESS_SEED).run_system(SystemId::Liberty);
     let fig = fig2a(&run, Duration::from_hours(24));
     println!("daily message counts ({} days):", fig.counts.len());

@@ -7,7 +7,11 @@ use sclog_core::Study;
 use sclog_types::SystemId;
 
 fn main() {
-    banner("Figure 2b", "Liberty messages by source", "alerts 0.02 / bg 0.001");
+    banner(
+        "Figure 2b",
+        "Liberty messages by source",
+        "alerts 0.02 / bg 0.001",
+    );
     let run = Study::new(0.02, 0.001, HARNESS_SEED).run_system(SystemId::Liberty);
     let fig = fig2b(&run);
     println!("top 10 sources:");
@@ -23,7 +27,10 @@ fn main() {
     let head = fig.by_source[0].1 as f64;
     let median = fig.by_source[n / 2].1 as f64;
     println!("\nsources: {n}   head/median ratio: {:.1}", head / median);
-    println!("corrupted (unattributable) sources: {}", fig.corrupted_sources);
+    println!(
+        "corrupted (unattributable) sources: {}",
+        fig.corrupted_sources
+    );
     println!(
         "\npaper: 'the most prolific sources were administrative nodes or those\n\
          with significant problems; the cluster at the bottom is from messages\n\

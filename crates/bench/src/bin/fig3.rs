@@ -7,10 +7,14 @@ use sclog_core::Study;
 use sclog_types::{Duration, SystemId};
 
 fn main() {
-    banner("Figure 3", "Two related classes of alerts on Liberty", "alerts 1.0 / bg 0.00005");
+    banner(
+        "Figure 3",
+        "Two related classes of alerts on Liberty",
+        "alerts 1.0 / bg 0.00005",
+    );
     let run = Study::new(1.0, 0.00005, HARNESS_SEED).run_system(SystemId::Liberty);
-    let fig = fig3(&run, "GM_PAR", "GM_LANAI", Duration::from_days(7))
-        .expect("both categories present");
+    let fig =
+        fig3(&run, "GM_PAR", "GM_LANAI", Duration::from_days(7)).expect("both categories present");
     println!("weekly counts:");
     println!("  GM_PAR   {}", sparkline(&fig.series_a));
     println!("  GM_LANAI {}", sparkline(&fig.series_b));

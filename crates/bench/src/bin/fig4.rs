@@ -7,7 +7,11 @@ use sclog_core::Study;
 use sclog_types::SystemId;
 
 fn main() {
-    banner("Figure 4", "Categorized filtered alerts on Liberty", "alerts 1.0 / bg 0.00005");
+    banner(
+        "Figure 4",
+        "Categorized filtered alerts on Liberty",
+        "alerts 1.0 / bg 0.00005",
+    );
     let run = Study::new(1.0, 0.00005, HARNESS_SEED).run_system(SystemId::Liberty);
     let points = fig4(&run);
     let spec = SystemId::Liberty.spec();
@@ -28,7 +32,12 @@ fn main() {
                 count += 1;
             }
         }
-        println!("  {:<9} {:>5}  {}", def.name, count, String::from_utf8_lossy(&row));
+        println!(
+            "  {:<9} {:>5}  {}",
+            def.name,
+            count,
+            String::from_utf8_lossy(&row)
+        );
     }
     println!(
         "\npaper: the PBS_CHK/PBS_BFD horizontal clusters 'are not evidence of\n\

@@ -8,10 +8,18 @@ use sclog_stats::Histogram;
 use sclog_types::SystemId;
 
 fn main() {
-    banner("Figure 5", "Critical ECC alerts on Thunderbird", "alerts 1.0 (ECC only) / bg 0.00002");
+    banner(
+        "Figure 5",
+        "Critical ECC alerts on Thunderbird",
+        "alerts 1.0 (ECC only) / bg 0.00002",
+    );
     let run = Study::new(1.0, 0.00002, HARNESS_SEED).run_subset(SystemId::Thunderbird, &["ECC"]);
     let fig = fig5(&run, "ECC").expect("ECC alerts present");
-    println!("filtered ECC alerts: {}   interarrival gaps: {}", fig.gaps.len() + 1, fig.gaps.len());
+    println!(
+        "filtered ECC alerts: {}   interarrival gaps: {}",
+        fig.gaps.len() + 1,
+        fig.gaps.len()
+    );
 
     let mut h = Histogram::log10(60.0, 3.0e7, 2);
     h.add_all(&fig.gaps);
@@ -25,11 +33,20 @@ fn main() {
             m.name, m.params, m.log_likelihood, m.aic, m.ks_stat, m.ks_p
         );
     }
-    let exp = fig.fit.models.iter().find(|m| m.name == "exponential").unwrap();
+    let exp = fig
+        .fit
+        .models
+        .iter()
+        .find(|m| m.name == "exponential")
+        .unwrap();
     println!(
         "\nexponential is {} at the 1% level (paper: 'these low-level failures\n\
          are basically independent'; distribution 'appears exponential and is\n\
          roughly log normal').",
-        if exp.ks_p > 0.01 { "NOT rejected" } else { "rejected" }
+        if exp.ks_p > 0.01 {
+            "NOT rejected"
+        } else {
+            "rejected"
+        }
     );
 }

@@ -7,7 +7,11 @@ use sclog_core::Study;
 use sclog_types::SystemId;
 
 fn main() {
-    banner("Figure 6", "Filtered interarrival distributions", "BG/L 0.3 / Spirit PBS+GM 0.5");
+    banner(
+        "Figure 6",
+        "Filtered interarrival distributions",
+        "BG/L 0.3 / Spirit PBS+GM 0.5",
+    );
     let bgl = Study::new(0.3, 0.0002, HARNESS_SEED).run_system(SystemId::BlueGeneL);
     let fig_bgl = fig6(&bgl).expect("BG/L filtered alerts");
     println!("(a) BG/L: {} filtered alerts", bgl.filtered.len());
@@ -16,10 +20,15 @@ fn main() {
 
     let spirit = Study::new(0.5, 0.0001, HARNESS_SEED).run_subset(
         SystemId::Spirit,
-        &["PBS_CHK", "PBS_BFD", "PBS_CON", "GM_LANAI", "GM_MAP", "GM_PAR"],
+        &[
+            "PBS_CHK", "PBS_BFD", "PBS_CON", "GM_LANAI", "GM_MAP", "GM_PAR",
+        ],
     );
     let fig_sp = fig6(&spirit).expect("Spirit filtered alerts");
     println!("(b) Spirit: {} filtered alerts", spirit.filtered.len());
     print!("{}", fig_sp.histogram.to_ascii(40));
-    println!("peaks detected: {}  (paper: unimodal after filtering)", fig_sp.peaks);
+    println!(
+        "peaks detected: {}  (paper: unimodal after filtering)",
+        fig_sp.peaks
+    );
 }

@@ -24,18 +24,31 @@ fn main() {
         let s_ser = score(raw, &serial);
         let s_tup = score(raw, &tuple);
         let diff = compare(&serial, &simul);
-        println!("\n{sys}: {} raw alerts, {} ground-truth failures", raw.len(), s_sim.failures);
+        println!(
+            "\n{sys}: {} raw alerts, {} ground-truth failures",
+            raw.len(),
+            s_sim.failures
+        );
         println!(
             "  simultaneous: kept {:>6}  coverage {:.4}  lost {:>3}  residual {:>5}",
-            s_sim.kept, s_sim.coverage(), s_sim.lost, s_sim.residual_redundancy
+            s_sim.kept,
+            s_sim.coverage(),
+            s_sim.lost,
+            s_sim.residual_redundancy
         );
         println!(
             "  serial      : kept {:>6}  coverage {:.4}  lost {:>3}  residual {:>5}",
-            s_ser.kept, s_ser.coverage(), s_ser.lost, s_ser.residual_redundancy
+            s_ser.kept,
+            s_ser.coverage(),
+            s_ser.lost,
+            s_ser.residual_redundancy
         );
         println!(
             "  tuple       : kept {:>6}  coverage {:.4}  lost {:>3}  residual {:>5}",
-            s_tup.kept, s_tup.coverage(), s_tup.lost, s_tup.residual_redundancy
+            s_tup.kept,
+            s_tup.coverage(),
+            s_tup.lost,
+            s_tup.residual_redundancy
         );
         println!(
             "  serial-only keeps {:>5} alerts (false positives the simultaneous\n\

@@ -10,7 +10,11 @@ use sclog_predict::{
 use sclog_types::{Duration, SystemId};
 
 fn main() {
-    banner("§4/§5", "Ensemble failure prediction on Liberty", "alerts 1.0 / bg 0.00005");
+    banner(
+        "§4/§5",
+        "Ensemble failure prediction on Liberty",
+        "alerts 1.0 / bg 0.00005",
+    );
     let run = Study::new(1.0, 0.00005, HARNESS_SEED).run_system(SystemId::Liberty);
     let alerts = &run.tagged.alerts;
     let horizon = Duration::from_hours(4);
@@ -30,15 +34,29 @@ fn main() {
     }
 
     // Target: GM_LANAI failures, predicted three ways.
-    let target = run.registry.lookup(SystemId::Liberty, "GM_LANAI").expect("category");
-    let gm_par = run.registry.lookup(SystemId::Liberty, "GM_PAR").expect("category");
+    let target = run
+        .registry
+        .lookup(SystemId::Liberty, "GM_LANAI")
+        .expect("category");
+    let gm_par = run
+        .registry
+        .lookup(SystemId::Liberty, "GM_PAR")
+        .expect("category");
     let failures = failure_onsets(alerts, target);
-    println!("\ntarget: GM_LANAI ({} failures), horizon {}h", failures.len(), 4);
+    println!(
+        "\ntarget: GM_LANAI ({} failures), horizon {}h",
+        failures.len(),
+        4
+    );
 
     let rate_all = RateThresholdPredictor::new(None, Duration::from_mins(30), 5);
     let precursor = PrecursorPredictor::new(gm_par);
     let ensemble = Ensemble::new()
-        .with(RateThresholdPredictor::new(None, Duration::from_mins(30), 5))
+        .with(RateThresholdPredictor::new(
+            None,
+            Duration::from_mins(30),
+            5,
+        ))
         .with(PrecursorPredictor::new(gm_par));
 
     for p in [&rate_all as &dyn Predictor, &precursor, &ensemble] {

@@ -7,9 +7,13 @@ use sclog_core::Study;
 use sclog_types::{Duration, SystemId};
 
 fn main() {
-    banner("§4", "Spatial correlation: CPU clock bug vs ECC", "alerts 1.0 (CPU+ECC) / bg 0.00002");
-    let run = Study::new(1.0, 0.00002, HARNESS_SEED)
-        .run_subset(SystemId::Thunderbird, &["CPU", "ECC"]);
+    banner(
+        "§4",
+        "Spatial correlation: CPU clock bug vs ECC",
+        "alerts 1.0 (CPU+ECC) / bg 0.00002",
+    );
+    let run =
+        Study::new(1.0, 0.00002, HARNESS_SEED).run_subset(SystemId::Thunderbird, &["CPU", "ECC"]);
     let window = Duration::from_mins(2);
     for cat in ["CPU", "ECC"] {
         let s = spatial(&run, cat, window).expect("category fires");

@@ -17,12 +17,36 @@ fn main() {
     print!("{}", table.render());
     println!();
     println!("Share comparison (percent):");
-    compare("Hardware raw share", 98.04, table.raw_share(AlertType::Hardware) * 100.0);
-    compare("Software raw share", 0.08, table.raw_share(AlertType::Software) * 100.0);
-    compare("Indet.   raw share", 1.88, table.raw_share(AlertType::Indeterminate) * 100.0);
-    compare("Hardware filtered share", 18.78, table.filtered_share(AlertType::Hardware) * 100.0);
-    compare("Software filtered share", 64.01, table.filtered_share(AlertType::Software) * 100.0);
-    compare("Indet.   filtered share", 17.21, table.filtered_share(AlertType::Indeterminate) * 100.0);
+    compare(
+        "Hardware raw share",
+        98.04,
+        table.raw_share(AlertType::Hardware) * 100.0,
+    );
+    compare(
+        "Software raw share",
+        0.08,
+        table.raw_share(AlertType::Software) * 100.0,
+    );
+    compare(
+        "Indet.   raw share",
+        1.88,
+        table.raw_share(AlertType::Indeterminate) * 100.0,
+    );
+    compare(
+        "Hardware filtered share",
+        18.78,
+        table.filtered_share(AlertType::Hardware) * 100.0,
+    );
+    compare(
+        "Software filtered share",
+        64.01,
+        table.filtered_share(AlertType::Software) * 100.0,
+    );
+    compare(
+        "Indet.   filtered share",
+        17.21,
+        table.filtered_share(AlertType::Indeterminate) * 100.0,
+    );
     println!();
     println!(
         "Filtering flips the dominant type from hardware to software: {}",

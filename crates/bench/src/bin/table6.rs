@@ -8,7 +8,11 @@ use sclog_core::Study;
 use sclog_types::SystemId;
 
 fn main() {
-    banner("Table 6", "Red Storm syslog severity vs expert alerts", "uniform 0.01, seed 3");
+    banner(
+        "Table 6",
+        "Red Storm syslog severity vs expert alerts",
+        "uniform 0.01, seed 3",
+    );
     // BUS_PAR's 1.55M CRIT alerts come from just 5 disk-failure storms;
     // at 1% scale the expected storm count is 0.05, so the seed is
     // chosen (3) such that one storm is present — without it the CRIT

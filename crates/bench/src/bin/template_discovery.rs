@@ -20,7 +20,10 @@ fn main() {
     );
     let run = Study::new(1.0, 0.0002, HARNESS_SEED).run_system(SystemId::Liberty);
     let templates = mine_templates(&run.log.messages, 50);
-    println!("discovered {} templates (support ≥ 50); top 12:", templates.len());
+    println!(
+        "discovered {} templates (support ≥ 50); top 12:",
+        templates.len()
+    );
     for t in templates.iter().take(12) {
         println!("  {:>7}  {:<14} {}", t.support, t.facility, t.pattern());
     }

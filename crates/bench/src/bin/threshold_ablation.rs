@@ -7,12 +7,19 @@ use sclog_filter::{score, AdaptiveFilter, AlertFilter, SpatioTemporalFilter};
 use sclog_types::{Duration, SystemId};
 
 fn main() {
-    banner("§4 ablation", "Global vs per-category filtering thresholds", "uniform 0.002");
+    banner(
+        "§4 ablation",
+        "Global vs per-category filtering thresholds",
+        "uniform 0.002",
+    );
     let study = Study::new(0.002, 0.0002, HARNESS_SEED);
     let run = study.run_system(SystemId::Spirit);
     let raw = &run.tagged.alerts;
     println!("Spirit: {} raw alerts\n", raw.len());
-    println!("{:<22} {:>8} {:>10} {:>8} {:>10}", "filter", "kept", "coverage", "lost", "residual");
+    println!(
+        "{:<22} {:>8} {:>10} {:>8} {:>10}",
+        "filter", "kept", "coverage", "lost", "residual"
+    );
     for t in [1i64, 5, 30, 120, 600] {
         let f = SpatioTemporalFilter::new(Duration::from_secs(t));
         let kept = f.filter(raw);
@@ -96,13 +103,20 @@ fn main() {
         }
     }
     alerts.sort_by_key(|a| (a.time, a.message_index));
-    println!("{:<22} {:>8} {:>10} {:>8} {:>10}", "filter", "kept", "coverage", "lost", "residual");
+    println!(
+        "{:<22} {:>8} {:>10} {:>8} {:>10}",
+        "filter", "kept", "coverage", "lost", "residual"
+    );
     for t in [5i64, 20] {
         let f = SpatioTemporalFilter::new(Duration::from_secs(t));
         let s = score(&alerts, &f.filter(&alerts));
         println!(
             "{:<22} {:>8} {:>10.4} {:>8} {:>10}",
-            format!("global T={t}s"), s.kept, s.coverage(), s.lost, s.residual_redundancy
+            format!("global T={t}s"),
+            s.kept,
+            s.coverage(),
+            s.lost,
+            s.residual_redundancy
         );
     }
     let per_cat = AdaptiveFilter::new(Duration::from_secs(5))
@@ -111,7 +125,11 @@ fn main() {
     let s = score(&alerts, &per_cat.filter(&alerts));
     println!(
         "{:<22} {:>8} {:>10.4} {:>8} {:>10}",
-        "per-category", s.kept, s.coverage(), s.lost, s.residual_redundancy
+        "per-category",
+        s.kept,
+        s.coverage(),
+        s.lost,
+        s.residual_redundancy
     );
     println!(
         "\nglobal T=5s leaves category A's chatter unmerged (residual); global\n\

@@ -9,6 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
+pub use timing::BenchGroup;
+
 use sclog_core::Study;
 
 /// The seed every harness binary uses, so EXPERIMENTS.md is
@@ -48,7 +52,11 @@ pub fn table_study() -> Study {
 
 /// Prints a paper-vs-measured comparison line with the ratio.
 pub fn compare(label: &str, paper: f64, measured: f64) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!("{label:<40} paper {paper:>14.2}   measured {measured:>14.2}   ratio {ratio:>6.3}");
 }
 

@@ -186,7 +186,9 @@ pub fn spatial(run: &SystemRun, category: &str, window: Duration) -> Option<Spat
     if events.is_empty() {
         return None;
     }
-    Some(sclog_stats::correlation::spatial_cooccurrence(&events, window))
+    Some(sclog_stats::correlation::spatial_cooccurrence(
+        &events, window,
+    ))
 }
 
 #[cfg(test)]
@@ -319,16 +321,26 @@ mod tests {
     fn fig6_bgl_bimodal_spirit_unimodal() {
         let bgl = Study::new(0.3, 0.0002, 66).run_system(SystemId::BlueGeneL);
         let fig_bgl = fig6(&bgl).expect("enough BG/L alerts");
-        assert!(fig_bgl.peaks >= 2, "BG/L should be multimodal: {} peaks", fig_bgl.peaks);
+        assert!(
+            fig_bgl.peaks >= 2,
+            "BG/L should be multimodal: {} peaks",
+            fig_bgl.peaks
+        );
 
         // PBS/GM categories only: Spirit's disk storms dwarf everything
         // else at any uniform scale.
         let spirit = Study::new(0.5, 0.0001, 66).run_subset(
             SystemId::Spirit,
-            &["PBS_CHK", "PBS_BFD", "PBS_CON", "GM_LANAI", "GM_MAP", "GM_PAR"],
+            &[
+                "PBS_CHK", "PBS_BFD", "PBS_CON", "GM_LANAI", "GM_MAP", "GM_PAR",
+            ],
         );
         let fig_sp = fig6(&spirit).expect("enough Spirit alerts");
-        assert!(fig_sp.peaks <= 2, "Spirit should be near-unimodal: {} peaks", fig_sp.peaks);
+        assert!(
+            fig_sp.peaks <= 2,
+            "Spirit should be near-unimodal: {} peaks",
+            fig_sp.peaks
+        );
     }
 
     #[test]

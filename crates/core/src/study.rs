@@ -135,7 +135,10 @@ mod tests {
         assert!(run.filtered_alerts() > 0);
         assert!(run.filtered_alerts() <= run.raw_alerts());
         assert!(run.messages() > run.raw_alerts());
-        assert!(run.observed_categories() >= 2, "frequent Liberty categories observed");
+        assert!(
+            run.observed_categories() >= 2,
+            "frequent Liberty categories observed"
+        );
     }
 
     #[test]

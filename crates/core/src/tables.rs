@@ -57,7 +57,15 @@ impl Table1 {
     /// Renders in the paper's layout.
     pub fn render(&self) -> String {
         render_table(
-            &["System", "Owner", "Vendor", "Top500 Rank", "Procs", "Memory (GB)", "Interconnect"],
+            &[
+                "System",
+                "Owner",
+                "Vendor",
+                "Top500 Rank",
+                "Procs",
+                "Memory (GB)",
+                "Interconnect",
+            ],
             &self
                 .rows
                 .iter()
@@ -118,8 +126,7 @@ impl Table2 {
                     let spec = run.system.spec();
                     let text = run.log.render();
                     let size = text.len() as u64;
-                    let compressed =
-                        sclog_parse::compress::compressed_size(text.as_bytes()) as u64;
+                    let compressed = sclog_parse::compress::compressed_size(text.as_bytes()) as u64;
                     Table2Row {
                         system: spec.name.to_owned(),
                         start_date: {
@@ -142,7 +149,17 @@ impl Table2 {
     /// Renders in the paper's layout.
     pub fn render(&self) -> String {
         render_table(
-            &["System", "Start Date", "Days", "Size (MB)", "Compr (MB)", "Rate (B/s)", "Messages", "Alerts", "Categories"],
+            &[
+                "System",
+                "Start Date",
+                "Days",
+                "Size (MB)",
+                "Compr (MB)",
+                "Rate (B/s)",
+                "Messages",
+                "Alerts",
+                "Categories",
+            ],
             &self
                 .rows
                 .iter()
@@ -178,16 +195,25 @@ impl Table3 {
         let mut filt: HashMap<AlertType, u64> = HashMap::new();
         for run in runs {
             for a in &run.tagged.alerts {
-                *raw.entry(run.registry.def(a.category).alert_type).or_insert(0) += 1;
+                *raw.entry(run.registry.def(a.category).alert_type)
+                    .or_insert(0) += 1;
             }
             for a in &run.filtered {
-                *filt.entry(run.registry.def(a.category).alert_type).or_insert(0) += 1;
+                *filt
+                    .entry(run.registry.def(a.category).alert_type)
+                    .or_insert(0) += 1;
             }
         }
         Table3 {
             rows: sclog_types::alert::ALL_ALERT_TYPES
                 .iter()
-                .map(|&t| (t, raw.get(&t).copied().unwrap_or(0), filt.get(&t).copied().unwrap_or(0)))
+                .map(|&t| {
+                    (
+                        t,
+                        raw.get(&t).copied().unwrap_or(0),
+                        filt.get(&t).copied().unwrap_or(0),
+                    )
+                })
                 .collect(),
         }
     }
@@ -305,7 +331,10 @@ impl Table4 {
         format!(
             "{}\n{}",
             self.system,
-            render_table(&["Type/Cat.", "Raw", "Filtered", "Example Message Body"], &rows)
+            render_table(
+                &["Type/Cat.", "Raw", "Filtered", "Example Message Body"],
+                &rows
+            )
         )
     }
 }
@@ -330,7 +359,12 @@ impl SeverityTable {
         let mut msg_counts = vec![0u64; ALL_BGL_SEVERITIES.len()];
         let mut alert_counts = vec![0u64; ALL_BGL_SEVERITIES.len()];
         let sev_index = |s: Severity| -> Option<usize> {
-            s.as_bgl().map(|b| ALL_BGL_SEVERITIES.iter().position(|&x| x == b).expect("listed"))
+            s.as_bgl().map(|b| {
+                ALL_BGL_SEVERITIES
+                    .iter()
+                    .position(|&x| x == b)
+                    .expect("listed")
+            })
         };
         for m in &run.log.messages {
             if let Some(i) = sev_index(m.severity) {
@@ -364,8 +398,12 @@ impl SeverityTable {
         let mut msg_counts = vec![0u64; ALL_SYSLOG_SEVERITIES.len()];
         let mut alert_counts = vec![0u64; ALL_SYSLOG_SEVERITIES.len()];
         let sev_index = |s: Severity| -> Option<usize> {
-            s.as_syslog()
-                .map(|b| ALL_SYSLOG_SEVERITIES.iter().position(|&x| x == b).expect("listed"))
+            s.as_syslog().map(|b| {
+                ALL_SYSLOG_SEVERITIES
+                    .iter()
+                    .position(|&x| x == b)
+                    .expect("listed")
+            })
         };
         for m in &run.log.messages {
             if let Some(i) = sev_index(m.severity) {
@@ -429,7 +467,13 @@ impl SeverityTable {
                     .rows
                     .iter()
                     .map(|&(name, m, a)| {
-                        vec![name.to_owned(), commas(m), pct(m, mt), commas(a), pct(a, at)]
+                        vec![
+                            name.to_owned(),
+                            commas(m),
+                            pct(m, mt),
+                            commas(a),
+                            pct(a, at),
+                        ]
                     })
                     .collect::<Vec<_>>(),
             )

@@ -34,5 +34,5 @@ pub mod rng;
 mod scheduler;
 
 pub use process::{BurstSpec, MarkovBurstProcess, PoissonProcess, RenewalProcess};
-pub use rng::{derive_seed, DistSampler, RngStream};
+pub use rng::{derive_seed, DistSampler, RngStream, Xoshiro256pp};
 pub use scheduler::Scheduler;

@@ -50,7 +50,12 @@ impl PoissonProcess {
     }
 
     /// Generates all event times in `[start, end)`.
-    pub fn generate(&self, start: Timestamp, end: Timestamp, rng: &mut RngStream) -> Vec<Timestamp> {
+    pub fn generate(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        rng: &mut RngStream,
+    ) -> Vec<Timestamp> {
         let mut out = Vec::new();
         let mut t = start;
         loop {
@@ -188,8 +193,16 @@ impl MarkovBurstProcess {
     /// # Panics
     ///
     /// Panics if rates are negative or sojourn means are not positive.
-    pub fn generate(&self, start: Timestamp, end: Timestamp, rng: &mut RngStream) -> Vec<Timestamp> {
-        assert!(self.quiet_rate >= 0.0 && self.burst_rate >= 0.0, "rates must be non-negative");
+    pub fn generate(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        rng: &mut RngStream,
+    ) -> Vec<Timestamp> {
+        assert!(
+            self.quiet_rate >= 0.0 && self.burst_rate >= 0.0,
+            "rates must be non-negative"
+        );
         assert!(
             self.mean_quiet_secs > 0.0 && self.mean_burst_secs > 0.0,
             "sojourn means must be positive"
@@ -204,7 +217,11 @@ impl MarkovBurstProcess {
                 rng.exponential(1.0 / self.mean_quiet_secs)
             };
             let state_end = (t + Duration::from_secs_f64(sojourn)).min(end);
-            let rate = if bursting { self.burst_rate } else { self.quiet_rate };
+            let rate = if bursting {
+                self.burst_rate
+            } else {
+                self.quiet_rate
+            };
             if rate > 0.0 {
                 let mut et = t;
                 loop {
@@ -283,7 +300,10 @@ mod tests {
             mean_gap_secs: 1.0,
             spread: 4,
         };
-        let mean = (0..5000).map(|_| spec.sample_len(&mut rng) as f64).sum::<f64>() / 5000.0;
+        let mean = (0..5000)
+            .map(|_| spec.sample_len(&mut rng) as f64)
+            .sum::<f64>()
+            / 5000.0;
         assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
         assert!(spec.sample_len(&mut rng) >= 1);
         assert_eq!(BurstSpec::singleton().sample_len(&mut rng), 1);
@@ -320,7 +340,10 @@ mod tests {
         // With quiet_rate 0 the interarrival distribution must be a
         // mixture: many short gaps (in-burst) and some very long ones
         // (quiet sojourns).
-        let gaps: Vec<f64> = events.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let gaps: Vec<f64> = events
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
         let short = gaps.iter().filter(|&&g| g < 1.0).count();
         let long = gaps.iter().filter(|&&g| g > 100.0).count();
         assert!(short > 10 * long.max(1), "short {short} long {long}");

@@ -6,14 +6,11 @@
 //! reordering processes never perturbs the samples other processes draw
 //! — a property the calibration tests depend on.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// Derives a child seed from a master seed and a label.
 ///
 /// Uses SplitMix64 over the master seed and an FNV-1a hash of the label,
-/// which is enough mixing for statistically independent `SmallRng`
-/// streams.
+/// which is enough mixing for statistically independent
+/// [`Xoshiro256pp`] streams.
 ///
 /// # Examples
 ///
@@ -40,15 +37,60 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The xoshiro256++ generator (Blackman & Vigna), implemented in-tree
+/// so the workspace stays std-only.
+///
+/// 256 bits of state, period 2^256 − 1, and excellent statistical
+/// quality for simulation workloads. Seeded from a single `u64` by a
+/// SplitMix64 chain, as the reference implementation recommends.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the generator from a single word via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(z);
+        }
+        // All-zero state is the one forbidden point; SplitMix64 cannot
+        // produce four zeros from one seed chain, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Xoshiro256pp { s }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A deterministic random stream with the distribution samplers the log
 /// generator needs.
 ///
-/// Wraps `rand::SmallRng`; the distribution samplers are implemented
-/// here (inverse transform / Box–Muller) rather than pulling in
-/// `rand_distr`, keeping the dependency set to the pre-approved crates.
+/// Wraps the in-tree [`Xoshiro256pp`]; the distribution samplers are
+/// implemented here (inverse transform / Box–Muller), so the whole
+/// random stack is dependency-free and byte-stable across platforms.
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     /// Cached second normal variate from Box–Muller.
     spare_normal: Option<f64>,
 }
@@ -57,7 +99,7 @@ impl RngStream {
     /// Creates a stream from a raw seed.
     pub fn from_seed(seed: u64) -> Self {
         RngStream {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             spare_normal: None,
         }
     }
@@ -68,24 +110,33 @@ impl RngStream {
         Self::from_seed(derive_seed(master, label))
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)`: the top 53 bits of one output word.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `(0, 1]` — safe to take logarithms of.
     pub fn uniform_open(&mut self) -> f64 {
-        1.0 - self.rng.gen::<f64>()
+        1.0 - self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's debiased multiply method).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.rng.gen_range(0..n)
+        let mut m = u128::from(self.rng.next_u64()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.rng.next_u64()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
@@ -95,7 +146,11 @@ impl RngStream {
     /// Panics if `lo > hi`.
     pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo <= hi, "empty range {lo}..={hi}");
-        self.rng.gen_range(lo..=hi)
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return self.rng.next_u64() as i64;
+        }
+        lo.wrapping_add(self.below(span + 1) as i64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -105,7 +160,7 @@ impl RngStream {
         } else if p >= 1.0 {
             true
         } else {
-            self.rng.gen::<f64>() < p
+            self.uniform() < p
         }
     }
 
@@ -149,7 +204,10 @@ impl RngStream {
     ///
     /// Panics if `k <= 0` or `lambda <= 0`.
     pub fn weibull(&mut self, k: f64, lambda: f64) -> f64 {
-        assert!(k > 0.0 && lambda > 0.0, "weibull parameters must be positive");
+        assert!(
+            k > 0.0 && lambda > 0.0,
+            "weibull parameters must be positive"
+        );
         lambda * (-self.uniform_open().ln()).powf(1.0 / k)
     }
 
@@ -159,7 +217,10 @@ impl RngStream {
     ///
     /// Panics if `xm <= 0` or `alpha <= 0`.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         xm / self.uniform_open().powf(1.0 / alpha)
     }
 
@@ -222,8 +283,8 @@ impl RngStream {
         weights.len() - 1
     }
 
-    /// Raw access for APIs that want a `rand::Rng`.
-    pub fn inner_mut(&mut self) -> &mut impl RngCore {
+    /// Raw access to the underlying generator.
+    pub fn inner_mut(&mut self) -> &mut Xoshiro256pp {
         &mut self.rng
     }
 }
@@ -237,14 +298,19 @@ pub struct DistSampler {
 
 impl std::fmt::Debug for DistSampler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DistSampler").field("name", &self.name).finish()
+        f.debug_struct("DistSampler")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
 impl DistSampler {
     /// Wraps a closure as a sampler.
     pub fn new(name: &'static str, f: impl FnMut(&mut RngStream) -> f64 + Send + 'static) -> Self {
-        DistSampler { name, f: Box::new(f) }
+        DistSampler {
+            name,
+            f: Box::new(f),
+        }
     }
 
     /// Exponential interarrivals with the given rate (events/second).
@@ -287,6 +353,37 @@ mod tests {
     }
 
     #[test]
+    fn xoshiro_reference_outputs() {
+        // Known-answer test against the reference implementation:
+        // with state {1, 2, 3, 4} the first two outputs are fixed.
+        let mut g = Xoshiro256pp { s: [1, 2, 3, 4] };
+        assert_eq!(g.next_u64(), 41_943_041);
+        assert_eq!(g.next_u64(), 58_720_359);
+    }
+
+    #[test]
+    fn seeding_avoids_degenerate_state() {
+        for seed in [0u64, 1, u64::MAX] {
+            let mut g = Xoshiro256pp::seed_from_u64(seed);
+            assert_ne!(g.s, [0; 4], "seed {seed} produced all-zero state");
+            let first = g.next_u64();
+            let second = g.next_u64();
+            assert_ne!(first, second);
+        }
+    }
+
+    #[test]
+    fn uniform_is_in_half_open_unit_interval() {
+        let mut r = RngStream::from_seed(99);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let v = r.uniform_open();
+            assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+
+    #[test]
     fn streams_are_reproducible() {
         let mut a = RngStream::derived(7, "x");
         let mut b = RngStream::derived(7, "x");
@@ -326,7 +423,10 @@ mod tests {
         let mut xs: Vec<f64> = (0..10_001).map(|_| r.lognormal(1.0, 0.5)).collect();
         xs.sort_by(f64::total_cmp);
         let median = xs[xs.len() / 2];
-        assert!((median - 1f64.exp()).abs() / 1f64.exp() < 0.05, "median {median}");
+        assert!(
+            (median - 1f64.exp()).abs() / 1f64.exp() < 0.05,
+            "median {median}"
+        );
     }
 
     #[test]

@@ -140,7 +140,9 @@ mod tests {
         s.schedule(Timestamp::from_secs(3), 3);
         s.schedule(Timestamp::from_secs(1), 1);
         s.schedule(Timestamp::from_secs(2), 2);
-        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -150,7 +152,9 @@ mod tests {
         for i in 0..100 {
             s.schedule(Timestamp::from_secs(7), i);
         }
-        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 

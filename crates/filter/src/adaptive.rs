@@ -50,7 +50,10 @@ impl AdaptiveFilter {
 
     /// The threshold used for a category.
     pub fn threshold_for(&self, category: CategoryId) -> Duration {
-        self.per_category.get(&category).copied().unwrap_or(self.default)
+        self.per_category
+            .get(&category)
+            .copied()
+            .unwrap_or(self.default)
     }
 
     /// Learns per-category thresholds from the alert stream itself.
@@ -78,7 +81,9 @@ impl AdaptiveFilter {
         let mut last: HashMap<CategoryId, Timestamp> = HashMap::new();
         for a in alerts {
             if let Some(prev) = last.insert(a.category, a.time) {
-                gaps.entry(a.category).or_default().push((a.time - prev).as_secs_f64());
+                gaps.entry(a.category)
+                    .or_default()
+                    .push((a.time - prev).as_secs_f64());
             }
         }
         let mut filter = AdaptiveFilter::new(default);
@@ -150,7 +155,10 @@ mod tests {
         // For category 1 (default T=5), the 29.5s gap keeps both.
         assert_eq!(kept, vec![0, 2, 3]);
         assert_eq!(f.threshold_for(cat0), Duration::from_secs(60));
-        assert_eq!(f.threshold_for(CategoryId::from_index(9)), Duration::from_secs(5));
+        assert_eq!(
+            f.threshold_for(CategoryId::from_index(9)),
+            Duration::from_secs(5)
+        );
     }
 
     #[test]
@@ -190,7 +198,10 @@ mod tests {
             Duration::from_secs(1),
             Duration::from_secs(100),
         );
-        assert_eq!(f.threshold_for(CategoryId::from_index(7)), Duration::from_secs(5));
+        assert_eq!(
+            f.threshold_for(CategoryId::from_index(7)),
+            Duration::from_secs(5)
+        );
     }
 
     #[test]

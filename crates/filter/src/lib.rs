@@ -59,7 +59,10 @@ pub trait AlertFilter {
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `alerts` is not sorted by time.
+    /// Implementations panic if `alerts` is not sorted by time — the
+    /// check runs in release builds too, because every filter's
+    /// correctness depends on it and a silently wrong answer is worse
+    /// than the O(n) scan.
     fn filter(&self, alerts: &[Alert]) -> Vec<Alert>;
 
     /// Convenience: how many alerts the filter keeps.
@@ -68,11 +71,20 @@ pub trait AlertFilter {
     }
 }
 
+/// Validates the [`AlertFilter::filter`] precondition in all build
+/// profiles. Every filter algorithm assumes time order; violating it
+/// yields quietly wrong suppression decisions, so this is a hard
+/// `assert!`, not a `debug_assert!`. The scan is O(n) against the
+/// filters' own O(n·sources) work.
 pub(crate) fn assert_sorted(alerts: &[Alert]) {
-    debug_assert!(
-        alerts.windows(2).all(|w| w[0].time <= w[1].time),
-        "alerts must be sorted by time"
-    );
+    if let Some(i) = alerts.windows(2).position(|w| w[0].time > w[1].time) {
+        panic!(
+            "alerts must be sorted by time: alerts[{i}] at {:?} precedes alerts[{}] at {:?}",
+            alerts[i].time,
+            i + 1,
+            alerts[i + 1].time
+        );
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +129,23 @@ mod tests {
         let f = SpatioTemporalFilter::paper();
         let a = alerts(&[(0.0, 0, 0), (1.0, 0, 0), (10.0, 0, 0)]);
         assert_eq!(f.kept_count(&a), f.filter(&a).len());
+    }
+
+    #[test]
+    fn unsorted_input_panics_in_every_profile() {
+        use super::testutil::alert;
+        // Deliberately out of order; `alerts()` would sort it.
+        let bad = vec![alert(10.0, 0, 0, 0), alert(1.0, 0, 0, 1)];
+        for f in [
+            Box::new(SpatioTemporalFilter::paper()) as Box<dyn AlertFilter>,
+            Box::new(SerialFilter::paper()),
+            Box::new(TupleFilter::paper()),
+            Box::new(AdaptiveFilter::new(Duration::from_secs(5))),
+        ] {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.filter(&bad)))
+                .expect_err("unsorted input must panic");
+            let msg = err.downcast_ref::<String>().expect("string panic");
+            assert!(msg.contains("sorted by time"), "{}: {msg}", f.name());
+        }
     }
 }

@@ -98,7 +98,10 @@ mod tests {
     use crate::SpatioTemporalFilter;
 
     fn kept(input: &[(f64, u32, u16)], f: &dyn AlertFilter) -> Vec<usize> {
-        f.filter(&alerts(input)).iter().map(|a| a.message_index).collect()
+        f.filter(&alerts(input))
+            .iter()
+            .map(|a| a.message_index)
+            .collect()
     }
 
     #[test]
@@ -126,9 +129,9 @@ mod tests {
         // pass lost its cue, so serial keeps B's alert; the simultaneous
         // filter removes it.
         let input = &[
-            (0.0, 0, 0), // A, kept by both
-            (4.0, 0, 0), // A, suppressed (refreshes)
-            (8.0, 0, 0), // A, suppressed (refreshes)
+            (0.0, 0, 0),  // A, kept by both
+            (4.0, 0, 0),  // A, suppressed (refreshes)
+            (8.0, 0, 0),  // A, suppressed (refreshes)
             (11.0, 1, 0), // B: 3s after A's last message, 11s after A's kept one
         ];
         let serial = kept(input, &SerialFilter::paper());
@@ -162,7 +165,9 @@ mod tests {
         for seed in 0..20u64 {
             let input: Vec<(f64, u32, u16)> = (0..150)
                 .map(|i| {
-                    let x = (i as u64).wrapping_mul(6_364_136_223_846_793_005).wrapping_add(seed);
+                    let x = (i as u64)
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(seed);
                     (
                         (x % 10_000) as f64 / 25.0,
                         (x >> 16) as u32 % 6,

@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn window_refreshes_within_tuple() {
-        let input: Vec<(f64, u32, u16)> = (0..10).map(|i| (4.0 * i as f64, 0, (i % 3) as u16)).collect();
+        let input: Vec<(f64, u32, u16)> = (0..10)
+            .map(|i| (4.0 * i as f64, 0, (i % 3) as u16))
+            .collect();
         assert_eq!(kept(&input), vec![0]);
     }
 

@@ -1,31 +1,33 @@
 //! Property tests for the filtering algorithms.
+//!
+//! Ported from proptest to the in-tree `sclog-testkit` harness; set
+//! `SCLOG_PROP_CASES` / `SCLOG_PROP_SEED` to rescale or replay.
 
-use proptest::prelude::*;
-use sclog_filter::{
-    AdaptiveFilter, AlertFilter, SerialFilter, SpatioTemporalFilter, TupleFilter,
-};
+use sclog_filter::{AdaptiveFilter, AlertFilter, SerialFilter, SpatioTemporalFilter, TupleFilter};
+use sclog_testkit::{check, Gen};
 use sclog_types::{Alert, CategoryId, Duration, NodeId, Timestamp};
 
-/// Strategy: a sorted alert sequence with bounded sources/categories.
-fn alert_seq() -> impl Strategy<Value = Vec<Alert>> {
-    proptest::collection::vec(
-        (0i64..200_000_000, 0u32..8, 0u16..5),
-        0..300,
-    )
-    .prop_map(|mut v| {
-        v.sort_by_key(|&(t, _, _)| t);
-        v.into_iter()
-            .enumerate()
-            .map(|(i, (t, src, cat))| {
-                Alert::new(
-                    Timestamp::from_micros(t),
-                    NodeId::from_index(src),
-                    CategoryId::from_index(cat),
-                    i,
-                )
-            })
-            .collect()
-    })
+/// Generator: a sorted alert sequence with bounded sources/categories.
+fn alert_seq(g: &mut Gen) -> Vec<Alert> {
+    let mut raw: Vec<(i64, u32, u16)> = g.vec(0..=300, |g| {
+        (
+            g.int_in(0..=199_999_999),
+            g.below(8) as u32,
+            g.below(5) as u16,
+        )
+    });
+    raw.sort_by_key(|&(t, _, _)| t);
+    raw.into_iter()
+        .enumerate()
+        .map(|(i, (t, src, cat))| {
+            Alert::new(
+                Timestamp::from_micros(t),
+                NodeId::from_index(src),
+                CategoryId::from_index(cat),
+                i,
+            )
+        })
+        .collect()
 }
 
 fn all_filters() -> Vec<Box<dyn AlertFilter>> {
@@ -37,74 +39,99 @@ fn all_filters() -> Vec<Box<dyn AlertFilter>> {
     ]
 }
 
-proptest! {
-    #[test]
-    fn output_is_subsequence_of_input(alerts in alert_seq()) {
+#[test]
+fn output_is_subsequence_of_input() {
+    check("output is subsequence of input", |g| {
+        let alerts = alert_seq(g);
         for f in all_filters() {
             let kept = f.filter(&alerts);
             // Subsequence check by message index (strictly increasing
             // and present in the input).
             let mut last = None;
             for k in &kept {
-                prop_assert!(last.is_none_or(|l| k.message_index > l), "{}", f.name());
-                prop_assert_eq!(&alerts[k.message_index], k);
+                assert!(last.is_none_or(|l| k.message_index > l), "{}", f.name());
+                assert_eq!(&alerts[k.message_index], k);
                 last = Some(k.message_index);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn nonempty_input_keeps_first_alert(alerts in alert_seq()) {
-        prop_assume!(!alerts.is_empty());
+#[test]
+fn nonempty_input_keeps_first_alert() {
+    check("nonempty input keeps first alert", |g| {
+        let alerts = alert_seq(g);
+        if alerts.is_empty() {
+            return;
+        }
         for f in all_filters() {
             let kept = f.filter(&alerts);
-            prop_assert!(!kept.is_empty(), "{} dropped everything", f.name());
-            prop_assert_eq!(kept[0].message_index, 0, "{} dropped first alert", f.name());
+            assert!(!kept.is_empty(), "{} dropped everything", f.name());
+            assert_eq!(kept[0].message_index, 0, "{} dropped first alert", f.name());
         }
-    }
+    });
+}
 
-    #[test]
-    fn filtering_is_idempotent(alerts in alert_seq()) {
+#[test]
+fn filtering_is_idempotent() {
+    check("filtering is idempotent", |g| {
+        let alerts = alert_seq(g);
         for f in all_filters() {
             let once = f.filter(&alerts);
             let twice = f.filter(&once);
-            prop_assert_eq!(once, twice, "{} not idempotent", f.name());
+            assert_eq!(once, twice, "{} not idempotent", f.name());
         }
-    }
+    });
+}
 
-    #[test]
-    fn simultaneous_is_at_most_serial(alerts in alert_seq()) {
+#[test]
+fn simultaneous_is_at_most_serial() {
+    check("simultaneous is at most serial", |g| {
+        let alerts = alert_seq(g);
         let m = SpatioTemporalFilter::paper().filter(&alerts).len();
         let s = SerialFilter::paper().filter(&alerts).len();
-        prop_assert!(m <= s, "simultaneous kept {m}, serial kept {s}");
-    }
+        assert!(m <= s, "simultaneous kept {m}, serial kept {s}");
+    });
+}
 
-    #[test]
-    fn every_category_present_in_input_survives_somewhere(alerts in alert_seq()) {
+#[test]
+fn every_category_present_in_input_survives_somewhere() {
+    check("every input category survives", |g| {
         // The first alert of each category is always kept by the
         // simultaneous filter (nothing earlier can suppress it).
         use std::collections::HashSet;
+        let alerts = alert_seq(g);
         let kept: HashSet<CategoryId> = SpatioTemporalFilter::paper()
             .filter(&alerts)
             .iter()
             .map(|a| a.category)
             .collect();
         let input: HashSet<CategoryId> = alerts.iter().map(|a| a.category).collect();
-        prop_assert_eq!(kept, input);
-    }
+        assert_eq!(kept, input);
+    });
+}
 
-    #[test]
-    fn larger_threshold_never_keeps_more(alerts in alert_seq()) {
-        let small = SpatioTemporalFilter::new(Duration::from_secs(1)).filter(&alerts).len();
-        let large = SpatioTemporalFilter::new(Duration::from_secs(60)).filter(&alerts).len();
-        prop_assert!(large <= small);
-    }
+#[test]
+fn larger_threshold_never_keeps_more() {
+    check("larger threshold never keeps more", |g| {
+        let alerts = alert_seq(g);
+        let small = SpatioTemporalFilter::new(Duration::from_secs(1))
+            .filter(&alerts)
+            .len();
+        let large = SpatioTemporalFilter::new(Duration::from_secs(60))
+            .filter(&alerts)
+            .len();
+        assert!(large <= small);
+    });
+}
 
-    #[test]
-    fn streaming_equals_batch(alerts in alert_seq()) {
+#[test]
+fn streaming_equals_batch() {
+    check("streaming equals batch", |g| {
+        let alerts = alert_seq(g);
         let f = SpatioTemporalFilter::paper();
         let mut stream = f.stream();
         let streamed: Vec<Alert> = alerts.iter().filter(|a| stream.push(a)).copied().collect();
-        prop_assert_eq!(f.filter(&alerts), streamed);
-    }
+        assert_eq!(f.filter(&alerts), streamed);
+    });
 }

@@ -1,14 +1,13 @@
 //! The operational-context state machine.
 
 use sclog_types::Timestamp;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// Operational states, after the Figure 1 diagram: total time divides
 /// into production and engineering time; production time divides into
 /// uptime and (scheduled or unscheduled) downtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpState {
     /// In production, up, running user jobs.
     ProductionUptime,
@@ -68,7 +67,7 @@ impl FromStr for OpState {
 
 /// One recorded state change: "the time and cause of system state
 /// changes" — the few bytes the paper asks operators to log.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transition {
     /// When the state changed.
     pub time: Timestamp,
@@ -150,7 +149,10 @@ impl fmt::Display for ContextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ContextError::NonMonotonic { last, attempted } => {
-                write!(f, "transition at {attempted} precedes last transition at {last}")
+                write!(
+                    f,
+                    "transition at {attempted} precedes last transition at {last}"
+                )
             }
             ContextError::SelfLoop(s) => write!(f, "self-transition to {s}"),
             ContextError::UnknownState(s) => write!(f, "unknown state token {s:?}"),
@@ -177,7 +179,7 @@ impl std::error::Error for ContextError {}
 /// assert_eq!(ctx.state_at(Timestamp::from_secs(250)), OpState::ProductionUptime);
 /// # Ok::<(), sclog_opctx::ContextError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContextLog {
     start: Timestamp,
     initial: OpState,
@@ -295,7 +297,7 @@ impl ContextLog {
 }
 
 /// What operational context says about an alert.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Disposition {
     /// Occurred in production uptime: demands attention.
     Actionable,
@@ -319,7 +321,8 @@ mod tests {
     #[test]
     fn state_at_boundaries() {
         let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
-        ctx.transition(t(100), OpState::ScheduledDowntime, "maint").unwrap();
+        ctx.transition(t(100), OpState::ScheduledDowntime, "maint")
+            .unwrap();
         assert_eq!(ctx.state_at(t(0)), OpState::ProductionUptime);
         assert_eq!(ctx.state_at(t(99)), OpState::ProductionUptime);
         // Transitions take effect at their timestamp.
@@ -396,9 +399,12 @@ mod tests {
     #[test]
     fn whole_log_round_trips() {
         let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
-        ctx.transition(t(100), OpState::ScheduledDowntime, "upgrade").unwrap();
-        ctx.transition(t(200), OpState::ProductionUptime, "done").unwrap();
-        ctx.transition(t(300), OpState::UnscheduledDowntime, "PBS died").unwrap();
+        ctx.transition(t(100), OpState::ScheduledDowntime, "upgrade")
+            .unwrap();
+        ctx.transition(t(200), OpState::ProductionUptime, "done")
+            .unwrap();
+        ctx.transition(t(300), OpState::UnscheduledDowntime, "PBS died")
+            .unwrap();
         let text = ctx.to_log_bodies();
         let back = ContextLog::from_log_bodies(t(0), OpState::ProductionUptime, &text).unwrap();
         assert_eq!(ctx, back);

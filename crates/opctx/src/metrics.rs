@@ -8,10 +8,9 @@
 
 use crate::machine::{ContextLog, OpState};
 use sclog_types::{Duration, Timestamp};
-use serde::Serialize;
 
 /// Time-in-state accounting over a window, plus derived metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RasMetrics {
     /// Time spent in production uptime.
     pub production_uptime: Duration,
@@ -125,11 +124,16 @@ mod tests {
 
     fn sample_log() -> ContextLog {
         let mut ctx = ContextLog::new(t(0), OpState::ProductionUptime);
-        ctx.transition(t(1000), OpState::ScheduledDowntime, "maint").unwrap();
-        ctx.transition(t(1500), OpState::ProductionUptime, "done").unwrap();
-        ctx.transition(t(2000), OpState::UnscheduledDowntime, "disk").unwrap();
-        ctx.transition(t(2600), OpState::ProductionUptime, "repaired").unwrap();
-        ctx.transition(t(3000), OpState::EngineeringTime, "testing").unwrap();
+        ctx.transition(t(1000), OpState::ScheduledDowntime, "maint")
+            .unwrap();
+        ctx.transition(t(1500), OpState::ProductionUptime, "done")
+            .unwrap();
+        ctx.transition(t(2000), OpState::UnscheduledDowntime, "disk")
+            .unwrap();
+        ctx.transition(t(2600), OpState::ProductionUptime, "repaired")
+            .unwrap();
+        ctx.transition(t(3000), OpState::EngineeringTime, "testing")
+            .unwrap();
         ctx
     }
 
@@ -137,10 +141,8 @@ mod tests {
     fn time_accounting_sums_to_window() {
         let ctx = sample_log();
         let m = RasMetrics::compute(&ctx, t(4000));
-        let total = m.production_uptime
-            + m.scheduled_downtime
-            + m.unscheduled_downtime
-            + m.engineering;
+        let total =
+            m.production_uptime + m.scheduled_downtime + m.unscheduled_downtime + m.engineering;
         assert_eq!(total, Duration::from_secs(4000));
         assert_eq!(m.production_uptime, Duration::from_secs(1000 + 500 + 400));
         assert_eq!(m.scheduled_downtime, Duration::from_secs(500));
@@ -182,10 +184,7 @@ mod tests {
     fn mtbo() {
         let ctx = sample_log();
         let m = RasMetrics::compute(&ctx, t(4000));
-        assert_eq!(
-            m.mean_time_between_outages(),
-            Some(m.production_time() / 1)
-        );
+        assert_eq!(m.mean_time_between_outages(), Some(m.production_time() / 1));
         let empty = ContextLog::new(t(0), OpState::ProductionUptime);
         let m0 = RasMetrics::compute(&empty, t(100));
         assert_eq!(m0.mean_time_between_outages(), None);

@@ -42,7 +42,9 @@ impl Triage {
 
     /// Total alerts across all partitions.
     pub fn total(&self) -> usize {
-        self.actionable.len() + self.known_outage.len() + self.maintenance.len()
+        self.actionable.len()
+            + self.known_outage.len()
+            + self.maintenance.len()
             + self.engineering.len()
     }
 
@@ -75,14 +77,26 @@ mod tests {
 
     fn ctx() -> ContextLog {
         let mut c = ContextLog::new(Timestamp::from_secs(0), OpState::ProductionUptime);
-        c.transition(Timestamp::from_secs(100), OpState::ScheduledDowntime, "maint")
-            .unwrap();
+        c.transition(
+            Timestamp::from_secs(100),
+            OpState::ScheduledDowntime,
+            "maint",
+        )
+        .unwrap();
         c.transition(Timestamp::from_secs(200), OpState::ProductionUptime, "done")
             .unwrap();
-        c.transition(Timestamp::from_secs(300), OpState::UnscheduledDowntime, "outage")
-            .unwrap();
-        c.transition(Timestamp::from_secs(400), OpState::EngineeringTime, "testing")
-            .unwrap();
+        c.transition(
+            Timestamp::from_secs(300),
+            OpState::UnscheduledDowntime,
+            "outage",
+        )
+        .unwrap();
+        c.transition(
+            Timestamp::from_secs(400),
+            OpState::EngineeringTime,
+            "testing",
+        )
+        .unwrap();
         c
     }
 

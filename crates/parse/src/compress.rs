@@ -222,7 +222,10 @@ mod tests {
     fn encoded_size_counts_bits() {
         assert_eq!(encoded_size(&[Token::Literal(b'a')]), 2); // 9 bits
         assert_eq!(
-            encoded_size(&[Token::Match { distance: 1, length: 10 }]),
+            encoded_size(&[Token::Match {
+                distance: 1,
+                length: 10
+            }]),
             4 // 25 bits
         );
         assert_eq!(encoded_size(&[]), 0);

@@ -52,8 +52,11 @@ mod tests {
         }
         .to_string()
         .contains("Xyz 99"));
-        assert!(ParseError::TooShort { found: 2, needed: 5 }
-            .to_string()
-            .contains("2 fields"));
+        assert!(ParseError::TooShort {
+            found: 2,
+            needed: 5
+        }
+        .to_string()
+        .contains("2 fields"));
     }
 }

@@ -90,10 +90,7 @@ impl LineFormat for SyslogFormat {
             &msg.facility
         };
         if self.severity {
-            let sev = msg
-                .severity
-                .as_syslog()
-                .map_or("-", SyslogSeverity::name);
+            let sev = msg.severity.as_syslog().map_or("-", SyslogSeverity::name);
             format!("{ts} {host} {sev} {facility}: {body}", body = msg.body)
         } else {
             format!("{ts} {host} {facility}: {body}", body = msg.body)
@@ -195,10 +192,22 @@ impl LineFormat for BglFormat {
         }
         let mut it = line.split_whitespace();
         let ts_tok = it.next().ok_or(ParseError::EmptyLine)?;
-        let loc = it.next().ok_or(ParseError::TooShort { found: 1, needed: 5 })?;
-        let ras = it.next().ok_or(ParseError::TooShort { found: 2, needed: 5 })?;
-        let facility = it.next().ok_or(ParseError::TooShort { found: 3, needed: 5 })?;
-        let sev_tok = it.next().ok_or(ParseError::TooShort { found: 4, needed: 5 })?;
+        let loc = it.next().ok_or(ParseError::TooShort {
+            found: 1,
+            needed: 5,
+        })?;
+        let ras = it.next().ok_or(ParseError::TooShort {
+            found: 2,
+            needed: 5,
+        })?;
+        let facility = it.next().ok_or(ParseError::TooShort {
+            found: 3,
+            needed: 5,
+        })?;
+        let sev_tok = it.next().ok_or(ParseError::TooShort {
+            found: 4,
+            needed: 5,
+        })?;
 
         let time = parse_bgl_timestamp(ts_tok).ok_or_else(|| ParseError::BadTimestamp {
             token: ts_tok.to_owned(),
@@ -252,9 +261,18 @@ impl LineFormat for EventFormat {
         }
         let mut it = line.split_whitespace();
         let marker = it.next().ok_or(ParseError::EmptyLine)?;
-        let secs_tok = it.next().ok_or(ParseError::TooShort { found: 1, needed: 4 })?;
-        let src = it.next().ok_or(ParseError::TooShort { found: 2, needed: 4 })?;
-        let event = it.next().ok_or(ParseError::TooShort { found: 3, needed: 4 })?;
+        let secs_tok = it.next().ok_or(ParseError::TooShort {
+            found: 1,
+            needed: 4,
+        })?;
+        let src = it.next().ok_or(ParseError::TooShort {
+            found: 2,
+            needed: 4,
+        })?;
+        let event = it.next().ok_or(ParseError::TooShort {
+            found: 3,
+            needed: 4,
+        })?;
         // Marker may be garbled; tolerated.
         let _ = marker;
         let secs: i64 = secs_tok.parse().map_err(|_| ParseError::BadTimestamp {
@@ -341,7 +359,13 @@ mod tests {
     use super::*;
     use sclog_types::NodeId;
 
-    fn msg(system: SystemId, time: Timestamp, sev: Severity, facility: &str, body: &str) -> Message {
+    fn msg(
+        system: SystemId,
+        time: Timestamp,
+        sev: Severity,
+        facility: &str,
+        body: &str,
+    ) -> Message {
         Message {
             system,
             time,
@@ -441,7 +465,11 @@ mod tests {
         let f = SyslogFormat::plain();
         let mut ctx = ParseContext::new(2005);
         let parsed = f
-            .parse("Jan  2 03:04:05 sn373 no colon anywhere", SystemId::Spirit, &mut ctx)
+            .parse(
+                "Jan  2 03:04:05 sn373 no colon anywhere",
+                SystemId::Spirit,
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(parsed.facility, "");
         assert_eq!(parsed.body, "no colon anywhere");
@@ -530,7 +558,11 @@ mod tests {
         let f = BglFormat;
         let mut ctx = ParseContext::new(2005);
         assert!(matches!(
-            f.parse("garbage R00 RAS KERNEL INFO x", SystemId::BlueGeneL, &mut ctx),
+            f.parse(
+                "garbage R00 RAS KERNEL INFO x",
+                SystemId::BlueGeneL,
+                &mut ctx
+            ),
             Err(ParseError::BadTimestamp { .. })
         ));
         assert!(matches!(

@@ -58,9 +58,7 @@ pub fn format_for(system: SystemId) -> Box<dyn LineFormat> {
 pub fn render_native(msg: &Message, interner: &SourceInterner) -> String {
     match msg.system {
         SystemId::BlueGeneL => BglFormat.render(msg, interner),
-        SystemId::RedStorm if msg.facility.starts_with("ec_") => {
-            EventFormat.render(msg, interner)
-        }
+        SystemId::RedStorm if msg.facility.starts_with("ec_") => EventFormat.render(msg, interner),
         SystemId::RedStorm => SyslogFormat::with_severity().render(msg, interner),
         _ => SyslogFormat::plain().render(msg, interner),
     }

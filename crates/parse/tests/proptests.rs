@@ -1,51 +1,61 @@
 //! Property tests: parsers never panic, and render/parse round-trips.
+//!
+//! Ported from proptest to the in-tree `sclog-testkit` harness; set
+//! `SCLOG_PROP_CASES` / `SCLOG_PROP_SEED` to rescale or replay.
 
-use proptest::prelude::*;
 use sclog_parse::{BglFormat, EventFormat, LineFormat, ParseContext, SyslogFormat};
+use sclog_testkit::{check, Gen};
 use sclog_types::{
-    BglSeverity, Duration, Message, NodeId, Severity, SourceInterner, SystemId,
-    Timestamp,
+    BglSeverity, Duration, Message, NodeId, Severity, SourceInterner, SystemId, Timestamp,
 };
 
-fn body_strategy() -> impl Strategy<Value = String> {
-    // Printable ASCII bodies without newlines, including colons and
-    // brackets like real messages.
-    proptest::string::string_regex("[ -~]{0,120}").unwrap()
+/// Printable ASCII bodies without newlines, including colons and
+/// brackets like real messages.
+fn body(g: &mut Gen) -> String {
+    g.ascii_printable(0..=120)
 }
 
-fn any_line() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~\t]{0,200}").unwrap()
+/// Arbitrary line content, tabs included.
+fn any_line(g: &mut Gen) -> String {
+    g.ascii_line(0..=200)
 }
 
-proptest! {
-    #[test]
-    fn syslog_parser_never_panics(line in any_line()) {
+#[test]
+fn syslog_parser_never_panics() {
+    check("syslog parser never panics", |g| {
+        let line = any_line(g);
         let mut ctx = ParseContext::new(2005);
         let _ = SyslogFormat::plain().parse(&line, SystemId::Spirit, &mut ctx);
         let _ = SyslogFormat::with_severity().parse(&line, SystemId::RedStorm, &mut ctx);
-    }
+    });
+}
 
-    #[test]
-    fn bgl_parser_never_panics(line in any_line()) {
+#[test]
+fn bgl_parser_never_panics() {
+    check("bgl parser never panics", |g| {
+        let line = any_line(g);
         let mut ctx = ParseContext::new(2005);
         let _ = BglFormat.parse(&line, SystemId::BlueGeneL, &mut ctx);
-    }
+    });
+}
 
-    #[test]
-    fn event_parser_never_panics(line in any_line()) {
+#[test]
+fn event_parser_never_panics() {
+    check("event parser never panics", |g| {
+        let line = any_line(g);
         let mut ctx = ParseContext::new(2006);
         let _ = EventFormat.parse(&line, SystemId::RedStorm, &mut ctx);
-    }
+    });
+}
 
-    #[test]
-    fn syslog_round_trips(
-        secs in 1_104_537_600i64..1_150_000_000, // 2005-01-01 .. mid-2006
-        body in body_strategy(),
-        sev_idx in 0usize..8,
-    ) {
+#[test]
+fn syslog_round_trips() {
+    check("syslog round-trips", |g| {
+        let secs = g.int_in(1_104_537_600..=1_149_999_999); // 2005-01-01 .. mid-2006
+        let sev_idx = g.usize_in(0..=7);
         // Body must not begin with something that parses as a facility
         // token; normalize whitespace the way syslog does.
-        let body = body.split_whitespace().collect::<Vec<_>>().join(" ");
+        let body = body(g).split_whitespace().collect::<Vec<_>>().join(" ");
         let mut interner = SourceInterner::new();
         let source = NodeId::from_index(0);
         interner.intern("dn101");
@@ -61,20 +71,20 @@ proptest! {
         let line = f.render(&msg, &interner);
         let mut ctx = ParseContext::new(msg.time.to_civil().0);
         let parsed = f.parse(&line, SystemId::RedStorm, &mut ctx).unwrap();
-        prop_assert_eq!(parsed.time, msg.time);
-        prop_assert_eq!(parsed.severity, msg.severity);
-        prop_assert_eq!(&parsed.facility, "kernel");
-        prop_assert_eq!(parsed.body, msg.body);
-    }
+        assert_eq!(parsed.time, msg.time);
+        assert_eq!(parsed.severity, msg.severity);
+        assert_eq!(&parsed.facility, "kernel");
+        assert_eq!(parsed.body, msg.body);
+    });
+}
 
-    #[test]
-    fn bgl_round_trips(
-        secs in 1_117_756_800i64..1_140_000_000,
-        micros in 0i64..1_000_000,
-        body in body_strategy(),
-        sev_idx in 0usize..6,
-    ) {
-        let body = body.split_whitespace().collect::<Vec<_>>().join(" ");
+#[test]
+fn bgl_round_trips() {
+    check("bgl round-trips", |g| {
+        let secs = g.int_in(1_117_756_800..=1_139_999_999);
+        let micros = g.int_in(0..=999_999);
+        let sev_idx = g.usize_in(0..=5);
+        let body = body(g).split_whitespace().collect::<Vec<_>>().join(" ");
         let mut interner = SourceInterner::new();
         interner.intern("R02-M1-N0-C:J12-U11");
         let msg = Message {
@@ -87,20 +97,21 @@ proptest! {
         };
         let line = BglFormat.render(&msg, &interner);
         let mut ctx = ParseContext::new(2005);
-        let parsed = BglFormat.parse(&line, SystemId::BlueGeneL, &mut ctx).unwrap();
-        prop_assert_eq!(parsed.time, msg.time);
-        prop_assert_eq!(parsed.severity, msg.severity);
-        prop_assert_eq!(parsed.body, msg.body);
-    }
+        let parsed = BglFormat
+            .parse(&line, SystemId::BlueGeneL, &mut ctx)
+            .unwrap();
+        assert_eq!(parsed.time, msg.time);
+        assert_eq!(parsed.severity, msg.severity);
+        assert_eq!(parsed.body, msg.body);
+    });
+}
 
-    #[test]
-    fn truncation_never_panics_on_valid_prefixes(
-        cut in 0usize..100,
-    ) {
-        // Simulate the paper's truncated-message corruption on a real
-        // line: every prefix must either parse or be cleanly rejected.
-        let line = "Nov  9 12:01:01 tbird-admin1 kernel: VIPKL(1): [create_mr] MM_bld_hh_mr failed (-253:VAPI_EAGAIN)";
-        let cut = cut.min(line.len());
+#[test]
+fn truncation_never_panics_on_valid_prefixes() {
+    // Simulate the paper's truncated-message corruption on a real
+    // line: every prefix must either parse or be cleanly rejected.
+    let line = "Nov  9 12:01:01 tbird-admin1 kernel: VIPKL(1): [create_mr] MM_bld_hh_mr failed (-253:VAPI_EAGAIN)";
+    for cut in 0..=line.len() {
         let mut ctx = ParseContext::new(2005);
         let _ = SyslogFormat::plain().parse(&line[..cut], SystemId::Thunderbird, &mut ctx);
     }
@@ -129,7 +140,9 @@ fn bgl_severity_round_trip_table() {
         };
         let line = BglFormat.render(&msg, &interner);
         let mut ctx = ParseContext::new(2005);
-        let parsed = BglFormat.parse(&line, SystemId::BlueGeneL, &mut ctx).unwrap();
+        let parsed = BglFormat
+            .parse(&line, SystemId::BlueGeneL, &mut ctx)
+            .unwrap();
         assert_eq!(parsed.severity, Severity::Bgl(sev));
     }
 }

@@ -118,7 +118,11 @@ pub fn evaluate(
         true_positives: tp,
         false_positives: fp,
         false_negatives,
-        mean_lead: if tp == 0 { Duration::ZERO } else { lead_sum / tp as i64 },
+        mean_lead: if tp == 0 {
+            Duration::ZERO
+        } else {
+            lead_sum / tp as i64
+        },
     }
 }
 

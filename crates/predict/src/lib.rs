@@ -30,6 +30,6 @@ mod predictors;
 
 pub use eval::{evaluate, PredictionScore};
 pub use predictors::{
-    failure_onsets, mine_precursors, Ensemble, PrecursorPredictor, Predictor, PrecursorRule,
+    failure_onsets, mine_precursors, Ensemble, PrecursorPredictor, PrecursorRule, Predictor,
     RateThresholdPredictor,
 };

@@ -111,9 +111,7 @@ impl Predictor for PrecursorPredictor {
         let mut out = Vec::new();
         let mut last: Option<Timestamp> = None;
         for a in alerts {
-            if a.category == self.precursor
-                && last.is_none_or(|w| a.time - w >= self.refractory)
-            {
+            if a.category == self.precursor && last.is_none_or(|w| a.time - w >= self.refractory) {
                 out.push(a.time);
                 last = Some(a.time);
             }
@@ -182,7 +180,11 @@ pub fn mine_precursors(
             // Base rate: probability a random window of length w
             // contains a t alert (union-bound approximation, capped).
             let base = (t_times.len() as f64 * w / span).min(1.0);
-            let lift = if base > 0.0 { confidence / base } else { f64::INFINITY };
+            let lift = if base > 0.0 {
+                confidence / base
+            } else {
+                f64::INFINITY
+            };
             if hits >= min_support.min(p_times.len()) && lift > min_lift && confidence > 0.0 {
                 rules.push(PrecursorRule {
                     precursor: p,
@@ -209,7 +211,10 @@ pub struct Ensemble {
 impl std::fmt::Debug for Ensemble {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ensemble")
-            .field("members", &self.members.iter().map(|m| m.name()).collect::<Vec<_>>())
+            .field(
+                "members",
+                &self.members.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -237,7 +242,8 @@ impl Ensemble {
         let mut e = Ensemble::new();
         for r in rules {
             if seen.insert(r.precursor) {
-                e.members.push(Box::new(PrecursorPredictor::new(r.precursor)));
+                e.members
+                    .push(Box::new(PrecursorPredictor::new(r.precursor)));
             }
         }
         e
@@ -447,6 +453,9 @@ mod tests {
         let mut a3 = alert(500, 0);
         a3.failure = Some(FailureId(2));
         let onsets = failure_onsets(&[a1, a2, a3], CategoryId::from_index(0));
-        assert_eq!(onsets, vec![Timestamp::from_secs(10), Timestamp::from_secs(500)]);
+        assert_eq!(
+            onsets,
+            vec![Timestamp::from_secs(10), Timestamp::from_secs(500)]
+        );
     }
 }

@@ -206,36 +206,126 @@ pub static BGL_CATALOG: &[CategorySpec] = &[
 
 /// Thunderbird ruleset (10 categories, Table 4).
 pub static TBIRD_CATALOG: &[CategorySpec] = &[
-    cat!(Thunderbird, "VAPI", Indeterminate, "kernel", NoSev, false,
-        3_229_194, 276, "/Local Catastrophic Error/",
-        "[KERNEL_IB][ib_sm_sweep.c:{num}] (Fatal error (Local Catastrophic Error))"),
-    cat!(Thunderbird, "PBS_CON", Software, "pbs_mom", NoSev, false,
-        5318, 16, "/pbs_mom: Connection refused \\(111\\) in open_demux/",
-        "Connection refused (111) in open_demux, open_demux: cannot connect to {ip}"),
-    cat!(Thunderbird, "MPT", Indeterminate, "kernel", NoSev, false,
-        4583, 157, "/mptscsih: .* attempting task abort/",
-        "mptscsih: ioc0: attempting task abort! (sc={hex})"),
-    cat!(Thunderbird, "EXT_FS", Hardware, "kernel", NoSev, false,
-        4022, 778, "/kernel: EXT3-fs error/",
-        "EXT3-fs error (device {dev}): ext3_journal_start_sb: Detected aborted journal"),
-    cat!(Thunderbird, "CPU", Software, "kernel", NoSev, false,
-        2741, 367, "/Losing some ticks/",
-        "Losing some ticks... checking if CPU frequency changed."),
-    cat!(Thunderbird, "SCSI", Hardware, "kernel", NoSev, false,
-        2186, 317, "/rejecting I\\/O to offline device/",
-        "scsi0 (0:0): rejecting I/O to offline device"),
-    cat!(Thunderbird, "ECC", Hardware, "Server_Administrator", NoSev, false,
-        146, 143, "/EventID: 1404/",
-        "Instrumentation Service EventID: 1404 Memory device status is critical bank {num}"),
-    cat!(Thunderbird, "PBS_BFD", Software, "pbs_mom", NoSev, false,
-        28, 28, "/Bad file descriptor \\(9\\) in tm_request/",
-        "Bad file descriptor (9) in tm_request, job {job} not running"),
-    cat!(Thunderbird, "CHK_DSK", Hardware, "check-disks", NoSev, false,
-        13, 2, "/Fault Status assert/",
-        "[{node}:{time}], Fault Status asserted"),
-    cat!(Thunderbird, "NMI", Indeterminate, "kernel", NoSev, false,
-        8, 4, "/NMI received/",
-        "Uhhuh. NMI received. Dazed and confused, but trying to continue"),
+    cat!(
+        Thunderbird,
+        "VAPI",
+        Indeterminate,
+        "kernel",
+        NoSev,
+        false,
+        3_229_194,
+        276,
+        "/Local Catastrophic Error/",
+        "[KERNEL_IB][ib_sm_sweep.c:{num}] (Fatal error (Local Catastrophic Error))"
+    ),
+    cat!(
+        Thunderbird,
+        "PBS_CON",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        5318,
+        16,
+        "/pbs_mom: Connection refused \\(111\\) in open_demux/",
+        "Connection refused (111) in open_demux, open_demux: cannot connect to {ip}"
+    ),
+    cat!(
+        Thunderbird,
+        "MPT",
+        Indeterminate,
+        "kernel",
+        NoSev,
+        false,
+        4583,
+        157,
+        "/mptscsih: .* attempting task abort/",
+        "mptscsih: ioc0: attempting task abort! (sc={hex})"
+    ),
+    cat!(
+        Thunderbird,
+        "EXT_FS",
+        Hardware,
+        "kernel",
+        NoSev,
+        false,
+        4022,
+        778,
+        "/kernel: EXT3-fs error/",
+        "EXT3-fs error (device {dev}): ext3_journal_start_sb: Detected aborted journal"
+    ),
+    cat!(
+        Thunderbird,
+        "CPU",
+        Software,
+        "kernel",
+        NoSev,
+        false,
+        2741,
+        367,
+        "/Losing some ticks/",
+        "Losing some ticks... checking if CPU frequency changed."
+    ),
+    cat!(
+        Thunderbird,
+        "SCSI",
+        Hardware,
+        "kernel",
+        NoSev,
+        false,
+        2186,
+        317,
+        "/rejecting I\\/O to offline device/",
+        "scsi0 (0:0): rejecting I/O to offline device"
+    ),
+    cat!(
+        Thunderbird,
+        "ECC",
+        Hardware,
+        "Server_Administrator",
+        NoSev,
+        false,
+        146,
+        143,
+        "/EventID: 1404/",
+        "Instrumentation Service EventID: 1404 Memory device status is critical bank {num}"
+    ),
+    cat!(
+        Thunderbird,
+        "PBS_BFD",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        28,
+        28,
+        "/Bad file descriptor \\(9\\) in tm_request/",
+        "Bad file descriptor (9) in tm_request, job {job} not running"
+    ),
+    cat!(
+        Thunderbird,
+        "CHK_DSK",
+        Hardware,
+        "check-disks",
+        NoSev,
+        false,
+        13,
+        2,
+        "/Fault Status assert/",
+        "[{node}:{time}], Fault Status asserted"
+    ),
+    cat!(
+        Thunderbird,
+        "NMI",
+        Indeterminate,
+        "kernel",
+        NoSev,
+        false,
+        8,
+        4,
+        "/NMI received/",
+        "Uhhuh. NMI received. Dazed and confused, but trying to continue"
+    ),
 ];
 
 /// Red Storm ruleset (12 categories, Table 4). `CMD_ABORT`'s raw count
@@ -284,52 +374,178 @@ pub static RSTORM_CATALOG: &[CategorySpec] = &[
 /// 103,818,911 (one above the printed value) so that the per-system
 /// total matches Table 2 exactly; the printed table rounds somewhere.
 pub static SPIRIT_CATALOG: &[CategorySpec] = &[
-    cat!(Spirit, "EXT_CCISS", Hardware, "kernel", NoSev, false,
-        103_818_911, 29, "/cciss: cmd .* has CHECK CONDITION/",
-        "cciss: cmd {hex} has CHECK CONDITION, sense key = 0x3"),
-    cat!(Spirit, "EXT_FS", Hardware, "kernel", NoSev, false,
-        68_986_084, 14, "/kernel: EXT3-fs error/",
-        "EXT3-fs error (device {dev}) in ext3_reserve_inode_write: IO failure"),
-    cat!(Spirit, "PBS_CHK", Software, "pbs_mom", NoSev, false,
-        8388, 4119, "/task_check, cannot tm_reply/",
-        "task_check, cannot tm_reply to {job} task 1"),
-    cat!(Spirit, "GM_LANAI", Software, "kernel", NoSev, false,
-        1256, 117, "/GM: LANai is not running/",
-        "GM: LANai is not running. Allowing port=0 open for debugging"),
-    cat!(Spirit, "PBS_CON", Software, "pbs_mom", NoSev, false,
-        817, 25, "/Connection refused \\(111\\) in open_demux/",
-        "Connection refused (111) in open_demux, open_demux: connect {ip}"),
-    cat!(Spirit, "GM_MAP", Software, "gm_mapper[{num}]", NoSev, false,
-        596, 180, "/gm_mapper.*assertion failed/",
-        "assertion failed. {path}/lx_mapper.c:2112 (m->root)"),
-    cat!(Spirit, "PBS_BFD", Software, "pbs_mom", NoSev, false,
-        346, 296, "/Bad file descriptor \\(9\\) in tm_request/",
-        "Bad file descriptor (9) in tm_request, job {job} not running"),
-    cat!(Spirit, "GM_PAR", Hardware, "kernel", NoSev, false,
-        166, 95, "/SRAM parity error/",
-        "GM: The NIC ISR is reporting an SRAM parity error."),
+    cat!(
+        Spirit,
+        "EXT_CCISS",
+        Hardware,
+        "kernel",
+        NoSev,
+        false,
+        103_818_911,
+        29,
+        "/cciss: cmd .* has CHECK CONDITION/",
+        "cciss: cmd {hex} has CHECK CONDITION, sense key = 0x3"
+    ),
+    cat!(
+        Spirit,
+        "EXT_FS",
+        Hardware,
+        "kernel",
+        NoSev,
+        false,
+        68_986_084,
+        14,
+        "/kernel: EXT3-fs error/",
+        "EXT3-fs error (device {dev}) in ext3_reserve_inode_write: IO failure"
+    ),
+    cat!(
+        Spirit,
+        "PBS_CHK",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        8388,
+        4119,
+        "/task_check, cannot tm_reply/",
+        "task_check, cannot tm_reply to {job} task 1"
+    ),
+    cat!(
+        Spirit,
+        "GM_LANAI",
+        Software,
+        "kernel",
+        NoSev,
+        false,
+        1256,
+        117,
+        "/GM: LANai is not running/",
+        "GM: LANai is not running. Allowing port=0 open for debugging"
+    ),
+    cat!(
+        Spirit,
+        "PBS_CON",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        817,
+        25,
+        "/Connection refused \\(111\\) in open_demux/",
+        "Connection refused (111) in open_demux, open_demux: connect {ip}"
+    ),
+    cat!(
+        Spirit,
+        "GM_MAP",
+        Software,
+        "gm_mapper[{num}]",
+        NoSev,
+        false,
+        596,
+        180,
+        "/gm_mapper.*assertion failed/",
+        "assertion failed. {path}/lx_mapper.c:2112 (m->root)"
+    ),
+    cat!(
+        Spirit,
+        "PBS_BFD",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        346,
+        296,
+        "/Bad file descriptor \\(9\\) in tm_request/",
+        "Bad file descriptor (9) in tm_request, job {job} not running"
+    ),
+    cat!(
+        Spirit,
+        "GM_PAR",
+        Hardware,
+        "kernel",
+        NoSev,
+        false,
+        166,
+        95,
+        "/SRAM parity error/",
+        "GM: The NIC ISR is reporting an SRAM parity error."
+    ),
 ];
 
 /// Liberty ruleset (6 categories, Table 4).
 pub static LIBERTY_CATALOG: &[CategorySpec] = &[
-    cat!(Liberty, "PBS_CHK", Software, "pbs_mom", NoSev, false,
-        2231, 920, "/task_check, cannot tm_reply/",
-        "task_check, cannot tm_reply to {job} task 1"),
-    cat!(Liberty, "PBS_BFD", Software, "pbs_mom", NoSev, false,
-        115, 94, "/Bad file descriptor \\(9\\) in tm_request/",
-        "Bad file descriptor (9) in tm_request, job {job} not running"),
-    cat!(Liberty, "PBS_CON", Software, "pbs_mom", NoSev, false,
-        47, 5, "/Connection refused \\(111\\) in open_demux/",
-        "Connection refused (111) in open_demux, open_demux: connect {ip}"),
-    cat!(Liberty, "GM_PAR", Hardware, "kernel", NoSev, false,
-        44, 19, "/gm_parity\\.c/",
-        "GM: LANAI[0]: PANIC: {path}/gm_parity.c:115:parity_int():firmware"),
-    cat!(Liberty, "GM_LANAI", Software, "kernel", NoSev, false,
-        13, 10, "/GM: LANai is not running/",
-        "GM: LANai is not running. Allowing port=0 open for debugging"),
-    cat!(Liberty, "GM_MAP", Software, "gm_mapper[{num}]", NoSev, false,
-        2, 2, "/gm_mapper.*assertion failed/",
-        "assertion failed. {path}/mi.c:541 (r == GM_SUCCESS)"),
+    cat!(
+        Liberty,
+        "PBS_CHK",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        2231,
+        920,
+        "/task_check, cannot tm_reply/",
+        "task_check, cannot tm_reply to {job} task 1"
+    ),
+    cat!(
+        Liberty,
+        "PBS_BFD",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        115,
+        94,
+        "/Bad file descriptor \\(9\\) in tm_request/",
+        "Bad file descriptor (9) in tm_request, job {job} not running"
+    ),
+    cat!(
+        Liberty,
+        "PBS_CON",
+        Software,
+        "pbs_mom",
+        NoSev,
+        false,
+        47,
+        5,
+        "/Connection refused \\(111\\) in open_demux/",
+        "Connection refused (111) in open_demux, open_demux: connect {ip}"
+    ),
+    cat!(
+        Liberty,
+        "GM_PAR",
+        Hardware,
+        "kernel",
+        NoSev,
+        false,
+        44,
+        19,
+        "/gm_parity\\.c/",
+        "GM: LANAI[0]: PANIC: {path}/gm_parity.c:115:parity_int():firmware"
+    ),
+    cat!(
+        Liberty,
+        "GM_LANAI",
+        Software,
+        "kernel",
+        NoSev,
+        false,
+        13,
+        10,
+        "/GM: LANai is not running/",
+        "GM: LANai is not running. Allowing port=0 open for debugging"
+    ),
+    cat!(
+        Liberty,
+        "GM_MAP",
+        Software,
+        "gm_mapper[{num}]",
+        NoSev,
+        false,
+        2,
+        2,
+        "/gm_mapper.*assertion failed/",
+        "assertion failed. {path}/mi.c:541 (r == GM_SUCCESS)"
+    ),
 ];
 
 /// The ruleset (category catalog) for one system.
@@ -365,7 +581,11 @@ pub fn fill_template(template: &str, mut subst: impl FnMut(&str) -> String) -> S
         out.push_str(&rest[..start]);
         let after = &rest[start + 1..];
         match after.find('}') {
-            Some(end) if after[..end].chars().all(|c| c.is_ascii_alphanumeric() || c == '_') => {
+            Some(end)
+                if after[..end]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_') =>
+            {
                 out.push_str(&subst(&after[..end]));
                 rest = &after[end + 1..];
             }
@@ -404,7 +624,10 @@ pub fn example_value(key: &str) -> String {
 /// Total category count across all systems — the paper's "77
 /// categories".
 pub fn total_categories() -> usize {
-    sclog_types::ALL_SYSTEMS.iter().map(|&s| catalog(s).len()).sum()
+    sclog_types::ALL_SYSTEMS
+        .iter()
+        .map(|&s| catalog(s).len())
+        .sum()
 }
 
 #[cfg(test)]
@@ -430,7 +653,10 @@ mod tests {
         assert_eq!(sum(SPIRIT_CATALOG), 172_816_564);
         assert_eq!(sum(LIBERTY_CATALOG), 2452);
         // Grand total: the paper's 178,081,459 alerts.
-        let grand: u64 = sclog_types::ALL_SYSTEMS.iter().map(|&s| sum(catalog(s))).sum();
+        let grand: u64 = sclog_types::ALL_SYSTEMS
+            .iter()
+            .map(|&s| sum(catalog(s)))
+            .sum();
         assert_eq!(grand, 178_081_459);
     }
 
@@ -524,7 +750,10 @@ mod tests {
         assert_eq!(fill_template("{a}{b}", |k| k.to_uppercase()), "AB");
         // Unclosed or non-identifier braces are literal.
         assert_eq!(fill_template("x{", |_| String::new()), "x{");
-        assert_eq!(fill_template("a {not ok} b", |_| "X".into()), "a {not ok} b");
+        assert_eq!(
+            fill_template("a {not ok} b", |_| "X".into()),
+            "a {not ok} b"
+        );
     }
 
     #[test]

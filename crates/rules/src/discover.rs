@@ -105,8 +105,7 @@ pub fn mine_templates(messages: &[Message], min_support: u64) -> Vec<Template> {
             .split_whitespace()
             .enumerate()
             .map(|(i, w)| {
-                (word_counts[&(m.facility.as_str(), i, w)] >= min_support)
-                    .then(|| w.to_owned())
+                (word_counts[&(m.facility.as_str(), i, w)] >= min_support).then(|| w.to_owned())
             })
             .collect();
         if tokens.is_empty() || tokens.iter().all(Option::is_none) {
@@ -123,7 +122,11 @@ pub fn mine_templates(messages: &[Message], min_support: u64) -> Vec<Template> {
             support,
         })
         .collect();
-    out.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.pattern().cmp(&b.pattern())));
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.pattern().cmp(&b.pattern()))
+    });
     out
 }
 
@@ -188,9 +191,9 @@ mod tests {
         let src = templates[0].to_rule_source();
         let pred = crate::lang::Predicate::parse(&src)
             .unwrap_or_else(|e| panic!("generated rule {src:?} invalid: {e}"));
-        assert!(pred.matches(
-            "Mar  7 14:30:05 ln3 pbs_mom: task_check, cannot tm_reply to 4418 task 1"
-        ));
+        assert!(
+            pred.matches("Mar  7 14:30:05 ln3 pbs_mom: task_check, cannot tm_reply to 4418 task 1")
+        );
         assert!(!pred.matches("Mar  7 14:30:05 ln3 kernel: all quiet"));
     }
 
@@ -198,13 +201,15 @@ mod tests {
     fn regex_metacharacters_in_bodies_are_escaped() {
         let mut v = Vec::new();
         for i in 0..12 {
-            v.push(msg("kernel", &format!("GM: LANAI[0]: PANIC: f({i}) failed")));
+            v.push(msg(
+                "kernel",
+                &format!("GM: LANAI[0]: PANIC: f({i}) failed"),
+            ));
         }
         let templates = mine_templates(&v, 10);
         assert_eq!(templates.len(), 1);
         let src = templates[0].to_rule_source();
-        let pred = crate::lang::Predicate::parse(&src)
-            .unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        let pred = crate::lang::Predicate::parse(&src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
         assert!(pred.matches("x ln1 kernel: GM: LANAI[0]: PANIC: f(3) failed"));
     }
 

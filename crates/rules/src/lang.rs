@@ -16,7 +16,7 @@
 //! `$0` refers to the whole line, as in awk. Regex literals use `\/` to
 //! escape a slash.
 
-use regex::Regex;
+use crate::re::Regex;
 use std::fmt;
 
 /// A parsed rule expression (the AST).
@@ -34,11 +34,18 @@ pub enum RuleExpr {
     Or(Box<RuleExpr>, Box<RuleExpr>),
 }
 
+/// Re-escapes slashes for printing inside a `/…/` literal; the
+/// tokenizer strips `\/` down to `/`, so Display must put the escape
+/// back or the printed rule fails to re-parse.
+fn escape_slashes(re: &str) -> String {
+    re.replace('/', "\\/")
+}
+
 impl fmt::Display for RuleExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuleExpr::Line(re) => write!(f, "/{re}/"),
-            RuleExpr::Field(n, re) => write!(f, "(${n} ~ /{re}/)"),
+            RuleExpr::Line(re) => write!(f, "/{}/", escape_slashes(re)),
+            RuleExpr::Field(n, re) => write!(f, "(${n} ~ /{}/)", escape_slashes(re)),
             RuleExpr::Not(e) => write!(f, "!{e}"),
             RuleExpr::And(a, b) => write!(f, "({a} && {b})"),
             RuleExpr::Or(a, b) => write!(f, "({a} || {b})"),
@@ -311,9 +318,8 @@ impl Predicate {
     ///
     /// Returns [`RuleError`] if a regex fails to compile.
     pub fn compile(expr: &RuleExpr) -> Result<Self, RuleError> {
-        let rx = |re: &str| {
-            Regex::new(re).map_err(|e| RuleError::new(format!("bad regex /{re}/: {e}")))
-        };
+        let rx =
+            |re: &str| Regex::new(re).map_err(|e| RuleError::new(format!("bad regex /{re}/: {e}")));
         Ok(match expr {
             RuleExpr::Line(re) => Predicate::Line(rx(re)?),
             RuleExpr::Field(n, re) => Predicate::Field(*n, rx(re)?),
@@ -354,7 +360,9 @@ impl Predicate {
             Predicate::Field(0, re) => re.is_match(line),
             Predicate::Field(n, re) => fields.get(n - 1).is_some_and(|f| re.is_match(f)),
             Predicate::Not(p) => !p.matches_fields(line, fields),
-            Predicate::And(a, b) => a.matches_fields(line, fields) && b.matches_fields(line, fields),
+            Predicate::And(a, b) => {
+                a.matches_fields(line, fields) && b.matches_fields(line, fields)
+            }
             Predicate::Or(a, b) => a.matches_fields(line, fields) || b.matches_fields(line, fields),
         }
     }
@@ -465,6 +473,74 @@ mod tests {
             let e1 = RuleExpr::parse(src).unwrap();
             let e2 = RuleExpr::parse(&e1.to_string()).unwrap();
             assert_eq!(e1.to_string(), e2.to_string());
+        }
+    }
+
+    #[test]
+    fn escaped_slash_survives_display_round_trip() {
+        // `\/` unescapes to `/` in the token; Display must re-escape it
+        // so the printed rule parses back to the same predicate.
+        let e1 = RuleExpr::parse(r"/rejecting I\/O/").unwrap();
+        let printed = e1.to_string();
+        let e2 = RuleExpr::parse(&printed).unwrap();
+        let p = Predicate::compile(&e2).unwrap();
+        assert!(p.matches("kernel: rejecting I/O to offline device"));
+    }
+
+    #[test]
+    fn bang_tilde_round_trips_with_same_semantics() {
+        let e1 = RuleExpr::parse("($3 !~ /ok/)").unwrap();
+        let e2 = RuleExpr::parse(&e1.to_string()).unwrap();
+        for line in ["a b ok", "a b bad", "a"] {
+            let p1 = Predicate::compile(&e1).unwrap();
+            let p2 = Predicate::compile(&e2).unwrap();
+            assert_eq!(p1.matches(line), p2.matches(line), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn dollar_zero_and_dollar_n_differ() {
+        // `$0` sees the whole line; `$1` only the first token.
+        let whole = Predicate::parse("($0 ~ /a b/)").unwrap();
+        let first = Predicate::parse("($1 ~ /a b/)").unwrap();
+        assert!(whole.matches("a b"));
+        assert!(!first.matches("a b"));
+        assert!(!first.matches("x y"));
+        assert!(!whole.matches("x y"));
+    }
+
+    #[test]
+    fn precedence_not_binds_tighter_than_and() {
+        // !(a) && b, not !(a && b).
+        let p = Predicate::parse("!/a/ && /b/").unwrap();
+        assert!(p.matches("b"));
+        assert!(!p.matches("a b"));
+        assert!(!p.matches("a"));
+        // Full chain: ! > && > || means this is (!a && b) || c.
+        let q = Predicate::parse("!/a/ && /b/ || /c/").unwrap();
+        assert!(q.matches("a c"));
+        assert!(q.matches("b"));
+        assert!(!q.matches("a b"));
+    }
+
+    #[test]
+    fn error_messages_describe_the_problem() {
+        let cases = [
+            ("/a/ & /b/", "single '&'"),
+            ("/a/ | /b/", "single '|'"),
+            ("$ ~ /a/", "without field number"),
+            ("$1 /a/", "expected '~' or '!~'"),
+            ("$1 ~", "expected regex"),
+            ("/unterminated", "unterminated regex"),
+            ("(/a/", "expected ')'"),
+            ("/a/ /b/", "trailing tokens"),
+        ];
+        for (src, want) in cases {
+            let err = RuleExpr::parse(src).unwrap_err().to_string();
+            assert!(
+                err.contains(want),
+                "{src:?}: {err:?} should mention {want:?}"
+            );
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod catalog;
 pub mod discover;
 pub mod lang;
 pub mod loader;
+pub mod re;
 pub mod tagger;
 
 pub use baseline::{Confusion, SeverityBaseline};

@@ -75,7 +75,11 @@ impl fmt::Display for LoadError {
             LoadError::BadType { line, code } => {
                 write!(f, "line {line}: type code must be H, S or I, got {code:?}")
             }
-            LoadError::BadRule { line, name, message } => {
+            LoadError::BadRule {
+                line,
+                name,
+                message,
+            } => {
                 write!(f, "line {line}: rule {name} invalid: {message}")
             }
             LoadError::DuplicateName { line, name } => {
@@ -261,8 +265,12 @@ mod tests {
                     },
                     crate::catalog::example_body(spec),
                 );
-                let a = builtin.tag_message(&msg, &interner).map(|c| reg_a.name(c).to_owned());
-                let b = loaded.tag_message(&msg, &interner).map(|c| reg_b.name(c).to_owned());
+                let a = builtin
+                    .tag_message(&msg, &interner)
+                    .map(|c| reg_a.name(c).to_owned());
+                let b = loaded
+                    .tag_message(&msg, &interner)
+                    .map(|c| reg_b.name(c).to_owned());
                 assert_eq!(a, b, "{sys}: {} tags differ", spec.name);
             }
         }

@@ -1,0 +1,831 @@
+//! A small in-tree regular-expression engine.
+//!
+//! Covers exactly the subset the expert alert-tagging rules use:
+//! literals, character classes (`[a-z]`, `[^…]`, `\d`/`\w`/`\s` and
+//! their negations), the `.` wildcard, anchors `^`/`$`, the quantifiers
+//! `*`/`+`/`?` and bounded repetition `{m}`/`{m,}`/`{m,n}`, grouping
+//! `(…)`, and alternation `|`. Matching is unanchored substring search
+//! (like `regex::Regex::is_match`) and runs on a Thompson-NFA thread
+//! set ("Pike VM"), so it is linear in `pattern × text` with no
+//! backtracking blow-up.
+//!
+//! Keeping this ~400-line engine in the tree is what lets the whole
+//! workspace build offline with zero external crates; the conformance
+//! suite in `tests/re_conformance.rs` pins its behaviour on every
+//! pattern in the shipped 77-rule catalog.
+
+use std::fmt;
+
+/// Error from compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A set of character ranges, possibly negated (`[^…]`).
+#[derive(Debug, Clone, PartialEq)]
+struct ClassSet {
+    ranges: Vec<(char, char)>,
+    negated: bool,
+}
+
+impl ClassSet {
+    fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+/// One compiled NFA instruction.
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Match one specific character.
+    Char(char),
+    /// Match any character (`.`; excludes `\n`, as the regex crate does
+    /// by default).
+    Any,
+    /// Match one character in a class.
+    Class(ClassSet),
+    /// Assert start of text.
+    Start,
+    /// Assert end of text.
+    End,
+    /// Fork execution to both targets.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Accept.
+    Match,
+}
+
+/// A compiled regular expression.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_rules::re::Regex;
+///
+/// let re = Regex::new(r"EXT[0-9]-fs (error|warning)").unwrap();
+/// assert!(re.is_match("kernel: EXT3-fs error (device sda5)"));
+/// assert!(!re.is_match("kernel: all quiet"));
+/// ```
+#[derive(Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Vec<Inst>,
+    /// Set when the pattern is a plain literal (no metacharacters after
+    /// parsing — escapes like `\(` reduce to chars). Matching then
+    /// short-circuits to `str::contains`, which is the hot path: most
+    /// of the 77 catalog rules are literal substrings, and the tagger
+    /// runs every rule against every rendered line.
+    literal: Option<String>,
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Regex")
+            .field("pattern", &self.pattern)
+            .finish()
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on syntax the engine does not accept:
+    /// unbalanced groups or classes, dangling quantifiers, reversed
+    /// ranges, or oversized bounded repetitions.
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        let ast = Parser::new(pattern).parse()?;
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Match);
+        Ok(Regex {
+            pattern: pattern.to_owned(),
+            prog,
+            literal: literal_of(&ast),
+        })
+    }
+
+    /// The source pattern.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True if the pattern matches anywhere in `text` (unanchored).
+    pub fn is_match(&self, text: &str) -> bool {
+        if let Some(lit) = &self.literal {
+            return text.contains(lit.as_str());
+        }
+        let chars: Vec<char> = text.chars().collect();
+        let n = chars.len();
+        let mut current = ThreadSet::new(self.prog.len());
+        let mut next = ThreadSet::new(self.prog.len());
+        for i in 0..=n {
+            // Unanchored search: seed a fresh attempt at every start
+            // position (equivalent to a leading `.*?`).
+            if add_thread(&self.prog, &mut current, 0, i, n) {
+                return true;
+            }
+            if i == n {
+                break;
+            }
+            let c = chars[i];
+            for k in 0..current.list.len() {
+                let pc = current.list[k];
+                let consumed = match &self.prog[pc] {
+                    Inst::Char(want) => *want == c,
+                    Inst::Any => c != '\n',
+                    Inst::Class(set) => set.contains(c),
+                    _ => false,
+                };
+                if consumed && add_thread(&self.prog, &mut next, pc + 1, i + 1, n) {
+                    return true;
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            next.clear();
+        }
+        false
+    }
+}
+
+/// A deduplicated set of live NFA program counters.
+struct ThreadSet {
+    on: Vec<bool>,
+    list: Vec<usize>,
+}
+
+impl ThreadSet {
+    fn new(len: usize) -> Self {
+        ThreadSet {
+            on: vec![false; len],
+            list: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        // Reset every flag, not just the listed (consuming) pcs:
+        // epsilon instructions are marked in `on` during closure
+        // exploration without appearing in `list`, and a stale mark
+        // would silently kill the closure at the next position.
+        for f in &mut self.on {
+            *f = false;
+        }
+        self.list.clear();
+    }
+}
+
+/// Adds `pc` and its epsilon closure to `set`; returns true if the
+/// closure reaches `Match`.
+fn add_thread(prog: &[Inst], set: &mut ThreadSet, pc: usize, pos: usize, len: usize) -> bool {
+    let mut stack = vec![pc];
+    while let Some(pc) = stack.pop() {
+        if set.on[pc] {
+            continue;
+        }
+        set.on[pc] = true;
+        match &prog[pc] {
+            Inst::Match => return true,
+            Inst::Jump(t) => stack.push(*t),
+            Inst::Split(a, b) => {
+                stack.push(*b);
+                stack.push(*a);
+            }
+            Inst::Start => {
+                if pos == 0 {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::End => {
+                if pos == len {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::Char(_) | Inst::Any | Inst::Class(_) => set.list.push(pc),
+        }
+    }
+    false
+}
+
+/// Returns the pattern's text when it is a pure literal — chars and
+/// concatenations only, no classes, anchors, repeats, or alternation.
+fn literal_of(ast: &Ast) -> Option<String> {
+    fn push(ast: &Ast, out: &mut String) -> bool {
+        match ast {
+            Ast::Empty => true,
+            Ast::Char(c) => {
+                out.push(*c);
+                true
+            }
+            Ast::Concat(parts) => parts.iter().all(|p| push(p, out)),
+            _ => false,
+        }
+    }
+    let mut s = String::new();
+    push(ast, &mut s).then_some(s)
+}
+
+/// Parsed pattern AST.
+#[derive(Debug, Clone)]
+enum Ast {
+    Empty,
+    Char(char),
+    Any,
+    Class(ClassSet),
+    Start,
+    End,
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+/// Emits NFA instructions for `ast` onto `prog`.
+fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(c) => prog.push(Inst::Char(*c)),
+        Ast::Any => prog.push(Inst::Any),
+        Ast::Class(set) => prog.push(Inst::Class(set.clone())),
+        Ast::Start => prog.push(Inst::Start),
+        Ast::End => prog.push(Inst::End),
+        Ast::Concat(parts) => {
+            for p in parts {
+                compile(p, prog);
+            }
+        }
+        Ast::Alt(arms) => {
+            // Chain of Splits; each arm jumps to the common end.
+            let mut jumps = Vec::new();
+            for (i, arm) in arms.iter().enumerate() {
+                if i + 1 < arms.len() {
+                    let split = prog.len();
+                    prog.push(Inst::Split(0, 0));
+                    compile(arm, prog);
+                    jumps.push(prog.len());
+                    prog.push(Inst::Jump(0));
+                    let after = prog.len();
+                    prog[split] = Inst::Split(split + 1, after);
+                } else {
+                    compile(arm, prog);
+                }
+            }
+            let end = prog.len();
+            for j in jumps {
+                prog[j] = Inst::Jump(end);
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            // Mandatory copies…
+            for _ in 0..*min {
+                compile(node, prog);
+            }
+            match max {
+                // …then an unbounded greedy loop (`x*`)…
+                None => {
+                    let split = prog.len();
+                    prog.push(Inst::Split(0, 0));
+                    compile(node, prog);
+                    prog.push(Inst::Jump(split));
+                    let after = prog.len();
+                    prog[split] = Inst::Split(split + 1, after);
+                }
+                // …or (max − min) optional copies (`x?` each).
+                Some(max) => {
+                    let mut splits = Vec::new();
+                    for _ in *min..*max {
+                        splits.push(prog.len());
+                        prog.push(Inst::Split(0, 0));
+                        compile(node, prog);
+                    }
+                    let after = prog.len();
+                    for s in splits {
+                        prog[s] = Inst::Split(s + 1, after);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cap on `{m,n}` bounds: generous for log rules, small enough that a
+/// pathological pattern cannot balloon the compiled program.
+const MAX_REPEAT: u32 = 512;
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!(
+            "{msg} at offset {} in /{}/",
+            self.pos, self.pattern
+        ))
+    }
+
+    fn parse(&mut self) -> Result<Ast, Error> {
+        let ast = self.parse_alt()?;
+        if let Some(c) = self.peek() {
+            return Err(self.err(&format!("unexpected {c:?}")));
+        }
+        Ok(ast)
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, Error> {
+        let mut arms = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_concat()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Ast::Alt(arms)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, Error> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, Error> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => match self.try_parse_bounds()? {
+                Some(b) => b,
+                // `{` that opens no valid bound is a literal (regex
+                // crate behaviour for e.g. `a{b`).
+                None => return Ok(atom),
+            },
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::Start | Ast::End | Ast::Empty) {
+            return Err(self.err("quantifier follows nothing repeatable"));
+        }
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// Parses `{m}`, `{m,}`, or `{m,n}` starting at `{`; returns `None`
+    /// (consuming nothing) when the braces are not a valid bound.
+    fn try_parse_bounds(&mut self) -> Result<Option<(u32, Option<u32>)>, Error> {
+        let start = self.pos;
+        self.bump(); // '{'
+        let min = self.parse_number();
+        let bounds = match (min, self.peek()) {
+            (Some(m), Some('}')) => Some((m, Some(m))),
+            (Some(m), Some(',')) => {
+                self.bump();
+                let max = self.parse_number();
+                if self.peek() == Some('}') {
+                    match max {
+                        Some(x) if x < m => {
+                            return Err(self.err("reversed repetition bounds"));
+                        }
+                        _ => Some((m, max)),
+                    }
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match bounds {
+            Some((m, x)) => {
+                self.bump(); // '}'
+                if m > MAX_REPEAT || x.is_some_and(|x| x > MAX_REPEAT) {
+                    return Err(self.err("repetition bound too large"));
+                }
+                Ok(Some((m, x)))
+            }
+            None => {
+                self.pos = start;
+                Ok(None)
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .ok()
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, Error> {
+        match self.bump() {
+            None => Ok(Ast::Empty),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some(')') => Err(self.err("unmatched ')'")),
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Any),
+            Some('^') => Ok(Ast::Start),
+            Some('$') => Ok(Ast::End),
+            Some('*') | Some('+') | Some('?') => Err(self.err("dangling quantifier")),
+            Some('\\') => self.parse_escape(false),
+            Some(c) => Ok(Ast::Char(c)),
+        }
+    }
+
+    /// One `\x` escape. In class position (`in_class`), perl classes
+    /// contribute their ranges; elsewhere they are standalone atoms.
+    fn parse_escape(&mut self, in_class: bool) -> Result<Ast, Error> {
+        let Some(c) = self.bump() else {
+            return Err(self.err("trailing backslash"));
+        };
+        let perl = |ranges: &[(char, char)], negated: bool| {
+            Ast::Class(ClassSet {
+                ranges: ranges.to_vec(),
+                negated,
+            })
+        };
+        Ok(match c {
+            'd' => perl(&[('0', '9')], false),
+            'D' => perl(&[('0', '9')], true),
+            'w' => perl(&[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')], false),
+            'W' => perl(&[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')], true),
+            's' => perl(
+                &[
+                    (' ', ' '),
+                    ('\t', '\t'),
+                    ('\n', '\n'),
+                    ('\r', '\r'),
+                    ('\u{b}', '\u{c}'),
+                ],
+                false,
+            ),
+            'S' => perl(
+                &[
+                    (' ', ' '),
+                    ('\t', '\t'),
+                    ('\n', '\n'),
+                    ('\r', '\r'),
+                    ('\u{b}', '\u{c}'),
+                ],
+                true,
+            ),
+            'n' => Ast::Char('\n'),
+            't' => Ast::Char('\t'),
+            'r' => Ast::Char('\r'),
+            '0' => Ast::Char('\0'),
+            c if c.is_ascii_alphanumeric() && !in_class => {
+                return Err(self.err(&format!("unsupported escape \\{c}")));
+            }
+            c => Ast::Char(c),
+        })
+    }
+
+    /// Parses a `[…]` class body (the `[` is already consumed).
+    fn parse_class(&mut self) -> Result<Ast, Error> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut first = true;
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                // `]` is literal only as the very first member.
+                Some(']') if !first => break,
+                Some(c) => c,
+            };
+            first = false;
+            let lo = if c == '\\' {
+                match self.parse_escape(true)? {
+                    Ast::Char(c) => c,
+                    Ast::Class(set) => {
+                        if set.negated {
+                            return Err(self.err("negated perl class inside [...]"));
+                        }
+                        ranges.extend(set.ranges);
+                        continue;
+                    }
+                    _ => unreachable!("escapes are chars or classes"),
+                }
+            } else {
+                c
+            };
+            // Range `lo-hi` (a trailing `-` is literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']') {
+                self.bump();
+                let hc = self
+                    .bump()
+                    .ok_or_else(|| self.err("unclosed character class"))?;
+                let hi = if hc == '\\' {
+                    match self.parse_escape(true)? {
+                        Ast::Char(c) => c,
+                        _ => return Err(self.err("perl class as range endpoint")),
+                    }
+                } else {
+                    hc
+                };
+                if hi < lo {
+                    return Err(self.err("reversed class range"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Ast::Class(ClassSet { ranges, negated }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_substring_search_is_unanchored() {
+        assert!(m("EXT3-fs error", "kernel: EXT3-fs error (device sda5)"));
+        assert!(!m("EXT3-fs error", "kernel: ext3-fs error"));
+        assert!(m("", "anything"));
+        assert!(m("", ""));
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "a c"));
+        assert!(!m("a.c", "a\nc"));
+        assert!(!m("a.c", "ac"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab+c", "abc"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn dot_star_bridges_gaps() {
+        assert!(m(
+            "mptscsih: .* attempting task abort",
+            "mptscsih: ioc0: attempting task abort!"
+        ));
+        assert!(m(
+            "gm_mapper.*assertion failed",
+            "gm_mapper[123] assertion failed. x"
+        ));
+        assert!(!m(
+            "gm_mapper.*assertion failed",
+            "assertion failed in gm_mapper"
+        ));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^foo", "foobar"));
+        assert!(!m("^foo", "a foo"));
+        assert!(m("bar$", "foobar"));
+        assert!(!m("bar$", "bar baz"));
+        assert!(m("^foo$", "foo"));
+        assert!(!m("^foo$", "foo "));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(m("[abc]", "zebra-c"));
+        assert!(!m("[abc]", "xyz"));
+        assert!(m("[a-f0-9]+", "deadbeef42"));
+        assert!(m("[^0-9]", "a1"));
+        assert!(!m("[^0-9]", "123"));
+        // `]` literal when first, `-` literal when trailing.
+        assert!(m("[]x]", "]"));
+        assert!(m("[a-]", "-"));
+    }
+
+    #[test]
+    fn perl_classes() {
+        assert!(m(r"\d+", "abc 123"));
+        assert!(!m(r"\d", "abc"));
+        assert!(m(r"\w+", "snake_case9"));
+        assert!(m(r"\s", "a b"));
+        assert!(!m(r"\S", "  \t "));
+        assert!(m(r"[\d]", "7"));
+        assert!(m(r"[\w.]+", "file.name"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog stand"));
+        assert!(m("(error|warning): disk", "warning: disk full"));
+        assert!(!m("(error|warning): disk", "notice: disk full"));
+        assert!(m("a(bc)*d", "ad"));
+        assert!(m("a(bc)*d", "abcbcd"));
+        assert!(m("ab|cd|ef", "xxefxx"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert!(m("a{3}", "baaab"));
+        assert!(!m("^a{3}$", "aa"));
+        assert!(!m("^a{3}$", "aaaa"));
+        assert!(m("^a{2,}$", "aaaa"));
+        assert!(!m("^a{2,}$", "a"));
+        assert!(m("^a{1,3}$", "aa"));
+        assert!(!m("^a{1,3}$", "aaaa"));
+        assert!(m("(ab){2}", "xabab"));
+    }
+
+    #[test]
+    fn invalid_braces_are_literal() {
+        assert!(m("a{b", "xa{bx"));
+        assert!(m("a{1,x}", "a{1,x}"));
+        assert!(m("{", "{"));
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        assert!(m(r"\(111\)", "refused (111) in open_demux"));
+        assert!(m(r"gm_parity\.c", "PANIC: gm_parity.c:115"));
+        assert!(!m(r"gm_parity\.c", "gm_parityXc"));
+        assert!(m(r"I/O", "rejecting I/O to offline device"));
+        assert!(m(r"\$\d", "cost $5"));
+        assert!(m(r"a\{2}", "a{2}"));
+        assert!(m(r"\\", r"back\slash"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        for bad in [
+            "(unclosed",
+            "[unclosed",
+            "([unclosed",
+            ")",
+            "*x",
+            "+x",
+            "?",
+            "a{3,1}",
+            "[z-a]",
+            "[]",
+            r"trailing\",
+            r"\q",
+            "a{600}",
+        ] {
+            assert!(Regex::new(bad).is_err(), "pattern {bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_pattern() {
+        let e = Regex::new("(a").unwrap_err();
+        assert!(e.to_string().contains("(a"), "{e}");
+        let e = Regex::new("[z-a]").unwrap_err();
+        assert!(e.to_string().contains("reversed"), "{e}");
+    }
+
+    #[test]
+    fn no_pathological_backtracking() {
+        // Classic killer for backtracking engines; the thread-set VM
+        // handles it in linear time.
+        let re = Regex::new("(a*)*b").unwrap_or_else(|_| Regex::new("a*a*a*a*a*a*a*b").unwrap());
+        let input = "a".repeat(4096);
+        assert!(!re.is_match(&input));
+        assert!(re.is_match(&(input + "b")));
+    }
+
+    #[test]
+    fn literal_fast_path_agrees_with_the_vm() {
+        // `[ ]` forces the VM path for an otherwise identical pattern;
+        // the literal shortcut must give the same answers.
+        let lit = Regex::new("EXT3-fs error").unwrap();
+        let vm = Regex::new("EXT3-fs[ ]error").unwrap();
+        for text in [
+            "kernel: EXT3-fs error (device sda5)",
+            "EXT3-fs error",
+            "EXT3-fs  error",
+            "ext3-fs error",
+            "",
+        ] {
+            assert_eq!(lit.is_match(text), vm.is_match(text), "{text:?}");
+        }
+        // Escapes reduce to chars, so this stays on the fast path and
+        // must still treat the metacharacters literally.
+        assert!(m(r"\(111\)", "refused (111)"));
+        assert!(!m(r"\(111\)", "refused 111"));
+    }
+
+    #[test]
+    fn unicode_text_is_handled_per_char() {
+        assert!(m("naïve", "a naïve plan"));
+        assert!(m("n.ïve", "a naïve plan"));
+        assert!(m("[^a]", "ü"));
+    }
+
+    #[test]
+    fn debug_and_display_show_pattern() {
+        let re = Regex::new("a+b").unwrap();
+        assert_eq!(re.as_str(), "a+b");
+        assert_eq!(re.to_string(), "a+b");
+        assert!(format!("{re:?}").contains("a+b"));
+    }
+}

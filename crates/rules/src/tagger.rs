@@ -62,7 +62,11 @@ impl RuleSet {
         let rules = specs
             .iter()
             .map(|spec| {
-                assert_eq!(spec.system, system, "spec {} is for another system", spec.name);
+                assert_eq!(
+                    spec.system, system,
+                    "spec {} is for another system",
+                    spec.name
+                );
                 let predicate = Predicate::parse(spec.rule)
                     .unwrap_or_else(|e| panic!("rule {} failed to compile: {e}", spec.name));
                 let category = registry.register(spec.name, system, spec.alert_type);
@@ -141,8 +145,8 @@ impl RuleSet {
         TaggedLog { alerts }
     }
 
-    /// Tags every message using `threads` worker threads (crossbeam
-    /// scoped threads; order of the result is preserved).
+    /// Tags every message using `threads` worker threads
+    /// (`std::thread::scope`; order of the result is preserved).
     ///
     /// # Panics
     ///
@@ -159,12 +163,12 @@ impl RuleSet {
         }
         let chunk = messages.len().div_ceil(threads);
         let mut partials: Vec<Vec<Alert>> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = messages
                 .chunks(chunk)
                 .enumerate()
                 .map(|(k, msgs)| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let base = k * chunk;
                         let mut out = Vec::new();
                         for (i, msg) in msgs.iter().enumerate() {
@@ -179,8 +183,7 @@ impl RuleSet {
             for h in handles {
                 partials.push(h.join().expect("tagger thread panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         TaggedLog {
             alerts: partials.concat(),
         }
@@ -228,7 +231,7 @@ impl TaggedLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::catalog::{example_body, catalog};
+    use crate::catalog::{catalog, example_body};
     use sclog_types::{Message, NodeId, Severity, Timestamp};
 
     fn render_and_tag_all(system: SystemId) {
@@ -242,7 +245,8 @@ mod tests {
                 crate::catalog::CatSeverity::Bgl(s) => Severity::Bgl(s),
                 crate::catalog::CatSeverity::Syslog(s) => Severity::Syslog(s),
             };
-            let facility = crate::catalog::fill_template(spec.facility, crate::catalog::example_value);
+            let facility =
+                crate::catalog::fill_template(spec.facility, crate::catalog::example_value);
             let msg = Message::new(
                 system,
                 Timestamp::from_ymd_hms(2006, 1, 15, 12, 0, 0),
@@ -313,7 +317,10 @@ mod tests {
         let msgs = vec![
             mk(0, "task_check, cannot tm_reply to 1 task 1"),
             mk(1, "all quiet"),
-            mk(2, "Bad file descriptor (9) in tm_request, job 2 not running"),
+            mk(
+                2,
+                "Bad file descriptor (9) in tm_request, job 2 not running",
+            ),
         ];
         let tagged = rules.tag_messages(&msgs, &interner);
         assert_eq!(tagged.len(), 2);

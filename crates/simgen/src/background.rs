@@ -28,8 +28,12 @@ impl<'a> BackgroundSampler<'a> {
         let spec = profile.system.spec();
         let span_secs = spec.span().as_secs_f64();
         // Regime bounds and masses.
-        let mut regime_bounds: Vec<f64> =
-            profile.rate_regimes.iter().map(|&(f, _)| f).skip(1).collect();
+        let mut regime_bounds: Vec<f64> = profile
+            .rate_regimes
+            .iter()
+            .map(|&(f, _)| f)
+            .skip(1)
+            .collect();
         regime_bounds.push(1.0);
         let mut regime_cum = Vec::with_capacity(profile.rate_regimes.len());
         let mut acc = 0.0;
@@ -103,7 +107,11 @@ impl<'a> BackgroundSampler<'a> {
     }
 
     /// Generates one background message.
-    pub fn sample_message(&self, rng: &mut RngStream, filler: &mut impl FnMut(&str, &mut RngStream) -> String) -> Message {
+    pub fn sample_message(
+        &self,
+        rng: &mut RngStream,
+        filler: &mut impl FnMut(&str, &mut RngStream) -> String,
+    ) -> Message {
         let system = self.profile.system;
         let event_path = system == SystemId::RedStorm && rng.chance(self.profile.bg_event_frac);
         let templates = if event_path {
@@ -138,10 +146,12 @@ impl<'a> BackgroundSampler<'a> {
 fn parse_severity(system: SystemId, name: &str) -> Severity {
     match system {
         SystemId::BlueGeneL => Severity::Bgl(
-            name.parse::<BglSeverity>().expect("valid BG/L severity name"),
+            name.parse::<BglSeverity>()
+                .expect("valid BG/L severity name"),
         ),
         _ => Severity::Syslog(
-            name.parse::<SyslogSeverity>().expect("valid syslog severity name"),
+            name.parse::<SyslogSeverity>()
+                .expect("valid syslog severity name"),
         ),
     }
 }
@@ -179,8 +189,8 @@ mod tests {
         let nodes = NodeSet::build(SystemId::Liberty, &mut interner);
         let sampler = BackgroundSampler::new(profile, &nodes);
         let spec = SystemId::Liberty.spec();
-        let boundary = spec.start()
-            + sclog_types::Duration::from_secs_f64(0.35 * spec.span().as_secs_f64());
+        let boundary =
+            spec.start() + sclog_types::Duration::from_secs_f64(0.35 * spec.span().as_secs_f64());
         let mut rng = RngStream::from_seed(2);
         let mut before = 0.0;
         let mut after = 0.0;
@@ -193,7 +203,10 @@ mod tests {
         }
         // Rate density: before = n_before/0.35, after = n_after/0.65.
         let ratio = (after / 0.65) / (before / 0.35);
-        assert!(ratio > 1.8, "post-upgrade rate should be much higher: {ratio}");
+        assert!(
+            ratio > 1.8,
+            "post-upgrade rate should be much higher: {ratio}"
+        );
     }
 
     #[test]
@@ -215,7 +228,10 @@ mod tests {
         }
         // Expected: INFO ≈ 84.9%, FATAL ≈ 11.5% of background.
         assert!((info as f64 / N as f64 - 0.849).abs() < 0.02, "info {info}");
-        assert!((fatal as f64 / N as f64 - 0.115).abs() < 0.02, "fatal {fatal}");
+        assert!(
+            (fatal as f64 / N as f64 - 0.115).abs() < 0.02,
+            "fatal {fatal}"
+        );
     }
 
     #[test]

@@ -144,8 +144,7 @@ pub fn generate_categories(
         }
     }
     let selected = |name: &str| only.is_none_or(|names| names.contains(&name));
-    let spec_by_name: HashMap<&str, &CategorySpec> =
-        specs.iter().map(|s| (s.name, s)).collect();
+    let spec_by_name: HashMap<&str, &CategorySpec> = specs.iter().map(|s| (s.name, s)).collect();
 
     // Budget check.
     let est_alerts: f64 = specs
@@ -163,7 +162,11 @@ pub fn generate_categories(
 
     let mut interner = SourceInterner::new();
     let nodes = NodeSet::build(system, &mut interner);
-    debug_assert_eq!(nodes.total(), interner.len(), "node roles must cover the interner");
+    debug_assert_eq!(
+        nodes.total(),
+        interner.len(),
+        "node roles must cover the interner"
+    );
     let sys_spec = system.spec();
     let start = sys_spec.start();
     let span = sys_spec.span().as_secs_f64();
@@ -233,7 +236,9 @@ pub fn generate_categories(
     {
         let sampler = BackgroundSampler::new(profile, &nodes);
         let mut rng = RngStream::derived(seed, &format!("{system}/background"));
-        let n_bg = (profile.background_total as f64 * scale.background).round().max(8.0) as u64;
+        let n_bg = (profile.background_total as f64 * scale.background)
+            .round()
+            .max(8.0) as u64;
         let mut filler = |key: &str, r: &mut RngStream| placeholder(key, &nodes, &interner, r);
         for _ in 0..n_bg {
             if profile.loss_prob > 0.0 && rng.chance(profile.loss_prob) {
@@ -271,8 +276,9 @@ pub fn generate_categories(
 
     // ---- Sort, run the collection path, and freeze --------------------
     pending.sort_by_key(|p| (p.msg.time, p.seq));
-    let mut collector = (profile.collector_rate > 0.0)
-        .then(|| crate::collector::Collector::new(profile.collector_rate, profile.collector_rate * 10.0));
+    let mut collector = (profile.collector_rate > 0.0).then(|| {
+        crate::collector::Collector::new(profile.collector_rate, profile.collector_rate * 10.0)
+    });
     let mut messages = Vec::with_capacity(pending.len());
     let mut truth = Vec::with_capacity(pending.len());
     let mut truth_category = Vec::with_capacity(pending.len());
@@ -459,8 +465,19 @@ fn alert_message(
 }
 
 /// Random placeholder values for message templates.
-fn placeholder(key: &str, nodes: &NodeSet, interner: &SourceInterner, rng: &mut RngStream) -> String {
-    placeholder_at(key, nodes, interner, rng, Timestamp::from_secs(1_140_000_000))
+fn placeholder(
+    key: &str,
+    nodes: &NodeSet,
+    interner: &SourceInterner,
+    rng: &mut RngStream,
+) -> String {
+    placeholder_at(
+        key,
+        nodes,
+        interner,
+        rng,
+        Timestamp::from_secs(1_140_000_000),
+    )
 }
 
 fn placeholder_at(
@@ -481,10 +498,18 @@ fn placeholder_at(
             rng.below(256),
             1024 + rng.below(60_000)
         ),
-        "path" => ["/usr/src/mapper", "/p/gb1/scratch", "/var/spool/pbs", "/opt/gm/drivers"]
-            [rng.below(4) as usize]
+        "path" => [
+            "/usr/src/mapper",
+            "/p/gb1/scratch",
+            "/var/spool/pbs",
+            "/opt/gm/drivers",
+        ][rng.below(4) as usize]
             .to_owned(),
-        "dev" => format!("sd{}{}", (b'a' + rng.below(8) as u8) as char, 1 + rng.below(8)),
+        "dev" => format!(
+            "sd{}{}",
+            (b'a' + rng.below(8) as u8) as char,
+            1 + rng.below(8)
+        ),
         "time" => time.as_secs().to_string(),
         "node" => {
             let i = rng.below(nodes.compute.len() as u64) as usize;
@@ -555,7 +580,11 @@ mod tests {
             let lo = spec.start() - Duration::from_days(2);
             let hi = spec.end() + Duration::from_days(2);
             for m in &log.messages {
-                assert!(m.time >= lo && m.time < hi, "{sys}: {} out of window", m.time);
+                assert!(
+                    m.time >= lo && m.time < hi,
+                    "{sys}: {} out of window",
+                    m.time
+                );
             }
         }
     }

@@ -68,7 +68,10 @@ impl Scale {
     ///
     /// Panics if either factor is outside `(0, 1]`.
     pub fn new(alerts: f64, background: f64) -> Self {
-        assert!(alerts > 0.0 && alerts <= 1.0, "alert scale must be in (0,1]");
+        assert!(
+            alerts > 0.0 && alerts <= 1.0,
+            "alert scale must be in (0,1]"
+        );
         assert!(
             background > 0.0 && background <= 1.0,
             "background scale must be in (0,1]"

@@ -163,10 +163,16 @@ static BGL_BG_TEMPLATES: &[(&str, &str)] = &[
     ("KERNEL", "instruction cache parity error corrected"),
     ("KERNEL", "CE sym {num}, at {hex}, mask {hex}"),
     ("KERNEL", "generating core.{num}"),
-    ("KERNEL", "total of {num} ddr error(s) detected and corrected"),
+    (
+        "KERNEL",
+        "total of {num} ddr error(s) detected and corrected",
+    ),
     ("KERNEL", "{num} floating point alignment exceptions"),
     ("APP", "ciod: generated {num} core files for program {path}"),
-    ("MMCS", "idoproxydb hit ASSERT condition: line {num} of file {path}"),
+    (
+        "MMCS",
+        "idoproxydb hit ASSERT condition: line {num} of file {path}",
+    ),
     ("MONITOR", "node card status: no ALERTs are active"),
     ("KERNEL", "NodeCard temperature reading {num} C"),
     ("DISCOVERY", "node card VPD check: missing severity unknown"),
@@ -242,7 +248,10 @@ static TBIRD_BG_TEMPLATES: &[(&str, &str)] = &[
     ("sshd[{num}]", "session opened for user root by (uid=0)"),
     ("ntpd[{num}]", "synchronized to 10.0.0.{num}, stratum 2"),
     ("crond[{num}]", "(root) CMD (run-parts /etc/cron.hourly)"),
-    ("pbs_mom", "scan_for_terminated: job {job} task 1 terminated"),
+    (
+        "pbs_mom",
+        "scan_for_terminated: job {job} task 1 terminated",
+    ),
     ("kernel", "ib_sm_sweep.c: SM sweep complete"),
     ("dhclient", "DHCPREQUEST on eth1 to 10.1.0.{num} port 67"),
     ("postfix/smtpd[{num}]", "connect from localhost[127.0.0.1]"),
@@ -298,7 +307,10 @@ static RSTORM_BG_SEVERITY: SeverityWeights = &[
 ];
 
 static RSTORM_BG_TEMPLATES: &[(&str, &str)] = &[
-    ("kernel", "Lustre: {num}:({path}:{num}:ldlm_handle_ast()) completion AST arrived"),
+    (
+        "kernel",
+        "Lustre: {num}:({path}:{num}:ldlm_handle_ast()) completion AST arrived",
+    ),
     ("kernel", "scsi: aborting command due to timeout recovered"),
     ("syslogd", "restart (remote reception)"),
     ("pbs_server", "job {job} queued at priority {num}"),
@@ -310,9 +322,18 @@ static RSTORM_BG_TEMPLATES: &[(&str, &str)] = &[
 
 /// Red Storm event-path background bodies (facility, body).
 pub static RSTORM_EVENT_TEMPLATES: &[(&str, &str)] = &[
-    ("ec_heartbeat", "src:::{node} svc:::{node} node heartbeat ok seq {num}"),
-    ("ec_console_log", "src:::{node} console buffer flushed {num} bytes"),
-    ("ec_power_status", "src:::{node} power rail nominal {num} mV"),
+    (
+        "ec_heartbeat",
+        "src:::{node} svc:::{node} node heartbeat ok seq {num}",
+    ),
+    (
+        "ec_console_log",
+        "src:::{node} console buffer flushed {num} bytes",
+    ),
+    (
+        "ec_power_status",
+        "src:::{node} power rail nominal {num} mV",
+    ),
     ("ec_link_status", "src:::{node} seastar link up lanes {num}"),
 ];
 
@@ -359,9 +380,15 @@ static SPIRIT_BG_TEMPLATES: &[(&str, &str)] = &[
     ("sshd[{num}]", "session opened for user root by (uid=0)"),
     ("ntpd[{num}]", "synchronized to 10.2.0.{num}, stratum 3"),
     ("crond[{num}]", "(root) CMD (/usr/lib64/sa/sa1 1 1)"),
-    ("pbs_mom", "scan_for_terminated: job {job} task 1 terminated"),
+    (
+        "pbs_mom",
+        "scan_for_terminated: job {job} task 1 terminated",
+    ),
     ("automount[{num}]", "expired /home/{path}"),
-    ("kernel", "martian source 10.2.{num}.{num} from 10.2.{num}.{num}"),
+    (
+        "kernel",
+        "martian source 10.2.{num}.{num} from 10.2.{num}.{num}",
+    ),
     ("syslogd", "restart"),
 ];
 
@@ -403,7 +430,10 @@ static LIBERTY_BG_TEMPLATES: &[(&str, &str)] = &[
     ("sshd[{num}]", "session opened for user root by (uid=0)"),
     ("ntpd[{num}]", "synchronized to 10.3.0.{num}, stratum 3"),
     ("crond[{num}]", "(root) CMD (run-parts /etc/cron.hourly)"),
-    ("pbs_mom", "scan_for_terminated: job {job} task 1 terminated"),
+    (
+        "pbs_mom",
+        "scan_for_terminated: job {job} task 1 terminated",
+    ),
     ("gm_board_info", "lanai clock value {num}"),
     ("automount[{num}]", "attempting to mount entry /misc/{path}"),
     ("kernel", "VFS: busy inodes on changed media"),
@@ -450,15 +480,17 @@ mod tests {
     fn profiles_cover_every_catalog_category_exactly() {
         for &sys in &sclog_types::ALL_SYSTEMS {
             let profile = system_profile(sys);
-            let profile_names: HashSet<&str> =
-                profile.categories.iter().map(|p| p.name).collect();
-            let catalog_names: HashSet<&str> =
-                catalog(sys).iter().map(|s| s.name).collect();
+            let profile_names: HashSet<&str> = profile.categories.iter().map(|p| p.name).collect();
+            let catalog_names: HashSet<&str> = catalog(sys).iter().map(|s| s.name).collect();
             assert_eq!(
                 profile_names, catalog_names,
                 "{sys}: profile/catalog category mismatch"
             );
-            assert_eq!(profile.categories.len(), catalog(sys).len(), "{sys}: duplicates");
+            assert_eq!(
+                profile.categories.len(),
+                catalog(sys).len(),
+                "{sys}: duplicates"
+            );
         }
     }
 
@@ -521,7 +553,9 @@ mod tests {
                 regimes.windows(2).all(|w| w[0].0 < w[1].0),
                 "{sys}: regimes out of order"
             );
-            assert!(regimes.iter().all(|&(f, r)| (0.0..1.0).contains(&f) && r > 0.0));
+            assert!(regimes
+                .iter()
+                .all(|&(f, r)| (0.0..1.0).contains(&f) && r > 0.0));
         }
     }
 

@@ -1,7 +1,5 @@
 //! Empirical cumulative distribution functions.
 
-use serde::{Deserialize, Serialize};
-
 /// Empirical CDF of a sample.
 ///
 /// # Examples
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(e.eval(2.0), 0.75);
 /// assert_eq!(e.eval(10.0), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -27,7 +25,10 @@ impl Ecdf {
     /// Panics if the sample is empty or contains NaN.
     pub fn new(mut sample: Vec<f64>) -> Self {
         assert!(!sample.is_empty(), "ECDF of empty sample");
-        assert!(sample.iter().all(|x| !x.is_nan()), "ECDF sample contains NaN");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF sample contains NaN"
+        );
         sample.sort_by(f64::total_cmp);
         Ecdf { sorted: sample }
     }

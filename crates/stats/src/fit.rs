@@ -9,7 +9,6 @@
 //! (Figure 5) and the bad ones.
 
 use crate::special::{ln_gamma, std_normal_cdf};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A continuous positive-support distribution that can be fitted to a
@@ -50,7 +49,7 @@ fn assert_positive_sample(xs: &[f64]) {
 }
 
 /// Exponential distribution with rate `lambda`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Exponential {
     /// Rate parameter (events per unit time).
     pub lambda: f64,
@@ -96,7 +95,7 @@ impl Distribution for Exponential {
 }
 
 /// Log-normal distribution: `ln X ~ N(mu, sigma²)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogNormal {
     /// Location of the underlying normal.
     pub mu: f64,
@@ -149,7 +148,7 @@ impl Distribution for LogNormal {
 }
 
 /// Weibull distribution with shape `k` and scale `lambda`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weibull {
     /// Shape parameter.
     pub k: f64,
@@ -221,7 +220,7 @@ impl Distribution for Weibull {
 }
 
 /// Pareto (type I) distribution with minimum `xm` and shape `alpha`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pareto {
     /// Scale: the distribution's minimum.
     pub xm: f64,
@@ -275,7 +274,7 @@ impl Distribution for Pareto {
 }
 
 /// One candidate model's scorecard within a [`FitReport`].
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FittedModel {
     /// Family name.
     pub name: &'static str,
@@ -292,7 +291,7 @@ pub struct FittedModel {
 }
 
 /// Result of fitting all candidate families to a sample.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FitReport {
     /// Candidate models sorted by ascending AIC (best first).
     pub models: Vec<FittedModel>,
@@ -317,7 +316,10 @@ impl FitReport {
             (&exp, format!("λ={:.6}", exp.lambda)),
             (&lnorm, format!("μ={:.4} σ={:.4}", lnorm.mu, lnorm.sigma)),
             (&weib, format!("k={:.4} λ={:.4}", weib.k, weib.lambda)),
-            (&pareto, format!("xm={:.4} α={:.4}", pareto.xm, pareto.alpha)),
+            (
+                &pareto,
+                format!("xm={:.4} α={:.4}", pareto.xm, pareto.alpha),
+            ),
         ];
         let mut models: Vec<FittedModel> = dists
             .iter()
@@ -399,9 +401,18 @@ mod tests {
         // Numerically integrate the pdf and compare with the cdf.
         let dists: Vec<Box<dyn Distribution>> = vec![
             Box::new(Exponential { lambda: 0.5 }),
-            Box::new(LogNormal { mu: 0.0, sigma: 1.0 }),
-            Box::new(Weibull { k: 2.0, lambda: 1.5 }),
-            Box::new(Pareto { xm: 1.0, alpha: 3.0 }),
+            Box::new(LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            }),
+            Box::new(Weibull {
+                k: 2.0,
+                lambda: 1.5,
+            }),
+            Box::new(Pareto {
+                xm: 1.0,
+                alpha: 3.0,
+            }),
         ];
         for d in &dists {
             let mut acc = 0.0;
@@ -433,8 +444,16 @@ mod tests {
             "best {}",
             best.name
         );
-        let exp_model = report.models.iter().find(|m| m.name == "exponential").unwrap();
-        assert!(exp_model.ks_p > 0.01, "exp should fit, p={}", exp_model.ks_p);
+        let exp_model = report
+            .models
+            .iter()
+            .find(|m| m.name == "exponential")
+            .unwrap();
+        assert!(
+            exp_model.ks_p > 0.01,
+            "exp should fit, p={}",
+            exp_model.ks_p
+        );
     }
 
     #[test]
@@ -443,7 +462,11 @@ mod tests {
         let xs: Vec<f64> = (0..5000).map(|_| rng.lognormal(1.0, 1.5)).collect();
         let report = FitReport::fit_all(&xs);
         assert_eq!(report.best().name, "lognormal");
-        let exp_model = report.models.iter().find(|m| m.name == "exponential").unwrap();
+        let exp_model = report
+            .models
+            .iter()
+            .find(|m| m.name == "exponential")
+            .unwrap();
         assert!(exp_model.ks_p < 0.01, "exp should be rejected");
         assert!(!report.all_fits_poor(0.01));
     }
@@ -462,7 +485,10 @@ mod tests {
 
     #[test]
     fn pareto_infinite_mean_below_alpha_one() {
-        let p = Pareto { xm: 1.0, alpha: 0.9 };
+        let p = Pareto {
+            xm: 1.0,
+            alpha: 0.9,
+        };
         assert_eq!(p.mean(), None);
     }
 }

@@ -7,10 +7,9 @@
 //! binned counts.
 
 use crate::special::chi2_cdf;
-use serde::Serialize;
 
 /// Result of a Kolmogorov–Smirnov test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KsResult {
     /// The KS statistic `D = sup |F_n(x) − F(x)|`.
     pub statistic: f64,
@@ -113,7 +112,7 @@ fn kolmogorov_sf(lambda: f64) -> f64 {
 }
 
 /// Result of a χ² goodness-of-fit test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Chi2Result {
     /// The χ² statistic.
     pub statistic: f64,
@@ -134,7 +133,10 @@ pub struct Chi2Result {
 /// bins remain, or any expected count is negative.
 pub fn chi_square_gof(observed: &[u64], expected: &[f64], fitted_params: usize) -> Chi2Result {
     assert_eq!(observed.len(), expected.len(), "length mismatch");
-    assert!(expected.iter().all(|&e| e >= 0.0), "negative expected count");
+    assert!(
+        expected.iter().all(|&e| e >= 0.0),
+        "negative expected count"
+    );
     // Merge small-expectation bins left to right.
     let mut obs_m: Vec<f64> = Vec::new();
     let mut exp_m: Vec<f64> = Vec::new();

@@ -6,14 +6,12 @@
 //! Spirit). [`Histogram`] supports both binnings and a simple smoothed
 //! peak count for asserting modality in tests.
 
-use serde::{Deserialize, Serialize};
-
 /// Default number of logarithmic bins per decade, a resolution similar
 /// to the paper's Figure 6 plots.
 pub const LOG10_BINS_PER_DECADE: usize = 5;
 
 /// Binning scheme for a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Binning {
     /// Equal-width bins covering `[lo, hi)`.
     Linear {
@@ -47,7 +45,7 @@ pub enum Binning {
 /// assert_eq!(h.overflow(), 1);
 /// assert_eq!(h.total(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     binning: Binning,
     counts: Vec<u64>,

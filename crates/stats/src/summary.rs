@@ -1,7 +1,5 @@
 //! Summary statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// One-pass (Welford) summary of a sample: count, mean, variance,
 /// min/max. Quantiles require the sorted-sample constructor.
 ///
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), 1.0);
 /// assert_eq!(s.max(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,

@@ -283,7 +283,9 @@ mod tests {
 
     #[test]
     fn cusum_no_false_positive_on_stationary() {
-        let xs: Vec<f64> = (0..400).map(|i| 20.0 + ((i * 13) % 11) as f64 - 5.0).collect();
+        let xs: Vec<f64> = (0..400)
+            .map(|i| 20.0 + ((i * 13) % 11) as f64 - 5.0)
+            .collect();
         let cps = cusum_changepoints(&xs, 10.0, 0.3);
         assert!(cps.is_empty(), "{cps:?}");
     }
@@ -310,7 +312,9 @@ mod tests {
     #[test]
     fn autocorrelation_shapes() {
         // Alternating series: perfect negative correlation at lag 1.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let ac = autocorrelation(&alt, 2);
         assert!((ac[0] - 1.0).abs() < 1e-12);
         assert!(ac[1] < -0.9);
@@ -326,6 +330,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn bucket_counts_zero_width_panics() {
-        let _ = bucket_counts(&[], Timestamp::EPOCH, Timestamp::from_secs(1), Duration::ZERO);
+        let _ = bucket_counts(
+            &[],
+            Timestamp::EPOCH,
+            Timestamp::from_secs(1),
+            Duration::ZERO,
+        );
     }
 }

@@ -3,7 +3,6 @@
 use crate::category::CategoryId;
 use crate::source::NodeId;
 use crate::time::Timestamp;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Administrator-assigned subsystem of origin for an alert category.
@@ -11,7 +10,7 @@ use std::fmt;
 /// Table 3/Table 4 of the paper classify every category as Hardware,
 /// Software, or Indeterminate ("can originate from both hardware and
 /// software, or have unknown cause").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AlertType {
     /// Hardware subsystem (e.g. disk, memory, NIC parity).
     Hardware,
@@ -61,7 +60,7 @@ impl fmt::Display for AlertType {
 /// counts from filtered alerts. Our simulator knows which failure
 /// produced each alert, so filters can be scored exactly. Real ingested
 /// logs have `None` for every alert.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FailureId(pub u64);
 
 impl fmt::Display for FailureId {
@@ -75,7 +74,7 @@ impl fmt::Display for FailureId {
 /// Alerts are the unit the filtering algorithms of Section 3.3 operate
 /// on: each carries its time, source, and category; `message_index`
 /// points back into the originating message sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Alert {
     /// Time of the underlying message.
     pub time: Timestamp,
@@ -91,7 +90,12 @@ pub struct Alert {
 
 impl Alert {
     /// Convenience constructor for an alert with no ground truth.
-    pub fn new(time: Timestamp, source: NodeId, category: CategoryId, message_index: usize) -> Self {
+    pub fn new(
+        time: Timestamp,
+        source: NodeId,
+        category: CategoryId,
+        message_index: usize,
+    ) -> Self {
         Alert {
             time,
             source,

@@ -8,12 +8,11 @@
 
 use crate::alert::AlertType;
 use crate::system::SystemId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Compact identifier for an alert category within a [`CategoryRegistry`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CategoryId(u16);
 
 impl CategoryId {
@@ -38,7 +37,7 @@ impl fmt::Display for CategoryId {
 
 /// Definition of one alert category: the expert rule's name, the system
 /// it applies to, and the administrator-assigned subsystem type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CategoryDef {
     /// Rule/category name as printed in Table 4 (e.g. `KERNDTLB`).
     pub name: String,
@@ -85,14 +84,13 @@ impl CategoryRegistry {
     pub fn register(&mut self, name: &str, system: SystemId, alert_type: AlertType) -> CategoryId {
         if let Some(&id) = self.index.get(&(system, name.to_owned())) {
             assert_eq!(
-                self.defs[id.index()].alert_type, alert_type,
+                self.defs[id.index()].alert_type,
+                alert_type,
                 "category {name} on {system} re-registered with a different type"
             );
             return id;
         }
-        let id = CategoryId(
-            u16::try_from(self.defs.len()).expect("more than u16::MAX categories"),
-        );
+        let id = CategoryId(u16::try_from(self.defs.len()).expect("more than u16::MAX categories"));
         self.defs.push(CategoryDef {
             name: name.to_owned(),
             system,
@@ -140,7 +138,10 @@ impl CategoryRegistry {
     }
 
     /// Iterates over the categories belonging to one system.
-    pub fn for_system(&self, system: SystemId) -> impl Iterator<Item = (CategoryId, &CategoryDef)> + '_ {
+    pub fn for_system(
+        &self,
+        system: SystemId,
+    ) -> impl Iterator<Item = (CategoryId, &CategoryDef)> + '_ {
         self.iter().filter(move |(_, d)| d.system == system)
     }
 }

@@ -1,0 +1,244 @@
+//! A tiny JSON *writer*.
+//!
+//! The pipeline only ever serializes — bench records, table/figure
+//! dumps, experiment snapshots; nothing in the tree deserializes. So
+//! instead of a serialization framework this module offers two small
+//! push-style builders, [`JsonObject`] and [`JsonArray`], that emit
+//! spec-compliant JSON text (escaped strings, `null` for non-finite
+//! floats, no trailing commas).
+//!
+//! # Examples
+//!
+//! ```
+//! use sclog_types::json::JsonObject;
+//!
+//! let mut rec = JsonObject::new();
+//! rec.str("name", "filter_spirit/simultaneous")
+//!     .int("iters", 20)
+//!     .num("ns_per_iter", 1312.5);
+//! assert_eq!(
+//!     rec.finish(),
+//!     r#"{"name":"filter_spirit/simultaneous","iters":20,"ns_per_iter":1312.5}"#
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string contents (no surrounding quotes) onto
+/// `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes a number the way JSON requires: non-finite values become
+/// `null` (JSON has no NaN/Infinity).
+fn push_num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(s: &str, out: &mut String) {
+    out.push('"');
+    escape_into(s, out);
+    out.push('"');
+}
+
+/// Builder for a JSON object. Fields are emitted in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, name: &str) -> &mut Self {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        push_str(name, &mut self.buf);
+        self.buf.push(':');
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        push_str(value, &mut self.buf);
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, name: &str, value: i64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn uint(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn num(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        push_num(value, &mut self.buf);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (e.g. a nested object or
+    /// array from another builder).
+    pub fn raw(&mut self, name: &str, json: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&self) -> String {
+        let mut out = self.buf.clone();
+        out.push('}');
+        out
+    }
+}
+
+/// Builder for a JSON array.
+#[derive(Debug, Clone, Default)]
+pub struct JsonArray {
+    buf: String,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        JsonArray {
+            buf: String::from("["),
+        }
+    }
+
+    fn sep(&mut self) -> &mut Self {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self
+    }
+
+    /// Appends a string element.
+    pub fn push_str(&mut self, value: &str) -> &mut Self {
+        self.sep();
+        push_str(value, &mut self.buf);
+        self
+    }
+
+    /// Appends an integer element.
+    pub fn push_int(&mut self, value: i64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a float element (`null` if non-finite).
+    pub fn push_num(&mut self, value: f64) -> &mut Self {
+        self.sep();
+        push_num(value, &mut self.buf);
+        self
+    }
+
+    /// Appends a pre-rendered JSON value verbatim.
+    pub fn push_raw(&mut self, json: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(&self) -> String {
+        let mut out = self.buf.clone();
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+
+    #[test]
+    fn field_kinds_and_order() {
+        let mut o = JsonObject::new();
+        o.str("s", "x")
+            .int("i", -3)
+            .uint("u", 7)
+            .num("f", 1.25)
+            .bool("b", true);
+        assert_eq!(o.finish(), r#"{"s":"x","i":-3,"u":7,"f":1.25,"b":true}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut o = JsonObject::new();
+        o.str("k", "a\"b\\c\nd\te\u{1}");
+        assert_eq!(o.finish(), r#"{"k":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut a = JsonArray::new();
+        a.push_num(f64::NAN).push_num(f64::INFINITY).push_num(0.5);
+        assert_eq!(a.finish(), "[null,null,0.5]");
+    }
+
+    #[test]
+    fn nesting_via_raw() {
+        let mut inner = JsonArray::new();
+        inner.push_int(1).push_int(2);
+        let mut o = JsonObject::new();
+        o.raw("xs", &inner.finish());
+        let mut outer = JsonObject::new();
+        outer.raw("inner", &o.finish());
+        assert_eq!(outer.finish(), r#"{"inner":{"xs":[1,2]}}"#);
+    }
+
+    #[test]
+    fn keys_are_escaped_too() {
+        let mut o = JsonObject::new();
+        o.int("a\"b", 1);
+        assert_eq!(o.finish(), r#"{"a\"b":1}"#);
+    }
+}

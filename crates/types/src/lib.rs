@@ -33,6 +33,7 @@
 
 pub mod alert;
 pub mod category;
+pub mod json;
 pub mod message;
 pub mod severity;
 pub mod source;

@@ -4,7 +4,6 @@ use crate::severity::Severity;
 use crate::source::NodeId;
 use crate::system::SystemId;
 use crate::time::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// One parsed log entry.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// );
 /// assert_eq!(msg.facility, "pbs_mom");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// System whose log this entry came from.
     pub system: SystemId,

@@ -11,7 +11,6 @@
 //! alert indicator; [`Severity`] keeps both representable so analyses can
 //! quantify exactly that (Tables 5 and 6).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -25,7 +24,7 @@ use std::str::FromStr;
 /// assert!(SyslogSeverity::Crit.is_at_least(SyslogSeverity::Error));
 /// assert_eq!(SyslogSeverity::Warning.to_string(), "WARNING");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SyslogSeverity {
     /// System is unusable.
     Emerg,
@@ -123,7 +122,7 @@ impl FromStr for SyslogSeverity {
 }
 
 /// The BG/L RAS severity scale, most to least severe (Table 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BglSeverity {
     /// Fatal condition; the hardware or job cannot continue.
     Fatal,
@@ -196,9 +195,7 @@ impl FromStr for BglSeverity {
 /// Thunderbird, Spirit and Liberty logs carry no severity
 /// ([`Severity::None`]); Red Storm's syslog path uses the syslog scale;
 /// BG/L uses the RAS scale.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Severity {
     /// The logging path does not record severity.
     #[default]
@@ -277,7 +274,10 @@ mod tests {
         for sev in ALL_SYSLOG_SEVERITIES {
             assert_eq!(sev.name().parse::<SyslogSeverity>(), Ok(sev));
         }
-        assert_eq!("warn".parse::<SyslogSeverity>(), Ok(SyslogSeverity::Warning));
+        assert_eq!(
+            "warn".parse::<SyslogSeverity>(),
+            Ok(SyslogSeverity::Warning)
+        );
         assert!("BOGUS".parse::<SyslogSeverity>().is_err());
     }
 

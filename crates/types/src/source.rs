@@ -5,7 +5,6 @@
 //! Figure 2(b) of the paper sorts Liberty's sources by message count; the
 //! interner keeps that analysis cheap.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -13,7 +12,7 @@ use std::fmt;
 ///
 /// Obtained from [`SourceInterner::intern`]; resolve back to the name
 /// with [`SourceInterner::name`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -69,9 +68,8 @@ impl SourceInterner {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        let id = NodeId(
-            u32::try_from(self.names.len()).expect("more than u32::MAX distinct sources"),
-        );
+        let id =
+            NodeId(u32::try_from(self.names.len()).expect("more than u32::MAX distinct sources"));
         self.names.push(name.into());
         self.index.insert(name.into(), id);
         id

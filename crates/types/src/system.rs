@@ -1,7 +1,6 @@
 //! The five studied supercomputers and their Table 1/Table 2 metadata.
 
 use crate::time::{Duration, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -15,7 +14,7 @@ use std::str::FromStr;
 /// assert_eq!(SystemId::Liberty.to_string(), "Liberty");
 /// assert_eq!("Red Storm".parse::<SystemId>(), Ok(SystemId::RedStorm));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SystemId {
     /// Blue Gene/L at Lawrence Livermore National Labs (IBM, 131 072 procs).
     BlueGeneL,
@@ -110,7 +109,7 @@ impl FromStr for SystemId {
 
 /// Static description of a system: the paper's Table 1 row plus the
 /// observation window from Table 2.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemSpec {
     /// Which system this spec describes.
     pub id_name: &'static str,

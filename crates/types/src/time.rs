@@ -10,7 +10,6 @@
 //! the crate needs no external date dependency. All conversions are UTC;
 //! the study does not require local-time handling.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
@@ -28,9 +27,7 @@ pub const MICROS_PER_SEC: i64 = 1_000_000;
 /// assert_eq!(t.as_micros(), 5_000_000);
 /// assert_eq!(t * 2, Duration::from_secs(10));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(i64);
 
 impl Duration {
@@ -154,9 +151,7 @@ impl fmt::Display for Duration {
 /// assert_eq!(later - t, Duration::from_days(1));
 /// assert_eq!(later.to_syslog_string(), "Jan  2 00:00:00");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(i64);
 
 impl Timestamp {

@@ -21,7 +21,11 @@ fn main() {
     let defs = parse_ruleset(&text).expect("ruleset parses");
     let mut registry = CategoryRegistry::new();
     let rules = RuleSet::from_defs(SystemId::Liberty, &defs, &mut registry);
-    println!("loaded {} rules ({} built-in + 1 custom)\n", rules.len(), defs.len() - 1);
+    println!(
+        "loaded {} rules ({} built-in + 1 custom)\n",
+        rules.len(),
+        defs.len() - 1
+    );
 
     // Tag a generated log with the extended ruleset.
     let log = generate(SystemId::Liberty, Scale::new(0.1, 0.0002), 17);

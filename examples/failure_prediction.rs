@@ -18,7 +18,10 @@ fn main() {
     println!("Liberty run: {} alerts\n", alerts.len());
 
     println!("mined precursor rules (30-minute window):");
-    for r in mine_precursors(alerts, Duration::from_mins(30), 3, 3.0).iter().take(5) {
+    for r in mine_precursors(alerts, Duration::from_mins(30), 3, 3.0)
+        .iter()
+        .take(5)
+    {
         println!(
             "  {:<9} -> {:<9} confidence {:.2}  lift {:>8.1}  support {}",
             run.registry.name(r.precursor),
@@ -29,18 +32,35 @@ fn main() {
         );
     }
 
-    let target = run.registry.lookup(SystemId::Liberty, "GM_LANAI").expect("category");
-    let precursor = run.registry.lookup(SystemId::Liberty, "GM_PAR").expect("category");
+    let target = run
+        .registry
+        .lookup(SystemId::Liberty, "GM_LANAI")
+        .expect("category");
+    let precursor = run
+        .registry
+        .lookup(SystemId::Liberty, "GM_PAR")
+        .expect("category");
     let failures = failure_onsets(alerts, target);
     let horizon = Duration::from_hours(4);
-    println!("\npredicting GM_LANAI failures ({} of them), horizon 4 h:", failures.len());
+    println!(
+        "\npredicting GM_LANAI failures ({} of them), horizon 4 h:",
+        failures.len()
+    );
 
     let predictors: Vec<Box<dyn Predictor>> = vec![
-        Box::new(RateThresholdPredictor::new(None, Duration::from_mins(30), 5)),
+        Box::new(RateThresholdPredictor::new(
+            None,
+            Duration::from_mins(30),
+            5,
+        )),
         Box::new(PrecursorPredictor::new(precursor)),
         Box::new(
             Ensemble::new()
-                .with(RateThresholdPredictor::new(None, Duration::from_mins(30), 5))
+                .with(RateThresholdPredictor::new(
+                    None,
+                    Duration::from_mins(30),
+                    5,
+                ))
                 .with(PrecursorPredictor::new(precursor)),
         ),
     ];

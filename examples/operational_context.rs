@@ -15,17 +15,38 @@ fn main() {
     let mut ctx = ContextLog::new(start, OpState::ProductionUptime);
     let h = Duration::from_hours(1);
 
-    ctx.transition(start + h * 200, OpState::ScheduledDowntime, "ciodb maintenance").unwrap();
-    ctx.transition(start + h * 206, OpState::ProductionUptime, "maintenance complete").unwrap();
-    ctx.transition(start + h * 900, OpState::UnscheduledDowntime, "midplane failure").unwrap();
-    ctx.transition(start + h * 912, OpState::ProductionUptime, "midplane swapped").unwrap();
+    ctx.transition(
+        start + h * 200,
+        OpState::ScheduledDowntime,
+        "ciodb maintenance",
+    )
+    .unwrap();
+    ctx.transition(
+        start + h * 206,
+        OpState::ProductionUptime,
+        "maintenance complete",
+    )
+    .unwrap();
+    ctx.transition(
+        start + h * 900,
+        OpState::UnscheduledDowntime,
+        "midplane failure",
+    )
+    .unwrap();
+    ctx.transition(
+        start + h * 912,
+        OpState::ProductionUptime,
+        "midplane swapped",
+    )
+    .unwrap();
 
     println!("operational-context log (what the paper asks operators to record):");
     print!("{}", ctx.to_log_bodies());
 
     // The transition lines round-trip through plain log text.
-    let rebuilt = ContextLog::from_log_bodies(start, OpState::ProductionUptime, &ctx.to_log_bodies())
-        .expect("parses");
+    let rebuilt =
+        ContextLog::from_log_bodies(start, OpState::ProductionUptime, &ctx.to_log_bodies())
+            .expect("parses");
     assert_eq!(rebuilt, ctx);
 
     let msg = "BGLMASTER FAILURE ciodb exited normally with exit code 0";
@@ -41,7 +62,10 @@ fn main() {
     let m = RasMetrics::compute(&ctx, end);
     println!("\nRAS metrics over the whole window:");
     println!("  availability            {:.5}", m.availability());
-    println!("  scheduled availability  {:.5}", m.scheduled_availability());
+    println!(
+        "  scheduled availability  {:.5}",
+        m.scheduled_availability()
+    );
     println!(
         "  work lost to failures   {:.0} proc-hours",
         m.work_lost_node_hours(spec.processors)

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification, runnable with no network and no registry cache:
+# the workspace is hermetic (path-only dependencies, std-only code), so
+# --offline must always succeed. Formatting is checked too, so CI and
+# local runs agree on the tree's canonical form.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "== cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "verify: OK"

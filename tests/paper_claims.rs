@@ -6,7 +6,7 @@ use sclog::core::Study;
 use sclog::filter::{score, AlertFilter, SerialFilter, SpatioTemporalFilter};
 use sclog::rules::catalog::catalog;
 use sclog::simgen::{generate, Scale};
-use sclog::stats::{interarrivals, Exponential, ks_test, Distribution};
+use sclog::stats::{interarrivals, ks_test, Distribution, Exponential};
 use sclog::types::{Alert, AlertType, SystemId, Timestamp, ALL_SYSTEMS};
 use std::collections::HashMap;
 
@@ -79,8 +79,14 @@ fn filtering_flips_type_mix_from_hardware_to_software() {
     let filt_hw = *filt.get(&AlertType::Hardware).unwrap_or(&0) as f64 / filt_total as f64;
     let filt_sw = *filt.get(&AlertType::Software).unwrap_or(&0) as f64 / filt_total as f64;
     assert!(raw_hw > 0.9, "raw hardware share {raw_hw} (paper: 0.9804)");
-    assert!(filt_sw > filt_hw, "software should dominate filtered alerts");
-    assert!(filt_hw < 0.4, "filtered hardware share {filt_hw} (paper: 0.1878)");
+    assert!(
+        filt_sw > filt_hw,
+        "software should dominate filtered alerts"
+    );
+    assert!(
+        filt_hw < 0.4,
+        "filtered hardware share {filt_hw} (paper: 0.1878)"
+    );
 }
 
 /// Figure 5 vs Figure 6: ECC interarrivals pass an exponential KS test;
@@ -89,7 +95,10 @@ fn filtering_flips_type_mix_from_hardware_to_software() {
 fn ecc_is_exponential_pbs_is_not() {
     let study = Study::new(1.0, 0.00002, 103);
     let ecc_run = study.run_subset(SystemId::Thunderbird, &["ECC"]);
-    let ecc = ecc_run.registry.lookup(SystemId::Thunderbird, "ECC").expect("cat");
+    let ecc = ecc_run
+        .registry
+        .lookup(SystemId::Thunderbird, "ECC")
+        .expect("cat");
     let times: Vec<Timestamp> = ecc_run
         .filtered
         .iter()
@@ -99,12 +108,19 @@ fn ecc_is_exponential_pbs_is_not() {
     let gaps = interarrivals(&times, 1.0);
     let fit = Exponential::fit(&gaps);
     let ks = ks_test(&gaps, |x| fit.cdf(x));
-    assert!(ks.p_value > 0.01, "ECC should look exponential, p = {}", ks.p_value);
+    assert!(
+        ks.p_value > 0.01,
+        "ECC should look exponential, p = {}",
+        ks.p_value
+    );
 
     // PBS_CHK on Liberty: episodic bug window, decidedly not
     // exponential over the whole span.
     let lib = Study::new(1.0, 0.00002, 103).run_subset(SystemId::Liberty, &["PBS_CHK"]);
-    let pbs = lib.registry.lookup(SystemId::Liberty, "PBS_CHK").expect("cat");
+    let pbs = lib
+        .registry
+        .lookup(SystemId::Liberty, "PBS_CHK")
+        .expect("cat");
     let times: Vec<Timestamp> = lib
         .filtered
         .iter()
@@ -114,7 +130,11 @@ fn ecc_is_exponential_pbs_is_not() {
     let gaps = interarrivals(&times, 1.0);
     let fit = Exponential::fit(&gaps);
     let ks = ks_test(&gaps, |x| fit.cdf(x));
-    assert!(ks.p_value < 0.01, "PBS_CHK should reject exponential, p = {}", ks.p_value);
+    assert!(
+        ks.p_value < 0.01,
+        "PBS_CHK should reject exponential, p = {}",
+        ks.p_value
+    );
 }
 
 /// Section 3.3.2: the simultaneous filter never keeps more than the
@@ -144,7 +164,10 @@ fn simultaneous_vs_serial_tradeoff() {
             any_strictly_better = true;
         }
     }
-    assert!(any_strictly_better, "simultaneous should remove extra redundancy somewhere");
+    assert!(
+        any_strictly_better,
+        "simultaneous should remove extra redundancy somewhere"
+    );
 }
 
 /// Table 2 calibration: regenerated message and alert counts track the

@@ -30,10 +30,7 @@ fn render_parse_round_trip_all_systems() {
         // Parsed timestamps are monotone modulo corruption and syslog
         // second-granularity ties.
         let msgs = reader.messages();
-        let inversions = msgs
-            .windows(2)
-            .filter(|w| w[1].time < w[0].time)
-            .count();
+        let inversions = msgs.windows(2).filter(|w| w[1].time < w[0].time).count();
         assert!(
             inversions as f64 <= 0.01 * msgs.len() as f64,
             "{sys}: {inversions} time inversions"
@@ -58,7 +55,12 @@ fn tagging_survives_text_round_trip() {
 
     // Counts agree to within the few lines corruption rejected.
     let diff = (direct.len() as i64 - reparsed.len() as i64).unsigned_abs();
-    assert!(diff <= 3, "direct {} vs reparsed {}", direct.len(), reparsed.len());
+    assert!(
+        diff <= 3,
+        "direct {} vs reparsed {}",
+        direct.len(),
+        reparsed.len()
+    );
 }
 
 /// The full study pipeline holds its invariants on every system.
@@ -120,9 +122,11 @@ fn operational_context_disambiguates_generated_alerts() {
     }
     assert_eq!(ctx.classify(first), Disposition::MaintenanceArtifact);
     // A later alert (outside the declared window) demands action.
-    if let Some(later) = tagged.alerts.iter().find(|a| {
-        a.time > first + sclog::types::Duration::from_hours(2)
-    }) {
+    if let Some(later) = tagged
+        .alerts
+        .iter()
+        .find(|a| a.time > first + sclog::types::Duration::from_hours(2))
+    {
         assert_eq!(ctx.classify(later.time), Disposition::Actionable);
     }
 }

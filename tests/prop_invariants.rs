@@ -1,79 +1,98 @@
 //! Cross-crate property tests: whole-pipeline invariants under random
 //! seeds and scales.
+//!
+//! Ported from proptest to the in-tree `sclog-testkit` harness; set
+//! `SCLOG_PROP_CASES` / `SCLOG_PROP_SEED` to rescale or replay.
 
-use proptest::prelude::*;
 use sclog::filter::{AlertFilter, SerialFilter, SpatioTemporalFilter};
 use sclog::parse::LogReader;
 use sclog::rules::RuleSet;
 use sclog::simgen::{generate, Scale};
-use sclog::types::{CategoryRegistry, SystemId};
+use sclog::types::{CategoryRegistry, SystemId, ALL_SYSTEMS};
+use sclog_testkit::{check_n, Gen};
 
-fn any_system() -> impl Strategy<Value = SystemId> {
-    prop_oneof![
-        Just(SystemId::BlueGeneL),
-        Just(SystemId::Thunderbird),
-        Just(SystemId::RedStorm),
-        Just(SystemId::Spirit),
-        Just(SystemId::Liberty),
-    ]
+fn any_system(g: &mut Gen) -> SystemId {
+    *g.pick(&ALL_SYSTEMS)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// The generation step dominates runtime, so these pipeline properties
+/// run fewer cases than the suite default (matching the old
+/// `ProptestConfig::with_cases(12)`).
+const PIPELINE_CASES: u64 = 12;
 
-    #[test]
-    fn pipeline_invariants_hold_for_any_seed(
-        sys in any_system(),
-        seed in 0u64..10_000,
-    ) {
-        let log = generate(sys, Scale::new(0.001, 0.00005), seed);
-        // Messages sorted.
-        prop_assert!(log.messages.windows(2).all(|w| w[0].time <= w[1].time));
-        // Truth arrays parallel.
-        prop_assert_eq!(log.messages.len(), log.truth.len());
+#[test]
+fn pipeline_invariants_hold_for_any_seed() {
+    check_n(
+        "pipeline invariants hold for any seed",
+        PIPELINE_CASES,
+        |g| {
+            let sys = any_system(g);
+            let seed = g.below(10_000);
+            let log = generate(sys, Scale::new(0.001, 0.00005), seed);
+            // Messages sorted.
+            assert!(log.messages.windows(2).all(|w| w[0].time <= w[1].time));
+            // Truth arrays parallel.
+            assert_eq!(log.messages.len(), log.truth.len());
 
-        let mut registry = CategoryRegistry::new();
-        let rules = RuleSet::builtin(sys, &mut registry);
-        let mut tagged = rules.tag_messages(&log.messages, &log.interner);
-        tagged.attach_truth(&log.truth);
+            let mut registry = CategoryRegistry::new();
+            let rules = RuleSet::builtin(sys, &mut registry);
+            let mut tagged = rules.tag_messages(&log.messages, &log.interner);
+            tagged.attach_truth(&log.truth);
 
-        // Tagged alerts reference valid messages, in order.
-        prop_assert!(tagged.alerts.windows(2).all(|w| w[0].message_index < w[1].message_index));
-        for a in &tagged.alerts {
-            prop_assert!(a.message_index < log.messages.len());
-            prop_assert_eq!(a.time, log.messages[a.message_index].time);
-        }
+            // Tagged alerts reference valid messages, in order.
+            assert!(tagged
+                .alerts
+                .windows(2)
+                .all(|w| w[0].message_index < w[1].message_index));
+            for a in &tagged.alerts {
+                assert!(a.message_index < log.messages.len());
+                assert_eq!(a.time, log.messages[a.message_index].time);
+            }
 
-        // Filter laws: subsequence, idempotence, simultaneous ≤ serial.
-        let simul = SpatioTemporalFilter::paper().filter(&tagged.alerts);
-        let serial = SerialFilter::paper().filter(&tagged.alerts);
-        prop_assert!(simul.len() <= serial.len());
-        prop_assert_eq!(&SpatioTemporalFilter::paper().filter(&simul), &simul);
-        prop_assert!(simul.len() <= tagged.alerts.len());
-    }
+            // Filter laws: subsequence, idempotence, simultaneous ≤ serial.
+            let simul = SpatioTemporalFilter::paper().filter(&tagged.alerts);
+            let serial = SerialFilter::paper().filter(&tagged.alerts);
+            assert!(simul.len() <= serial.len());
+            assert_eq!(SpatioTemporalFilter::paper().filter(&simul), simul);
+            assert!(simul.len() <= tagged.alerts.len());
+        },
+    );
+}
 
-    #[test]
-    fn rendered_logs_always_reparse(
-        sys in any_system(),
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn rendered_logs_always_reparse() {
+    check_n("rendered logs always reparse", PIPELINE_CASES, |g| {
+        let sys = any_system(g);
+        let seed = g.below(10_000);
         let log = generate(sys, Scale::new(0.0005, 0.00005), seed);
         let text = log.render();
         let mut reader = LogReader::for_system(sys);
         reader.push_text(&text);
         let stats = reader.stats();
-        prop_assert_eq!(stats.total(), log.messages.len() as u64);
-        prop_assert!(stats.parsed as f64 >= 0.99 * log.messages.len() as f64,
-            "parsed {} of {}", stats.parsed, log.messages.len());
-    }
+        assert_eq!(stats.total(), log.messages.len() as u64);
+        assert!(
+            stats.parsed as f64 >= 0.99 * log.messages.len() as f64,
+            "{sys} seed {seed}: parsed {} of {}",
+            stats.parsed,
+            log.messages.len()
+        );
+    });
+}
 
-    #[test]
-    fn compression_round_trips_on_generated_logs(
-        seed in 0u64..1_000,
-    ) {
-        let log = generate(SystemId::Liberty, Scale::new(0.001, 0.00002), seed);
-        let text = log.render();
-        let tokens = sclog::parse::compress::tokenize(text.as_bytes());
-        prop_assert_eq!(sclog::parse::compress::detokenize(&tokens), text.into_bytes());
-    }
+#[test]
+fn compression_round_trips_on_generated_logs() {
+    check_n(
+        "compression round-trips on generated logs",
+        PIPELINE_CASES,
+        |g| {
+            let seed = g.below(1_000);
+            let log = generate(SystemId::Liberty, Scale::new(0.001, 0.00002), seed);
+            let text = log.render();
+            let tokens = sclog::parse::compress::tokenize(text.as_bytes());
+            assert_eq!(
+                sclog::parse::compress::detokenize(&tokens),
+                text.into_bytes()
+            );
+        },
+    );
 }

@@ -1,0 +1,41 @@
+//! Regression: parallel tagging must be byte-identical to serial
+//! tagging for every thread count, on a realistic generated log large
+//! enough to actually engage the parallel path (≥ 4096 messages).
+
+use sclog::rules::RuleSet;
+use sclog::simgen::{generate, Scale};
+use sclog::types::{CategoryRegistry, SystemId};
+
+#[test]
+fn parallel_tagging_is_identical_for_thread_counts_1_through_8() {
+    let log = generate(SystemId::Liberty, Scale::new(0.01, 0.00003), 11);
+    assert!(
+        log.messages.len() >= 4096,
+        "need enough messages to engage the parallel path, got {}",
+        log.messages.len()
+    );
+    let mut registry = CategoryRegistry::new();
+    let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+    let serial = rules.tag_messages(&log.messages, &log.interner);
+    for threads in 1..=8 {
+        let parallel = rules.tag_messages_parallel(&log.messages, &log.interner, threads);
+        assert_eq!(
+            serial.alerts, parallel.alerts,
+            "thread count {threads} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn parallel_tagging_handles_chunk_boundary_counts() {
+    // Thread counts that do not divide the message count evenly stress
+    // the base-index arithmetic of the last (short) chunk.
+    let log = generate(SystemId::Spirit, Scale::new(0.0002, 0.00002), 13);
+    let mut registry = CategoryRegistry::new();
+    let rules = RuleSet::builtin(SystemId::Spirit, &mut registry);
+    let serial = rules.tag_messages(&log.messages, &log.interner);
+    for threads in [3, 5, 7] {
+        let parallel = rules.tag_messages_parallel(&log.messages, &log.interner, threads);
+        assert_eq!(serial.alerts, parallel.alerts, "threads={threads}");
+    }
+}
