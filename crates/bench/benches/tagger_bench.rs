@@ -1,0 +1,69 @@
+//! Wall-clock benchmark for the prefiltered tagging engine.
+//!
+//! The tagging loop is the hot path of the reproduction: Section 3.2's
+//! expert rules must run over every one of the paper's 178 million
+//! lines. This bench times the Aho-Corasick-prescanned engine against
+//! the brute-force all-rules path, serial and parallel, on two
+//! workload shapes:
+//!
+//! * **Spirit** — mostly background ("mostly-untagged"), where the
+//!   prescan rejects almost every line without running a single regex;
+//! * **Liberty** — a heavier alert mix, where more lines survive the
+//!   prescan and the candidate loop does real work.
+//!
+//! Emits one JSON record per benchmark on stdout (captured in
+//! `BENCH_tagger.json` at the repo root); human-readable summaries go
+//! to stderr.
+
+use sclog_bench::{BenchGroup, HARNESS_SEED};
+use sclog_rules::RuleSet;
+use sclog_simgen::{generate, Scale};
+use sclog_types::{CategoryRegistry, SystemId};
+
+/// Threads for the parallel arms — matches the study driver's cap.
+const THREADS: usize = 4;
+
+fn bench_system(system: SystemId, scale: Scale) {
+    let log = generate(system, scale, HARNESS_SEED);
+    let mut registry = CategoryRegistry::new();
+    let rules = RuleSet::builtin(system, &mut registry);
+
+    // The two paths must agree before their speeds mean anything.
+    let pre = rules.tag_messages(&log.messages, &log.interner);
+    let brute = rules.tag_messages_unfiltered(&log.messages, &log.interner);
+    assert_eq!(
+        pre.alerts, brute.alerts,
+        "{system}: prefiltered and brute-force tagging disagree"
+    );
+    eprintln!(
+        "{system}: {} messages, {} tagged",
+        log.len(),
+        pre.alerts.len()
+    );
+
+    let name = format!("tagger_{}", format!("{system:?}").to_lowercase());
+    let mut group = BenchGroup::new(&name);
+    group.sample_size(10).throughput_elements(log.len() as u64);
+
+    group.bench("serial_prefiltered", || {
+        rules.tag_messages(&log.messages, &log.interner)
+    });
+    group.bench("serial_brute", || {
+        rules.tag_messages_unfiltered(&log.messages, &log.interner)
+    });
+    group.bench("parallel4_prefiltered", || {
+        rules.tag_messages_parallel(&log.messages, &log.interner, THREADS)
+    });
+    group.bench("parallel4_brute", || {
+        rules.tag_messages_parallel_unfiltered(&log.messages, &log.interner, THREADS)
+    });
+}
+
+fn main() {
+    // Spirit: tiny alert scale over a large background volume — the
+    // shape where almost no line matches any rule.
+    bench_system(SystemId::Spirit, Scale::new(0.00002, 0.0005));
+    // Liberty: alert-heavier mix (Liberty has only 2,452 paper
+    // alerts, so the alert scale must be much larger to tag anything).
+    bench_system(SystemId::Liberty, Scale::new(0.05, 0.0003));
+}

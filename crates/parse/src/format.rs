@@ -43,8 +43,19 @@ impl ParseContext {
 /// Implementations must round-trip: `parse(render(m))` equals `m` up to
 /// the format's timestamp granularity and severity support.
 pub trait LineFormat {
+    /// Renders a message as one log line (no trailing newline),
+    /// appending to `out`. This is the buffer-reuse primitive the
+    /// tagging hot loop uses; `out` is *not* cleared first.
+    fn render_into(&self, msg: &Message, interner: &SourceInterner, out: &mut String);
+
     /// Renders a message as one log line (no trailing newline).
-    fn render(&self, msg: &Message, interner: &SourceInterner) -> String;
+    ///
+    /// Allocating convenience wrapper over [`LineFormat::render_into`].
+    fn render(&self, msg: &Message, interner: &SourceInterner) -> String {
+        let mut out = String::new();
+        self.render_into(msg, interner, &mut out);
+        out
+    }
 
     /// Parses one line.
     ///
@@ -81,9 +92,10 @@ impl SyslogFormat {
 }
 
 impl LineFormat for SyslogFormat {
-    fn render(&self, msg: &Message, interner: &SourceInterner) -> String {
+    fn render_into(&self, msg: &Message, interner: &SourceInterner, out: &mut String) {
+        use std::fmt::Write as _;
         let host = interner.name(msg.source);
-        let ts = msg.time.to_syslog_string();
+        msg.time.write_syslog(out);
         let facility = if msg.facility.is_empty() {
             "unknown"
         } else {
@@ -91,9 +103,9 @@ impl LineFormat for SyslogFormat {
         };
         if self.severity {
             let sev = msg.severity.as_syslog().map_or("-", SyslogSeverity::name);
-            format!("{ts} {host} {sev} {facility}: {body}", body = msg.body)
+            let _ = write!(out, " {host} {sev} {facility}: {body}", body = msg.body);
         } else {
-            format!("{ts} {host} {facility}: {body}", body = msg.body)
+            let _ = write!(out, " {host} {facility}: {body}", body = msg.body);
         }
     }
 
@@ -166,19 +178,21 @@ impl LineFormat for SyslogFormat {
 pub struct BglFormat;
 
 impl LineFormat for BglFormat {
-    fn render(&self, msg: &Message, interner: &SourceInterner) -> String {
+    fn render_into(&self, msg: &Message, interner: &SourceInterner, out: &mut String) {
+        use std::fmt::Write as _;
         let sev = msg.severity.as_bgl().map_or("-", BglSeverity::name);
         let facility = if msg.facility.is_empty() {
             "UNKNOWN"
         } else {
             &msg.facility
         };
-        format!(
-            "{ts} {loc} RAS {facility} {sev} {body}",
-            ts = msg.time.to_bgl_string(),
+        msg.time.write_bgl(out);
+        let _ = write!(
+            out,
+            " {loc} RAS {facility} {sev} {body}",
             loc = interner.name(msg.source),
             body = msg.body
-        )
+        );
     }
 
     fn parse(
@@ -236,18 +250,20 @@ impl LineFormat for BglFormat {
 pub struct EventFormat;
 
 impl LineFormat for EventFormat {
-    fn render(&self, msg: &Message, interner: &SourceInterner) -> String {
+    fn render_into(&self, msg: &Message, interner: &SourceInterner, out: &mut String) {
+        use std::fmt::Write as _;
         let facility = if msg.facility.is_empty() {
             "ec_event"
         } else {
             &msg.facility
         };
-        format!(
+        let _ = write!(
+            out,
             "EV {secs} {src} {facility} {body}",
             secs = msg.time.as_secs(),
             src = interner.name(msg.source),
             body = msg.body
-        )
+        );
     }
 
     fn parse(
@@ -628,11 +644,11 @@ mod tests {
 pub struct RedStormFormat;
 
 impl LineFormat for RedStormFormat {
-    fn render(&self, msg: &Message, interner: &SourceInterner) -> String {
+    fn render_into(&self, msg: &Message, interner: &SourceInterner, out: &mut String) {
         if msg.facility.starts_with("ec_") {
-            EventFormat.render(msg, interner)
+            EventFormat.render_into(msg, interner, out)
         } else {
-            SyslogFormat::with_severity().render(msg, interner)
+            SyslogFormat::with_severity().render_into(msg, interner, out)
         }
     }
 

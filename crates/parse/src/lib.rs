@@ -56,11 +56,26 @@ pub fn format_for(system: SystemId) -> Box<dyn LineFormat> {
 /// Red Storm sub-format (syslog vs RAS event) by the facility: `ec_*`
 /// facilities ride the TCP event path.
 pub fn render_native(msg: &Message, interner: &SourceInterner) -> String {
+    let mut out = String::new();
+    render_native_into(msg, interner, &mut out);
+    out
+}
+
+/// Renders a message in its system's native line form into a
+/// caller-owned buffer, clearing it first.
+///
+/// This is the reuse path of [`render_native`]: the tagging loop calls
+/// it once per message with one long-lived `String`, so rendering
+/// 178 million lines performs no per-line buffer allocation.
+pub fn render_native_into(msg: &Message, interner: &SourceInterner, out: &mut String) {
+    out.clear();
     match msg.system {
-        SystemId::BlueGeneL => BglFormat.render(msg, interner),
-        SystemId::RedStorm if msg.facility.starts_with("ec_") => EventFormat.render(msg, interner),
-        SystemId::RedStorm => SyslogFormat::with_severity().render(msg, interner),
-        _ => SyslogFormat::plain().render(msg, interner),
+        SystemId::BlueGeneL => BglFormat.render_into(msg, interner, out),
+        SystemId::RedStorm if msg.facility.starts_with("ec_") => {
+            EventFormat.render_into(msg, interner, out)
+        }
+        SystemId::RedStorm => SyslogFormat::with_severity().render_into(msg, interner, out),
+        _ => SyslogFormat::plain().render_into(msg, interner, out),
     }
 }
 
@@ -82,6 +97,42 @@ pub fn fields(line: &str) -> Vec<&str> {
     line.split_whitespace().collect()
 }
 
+/// Computes the byte spans of a line's awk-style fields into a
+/// caller-owned buffer, clearing it first.
+///
+/// Each `(start, end)` pair indexes `line` so that
+/// `&line[start..end]` is the field; `out[0]` spans awk's `$1`. This
+/// is the reuse path of [`fields`]: spans carry no lifetime tied to
+/// the line, so one `Vec` can serve every line of a log.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_parse::field_spans;
+///
+/// let line = "a  b\tc";
+/// let mut spans = Vec::new();
+/// field_spans(line, &mut spans);
+/// let got: Vec<&str> = spans.iter().map(|&(s, e)| &line[s..e]).collect();
+/// assert_eq!(got, vec!["a", "b", "c"]);
+/// ```
+pub fn field_spans(line: &str, out: &mut Vec<(usize, usize)>) {
+    out.clear();
+    let mut start = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, i));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, line.len()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +142,34 @@ mod tests {
         assert_eq!(fields("  x   y  "), vec!["x", "y"]);
         assert!(fields("").is_empty());
         assert!(fields("   ").is_empty());
+    }
+
+    #[test]
+    fn field_spans_agree_with_fields() {
+        let mut spans = Vec::new();
+        for line in ["  x   y  ", "", "   ", "a\tb c", "naïve  plan"] {
+            field_spans(line, &mut spans);
+            let via_spans: Vec<&str> = spans.iter().map(|&(s, e)| &line[s..e]).collect();
+            assert_eq!(via_spans, fields(line), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn render_native_into_reuses_and_clears() {
+        use sclog_types::{Message, Severity, Timestamp};
+        let mut interner = SourceInterner::new();
+        let source = interner.intern("ln1");
+        let msg = Message::new(
+            SystemId::Liberty,
+            Timestamp::from_ymd_hms(2005, 3, 7, 14, 30, 5),
+            source,
+            "pbs_mom",
+            Severity::None,
+            "task_check, cannot tm_reply to 1 task 1",
+        );
+        let mut buf = String::from("stale contents");
+        render_native_into(&msg, &interner, &mut buf);
+        assert_eq!(buf, render_native(&msg, &interner));
     }
 
     #[test]

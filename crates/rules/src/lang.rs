@@ -366,6 +366,65 @@ impl Predicate {
             Predicate::Or(a, b) => a.matches_fields(line, fields) || b.matches_fields(line, fields),
         }
     }
+
+    /// Evaluates with precomputed field byte spans (see
+    /// [`sclog_parse::field_spans`]) — the buffer-reuse twin of
+    /// [`Predicate::matches_fields`]: spans carry no lifetime tied to
+    /// the line, so one `Vec` serves every line of a log.
+    pub fn matches_spans(&self, line: &str, spans: &[(usize, usize)]) -> bool {
+        match self {
+            Predicate::Line(re) => re.is_match(line),
+            Predicate::Field(0, re) => re.is_match(line),
+            Predicate::Field(n, re) => spans
+                .get(n - 1)
+                .is_some_and(|&(s, e)| re.is_match(&line[s..e])),
+            Predicate::Not(p) => !p.matches_spans(line, spans),
+            Predicate::And(a, b) => a.matches_spans(line, spans) && b.matches_spans(line, spans),
+            Predicate::Or(a, b) => a.matches_spans(line, spans) || b.matches_spans(line, spans),
+        }
+    }
+
+    /// True if evaluating the predicate ever inspects a split field
+    /// (`$N` with `N >= 1`) — lets the tag loop skip field splitting
+    /// for whole-line rules, which dominate the catalog.
+    pub fn uses_fields(&self) -> bool {
+        match self {
+            Predicate::Line(_) | Predicate::Field(0, _) => false,
+            Predicate::Field(..) => true,
+            Predicate::Not(p) => p.uses_fields(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.uses_fields() || b.uses_fields(),
+        }
+    }
+
+    /// The predicate's *required literal factors*: when `Some`, every
+    /// line the predicate matches contains at least one of the
+    /// returned strings as a substring, so an Aho-Corasick prescan
+    /// keyed on them can soundly rule the predicate out.
+    ///
+    /// A field match (`$N ~ /re/`) propagates its regex's factors
+    /// unchanged — the field is a contiguous substring of the line, so
+    /// a factor required inside the field is required in the line.
+    /// Negations guarantee nothing about presence; `&&` picks the
+    /// stronger side's obligation; `||` needs both sides to
+    /// contribute, or the whole predicate is unfilterable (`None`).
+    pub fn required_literals(&self) -> Option<Vec<String>> {
+        match self {
+            Predicate::Line(re) | Predicate::Field(_, re) => {
+                re.required_literals().map(<[String]>::to_vec)
+            }
+            Predicate::Not(_) => None,
+            Predicate::And(a, b) => {
+                crate::re::stronger_obligation(a.required_literals(), b.required_literals())
+            }
+            Predicate::Or(a, b) => {
+                let mut union = a.required_literals()?;
+                union.extend(b.required_literals()?);
+                union.sort();
+                union.dedup();
+                Some(union)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -521,6 +580,70 @@ mod tests {
         assert!(q.matches("a c"));
         assert!(q.matches("b"));
         assert!(!q.matches("a b"));
+    }
+
+    #[test]
+    fn matches_spans_agrees_with_matches_fields() {
+        let preds = [
+            "/EXT3-fs error/",
+            "($2 ~ /^foo$/)",
+            "($1 ~ /kernel/ && $2 !~ /panic/)",
+            "/a/ && (/b/ || /c/) && !/d/",
+            "($0 ~ /a b/)",
+            "($9 ~ /x/)",
+        ];
+        let lines = [
+            "kernel: EXT3-fs error (device sda5)",
+            "x foo y",
+            "kernel ok",
+            "kernel panic",
+            "a b",
+            "a c d",
+            "",
+            "   ",
+        ];
+        let mut spans = Vec::new();
+        for src in preds {
+            let p = Predicate::parse(src).unwrap();
+            for line in lines {
+                sclog_parse::field_spans(line, &mut spans);
+                assert_eq!(
+                    p.matches_spans(line, &spans),
+                    p.matches_fields(line, &sclog_parse::fields(line)),
+                    "{src} on {line:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uses_fields_detects_field_references() {
+        assert!(!Predicate::parse("/x/").unwrap().uses_fields());
+        assert!(!Predicate::parse("($0 ~ /x/)").unwrap().uses_fields());
+        assert!(Predicate::parse("($3 ~ /x/)").unwrap().uses_fields());
+        assert!(Predicate::parse("/a/ && ($2 !~ /b/)")
+            .unwrap()
+            .uses_fields());
+    }
+
+    #[test]
+    fn predicate_factors_combine_across_operators() {
+        let f = |src: &str| Predicate::parse(src).unwrap().required_literals();
+        assert_eq!(f("/EXT3-fs error/"), Some(vec!["EXT3-fs error".into()]));
+        // && keeps the stronger side.
+        assert_eq!(
+            f("($4 ~ /KERNEL/ && /kernel panic/)"),
+            Some(vec!["kernel panic".into()])
+        );
+        // || unions; a factor-less side poisons it.
+        assert_eq!(
+            f("/abc/ || /defg/"),
+            Some(vec!["abc".into(), "defg".into()])
+        );
+        assert_eq!(f("/abc/ || /[0-9]+/"), None);
+        // Negation guarantees nothing.
+        assert_eq!(f("!/abc/"), None);
+        assert_eq!(f("/abcdef/ && !/x/"), Some(vec!["abcdef".into()]));
     }
 
     #[test]

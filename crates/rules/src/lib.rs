@@ -16,6 +16,21 @@
 //! the severity-field baseline tagger the paper compares against
 //! ([`baseline`]), and the encoded rulesets for all 77 categories of
 //! Table 4 ([`mod@catalog`]).
+//!
+//! # Prescan architecture
+//!
+//! Applying up to 77 regexes to every one of 178 million lines is the
+//! hot loop of the whole reproduction, so the tagger does not run the
+//! rules directly. At ruleset construction, [`re`] extracts from each
+//! rule a *required literal factor* — a set of strings such that every
+//! matching line must contain at least one of them — and [`prefilter`]
+//! compiles all factors into a single in-tree Aho-Corasick automaton.
+//! Tagging a line is then one automaton scan producing a candidate-rule
+//! bitset; only candidate rules (plus the few factor-less rules in an
+//! always-check set) run their regexes, in catalog order, so the first
+//! match wins exactly as in the brute-force path. Per-message work is
+//! allocation-free: rendering, field splitting and the candidate set
+//! all reuse a caller-owned [`TagScratch`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +40,7 @@ pub mod catalog;
 pub mod discover;
 pub mod lang;
 pub mod loader;
+pub mod prefilter;
 pub mod re;
 pub mod tagger;
 
@@ -33,4 +49,5 @@ pub use catalog::{catalog, CategorySpec};
 pub use discover::{mine_templates, Template};
 pub use lang::{Predicate, RuleExpr};
 pub use loader::{export_builtin, parse_ruleset, render_ruleset, LoadError, RuleDef};
-pub use tagger::{RuleSet, TaggedLog};
+pub use prefilter::AhoCorasick;
+pub use tagger::{RuleSet, TagScratch, TaggedLog};

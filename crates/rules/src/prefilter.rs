@@ -1,0 +1,369 @@
+//! Multi-pattern literal prescan for the tagging engine.
+//!
+//! The paper's pipeline matches every raw line — 178 million of them
+//! across the five systems — against the expert rule catalog before
+//! filtering. Running up to 77 regexes per line is the dominant cost,
+//! and production log indexers make exactly this fast with a cheap
+//! multi-pattern literal prescan that gates the expensive matcher.
+//!
+//! This module supplies that prescan: an in-tree [`AhoCorasick`]
+//! automaton (std-only, per the workspace's hermetic zero-external-
+//! crates policy) built over the *required literal factors* extracted
+//! from every rule's patterns ([`crate::re::Regex::required_literals`]).
+//! One scan of the line yields the candidate rule set; only candidates
+//! run their Pike VMs. Rules with no extractable factor live in an
+//! always-check set, so the prescan is a pure optimization — it can
+//! never change which rule tags a line.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Sentinel for "no trie child yet" during construction.
+const ABSENT: u32 = u32::MAX;
+
+/// A byte-oriented Aho-Corasick automaton for multi-pattern substring
+/// search.
+///
+/// Construction builds the classic keyword trie, then closes it over
+/// failure links into a dense DFA: scanning is one table lookup per
+/// input byte, independent of the number of patterns. Patterns are
+/// matched as raw bytes, so UTF-8 needles work on UTF-8 haystacks.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_rules::prefilter::AhoCorasick;
+///
+/// let ac = AhoCorasick::new(["he", "she", "hers"]);
+/// let mut hits = Vec::new();
+/// ac.scan(b"ushers", |id| hits.push(id));
+/// hits.sort_unstable();
+/// hits.dedup();
+/// assert_eq!(hits, vec![0, 1, 2]); // "he", "she", "hers" all occur
+/// ```
+pub struct AhoCorasick {
+    /// Dense transition table, `next[state * 256 + byte]`.
+    next: Vec<u32>,
+    /// Pattern ids accepted on *entering* each state, closed over
+    /// failure links (a state also accepts every pattern its failure
+    /// chain accepts).
+    out: Vec<Vec<u32>>,
+    /// Number of patterns the automaton was built over.
+    patterns: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton over `patterns`; pattern ids reported by
+    /// [`AhoCorasick::scan`] are indices into this sequence.
+    ///
+    /// An empty pattern occurs trivially everywhere; it is reported
+    /// once per scanned byte plus once for the empty haystack prefix.
+    pub fn new<I, P>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        // Phase 1: the keyword trie.
+        let mut next: Vec<u32> = vec![ABSENT; 256];
+        let mut out: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut count = 0usize;
+        for (id, pat) in patterns.into_iter().enumerate() {
+            count += 1;
+            let mut state = 0usize;
+            for &b in pat.as_ref() {
+                let slot = state * 256 + b as usize;
+                state = if next[slot] == ABSENT {
+                    let fresh = out.len() as u32;
+                    next[slot] = fresh;
+                    next.resize(next.len() + 256, ABSENT);
+                    out.push(Vec::new());
+                    fresh as usize
+                } else {
+                    next[slot] as usize
+                };
+            }
+            out[state].push(id as u32);
+        }
+
+        // Phase 2: BFS failure links, folded directly into a complete
+        // goto table (missing edges jump where the failure state
+        // would), and outputs closed over the failure chain.
+        let mut fail = vec![0u32; out.len()];
+        let mut queue = VecDeque::new();
+        for b in 0..256 {
+            let t = next[b];
+            if t == ABSENT {
+                next[b] = 0;
+            } else {
+                queue.push_back(t);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let s = s as usize;
+            let f = fail[s] as usize;
+            if !out[f].is_empty() {
+                let inherited = out[f].clone();
+                out[s].extend(inherited);
+            }
+            for b in 0..256 {
+                let slot = s * 256 + b;
+                let t = next[slot];
+                if t == ABSENT {
+                    next[slot] = next[f * 256 + b];
+                } else {
+                    fail[t as usize] = next[f * 256 + b];
+                    queue.push_back(t);
+                }
+            }
+        }
+        AhoCorasick {
+            next,
+            out,
+            patterns: count,
+        }
+    }
+
+    /// Number of patterns the automaton searches for.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns
+    }
+
+    /// Scans `haystack`, invoking `on_match(pattern_id)` at every
+    /// occurrence of every pattern (a pattern occurring `k` times is
+    /// reported `k` times; callers deduplicate if they care).
+    pub fn scan(&self, haystack: &[u8], mut on_match: impl FnMut(u32)) {
+        for &id in &self.out[0] {
+            on_match(id);
+        }
+        let mut state = 0usize;
+        for &b in haystack {
+            state = self.next[state * 256 + b as usize] as usize;
+            // Empty for the vast majority of states; check before
+            // setting up the iterator.
+            if !self.out[state].is_empty() {
+                for &id in &self.out[state] {
+                    on_match(id);
+                }
+            }
+        }
+    }
+
+    /// True if any pattern occurs in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        if !self.out[0].is_empty() {
+            return true;
+        }
+        let mut state = 0usize;
+        for &b in haystack {
+            state = self.next[state * 256 + b as usize] as usize;
+            if !self.out[state].is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for AhoCorasick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AhoCorasick")
+            .field("patterns", &self.patterns)
+            .field("states", &self.out.len())
+            .finish()
+    }
+}
+
+/// The rule-level prescan: maps factor hits from one [`AhoCorasick`]
+/// scan of a line to a candidate-rule bitset.
+///
+/// Built once per [`crate::RuleSet`] from each rule's required
+/// literals; rules without factors are folded into an always-check
+/// mask so they are candidates on every line.
+pub(crate) struct RulePrefilter {
+    ac: AhoCorasick,
+    /// `factor_rules[pattern_id]` — indices of rules requiring that
+    /// factor (a factor shared by several rules is stored once).
+    factor_rules: Vec<Vec<u32>>,
+    /// Bitset over rules with no extractable factor.
+    always_mask: Vec<u64>,
+}
+
+impl RulePrefilter {
+    /// Builds the prescan from per-rule factor lists (`None` = rule
+    /// must always be checked).
+    pub(crate) fn new(rule_factors: &[Option<Vec<String>>]) -> Self {
+        let words = rule_factors.len().div_ceil(64);
+        let mut always_mask = vec![0u64; words];
+        let mut ids: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let mut patterns: Vec<&str> = Vec::new();
+        let mut factor_rules: Vec<Vec<u32>> = Vec::new();
+        for (r, f) in rule_factors.iter().enumerate() {
+            match f {
+                None => always_mask[r / 64] |= 1 << (r % 64),
+                Some(alts) => {
+                    for alt in alts {
+                        let id = *ids.entry(alt).or_insert_with(|| {
+                            patterns.push(alt);
+                            factor_rules.push(Vec::new());
+                            (patterns.len() - 1) as u32
+                        });
+                        let rules = &mut factor_rules[id as usize];
+                        if rules.last() != Some(&(r as u32)) {
+                            rules.push(r as u32);
+                        }
+                    }
+                }
+            }
+        }
+        RulePrefilter {
+            ac: AhoCorasick::new(&patterns),
+            factor_rules,
+            always_mask,
+        }
+    }
+
+    /// Fills `bits` with the candidate rule bitset for `line`: the
+    /// always-check rules plus every rule at least one of whose
+    /// factors occurs in the line.
+    pub(crate) fn candidates(&self, line: &str, bits: &mut Vec<u64>) {
+        bits.clear();
+        bits.extend_from_slice(&self.always_mask);
+        self.ac.scan(line.as_bytes(), |id| {
+            for &r in &self.factor_rules[id as usize] {
+                bits[(r / 64) as usize] |= 1 << (r % 64);
+            }
+        });
+    }
+}
+
+impl fmt::Debug for RulePrefilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let always: u32 = self.always_mask.iter().map(|w| w.count_ones()).sum();
+        f.debug_struct("RulePrefilter")
+            .field("factors", &self.factor_rules.len())
+            .field("always_check_rules", &always)
+            .field("automaton", &self.ac)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: pattern ids whose needle occurs.
+    fn naive_hits(patterns: &[&str], haystack: &str) -> Vec<u32> {
+        patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| haystack.contains(**p))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn ac_hits(patterns: &[&str], haystack: &str) -> Vec<u32> {
+        let ac = AhoCorasick::new(patterns);
+        let mut hits = Vec::new();
+        ac.scan(haystack.as_bytes(), |id| hits.push(id));
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    #[test]
+    fn classic_keyword_set() {
+        let pats = ["he", "she", "his", "hers"];
+        assert_eq!(ac_hits(&pats, "ushers"), naive_hits(&pats, "ushers"));
+        assert_eq!(ac_hits(&pats, "this"), naive_hits(&pats, "this"));
+        assert_eq!(ac_hits(&pats, "xyz"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let pats = ["aa", "aaa", "aaaa", "ab"];
+        for hay in ["aaaa", "aab", "baaab", "", "a"] {
+            assert_eq!(ac_hits(&pats, hay), naive_hits(&pats, hay), "{hay:?}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_contains_on_log_like_lines() {
+        let pats = [
+            "EXT3-fs error",
+            "task abort",
+            "kernel panic",
+            "tm_reply",
+            "error",
+        ];
+        let lines = [
+            "Mar  7 14:30:05 dn228 pbs_mom: task_check, cannot tm_reply to 4418 task 1",
+            "kernel: EXT3-fs error (device sda5)",
+            "all quiet on sn373",
+            "KERNEL FATAL kernel panic",
+        ];
+        for line in lines {
+            assert_eq!(ac_hits(&pats, line), naive_hits(&pats, line), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn utf8_needles_match_bytewise() {
+        let pats = ["naïve", "ïv"];
+        assert_eq!(ac_hits(&pats, "a naïve plan"), vec![0, 1]);
+        assert_eq!(ac_hits(&pats, "naive"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_pattern_hits_everywhere() {
+        let ac = AhoCorasick::new([""]);
+        let mut hits = 0;
+        ac.scan(b"abc", |_| hits += 1);
+        assert!(hits >= 1);
+        assert!(ac.is_match(b""));
+    }
+
+    #[test]
+    fn is_match_short_circuits() {
+        let ac = AhoCorasick::new(["needle"]);
+        assert!(ac.is_match(b"hay needle hay"));
+        assert!(!ac.is_match(b"haystack"));
+        assert_eq!(ac.pattern_count(), 1);
+    }
+
+    #[test]
+    fn prefilter_marks_candidates_and_always_check() {
+        // Rules: 0 wants "abc" or "xyz"; 1 has no factor; 2 wants "q".
+        let factors = vec![
+            Some(vec!["abc".to_string(), "xyz".to_string()]),
+            None,
+            Some(vec!["q".to_string()]),
+        ];
+        let pf = RulePrefilter::new(&factors);
+        let mut bits = Vec::new();
+        pf.candidates("zzz xyz zzz", &mut bits);
+        assert_eq!(bits[0] & 0b111, 0b011); // rule 0 hit, rule 1 always
+        pf.candidates("nothing here", &mut bits);
+        assert_eq!(bits[0] & 0b111, 0b010); // only the always-check rule
+        pf.candidates("q abc", &mut bits);
+        assert_eq!(bits[0] & 0b111, 0b111);
+    }
+
+    #[test]
+    fn prefilter_shares_duplicate_factors() {
+        // Two rules keyed on the same factor both become candidates.
+        let factors = vec![Some(vec!["dup".to_string()]), Some(vec!["dup".to_string()])];
+        let pf = RulePrefilter::new(&factors);
+        assert_eq!(pf.ac.pattern_count(), 1);
+        let mut bits = Vec::new();
+        pf.candidates("a dup b", &mut bits);
+        assert_eq!(bits[0] & 0b11, 0b11);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let ac = AhoCorasick::new(["abc"]);
+        let s = format!("{ac:?}");
+        assert!(s.contains("patterns"), "{s}");
+        assert!(!s.contains('['), "dense tables must not be dumped: {s}");
+    }
+}

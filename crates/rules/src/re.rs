@@ -9,10 +9,18 @@
 //! set ("Pike VM"), so it is linear in `pattern × text` with no
 //! backtracking blow-up.
 //!
-//! Keeping this ~400-line engine in the tree is what lets the whole
-//! workspace build offline with zero external crates; the conformance
-//! suite in `tests/re_conformance.rs` pins its behaviour on every
-//! pattern in the shipped 77-rule catalog.
+//! Beyond matching, compilation performs *literal-factor analysis*
+//! ([`Regex::required_literals`]): it extracts, where possible, a set
+//! of literal strings such that every matching text must contain at
+//! least one of them. The tagger's Aho-Corasick prescan
+//! ([`crate::prefilter`]) is keyed on these factors, so most lines
+//! never reach the NFA at all.
+//!
+//! Keeping this engine (~800 lines by now, half of them tests) in the
+//! tree is what lets the whole workspace build offline with zero
+//! external crates; the conformance suite in `tests/re_conformance.rs`
+//! pins its behaviour — match matrix and extracted literal factors —
+//! on every pattern in the shipped 77-rule catalog.
 
 use std::fmt;
 
@@ -95,6 +103,8 @@ pub struct Regex {
     /// of the 77 catalog rules are literal substrings, and the tagger
     /// runs every rule against every rendered line.
     literal: Option<String>,
+    /// Required literal factors (see [`Regex::required_literals`]).
+    factors: Option<Vec<String>>,
 }
 
 impl fmt::Debug for Regex {
@@ -124,16 +134,51 @@ impl Regex {
         let mut prog = Vec::new();
         compile(&ast, &mut prog);
         prog.push(Inst::Match);
+        let mut factors = analyze_factors(&ast).required;
+        if let Some(alts) = &mut factors {
+            alts.sort();
+            alts.dedup();
+        }
         Ok(Regex {
             pattern: pattern.to_owned(),
             prog,
             literal: literal_of(&ast),
+            factors,
         })
     }
 
     /// The source pattern.
     pub fn as_str(&self) -> &str {
         &self.pattern
+    }
+
+    /// The pattern's *required literal factors*.
+    ///
+    /// When `Some`, every text this pattern matches contains at least
+    /// one of the returned (non-empty, sorted, deduplicated) strings
+    /// as a contiguous substring — a sound gate for a multi-pattern
+    /// prescan: if none of the factors occur, `is_match` is guaranteed
+    /// to return `false`. `None` means no factor could be extracted
+    /// (e.g. `\d+`) and the pattern must always be checked.
+    ///
+    /// Factors come from the longest literal run every match must
+    /// contain; an alternation contributes one factor per branch, and
+    /// poisons extraction if any branch has none.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sclog_rules::re::Regex;
+    ///
+    /// let re = Regex::new(r"EXT[0-9]-fs (error|warning)").unwrap();
+    /// assert_eq!(
+    ///     re.required_literals().unwrap(),
+    ///     &["error".to_string(), "warning".to_string()]
+    /// );
+    /// assert!(Regex::new(r"\d+").unwrap().required_literals().is_none());
+    /// ```
+    pub fn required_literals(&self) -> Option<&[String]> {
+        self.factors.as_deref()
     }
 
     /// True if the pattern matches anywhere in `text` (unanchored).
@@ -248,6 +293,139 @@ fn literal_of(ast: &Ast) -> Option<String> {
     }
     let mut s = String::new();
     push(ast, &mut s).then_some(s)
+}
+
+/// Literal-factor analysis result for one AST node.
+struct FactorInfo {
+    /// The node's *obligation*: when `Some`, every match of the node
+    /// contains at least one of these non-empty strings as a
+    /// substring.
+    required: Option<Vec<String>>,
+    /// `Some(s)` when the node matches exactly the string `s` and
+    /// nothing else — such nodes fuse with adjacent ones into longer
+    /// literal runs inside a concatenation.
+    exact: Option<String>,
+}
+
+/// Strength of an obligation for prefiltering: the length of its
+/// weakest alternative (the prescan must hit on *any* alternative, so
+/// the shortest one bounds selectivity).
+fn obligation_score(alts: &[String]) -> usize {
+    alts.iter().map(String::len).min().unwrap_or(0)
+}
+
+/// Picks the stronger of two obligations: higher weakest-alternative
+/// length wins, then fewer alternatives. Used both for concatenation
+/// parts here and for `&&`-conjoined predicates in the rule language.
+pub(crate) fn stronger_obligation(
+    a: Option<Vec<String>>,
+    b: Option<Vec<String>>,
+) -> Option<Vec<String>> {
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            let (sx, sy) = (obligation_score(&x), obligation_score(&y));
+            if sx > sy || (sx == sy && x.len() <= y.len()) {
+                Some(x)
+            } else {
+                Some(y)
+            }
+        }
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Extracts required literal factors from an AST node.
+///
+/// Soundness invariant: if `required` is `Some(alts)`, then every text
+/// the node matches contains at least one member of `alts`. Anchors
+/// are treated as empty exact literals — they consume nothing, so the
+/// characters on either side stay adjacent in any match.
+fn analyze_factors(ast: &Ast) -> FactorInfo {
+    match ast {
+        Ast::Empty | Ast::Start | Ast::End => FactorInfo {
+            required: None,
+            exact: Some(String::new()),
+        },
+        Ast::Char(c) => FactorInfo {
+            required: Some(vec![c.to_string()]),
+            exact: Some(c.to_string()),
+        },
+        Ast::Any | Ast::Class(_) => FactorInfo {
+            required: None,
+            exact: None,
+        },
+        Ast::Concat(parts) => {
+            let mut best: Option<Vec<String>> = None;
+            let mut run = String::new();
+            let mut unbroken = true;
+            for p in parts {
+                let f = analyze_factors(p);
+                match f.exact {
+                    // Exact parts extend the current contiguous run.
+                    Some(s) => run.push_str(&s),
+                    // Anything else ends the run; the part's own
+                    // obligation still holds for the whole concat.
+                    None => {
+                        if !run.is_empty() {
+                            best = stronger_obligation(best, Some(vec![std::mem::take(&mut run)]));
+                        }
+                        run.clear();
+                        unbroken = false;
+                        best = stronger_obligation(best, f.required);
+                    }
+                }
+            }
+            let exact = unbroken.then(|| run.clone());
+            if !run.is_empty() {
+                best = stronger_obligation(best, Some(vec![run]));
+            }
+            FactorInfo {
+                required: best,
+                exact,
+            }
+        }
+        Ast::Alt(arms) => {
+            // Every branch must contribute, or a match could slip
+            // through the branch with no factor.
+            let mut union: Vec<String> = Vec::new();
+            for arm in arms {
+                match analyze_factors(arm).required {
+                    Some(alts) => union.extend(alts),
+                    None => {
+                        return FactorInfo {
+                            required: None,
+                            exact: None,
+                        }
+                    }
+                }
+            }
+            FactorInfo {
+                required: (!union.is_empty()).then_some(union),
+                exact: None,
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            let f = analyze_factors(node);
+            let exact = match (&f.exact, max) {
+                // A fixed repetition of an exact literal is itself
+                // exact (`a{3}` is "aaa").
+                (Some(s), Some(mx)) if min == mx => Some(s.repeat(*min as usize)),
+                _ => None,
+            };
+            let required = if *min >= 1 {
+                match &exact {
+                    Some(s) if !s.is_empty() => Some(vec![s.clone()]),
+                    // At least one copy of the node matches, so its
+                    // obligation carries over.
+                    _ => f.required,
+                }
+            } else {
+                None
+            };
+            FactorInfo { required, exact }
+        }
+    }
 }
 
 /// Parsed pattern AST.
@@ -819,6 +997,82 @@ mod tests {
         assert!(m("naïve", "a naïve plan"));
         assert!(m("n.ïve", "a naïve plan"));
         assert!(m("[^a]", "ü"));
+    }
+
+    fn factors(pat: &str) -> Option<Vec<String>> {
+        Regex::new(pat)
+            .unwrap()
+            .required_literals()
+            .map(<[String]>::to_vec)
+    }
+
+    fn lits(xs: &[&str]) -> Option<Vec<String>> {
+        Some(xs.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn factor_of_pure_literal_is_itself() {
+        assert_eq!(factors("EXT3-fs error"), lits(&["EXT3-fs error"]));
+        assert_eq!(factors(r"gm_parity\.c"), lits(&["gm_parity.c"]));
+        assert_eq!(factors(""), None);
+    }
+
+    #[test]
+    fn factor_picks_longest_run_across_gaps() {
+        assert_eq!(
+            factors("mptscsih: .* attempting task abort"),
+            lits(&[" attempting task abort"])
+        );
+        assert_eq!(factors(r"link \d+ down"), lits(&["link "]));
+        assert_eq!(factors("a[0-9]bcdef"), lits(&["bcdef"]));
+    }
+
+    #[test]
+    fn factor_ignores_anchors_and_keeps_adjacency() {
+        assert_eq!(factors("^foo bar$"), lits(&["foo bar"]));
+        assert_eq!(factors("^$"), None);
+    }
+
+    #[test]
+    fn alternation_contributes_one_factor_per_branch() {
+        assert_eq!(factors("(error|warning): disk"), lits(&[": disk"]));
+        assert_eq!(factors("error|warning"), lits(&["error", "warning"]));
+        // A factor-less branch poisons the whole alternation.
+        assert_eq!(factors(r"error|\d+"), None);
+    }
+
+    #[test]
+    fn repetition_factors() {
+        assert_eq!(factors("a{3}"), lits(&["aaa"]));
+        assert_eq!(factors("(ab)+x"), lits(&["ab"]));
+        assert_eq!(factors("x(abc)?y"), lits(&["x"]));
+        assert_eq!(factors("a*"), None);
+        assert_eq!(factors(r"\d+"), None);
+    }
+
+    #[test]
+    fn factors_are_sound_on_random_matching_texts() {
+        // Every pattern with factors: any text it matches must contain
+        // one of them (checked on a few handmade matching texts).
+        let cases = [
+            ("EXT[0-9]-fs (error|warning)", "x EXT3-fs warning y"),
+            (
+                "mptscsih: .* attempting task abort",
+                "mptscsih: io attempting task abort!",
+            ),
+            ("^foo|bar$", "xbar"),
+            ("a{2,4}b", "caaab"),
+        ];
+        for (pat, text) in cases {
+            let re = Regex::new(pat).unwrap();
+            assert!(re.is_match(text), "{pat} should match {text}");
+            if let Some(f) = re.required_literals() {
+                assert!(
+                    f.iter().any(|l| text.contains(l.as_str())),
+                    "factors {f:?} of /{pat}/ absent from matching text {text:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,28 @@
 //! The tagging engine: applies a system's ruleset to parsed messages.
+//!
+//! Tagging is the pipeline's hot path — the paper runs every one of
+//! its 178 million raw lines through the expert rule catalog — so the
+//! engine is built around two ideas:
+//!
+//! * **Prefiltered matching.** Compiling a [`RuleSet`] extracts each
+//!   rule's required literal factors and builds one Aho-Corasick
+//!   prescan over all of them ([`crate::prefilter`]). Tagging a line
+//!   scans it once, yielding a candidate-rule bitset; only candidates
+//!   (plus the few rules with no extractable factor) run their
+//!   regexes, still in catalog order so first-match-wins semantics
+//!   are unchanged. [`RuleSet::tag_line_unfiltered`] keeps the
+//!   brute-force path as the reference for equivalence tests and
+//!   benchmarks.
+//! * **Scratch reuse.** [`TagScratch`] owns the rendered-line buffer,
+//!   the field spans, and the candidate bitset, so the per-message
+//!   loop ([`RuleSet::tag_message_with`]) performs no per-line
+//!   allocation. [`RuleSet::tag_messages_parallel`] threads one
+//!   scratch per worker.
 
 use crate::catalog::{catalog, CategorySpec};
 use crate::lang::Predicate;
-use sclog_parse::render_native;
+use crate::prefilter::RulePrefilter;
+use sclog_parse::{field_spans, render_native, render_native_into};
 use sclog_types::{Alert, CategoryId, CategoryRegistry, Message, SourceInterner, SystemId};
 
 /// One compiled rule within a [`RuleSet`].
@@ -10,6 +30,46 @@ use sclog_types::{Alert, CategoryId, CategoryRegistry, Message, SourceInterner, 
 struct CompiledRule {
     predicate: Predicate,
     category: CategoryId,
+    /// Whether the predicate inspects split fields (`$N`, `N >= 1`);
+    /// whole-line rules skip field splitting entirely.
+    uses_fields: bool,
+}
+
+/// Reusable per-worker scratch for the tagging hot loop.
+///
+/// Owns the rendered-line buffer, the field spans, and the candidate
+/// bitset, so tagging a message allocates nothing once the buffers
+/// have warmed up. Create one per thread and pass it to
+/// [`RuleSet::tag_message_with`] / [`RuleSet::tag_line_with`].
+///
+/// # Examples
+///
+/// ```
+/// use sclog_rules::{RuleSet, TagScratch};
+/// use sclog_types::{CategoryRegistry, SystemId};
+///
+/// let mut registry = CategoryRegistry::new();
+/// let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+/// let mut scratch = TagScratch::new();
+/// let line = "Mar  7 14:30:05 dn228 pbs_mom: task_check, cannot tm_reply to 4418 task 1";
+/// let cat = rules.tag_line_with(line, &mut scratch).expect("should tag");
+/// assert_eq!(registry.name(cat), "PBS_CHK");
+/// ```
+#[derive(Debug, Default)]
+pub struct TagScratch {
+    /// Rendered native line (reused across messages).
+    line: String,
+    /// Field byte spans of the current line.
+    spans: Vec<(usize, usize)>,
+    /// Candidate rule bitset filled by the prescan.
+    candidates: Vec<u64>,
+}
+
+impl TagScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A compiled per-system ruleset.
@@ -34,6 +94,7 @@ struct CompiledRule {
 pub struct RuleSet {
     system: SystemId,
     rules: Vec<CompiledRule>,
+    prefilter: RulePrefilter,
 }
 
 impl RuleSet {
@@ -71,12 +132,13 @@ impl RuleSet {
                     .unwrap_or_else(|e| panic!("rule {} failed to compile: {e}", spec.name));
                 let category = registry.register(spec.name, system, spec.alert_type);
                 CompiledRule {
+                    uses_fields: predicate.uses_fields(),
                     predicate,
                     category,
                 }
             })
             .collect();
-        RuleSet { system, rules }
+        Self::with_rules(system, rules)
     }
 
     /// Compiles a ruleset from owned definitions (see
@@ -93,12 +155,27 @@ impl RuleSet {
                     .unwrap_or_else(|e| panic!("rule {} failed to compile: {e}", d.name));
                 let category = registry.register(&d.name, system, d.alert_type);
                 CompiledRule {
+                    uses_fields: predicate.uses_fields(),
                     predicate,
                     category,
                 }
             })
             .collect();
-        RuleSet { system, rules }
+        Self::with_rules(system, rules)
+    }
+
+    /// Finishes construction: builds the literal-factor prescan over
+    /// the compiled rules.
+    fn with_rules(system: SystemId, rules: Vec<CompiledRule>) -> Self {
+        let factors: Vec<Option<Vec<String>>> = rules
+            .iter()
+            .map(|r| r.predicate.required_literals())
+            .collect();
+        RuleSet {
+            system,
+            prefilter: RulePrefilter::new(&factors),
+            rules,
+        }
     }
 
     /// The system this ruleset belongs to.
@@ -118,7 +195,29 @@ impl RuleSet {
 
     /// Tags one rendered log line, returning the first matching rule's
     /// category.
+    ///
+    /// Allocating convenience wrapper over [`RuleSet::tag_line_with`];
+    /// loops should hold one [`TagScratch`] and use that instead.
     pub fn tag_line(&self, line: &str) -> Option<CategoryId> {
+        self.tag_line_with(line, &mut TagScratch::new())
+    }
+
+    /// Tags one rendered log line using caller-owned scratch buffers:
+    /// one Aho-Corasick prescan yields the candidate rules, and only
+    /// those run their regexes, in catalog order (first match wins).
+    pub fn tag_line_with(&self, line: &str, scratch: &mut TagScratch) -> Option<CategoryId> {
+        let TagScratch {
+            spans, candidates, ..
+        } = scratch;
+        self.tag_line_parts(line, spans, candidates)
+    }
+
+    /// Tags one rendered log line by checking every rule, with no
+    /// prescan — the brute-force reference path the prefiltered
+    /// engine is property-tested against (and benchmarked against in
+    /// `tagger_bench`). Behaviour is identical by construction of the
+    /// always-check set; speed is not.
+    pub fn tag_line_unfiltered(&self, line: &str) -> Option<CategoryId> {
         let fields = sclog_parse::fields(line);
         self.rules
             .iter()
@@ -126,9 +225,63 @@ impl RuleSet {
             .map(|r| r.category)
     }
 
+    /// The prefiltered tag loop on split scratch parts (split so the
+    /// rendered line can live in the same [`TagScratch`]).
+    fn tag_line_parts(
+        &self,
+        line: &str,
+        spans: &mut Vec<(usize, usize)>,
+        candidates: &mut Vec<u64>,
+    ) -> Option<CategoryId> {
+        self.prefilter.candidates(line, candidates);
+        let mut have_spans = false;
+        for (w, &word) in candidates.iter().enumerate() {
+            let mut word = word;
+            // Walk set bits in ascending order — bit order is catalog
+            // order, preserving first-match-wins semantics.
+            while word != 0 {
+                let idx = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let rule = &self.rules[idx];
+                if rule.uses_fields && !have_spans {
+                    field_spans(line, spans);
+                    have_spans = true;
+                }
+                if rule.predicate.matches_spans(line, spans) {
+                    return Some(rule.category);
+                }
+            }
+        }
+        None
+    }
+
     /// Tags a message by rendering it in its native format first.
+    ///
+    /// Allocating convenience wrapper over
+    /// [`RuleSet::tag_message_with`].
     pub fn tag_message(&self, msg: &Message, interner: &SourceInterner) -> Option<CategoryId> {
-        self.tag_line(&render_native(msg, interner))
+        self.tag_message_with(msg, interner, &mut TagScratch::new())
+    }
+
+    /// Tags a message using caller-owned scratch: the native line is
+    /// rendered into the scratch's reused buffer, then tagged through
+    /// the prescan. The per-message loop built on this is
+    /// allocation-free once the scratch has warmed up.
+    pub fn tag_message_with(
+        &self,
+        msg: &Message,
+        interner: &SourceInterner,
+        scratch: &mut TagScratch,
+    ) -> Option<CategoryId> {
+        // Split borrows: the rendered line lives next to the span and
+        // candidate buffers the tag loop writes into.
+        let TagScratch {
+            line,
+            spans,
+            candidates,
+        } = scratch;
+        render_native_into(msg, interner, line);
+        self.tag_line_parts(line, spans, candidates)
     }
 
     /// Tags every message, producing the alert sequence.
@@ -136,9 +289,28 @@ impl RuleSet {
     /// Messages are expected in time order (as logs are); the returned
     /// alerts preserve that order.
     pub fn tag_messages(&self, messages: &[Message], interner: &SourceInterner) -> TaggedLog {
+        let mut scratch = TagScratch::new();
         let mut alerts = Vec::new();
         for (i, msg) in messages.iter().enumerate() {
-            if let Some(category) = self.tag_message(msg, interner) {
+            if let Some(category) = self.tag_message_with(msg, interner, &mut scratch) {
+                alerts.push(Alert::new(msg.time, msg.source, category, i));
+            }
+        }
+        TaggedLog { alerts }
+    }
+
+    /// Tags every message through the brute-force all-rules path (no
+    /// prescan, no buffer reuse) — the reference implementation for
+    /// equivalence tests and the benchmark baseline.
+    pub fn tag_messages_unfiltered(
+        &self,
+        messages: &[Message],
+        interner: &SourceInterner,
+    ) -> TaggedLog {
+        let mut alerts = Vec::new();
+        for (i, msg) in messages.iter().enumerate() {
+            let line = render_native(msg, interner);
+            if let Some(category) = self.tag_line_unfiltered(&line) {
                 alerts.push(Alert::new(msg.time, msg.source, category, i));
             }
         }
@@ -146,7 +318,9 @@ impl RuleSet {
     }
 
     /// Tags every message using `threads` worker threads
-    /// (`std::thread::scope`; order of the result is preserved).
+    /// (`std::thread::scope`; order of the result is preserved). Each
+    /// worker gets its own [`TagScratch`] and a near-equal share of
+    /// the messages.
     ///
     /// # Panics
     ///
@@ -161,23 +335,68 @@ impl RuleSet {
         if threads == 1 || messages.len() < 4096 {
             return self.tag_messages(messages, interner);
         }
-        let chunk = messages.len().div_ceil(threads);
+        self.tag_chunked(messages, threads, |msgs, base| {
+            let mut scratch = TagScratch::new();
+            let mut out = Vec::new();
+            for (i, msg) in msgs.iter().enumerate() {
+                if let Some(category) = self.tag_message_with(msg, interner, &mut scratch) {
+                    out.push(Alert::new(msg.time, msg.source, category, base + i));
+                }
+            }
+            out
+        })
+    }
+
+    /// Parallel twin of [`RuleSet::tag_messages_unfiltered`], for the
+    /// prefilter-off arm of the benchmark matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn tag_messages_parallel_unfiltered(
+        &self,
+        messages: &[Message],
+        interner: &SourceInterner,
+        threads: usize,
+    ) -> TaggedLog {
+        assert!(threads > 0, "need at least one thread");
+        if threads == 1 || messages.len() < 4096 {
+            return self.tag_messages_unfiltered(messages, interner);
+        }
+        self.tag_chunked(messages, threads, |msgs, base| {
+            let mut out = Vec::new();
+            for (i, msg) in msgs.iter().enumerate() {
+                let line = render_native(msg, interner);
+                if let Some(category) = self.tag_line_unfiltered(&line) {
+                    out.push(Alert::new(msg.time, msg.source, category, base + i));
+                }
+            }
+            out
+        })
+    }
+
+    /// Splits `messages` into `threads` balanced chunks (sizes differ
+    /// by at most one, so no worker idles while another carries a
+    /// double share — the old `div_ceil` split could hand the last
+    /// workers short or empty chunks) and runs `work` on each in a
+    /// scoped thread.
+    fn tag_chunked<F>(&self, messages: &[Message], threads: usize, work: F) -> TaggedLog
+    where
+        F: Fn(&[Message], usize) -> Vec<Alert> + Sync,
+    {
+        let base_len = messages.len() / threads;
+        let extra = messages.len() % threads;
         let mut partials: Vec<Vec<Alert>> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = messages
-                .chunks(chunk)
-                .enumerate()
-                .map(|(k, msgs)| {
-                    scope.spawn(move || {
-                        let base = k * chunk;
-                        let mut out = Vec::new();
-                        for (i, msg) in msgs.iter().enumerate() {
-                            if let Some(category) = self.tag_message(msg, interner) {
-                                out.push(Alert::new(msg.time, msg.source, category, base + i));
-                            }
-                        }
-                        out
-                    })
+            let work = &work;
+            let mut start = 0;
+            let handles: Vec<_> = (0..threads)
+                .map(|k| {
+                    let size = base_len + usize::from(k < extra);
+                    let base = start;
+                    start += size;
+                    let msgs = &messages[base..base + size];
+                    scope.spawn(move || work(msgs, base))
                 })
                 .collect();
             for h in handles {

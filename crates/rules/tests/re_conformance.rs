@@ -23,6 +23,11 @@ const GOLDEN_PATH: &str = concat!(
     "/tests/golden/re_conformance.txt"
 );
 
+const FACTORS_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/literal_factors.txt"
+);
+
 /// Collects the regex pattern literals of a rule expression, in
 /// source order.
 fn patterns(expr: &RuleExpr, out: &mut Vec<String>) {
@@ -106,6 +111,52 @@ fn matrix_covers_all_77_rules() {
     rules.dedup();
     assert_eq!(rules.len(), sclog_rules::catalog::total_categories());
     assert_eq!(rules.len(), 77, "the paper's 77 categories");
+}
+
+/// Renders the literal-factor table: one line per catalog rule with
+/// the required literals the prescan extracts from its predicate
+/// (`<none>` marks always-check rules).
+fn render_factors() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# required literal factors: system<TAB>rule<TAB>factors (| separated, <none> = always-check)\n",
+    );
+    for &sys in &ALL_SYSTEMS {
+        for spec in catalog(sys) {
+            let pred = sclog_rules::Predicate::parse(spec.rule)
+                .unwrap_or_else(|e| panic!("rule {} failed to compile: {e}", spec.name));
+            let factors = match pred.required_literals() {
+                Some(lits) => lits.join("|"),
+                None => "<none>".to_owned(),
+            };
+            out.push_str(&format!("{sys}\t{}\t{factors}\n", spec.name));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_catalog_rule_factor_matches_the_recorded_golden() {
+    let got = render_factors();
+    if std::env::var_os("SCLOG_BLESS").is_some() {
+        std::fs::write(FACTORS_GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(FACTORS_GOLDEN_PATH)
+        .expect("golden file missing; regenerate with SCLOG_BLESS=1");
+    for (g, w) in got.lines().zip(want.lines()) {
+        assert_eq!(g, w, "literal-factor table diverged");
+    }
+    assert_eq!(
+        got.lines().count(),
+        want.lines().count(),
+        "literal-factor table gained or lost rows"
+    );
+    // One row per category, all 77 present.
+    assert_eq!(
+        got.lines().filter(|l| !l.starts_with('#')).count(),
+        sclog_rules::catalog::total_categories()
+    );
 }
 
 #[test]

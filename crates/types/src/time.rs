@@ -226,17 +226,35 @@ impl Timestamp {
     /// context, one of the log-format headaches Section 3.2.1 of the
     /// paper describes.
     pub fn to_syslog_string(self) -> String {
+        let mut out = String::new();
+        self.write_syslog(&mut out);
+        out
+    }
+
+    /// Appends the syslog form to `out` without allocating — the
+    /// buffer-reuse path the per-message tagging loop renders through.
+    pub fn write_syslog(self, out: &mut String) {
+        use fmt::Write as _;
         let (_, m, d, hh, mm, ss) = self.to_civil();
-        format!("{} {:>2} {hh:02}:{mm:02}:{ss:02}", month_abbrev(m), d)
+        let _ = write!(out, "{} {d:>2} {hh:02}:{mm:02}:{ss:02}", month_abbrev(m));
     }
 
     /// Renders in the BG/L RAS form, e.g. `2005-06-03-15.42.50.363779`.
     pub fn to_bgl_string(self) -> String {
+        let mut out = String::new();
+        self.write_bgl(&mut out);
+        out
+    }
+
+    /// Appends the BG/L RAS form to `out` without allocating.
+    pub fn write_bgl(self, out: &mut String) {
+        use fmt::Write as _;
         let (y, m, d, hh, mm, ss) = self.to_civil();
-        format!(
+        let _ = write!(
+            out,
             "{y:04}-{m:02}-{d:02}-{hh:02}.{mm:02}.{ss:02}.{:06}",
             self.subsec_micros()
-        )
+        );
     }
 
     /// Renders as an ISO-8601-like string, e.g. `2005-06-03 15:42:50`.

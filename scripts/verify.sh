@@ -3,9 +3,30 @@
 # the workspace is hermetic (path-only dependencies, std-only code), so
 # --offline must always succeed. Formatting is checked too, so CI and
 # local runs agree on the tree's canonical form.
+#
+# Modes:
+#   scripts/verify.sh                the full tier-1 run (includes the
+#                                    bench smoke)
+#   scripts/verify.sh --bench-smoke  only the bench smoke: run the
+#                                    tagger bench at minimal sample
+#                                    counts to prove the harness and
+#                                    the prefiltered/brute equivalence
+#                                    assertion still hold
 set -eu
 
 cd "$(dirname "$0")/.."
+
+bench_smoke() {
+    echo "== bench smoke: tagger_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
+    SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
+        cargo bench --offline -p sclog-bench --bench tagger_bench >/dev/null
+}
+
+if [ "${1-}" = "--bench-smoke" ]; then
+    bench_smoke
+    echo "verify: OK (bench smoke)"
+    exit 0
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --check
@@ -15,5 +36,7 @@ cargo build --workspace --release --offline
 
 echo "== cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
+
+bench_smoke
 
 echo "verify: OK"
