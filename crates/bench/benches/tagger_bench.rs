@@ -45,18 +45,21 @@ fn bench_system(system: SystemId, scale: Scale) {
     let mut group = BenchGroup::new(&name);
     group.sample_size(10).throughput_elements(log.len() as u64);
 
-    group.bench("serial_prefiltered", || {
-        rules.tag_messages(&log.messages, &log.interner)
-    });
-    group.bench("serial_brute", || {
-        rules.tag_messages_unfiltered(&log.messages, &log.interner)
-    });
-    group.bench("parallel4_prefiltered", || {
-        rules.tag_messages_parallel(&log.messages, &log.interner, THREADS)
-    });
-    group.bench("parallel4_brute", || {
-        rules.tag_messages_parallel_unfiltered(&log.messages, &log.interner, THREADS)
-    });
+    // Each serial/parallel comparison interleaves its samples so the
+    // pair is measured under the same drift (frequency scaling,
+    // allocator state) rather than one arm after the other.
+    group.bench_pair(
+        "serial_prefiltered",
+        || rules.tag_messages(&log.messages, &log.interner),
+        "parallel4_prefiltered",
+        || rules.tag_messages_parallel(&log.messages, &log.interner, THREADS),
+    );
+    group.bench_pair(
+        "serial_brute",
+        || rules.tag_messages_unfiltered(&log.messages, &log.interner),
+        "parallel4_brute",
+        || rules.tag_messages_parallel_unfiltered(&log.messages, &log.interner, THREADS),
+    );
 }
 
 fn main() {

@@ -64,11 +64,15 @@ impl BenchGroup {
         self
     }
 
-    /// Times `f` and prints a human line plus a JSON record.
+    /// Times `f` and prints a human line plus a JSON record. Returns
+    /// the median nanoseconds so benches can derive cross-benchmark
+    /// metrics (e.g. a batch-vs-streaming speedup record). For an
+    /// A-vs-B comparison prefer [`BenchGroup::bench_pair`], which
+    /// interleaves the two arms' samples.
     ///
     /// The closure's return value is black-boxed to keep the optimizer
     /// from deleting the measured work.
-    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) -> u128 {
         for _ in 0..self.warmup {
             std::hint::black_box(f());
         }
@@ -78,6 +82,57 @@ impl BenchGroup {
             std::hint::black_box(f());
             nanos.push(start.elapsed().as_nanos());
         }
+        self.report(id, nanos)
+    }
+
+    /// Times two closures with interleaved samples and reports each as
+    /// its own record. Sequential arms drift apart on a busy host —
+    /// frequency scaling and allocator state shift between one arm's
+    /// samples and the next's — so any A-vs-B comparison (batch vs
+    /// streaming, serial vs parallel) should sample both under the
+    /// same conditions. The order within each round alternates
+    /// (A B, B A, A B, …): always running B after A hands B whatever
+    /// cache and scheduler state A leaves behind, a measurable
+    /// position bias on a loaded single-CPU host. Returns both
+    /// medians `(a, b)`.
+    pub fn bench_pair<T, U>(
+        &mut self,
+        id_a: &str,
+        mut fa: impl FnMut() -> T,
+        id_b: &str,
+        mut fb: impl FnMut() -> U,
+    ) -> (u128, u128) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(fa());
+            std::hint::black_box(fb());
+        }
+        let mut nanos_a: Vec<u128> = Vec::with_capacity(self.samples);
+        let mut nanos_b: Vec<u128> = Vec::with_capacity(self.samples);
+        let mut time_a = |nanos_a: &mut Vec<u128>| {
+            let start = Instant::now();
+            std::hint::black_box(fa());
+            nanos_a.push(start.elapsed().as_nanos());
+        };
+        let mut time_b = |nanos_b: &mut Vec<u128>| {
+            let start = Instant::now();
+            std::hint::black_box(fb());
+            nanos_b.push(start.elapsed().as_nanos());
+        };
+        for round in 0..self.samples {
+            if round % 2 == 0 {
+                time_a(&mut nanos_a);
+                time_b(&mut nanos_b);
+            } else {
+                time_b(&mut nanos_b);
+                time_a(&mut nanos_a);
+            }
+        }
+        (self.report(id_a, nanos_a), self.report(id_b, nanos_b))
+    }
+
+    /// Sorts the samples, prints the human line, emits the JSON record,
+    /// and returns the median.
+    fn report(&self, id: &str, mut nanos: Vec<u128>) -> u128 {
         nanos.sort_unstable();
         let min = nanos[0];
         let median = nanos[nanos.len() / 2];
@@ -109,6 +164,7 @@ impl BenchGroup {
             }
         }
         println!("{}", rec.finish());
+        median
     }
 }
 
@@ -140,5 +196,14 @@ mod tests {
         g.sample_size(3).throughput_elements(10);
         // Smoke: just make sure it runs and doesn't divide by zero.
         g.bench("noop", || 1 + 1);
+    }
+
+    #[test]
+    fn bench_pair_reports_both_arms() {
+        let mut g = BenchGroup::new("unit");
+        g.sample_size(3);
+        let (a, b) = g.bench_pair("one", || 1, "two", || 2);
+        // Timing a trivial closure still takes nonzero wall clock.
+        assert!(a > 0 && b > 0);
     }
 }

@@ -28,8 +28,10 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod pipeline;
 mod study;
 pub mod tables;
 pub mod text;
 
+pub use pipeline::{IngestConfig, IngestResult, PipelineStats};
 pub use study::{Study, SystemRun};

@@ -1,0 +1,424 @@
+//! Streaming ingestion of raw log text.
+//!
+//! Where the study pipeline tags an in-memory generated log, this
+//! module ingests *text* — the shape of the paper's real workload,
+//! 178 million raw lines — through four overlapped stages:
+//!
+//! ```text
+//!  reader thread        parse stage (caller)      TagPool      consumer thread
+//!  ─────────────        ────────────────────      ───────      ───────────────
+//!  LineChunker     ──▶  LogReader::push_line ──▶  tag the ──▶  reassemble,
+//!  (bounded text        build LineBatch           RAW line     filter stream
+//!   channel)            (spans + time/source)
+//! ```
+//!
+//! The tagging stage works on the **raw line text**, not a re-rendered
+//! message — exactly how the administrators' awk rules ran — which
+//! also skips the render that dominates batch tagging cost. Parsed
+//! `Message`s are drained per chunk and dropped once their header
+//! fields are copied into [`sclog_rules::LineRef`]s, so no stage ever
+//! holds the whole log.
+//!
+//! [`ingest_batch`] is the materialize-everything reference: identical
+//! output, whole-log working set. The equivalence of the two paths
+//! (raw-line vs rendered-message tagging included) is covered by
+//! property tests over all five systems.
+
+use super::{channel, InFlightGauge, PipelineStats, Reassembler};
+use sclog_filter::{AlertFilter, SpatioTemporalFilter};
+use sclog_parse::{LineChunker, LogReader, ParseStats};
+use sclog_rules::{LineBatch, LineRef, RuleSet, TagPool, TagScratch, TaggedLog};
+use sclog_types::{Alert, SystemId};
+use std::io::Read;
+
+/// Tuning knobs for [`ingest_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Tagging worker threads (1 = inline serial pipeline).
+    pub threads: usize,
+    /// Target bytes per text chunk (one pool batch per chunk).
+    pub chunk_bytes: usize,
+    /// Capacity of the reader→parser text channel, in chunks.
+    pub text_queue: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            threads: 1,
+            chunk_bytes: sclog_parse::DEFAULT_CHUNK_BYTES,
+            text_queue: 4,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// A config with the given worker count and default chunking.
+    pub fn with_threads(threads: usize) -> Self {
+        IngestConfig {
+            threads,
+            ..IngestConfig::default()
+        }
+    }
+}
+
+/// Everything ingestion produces.
+#[derive(Debug)]
+pub struct IngestResult {
+    /// Alerts the expert rules tagged, in message order.
+    pub tagged: TaggedLog,
+    /// Alerts surviving the spatio-temporal filter.
+    pub filtered: Vec<Alert>,
+    /// Line accounting from the parser.
+    pub parse: ParseStats,
+    /// Pipeline memory observations.
+    pub stats: PipelineStats,
+}
+
+/// Ingests raw log text from a reader through the streaming pipeline.
+///
+/// # Errors
+///
+/// Returns the first I/O error from `reader`; work completed before
+/// the error is discarded.
+///
+/// # Panics
+///
+/// Panics if `threads`, `chunk_bytes` or `text_queue` is zero.
+pub fn ingest_stream(
+    system: SystemId,
+    reader: impl Read + Send,
+    rules: &RuleSet,
+    filter: &SpatioTemporalFilter,
+    config: IngestConfig,
+) -> std::io::Result<IngestResult> {
+    assert!(config.threads > 0, "need at least one thread");
+    assert!(
+        config.text_queue > 0,
+        "text queue capacity must be positive"
+    );
+    if config.threads == 1 {
+        return ingest_serial(system, reader, rules, filter, config);
+    }
+
+    let job_cap = config.threads * sclog_rules::pool::JOBS_PER_WORKER;
+    let bound_batches = job_cap + config.threads;
+    let gauge = InFlightGauge::new();
+    let mut log_reader = LogReader::for_system(system);
+    let mut batches = 0u64;
+    let mut next_index = 0usize;
+
+    let outcome = TagPool::scope(rules, config.threads, job_cap, |pool| {
+        let (text_tx, text_rx) = channel::bounded(config.text_queue);
+        let (permit_tx, permit_rx) = channel::bounded::<()>(bound_batches);
+        let gauge = &gauge;
+        let log_reader = &mut log_reader;
+        let batches = &mut batches;
+        let next_index = &mut next_index;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for chunk in LineChunker::with_target(reader, config.chunk_bytes) {
+                    if text_tx.send(chunk).is_err() {
+                        return; // parse stage bailed on an earlier error
+                    }
+                }
+            });
+            let consumer = s.spawn(move || {
+                let mut reasm = Reassembler::new();
+                let mut alerts = Vec::new();
+                let mut filtered = Vec::new();
+                let mut stream = filter.stream();
+                while let Some(batch) = pool.recv() {
+                    reasm.push(batch.seq, batch);
+                    while let Some(b) = reasm.pop_ready() {
+                        gauge.release(b.len);
+                        let _ = permit_rx.recv();
+                        for a in b.alerts {
+                            if stream.push(&a) {
+                                filtered.push(a);
+                            }
+                            alerts.push(a);
+                        }
+                    }
+                }
+                assert!(reasm.is_drained(), "pool closed with a sequence gap");
+                (alerts, filtered)
+            });
+            let mut err = None;
+            while let Some(item) = text_rx.recv() {
+                let text = match item {
+                    Ok(text) => text,
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                };
+                let lines = parse_chunk(log_reader, &text, next_index);
+                permit_tx.send(()).expect("consumer outlives producer");
+                gauge.acquire(lines.len());
+                pool.submit_lines(LineBatch { text, lines });
+                *batches += 1;
+            }
+            drop(text_rx); // reader thread unblocks and exits
+            drop(permit_tx);
+            pool.close();
+            let (alerts, filtered) = consumer.join().expect("pipeline consumer panicked");
+            match err {
+                Some(e) => Err(e),
+                None => Ok((alerts, filtered)),
+            }
+        })
+    });
+    let (alerts, filtered) = outcome?;
+
+    Ok(IngestResult {
+        tagged: TaggedLog { alerts },
+        filtered,
+        parse: *log_reader.stats(),
+        stats: PipelineStats {
+            threads: config.threads,
+            batches,
+            peak_in_flight_batches: gauge.peak_batches(),
+            in_flight_bound_batches: bound_batches,
+            peak_in_flight_messages: gauge.peak_messages(),
+            in_flight_bound_messages: None,
+        },
+    })
+}
+
+/// The single-threaded arm: chunked read, parse, raw-line tag and
+/// filter inline — one chunk in flight by construction.
+fn ingest_serial(
+    system: SystemId,
+    reader: impl Read,
+    rules: &RuleSet,
+    filter: &SpatioTemporalFilter,
+    config: IngestConfig,
+) -> std::io::Result<IngestResult> {
+    let mut log_reader = LogReader::for_system(system);
+    let mut scratch = TagScratch::new();
+    let mut alerts = Vec::new();
+    let mut filtered = Vec::new();
+    let mut stream = filter.stream();
+    let mut next_index = 0usize;
+    let mut batches = 0u64;
+    let mut peak = 0usize;
+    for chunk in LineChunker::with_target(reader, config.chunk_bytes) {
+        let text = chunk?;
+        let lines = parse_chunk(&mut log_reader, &text, &mut next_index);
+        batches += 1;
+        peak = peak.max(lines.len());
+        for line in &lines {
+            let raw = &text[line.start..line.end];
+            if let Some(category) = rules.tag_line_with(raw, &mut scratch) {
+                let alert = Alert::new(line.time, line.source, category, line.index);
+                if stream.push(&alert) {
+                    filtered.push(alert);
+                }
+                alerts.push(alert);
+            }
+        }
+    }
+    Ok(IngestResult {
+        tagged: TaggedLog { alerts },
+        filtered,
+        parse: *log_reader.stats(),
+        stats: PipelineStats {
+            threads: 1,
+            batches,
+            peak_in_flight_batches: 1.min(batches as usize),
+            in_flight_bound_batches: 1,
+            peak_in_flight_messages: peak,
+            in_flight_bound_messages: None,
+        },
+    })
+}
+
+/// Parses one text chunk line by line, returning a [`LineRef`] per
+/// accepted line (span in `text` plus the parsed header fields).
+/// Line splitting matches [`str::lines`]: `\n`-separated, a trailing
+/// `\r` stripped from both the parsed text and the recorded span.
+fn parse_chunk(reader: &mut LogReader, text: &str, next_index: &mut usize) -> Vec<LineRef> {
+    let mut spans = Vec::new();
+    let mut pos = 0usize;
+    for piece in text.split('\n') {
+        if pos == text.len() {
+            break; // trailing empty piece after a final newline
+        }
+        let start = pos;
+        pos += piece.len() + 1;
+        let line = piece.strip_suffix('\r').unwrap_or(piece);
+        if reader.push_line(line).is_some() {
+            spans.push((start, start + line.len()));
+        }
+    }
+    let messages = reader.take_messages();
+    debug_assert_eq!(messages.len(), spans.len());
+    spans
+        .into_iter()
+        .zip(messages)
+        .map(|((start, end), msg)| {
+            let index = *next_index;
+            *next_index += 1;
+            LineRef {
+                start,
+                end,
+                index,
+                time: msg.time,
+                source: msg.source,
+            }
+        })
+        .collect()
+}
+
+/// The materialized reference path: parse everything, tag the rendered
+/// messages, filter once — identical output to [`ingest_stream`], with
+/// the whole log as its working set (reflected in the returned stats).
+pub fn ingest_batch(
+    system: SystemId,
+    text: &str,
+    rules: &RuleSet,
+    filter: &SpatioTemporalFilter,
+    threads: usize,
+) -> IngestResult {
+    let mut reader = LogReader::for_system(system);
+    reader.push_text(text);
+    let (messages, ctx, parse) = reader.into_parts();
+    let tagged = rules.tag_messages_parallel(&messages, &ctx.interner, threads);
+    let filtered = filter.filter(&tagged.alerts);
+    let n = messages.len();
+    IngestResult {
+        tagged,
+        filtered,
+        parse,
+        stats: PipelineStats {
+            threads,
+            batches: 1,
+            peak_in_flight_batches: 1,
+            in_flight_bound_batches: 1,
+            peak_in_flight_messages: n,
+            in_flight_bound_messages: Some(n),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_simgen::Scale;
+    use sclog_types::CategoryRegistry;
+
+    fn liberty_text() -> String {
+        sclog_simgen::generate(SystemId::Liberty, Scale::new(0.01, 0.0002), 17).render()
+    }
+
+    fn liberty_rules() -> (RuleSet, CategoryRegistry) {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        (rules, registry)
+    }
+
+    #[test]
+    fn stream_matches_batch_on_rendered_log() {
+        let text = liberty_text();
+        let (rules, _) = liberty_rules();
+        let filter = SpatioTemporalFilter::paper();
+        let batch = ingest_batch(SystemId::Liberty, &text, &rules, &filter, 1);
+        for threads in [1, 2, 4] {
+            let config = IngestConfig {
+                threads,
+                chunk_bytes: 8 * 1024,
+                text_queue: 3,
+            };
+            let stream =
+                ingest_stream(SystemId::Liberty, text.as_bytes(), &rules, &filter, config).unwrap();
+            assert_eq!(stream.tagged.alerts, batch.tagged.alerts, "t={threads}");
+            assert_eq!(stream.filtered, batch.filtered, "t={threads}");
+            assert_eq!(stream.parse, batch.parse, "t={threads}");
+            assert!(stream.stats.peak_in_flight_batches <= stream.stats.in_flight_bound_batches);
+            assert!(
+                stream.stats.peak_in_flight_messages < batch.stats.peak_in_flight_messages,
+                "streaming working set beats whole-log materialization"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_output() {
+        let text = liberty_text();
+        let (rules, _) = liberty_rules();
+        let filter = SpatioTemporalFilter::paper();
+        let reference = ingest_stream(
+            SystemId::Liberty,
+            text.as_bytes(),
+            &rules,
+            &filter,
+            IngestConfig::default(),
+        )
+        .unwrap();
+        for chunk_bytes in [64, 1024, 1 << 20] {
+            let config = IngestConfig {
+                threads: 2,
+                chunk_bytes,
+                text_queue: 2,
+            };
+            let run =
+                ingest_stream(SystemId::Liberty, text.as_bytes(), &rules, &filter, config).unwrap();
+            assert_eq!(
+                run.tagged.alerts, reference.tagged.alerts,
+                "c={chunk_bytes}"
+            );
+            assert_eq!(run.filtered, reference.filtered, "c={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn io_error_propagates_from_stream() {
+        struct FailAfter(usize);
+        impl Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::other("link down"));
+                }
+                self.0 -= 1;
+                let line = b"Dec 12 00:00:01 ln1 kernel: hello\n";
+                buf[..line.len()].copy_from_slice(line);
+                Ok(line.len())
+            }
+        }
+        let (rules, _) = liberty_rules();
+        let filter = SpatioTemporalFilter::paper();
+        for threads in [1, 2] {
+            let config = IngestConfig {
+                threads,
+                chunk_bytes: 16,
+                text_queue: 2,
+            };
+            let err = ingest_stream(SystemId::Liberty, FailAfter(3), &rules, &filter, config)
+                .unwrap_err();
+            assert_eq!(err.to_string(), "link down", "t={threads}");
+        }
+    }
+
+    #[test]
+    fn rejected_lines_are_counted_not_tagged() {
+        let text = "Dec 12 00:00:01 ln1 pbs_mom: task_check, cannot tm_reply to 9 task 1\n\
+                    total garbage\n\
+                    \n";
+        let (rules, _) = liberty_rules();
+        let filter = SpatioTemporalFilter::paper();
+        let run = ingest_stream(
+            SystemId::Liberty,
+            text.as_bytes(),
+            &rules,
+            &filter,
+            IngestConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.parse.parsed, 1);
+        assert_eq!(run.parse.rejected(), 1);
+        assert_eq!(run.parse.empty, 1);
+        assert_eq!(run.tagged.alerts.len(), 1);
+        assert_eq!(run.tagged.alerts[0].message_index, 0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The streaming bounded-memory pipeline.
+//!
+//! `Study::run` used to be three fully-materialized batch passes —
+//! tag the whole log, attach all truth, filter all alerts — so peak
+//! memory was the whole log's alerts and no stage overlapped another.
+//! This module runs the same stages over *bounded batches*:
+//!
+//! ```text
+//!  producer (main thread)          TagPool workers          consumer thread
+//!  ────────────────────────        ────────────────         ────────────────────
+//!  chunk messages ──permit──▶      render + tag      ──▶    Reassembler (by seq)
+//!        │     bounded queue       fuse ground truth          │ in order
+//!        ▼                         (one TagScratch             ▼
+//!  blocks when the pool             per worker)          SpatioTemporalStream
+//!  is saturated ◀──────────── backpressure ─────────────  filtered alerts out
+//! ```
+//!
+//! Order and results are bit-identical to the batch path at any thread
+//! count and chunk size: workers may finish out of order, but the
+//! [`Reassembler`] releases batches strictly in submission order, and
+//! within a batch alerts keep message order, so the filter sees the
+//! exact sequence the batch path would produce.
+//!
+//! In-flight data is bounded end to end: the pool's job queue bounds
+//! *submitted* batches, and a permit [`channel`] bounds *unprocessed*
+//! batches (submitted but not yet filtered), so a fast producer blocks
+//! instead of buffering. [`PipelineStats`] reports the measured peak
+//! against the configured bound.
+
+pub mod channel;
+mod ingest;
+
+pub use ingest::{ingest_batch, ingest_stream, IngestConfig, IngestResult};
+
+use sclog_filter::SpatioTemporalFilter;
+use sclog_rules::{RuleSet, TagScratch, TaggedLog};
+use sclog_types::{Alert, FailureId, Message, SourceInterner};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default messages per tagging batch.
+pub const DEFAULT_CHUNK_MESSAGES: usize = 4096;
+
+/// Restores submission order over out-of-order completions.
+///
+/// Push items keyed by their submission sequence number; pop releases
+/// them strictly in `0, 1, 2, …` order, holding early arrivals until
+/// their predecessors land.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_core::pipeline::Reassembler;
+///
+/// let mut r = Reassembler::new();
+/// r.push(1, "b");
+/// assert_eq!(r.pop_ready(), None, "0 has not arrived yet");
+/// r.push(0, "a");
+/// assert_eq!(r.pop_ready(), Some("a"));
+/// assert_eq!(r.pop_ready(), Some("b"));
+/// assert_eq!(r.pop_ready(), None);
+/// ```
+#[derive(Debug)]
+pub struct Reassembler<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> Reassembler<T> {
+    /// Creates an empty reassembler expecting sequence number 0 first.
+    pub fn new() -> Self {
+        Reassembler {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a completed item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` was already delivered or registered (a
+    /// double-completion bug upstream).
+    pub fn push(&mut self, seq: u64, item: T) {
+        assert!(seq >= self.next, "sequence {seq} already delivered");
+        let prev = self.pending.insert(seq, item);
+        assert!(prev.is_none(), "sequence {seq} registered twice");
+    }
+
+    /// Releases the next in-order item, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<T> {
+        let item = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(item)
+    }
+
+    /// Items held out of order, waiting for a predecessor.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether every pushed item has been popped.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<T> Default for Reassembler<T> {
+    fn default() -> Self {
+        Reassembler::new()
+    }
+}
+
+/// What the pipeline observed about its own memory behaviour.
+///
+/// "In flight" counts work submitted to the pool but not yet released
+/// by the in-order consumer — the pipeline's working set. The batch
+/// bound is hard: a permit channel of that capacity gates submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Worker threads used (1 = inline serial path).
+    pub threads: usize,
+    /// Batches submitted over the run.
+    pub batches: u64,
+    /// Highest number of batches in flight at once.
+    pub peak_in_flight_batches: usize,
+    /// The permit-channel capacity bounding
+    /// [`PipelineStats::peak_in_flight_batches`].
+    pub in_flight_bound_batches: usize,
+    /// Highest number of messages in flight at once.
+    pub peak_in_flight_messages: usize,
+    /// Message-level bound, when batches have a fixed message count
+    /// (the study pipeline); `None` for byte-chunked ingestion, where
+    /// only the batch-level bound is configured.
+    pub in_flight_bound_messages: Option<usize>,
+}
+
+/// Tags and filters a message slice through the streaming pipeline,
+/// with ground truth fused into the tag loop when given.
+///
+/// Returns the tagged log (truth already attached), the filtered
+/// alerts, and the pipeline's memory observations. Output is
+/// bit-identical to `tag_messages` + `attach_truth` + batch filter for
+/// every `threads`/`chunk` combination.
+///
+/// # Panics
+///
+/// Panics if `threads` or `chunk` is zero, or if `truth` is present
+/// with a length different from `messages`.
+pub fn tag_filter_stream(
+    rules: &RuleSet,
+    messages: &[Message],
+    interner: &SourceInterner,
+    truth: Option<&[Option<FailureId>]>,
+    filter: &SpatioTemporalFilter,
+    threads: usize,
+    chunk: usize,
+) -> (TaggedLog, Vec<Alert>, PipelineStats) {
+    assert!(threads > 0, "need at least one thread");
+    assert!(chunk > 0, "chunk size must be positive");
+    if let Some(t) = truth {
+        assert_eq!(t.len(), messages.len(), "truth must align with messages");
+    }
+    if threads == 1 {
+        return tag_filter_serial(rules, messages, interner, truth, filter, chunk);
+    }
+
+    let job_cap = threads * sclog_rules::pool::JOBS_PER_WORKER;
+    // Unprocessed batches: queued jobs + one per busy worker (the
+    // consumer's reassembly window can never hold more, since an
+    // out-of-order completion still occupies its submission permit).
+    let bound_batches = job_cap + threads;
+    let gauge = InFlightGauge::new();
+    let mut batches = 0u64;
+
+    let (alerts, filtered) = sclog_rules::TagPool::scope(rules, threads, job_cap, |pool| {
+        let (permit_tx, permit_rx) = channel::bounded::<()>(bound_batches);
+        let gauge = &gauge;
+        std::thread::scope(|s| {
+            let consumer = s.spawn(move || {
+                let mut reasm = Reassembler::new();
+                let mut alerts = Vec::new();
+                let mut filtered = Vec::new();
+                let mut stream = filter.stream();
+                while let Some(batch) = pool.recv() {
+                    reasm.push(batch.seq, batch);
+                    while let Some(b) = reasm.pop_ready() {
+                        gauge.release(b.len);
+                        let _ = permit_rx.recv();
+                        for a in b.alerts {
+                            if stream.push(&a) {
+                                filtered.push(a);
+                            }
+                            alerts.push(a);
+                        }
+                    }
+                }
+                assert!(reasm.is_drained(), "pool closed with a sequence gap");
+                (alerts, filtered)
+            });
+            for (k, msgs) in messages.chunks(chunk).enumerate() {
+                permit_tx.send(()).expect("consumer outlives producer");
+                gauge.acquire(msgs.len());
+                let base = k * chunk;
+                pool.submit_messages(
+                    base,
+                    msgs,
+                    interner,
+                    truth.map(|t| &t[base..base + msgs.len()]),
+                );
+                batches += 1;
+            }
+            drop(permit_tx);
+            pool.close();
+            consumer.join().expect("pipeline consumer panicked")
+        })
+    });
+
+    let stats = PipelineStats {
+        threads,
+        batches,
+        peak_in_flight_batches: gauge.peak_batches(),
+        in_flight_bound_batches: bound_batches,
+        peak_in_flight_messages: gauge.peak_messages(),
+        in_flight_bound_messages: Some(bound_batches * chunk),
+    };
+    (TaggedLog { alerts }, filtered, stats)
+}
+
+/// Tracks in-flight batches and messages, remembering the peaks.
+struct InFlightGauge {
+    batches: AtomicUsize,
+    messages: AtomicUsize,
+    peak_batches: AtomicUsize,
+    peak_messages: AtomicUsize,
+}
+
+impl InFlightGauge {
+    fn new() -> Self {
+        InFlightGauge {
+            batches: AtomicUsize::new(0),
+            messages: AtomicUsize::new(0),
+            peak_batches: AtomicUsize::new(0),
+            peak_messages: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records a batch of `len` messages entering the pipeline.
+    fn acquire(&self, len: usize) {
+        let b = self.batches.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_batches.fetch_max(b, Ordering::SeqCst);
+        let m = self.messages.fetch_add(len, Ordering::SeqCst) + len;
+        self.peak_messages.fetch_max(m, Ordering::SeqCst);
+    }
+
+    /// Records a batch of `len` messages leaving (processed in order).
+    fn release(&self, len: usize) {
+        self.batches.fetch_sub(1, Ordering::SeqCst);
+        self.messages.fetch_sub(len, Ordering::SeqCst);
+    }
+
+    fn peak_batches(&self) -> usize {
+        self.peak_batches.load(Ordering::SeqCst)
+    }
+
+    fn peak_messages(&self) -> usize {
+        self.peak_messages.load(Ordering::SeqCst)
+    }
+}
+
+/// The single-threaded arm: same chunked traversal, no pool — one
+/// batch is in flight at a time by construction.
+fn tag_filter_serial(
+    rules: &RuleSet,
+    messages: &[Message],
+    interner: &SourceInterner,
+    truth: Option<&[Option<FailureId>]>,
+    filter: &SpatioTemporalFilter,
+    chunk: usize,
+) -> (TaggedLog, Vec<Alert>, PipelineStats) {
+    let mut scratch = TagScratch::new();
+    let mut alerts = Vec::new();
+    let mut filtered = Vec::new();
+    let mut stream = filter.stream();
+    let mut batches = 0u64;
+    let mut peak = 0usize;
+    for (k, msgs) in messages.chunks(chunk).enumerate() {
+        batches += 1;
+        peak = peak.max(msgs.len());
+        let base = k * chunk;
+        for (i, msg) in msgs.iter().enumerate() {
+            if let Some(category) = rules.tag_message_with(msg, interner, &mut scratch) {
+                let mut alert = Alert::new(msg.time, msg.source, category, base + i);
+                if let Some(t) = truth {
+                    alert.failure = t[base + i];
+                }
+                if stream.push(&alert) {
+                    filtered.push(alert);
+                }
+                alerts.push(alert);
+            }
+        }
+    }
+    let stats = PipelineStats {
+        threads: 1,
+        batches,
+        peak_in_flight_batches: 1.min(batches as usize),
+        in_flight_bound_batches: 1,
+        peak_in_flight_messages: peak,
+        in_flight_bound_messages: Some(chunk),
+    };
+    (TaggedLog { alerts }, filtered, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_filter::AlertFilter;
+    use sclog_simgen::Scale;
+    use sclog_types::{CategoryRegistry, SystemId};
+
+    fn fixture() -> (sclog_simgen::GenLog, RuleSet) {
+        let log = sclog_simgen::generate(SystemId::Liberty, Scale::new(0.01, 0.0002), 9);
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        (log, rules)
+    }
+
+    #[test]
+    fn reassembler_orders_and_guards() {
+        let mut r: Reassembler<u32> = Reassembler::default();
+        r.push(2, 2);
+        r.push(0, 0);
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.pop_ready(), Some(0));
+        assert_eq!(r.pop_ready(), None, "1 missing");
+        r.push(1, 1);
+        assert_eq!(r.pop_ready(), Some(1));
+        assert_eq!(r.pop_ready(), Some(2));
+        assert!(r.is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "already delivered")]
+    fn reassembler_rejects_replayed_seq() {
+        let mut r = Reassembler::new();
+        r.push(0, ());
+        r.pop_ready();
+        r.push(0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn reassembler_rejects_duplicate_seq() {
+        let mut r = Reassembler::new();
+        r.push(3, ());
+        r.push(3, ());
+    }
+
+    #[test]
+    fn stream_matches_batch_reference() {
+        let (log, rules) = fixture();
+        let mut expect = rules.tag_messages(&log.messages, &log.interner);
+        expect.attach_truth(&log.truth);
+        let filter = SpatioTemporalFilter::paper();
+        let expect_filtered = filter.filter(&expect.alerts);
+        for (threads, chunk) in [(1, 64), (2, 1), (2, 512), (4, 4096), (3, 1_000_000)] {
+            let (tagged, filtered, stats) = tag_filter_stream(
+                &rules,
+                &log.messages,
+                &log.interner,
+                Some(&log.truth),
+                &filter,
+                threads,
+                chunk,
+            );
+            assert_eq!(tagged.alerts, expect.alerts, "t={threads} c={chunk}");
+            assert_eq!(filtered, expect_filtered, "t={threads} c={chunk}");
+            assert_eq!(stats.batches, log.messages.len().div_ceil(chunk) as u64);
+            assert!(stats.peak_in_flight_batches <= stats.in_flight_bound_batches);
+            let bound = stats.in_flight_bound_messages.expect("fixed-chunk bound");
+            assert!(
+                stats.peak_in_flight_messages <= bound,
+                "t={threads} c={chunk}: peak {} over bound {bound}",
+                stats.peak_in_flight_messages,
+            );
+        }
+    }
+
+    #[test]
+    fn truthless_stream_leaves_failures_unset() {
+        let (log, rules) = fixture();
+        let filter = SpatioTemporalFilter::paper();
+        let (tagged, _, _) =
+            tag_filter_stream(&rules, &log.messages, &log.interner, None, &filter, 2, 128);
+        assert!(!tagged.alerts.is_empty());
+        assert!(tagged.alerts.iter().all(|a| a.failure.is_none()));
+    }
+
+    #[test]
+    fn peak_in_flight_is_bounded_with_tiny_chunks() {
+        let (log, rules) = fixture();
+        let filter = SpatioTemporalFilter::paper();
+        let (_, _, stats) =
+            tag_filter_stream(&rules, &log.messages, &log.interner, None, &filter, 4, 8);
+        // Whole log would be tens of thousands of messages; the bound
+        // keeps the pipeline to a handful of 8-message batches.
+        let bound = stats.in_flight_bound_messages.unwrap();
+        assert!(bound < log.messages.len() / 10);
+        assert!(stats.peak_in_flight_messages <= bound);
+    }
+
+    #[test]
+    #[should_panic(expected = "truth must align")]
+    fn misaligned_truth_rejected() {
+        let (log, rules) = fixture();
+        let filter = SpatioTemporalFilter::paper();
+        let _ = tag_filter_stream(
+            &rules,
+            &log.messages,
+            &log.interner,
+            Some(&log.truth[..1]),
+            &filter,
+            2,
+            64,
+        );
+    }
+}

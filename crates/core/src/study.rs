@@ -1,5 +1,6 @@
 //! Study configuration and execution.
 
+use crate::pipeline::{self, PipelineStats};
 use sclog_filter::{AlertFilter, SpatioTemporalFilter};
 use sclog_rules::RuleSet;
 use sclog_simgen::{GenLog, Scale};
@@ -8,11 +9,19 @@ use sclog_types::{Alert, CategoryRegistry, SystemId, ALL_SYSTEMS};
 /// A configured reproduction study.
 ///
 /// Generation scale and seed are fixed at construction so every run is
-/// reproducible; systems are run independently.
+/// reproducible; systems are run independently. Execution is the
+/// streaming pipeline ([`crate::pipeline`]): tagging, truth attachment
+/// and filtering proceed over bounded batches, with results identical
+/// to the batch passes at any [`Study::threads`] / [`Study::chunk_size`]
+/// setting.
 #[derive(Debug, Clone, Copy)]
 pub struct Study {
     scale: Scale,
     seed: u64,
+    /// Worker threads; 0 = auto (`available_parallelism`, capped at 8).
+    threads: usize,
+    /// Messages per pipeline batch.
+    chunk: usize,
 }
 
 impl Study {
@@ -23,15 +32,36 @@ impl Study {
     /// Panics if scales are outside `(0, 1]` (see
     /// [`sclog_simgen::Scale`]).
     pub fn new(alert_scale: f64, background_scale: f64, seed: u64) -> Self {
-        Study {
-            scale: Scale::new(alert_scale, background_scale),
-            seed,
-        }
+        Study::with_scale(Scale::new(alert_scale, background_scale), seed)
     }
 
     /// Creates a study from a prebuilt [`Scale`].
     pub fn with_scale(scale: Scale, seed: u64) -> Self {
-        Study { scale, seed }
+        Study {
+            scale,
+            seed,
+            threads: 0,
+            chunk: pipeline::DEFAULT_CHUNK_MESSAGES,
+        }
+    }
+
+    /// Overrides the worker thread count; `0` restores the default
+    /// (`available_parallelism`, capped at 8). Benches and tests use
+    /// this to pin parallelism deterministically.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the pipeline batch size in messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk = chunk;
+        self
     }
 
     /// The configured scale.
@@ -42,6 +72,14 @@ impl Study {
     /// The configured seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The worker thread count a run will use.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
     }
 
     /// Runs the full pipeline for one system: generate, tag with the
@@ -66,16 +104,53 @@ impl Study {
         let log = sclog_simgen::generate_categories(system, self.scale, self.seed, only);
         let mut registry = CategoryRegistry::new();
         let rules = RuleSet::builtin(system, &mut registry);
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
-        let mut tagged = rules.tag_messages_parallel(&log.messages, &log.interner, threads);
-        tagged.attach_truth(&log.truth);
-        let filtered = SpatioTemporalFilter::paper().filter(&tagged.alerts);
+        let (tagged, filtered, stats) = pipeline::tag_filter_stream(
+            &rules,
+            &log.messages,
+            &log.interner,
+            Some(&log.truth),
+            &SpatioTemporalFilter::paper(),
+            self.resolved_threads(),
+            self.chunk,
+        );
         SystemRun {
             system,
             log,
             registry,
             tagged,
             filtered,
+            stats,
+        }
+    }
+
+    /// Runs the pipeline as three materialized batch passes — the
+    /// reference implementation the streaming path must match
+    /// bit-for-bit. Kept for equivalence tests and the batch side of
+    /// `pipeline_bench`.
+    pub fn run_system_batch(&self, system: SystemId) -> SystemRun {
+        let log = sclog_simgen::generate_categories(system, self.scale, self.seed, None);
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(system, &mut registry);
+        let mut tagged =
+            rules.tag_messages_parallel(&log.messages, &log.interner, self.resolved_threads());
+        tagged.attach_truth(&log.truth);
+        let filtered = SpatioTemporalFilter::paper().filter(&tagged.alerts);
+        let n = log.messages.len();
+        let stats = PipelineStats {
+            threads: self.resolved_threads(),
+            batches: 1,
+            peak_in_flight_batches: 1,
+            in_flight_bound_batches: 1,
+            peak_in_flight_messages: n,
+            in_flight_bound_messages: Some(n),
+        };
+        SystemRun {
+            system,
+            log,
+            registry,
+            tagged,
+            filtered,
+            stats,
         }
     }
 
@@ -98,6 +173,8 @@ pub struct SystemRun {
     pub tagged: sclog_rules::TaggedLog,
     /// Alerts surviving Algorithm 3.1 at the paper threshold.
     pub filtered: Vec<Alert>,
+    /// What the pipeline observed about its working set.
+    pub stats: PipelineStats,
 }
 
 impl SystemRun {
@@ -180,5 +257,53 @@ mod tests {
         let study = Study::with_scale(sclog_simgen::Scale::tiny(), 5);
         assert_eq!(study.seed(), 5);
         assert!(study.scale().alerts > 0.0);
+    }
+
+    #[test]
+    fn threads_override_pins_worker_count() {
+        let study = Study::new(0.01, 0.0001, 3);
+        assert_eq!(study.threads(3).resolved_threads(), 3);
+        assert_eq!(
+            study.threads(3).threads(0).resolved_threads(),
+            study.resolved_threads()
+        );
+        assert!(study.resolved_threads() >= 1, "auto resolves to something");
+    }
+
+    #[test]
+    fn streaming_run_matches_batch_reference() {
+        let study = Study::new(0.01, 0.0002, 13);
+        let batch = study.run_system_batch(SystemId::Liberty);
+        for (threads, chunk) in [(1, 512), (2, 64), (4, 4096)] {
+            let run = study
+                .threads(threads)
+                .chunk_size(chunk)
+                .run_system(SystemId::Liberty);
+            assert_eq!(
+                run.tagged.alerts, batch.tagged.alerts,
+                "t={threads} c={chunk}"
+            );
+            assert_eq!(run.filtered, batch.filtered, "t={threads} c={chunk}");
+        }
+    }
+
+    #[test]
+    fn run_reports_bounded_working_set() {
+        let study = Study::new(0.01, 0.0002, 13).threads(2).chunk_size(64);
+        let run = study.run_system(SystemId::Liberty);
+        let bound = run.stats.in_flight_bound_messages.unwrap();
+        assert!(run.stats.peak_in_flight_messages <= bound);
+        assert!(
+            bound < run.messages(),
+            "streaming working set is a fraction of the log"
+        );
+        let batch = study.run_system_batch(SystemId::Liberty);
+        assert_eq!(batch.stats.peak_in_flight_messages, batch.messages());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = Study::new(0.01, 0.0001, 3).chunk_size(0);
     }
 }

@@ -1,0 +1,223 @@
+//! Incremental line-oriented reading of raw log text.
+//!
+//! The streaming pipeline consumes logs from an `io::Read` in bounded
+//! chunks instead of slurping 178 million lines into one `String`.
+//! [`LineChunker`] cuts the byte stream into text blocks of roughly a
+//! target size, always on line boundaries, so a downstream parser can
+//! treat each block exactly like a small [`str::lines`] blob.
+
+use std::io::Read;
+
+/// Default chunk target: big enough to amortize read and dispatch
+/// overhead, small enough that a handful of in-flight chunks stay
+/// cache-resident.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Iterator cutting an `io::Read` into whole-line text chunks.
+///
+/// Each yielded `String` contains complete lines only (a partial line
+/// at a read boundary is carried into the next chunk); the final chunk
+/// may lack a trailing newline if the input does. Bytes that are not
+/// valid UTF-8 are replaced (`U+FFFD`), mirroring how a lossy log
+/// collector would salvage corrupted entries.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_parse::LineChunker;
+///
+/// let text = "alpha\nbeta\ngamma\n";
+/// let chunks: Vec<String> = LineChunker::with_target(text.as_bytes(), 8)
+///     .collect::<std::io::Result<_>>()
+///     .unwrap();
+/// assert!(chunks.len() > 1, "small target splits the stream");
+/// assert_eq!(chunks.concat(), text, "nothing lost, nothing reordered");
+/// for chunk in &chunks[..chunks.len() - 1] {
+///     assert!(chunk.ends_with('\n'), "chunks break on line boundaries");
+/// }
+/// ```
+pub struct LineChunker<R: Read> {
+    reader: R,
+    target: usize,
+    /// Bytes read but not yet emitted: a partial trailing line plus
+    /// whatever the last `read` returned beyond it.
+    carry: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> LineChunker<R> {
+    /// Creates a chunker with the default target size.
+    pub fn new(reader: R) -> Self {
+        LineChunker::with_target(reader, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Creates a chunker cutting chunks of roughly `target_bytes`
+    /// (chunks may exceed it by one line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_bytes` is zero.
+    pub fn with_target(reader: R, target_bytes: usize) -> Self {
+        assert!(target_bytes > 0, "chunk target must be positive");
+        LineChunker {
+            reader,
+            target: target_bytes,
+            carry: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Reads until the buffer holds at least one full line past the
+    /// target size or the input ends. Returns the split point: one past
+    /// the last newline within the filled region (or the whole buffer
+    /// at end of input).
+    fn fill(&mut self) -> std::io::Result<usize> {
+        const READ_SIZE: usize = 16 * 1024;
+        loop {
+            if self.carry.len() >= self.target {
+                // Split after the first newline at or past the target,
+                // so chunk size exceeds the target by at most one line.
+                // A single line longer than the target keeps reading
+                // until its newline (or EOF) arrives.
+                let from = self.target - 1;
+                if let Some(pos) = self.carry[from..].iter().position(|&b| b == b'\n') {
+                    return Ok(from + pos + 1);
+                }
+            }
+            // Read straight into the buffer's tail: no bounce copy.
+            let old = self.carry.len();
+            self.carry.resize(old + READ_SIZE, 0);
+            let n = self.reader.read(&mut self.carry[old..])?;
+            self.carry.truncate(old + n);
+            if n == 0 {
+                self.done = true;
+                return Ok(self.carry.len());
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for LineChunker<R> {
+    type Item = std::io::Result<String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done && self.carry.is_empty() {
+            return None;
+        }
+        let split = match self.fill() {
+            Ok(split) => split,
+            Err(e) => {
+                self.done = true;
+                self.carry.clear();
+                return Some(Err(e));
+            }
+        };
+        if split == 0 {
+            return None;
+        }
+        let rest = self.carry.split_off(split);
+        let block = std::mem::replace(&mut self.carry, rest);
+        // Zero-copy for valid UTF-8; replacement characters otherwise.
+        Some(Ok(match String::from_utf8(block) {
+            Ok(text) => text,
+            Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+        }))
+    }
+}
+
+impl<R: Read> std::fmt::Debug for LineChunker<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineChunker")
+            .field("target", &self.target)
+            .field("carried", &self.carry.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rechunk(text: &str, target: usize) -> Vec<String> {
+        LineChunker::with_target(text.as_bytes(), target)
+            .collect::<std::io::Result<_>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn concatenation_is_identity() {
+        let text = "one\ntwo\nthree\nfour with more text\nfive\n";
+        for target in [1, 4, 7, 16, 1024] {
+            assert_eq!(rechunk(text, target).concat(), text, "target {target}");
+        }
+    }
+
+    #[test]
+    fn chunks_end_on_line_boundaries() {
+        let text = "aaaa\nbbbb\ncccc\ndddd\n";
+        let chunks = rechunk(text, 6);
+        assert!(chunks.len() >= 2);
+        for c in &chunks {
+            assert!(c.ends_with('\n'));
+        }
+    }
+
+    #[test]
+    fn trailing_partial_line_is_emitted() {
+        let chunks = rechunk("complete\npartial-no-newline", 4);
+        assert_eq!(chunks.concat(), "complete\npartial-no-newline");
+        assert!(chunks.last().unwrap().ends_with("partial-no-newline"));
+    }
+
+    #[test]
+    fn line_longer_than_target_stays_whole() {
+        let long = format!("{}\nshort\n", "x".repeat(100));
+        let chunks = rechunk(&long, 8);
+        assert_eq!(chunks.concat(), long);
+        assert!(
+            chunks[0].len() > 100,
+            "oversized line is not split mid-line"
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(rechunk("", 8).is_empty());
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_not_fatal() {
+        let bytes: &[u8] = b"good line\nbad \xff byte\n";
+        let chunks: Vec<String> = LineChunker::with_target(bytes, 1024)
+            .collect::<std::io::Result<_>>()
+            .unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn read_error_is_propagated() {
+        struct Failing;
+        impl Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let mut chunker = LineChunker::new(Failing);
+        assert!(chunker.next().unwrap().is_err());
+        assert!(chunker.next().is_none(), "error ends the stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_rejected() {
+        let _ = LineChunker::with_target(&b""[..], 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let c = LineChunker::new(&b"x\n"[..]);
+        assert!(format!("{c:?}").contains("target"));
+    }
+}

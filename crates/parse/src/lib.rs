@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunker;
 pub mod compress;
 mod error;
 mod format;
 mod reader;
 
+pub use chunker::{LineChunker, DEFAULT_CHUNK_BYTES};
 pub use error::ParseError;
 pub use format::{BglFormat, EventFormat, LineFormat, ParseContext, RedStormFormat, SyslogFormat};
 pub use reader::{LogReader, ParseStats};

@@ -129,9 +129,32 @@ impl LogReader {
         self.push_lines(text.lines());
     }
 
+    /// Parses an entire byte stream incrementally, reading it in
+    /// bounded whole-line chunks (see [`crate::LineChunker`]) instead
+    /// of materializing the text first. Line accounting matches
+    /// [`Self::push_text`] on the same bytes exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error from the underlying reader; lines
+    /// parsed before the error are kept.
+    pub fn push_reader(&mut self, reader: impl std::io::Read) -> std::io::Result<()> {
+        for chunk in crate::LineChunker::new(reader) {
+            self.push_text(&chunk?);
+        }
+        Ok(())
+    }
+
     /// The messages parsed so far.
     pub fn messages(&self) -> &[Message] {
         &self.messages
+    }
+
+    /// Takes the messages parsed since the last take, leaving the
+    /// context and statistics intact — the streaming pipeline drains
+    /// per chunk so the reader never holds the whole log.
+    pub fn take_messages(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.messages)
     }
 
     /// Parse statistics so far.
@@ -201,5 +224,44 @@ mod tests {
     fn debug_is_nonempty() {
         let r = LogReader::for_system(SystemId::Liberty);
         assert!(format!("{r:?}").contains("Liberty"));
+    }
+
+    #[test]
+    fn push_reader_matches_push_text() {
+        let text = "Jan  1 00:00:01 sn373 kernel: cciss: cmd has CHECK CONDITION\n\
+                    \n\
+                    ???\n\
+                    Jan  1 00:00:02 sn374 kernel: ok\n";
+        let mut batch = LogReader::new(SystemId::Spirit, Box::new(SyslogFormat::plain()), 2005);
+        batch.push_text(text);
+        let mut stream = LogReader::new(SystemId::Spirit, Box::new(SyslogFormat::plain()), 2005);
+        stream.push_reader(text.as_bytes()).unwrap();
+        assert_eq!(stream.messages(), batch.messages());
+        assert_eq!(stream.stats(), batch.stats());
+    }
+
+    #[test]
+    fn push_reader_surfaces_io_errors() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("gone"))
+            }
+        }
+        let mut r = LogReader::for_system(SystemId::Liberty);
+        assert!(r.push_reader(Failing).is_err());
+    }
+
+    #[test]
+    fn take_messages_drains_but_keeps_context() {
+        let mut r = LogReader::for_system(SystemId::Liberty);
+        r.push_line("Dec 12 00:00:01 ln1 kernel: a");
+        let first = r.take_messages();
+        assert_eq!(first.len(), 1);
+        assert!(r.messages().is_empty());
+        r.push_line("Dec 12 00:00:02 ln1 kernel: b");
+        assert_eq!(r.messages().len(), 1);
+        assert_eq!(r.stats().parsed, 2, "stats survive the take");
+        assert_eq!(r.context().interner.len(), 1, "interner survives the take");
     }
 }

@@ -40,6 +40,7 @@ pub mod catalog;
 pub mod discover;
 pub mod lang;
 pub mod loader;
+pub mod pool;
 pub mod prefilter;
 pub mod re;
 pub mod tagger;
@@ -49,5 +50,6 @@ pub use catalog::{catalog, CategorySpec};
 pub use discover::{mine_templates, Template};
 pub use lang::{Predicate, RuleExpr};
 pub use loader::{export_builtin, parse_ruleset, render_ruleset, LoadError, RuleDef};
+pub use pool::{LineBatch, LineRef, PoolClient, TagPool, TaggedBatch};
 pub use prefilter::AhoCorasick;
 pub use tagger::{RuleSet, TagScratch, TaggedLog};

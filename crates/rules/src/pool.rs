@@ -1,0 +1,522 @@
+//! A persistent scoped worker pool for batched tagging.
+//!
+//! [`RuleSet::tag_messages_parallel`] used to spawn fresh threads for
+//! every call — fine when one call tags a whole log, but fatally
+//! expensive once the prefiltered engine made per-batch work cheap
+//! (`BENCH_tagger.json` showed the 4-thread path *losing* to serial)
+//! and once the streaming pipeline started submitting thousands of
+//! small batches. [`TagPool`] fixes both: workers are spawned once per
+//! [`TagPool::scope`] and then tag any number of batches out of a
+//! shared bounded queue, each with its own long-lived [`TagScratch`].
+//!
+//! Two batch shapes are supported, matching the two pipeline sources:
+//!
+//! * **Message batches** ([`PoolClient::submit_messages`]) — borrowed
+//!   slices of an in-memory log, rendered and tagged exactly as
+//!   [`RuleSet::tag_messages`] would, optionally fusing ground-truth
+//!   attachment into the tag loop.
+//! * **Line batches** ([`PoolClient::submit_lines`]) — owned text
+//!   chunks from a streaming reader, tagged on the *raw line*. This is
+//!   the paper-faithful path (the experts' awk rules ran on raw log
+//!   lines) and skips re-rendering parsed messages back to text, which
+//!   is most of the batch tagging cost.
+//!
+//! The job queue is bounded: submitting into a full pool blocks, which
+//! is the backpressure that keeps a fast producer from buffering an
+//! unbounded amount of in-flight text.
+
+use crate::tagger::{RuleSet, TagScratch};
+use sclog_types::{Alert, FailureId, Message, NodeId, SourceInterner, Timestamp};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One parsed line within a [`LineBatch`]: where its raw text lives in
+/// the batch's text block, plus the header fields an [`Alert`] needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRef {
+    /// Byte offset of the line's start in [`LineBatch::text`].
+    pub start: usize,
+    /// Byte offset one past the line's end.
+    pub end: usize,
+    /// Global index of this line's message in the parsed sequence.
+    pub index: usize,
+    /// Parsed timestamp.
+    pub time: Timestamp,
+    /// Parsed (interned) source.
+    pub source: NodeId,
+}
+
+/// An owned chunk of raw log text with the parse metadata of its
+/// lines. Only successfully parsed lines carry a [`LineRef`]; rejected
+/// and empty lines are simply absent, matching the batch path (which
+/// never sees them as messages either).
+#[derive(Debug, Default)]
+pub struct LineBatch {
+    /// The chunk's raw text (line spans index into this).
+    pub text: String,
+    /// Parsed lines, in input order.
+    pub lines: Vec<LineRef>,
+}
+
+/// A tagged batch, identified by the submission sequence number the
+/// pool assigned — consumers reorder completions by `seq` to recover
+/// submission order.
+#[derive(Debug)]
+pub struct TaggedBatch {
+    /// Submission sequence number (0, 1, 2, … in submit order).
+    pub seq: u64,
+    /// Number of messages/lines the batch carried.
+    pub len: usize,
+    /// Alerts tagged from the batch, in batch order, with
+    /// `message_index` already global.
+    pub alerts: Vec<Alert>,
+}
+
+enum Job<'env> {
+    Messages {
+        seq: u64,
+        base: usize,
+        msgs: &'env [Message],
+        interner: &'env SourceInterner,
+        /// Ground truth aligned with `msgs` (so `truth[i]` belongs to
+        /// message `base + i`); fused into the tag loop when present.
+        truth: Option<&'env [Option<FailureId>]>,
+    },
+    Lines {
+        seq: u64,
+        batch: LineBatch,
+    },
+}
+
+struct PoolState<'env> {
+    jobs: VecDeque<Job<'env>>,
+    results: VecDeque<TaggedBatch>,
+    next_seq: u64,
+    delivered: u64,
+    closed: bool,
+}
+
+struct PoolShared<'env> {
+    state: Mutex<PoolState<'env>>,
+    job_cap: usize,
+    job_ready: Condvar,
+    job_space: Condvar,
+    result_ready: Condvar,
+}
+
+/// Handle for submitting batches to a running [`TagPool`] scope and
+/// collecting tagged results. Shareable across threads (`&PoolClient`
+/// is enough), so one stage can submit while another drains.
+pub struct PoolClient<'pool, 'env> {
+    shared: &'pool PoolShared<'env>,
+}
+
+/// The pool entry point; see [`TagPool::scope`].
+#[derive(Debug)]
+pub struct TagPool;
+
+/// Default bound on queued (not yet claimed) jobs per worker.
+pub const JOBS_PER_WORKER: usize = 2;
+
+impl TagPool {
+    /// Runs `f` with a pool of `threads` persistent workers tagging
+    /// against `rules`. Workers live for the whole call: batches
+    /// submitted through the [`PoolClient`] are tagged out of a shared
+    /// queue (bounded at `job_cap`, with submission blocking while
+    /// full) and handed back as [`TaggedBatch`]es in completion order.
+    ///
+    /// When `f` returns, the pool drains remaining jobs and joins its
+    /// workers; results not collected by then are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `job_cap` is zero, or if a worker thread
+    /// panics (a rule engine bug).
+    pub fn scope<'env, R>(
+        rules: &'env RuleSet,
+        threads: usize,
+        job_cap: usize,
+        f: impl FnOnce(&PoolClient<'_, 'env>) -> R,
+    ) -> R {
+        assert!(threads > 0, "need at least one worker");
+        assert!(job_cap > 0, "job queue capacity must be positive");
+        let shared = PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                results: VecDeque::new(),
+                next_seq: 0,
+                delivered: 0,
+                closed: false,
+            }),
+            job_cap,
+            job_ready: Condvar::new(),
+            job_space: Condvar::new(),
+            result_ready: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| worker(&shared, rules)))
+                .collect();
+            let client = PoolClient { shared: &shared };
+            // Close on every exit path: if `f` panics without this,
+            // workers would wait on the job queue forever and the
+            // scope's implicit join would deadlock the unwind.
+            let guard = CloseGuard(&shared);
+            let out = f(&client);
+            drop(guard);
+            for h in handles {
+                h.join().expect("tag pool worker panicked");
+            }
+            out
+        })
+    }
+}
+
+impl<'env> PoolClient<'_, 'env> {
+    /// Submits a borrowed message slice for render-and-tag processing;
+    /// `base` is the global index of `msgs[0]`, and `truth`, when
+    /// given, must align with `msgs`. Blocks while the job queue is
+    /// full. Returns the batch's sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` is present but its length differs from
+    /// `msgs`, or if called after [`PoolClient::close`].
+    pub fn submit_messages(
+        &self,
+        base: usize,
+        msgs: &'env [Message],
+        interner: &'env SourceInterner,
+        truth: Option<&'env [Option<FailureId>]>,
+    ) -> u64 {
+        if let Some(t) = truth {
+            assert_eq!(t.len(), msgs.len(), "truth must align with messages");
+        }
+        self.submit_with(|seq| Job::Messages {
+            seq,
+            base,
+            msgs,
+            interner,
+            truth,
+        })
+    }
+
+    /// Submits an owned line batch for raw-line tagging. Blocks while
+    /// the job queue is full. Returns the batch's sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`PoolClient::close`].
+    pub fn submit_lines(&self, batch: LineBatch) -> u64 {
+        self.submit_with(|seq| Job::Lines { seq, batch })
+    }
+
+    fn submit_with(&self, job: impl FnOnce(u64) -> Job<'env>) -> u64 {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        while state.jobs.len() >= self.shared.job_cap {
+            state = self.shared.job_space.wait(state).expect("pool poisoned");
+        }
+        assert!(!state.closed, "submit after close");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.jobs.push_back(job(seq));
+        drop(state);
+        self.shared.job_ready.notify_one();
+        seq
+    }
+
+    /// Receives the next completed batch, blocking until one is ready.
+    ///
+    /// Returns `None` only after [`PoolClient::close`] once every
+    /// submitted batch has been delivered — the end-of-stream signal
+    /// for a consumer running on its own thread.
+    pub fn recv(&self) -> Option<TaggedBatch> {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        loop {
+            if let Some(r) = state.results.pop_front() {
+                state.delivered += 1;
+                return Some(r);
+            }
+            if state.closed && state.delivered == state.next_seq {
+                return None;
+            }
+            state = self.shared.result_ready.wait(state).expect("pool poisoned");
+        }
+    }
+
+    /// Receives a completed batch if one is ready, without blocking —
+    /// lets a submitting loop drain results opportunistically.
+    pub fn try_recv(&self) -> Option<TaggedBatch> {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        let r = state.results.pop_front();
+        if r.is_some() {
+            state.delivered += 1;
+        }
+        r
+    }
+
+    /// Marks the job stream finished: workers exit once the queue
+    /// drains, and [`PoolClient::recv`] returns `None` after the last
+    /// result. Called automatically when the scope closure returns;
+    /// call it earlier from a producer stage that knows it is done.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        state.closed = true;
+        drop(state);
+        self.shared.job_ready.notify_all();
+        self.shared.result_ready.notify_all();
+    }
+}
+
+impl std::fmt::Debug for PoolClient<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolClient")
+            .field("job_cap", &self.shared.job_cap)
+            .finish()
+    }
+}
+
+struct CloseGuard<'pool, 'env>(&'pool PoolShared<'env>);
+
+impl Drop for CloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        PoolClient { shared: self.0 }.close();
+    }
+}
+
+fn worker(shared: &PoolShared<'_>, rules: &RuleSet) {
+    let mut scratch = TagScratch::new();
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("pool poisoned");
+            }
+        };
+        shared.job_space.notify_one();
+        let result = run_job(rules, &mut scratch, job);
+        let mut state = shared.state.lock().expect("pool poisoned");
+        state.results.push_back(result);
+        drop(state);
+        shared.result_ready.notify_one();
+    }
+}
+
+fn run_job(rules: &RuleSet, scratch: &mut TagScratch, job: Job<'_>) -> TaggedBatch {
+    match job {
+        Job::Messages {
+            seq,
+            base,
+            msgs,
+            interner,
+            truth,
+        } => {
+            let mut alerts = Vec::new();
+            for (i, msg) in msgs.iter().enumerate() {
+                if let Some(category) = rules.tag_message_with(msg, interner, scratch) {
+                    let mut alert = Alert::new(msg.time, msg.source, category, base + i);
+                    if let Some(truth) = truth {
+                        alert.failure = truth[i];
+                    }
+                    alerts.push(alert);
+                }
+            }
+            TaggedBatch {
+                seq,
+                len: msgs.len(),
+                alerts,
+            }
+        }
+        Job::Lines { seq, batch } => {
+            let mut alerts = Vec::new();
+            for line in &batch.lines {
+                let raw = &batch.text[line.start..line.end];
+                if let Some(category) = rules.tag_line_with(raw, scratch) {
+                    alerts.push(Alert::new(line.time, line.source, category, line.index));
+                }
+            }
+            TaggedBatch {
+                seq,
+                len: batch.lines.len(),
+                alerts,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::{CategoryRegistry, Severity, SystemId};
+
+    fn liberty_fixture() -> (RuleSet, SourceInterner, Vec<Message>) {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        let mut interner = SourceInterner::new();
+        let source = interner.intern("ln4");
+        let msgs: Vec<Message> = (0..1000)
+            .map(|i| {
+                let body = if i % 5 == 0 {
+                    "task_check, cannot tm_reply to 9 task 1"
+                } else {
+                    "quiet line with nothing of note"
+                };
+                Message::new(
+                    SystemId::Liberty,
+                    Timestamp::from_secs(1_102_809_600 + i),
+                    source,
+                    "pbs_mom",
+                    Severity::None,
+                    body,
+                )
+            })
+            .collect();
+        (rules, interner, msgs)
+    }
+
+    #[test]
+    fn pool_matches_serial_over_many_batches() {
+        let (rules, interner, msgs) = liberty_fixture();
+        let serial = rules.tag_messages(&msgs, &interner);
+        // Force a real multi-worker pool regardless of host CPU count.
+        let mut batches = TagPool::scope(&rules, 3, 2, |pool| {
+            let mut out = Vec::new();
+            let mut submitted = 0usize;
+            for (k, chunk) in msgs.chunks(64).enumerate() {
+                pool.submit_messages(k * 64, chunk, &interner, None);
+                submitted += 1;
+                while let Some(b) = pool.try_recv() {
+                    out.push(b);
+                }
+            }
+            while out.len() < submitted {
+                out.push(pool.recv().expect("all batches deliverable"));
+            }
+            out
+        });
+        batches.sort_by_key(|b| b.seq);
+        let merged: Vec<Alert> = batches.into_iter().flat_map(|b| b.alerts).collect();
+        assert_eq!(merged, serial.alerts);
+    }
+
+    #[test]
+    fn truth_is_fused_when_given() {
+        let (rules, interner, msgs) = liberty_fixture();
+        let truth: Vec<Option<FailureId>> = (0..msgs.len() as u64)
+            .map(|i| (i % 5 == 0).then_some(FailureId(i)))
+            .collect();
+        let alerts = TagPool::scope(&rules, 2, 4, |pool| {
+            pool.submit_messages(0, &msgs, &interner, Some(&truth));
+            pool.recv().expect("one batch").alerts
+        });
+        assert!(!alerts.is_empty());
+        for a in &alerts {
+            assert_eq!(a.failure, truth[a.message_index], "fused truth joins");
+        }
+    }
+
+    #[test]
+    fn line_batches_tag_raw_text() {
+        let (rules, _, _) = liberty_fixture();
+        let l1 = "Mar  7 14:30:05 dn228 pbs_mom: task_check, cannot tm_reply to 4418 task 1";
+        let l2 = "Mar  7 14:30:06 dn228 pbs_mom: all quiet";
+        let mut text = String::new();
+        let mut lines = Vec::new();
+        for (i, l) in [l1, l2].iter().enumerate() {
+            let start = text.len();
+            text.push_str(l);
+            lines.push(LineRef {
+                start,
+                end: text.len(),
+                index: 10 + i,
+                time: Timestamp::from_secs(1_102_809_600 + i as i64),
+                source: NodeId::from_index(3),
+            });
+        }
+        let batch = TagPool::scope(&rules, 2, 2, |pool| {
+            pool.submit_lines(LineBatch { text, lines });
+            pool.recv().expect("one batch")
+        });
+        assert_eq!(batch.len, 2);
+        assert_eq!(batch.alerts.len(), 1, "only the PBS line tags");
+        assert_eq!(batch.alerts[0].message_index, 10);
+        assert_eq!(batch.alerts[0].source, NodeId::from_index(3));
+    }
+
+    #[test]
+    fn recv_returns_none_after_close_and_drain() {
+        let (rules, interner, msgs) = liberty_fixture();
+        TagPool::scope(&rules, 2, 2, |pool| {
+            pool.submit_messages(0, &msgs[..10], &interner, None);
+            pool.close();
+            assert!(pool.recv().is_some());
+            assert!(pool.recv().is_none());
+            assert!(pool.recv().is_none(), "end of stream is sticky");
+        });
+    }
+
+    #[test]
+    fn consumer_on_other_thread_sees_all_batches() {
+        let (rules, interner, msgs) = liberty_fixture();
+        let n_batches = 10;
+        let total = TagPool::scope(&rules, 2, 2, |pool| {
+            std::thread::scope(|s| {
+                let consumer = s.spawn(|| {
+                    let mut seen = 0u64;
+                    while pool.recv().is_some() {
+                        seen += 1;
+                    }
+                    seen
+                });
+                for (k, chunk) in msgs.chunks(msgs.len() / n_batches).enumerate() {
+                    pool.submit_messages(k, chunk, &interner, None);
+                }
+                pool.close();
+                consumer.join().expect("consumer")
+            })
+        });
+        assert_eq!(total, n_batches as u64);
+    }
+
+    #[test]
+    fn seq_numbers_follow_submission_order() {
+        let (rules, interner, msgs) = liberty_fixture();
+        TagPool::scope(&rules, 4, 8, |pool| {
+            for (k, chunk) in msgs.chunks(100).enumerate() {
+                let seq = pool.submit_messages(k * 100, chunk, &interner, None);
+                assert_eq!(seq, k as u64);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        TagPool::scope(&rules, 0, 1, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_cap_rejected() {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        TagPool::scope(&rules, 1, 0, |_| ());
+    }
+
+    #[test]
+    fn debug_impl() {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        TagPool::scope(&rules, 1, 1, |pool| {
+            assert!(format!("{pool:?}").contains("job_cap"));
+        });
+    }
+}

@@ -317,14 +317,19 @@ impl RuleSet {
         TaggedLog { alerts }
     }
 
-    /// Tags every message using `threads` worker threads
-    /// (`std::thread::scope`; order of the result is preserved). Each
-    /// worker gets its own [`TagScratch`] and a near-equal share of
-    /// the messages.
+    /// Tags every message using `threads` workers from a [`TagPool`]
+    /// (order of the result is preserved). Falls back to the serial
+    /// loop when parallelism cannot pay for itself — a single thread
+    /// requested, a sub-threshold workload, or a single-CPU host —
+    /// because the prefiltered engine made per-message work cheap
+    /// enough that thread startup used to *lose* to serial on small
+    /// batches (see `BENCH_tagger.json` history).
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
+    ///
+    /// [`TagPool`]: crate::pool::TagPool
     pub fn tag_messages_parallel(
         &self,
         messages: &[Message],
@@ -332,19 +337,31 @@ impl RuleSet {
         threads: usize,
     ) -> TaggedLog {
         assert!(threads > 0, "need at least one thread");
-        if threads == 1 || messages.len() < 4096 {
+        if !parallel_worthwhile(threads, messages.len()) {
             return self.tag_messages(messages, interner);
         }
-        self.tag_chunked(messages, threads, |msgs, base| {
-            let mut scratch = TagScratch::new();
-            let mut out = Vec::new();
-            for (i, msg) in msgs.iter().enumerate() {
-                if let Some(category) = self.tag_message_with(msg, interner, &mut scratch) {
-                    out.push(Alert::new(msg.time, msg.source, category, base + i));
+        crate::pool::TagPool::scope(
+            self,
+            threads,
+            threads * crate::pool::JOBS_PER_WORKER,
+            |pool| {
+                // Several chunks per worker so a lucky all-background
+                // chunk does not leave its worker idle at the tail.
+                let chunk = messages
+                    .len()
+                    .div_ceil(threads * 4)
+                    .max(PARALLEL_MIN_MESSAGES / 4);
+                for (k, msgs) in messages.chunks(chunk).enumerate() {
+                    pool.submit_messages(k * chunk, msgs, interner, None);
                 }
-            }
-            out
-        })
+                pool.close();
+                let mut batches: Vec<_> = std::iter::from_fn(|| pool.recv()).collect();
+                batches.sort_by_key(|b| b.seq);
+                TaggedLog {
+                    alerts: batches.into_iter().flat_map(|b| b.alerts).collect(),
+                }
+            },
+        )
     }
 
     /// Parallel twin of [`RuleSet::tag_messages_unfiltered`], for the
@@ -360,7 +377,7 @@ impl RuleSet {
         threads: usize,
     ) -> TaggedLog {
         assert!(threads > 0, "need at least one thread");
-        if threads == 1 || messages.len() < 4096 {
+        if !parallel_worthwhile(threads, messages.len()) {
             return self.tag_messages_unfiltered(messages, interner);
         }
         self.tag_chunked(messages, threads, |msgs, base| {
@@ -407,6 +424,19 @@ impl RuleSet {
             alerts: partials.concat(),
         }
     }
+}
+
+/// Below this many messages, splitting across threads costs more than
+/// it saves.
+const PARALLEL_MIN_MESSAGES: usize = 4096;
+
+/// Whether fanning a batch of `len` messages out to `threads` workers
+/// can beat the serial loop: more than one thread requested, enough
+/// work to amortize handoff, and more than one CPU to run on.
+fn parallel_worthwhile(threads: usize, len: usize) -> bool {
+    threads > 1
+        && len >= PARALLEL_MIN_MESSAGES
+        && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
 }
 
 /// The output of tagging: the alert sequence in message order.

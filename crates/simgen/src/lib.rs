@@ -43,9 +43,11 @@ mod corruption;
 mod generator;
 mod nodes;
 pub mod profiles;
+mod stream;
 
 pub use generator::{generate, generate_categories, GenLog};
 pub use profiles::{system_profile, Arrival, GenProfile, Link, SystemProfile};
+pub use stream::{generate_stream, GenChunk, GenStream};
 
 /// Scale factors applied to the paper's calibrated counts.
 ///

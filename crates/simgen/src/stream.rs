@@ -1,0 +1,268 @@
+//! Chunked emission of generated logs for the streaming pipeline.
+//!
+//! Generation itself cannot stream: the collector merges per-category
+//! arrival processes with a global sort by `(time, seq)`, and the
+//! corruption pass damages messages at random *global* indices, so the
+//! full log must exist before the first message's final form is known.
+//! What [`generate_stream`] offers instead is *bounded emission*: the
+//! log is generated once internally, then handed out as owned
+//! fixed-size [`GenChunk`]s so every downstream stage — tagging,
+//! truth attachment, filtering — works on small batches and the
+//! generator's buffers are progressively released as chunks move on.
+
+use crate::generator::{generate_categories, GenLog};
+use crate::Scale;
+use sclog_types::{FailureId, Message, SourceInterner, SystemId};
+
+/// One chunk of a generated log: messages plus the aligned ground
+/// truth, with `base` giving the global index of `messages[0]`.
+#[derive(Debug)]
+pub struct GenChunk {
+    /// Global index of the chunk's first message.
+    pub base: usize,
+    /// The chunk's messages, in global time order.
+    pub messages: Vec<Message>,
+    /// Ground-truth failure id per message (`None` = background).
+    pub truth: Vec<Option<FailureId>>,
+    /// Ground-truth category name per message (`None` = background).
+    pub truth_category: Vec<Option<&'static str>>,
+}
+
+impl GenChunk {
+    /// Number of messages in the chunk.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the chunk is empty (never yielded by [`GenStream`]).
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// A generated log being emitted chunk by chunk; see
+/// [`generate_stream`].
+///
+/// Iterating yields [`GenChunk`]s covering the log exactly once, in
+/// order; the stream itself keeps the log-level artifacts (interner,
+/// counters) that outlive the per-message data.
+#[derive(Debug)]
+pub struct GenStream {
+    system: SystemId,
+    scale: Scale,
+    interner: SourceInterner,
+    failure_count: u64,
+    lost_messages: u64,
+    corrupted_messages: u64,
+    total: usize,
+    chunk: usize,
+    base: usize,
+    messages: std::vec::IntoIter<Message>,
+    truth: std::vec::IntoIter<Option<FailureId>>,
+    truth_category: std::vec::IntoIter<Option<&'static str>>,
+}
+
+/// Generates a log and returns it as a chunked stream.
+///
+/// Equivalent to [`generate_categories`] followed by slicing: the
+/// concatenation of all chunks is exactly the batch log, in the same
+/// order, with the same ground truth. `only` restricts alert
+/// categories as in [`generate_categories`].
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero, or as [`generate_categories`]
+/// panics.
+pub fn generate_stream(
+    system: SystemId,
+    scale: Scale,
+    seed: u64,
+    only: Option<&[&str]>,
+    chunk_size: usize,
+) -> GenStream {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    GenStream::from_log(generate_categories(system, scale, seed, only), chunk_size)
+}
+
+impl GenStream {
+    /// Wraps an already-generated log as a chunked stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn from_log(log: GenLog, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        GenStream {
+            system: log.system,
+            scale: log.scale,
+            interner: log.interner,
+            failure_count: log.failure_count,
+            lost_messages: log.lost_messages,
+            corrupted_messages: log.corrupted_messages,
+            total: log.messages.len(),
+            chunk: chunk_size,
+            base: 0,
+            messages: log.messages.into_iter(),
+            truth: log.truth.into_iter(),
+            truth_category: log.truth_category.into_iter(),
+        }
+    }
+
+    /// Yields the next chunk, or `None` once the log is exhausted.
+    /// Every chunk has `chunk_size` messages except possibly the last.
+    pub fn next_chunk(&mut self) -> Option<GenChunk> {
+        let messages: Vec<Message> = self.messages.by_ref().take(self.chunk).collect();
+        if messages.is_empty() {
+            return None;
+        }
+        let truth = self.truth.by_ref().take(messages.len()).collect();
+        let truth_category = self.truth_category.by_ref().take(messages.len()).collect();
+        let base = self.base;
+        self.base += messages.len();
+        Some(GenChunk {
+            base,
+            messages,
+            truth,
+            truth_category,
+        })
+    }
+
+    /// The simulated system.
+    pub fn system(&self) -> SystemId {
+        self.system
+    }
+
+    /// The scale the log was generated at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Interner resolving message sources (valid for every chunk).
+    pub fn interner(&self) -> &SourceInterner {
+        &self.interner
+    }
+
+    /// Total messages in the log (across all chunks).
+    pub fn total_messages(&self) -> usize {
+        self.total
+    }
+
+    /// Messages not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.total - self.base
+    }
+
+    /// Total distinct failures generated.
+    pub fn failure_count(&self) -> u64 {
+        self.failure_count
+    }
+
+    /// Messages dropped by the lossy collection path.
+    pub fn lost_messages(&self) -> u64 {
+        self.lost_messages
+    }
+
+    /// Messages that were corrupted.
+    pub fn corrupted_messages(&self) -> u64 {
+        self.corrupted_messages
+    }
+}
+
+impl Iterator for GenStream {
+    type Item = GenChunk;
+
+    fn next(&mut self) -> Option<GenChunk> {
+        self.next_chunk()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let chunks = self.remaining().div_ceil(self.chunk);
+        (chunks, Some(chunks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 41;
+
+    #[test]
+    fn chunks_reassemble_the_batch_log() {
+        let scale = Scale::tiny();
+        let batch = generate_categories(SystemId::Liberty, scale, SEED, None);
+        for chunk_size in [1, 7, 64, usize::MAX / 2] {
+            let mut stream = generate_stream(SystemId::Liberty, scale, SEED, None, chunk_size);
+            let mut messages = Vec::new();
+            let mut truth = Vec::new();
+            let mut truth_category = Vec::new();
+            let mut expect_base = 0;
+            while let Some(chunk) = stream.next_chunk() {
+                assert_eq!(chunk.base, expect_base);
+                assert!(!chunk.is_empty());
+                assert_eq!(chunk.len(), chunk.truth.len());
+                assert_eq!(chunk.len(), chunk.truth_category.len());
+                expect_base += chunk.len();
+                messages.extend(chunk.messages);
+                truth.extend(chunk.truth);
+                truth_category.extend(chunk.truth_category);
+            }
+            assert_eq!(messages, batch.messages, "chunk {chunk_size}");
+            assert_eq!(truth, batch.truth);
+            assert_eq!(truth_category, batch.truth_category);
+            assert_eq!(stream.remaining(), 0);
+            assert_eq!(stream.interner().len(), batch.interner.len());
+        }
+    }
+
+    #[test]
+    fn metadata_matches_batch() {
+        let scale = Scale::tiny();
+        let batch = generate_categories(SystemId::Spirit, scale, SEED, None);
+        let stream = generate_stream(SystemId::Spirit, scale, SEED, None, 128);
+        assert_eq!(stream.system(), SystemId::Spirit);
+        assert_eq!(stream.total_messages(), batch.len());
+        assert_eq!(stream.failure_count(), batch.failure_count);
+        assert_eq!(stream.lost_messages(), batch.lost_messages);
+        assert_eq!(stream.corrupted_messages(), batch.corrupted_messages);
+        assert_eq!(stream.scale().alerts, scale.alerts);
+    }
+
+    #[test]
+    fn iterator_chunk_sizes_are_uniform_except_last() {
+        let stream = generate_stream(SystemId::BlueGeneL, Scale::tiny(), SEED, None, 10);
+        let sizes: Vec<usize> = stream.map(|c| c.len()).collect();
+        assert!(!sizes.is_empty());
+        for s in &sizes[..sizes.len() - 1] {
+            assert_eq!(*s, 10);
+        }
+        assert!(*sizes.last().unwrap() <= 10);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut stream = generate_stream(SystemId::Liberty, Scale::tiny(), SEED, None, 10);
+        let (lo, hi) = stream.size_hint();
+        assert_eq!(Some(lo), hi);
+        let mut n = 0;
+        while stream.next_chunk().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, lo);
+    }
+
+    #[test]
+    fn category_subset_streams_too() {
+        let only = ["PBS_CHK"];
+        let batch = generate_categories(SystemId::Liberty, Scale::tiny(), SEED, Some(&only));
+        let stream = generate_stream(SystemId::Liberty, Scale::tiny(), SEED, Some(&only), 32);
+        let total: usize = stream.map(|c| c.len()).sum();
+        assert_eq!(total, batch.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_rejected() {
+        let _ = generate_stream(SystemId::Liberty, Scale::tiny(), SEED, None, 0);
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Regenerates every BENCH_*.json at the repo root from a release bench
+# run. Each bench writes one JSON record per line on stdout (the
+# captured file) and human-readable summaries on stderr (passed
+# through).
+#
+# Knobs: SCLOG_BENCH_SAMPLES / SCLOG_BENCH_WARMUP rescale every
+# benchmark; the defaults below favor stable medians over speed.
+# Comparison pairs (serial vs parallel, batch vs streaming) interleave
+# their samples inside the harness, but numbers from a loaded host
+# still wander — rerun and compare before trusting a small delta.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+: "${SCLOG_BENCH_SAMPLES:=20}"
+: "${SCLOG_BENCH_WARMUP:=2}"
+export SCLOG_BENCH_SAMPLES SCLOG_BENCH_WARMUP
+
+echo "== tagger_bench -> BENCH_tagger.json (samples=$SCLOG_BENCH_SAMPLES)"
+cargo bench --offline -p sclog-bench --bench tagger_bench > BENCH_tagger.json
+
+echo "== pipeline_bench -> BENCH_pipeline.json (samples=$SCLOG_BENCH_SAMPLES)"
+cargo bench --offline -p sclog-bench --bench pipeline_bench > BENCH_pipeline.json
+
+echo "bench: wrote BENCH_tagger.json BENCH_pipeline.json"

@@ -8,10 +8,12 @@
 #   scripts/verify.sh                the full tier-1 run (includes the
 #                                    bench smoke)
 #   scripts/verify.sh --bench-smoke  only the bench smoke: run the
-#                                    tagger bench at minimal sample
-#                                    counts to prove the harness and
-#                                    the prefiltered/brute equivalence
-#                                    assertion still hold
+#                                    tagger and pipeline benches at
+#                                    minimal sample counts to prove the
+#                                    harness, the prefiltered/brute
+#                                    equivalence assertion, and the
+#                                    pipeline's in-flight bound still
+#                                    hold
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,6 +22,9 @@ bench_smoke() {
     echo "== bench smoke: tagger_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
     SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
         cargo bench --offline -p sclog-bench --bench tagger_bench >/dev/null
+    echo "== bench smoke: pipeline_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
+    SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
+        cargo bench --offline -p sclog-bench --bench pipeline_bench >/dev/null
 }
 
 if [ "${1-}" = "--bench-smoke" ]; then
