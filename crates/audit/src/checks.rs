@@ -1,0 +1,708 @@
+//! The audit passes: per-rule checks and pairwise catalog analyses.
+//!
+//! Input is a list of named rules in catalog (priority) order; output
+//! is a [`SystemAudit`] holding per-rule health metrics and findings.
+//! The passes:
+//!
+//! 1. **Vacuity / contradiction** — empty-language leaf regexes,
+//!    field constraints no whitespace-free token can satisfy, negated
+//!    universal patterns, `p && !p` conjunctions, and rules that can
+//!    never match at all.
+//! 2. **NFA health** — epsilon cycles, redundant leading `.*`, thread
+//!    bounds, instruction counts.
+//! 3. **Prefilter coverage** — rules with no required literal factor
+//!    sit in the always-check set and scan every line.
+//! 4. **Shadowing** — a later rule whose language is contained in an
+//!    earlier rule's can never fire (first match wins): a dead
+//!    category, reported at deny with a witness line.
+//! 5. **Overlap** — two live rules whose match regions can share
+//!    characters on one line; the winner is decided purely by catalog
+//!    order, so the pair is reported (at allow) with the witness line.
+//!
+//! Verdict discipline: deny findings must be *certain*. Pairwise
+//! verdicts that the compositional lifting cannot decide are dropped,
+//! and every emitted witness is re-validated against the compiled
+//! predicates before a finding is produced.
+
+use crate::nfa::{
+    inclusion, matches_empty, region_overlap, rep_alphabet, shortest_member, Budget, Nfa,
+    DEFAULT_CAP,
+};
+use sclog_rules::{catalog, Predicate, RuleExpr};
+use sclog_types::{AuditFinding, AuditLevel, AuditReport, RuleHealth, SystemAudit};
+use sclog_types::{SystemId, ALL_SYSTEMS};
+
+/// Schema version stamped into [`AuditReport`].
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Analysis view of a compiled predicate: leaves carry their NFA
+/// programs, ready for the product searches.
+enum View {
+    /// A regex applied to the whole line (`/re/` or `$0 ~ /re/`).
+    Re(Nfa),
+    /// A regex applied to whitespace-split field `n >= 1`.
+    Field(usize, Nfa),
+    Not(Box<View>),
+    And(Box<View>, Box<View>),
+    Or(Box<View>, Box<View>),
+}
+
+fn view(p: &Predicate) -> View {
+    match p {
+        Predicate::Line(re) | Predicate::Field(0, re) => View::Re(Nfa::new(re)),
+        Predicate::Field(n, re) => View::Field(*n, Nfa::new(re)),
+        Predicate::Not(q) => View::Not(Box::new(view(q))),
+        Predicate::And(a, b) => View::And(Box::new(view(a)), Box::new(view(b))),
+        Predicate::Or(a, b) => View::Or(Box::new(view(a)), Box::new(view(b))),
+    }
+}
+
+/// Three-valued inclusion verdict. `No` carries a candidate witness
+/// line (validated by the caller before use).
+enum Verdict {
+    Yes,
+    No(String),
+    Unknown,
+}
+
+/// Whitespace-free projection of an alphabet, for field-level
+/// questions: an awk field never contains whitespace.
+fn ws_free(alphabet: &[char]) -> Vec<char> {
+    alphabet
+        .iter()
+        .copied()
+        .filter(|c| !c.is_whitespace())
+        .collect()
+}
+
+/// A line whose `n`-th whitespace-split field is `tok` (`tok` must be
+/// whitespace-free and non-empty).
+fn line_with_field(n: usize, tok: &str) -> String {
+    let mut line = String::new();
+    for _ in 1..n {
+        line.push_str("x ");
+    }
+    line.push_str(tok);
+    line
+}
+
+/// Compositional language inclusion `L(sub) ⊆ L(sup)` at the predicate
+/// level. Sound by construction: `Yes` only through exact or
+/// conservative rules, `No` only with a witness the caller validates.
+fn included(sub: &View, sup: &View) -> Verdict {
+    match (sub, sup) {
+        (View::Re(a), View::Re(b)) => {
+            let alpha = rep_alphabet(&[a, b]);
+            match inclusion(a, b, &alpha, DEFAULT_CAP) {
+                Budget::Done(None) => Verdict::Yes,
+                Budget::Done(Some(w)) => Verdict::No(w),
+                Budget::Overflow => Verdict::Unknown,
+            }
+        }
+        (View::Field(n, a), View::Field(m, b)) if n == m => {
+            // Quantify over fields = non-empty whitespace-free strings:
+            // run the inclusion over the whitespace-free alphabet.
+            let alpha = ws_free(&rep_alphabet(&[a, b]));
+            match inclusion(a, b, &alpha, DEFAULT_CAP) {
+                Budget::Done(None) => Verdict::Yes,
+                Budget::Done(Some(w)) if !w.is_empty() => Verdict::No(line_with_field(*n, &w)),
+                // An empty-string counterexample is no field; the
+                // restricted search cannot rule out non-empty ones
+                // beyond it, so stay undecided.
+                Budget::Done(Some(_)) | Budget::Overflow => Verdict::Unknown,
+            }
+        }
+        (View::Field(n, a), View::Re(b)) if !b.has_anchors() => {
+            // A field is a contiguous substring of its line, and
+            // anchor-free substring languages are superstring-closed,
+            // so field-level inclusion lifts to the line.
+            let alpha = rep_alphabet(&[a, b]);
+            match inclusion(a, b, &alpha, DEFAULT_CAP) {
+                Budget::Done(None) => Verdict::Yes,
+                Budget::Done(Some(w)) if !w.is_empty() && !w.chars().any(char::is_whitespace) => {
+                    // Candidate only: the filler fields could satisfy
+                    // `b`; the caller's validation decides.
+                    Verdict::No(line_with_field(*n, &w))
+                }
+                _ => Verdict::Unknown,
+            }
+        }
+        (View::Not(p), View::Not(q)) => match included(q, p) {
+            // Complement is antitone; a witness for q ⊄ p (matches q,
+            // not p) matches !p and not !q, so it transfers.
+            Verdict::Yes => Verdict::Yes,
+            Verdict::No(w) => Verdict::No(w),
+            Verdict::Unknown => Verdict::Unknown,
+        },
+        (View::Or(p, q), _) => match (included(p, sup), included(q, sup)) {
+            (Verdict::Yes, Verdict::Yes) => Verdict::Yes,
+            (Verdict::No(w), _) | (_, Verdict::No(w)) => Verdict::No(w),
+            _ => Verdict::Unknown,
+        },
+        (_, View::And(p, q)) => match (included(sub, p), included(sub, q)) {
+            (Verdict::Yes, Verdict::Yes) => Verdict::Yes,
+            (Verdict::No(w), _) | (_, Verdict::No(w)) => Verdict::No(w),
+            _ => Verdict::Unknown,
+        },
+        (View::And(p, q), _) => {
+            // Conjunction shrinks the language: either conjunct being
+            // included suffices. Nothing certain otherwise.
+            if matches!(included(p, sup), Verdict::Yes) || matches!(included(q, sup), Verdict::Yes)
+            {
+                Verdict::Yes
+            } else {
+                Verdict::Unknown
+            }
+        }
+        (_, View::Or(p, q)) => {
+            if matches!(included(sub, p), Verdict::Yes) || matches!(included(sub, q), Verdict::Yes)
+            {
+                Verdict::Yes
+            } else {
+                Verdict::Unknown
+            }
+        }
+        _ => Verdict::Unknown,
+    }
+}
+
+/// A line the predicate matches, when one can be constructed.
+fn member(v: &View) -> Option<String> {
+    match v {
+        View::Re(n) => {
+            let alpha = rep_alphabet(&[n]);
+            match shortest_member(n, &alpha, DEFAULT_CAP) {
+                Budget::Done(w) => w,
+                Budget::Overflow => None,
+            }
+        }
+        View::Field(n, a) => {
+            let alpha = ws_free(&rep_alphabet(&[a]));
+            match shortest_member(a, &alpha, DEFAULT_CAP) {
+                Budget::Done(Some(w)) if !w.is_empty() => Some(line_with_field(*n, &w)),
+                _ => None,
+            }
+        }
+        View::Or(p, q) => member(p).or_else(|| member(q)),
+        // No cheap constructive member for conjunctions or negations.
+        View::And(..) | View::Not(_) => None,
+    }
+}
+
+/// Conservative "this predicate matches every line".
+fn always(v: &View) -> bool {
+    match v {
+        View::Re(n) => !n.has_anchors() && matches_empty(n),
+        View::Field(..) => false, // needs field n to exist
+        View::Not(p) => never(p),
+        View::And(a, b) => always(a) && always(b),
+        View::Or(a, b) => always(a) || always(b),
+    }
+}
+
+/// Conservative "this predicate matches no line at all".
+fn never(v: &View) -> bool {
+    let leaf_dead = |n: &Nfa, alpha: &[char]| {
+        matches!(shortest_member(n, alpha, DEFAULT_CAP), Budget::Done(None))
+    };
+    match v {
+        View::Re(n) => leaf_dead(n, &rep_alphabet(&[n])),
+        View::Field(_, a) => {
+            let alpha = ws_free(&rep_alphabet(&[a]));
+            // Dead if no non-empty whitespace-free token matches.
+            match shortest_member(a, &alpha, DEFAULT_CAP) {
+                Budget::Done(None) => true,
+                Budget::Done(Some(w)) => {
+                    w.is_empty() && {
+                        // Only the empty string matches; no field is empty.
+                        // Check nothing longer matches by re-running on a
+                        // one-char floor: handled by the BFS having found
+                        // "" as *shortest*; a longer member may still
+                        // exist, so probe explicitly.
+                        !member_nonempty(a, &alpha)
+                    }
+                }
+                Budget::Overflow => false,
+            }
+        }
+        View::Not(p) => always(p),
+        View::And(a, b) => never(a) || never(b),
+        View::Or(a, b) => never(a) && never(b),
+    }
+}
+
+/// Does `a` match any non-empty string over `alpha`? (Used when the
+/// shortest member is the empty string, which is no valid field.)
+fn member_nonempty(a: &Nfa, alpha: &[char]) -> bool {
+    // A pattern matching "" under substring search matches every
+    // string over any alphabet (the empty match embeds anywhere), so a
+    // non-empty member exists iff the alphabet is non-empty.
+    let _ = a;
+    !alpha.is_empty()
+}
+
+/// Per-rule pass: health metrics plus leaf/structural findings.
+fn rule_pass(
+    name: &str,
+    expr: &RuleExpr,
+    pred: &Predicate,
+    findings: &mut Vec<AuditFinding>,
+) -> RuleHealth {
+    let mut insts = 0;
+    let mut threads = 0;
+    // Walk the predicate leaves with negation depth.
+    fn walk(
+        v: &View,
+        neg: bool,
+        name: &str,
+        insts: &mut usize,
+        threads: &mut usize,
+        findings: &mut Vec<AuditFinding>,
+    ) {
+        let mut finding = |level, code: &str, detail: String| {
+            findings.push(AuditFinding {
+                level,
+                code: code.into(),
+                rule: name.to_string(),
+                other: None,
+                detail,
+                witness: None,
+            });
+        };
+        match v {
+            View::Re(n) | View::Field(_, n) => {
+                *insts += n.insts();
+                *threads += n.thread_bound();
+                let alpha = rep_alphabet(&[n]);
+                if matches!(shortest_member(n, &alpha, DEFAULT_CAP), Budget::Done(None)) {
+                    finding(
+                        AuditLevel::Deny,
+                        "empty-language",
+                        "leaf regex matches no string at all".into(),
+                    );
+                } else if !n.has_anchors() && matches_empty(n) {
+                    if neg {
+                        finding(
+                            AuditLevel::Warn,
+                            "negated-universal",
+                            "negation of a universal pattern never matches".into(),
+                        );
+                    } else {
+                        finding(
+                            AuditLevel::Warn,
+                            "universal-pattern",
+                            "leaf regex matches every line".into(),
+                        );
+                    }
+                }
+                if let View::Field(fno, a) = v {
+                    let ws_alpha = ws_free(&rep_alphabet(&[a]));
+                    let dead = match shortest_member(a, &ws_alpha, DEFAULT_CAP) {
+                        Budget::Done(None) => true,
+                        Budget::Done(Some(w)) => w.is_empty() && ws_alpha.is_empty(),
+                        Budget::Overflow => false,
+                    };
+                    if dead {
+                        finding(
+                            AuditLevel::Deny,
+                            "vacuous-field",
+                            format!("no whitespace-free token can satisfy the ${fno} constraint"),
+                        );
+                    }
+                }
+                if n.has_epsilon_cycle() {
+                    finding(
+                        AuditLevel::Warn,
+                        "epsilon-cycle",
+                        "compiled NFA has an epsilon cycle (nested empty repeat)".into(),
+                    );
+                }
+                if n.leading_dot_loop() {
+                    finding(
+                        AuditLevel::Warn,
+                        "leading-dot-star",
+                        "redundant `.*` prefix under unanchored search widens the thread set"
+                            .into(),
+                    );
+                }
+            }
+            View::Not(p) => walk(p, !neg, name, insts, threads, findings),
+            View::And(a, b) | View::Or(a, b) => {
+                walk(a, neg, name, insts, threads, findings);
+                walk(b, neg, name, insts, threads, findings);
+            }
+        }
+    }
+    let v = view(pred);
+    walk(&v, false, name, &mut insts, &mut threads, findings);
+
+    // Structural contradiction: a conjunction containing both `p` and
+    // `!p` (after flattening `&&` chains) can never match.
+    let mut conjuncts = Vec::new();
+    flatten_and(expr, &mut conjuncts);
+    let mut contradicts = false;
+    for (i, x) in conjuncts.iter().enumerate() {
+        for y in &conjuncts[i + 1..] {
+            let contra = matches!(y, RuleExpr::Not(inner) if inner.as_ref() == *x)
+                || matches!(x, RuleExpr::Not(inner) if inner.as_ref() == *y);
+            if contra {
+                contradicts = true;
+                findings.push(AuditFinding {
+                    level: AuditLevel::Deny,
+                    code: "contradiction".into(),
+                    rule: name.to_string(),
+                    other: None,
+                    detail: "conjunction contains a predicate and its own negation".into(),
+                    witness: None,
+                });
+            }
+        }
+    }
+
+    // A structural contradiction implies vacuity even when the
+    // language-level `never` (which treats conjuncts independently)
+    // cannot see it.
+    if contradicts || never(&v) {
+        findings.push(AuditFinding {
+            level: AuditLevel::Deny,
+            code: "vacuous-rule".into(),
+            rule: name.to_string(),
+            other: None,
+            detail: "the rule as a whole can never match any line".into(),
+            witness: None,
+        });
+    }
+
+    let factors = pred.required_literals();
+    let (nfactors, weakest) = match &factors {
+        Some(f) => (f.len(), f.iter().map(String::len).min().unwrap_or(0)),
+        None => (0, 0),
+    };
+    if factors.is_none() {
+        findings.push(AuditFinding {
+            level: AuditLevel::Warn,
+            code: "always-check".into(),
+            rule: name.to_string(),
+            other: None,
+            detail: format!(
+                "no required literal factor: the prescan cannot gate this rule, \
+                 so its NFA (≤{threads} threads) runs on every line"
+            ),
+            witness: None,
+        });
+    }
+    RuleHealth {
+        rule: name.to_string(),
+        insts,
+        thread_bound: threads,
+        factors: nfactors,
+        weakest_factor_len: weakest,
+        always_check: factors.is_none(),
+    }
+}
+
+fn flatten_and<'e>(expr: &'e RuleExpr, out: &mut Vec<&'e RuleExpr>) {
+    match expr {
+        RuleExpr::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// The line-level NFA projection used for overlap: exact for plain
+/// line rules, a necessary-condition approximation for conjunctions
+/// (witnesses are re-validated against the full predicates).
+fn line_nfa(v: &View) -> Option<&Nfa> {
+    match v {
+        View::Re(n) => Some(n),
+        View::And(a, b) => line_nfa(a).or_else(|| line_nfa(b)),
+        _ => None,
+    }
+}
+
+/// Audits one named rule list (catalog order). `system` is only a
+/// label in the report.
+///
+/// # Panics
+///
+/// Panics if a rule fails to parse or compile — the audit is a build
+/// gate, and an uncompilable catalog is a build error.
+pub fn audit_rules(system: &str, rules: &[(String, String)]) -> SystemAudit {
+    let compiled: Vec<(String, RuleExpr, Predicate, View)> = rules
+        .iter()
+        .map(|(name, src)| {
+            let expr =
+                RuleExpr::parse(src).unwrap_or_else(|e| panic!("rule {name} does not parse: {e}"));
+            let pred = Predicate::compile(&expr)
+                .unwrap_or_else(|e| panic!("rule {name} does not compile: {e}"));
+            let v = view(&pred);
+            (name.clone(), expr, pred, v)
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut health = Vec::new();
+    for (name, expr, pred, _) in &compiled {
+        health.push(rule_pass(name, expr, pred, &mut findings));
+    }
+
+    // Pairwise passes, in catalog order: i is the earlier (winning)
+    // rule, j the later one.
+    for i in 0..compiled.len() {
+        for j in (i + 1)..compiled.len() {
+            let (name_i, _, pred_i, view_i) = &compiled[i];
+            let (name_j, _, pred_j, view_j) = &compiled[j];
+            // Shadowing: L(j) ⊆ L(i) makes j dead.
+            let shadowed = match included(view_j, view_i) {
+                Verdict::Yes => {
+                    // A rule with an empty language is vacuously
+                    // included in everything; that is already reported
+                    // as its own finding, not as shadowing.
+                    member(view_j).filter(|w| pred_j.matches(w) && pred_i.matches(w))
+                }
+                Verdict::No(w) => {
+                    // Validated non-inclusion: nothing to report, but
+                    // keep the invariant that the witness is real.
+                    debug_assert!(
+                        pred_j.matches(&w) && !pred_i.matches(&w),
+                        "bogus inclusion counterexample for {name_j} vs {name_i}: {w:?}"
+                    );
+                    None
+                }
+                Verdict::Unknown => None,
+            };
+            if let Some(w) = shadowed {
+                findings.push(AuditFinding {
+                    level: AuditLevel::Deny,
+                    code: "shadowed".into(),
+                    rule: name_j.clone(),
+                    other: Some(name_i.clone()),
+                    detail: format!(
+                        "every line this rule matches is already claimed by earlier rule \
+                         {name_i}; the category can never fire"
+                    ),
+                    witness: Some(w),
+                });
+                continue; // a dead rule's overlaps are moot
+            }
+            // Overlap: same-region co-match, winner decided by order.
+            let (Some(na), Some(nb)) = (line_nfa(view_i), line_nfa(view_j)) else {
+                continue;
+            };
+            let alpha = rep_alphabet(&[na, nb]);
+            let witness = [
+                region_overlap(na, nb, &alpha, DEFAULT_CAP),
+                region_overlap(nb, na, &alpha, DEFAULT_CAP),
+            ]
+            .into_iter()
+            .find_map(|r| match r {
+                Budget::Done(w) => w,
+                Budget::Overflow => None,
+            })
+            .filter(|w| pred_i.matches(w) && pred_j.matches(w));
+            if let Some(w) = witness {
+                findings.push(AuditFinding {
+                    level: AuditLevel::Allow,
+                    code: "overlap".into(),
+                    rule: name_i.clone(),
+                    other: Some(name_j.clone()),
+                    detail: format!(
+                        "both rules can match the same characters of one line; catalog \
+                         order makes {name_i} win"
+                    ),
+                    witness: Some(w),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.level, &a.code, &a.rule, &a.other).cmp(&(b.level, &b.code, &b.rule, &b.other))
+    });
+    SystemAudit {
+        system: system.to_string(),
+        rules: health,
+        findings,
+    }
+}
+
+/// Audits the built-in catalog of one system.
+pub fn audit_system(system: SystemId) -> SystemAudit {
+    let rules: Vec<(String, String)> = catalog(system)
+        .iter()
+        .map(|spec| (spec.name.to_string(), spec.rule.to_string()))
+        .collect();
+    audit_rules(&system.to_string(), &rules)
+}
+
+/// Audits every system's built-in catalog.
+pub fn audit_all() -> AuditReport {
+    AuditReport {
+        version: SCHEMA_VERSION,
+        systems: ALL_SYSTEMS.iter().map(|&s| audit_system(s)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(defs: &[(&str, &str)]) -> Vec<(String, String)> {
+        defs.iter()
+            .map(|(n, r)| (n.to_string(), r.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn injected_shadow_is_detected_with_witness() {
+        // NARROW's language (lines containing "EXT3-fs error") is
+        // contained in BROAD's (lines containing "fs error"): with
+        // BROAD earlier in the catalog, NARROW can never fire.
+        let audit = audit_rules(
+            "test",
+            &rules(&[("BROAD", "/fs error/"), ("NARROW", "/EXT3-fs error/")]),
+        );
+        let f = audit
+            .findings
+            .iter()
+            .find(|f| f.code == "shadowed")
+            .expect("shadowing not detected");
+        assert_eq!(f.level, AuditLevel::Deny);
+        assert_eq!(f.rule, "NARROW");
+        assert_eq!(f.other.as_deref(), Some("BROAD"));
+        let w = f.witness.as_deref().expect("no witness");
+        let narrow = Predicate::parse("/EXT3-fs error/").unwrap();
+        let broad = Predicate::parse("/fs error/").unwrap();
+        assert!(narrow.matches(w) && broad.matches(w), "witness {w:?}");
+    }
+
+    #[test]
+    fn reversed_order_is_not_shadowing() {
+        // Narrow before broad: the broad rule still gets every line
+        // the narrow one does not claim — alive, merely overlapping.
+        let audit = audit_rules(
+            "test",
+            &rules(&[("NARROW", "/EXT3-fs error/"), ("BROAD", "/fs error/")]),
+        );
+        assert!(audit.findings.iter().all(|f| f.code != "shadowed"));
+        let overlap = audit
+            .findings
+            .iter()
+            .find(|f| f.code == "overlap")
+            .expect("overlap not reported");
+        assert_eq!(overlap.level, AuditLevel::Allow);
+        let w = overlap.witness.as_deref().unwrap();
+        assert!(w.contains("EXT3-fs error"), "witness {w:?}");
+    }
+
+    #[test]
+    fn identical_rules_shadow() {
+        let audit = audit_rules("test", &rules(&[("A", "/panic/"), ("B", "/panic/")]));
+        let f = audit
+            .findings
+            .iter()
+            .find(|f| f.code == "shadowed")
+            .unwrap();
+        assert_eq!(f.rule, "B");
+        assert_eq!(f.witness.as_deref(), Some("panic"));
+    }
+
+    #[test]
+    fn disjoint_rules_report_nothing() {
+        let audit = audit_rules("test", &rules(&[("A", "/alpha/"), ("B", "/beta9/")]));
+        assert!(
+            audit.findings.is_empty(),
+            "unexpected findings: {:?}",
+            audit.findings
+        );
+    }
+
+    #[test]
+    fn vacuity_findings() {
+        // `$.` matches nothing; `!//` negates a universal pattern.
+        let audit = audit_rules(
+            "test",
+            &rules(&[("DEAD", r"/$./"), ("NEGUNIV", "!/x*/"), ("OK", "/fine/")]),
+        );
+        let codes: Vec<&str> = audit.findings.iter().map(|f| f.code.as_str()).collect();
+        assert!(codes.contains(&"empty-language"), "{codes:?}");
+        assert!(codes.contains(&"negated-universal"), "{codes:?}");
+        assert!(codes.contains(&"vacuous-rule"), "{codes:?}");
+        // DEAD is empty-language, not "shadowed by" anything.
+        assert!(audit.findings.iter().all(|f| f.code != "shadowed"));
+    }
+
+    #[test]
+    fn contradiction_detected_structurally() {
+        let audit = audit_rules("test", &rules(&[("CONTRA", "/a/ && !/a/")]));
+        assert!(audit.findings.iter().any(|f| f.code == "contradiction"));
+        assert!(audit.findings.iter().any(|f| f.code == "vacuous-rule"));
+    }
+
+    #[test]
+    fn vacuous_field_constraint() {
+        // A field can never contain whitespace, so `$2 ~ /a b/` is
+        // unsatisfiable.
+        let audit = audit_rules("test", &rules(&[("WSFIELD", "($2 ~ /a b/)")]));
+        let codes: Vec<&str> = audit.findings.iter().map(|f| f.code.as_str()).collect();
+        assert!(codes.contains(&"vacuous-field"), "{codes:?}");
+        assert!(codes.contains(&"vacuous-rule"), "{codes:?}");
+    }
+
+    #[test]
+    fn field_rules_compare_at_field_level() {
+        let audit = audit_rules(
+            "test",
+            &rules(&[("ANYDIGIT", r"($3 ~ /[0-9]/)"), ("EXACT", "($3 ~ /^7$/)")]),
+        );
+        let f = audit
+            .findings
+            .iter()
+            .find(|f| f.code == "shadowed")
+            .unwrap();
+        assert_eq!(f.rule, "EXACT");
+        let w = f.witness.as_deref().unwrap();
+        let exact = Predicate::parse("($3 ~ /^7$/)").unwrap();
+        assert!(exact.matches(w), "witness {w:?}");
+    }
+
+    #[test]
+    fn always_check_flagged_for_factorless_rules() {
+        let audit = audit_rules("test", &rules(&[("NOFACTOR", r"/\d\d\d/")]));
+        let f = audit
+            .findings
+            .iter()
+            .find(|f| f.code == "always-check")
+            .expect("always-check missing");
+        assert_eq!(f.level, AuditLevel::Warn);
+        assert!(audit.rules[0].always_check);
+        assert_eq!(audit.rules[0].factors, 0);
+    }
+
+    #[test]
+    fn health_metrics_populate() {
+        let audit = audit_rules("test", &rules(&[("R", "/ab(c|d)/")]));
+        let h = &audit.rules[0];
+        assert!(h.insts > 0);
+        assert_eq!(h.thread_bound, 4); // a, b, c, d
+        assert_eq!(h.factors, 1); // "ab"
+        assert_eq!(h.weakest_factor_len, 2);
+        assert!(!h.always_check);
+    }
+
+    #[test]
+    fn builtin_catalogs_have_no_deny_findings() {
+        for &sys in &ALL_SYSTEMS {
+            let audit = audit_system(sys);
+            let denies: Vec<_> = audit
+                .findings
+                .iter()
+                .filter(|f| f.level == AuditLevel::Deny)
+                .collect();
+            assert!(denies.is_empty(), "{sys}: {denies:?}");
+            assert_eq!(audit.rules.len(), catalog(sys).len());
+        }
+    }
+}

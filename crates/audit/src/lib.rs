@@ -1,0 +1,49 @@
+//! Static analysis of the sclog alert-rule catalog.
+//!
+//! The five expert rule sets (77 categories total) that drive the
+//! paper's alert tagging are ordinary data: awk-style predicates over
+//! regexes compiled by the in-tree engine in `sclog_rules::re`. That
+//! engine supports no backreferences, so every leaf denotes a true
+//! regular language and questions about the *catalog* — not about any
+//! particular log — are decidable:
+//!
+//! * **Shadowing** — first match wins, so a rule whose language is
+//!   contained in an earlier rule's can never fire. Detected by a
+//!   product-automaton inclusion search ([`inclusion`]) and reported
+//!   at deny with a concrete witness line.
+//! * **Overlap** — two rules that can match the *same characters* of
+//!   one line are order-sensitive: reordering the catalog silently
+//!   retags those lines. Detected by [`region_overlap`] and reported
+//!   at allow with a witness.
+//! * **Vacuity** — empty-language regexes, field constraints no
+//!   whitespace-free token satisfies, universal patterns (and their
+//!   negations), `p && !p` contradictions.
+//! * **Prefilter coverage** — rules without a required literal factor
+//!   escape the Aho–Corasick prescan and pay full NFA cost per line.
+//! * **NFA health** — instruction and thread-count bounds, epsilon
+//!   cycles, redundant leading `.*` under unanchored search.
+//!
+//! All searches run over a finite *representative alphabet* (one
+//! character per equivalence class the involved programs can
+//! distinguish — see [`rep_alphabet`]) and under an explicit state
+//! [`Budget`], so the audit is total and fast. Every reported witness
+//! is re-validated against the compiled predicates before it appears
+//! in a finding.
+//!
+//! The `sclog-audit` binary renders the report ([`render_text`]) or
+//! compares its JSON form against the committed golden snapshot
+//! (`AUDIT.json`) as part of tier-1 verify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod nfa;
+pub mod report;
+
+pub use checks::{audit_all, audit_rules, audit_system, SCHEMA_VERSION};
+pub use nfa::{
+    inclusion, matches_empty, region_overlap, rep_alphabet, shortest_member, Budget, Nfa,
+    DEFAULT_CAP,
+};
+pub use report::{check_golden, has_deny, render_text};

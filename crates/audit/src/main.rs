@@ -1,0 +1,78 @@
+//! Command-line front end for the catalog audit.
+//!
+//! Modes:
+//!
+//! * no arguments — print the human-readable report; exit non-zero if
+//!   any deny-level finding exists.
+//! * `--json` — print the machine-readable report to stdout.
+//! * `--write PATH` — write the JSON report to `PATH` (golden update).
+//! * `--check PATH` — recompute the report and compare it against the
+//!   committed golden snapshot at `PATH`; exit non-zero on divergence
+//!   or on any deny-level finding. This is the tier-1 verify gate.
+
+use sclog_audit::{audit_all, check_golden, has_deny, render_text};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report = audit_all();
+    let deny_exit = || {
+        if has_deny(&report) {
+            eprintln!("sclog-audit: deny-level findings present");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    };
+    match args.first().map(String::as_str) {
+        None => {
+            print!("{}", render_text(&report));
+            deny_exit()
+        }
+        Some("--json") => {
+            println!("{}", report.to_json());
+            deny_exit()
+        }
+        Some("--write") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: sclog-audit --write PATH");
+                return ExitCode::FAILURE;
+            };
+            let mut body = report.to_json();
+            body.push('\n');
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("sclog-audit: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("sclog-audit: wrote {path}");
+            deny_exit()
+        }
+        Some("--check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: sclog-audit --check PATH");
+                return ExitCode::FAILURE;
+            };
+            let golden = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("sclog-audit: cannot read golden {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = check_golden(&report, &golden) {
+                eprintln!("sclog-audit: {e}");
+                return ExitCode::FAILURE;
+            }
+            let (deny, warn, allow) = report.counts();
+            eprintln!(
+                "sclog-audit: golden snapshot matches ({deny} deny, {warn} warn, {allow} allow)"
+            );
+            deny_exit()
+        }
+        Some(other) => {
+            eprintln!("sclog-audit: unknown flag {other}");
+            eprintln!("usage: sclog-audit [--json | --write PATH | --check PATH]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,698 @@
+//! Decidable language analyses over compiled Pike-VM programs.
+//!
+//! Everything here works on the instruction listings that
+//! [`sclog_rules::Regex::program`] exposes, under the engine's actual
+//! matching semantics: *unanchored substring search*. The language of a
+//! pattern `A` is therefore
+//!
+//! ```text
+//! L(A) = { s : A matches somewhere inside s }
+//! ```
+//!
+//! Three searches are provided, all by breadth-first exploration of a
+//! determinized product configuration space:
+//!
+//! * [`inclusion`] — is `L(sub) ⊆ L(sup)`? Returns the shortest
+//!   counterexample when not.
+//! * [`shortest_member`] — the shortest string in `L(A)`, or proof the
+//!   language is empty.
+//! * [`region_overlap`] — can both patterns match the *same line* with
+//!   their match regions sharing at least one character? (Plain
+//!   language intersection is vacuous under substring semantics — any
+//!   two non-empty patterns co-match the concatenation of their
+//!   witnesses — so overlap is defined on regions instead.)
+//!
+//! Decidability rests on two facts: the engine has no backreferences
+//! (each program is a true NFA), and only finitely many character
+//! behaviours exist per program pair, so the infinite alphabet
+//! collapses to the finite *representative alphabet* of
+//! [`rep_alphabet`]. Every search carries a state-count cap and reports
+//! [`Budget::Overflow`] instead of looping on adversarial inputs; the
+//! caps are far above what any catalog pattern reaches.
+//!
+//! A subtlety worth naming: product states store the *raw* (pre-
+//! closure) successor pcs, not the closed thread set. A thread parked
+//! on a `$` assertion dies in the mid-string closure but lives in the
+//! end-of-string closure, so acceptance must re-close the raw set with
+//! `at_end = true` — storing only the mid-string closure would
+//! silently drop every `$`-anchored accept.
+
+use sclog_rules::{ProgInst, Regex};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A compiled NFA program plus the analyses' helper views.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    prog: Vec<ProgInst>,
+}
+
+/// Result of an epsilon closure: the live consuming program counters
+/// (sorted, deduplicated) and whether `Match` was reached.
+struct Closure {
+    consuming: Vec<usize>,
+    matched: bool,
+}
+
+impl Nfa {
+    /// Wraps a compiled regex's program.
+    pub fn new(re: &Regex) -> Nfa {
+        Nfa { prog: re.program() }
+    }
+
+    /// Number of instructions in the program.
+    pub fn insts(&self) -> usize {
+        self.prog.len()
+    }
+
+    /// Upper bound on simultaneously live VM threads: consuming
+    /// instructions only, since the thread set dedups by pc.
+    pub fn thread_bound(&self) -> usize {
+        self.prog.iter().filter(|i| i.is_consuming()).count()
+    }
+
+    /// True when the program contains a `^` or `$` assertion.
+    pub fn has_anchors(&self) -> bool {
+        self.prog
+            .iter()
+            .any(|i| matches!(i, ProgInst::Start | ProgInst::End))
+    }
+
+    /// True when the epsilon edges (`Split`/`Jump`, plus assertions,
+    /// which forward without consuming) contain a cycle — e.g. `(a*)*`
+    /// compiles to one. The VM tolerates these via pc dedup, but they
+    /// are dead weight worth flagging.
+    pub fn has_epsilon_cycle(&self) -> bool {
+        // Colors: 0 = unvisited, 1 = on the DFS stack, 2 = done.
+        fn visit(prog: &[ProgInst], color: &mut [u8], pc: usize) -> bool {
+            match color[pc] {
+                1 => return true,
+                2 => return false,
+                _ => {}
+            }
+            color[pc] = 1;
+            let mut targets: Vec<usize> = Vec::new();
+            match &prog[pc] {
+                ProgInst::Jump(t) => targets.push(*t),
+                ProgInst::Split(a, b) => {
+                    targets.push(*a);
+                    targets.push(*b);
+                }
+                ProgInst::Start | ProgInst::End => targets.push(pc + 1),
+                _ => {}
+            }
+            let mut hit = false;
+            for t in targets {
+                if visit(prog, color, t) {
+                    hit = true;
+                }
+            }
+            color[pc] = 2;
+            hit
+        }
+        let mut color = vec![0u8; self.prog.len()];
+        (0..self.prog.len()).any(|pc| color[pc] == 0 && visit(&self.prog, &mut color, pc))
+    }
+
+    /// True when the pattern effectively begins with `.*`: the initial
+    /// closure contains an `Any` instruction that loops back into
+    /// itself. Under unanchored search such a prefix is redundant and
+    /// only widens the live thread set.
+    pub fn leading_dot_loop(&self) -> bool {
+        let init = self.close(&[0], false, false);
+        init.consuming.iter().any(|&pc| {
+            matches!(self.prog[pc], ProgInst::Any)
+                && self.close(&[pc + 1], false, false).consuming.contains(&pc)
+        })
+    }
+
+    /// Epsilon-closes `seeds` under the position flags.
+    fn close(&self, seeds: &[usize], at_start: bool, at_end: bool) -> Closure {
+        let mut on = vec![false; self.prog.len()];
+        let mut stack: Vec<usize> = seeds.to_vec();
+        let mut consuming = Vec::new();
+        let mut matched = false;
+        while let Some(pc) = stack.pop() {
+            if on[pc] {
+                continue;
+            }
+            on[pc] = true;
+            match &self.prog[pc] {
+                ProgInst::Match => matched = true,
+                ProgInst::Jump(t) => stack.push(*t),
+                ProgInst::Split(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                ProgInst::Start => {
+                    if at_start {
+                        stack.push(pc + 1);
+                    }
+                }
+                ProgInst::End => {
+                    if at_end {
+                        stack.push(pc + 1);
+                    }
+                }
+                _ => consuming.push(pc),
+            }
+        }
+        consuming.sort_unstable();
+        Closure { consuming, matched }
+    }
+
+    /// Successor raw pcs after the pcs in `consuming` read `c`.
+    fn step(&self, consuming: &[usize], c: char) -> Vec<usize> {
+        consuming
+            .iter()
+            .filter(|&&pc| self.prog[pc].matches_char(c))
+            .map(|&pc| pc + 1)
+            .collect()
+    }
+}
+
+/// The next Unicode scalar after `c`, skipping the surrogate gap.
+fn succ(c: char) -> Option<char> {
+    if c == char::MAX {
+        None
+    } else if c == '\u{D7FF}' {
+        Some('\u{E000}')
+    } else {
+        char::from_u32(c as u32 + 1)
+    }
+}
+
+/// The representative alphabet for a set of programs.
+///
+/// Partitions the full scalar space into classes inside which every
+/// character behaves identically for *every* consuming instruction of
+/// *every* given program, then returns one representative per class.
+/// Whitespace boundaries are always included so a class never mixes
+/// whitespace with non-whitespace characters (field analyses restrict
+/// the alphabet by `char::is_whitespace`). Representatives prefer
+/// printable ASCII so witnesses read as plausible log text.
+pub fn rep_alphabet(nfas: &[&Nfa]) -> Vec<char> {
+    let mut bounds: BTreeSet<char> = BTreeSet::new();
+    bounds.insert('\0');
+    let mut cut = |lo: char, hi: char| {
+        bounds.insert(lo);
+        if let Some(s) = succ(hi) {
+            bounds.insert(s);
+        }
+    };
+    for ws in [' ', '\t', '\n', '\r', '\u{b}', '\u{c}'] {
+        cut(ws, ws);
+    }
+    for nfa in nfas {
+        for inst in &nfa.prog {
+            match inst {
+                ProgInst::Char(c) => cut(*c, *c),
+                ProgInst::Any => cut('\n', '\n'),
+                ProgInst::Class { ranges, .. } => {
+                    for &(lo, hi) in ranges {
+                        cut(lo, hi);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let starts: Vec<char> = bounds.into_iter().collect();
+    let mut reps = Vec::with_capacity(starts.len());
+    for (i, &lo) in starts.iter().enumerate() {
+        // The class is [lo, next_start); pick a printable member when
+        // one exists (the class never straddles ' ' or '~' without a
+        // printable member, because all behaviours inside it agree).
+        let hi = match starts.get(i + 1) {
+            Some(&next) => char::from_u32(next as u32 - 1).unwrap_or('\u{D7FF}'),
+            None => char::MAX,
+        };
+        let rep = if lo <= '~' && hi >= ' ' {
+            lo.max(' ')
+        } else {
+            lo
+        };
+        reps.push(rep);
+    }
+    reps
+}
+
+/// Outcome of a bounded search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Budget<T> {
+    /// The search ran to completion with this answer.
+    Done(T),
+    /// The state cap was hit before the search settled; the question
+    /// is left unanswered (the audit reports such pairs as unknown).
+    Overflow,
+}
+
+/// Default state-count cap for the product searches: generous for the
+/// catalog's tiny programs, small enough to bound adversarial input.
+pub const DEFAULT_CAP: usize = 200_000;
+
+/// One automaton's share of a product state: the raw (pre-closure)
+/// seed pcs at the current position.
+type Raw = Vec<usize>;
+
+/// BFS bookkeeping: interned states, parent edges, work queue. Parent
+/// edges carry `None` for epsilon moves (same input string as the
+/// parent) so witness reconstruction skips them.
+struct Bfs<K> {
+    ids: HashMap<K, usize>,
+    parents: Vec<(usize, Option<char>)>,
+    queue: VecDeque<(usize, K)>,
+    seen: usize,
+}
+
+impl<K: Clone + std::hash::Hash + Eq> Bfs<K> {
+    fn new() -> Self {
+        Bfs {
+            ids: HashMap::new(),
+            parents: Vec::new(),
+            queue: VecDeque::new(),
+            seen: 0,
+        }
+    }
+
+    /// Interns `key`; enqueues it when new. Returns its id.
+    fn push(&mut self, key: K, parent: (usize, Option<char>)) {
+        if self.ids.contains_key(&key) {
+            return;
+        }
+        let id = self.parents.len();
+        self.ids.insert(key.clone(), id);
+        self.parents.push(parent);
+        self.seen += 1;
+        self.queue.push_back((id, key));
+    }
+
+    /// Reconstructs the string spelled by the path to `id`.
+    fn path(&self, mut id: usize) -> String {
+        let mut chars = Vec::new();
+        while id != 0 {
+            let (p, c) = self.parents[id];
+            if let Some(c) = c {
+                chars.push(c);
+            }
+            id = p;
+        }
+        chars.reverse();
+        chars.into_iter().collect()
+    }
+}
+
+/// Checks `L(sub) ⊆ L(sup)` over the representative `alphabet`.
+///
+/// Returns `Done(None)` when inclusion holds, `Done(Some(w))` with the
+/// shortest (in the representative projection) counterexample
+/// `w ∈ L(sub) \ L(sup)` when it does not, and `Overflow` past `cap`
+/// states.
+pub fn inclusion(sub: &Nfa, sup: &Nfa, alphabet: &[char], cap: usize) -> Budget<Option<String>> {
+    // State: (raw_sub, raw_sup, sub_already_matched, at_position_0).
+    // A state where sup has matched mid-string is pruned at creation —
+    // every extension is then in L(sup), so no counterexample lies
+    // beyond it. Once sub has matched, its raw set is cleared: the
+    // sticky flag carries everything that still matters.
+    type Key = (Raw, Raw, bool, bool);
+    let mut bfs: Bfs<Key> = Bfs::new();
+    let add = |bfs: &mut Bfs<Key>,
+               raw_a: Raw,
+               raw_b: Raw,
+               matched_a: bool,
+               at_start: bool,
+               parent: (usize, Option<char>)| {
+        let ma = matched_a || sub.close(&raw_a, at_start, false).matched;
+        if sup.close(&raw_b, at_start, false).matched {
+            return;
+        }
+        let key = (if ma { Vec::new() } else { raw_a }, raw_b, ma, at_start);
+        bfs.push(key, parent);
+    };
+    add(&mut bfs, vec![0], vec![0], false, true, (0, None));
+
+    while let Some((id, (raw_a, raw_b, ma, at_start))) = bfs.queue.pop_front() {
+        if bfs.seen > cap {
+            return Budget::Overflow;
+        }
+        // Acceptance if the string ended here: re-close with at_end.
+        let acc_a = ma || sub.close(&raw_a, at_start, true).matched;
+        let acc_b = sup.close(&raw_b, at_start, true).matched;
+        if acc_a && !acc_b {
+            return Budget::Done(Some(bfs.path(id)));
+        }
+        let ca = sub.close(&raw_a, at_start, false);
+        let cb = sup.close(&raw_b, at_start, false);
+        for &c in alphabet {
+            // Both sides reseed pc 0: unanchored search restarts an
+            // attempt at every position.
+            let mut na = sub.step(&ca.consuming, c);
+            na.push(0);
+            na.sort_unstable();
+            na.dedup();
+            let mut nb = sup.step(&cb.consuming, c);
+            nb.push(0);
+            nb.sort_unstable();
+            nb.dedup();
+            add(&mut bfs, na, nb, ma, false, (id, Some(c)));
+        }
+    }
+    Budget::Done(None)
+}
+
+/// Finds the shortest member of `L(A)` over the representative
+/// `alphabet`, or `Done(None)` when the language is empty.
+pub fn shortest_member(nfa: &Nfa, alphabet: &[char], cap: usize) -> Budget<Option<String>> {
+    type Key = (Raw, bool);
+    let mut bfs: Bfs<Key> = Bfs::new();
+    bfs.push((vec![0], true), (0, None));
+    while let Some((id, (raw, at_start))) = bfs.queue.pop_front() {
+        if bfs.seen > cap {
+            return Budget::Overflow;
+        }
+        // The at_end=true closure is a superset of the mid-string one,
+        // so it alone decides membership of the string read so far.
+        if nfa.close(&raw, at_start, true).matched {
+            return Budget::Done(Some(bfs.path(id)));
+        }
+        let cl = nfa.close(&raw, at_start, false);
+        for &c in alphabet {
+            let mut next = nfa.step(&cl.consuming, c);
+            next.push(0);
+            next.sort_unstable();
+            next.dedup();
+            bfs.push((next, false), (id, Some(c)));
+        }
+    }
+    Budget::Done(None)
+}
+
+/// Stage of the region-overlap product machine (see [`region_overlap`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Stage {
+    /// Neither match has started; consuming filler characters.
+    Idle,
+    /// `A`'s attempt is running (started at some guessed `s1`).
+    AOnly(Raw),
+    /// Both attempts run; `B` started at some guessed `s2 >= s1`.
+    /// `a_done`/`b_done` record a match ending strictly after `s2`;
+    /// `progressed` records that a character was consumed since `s2`.
+    Both {
+        raw_a: Raw,
+        a_done: bool,
+        raw_b: Raw,
+        b_done: bool,
+        progressed: bool,
+    },
+}
+
+/// Decides whether `a` and `b` can match one line with *overlapping
+/// match regions* — some character of the line inside both matches.
+///
+/// The search nondeterministically guesses `A`'s start `s1` and `B`'s
+/// start `s2 >= s1` (run both argument orders to cover `s2 < s1`),
+/// then requires each automaton to complete a match ending strictly
+/// after `s2`, which makes the shared region `[s2, min(e1, e2))`
+/// non-empty. Returns the shortest witness line, `Done(None)` for no
+/// overlap, or `Overflow`.
+pub fn region_overlap(a: &Nfa, b: &Nfa, alphabet: &[char], cap: usize) -> Budget<Option<String>> {
+    type Key = (Stage, bool);
+    let mut bfs: Bfs<Key> = Bfs::new();
+    // Normalizes a Both stage (fold mid-closure matches into the done
+    // flags, clear finished raw sets) before interning.
+    let add = |bfs: &mut Bfs<Key>, stage: Stage, at_start: bool, parent: (usize, Option<char>)| {
+        let stage = match stage {
+            Stage::Both {
+                raw_a,
+                a_done,
+                raw_b,
+                b_done,
+                progressed,
+            } => {
+                let a_done = a_done || (progressed && a.close(&raw_a, at_start, false).matched);
+                let b_done = b_done || (progressed && b.close(&raw_b, at_start, false).matched);
+                Stage::Both {
+                    raw_a: if a_done { Vec::new() } else { raw_a },
+                    a_done,
+                    raw_b: if b_done { Vec::new() } else { raw_b },
+                    b_done,
+                    progressed,
+                }
+            }
+            s => s,
+        };
+        bfs.push((stage, at_start), parent);
+    };
+    add(&mut bfs, Stage::Idle, true, (0, None));
+
+    while let Some((id, (stage, at_start))) = bfs.queue.pop_front() {
+        if bfs.seen > cap {
+            return Budget::Overflow;
+        }
+        match &stage {
+            Stage::Idle => {
+                // Epsilon: start A's attempt here…
+                add(&mut bfs, Stage::AOnly(vec![0]), at_start, (id, None));
+                // …or consume one filler character.
+                for &c in alphabet {
+                    add(&mut bfs, Stage::Idle, false, (id, Some(c)));
+                }
+            }
+            Stage::AOnly(raw_a) => {
+                // Epsilon: start B's attempt here (s2 = current pos).
+                add(
+                    &mut bfs,
+                    Stage::Both {
+                        raw_a: raw_a.clone(),
+                        a_done: false,
+                        raw_b: vec![0],
+                        b_done: false,
+                        progressed: false,
+                    },
+                    at_start,
+                    (id, None),
+                );
+                // Or advance A's attempt by one character (no reseed:
+                // the attempt start is fixed; other starts are other
+                // nondeterministic branches).
+                let ca = a.close(raw_a, at_start, false);
+                for &c in alphabet {
+                    let next = a.step(&ca.consuming, c);
+                    if next.is_empty() {
+                        continue; // attempt died; cannot reach e1 > s2
+                    }
+                    add(&mut bfs, Stage::AOnly(next), false, (id, Some(c)));
+                }
+            }
+            Stage::Both {
+                raw_a,
+                a_done,
+                raw_b,
+                b_done,
+                progressed,
+            } => {
+                // Accept when both matches can end here, strictly
+                // after s2: sticky flags or `$`-closures.
+                let a_fin = *a_done || (*progressed && a.close(raw_a, at_start, true).matched);
+                let b_fin = *b_done || (*progressed && b.close(raw_b, at_start, true).matched);
+                if a_fin && b_fin {
+                    return Budget::Done(Some(bfs.path(id)));
+                }
+                let ca = a.close(raw_a, at_start, false);
+                let cb = b.close(raw_b, at_start, false);
+                for &c in alphabet {
+                    let na = a.step(&ca.consuming, c);
+                    let nb = b.step(&cb.consuming, c);
+                    if (!a_done && na.is_empty()) || (!b_done && nb.is_empty()) {
+                        continue; // an unfinished side died
+                    }
+                    add(
+                        &mut bfs,
+                        Stage::Both {
+                            raw_a: if *a_done { Vec::new() } else { na },
+                            a_done: *a_done,
+                            raw_b: if *b_done { Vec::new() } else { nb },
+                            b_done: *b_done,
+                            progressed: true,
+                        },
+                        false,
+                        (id, Some(c)),
+                    );
+                }
+            }
+        }
+    }
+    Budget::Done(None)
+}
+
+/// True when the pattern matches the empty string anywhere, which for
+/// an anchor-free program means it matches *every* string.
+pub fn matches_empty(nfa: &Nfa) -> bool {
+    nfa.close(&[0], true, true).matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nfa(pat: &str) -> Nfa {
+        Nfa::new(&Regex::new(pat).unwrap())
+    }
+
+    fn incl(sub: &str, sup: &str) -> Option<String> {
+        let (a, b) = (nfa(sub), nfa(sup));
+        let alpha = rep_alphabet(&[&a, &b]);
+        match inclusion(&a, &b, &alpha, DEFAULT_CAP) {
+            Budget::Done(w) => w,
+            Budget::Overflow => panic!("overflow on /{sub}/ vs /{sup}/"),
+        }
+    }
+
+    fn overlap(x: &str, y: &str) -> Option<String> {
+        let (a, b) = (nfa(x), nfa(y));
+        let alpha = rep_alphabet(&[&a, &b]);
+        match region_overlap(&a, &b, &alpha, DEFAULT_CAP) {
+            Budget::Done(w) => w,
+            Budget::Overflow => panic!("overflow on /{x}/ vs /{y}/"),
+        }
+    }
+
+    #[test]
+    fn literal_inclusion_is_substring_containment() {
+        // L(A) ⊆ L(B) for literals iff A contains B.
+        assert_eq!(incl("EXT3-fs error", "fs error"), None);
+        let w = incl("fs error", "EXT3-fs error").expect("not included");
+        let (sub, sup) = (
+            Regex::new("fs error").unwrap(),
+            Regex::new("EXT3-fs error").unwrap(),
+        );
+        assert!(sub.is_match(&w) && !sup.is_match(&w), "witness {w:?}");
+    }
+
+    #[test]
+    fn inclusion_handles_classes_and_alternation() {
+        assert_eq!(incl("abc", "a[a-z]c"), None);
+        assert_eq!(incl("cat", "cat|dog"), None);
+        assert!(incl("cat|dog", "cat").is_some());
+        assert_eq!(incl("a[0-4]z", "a[0-9]z"), None);
+        assert!(incl("a[0-9]z", "a[0-4]z").is_some());
+    }
+
+    #[test]
+    fn inclusion_respects_anchors() {
+        assert_eq!(incl("abc$", "abc"), None);
+        let w = incl("abc", "abc$").expect("not included");
+        assert!(Regex::new("abc").unwrap().is_match(&w));
+        assert!(!Regex::new("abc$").unwrap().is_match(&w));
+        assert_eq!(incl("^abc", "abc"), None);
+        assert!(incl("abc", "^abc").is_some());
+    }
+
+    #[test]
+    fn inclusion_with_repeats() {
+        assert_eq!(incl("aaa", "a+"), None);
+        assert_eq!(incl("ab", "a.*b"), None);
+        assert!(incl("a.*b", "ab").is_some());
+        assert_eq!(incl("err: [0-9][0-9]", r"err: \d"), None);
+    }
+
+    #[test]
+    fn universal_sup_includes_everything() {
+        assert_eq!(incl("whatever", "x*"), None);
+        assert_eq!(incl("whatever", ""), None);
+    }
+
+    #[test]
+    fn empty_language_and_members() {
+        let n = nfa("abc");
+        let alpha = rep_alphabet(&[&n]);
+        assert_eq!(
+            shortest_member(&n, &alpha, DEFAULT_CAP),
+            Budget::Done(Some("abc".into()))
+        );
+        // `$.` can never match: a character after end-of-text.
+        let dead = nfa("$.");
+        let alpha = rep_alphabet(&[&dead]);
+        assert_eq!(
+            shortest_member(&dead, &alpha, DEFAULT_CAP),
+            Budget::Done(None)
+        );
+    }
+
+    #[test]
+    fn universal_detection() {
+        assert!(matches_empty(&nfa("a*")));
+        assert!(matches_empty(&nfa("")));
+        assert!(!matches_empty(&nfa("a")));
+        // `^$` matches the empty string but is anchored, so it is not
+        // universal; callers must check has_anchors too.
+        assert!(matches_empty(&nfa("^$")));
+        assert!(nfa("^$").has_anchors());
+    }
+
+    #[test]
+    fn overlapping_literals_need_shared_characters() {
+        // Suffix/prefix sharing: "abXc" vs "Xcd" share "Xc".
+        let w = overlap("abXc", "Xcd").expect("should overlap");
+        assert!(w.contains("abXcd"), "witness {w:?}");
+        // Containment: "error" inside "fs error log".
+        assert!(overlap("fs error log", "error").is_some());
+        // Disjoint literals never share a region even though both can
+        // appear in one line.
+        assert_eq!(overlap("abc", "xyz"), None);
+        // Shared chars with a compatible placement.
+        assert_eq!(overlap("ab", "ba"), Some("aba".into()));
+        // Shared chars but every placement conflicts.
+        assert_eq!(overlap("aXb", "aYb"), None);
+    }
+
+    #[test]
+    fn gap_rules_overlap_contained_literals() {
+        // The Red Storm shape: /A .* B/ engulfs /C/ — the `.*` gap
+        // characters are inside A's region, so containment overlaps.
+        let w = overlap("from .* to", "to host").expect("should overlap");
+        let (a, b) = (
+            Regex::new("from .* to").unwrap(),
+            Regex::new("to host").unwrap(),
+        );
+        assert!(a.is_match(&w) && b.is_match(&w), "witness {w:?}");
+        assert!(overlap("from .* to", "middle").is_some());
+    }
+
+    #[test]
+    fn anchored_overlap() {
+        assert!(overlap("^foo", "foobar").is_some());
+        // region(^a) = [0,1), region(b$) = [len-1,len): they can only
+        // share if the line is one char matching both 'a' and 'b'.
+        assert_eq!(overlap("^a", "b$"), None);
+        assert!(overlap("^ab", "b$").is_some());
+    }
+
+    #[test]
+    fn epsilon_cycles_and_dot_loops() {
+        assert!(nfa("(a*)*b").has_epsilon_cycle());
+        assert!(!nfa("a+b").has_epsilon_cycle());
+        assert!(nfa(".*foo").leading_dot_loop());
+        assert!(!nfa("foo.*bar").leading_dot_loop());
+        assert!(!nfa("foo").leading_dot_loop());
+    }
+
+    #[test]
+    fn rep_alphabet_covers_behaviours() {
+        let n = nfa("[a-c]x|Q");
+        let alpha = rep_alphabet(&[&n]);
+        assert!(alpha.iter().any(|c| ('a'..='c').contains(c)));
+        assert!(alpha.contains(&'x'));
+        assert!(alpha.contains(&'Q'));
+        assert!(alpha.iter().any(|c| !c.is_alphanumeric()));
+        // Whitespace classes are always split out.
+        assert!(alpha.contains(&' '));
+    }
+
+    #[test]
+    fn thread_bound_counts_consuming_insts() {
+        assert_eq!(nfa("abc").thread_bound(), 3);
+        assert_eq!(nfa("a|b").thread_bound(), 2);
+        assert_eq!(nfa("^a$").thread_bound(), 1);
+        assert_eq!(nfa("a.[0-9]").insts(), 4); // 3 consuming + Match
+    }
+}

@@ -1,0 +1,152 @@
+//! Rendering of an [`AuditReport`] for humans, and the golden-file
+//! comparison used by the `--check` verify gate.
+
+use sclog_types::{AuditLevel, AuditReport};
+use std::fmt::Write as _;
+
+/// Renders the report as a human-readable text summary: one header
+/// line, then per-system rule-health rollups and findings.
+pub fn render_text(report: &AuditReport) -> String {
+    let (deny, warn, allow) = report.counts();
+    let nrules: usize = report.systems.iter().map(|s| s.rules.len()).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sclog-audit (schema v{}): {} rules across {} systems — {} deny, {} warn, {} allow",
+        report.version,
+        nrules,
+        report.systems.len(),
+        deny,
+        warn,
+        allow
+    );
+    for sys in &report.systems {
+        let insts: usize = sys.rules.iter().map(|r| r.insts).sum();
+        let max_threads = sys.rules.iter().map(|r| r.thread_bound).max().unwrap_or(0);
+        let unfiltered = sys.rules.iter().filter(|r| r.always_check).count();
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "[{}] {} rules, {} NFA instructions, max {} threads/rule, {} in always-check set, {} finding{}",
+            sys.system,
+            sys.rules.len(),
+            insts,
+            max_threads,
+            unfiltered,
+            sys.findings.len(),
+            if sys.findings.len() == 1 { "" } else { "s" }
+        );
+        for f in &sys.findings {
+            match &f.other {
+                Some(other) => {
+                    let _ = writeln!(
+                        out,
+                        "  {} {} {} vs {}: {}",
+                        f.level, f.code, f.rule, other, f.detail
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  {} {} {}: {}", f.level, f.code, f.rule, f.detail);
+                }
+            }
+            if let Some(w) = &f.witness {
+                let _ = writeln!(out, "        witness: {w:?}");
+            }
+        }
+    }
+    out
+}
+
+/// Compares the report's JSON form against a committed golden file.
+/// Returns `Ok(())` on an exact match (modulo a trailing newline) and
+/// a human-readable explanation otherwise.
+pub fn check_golden(report: &AuditReport, golden: &str) -> Result<(), String> {
+    let fresh = report.to_json();
+    if fresh.trim_end() == golden.trim_end() {
+        return Ok(());
+    }
+    // Point at the first divergence so drift is easy to locate.
+    let a = fresh.trim_end().as_bytes();
+    let b = golden.trim_end().as_bytes();
+    let at = a
+        .iter()
+        .zip(b.iter())
+        .position(|(x, y)| x != y)
+        .unwrap_or(a.len().min(b.len()));
+    let ctx = |s: &[u8]| {
+        let lo = at.saturating_sub(40);
+        let hi = (at + 40).min(s.len());
+        String::from_utf8_lossy(&s[lo..hi]).into_owned()
+    };
+    Err(format!(
+        "audit report diverges from golden snapshot at byte {at}\n  fresh:  …{}…\n  golden: …{}…\n\
+         regenerate with: cargo run -p sclog-audit -- --write AUDIT.json",
+        ctx(a),
+        ctx(b)
+    ))
+}
+
+/// True when the report contains at least one deny-level finding.
+pub fn has_deny(report: &AuditReport) -> bool {
+    report
+        .systems
+        .iter()
+        .flat_map(|s| &s.findings)
+        .any(|f| f.level == AuditLevel::Deny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::{AuditFinding, RuleHealth, SystemAudit};
+
+    fn sample() -> AuditReport {
+        AuditReport {
+            version: 1,
+            systems: vec![SystemAudit {
+                system: "bgl".into(),
+                rules: vec![RuleHealth {
+                    rule: "KERNDTLB".into(),
+                    insts: 12,
+                    thread_bound: 5,
+                    factors: 1,
+                    weakest_factor_len: 4,
+                    always_check: false,
+                }],
+                findings: vec![AuditFinding {
+                    level: AuditLevel::Warn,
+                    code: "always-check".into(),
+                    rule: "KERNDTLB".into(),
+                    other: None,
+                    detail: "demo".into(),
+                    witness: None,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn text_mentions_counts_and_findings() {
+        let text = render_text(&sample());
+        assert!(text.contains("0 deny, 1 warn, 0 allow"), "{text}");
+        assert!(text.contains("warn always-check KERNDTLB"), "{text}");
+    }
+
+    #[test]
+    fn golden_roundtrip_and_divergence() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(check_golden(&report, &json).is_ok());
+        assert!(check_golden(&report, &format!("{json}\n")).is_ok());
+        let err = check_golden(&report, &json.replace("KERNDTLB", "KERNXXXX")).unwrap_err();
+        assert!(err.contains("diverges"), "{err}");
+    }
+
+    #[test]
+    fn deny_detection() {
+        let mut report = sample();
+        assert!(!has_deny(&report));
+        report.systems[0].findings[0].level = AuditLevel::Deny;
+        assert!(has_deny(&report));
+    }
+}

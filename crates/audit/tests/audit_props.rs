@@ -1,0 +1,214 @@
+//! Property tests pinning the audit's product-automaton verdicts
+//! against brute-force oracles over generated inputs.
+//!
+//! Two oracle styles:
+//!
+//! * **Exact** — for literal patterns, inclusion and region overlap
+//!   have closed-form answers (substring containment, alignment
+//!   agreement), so the automaton verdicts must match exactly.
+//! * **Sampled** — for generated regexes, a `Yes` inclusion verdict is
+//!   falsified by any sampled message body that matches the sub but
+//!   not the sup, and every `No` witness must actually separate the
+//!   languages.
+
+use sclog_audit::{audit_rules, inclusion, region_overlap, rep_alphabet, Budget, Nfa, DEFAULT_CAP};
+use sclog_rules::{Predicate, Regex};
+use sclog_testkit::{check, Gen};
+
+fn nfa(pat: &str) -> Nfa {
+    Nfa::new(&Regex::new(pat).unwrap())
+}
+
+/// Exact oracle: `L_sub(a) ⊆ L_sub(b)` for literals iff `a` contains
+/// `b` (every superstring of `a` then contains `b`; conversely `a`
+/// itself is in `L(a)`).
+#[test]
+fn prop_literal_inclusion_matches_substring_oracle() {
+    let letters = ['a', 'b', 'c'];
+    check(
+        "literal inclusion == substring containment",
+        |g: &mut Gen| {
+            let word = |g: &mut Gen| -> String {
+                (0..g.usize_in(1..=5)).map(|_| *g.pick(&letters)).collect()
+            };
+            let a = word(g);
+            let b = word(g);
+            let (na, nb) = (nfa(&a), nfa(&b));
+            let alpha = rep_alphabet(&[&na, &nb]);
+            match inclusion(&na, &nb, &alpha, DEFAULT_CAP) {
+                Budget::Done(None) => {
+                    assert!(a.contains(&b), "claimed {a:?} ⊆ {b:?}");
+                }
+                Budget::Done(Some(w)) => {
+                    assert!(!a.contains(&b), "spurious counterexample for {a:?} ⊆ {b:?}");
+                    assert!(w.contains(&a) && !w.contains(&b), "bad witness {w:?}");
+                }
+                Budget::Overflow => panic!("budget overflow on literals {a:?}/{b:?}"),
+            }
+        },
+    );
+}
+
+/// Exact oracle: two literal matches can occupy overlapping character
+/// ranges of one line iff some alignment with a non-empty intersection
+/// agrees on every shared position.
+#[test]
+fn prop_literal_overlap_matches_alignment_oracle() {
+    let letters = ['a', 'b'];
+    check(
+        "literal region overlap == alignment agreement",
+        |g: &mut Gen| {
+            let word = |g: &mut Gen| -> String {
+                (0..g.usize_in(1..=4)).map(|_| *g.pick(&letters)).collect()
+            };
+            let a = word(g);
+            let b = word(g);
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            // Slide b across a; any placement sharing >= 1 agreeing
+            // position (and agreeing everywhere they intersect) overlaps.
+            let mut expect = false;
+            for shift in -(bv.len() as isize - 1)..=(av.len() as isize - 1) {
+                let agree = (0..bv.len() as isize).all(|i| {
+                    let j = shift + i;
+                    !(0..av.len() as isize).contains(&j) || av[j as usize] == bv[i as usize]
+                });
+                if agree {
+                    expect = true;
+                    break;
+                }
+            }
+            let (na, nb) = (nfa(&a), nfa(&b));
+            let alpha = rep_alphabet(&[&na, &nb]);
+            let found = [
+                region_overlap(&na, &nb, &alpha, DEFAULT_CAP),
+                region_overlap(&nb, &na, &alpha, DEFAULT_CAP),
+            ]
+            .into_iter()
+            .find_map(|r| match r {
+                Budget::Done(w) => w,
+                Budget::Overflow => panic!("budget overflow on literals {a:?}/{b:?}"),
+            });
+            assert_eq!(
+                found.is_some(),
+                expect,
+                "overlap({a:?}, {b:?}) disagreement (witness {found:?})"
+            );
+            if let Some(w) = found {
+                assert!(w.contains(&a) && w.contains(&b), "bad witness {w:?}");
+            }
+        },
+    );
+}
+
+/// A random small regex over {a, b, c}: literals, classes, dot,
+/// alternation, optional/star repeats, and occasional anchors.
+fn gen_regex(g: &mut Gen, depth: usize) -> String {
+    let atom = |g: &mut Gen| -> String {
+        match g.below(4) {
+            0 => g.pick(&["a", "b", "c"]).to_string(),
+            1 => ".".to_string(),
+            2 => g.pick(&["[ab]", "[^a]", "[b-c]"]).to_string(),
+            _ => g.pick(&["ab", "bc", "ca"]).to_string(),
+        }
+    };
+    if depth == 0 {
+        return atom(g);
+    }
+    match g.below(5) {
+        0 => format!("{}{}", gen_regex(g, depth - 1), gen_regex(g, depth - 1)),
+        1 => format!("({}|{})", gen_regex(g, depth - 1), gen_regex(g, depth - 1)),
+        2 => format!("({})?", gen_regex(g, depth - 1)),
+        3 => format!("({})*", atom(g)),
+        _ => atom(g),
+    }
+}
+
+/// Sampled oracle: an inclusion verdict of "included" must hold on
+/// every sampled body, and a counterexample witness must separate the
+/// two languages under the real matcher.
+#[test]
+fn prop_regex_inclusion_consistent_with_sampling() {
+    check("regex inclusion vs sampled bodies", |g: &mut Gen| {
+        let pa = gen_regex(g, 2);
+        let pb = gen_regex(g, 2);
+        let (Ok(ra), Ok(rb)) = (Regex::new(&pa), Regex::new(&pb)) else {
+            return; // generator produced nothing unparseable today, but stay safe
+        };
+        let (na, nb) = (Nfa::new(&ra), Nfa::new(&rb));
+        let alpha = rep_alphabet(&[&na, &nb]);
+        match inclusion(&na, &nb, &alpha, DEFAULT_CAP) {
+            Budget::Done(None) => {
+                // No sampled body may match a but not b.
+                for _ in 0..40 {
+                    let body: String = (0..g.usize_in(0..=6))
+                        .map(|_| *g.pick(&['a', 'b', 'c', ' ']))
+                        .collect();
+                    if ra.is_match(&body) {
+                        assert!(
+                            rb.is_match(&body),
+                            "inclusion /{pa}/ ⊆ /{pb}/ falsified by {body:?}"
+                        );
+                    }
+                }
+            }
+            Budget::Done(Some(w)) => {
+                assert!(ra.is_match(&w), "witness {w:?} does not match /{pa}/");
+                assert!(!rb.is_match(&w), "witness {w:?} matches /{pb}/");
+            }
+            Budget::Overflow => {} // verdict withheld: nothing to pin
+        }
+    });
+}
+
+/// Every overlap witness the product machine produces must be a line
+/// both regexes genuinely match.
+#[test]
+fn prop_regex_overlap_witnesses_match_both() {
+    check("regex overlap witnesses", |g: &mut Gen| {
+        let pa = gen_regex(g, 2);
+        let pb = gen_regex(g, 2);
+        let (Ok(ra), Ok(rb)) = (Regex::new(&pa), Regex::new(&pb)) else {
+            return;
+        };
+        let (na, nb) = (Nfa::new(&ra), Nfa::new(&rb));
+        let alpha = rep_alphabet(&[&na, &nb]);
+        if let Budget::Done(Some(w)) = region_overlap(&na, &nb, &alpha, DEFAULT_CAP) {
+            assert!(ra.is_match(&w), "overlap witness {w:?} fails /{pa}/");
+            assert!(rb.is_match(&w), "overlap witness {w:?} fails /{pb}/");
+        }
+    });
+}
+
+/// End-to-end pinning: audit a generated two-rule literal catalog and
+/// compare the shadowing verdict against the substring oracle.
+#[test]
+fn prop_audit_shadow_verdict_matches_oracle() {
+    let letters = ['a', 'b', 'c'];
+    check("audit shadowing on literal catalogs", |g: &mut Gen| {
+        let word =
+            |g: &mut Gen| -> String { (0..g.usize_in(1..=5)).map(|_| *g.pick(&letters)).collect() };
+        let first = word(g);
+        let second = word(g);
+        let rules = vec![
+            ("FIRST".to_string(), format!("/{first}/")),
+            ("SECOND".to_string(), format!("/{second}/")),
+        ];
+        let audit = audit_rules("prop", &rules);
+        let shadowed = audit.findings.iter().find(|f| f.code == "shadowed");
+        // SECOND is dead iff every line containing `second` contains
+        // `first`, i.e. `second` contains `first` as a substring.
+        assert_eq!(
+            shadowed.is_some(),
+            second.contains(&first),
+            "rules /{first}/ then /{second}/"
+        );
+        if let Some(f) = shadowed {
+            assert_eq!(f.rule, "SECOND");
+            let w = f.witness.as_deref().expect("shadow finding lost witness");
+            let p1 = Predicate::parse(&rules[0].1).unwrap();
+            let p2 = Predicate::parse(&rules[1].1).unwrap();
+            assert!(p1.matches(w) && p2.matches(w), "witness {w:?}");
+        }
+    });
+}

@@ -84,6 +84,10 @@ impl<T> Sender<T> {
             }
             if state.queue.len() < self.shared.capacity {
                 state.queue.push_back(value);
+                debug_assert!(
+                    state.queue.len() <= self.shared.capacity,
+                    "ring buffer exceeded its configured capacity"
+                );
                 drop(state);
                 self.shared.not_empty.notify_one();
                 return Ok(());
@@ -105,6 +109,10 @@ impl<T> Clone for Sender<T> {
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let mut state = self.shared.state.lock().expect("channel poisoned");
+        debug_assert!(
+            state.senders >= 1,
+            "sender count underflow: more drops than clones"
+        );
         state.senders -= 1;
         if state.senders == 0 {
             drop(state);

@@ -103,7 +103,7 @@ pub fn ingest_stream(
 
     let job_cap = config.threads * sclog_rules::pool::JOBS_PER_WORKER;
     let bound_batches = job_cap + config.threads;
-    let gauge = InFlightGauge::new();
+    let gauge = InFlightGauge::new(bound_batches);
     let mut log_reader = LogReader::for_system(system);
     let mut batches = 0u64;
     let mut next_index = 0usize;

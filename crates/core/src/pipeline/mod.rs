@@ -170,7 +170,7 @@ pub fn tag_filter_stream(
     // consumer's reassembly window can never hold more, since an
     // out-of-order completion still occupies its submission permit).
     let bound_batches = job_cap + threads;
-    let gauge = InFlightGauge::new();
+    let gauge = InFlightGauge::new(bound_batches);
     let mut batches = 0u64;
 
     let (alerts, filtered) = sclog_rules::TagPool::scope(rules, threads, job_cap, |pool| {
@@ -233,21 +233,31 @@ struct InFlightGauge {
     messages: AtomicUsize,
     peak_batches: AtomicUsize,
     peak_messages: AtomicUsize,
+    /// The permit-channel capacity; acquire may never push the batch
+    /// count past it (checked in debug builds).
+    bound_batches: usize,
 }
 
 impl InFlightGauge {
-    fn new() -> Self {
+    fn new(bound_batches: usize) -> Self {
         InFlightGauge {
             batches: AtomicUsize::new(0),
             messages: AtomicUsize::new(0),
             peak_batches: AtomicUsize::new(0),
             peak_messages: AtomicUsize::new(0),
+            bound_batches,
         }
     }
 
     /// Records a batch of `len` messages entering the pipeline.
     fn acquire(&self, len: usize) {
         let b = self.batches.fetch_add(1, Ordering::SeqCst) + 1;
+        debug_assert!(
+            b <= self.bound_batches,
+            "permit accounting broken: {b} batches in flight exceeds the \
+             configured bound of {}",
+            self.bound_batches
+        );
         self.peak_batches.fetch_max(b, Ordering::SeqCst);
         let m = self.messages.fetch_add(len, Ordering::SeqCst) + len;
         self.peak_messages.fetch_max(m, Ordering::SeqCst);
@@ -255,8 +265,13 @@ impl InFlightGauge {
 
     /// Records a batch of `len` messages leaving (processed in order).
     fn release(&self, len: usize) {
-        self.batches.fetch_sub(1, Ordering::SeqCst);
-        self.messages.fetch_sub(len, Ordering::SeqCst);
+        let prev_b = self.batches.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev_b >= 1, "gauge release without a matching acquire");
+        let prev_m = self.messages.fetch_sub(len, Ordering::SeqCst);
+        debug_assert!(
+            prev_m >= len,
+            "gauge message count underflow: releasing {len} with only {prev_m} in flight"
+        );
     }
 
     fn peak_batches(&self) -> usize {

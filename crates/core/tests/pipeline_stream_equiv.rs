@@ -13,7 +13,7 @@ use sclog_core::Study;
 use sclog_filter::{AlertFilter, SpatioTemporalFilter};
 use sclog_rules::RuleSet;
 use sclog_simgen::Scale;
-use sclog_testkit::{check_n, Gen};
+use sclog_testkit::check_n;
 use sclog_types::{CategoryRegistry, ALL_SYSTEMS};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];

@@ -20,7 +20,7 @@ use crate::re::Regex;
 use std::fmt;
 
 /// A parsed rule expression (the AST).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuleExpr {
     /// `/re/` — the whole line matches.
     Line(String),

@@ -52,4 +52,5 @@ pub use lang::{Predicate, RuleExpr};
 pub use loader::{export_builtin, parse_ruleset, render_ruleset, LoadError, RuleDef};
 pub use pool::{LineBatch, LineRef, PoolClient, TagPool, TaggedBatch};
 pub use prefilter::AhoCorasick;
+pub use re::{ProgInst, Regex};
 pub use tagger::{RuleSet, TagScratch, TaggedLog};

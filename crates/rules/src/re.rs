@@ -82,6 +82,67 @@ enum Inst {
     Match,
 }
 
+/// One instruction of a compiled NFA program, as reported by
+/// [`Regex::program`].
+///
+/// This is the public mirror of the engine's internal instruction set.
+/// Program counters start at 0; control flows to `pc + 1` after a
+/// consuming instruction or a satisfied assertion, except through
+/// [`Split`](ProgInst::Split) / [`Jump`](ProgInst::Jump), whose targets
+/// are absolute indices into the same listing. Every program ends with
+/// exactly one [`Match`](ProgInst::Match).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgInst {
+    /// Consume one specific character.
+    Char(char),
+    /// Consume any character except `\n` (the `.` wildcard).
+    Any,
+    /// Consume one character inside (or, when `negated`, outside) the
+    /// union of the inclusive `ranges`.
+    Class {
+        /// Inclusive `(lo, hi)` character ranges.
+        ranges: Vec<(char, char)>,
+        /// When true the instruction matches characters *not* covered
+        /// by `ranges` (`[^…]` and `\D`/`\W`/`\S`).
+        negated: bool,
+    },
+    /// Zero-width assertion: position 0 of the text.
+    Start,
+    /// Zero-width assertion: end of the text.
+    End,
+    /// Fork execution to both absolute targets.
+    Split(usize, usize),
+    /// Unconditional jump to an absolute target.
+    Jump(usize),
+    /// Accept.
+    Match,
+}
+
+impl ProgInst {
+    /// True for instructions that consume one character of input
+    /// (`Char`, `Any`, `Class`); false for assertions and control flow.
+    pub fn is_consuming(&self) -> bool {
+        matches!(
+            self,
+            ProgInst::Char(_) | ProgInst::Any | ProgInst::Class { .. }
+        )
+    }
+
+    /// For a consuming instruction, whether it accepts character `c`;
+    /// always false for non-consuming instructions.
+    pub fn matches_char(&self, c: char) -> bool {
+        match self {
+            ProgInst::Char(want) => *want == c,
+            ProgInst::Any => c != '\n',
+            ProgInst::Class { ranges, negated } => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                inside != *negated
+            }
+            _ => false,
+        }
+    }
+}
+
 /// A compiled regular expression.
 ///
 /// # Examples
@@ -179,6 +240,32 @@ impl Regex {
     /// ```
     pub fn required_literals(&self) -> Option<&[String]> {
         self.factors.as_deref()
+    }
+
+    /// The compiled NFA program, exposed for static analyzers.
+    ///
+    /// The listing mirrors the engine's internal instruction set
+    /// one-to-one (same indices, same control flow), so an external
+    /// pass can simulate, product-construct, or measure exactly the
+    /// program the matcher runs. See [`ProgInst`] for the semantics of
+    /// each instruction.
+    pub fn program(&self) -> Vec<ProgInst> {
+        self.prog
+            .iter()
+            .map(|inst| match inst {
+                Inst::Char(c) => ProgInst::Char(*c),
+                Inst::Any => ProgInst::Any,
+                Inst::Class(set) => ProgInst::Class {
+                    ranges: set.ranges.clone(),
+                    negated: set.negated,
+                },
+                Inst::Start => ProgInst::Start,
+                Inst::End => ProgInst::End,
+                Inst::Split(a, b) => ProgInst::Split(*a, *b),
+                Inst::Jump(t) => ProgInst::Jump(*t),
+                Inst::Match => ProgInst::Match,
+            })
+            .collect()
     }
 
     /// True if the pattern matches anywhere in `text` (unanchored).

@@ -1,0 +1,72 @@
+//! Display/parse round-trip property for the rule language.
+//!
+//! Regression guard for the slash-escaping bug fixed in the seed
+//! build: `Display` must re-escape `/` inside `/…/` literals exactly
+//! the way the tokenizer strips it, so `parse(e.to_string()) == e`
+//! for every tree. Generated regex bodies deliberately *include* `/`
+//! (the interesting case) and exclude `\` — a trailing backslash in a
+//! pattern would swallow the closing delimiter's escape and is not
+//! printable as a `/…/` literal.
+
+use sclog_rules::RuleExpr;
+use sclog_testkit::{check, Gen};
+
+/// Random regex body: printable, no backslash, slash-heavy enough to
+/// exercise the escaping path constantly.
+fn body(g: &mut Gen) -> String {
+    let chars = [
+        '/', '/', 'a', 'b', 'Z', '9', ' ', '.', '*', '[', ']', '^', '$', '(', ')', '|', '?', '+',
+        '-', ':', '_',
+    ];
+    (0..g.usize_in(1..=8)).map(|_| *g.pick(&chars)).collect()
+}
+
+fn tree(g: &mut Gen, depth: usize) -> RuleExpr {
+    let leaf = |g: &mut Gen| {
+        if g.chance(0.5) {
+            RuleExpr::Line(body(g))
+        } else {
+            RuleExpr::Field(g.usize_in(1..=9), body(g))
+        }
+    };
+    if depth == 0 {
+        return leaf(g);
+    }
+    match g.below(6) {
+        0 | 1 => leaf(g),
+        2 => RuleExpr::Not(Box::new(tree(g, depth - 1))),
+        3 | 4 => RuleExpr::And(Box::new(tree(g, depth - 1)), Box::new(tree(g, depth - 1))),
+        _ => RuleExpr::Or(Box::new(tree(g, depth - 1)), Box::new(tree(g, depth - 1))),
+    }
+}
+
+#[test]
+fn prop_display_parse_roundtrip() {
+    check("RuleExpr display/parse round-trip", |g: &mut Gen| {
+        let e = tree(g, 3);
+        let printed = e.to_string();
+        let reparsed = RuleExpr::parse(&printed)
+            .unwrap_or_else(|err| panic!("printed form {printed:?} does not re-parse: {err}"));
+        assert_eq!(reparsed, e, "round-trip changed the tree via {printed:?}");
+    });
+}
+
+#[test]
+fn roundtrip_slash_heavy_literals() {
+    // The exact shape from the historical bug: slashes inside the
+    // pattern must come back verbatim, not doubled or dropped.
+    for pat in ["a/b", "//", "/", "x/y/z", "end/"] {
+        let e = RuleExpr::Line(pat.to_string());
+        assert_eq!(
+            RuleExpr::parse(&e.to_string()).unwrap(),
+            e,
+            "pattern {pat:?}"
+        );
+        let f = RuleExpr::Field(3, pat.to_string());
+        assert_eq!(
+            RuleExpr::parse(&f.to_string()).unwrap(),
+            f,
+            "pattern {pat:?}"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Report schema for the static rule-catalog audit.
+//!
+//! The analyses live in the `sclog-audit` crate; this module only
+//! defines the *vocabulary* of the report — finding levels, finding
+//! records, per-rule health metrics — and their JSON rendering on top
+//! of [`crate::json`], so any crate (or the committed golden snapshot)
+//! can speak the same schema without depending on the analyzer.
+
+use crate::json::{JsonArray, JsonObject};
+use std::fmt;
+
+/// Severity of an audit finding, in decreasing order of urgency.
+///
+/// The levels follow lint-gate convention: `Deny` findings fail the
+/// tier-1 `verify.sh --lint` gate, `Warn` findings are actionable but
+/// non-fatal, and `Allow` findings are informational properties of the
+/// catalog that are expected and accepted (e.g. order-resolved
+/// overlaps between a broad `.*`-gap rule and a literal rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AuditLevel {
+    /// Fails the lint gate: the catalog is definitely wrong (dead
+    /// category, empty-language regex, structural contradiction).
+    Deny,
+    /// Worth fixing: degrades performance or robustness but does not
+    /// change tagging results (factor-less rule in the always-check
+    /// set, redundant leading `.*`, universal pattern).
+    Warn,
+    /// Informational: a true property of the catalog whose resolution
+    /// is the documented catalog-order semantics.
+    Allow,
+}
+
+impl AuditLevel {
+    /// Stable lower-case name used in JSON and the text report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AuditLevel::Deny => "deny",
+            AuditLevel::Warn => "warn",
+            AuditLevel::Allow => "allow",
+        }
+    }
+}
+
+impl fmt::Display for AuditLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One audit finding about a rule (or a pair of rules) in a system's
+/// catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// How seriously the lint gate treats this finding.
+    pub level: AuditLevel,
+    /// Stable machine-readable finding code (e.g. `shadowed`,
+    /// `overlap`, `empty-language`, `always-check`).
+    pub code: String,
+    /// Category name of the rule the finding is about.
+    pub rule: String,
+    /// The other rule involved, for pairwise findings (the shadowing
+    /// rule, or the overlap partner).
+    pub other: Option<String>,
+    /// Human-readable explanation.
+    pub detail: String,
+    /// A witness string demonstrating the finding, when the analysis
+    /// produced one (a line matched by both rules of a pair, or by the
+    /// shadowed rule).
+    pub witness: Option<String>,
+}
+
+impl AuditFinding {
+    /// Renders the finding as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("level", self.level.as_str())
+            .str("code", &self.code)
+            .str("rule", &self.rule);
+        if let Some(other) = &self.other {
+            o.str("other", other);
+        }
+        o.str("detail", &self.detail);
+        if let Some(w) = &self.witness {
+            o.str("witness", w);
+        }
+        o.finish()
+    }
+}
+
+/// Static health metrics for one compiled rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleHealth {
+    /// Category name.
+    pub rule: String,
+    /// Total NFA instructions across the rule's compiled regex
+    /// programs.
+    pub insts: usize,
+    /// Upper bound on simultaneously live VM threads: the number of
+    /// consuming (character) instructions, since the thread set dedups
+    /// by program counter.
+    pub thread_bound: usize,
+    /// Required-literal factor count (`0` = unfilterable).
+    pub factors: usize,
+    /// Length of the weakest (shortest) factor — the prescan must hit
+    /// on *any* factor, so this bounds prefilter selectivity. `0` when
+    /// the rule has no factors.
+    pub weakest_factor_len: usize,
+    /// True when the rule has no factors and therefore sits in the
+    /// prefilter's always-check set, running its NFA on every line.
+    pub always_check: bool,
+}
+
+impl RuleHealth {
+    /// Renders the metrics as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("rule", &self.rule)
+            .uint("insts", self.insts as u64)
+            .uint("thread_bound", self.thread_bound as u64)
+            .uint("factors", self.factors as u64)
+            .uint("weakest_factor_len", self.weakest_factor_len as u64)
+            .bool("always_check", self.always_check);
+        o.finish()
+    }
+}
+
+/// The audit of one system's catalog: per-rule health plus findings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemAudit {
+    /// System name (lower-case, as in `SystemId::name`).
+    pub system: String,
+    /// Number of rules in the catalog, in priority order.
+    pub rules: Vec<RuleHealth>,
+    /// Findings, sorted by (level, code, rule, other) for deterministic
+    /// snapshots.
+    pub findings: Vec<AuditFinding>,
+}
+
+impl SystemAudit {
+    /// Renders the system audit as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut rules = JsonArray::new();
+        for r in &self.rules {
+            rules.push_raw(&r.to_json());
+        }
+        let mut findings = JsonArray::new();
+        for f in &self.findings {
+            findings.push_raw(&f.to_json());
+        }
+        let mut o = JsonObject::new();
+        o.str("system", &self.system)
+            .raw("rules", &rules.finish())
+            .raw("findings", &findings.finish());
+        o.finish()
+    }
+}
+
+/// The full audit report over every system's catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Schema version, bumped when the JSON layout changes.
+    pub version: u32,
+    /// One entry per audited system.
+    pub systems: Vec<SystemAudit>,
+}
+
+impl AuditReport {
+    /// Counts findings at each level across all systems as
+    /// `(deny, warn, allow)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for s in &self.systems {
+            for f in &s.findings {
+                match f.level {
+                    AuditLevel::Deny => c.0 += 1,
+                    AuditLevel::Warn => c.1 += 1,
+                    AuditLevel::Allow => c.2 += 1,
+                }
+            }
+        }
+        c
+    }
+
+    /// Renders the whole report as one JSON object (deterministic:
+    /// callers sort findings before building the report).
+    pub fn to_json(&self) -> String {
+        let (deny, warn, allow) = self.counts();
+        let mut systems = JsonArray::new();
+        for s in &self.systems {
+            systems.push_raw(&s.to_json());
+        }
+        let mut o = JsonObject::new();
+        o.uint("version", self.version as u64)
+            .uint("deny", deny as u64)
+            .uint("warn", warn as u64)
+            .uint("allow", allow as u64)
+            .raw("systems", &systems.finish());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_urgency() {
+        assert!(AuditLevel::Deny < AuditLevel::Warn);
+        assert!(AuditLevel::Warn < AuditLevel::Allow);
+        assert_eq!(AuditLevel::Deny.to_string(), "deny");
+    }
+
+    #[test]
+    fn finding_json_omits_absent_fields() {
+        let f = AuditFinding {
+            level: AuditLevel::Warn,
+            code: "always-check".into(),
+            rule: "HBEAT".into(),
+            other: None,
+            detail: "no literal factor".into(),
+            witness: None,
+        };
+        let json = f.to_json();
+        assert!(json.contains(r#""level":"warn""#));
+        assert!(!json.contains("other"));
+        assert!(!json.contains("witness"));
+    }
+
+    #[test]
+    fn report_counts_by_level() {
+        let mk = |level| AuditFinding {
+            level,
+            code: "x".into(),
+            rule: "R".into(),
+            other: None,
+            detail: String::new(),
+            witness: None,
+        };
+        let report = AuditReport {
+            version: 1,
+            systems: vec![SystemAudit {
+                system: "spirit".into(),
+                rules: vec![],
+                findings: vec![
+                    mk(AuditLevel::Allow),
+                    mk(AuditLevel::Deny),
+                    mk(AuditLevel::Allow),
+                ],
+            }],
+        };
+        assert_eq!(report.counts(), (1, 0, 2));
+        let json = report.to_json();
+        assert!(json.starts_with(r#"{"version":1,"deny":1,"warn":0,"allow":2,"#));
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod alert;
+pub mod audit;
 pub mod category;
 pub mod json;
 pub mod message;
@@ -41,6 +42,7 @@ pub mod system;
 pub mod time;
 
 pub use alert::{Alert, AlertType, FailureId};
+pub use audit::{AuditFinding, AuditLevel, AuditReport, RuleHealth, SystemAudit};
 pub use category::{CategoryDef, CategoryId, CategoryRegistry};
 pub use message::Message;
 pub use severity::{BglSeverity, Severity, SyslogSeverity};

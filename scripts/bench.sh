@@ -17,10 +17,28 @@ cd "$(dirname "$0")/.."
 : "${SCLOG_BENCH_WARMUP:=2}"
 export SCLOG_BENCH_SAMPLES SCLOG_BENCH_WARMUP
 
+# First line of every BENCH file is a host record, so numbers are never
+# compared across machines by accident. thread_cap is the worker count
+# the bench actually uses: tagger_bench pins 4 workers, pipeline_bench
+# takes min(available cores, 8).
+cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+host_record() {
+    printf '{"record":"host","cpus":%s,"thread_cap":%s,"samples":%s,"warmup":%s}\n' \
+        "$cpus" "$1" "$SCLOG_BENCH_SAMPLES" "$SCLOG_BENCH_WARMUP"
+}
+pipeline_cap=$cpus
+[ "$pipeline_cap" -gt 8 ] && pipeline_cap=8
+
 echo "== tagger_bench -> BENCH_tagger.json (samples=$SCLOG_BENCH_SAMPLES)"
-cargo bench --offline -p sclog-bench --bench tagger_bench > BENCH_tagger.json
+{
+    host_record 4
+    cargo bench --offline -p sclog-bench --bench tagger_bench
+} > BENCH_tagger.json
 
 echo "== pipeline_bench -> BENCH_pipeline.json (samples=$SCLOG_BENCH_SAMPLES)"
-cargo bench --offline -p sclog-bench --bench pipeline_bench > BENCH_pipeline.json
+{
+    host_record "$pipeline_cap"
+    cargo bench --offline -p sclog-bench --bench pipeline_bench
+} > BENCH_pipeline.json
 
-echo "bench: wrote BENCH_tagger.json BENCH_pipeline.json"
+echo "bench: wrote BENCH_tagger.json BENCH_pipeline.json (host: $cpus cpus)"

@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Source hygiene for the workspace — pure grep/shell, no extra tools.
+#
+# Enforced invariants:
+#   1. Every crate root (src/lib.rs and crates/*/src/lib.rs) carries
+#      both `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+#   2. No `dbg!(`, `todo!()`, or `unimplemented!()` in non-test source
+#      (test modules and tests/ trees may use whatever they like).
+#   3. No registry dependencies anywhere: every [dependencies]-section
+#      entry in every Cargo.toml must be a `sclog-*` workspace path
+#      crate, keeping the build hermetic and `--offline`-safe.
+#
+# Runs standalone or as part of scripts/verify.sh --lint.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+    echo "tidy: $*" >&2
+    fail=1
+}
+
+# -- 1. lint headers on every crate root ------------------------------
+for root in src/lib.rs crates/*/src/lib.rs; do
+    grep -q '^#!\[forbid(unsafe_code)\]' "$root" ||
+        complain "$root: missing #![forbid(unsafe_code)]"
+    grep -q '^#!\[warn(missing_docs)\]' "$root" ||
+        complain "$root: missing #![warn(missing_docs)]"
+done
+
+# -- 2. no debug/stub macros in non-test code -------------------------
+# Scan src/ trees only (tests/ and benches/ are exempt), then drop
+# lines inside #[cfg(test)] modules by the cheap-but-effective rule
+# that in this codebase test modules live at the end of the file after
+# a `mod tests` marker.
+for srcdir in src crates/*/src; do
+    [ -d "$srcdir" ] || continue
+    for f in $(find "$srcdir" -name '*.rs'); do
+        # Cut the file at the first `mod tests` so in-file unit tests
+        # are not scanned.
+        awk '/^ *(#\[cfg\(test\)\]|mod tests)/ { exit } { print }' "$f" |
+            grep -n -e 'dbg!(' -e 'todo!()' -e 'unimplemented!()' /dev/stdin |
+            while IFS=: read -r line text; do
+                echo "tidy: $f:$line: banned macro in non-test code: $text" >&2
+            done
+        if awk '/^ *(#\[cfg\(test\)\]|mod tests)/ { exit } { print }' "$f" |
+            grep -q -e 'dbg!(' -e 'todo!()' -e 'unimplemented!()'; then
+            fail=1
+        fi
+    done
+done
+
+# -- 3. hermetic dependency policy ------------------------------------
+# In every Cargo.toml, each dependency line must reference an sclog-*
+# path crate (either `x.workspace = true` or an inline `{ path = … }`).
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) ; next }
+        in_deps && NF && $0 !~ /^#/ { print }
+    ' "$manifest")
+    if [ -n "$deps" ]; then
+        bad=$(printf '%s\n' "$deps" | grep -v '^sclog-' || true)
+        if [ -n "$bad" ]; then
+            complain "$manifest: non-workspace dependency: $(printf '%s' "$bad" | head -1)"
+        fi
+        nonpath=$(printf '%s\n' "$deps" |
+            grep -v -e '\.workspace *= *true' -e 'path *=' || true)
+        if [ -n "$nonpath" ]; then
+            complain "$manifest: registry dependency (no path): $(printf '%s' "$nonpath" | head -1)"
+        fi
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "tidy: FAILED" >&2
+    exit 1
+fi
+echo "tidy: OK"

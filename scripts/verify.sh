@@ -6,7 +6,11 @@
 #
 # Modes:
 #   scripts/verify.sh                the full tier-1 run (includes the
-#                                    bench smoke)
+#                                    lint gate and the bench smoke)
+#   scripts/verify.sh --lint         only the lint gate: source hygiene
+#                                    (scripts/tidy.sh) plus the static
+#                                    rule-catalog audit checked against
+#                                    the committed AUDIT.json snapshot
 #   scripts/verify.sh --bench-smoke  only the bench smoke: run the
 #                                    tagger and pipeline benches at
 #                                    minimal sample counts to prove the
@@ -17,6 +21,19 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Deny warnings everywhere, and export once so every cargo invocation
+# in every mode shares one fingerprint (no rebuild churn between the
+# build, the lint gate's `cargo run`, tests, and the bench smoke).
+RUSTFLAGS="${RUSTFLAGS:-} -Dwarnings"
+export RUSTFLAGS
+
+lint() {
+    echo "== tidy (source hygiene)"
+    sh scripts/tidy.sh
+    echo "== sclog-audit --check AUDIT.json (rule-catalog static analysis)"
+    cargo run -q --offline --release -p sclog-audit -- --check AUDIT.json
+}
 
 bench_smoke() {
     echo "== bench smoke: tagger_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
@@ -33,11 +50,19 @@ if [ "${1-}" = "--bench-smoke" ]; then
     exit 0
 fi
 
+if [ "${1-}" = "--lint" ]; then
+    lint
+    echo "verify: OK (lint)"
+    exit 0
+fi
+
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo build --workspace --release --offline"
+echo "== cargo build --workspace --release --offline (RUSTFLAGS=-Dwarnings)"
 cargo build --workspace --release --offline
+
+lint
 
 echo "== cargo test -q --workspace --offline"
 cargo test -q --workspace --offline

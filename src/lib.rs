@@ -12,6 +12,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use sclog_core as core;
 pub use sclog_desim as desim;
