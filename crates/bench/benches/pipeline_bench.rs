@@ -23,7 +23,7 @@
 
 use sclog_bench::BenchGroup;
 use sclog_core::pipeline::{self, IngestConfig};
-use sclog_core::Study;
+use sclog_core::{ObsConfig, Study};
 use sclog_filter::SpatioTemporalFilter;
 use sclog_parse::LogReader;
 use sclog_rules::RuleSet;
@@ -145,5 +145,26 @@ fn main() {
     assert!(
         stats.peak_in_flight_messages <= stats.in_flight_bound_messages.unwrap_or(usize::MAX),
         "study pipeline exceeded its configured in-flight bound"
+    );
+
+    // One observed run: the full `sclog.obs.v1` snapshot rides along in
+    // the bench file so a timing regression can be read against the
+    // stage waterfall that produced it (see scripts/bench.sh for the
+    // record's keys).
+    let obs_run = study.obs(ObsConfig::on()).run_system(SystemId::Liberty);
+    let report = obs_run.obs.expect("obs was enabled");
+    let tag_busy_ms = report.stage("tag").map_or(0.0, |s| s.busy_ns as f64 / 1e6);
+    let mut rec = JsonObject::new();
+    rec.str("record", "obs")
+        .str("name", "pipeline_liberty/study_stream_obs")
+        .uint("threads", stats.threads as u64)
+        .num("coverage", report.coverage)
+        .raw("report", &report.to_json());
+    println!("{}", rec.finish());
+    eprintln!(
+        "obs:    {:.1}% of thread time attributed; tag busy {tag_busy_ms:.1} ms \
+         over {} workers",
+        report.coverage * 100.0,
+        report.workers.len(),
     );
 }

@@ -1,0 +1,111 @@
+//! Run report: a small Spirit-profile study with observability on.
+//!
+//! Emits the `sclog.obs.v1` JSON report on stdout and the human
+//! waterfall on stderr, so `obs_report > report.json` captures the
+//! machine-readable half while the terminal still shows the summary.
+//!
+//! With `--check`, additionally validates the report — JSON
+//! well-formedness via `sclog_types::json::validate`, presence of the
+//! keys the schema promises, span coverage of at least 95% of recorded
+//! thread time, and every bounded gauge's peak within its bound — and
+//! exits nonzero on any failure. `scripts/verify.sh --obs-smoke` runs
+//! this mode.
+
+use sclog_bench::HARNESS_SEED;
+use sclog_core::{ObsConfig, Study};
+use sclog_obs::render;
+use sclog_types::json::validate;
+use sclog_types::{ObsReport, SystemId};
+use std::process::ExitCode;
+
+/// Counters the instrumented pipeline always registers; `--check`
+/// fails if any is missing from the report.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "tagger.lines",
+    "tagger.bytes",
+    "tagger.prefilter.gated_out",
+    "tagger.prefilter.vm_execs",
+    "tagger.prefilter.matches",
+    "filter.alerts_in",
+    "filter.alerts_kept",
+    "simgen.messages",
+    "simgen.failures",
+];
+
+/// Stages the study pipeline always runs.
+const REQUIRED_STAGES: &[&str] = &["produce", "tag", "filter"];
+
+/// Minimum fraction of recorded thread time the spans must attribute.
+const MIN_COVERAGE: f64 = 0.95;
+
+fn check(report: &ObsReport, json: &str) -> Result<(), String> {
+    validate(json).map_err(|e| format!("report JSON does not parse: {e}"))?;
+    if !json.contains("\"schema\":\"sclog.obs.v1\"") {
+        return Err("schema tag sclog.obs.v1 missing".into());
+    }
+    for name in REQUIRED_COUNTERS {
+        if report.counter(name).is_none() {
+            return Err(format!("required counter {name} missing"));
+        }
+    }
+    for name in REQUIRED_STAGES {
+        if report.stage(name).is_none() {
+            return Err(format!("required stage {name} missing"));
+        }
+    }
+    if report.gauge("pipeline.in_flight_batches").is_none() {
+        return Err("gauge pipeline.in_flight_batches missing".into());
+    }
+    for g in &report.gauges {
+        if let Some(bound) = g.bound {
+            if g.peak > bound {
+                return Err(format!(
+                    "gauge {} peak {} exceeds bound {bound}",
+                    g.name, g.peak
+                ));
+            }
+        }
+        if g.current != 0 {
+            return Err(format!(
+                "gauge {} not drained: current {}",
+                g.name, g.current
+            ));
+        }
+    }
+    if report.coverage < MIN_COVERAGE {
+        return Err(format!(
+            "span coverage {:.3} below required {MIN_COVERAGE}",
+            report.coverage
+        ));
+    }
+    if report.wall_ns == 0 || report.attributed_ns == 0 {
+        return Err("report recorded no time".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let checking = std::env::args().any(|a| a == "--check");
+    let run = Study::new(0.02, 0.0005, HARNESS_SEED)
+        .threads(2)
+        .chunk_size(512)
+        .obs(ObsConfig::on())
+        .run_system(SystemId::Spirit);
+    let report = run.obs.expect("obs was enabled");
+    let json = report.to_json();
+    println!("{json}");
+    eprintln!("{}", render(&report));
+    if checking {
+        if let Err(why) = check(&report, &json) {
+            eprintln!("obs-smoke FAILED: {why}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "obs-smoke OK: {} stages, {} counters, coverage {:.1}%",
+            report.stages.len(),
+            report.counters.len(),
+            report.coverage * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

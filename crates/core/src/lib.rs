@@ -34,4 +34,5 @@ pub mod tables;
 pub mod text;
 
 pub use pipeline::{IngestConfig, IngestResult, PipelineStats};
+pub use sclog_obs::ObsConfig;
 pub use study::{Study, SystemRun};

@@ -24,11 +24,12 @@
 //! (raw-line vs rendered-message tagging included) is covered by
 //! property tests over all five systems.
 
-use super::{channel, InFlightGauge, PipelineStats, Reassembler};
+use super::{channel, InFlightGauge, PipeMetrics, PipelineStats, Reassembler, SerialMetrics};
 use sclog_filter::{AlertFilter, SpatioTemporalFilter};
+use sclog_obs::{Counter, Histogram, ObsConfig, Recorder, Stage, ThreadRecorder};
 use sclog_parse::{LineChunker, LogReader, ParseStats};
 use sclog_rules::{LineBatch, LineRef, RuleSet, TagPool, TagScratch, TaggedLog};
-use sclog_types::{Alert, SystemId};
+use sclog_types::{Alert, ObsReport, SystemId};
 use std::io::Read;
 
 /// Tuning knobs for [`ingest_stream`].
@@ -40,6 +41,10 @@ pub struct IngestConfig {
     pub chunk_bytes: usize,
     /// Capacity of the reader→parser text channel, in chunks.
     pub text_queue: usize,
+    /// Observability: [`ObsConfig::on`] makes the run carry an
+    /// [`ObsReport`] in [`IngestResult::obs`]. Off (the default) costs
+    /// nothing.
+    pub obs: ObsConfig,
 }
 
 impl Default for IngestConfig {
@@ -48,6 +53,7 @@ impl Default for IngestConfig {
             threads: 1,
             chunk_bytes: sclog_parse::DEFAULT_CHUNK_BYTES,
             text_queue: 4,
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -73,6 +79,8 @@ pub struct IngestResult {
     pub parse: ParseStats,
     /// Pipeline memory observations.
     pub stats: PipelineStats,
+    /// The run report, when [`IngestConfig::obs`] was on.
+    pub obs: Option<ObsReport>,
 }
 
 /// Ingests raw log text from a reader through the streaming pipeline.
@@ -104,35 +112,63 @@ pub fn ingest_stream(
     let job_cap = config.threads * sclog_rules::pool::JOBS_PER_WORKER;
     let bound_batches = job_cap + config.threads;
     let gauge = InFlightGauge::new(bound_batches);
+    let recorder = config.obs.recorder();
+    let pipe_metrics = PipeMetrics::register(&recorder);
+    let metrics = IngestMetrics::register(&recorder);
+    gauge.adopt_into(&recorder);
     let mut log_reader = LogReader::for_system(system);
     let mut batches = 0u64;
     let mut next_index = 0usize;
 
-    let outcome = TagPool::scope(rules, config.threads, job_cap, |pool| {
+    let outcome = TagPool::scope_with(rules, config.threads, job_cap, &recorder, |pool| {
         let (text_tx, text_rx) = channel::bounded(config.text_queue);
         let (permit_tx, permit_rx) = channel::bounded::<()>(bound_batches);
         let gauge = &gauge;
         let log_reader = &mut log_reader;
         let batches = &mut batches;
         let next_index = &mut next_index;
+        let tr_read = recorder.thread("reader");
+        let tr_cons = recorder.thread("consumer");
+        let tr_main = recorder.thread("parser");
         std::thread::scope(|s| {
             s.spawn(move || {
-                for chunk in LineChunker::with_target(reader, config.chunk_bytes) {
+                let tr = tr_read;
+                let mut chunks = LineChunker::with_target(reader, config.chunk_bytes);
+                loop {
+                    let item = {
+                        // The chunker pulls from the underlying reader
+                        // here — this is the stage's real I/O work.
+                        let _busy = tr.span(metrics.read);
+                        chunks.next()
+                    };
+                    let Some(chunk) = item else { return };
+                    let bytes = chunk.as_ref().map_or(0, |t| t.len()) as u64;
+                    tr.stage_items(metrics.read, 1, bytes);
+                    let _wait = tr.wait_span(metrics.read);
                     if text_tx.send(chunk).is_err() {
                         return; // parse stage bailed on an earlier error
                     }
                 }
             });
             let consumer = s.spawn(move || {
+                let tr = tr_cons;
                 let mut reasm = Reassembler::new();
                 let mut alerts = Vec::new();
                 let mut filtered = Vec::new();
                 let mut stream = filter.stream();
-                while let Some(batch) = pool.recv() {
+                loop {
+                    let received = {
+                        let _wait = tr.wait_span(pipe_metrics.filter);
+                        pool.recv()
+                    };
+                    let Some(batch) = received else { break };
+                    let _busy = tr.span(pipe_metrics.filter);
                     reasm.push(batch.seq, batch);
+                    tr.record_max(pipe_metrics.pending_peak, reasm.pending() as u64);
                     while let Some(b) = reasm.pop_ready() {
                         gauge.release(b.len);
                         let _ = permit_rx.recv();
+                        tr.stage_items(pipe_metrics.filter, b.alerts.len() as u64, 0);
                         for a in b.alerts {
                             if stream.push(&a) {
                                 filtered.push(a);
@@ -142,10 +178,17 @@ pub fn ingest_stream(
                     }
                 }
                 assert!(reasm.is_drained(), "pool closed with a sequence gap");
+                tr.add(pipe_metrics.alerts_in, stream.pushed());
+                tr.add(pipe_metrics.alerts_kept, stream.kept());
                 (alerts, filtered)
             });
             let mut err = None;
-            while let Some(item) = text_rx.recv() {
+            loop {
+                let item = {
+                    let _wait = tr_main.wait_span(metrics.parse);
+                    text_rx.recv()
+                };
+                let Some(item) = item else { break };
                 let text = match item {
                     Ok(text) => text,
                     Err(e) => {
@@ -153,8 +196,18 @@ pub fn ingest_stream(
                         break;
                     }
                 };
-                let lines = parse_chunk(log_reader, &text, next_index);
-                permit_tx.send(()).expect("consumer outlives producer");
+                let lines = {
+                    let _busy = tr_main.span(metrics.parse);
+                    parse_chunk(log_reader, &text, next_index)
+                };
+                tr_main.observe(metrics.chunk_bytes, text.len() as u64);
+                tr_main.stage_items(metrics.parse, lines.len() as u64, text.len() as u64);
+                {
+                    // Backpressure: block while the in-flight bound is full.
+                    let _wait = tr_main.wait_span(pipe_metrics.produce);
+                    permit_tx.send(()).expect("consumer outlives producer");
+                }
+                let _busy = tr_main.span(pipe_metrics.produce);
                 gauge.acquire(lines.len());
                 pool.submit_lines(LineBatch { text, lines });
                 *batches += 1;
@@ -163,6 +216,7 @@ pub fn ingest_stream(
             drop(permit_tx);
             pool.close();
             let (alerts, filtered) = consumer.join().expect("pipeline consumer panicked");
+            metrics.flush_parse(&tr_main, log_reader.stats());
             match err {
                 Some(e) => Err(e),
                 None => Ok((alerts, filtered)),
@@ -183,7 +237,48 @@ pub fn ingest_stream(
             peak_in_flight_messages: gauge.peak_messages(),
             in_flight_bound_messages: None,
         },
+        obs: config
+            .obs
+            .is_enabled()
+            .then(|| recorder.snapshot().report()),
     })
+}
+
+/// Metric handles specific to text ingestion, registered before the
+/// pool seals the recorder.
+#[derive(Debug, Clone, Copy)]
+struct IngestMetrics {
+    read: Stage,
+    parse: Stage,
+    /// Size distribution of the reader's text chunks.
+    chunk_bytes: Histogram,
+    lines_parsed: Counter,
+    lines_empty: Counter,
+    lines_bad_timestamp: Counter,
+    lines_too_short: Counter,
+}
+
+impl IngestMetrics {
+    fn register(rec: &Recorder) -> Self {
+        IngestMetrics {
+            read: rec.stage("read"),
+            parse: rec.stage("parse"),
+            chunk_bytes: rec.histogram("pipeline.chunk_bytes"),
+            lines_parsed: rec.counter("parse.lines"),
+            lines_empty: rec.counter("parse.empty"),
+            lines_bad_timestamp: rec.counter("parse.bad_timestamp"),
+            lines_too_short: rec.counter("parse.too_short"),
+        }
+    }
+
+    /// Flushes the reader's final line accounting (kept as plain
+    /// counters in [`ParseStats`] during the run).
+    fn flush_parse(&self, tr: &ThreadRecorder, stats: &ParseStats) {
+        tr.add(self.lines_parsed, stats.parsed);
+        tr.add(self.lines_empty, stats.empty);
+        tr.add(self.lines_bad_timestamp, stats.bad_timestamp);
+        tr.add(self.lines_too_short, stats.too_short);
+    }
 }
 
 /// The single-threaded arm: chunked read, parse, raw-line tag and
@@ -195,6 +290,10 @@ fn ingest_serial(
     filter: &SpatioTemporalFilter,
     config: IngestConfig,
 ) -> std::io::Result<IngestResult> {
+    let recorder = config.obs.recorder();
+    let metrics = IngestMetrics::register(&recorder);
+    let serial_metrics = SerialMetrics::register(&recorder);
+    let tr = recorder.thread("serial");
     let mut log_reader = LogReader::for_system(system);
     let mut scratch = TagScratch::new();
     let mut alerts = Vec::new();
@@ -203,11 +302,24 @@ fn ingest_serial(
     let mut next_index = 0usize;
     let mut batches = 0u64;
     let mut peak = 0usize;
-    for chunk in LineChunker::with_target(reader, config.chunk_bytes) {
+    let mut chunks = LineChunker::with_target(reader, config.chunk_bytes);
+    loop {
+        let item = {
+            let _busy = tr.span(metrics.read);
+            chunks.next()
+        };
+        let Some(chunk) = item else { break };
         let text = chunk?;
-        let lines = parse_chunk(&mut log_reader, &text, &mut next_index);
+        tr.stage_items(metrics.read, 1, text.len() as u64);
+        tr.observe(metrics.chunk_bytes, text.len() as u64);
+        let lines = {
+            let _busy = tr.span(metrics.parse);
+            parse_chunk(&mut log_reader, &text, &mut next_index)
+        };
+        tr.stage_items(metrics.parse, lines.len() as u64, text.len() as u64);
         batches += 1;
         peak = peak.max(lines.len());
+        let _busy = tr.span(serial_metrics.tag);
         for line in &lines {
             let raw = &text[line.start..line.end];
             if let Some(category) = rules.tag_line_with(raw, &mut scratch) {
@@ -218,7 +330,13 @@ fn ingest_serial(
                 alerts.push(alert);
             }
         }
+        let counts = scratch.take_counts();
+        tr.stage_items(serial_metrics.tag, lines.len() as u64, counts.bytes);
+        serial_metrics.flush(&tr, counts);
     }
+    tr.add(serial_metrics.alerts_in, stream.pushed());
+    tr.add(serial_metrics.alerts_kept, stream.kept());
+    metrics.flush_parse(&tr, log_reader.stats());
     Ok(IngestResult {
         tagged: TaggedLog { alerts },
         filtered,
@@ -231,6 +349,10 @@ fn ingest_serial(
             peak_in_flight_messages: peak,
             in_flight_bound_messages: None,
         },
+        obs: config
+            .obs
+            .is_enabled()
+            .then(|| recorder.snapshot().report()),
     })
 }
 
@@ -299,6 +421,7 @@ pub fn ingest_batch(
             peak_in_flight_messages: n,
             in_flight_bound_messages: Some(n),
         },
+        obs: None,
     }
 }
 
@@ -329,6 +452,7 @@ mod tests {
                 threads,
                 chunk_bytes: 8 * 1024,
                 text_queue: 3,
+                obs: ObsConfig::off(),
             };
             let stream =
                 ingest_stream(SystemId::Liberty, text.as_bytes(), &rules, &filter, config).unwrap();
@@ -361,6 +485,7 @@ mod tests {
                 threads: 2,
                 chunk_bytes,
                 text_queue: 2,
+                obs: ObsConfig::off(),
             };
             let run =
                 ingest_stream(SystemId::Liberty, text.as_bytes(), &rules, &filter, config).unwrap();
@@ -393,6 +518,7 @@ mod tests {
                 threads,
                 chunk_bytes: 16,
                 text_queue: 2,
+                obs: ObsConfig::off(),
             };
             let err = ingest_stream(SystemId::Liberty, FailAfter(3), &rules, &filter, config)
                 .unwrap_err();

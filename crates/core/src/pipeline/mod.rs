@@ -33,10 +33,10 @@ mod ingest;
 pub use ingest::{ingest_batch, ingest_stream, IngestConfig, IngestResult};
 
 use sclog_filter::SpatioTemporalFilter;
+use sclog_obs::{PeakGauge, Recorder, Stage, ThreadRecorder};
 use sclog_rules::{RuleSet, TagScratch, TaggedLog};
 use sclog_types::{Alert, FailureId, Message, SourceInterner};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default messages per tagging batch.
 pub const DEFAULT_CHUNK_MESSAGES: usize = 4096;
@@ -156,13 +156,49 @@ pub fn tag_filter_stream(
     threads: usize,
     chunk: usize,
 ) -> (TaggedLog, Vec<Alert>, PipelineStats) {
+    tag_filter_stream_with(
+        rules,
+        messages,
+        interner,
+        truth,
+        filter,
+        threads,
+        chunk,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`tag_filter_stream`] with an observability recorder: stages
+/// `produce` (chunking + pool submission, with permit waits attributed
+/// as queue wait), `tag` (inside the pool workers) and `filter`
+/// (in-order reassembly + spatio-temporal filtering, with idle
+/// `pool.recv` time as queue wait) appear in the report's waterfall,
+/// alongside the in-flight gauges, the reassembler's pending
+/// high-water mark, and the tagger's prefilter counters. With
+/// [`Recorder::disabled`] this is exactly [`tag_filter_stream`]: no
+/// clock is read anywhere.
+///
+/// # Panics
+///
+/// As [`tag_filter_stream`].
+#[allow(clippy::too_many_arguments)]
+pub fn tag_filter_stream_with(
+    rules: &RuleSet,
+    messages: &[Message],
+    interner: &SourceInterner,
+    truth: Option<&[Option<FailureId>]>,
+    filter: &SpatioTemporalFilter,
+    threads: usize,
+    chunk: usize,
+    recorder: &Recorder,
+) -> (TaggedLog, Vec<Alert>, PipelineStats) {
     assert!(threads > 0, "need at least one thread");
     assert!(chunk > 0, "chunk size must be positive");
     if let Some(t) = truth {
         assert_eq!(t.len(), messages.len(), "truth must align with messages");
     }
     if threads == 1 {
-        return tag_filter_serial(rules, messages, interner, truth, filter, chunk);
+        return tag_filter_serial(rules, messages, interner, truth, filter, chunk, recorder);
     }
 
     let job_cap = threads * sclog_rules::pool::JOBS_PER_WORKER;
@@ -171,50 +207,73 @@ pub fn tag_filter_stream(
     // out-of-order completion still occupies its submission permit).
     let bound_batches = job_cap + threads;
     let gauge = InFlightGauge::new(bound_batches);
+    let metrics = PipeMetrics::register(recorder);
+    gauge.adopt_into(recorder);
     let mut batches = 0u64;
 
-    let (alerts, filtered) = sclog_rules::TagPool::scope(rules, threads, job_cap, |pool| {
-        let (permit_tx, permit_rx) = channel::bounded::<()>(bound_batches);
-        let gauge = &gauge;
-        std::thread::scope(|s| {
-            let consumer = s.spawn(move || {
-                let mut reasm = Reassembler::new();
-                let mut alerts = Vec::new();
-                let mut filtered = Vec::new();
-                let mut stream = filter.stream();
-                while let Some(batch) = pool.recv() {
-                    reasm.push(batch.seq, batch);
-                    while let Some(b) = reasm.pop_ready() {
-                        gauge.release(b.len);
-                        let _ = permit_rx.recv();
-                        for a in b.alerts {
-                            if stream.push(&a) {
-                                filtered.push(a);
+    let (alerts, filtered) =
+        sclog_rules::TagPool::scope_with(rules, threads, job_cap, recorder, |pool| {
+            let (permit_tx, permit_rx) = channel::bounded::<()>(bound_batches);
+            let gauge = &gauge;
+            let tr_cons = recorder.thread("consumer");
+            let tr_prod = recorder.thread("producer");
+            std::thread::scope(|s| {
+                let consumer = s.spawn(move || {
+                    let tr = tr_cons;
+                    let mut reasm = Reassembler::new();
+                    let mut alerts = Vec::new();
+                    let mut filtered = Vec::new();
+                    let mut stream = filter.stream();
+                    loop {
+                        let received = {
+                            // Idle until a worker completes a batch.
+                            let _wait = tr.wait_span(metrics.filter);
+                            pool.recv()
+                        };
+                        let Some(batch) = received else { break };
+                        let _busy = tr.span(metrics.filter);
+                        reasm.push(batch.seq, batch);
+                        tr.record_max(metrics.pending_peak, reasm.pending() as u64);
+                        while let Some(b) = reasm.pop_ready() {
+                            gauge.release(b.len);
+                            let _ = permit_rx.recv();
+                            tr.stage_items(metrics.filter, b.alerts.len() as u64, 0);
+                            for a in b.alerts {
+                                if stream.push(&a) {
+                                    filtered.push(a);
+                                }
+                                alerts.push(a);
                             }
-                            alerts.push(a);
                         }
                     }
+                    assert!(reasm.is_drained(), "pool closed with a sequence gap");
+                    tr.add(metrics.alerts_in, stream.pushed());
+                    tr.add(metrics.alerts_kept, stream.kept());
+                    (alerts, filtered)
+                });
+                for (k, msgs) in messages.chunks(chunk).enumerate() {
+                    {
+                        // Backpressure: block here while the bound is full.
+                        let _wait = tr_prod.wait_span(metrics.produce);
+                        permit_tx.send(()).expect("consumer outlives producer");
+                    }
+                    let _busy = tr_prod.span(metrics.produce);
+                    gauge.acquire(msgs.len());
+                    let base = k * chunk;
+                    pool.submit_messages(
+                        base,
+                        msgs,
+                        interner,
+                        truth.map(|t| &t[base..base + msgs.len()]),
+                    );
+                    tr_prod.stage_items(metrics.produce, msgs.len() as u64, 0);
+                    batches += 1;
                 }
-                assert!(reasm.is_drained(), "pool closed with a sequence gap");
-                (alerts, filtered)
-            });
-            for (k, msgs) in messages.chunks(chunk).enumerate() {
-                permit_tx.send(()).expect("consumer outlives producer");
-                gauge.acquire(msgs.len());
-                let base = k * chunk;
-                pool.submit_messages(
-                    base,
-                    msgs,
-                    interner,
-                    truth.map(|t| &t[base..base + msgs.len()]),
-                );
-                batches += 1;
-            }
-            drop(permit_tx);
-            pool.close();
-            consumer.join().expect("pipeline consumer panicked")
-        })
-    });
+                drop(permit_tx);
+                pool.close();
+                consumer.join().expect("pipeline consumer panicked")
+            })
+        });
 
     let stats = PipelineStats {
         threads,
@@ -227,64 +286,118 @@ pub fn tag_filter_stream(
     (TaggedLog { alerts }, filtered, stats)
 }
 
+/// Metric handles the streaming pipeline registers up front (before
+/// any thread shard seals the recorder).
+#[derive(Debug, Clone, Copy)]
+struct PipeMetrics {
+    produce: Stage,
+    filter: Stage,
+    /// High-water mark of batches the reassembler held out of order.
+    pending_peak: sclog_obs::Peak,
+    alerts_in: sclog_obs::Counter,
+    alerts_kept: sclog_obs::Counter,
+}
+
+impl PipeMetrics {
+    fn register(rec: &Recorder) -> Self {
+        PipeMetrics {
+            produce: rec.stage("produce"),
+            filter: rec.stage("filter"),
+            pending_peak: rec.peak("pipeline.reassembler.pending_peak"),
+            alerts_in: rec.counter("filter.alerts_in"),
+            alerts_kept: rec.counter("filter.alerts_kept"),
+        }
+    }
+}
+
+/// Serial-arm metric handles: the same names the pool path uses, so a
+/// report reads identically at any thread count.
+#[derive(Debug, Clone, Copy)]
+struct SerialMetrics {
+    tag: Stage,
+    lines: sclog_obs::Counter,
+    bytes: sclog_obs::Counter,
+    gated_out: sclog_obs::Counter,
+    vm_execs: sclog_obs::Counter,
+    matches: sclog_obs::Counter,
+    alerts_in: sclog_obs::Counter,
+    alerts_kept: sclog_obs::Counter,
+}
+
+impl SerialMetrics {
+    fn register(rec: &Recorder) -> Self {
+        SerialMetrics {
+            tag: rec.stage("tag"),
+            lines: rec.counter("tagger.lines"),
+            bytes: rec.counter("tagger.bytes"),
+            gated_out: rec.counter("tagger.prefilter.gated_out"),
+            vm_execs: rec.counter("tagger.prefilter.vm_execs"),
+            matches: rec.counter("tagger.prefilter.matches"),
+            alerts_in: rec.counter("filter.alerts_in"),
+            alerts_kept: rec.counter("filter.alerts_kept"),
+        }
+    }
+
+    fn flush(&self, tr: &ThreadRecorder, counts: sclog_rules::TagCounts) {
+        tr.add(self.lines, counts.lines);
+        tr.add(self.bytes, counts.bytes);
+        tr.add(self.gated_out, counts.gated_out);
+        tr.add(self.vm_execs, counts.vm_execs);
+        tr.add(self.matches, counts.matches);
+    }
+}
+
 /// Tracks in-flight batches and messages, remembering the peaks.
+///
+/// A thin bundle of two shared [`PeakGauge`]s: the batch gauge carries
+/// the permit-channel capacity as its hard bound (never exceeded — the
+/// debug assertion inside the gauge enforces the permit accounting),
+/// the message gauge is unbounded. Works with no recorder at all;
+/// [`InFlightGauge::adopt_into`] surfaces both in a run report.
 struct InFlightGauge {
-    batches: AtomicUsize,
-    messages: AtomicUsize,
-    peak_batches: AtomicUsize,
-    peak_messages: AtomicUsize,
-    /// The permit-channel capacity; acquire may never push the batch
-    /// count past it (checked in debug builds).
-    bound_batches: usize,
+    batches: PeakGauge,
+    messages: PeakGauge,
 }
 
 impl InFlightGauge {
     fn new(bound_batches: usize) -> Self {
         InFlightGauge {
-            batches: AtomicUsize::new(0),
-            messages: AtomicUsize::new(0),
-            peak_batches: AtomicUsize::new(0),
-            peak_messages: AtomicUsize::new(0),
-            bound_batches,
+            batches: PeakGauge::new(Some(bound_batches as u64)),
+            messages: PeakGauge::new(None),
         }
+    }
+
+    /// Registers both gauges with the recorder for the run report.
+    fn adopt_into(&self, rec: &Recorder) {
+        rec.adopt_gauge("pipeline.in_flight_batches", &self.batches);
+        rec.adopt_gauge("pipeline.in_flight_messages", &self.messages);
     }
 
     /// Records a batch of `len` messages entering the pipeline.
     fn acquire(&self, len: usize) {
-        let b = self.batches.fetch_add(1, Ordering::SeqCst) + 1;
-        debug_assert!(
-            b <= self.bound_batches,
-            "permit accounting broken: {b} batches in flight exceeds the \
-             configured bound of {}",
-            self.bound_batches
-        );
-        self.peak_batches.fetch_max(b, Ordering::SeqCst);
-        let m = self.messages.fetch_add(len, Ordering::SeqCst) + len;
-        self.peak_messages.fetch_max(m, Ordering::SeqCst);
+        self.batches.add(1);
+        self.messages.add(len as u64);
     }
 
     /// Records a batch of `len` messages leaving (processed in order).
     fn release(&self, len: usize) {
-        let prev_b = self.batches.fetch_sub(1, Ordering::SeqCst);
-        debug_assert!(prev_b >= 1, "gauge release without a matching acquire");
-        let prev_m = self.messages.fetch_sub(len, Ordering::SeqCst);
-        debug_assert!(
-            prev_m >= len,
-            "gauge message count underflow: releasing {len} with only {prev_m} in flight"
-        );
+        self.batches.sub(1);
+        self.messages.sub(len as u64);
     }
 
     fn peak_batches(&self) -> usize {
-        self.peak_batches.load(Ordering::SeqCst)
+        self.batches.peak() as usize
     }
 
     fn peak_messages(&self) -> usize {
-        self.peak_messages.load(Ordering::SeqCst)
+        self.messages.peak() as usize
     }
 }
 
 /// The single-threaded arm: same chunked traversal, no pool — one
-/// batch is in flight at a time by construction.
+/// batch is in flight at a time by construction. Everything happens on
+/// one thread, so the report collapses to a single `tag` stage plus
+/// the filter counters.
 fn tag_filter_serial(
     rules: &RuleSet,
     messages: &[Message],
@@ -292,7 +405,10 @@ fn tag_filter_serial(
     truth: Option<&[Option<FailureId>]>,
     filter: &SpatioTemporalFilter,
     chunk: usize,
+    recorder: &Recorder,
 ) -> (TaggedLog, Vec<Alert>, PipelineStats) {
+    let metrics = SerialMetrics::register(recorder);
+    let tr = recorder.thread("serial");
     let mut scratch = TagScratch::new();
     let mut alerts = Vec::new();
     let mut filtered = Vec::new();
@@ -303,6 +419,7 @@ fn tag_filter_serial(
         batches += 1;
         peak = peak.max(msgs.len());
         let base = k * chunk;
+        let _busy = tr.span(metrics.tag);
         for (i, msg) in msgs.iter().enumerate() {
             if let Some(category) = rules.tag_message_with(msg, interner, &mut scratch) {
                 let mut alert = Alert::new(msg.time, msg.source, category, base + i);
@@ -315,7 +432,12 @@ fn tag_filter_serial(
                 alerts.push(alert);
             }
         }
+        let counts = scratch.take_counts();
+        tr.stage_items(metrics.tag, msgs.len() as u64, counts.bytes);
+        metrics.flush(&tr, counts);
     }
+    tr.add(metrics.alerts_in, stream.pushed());
+    tr.add(metrics.alerts_kept, stream.kept());
     let stats = PipelineStats {
         threads: 1,
         batches,

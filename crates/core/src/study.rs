@@ -2,9 +2,10 @@
 
 use crate::pipeline::{self, PipelineStats};
 use sclog_filter::{AlertFilter, SpatioTemporalFilter};
+use sclog_obs::ObsConfig;
 use sclog_rules::RuleSet;
 use sclog_simgen::{GenLog, Scale};
-use sclog_types::{Alert, CategoryRegistry, SystemId, ALL_SYSTEMS};
+use sclog_types::{Alert, CategoryRegistry, ObsReport, SystemId, ALL_SYSTEMS};
 
 /// A configured reproduction study.
 ///
@@ -22,6 +23,8 @@ pub struct Study {
     threads: usize,
     /// Messages per pipeline batch.
     chunk: usize,
+    /// Observability; off by default.
+    obs: ObsConfig,
 }
 
 impl Study {
@@ -42,7 +45,18 @@ impl Study {
             seed,
             threads: 0,
             chunk: pipeline::DEFAULT_CHUNK_MESSAGES,
+            obs: ObsConfig::off(),
         }
+    }
+
+    /// Turns observability on or off for runs of this study. When on,
+    /// each [`SystemRun`] carries an [`ObsReport`] — the per-stage
+    /// waterfall, worker utilisation, prefilter effectiveness and
+    /// in-flight gauges of its pipeline run. Off (the default) adds no
+    /// work to the pipeline at all.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Overrides the worker thread count; `0` restores the default
@@ -104,7 +118,22 @@ impl Study {
         let log = sclog_simgen::generate_categories(system, self.scale, self.seed, only);
         let mut registry = CategoryRegistry::new();
         let rules = RuleSet::builtin(system, &mut registry);
-        let (tagged, filtered, stats) = pipeline::tag_filter_stream(
+        let recorder = self.obs.recorder();
+        // Study-level metrics must register before the pipeline's
+        // first worker shard seals the recorder. Category names are
+        // known here (the ruleset just populated the registry), so the
+        // report can carry per-category tag counts.
+        let gen_messages = recorder.counter("simgen.messages");
+        let gen_failures = recorder.counter("simgen.failures");
+        let category_counters: Vec<_> = if recorder.enabled() {
+            registry
+                .iter()
+                .map(|(id, def)| (id, recorder.counter(&format!("category.{}", def.name))))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (tagged, filtered, stats) = pipeline::tag_filter_stream_with(
             &rules,
             &log.messages,
             &log.interner,
@@ -112,7 +141,20 @@ impl Study {
             &SpatioTemporalFilter::paper(),
             self.resolved_threads(),
             self.chunk,
+            &recorder,
         );
+        let obs = self.obs.is_enabled().then(|| {
+            // A fresh shard after the run (sealing only stops new
+            // *definitions*, not new shards) to flush whole-run tallies.
+            let tr = recorder.thread("study");
+            tr.add(gen_messages, log.len() as u64);
+            tr.add(gen_failures, log.failure_count);
+            let by_category = tagged.counts_by_category();
+            for (id, counter) in &category_counters {
+                tr.add(*counter, by_category.get(id).copied().unwrap_or(0));
+            }
+            recorder.snapshot().report()
+        });
         SystemRun {
             system,
             log,
@@ -120,6 +162,7 @@ impl Study {
             tagged,
             filtered,
             stats,
+            obs,
         }
     }
 
@@ -151,6 +194,7 @@ impl Study {
             tagged,
             filtered,
             stats,
+            obs: None,
         }
     }
 
@@ -175,6 +219,9 @@ pub struct SystemRun {
     pub filtered: Vec<Alert>,
     /// What the pipeline observed about its working set.
     pub stats: PipelineStats,
+    /// The run report, when the study had [`Study::obs`] turned on.
+    /// `None` for batch-reference runs, which are not instrumented.
+    pub obs: Option<ObsReport>,
 }
 
 impl SystemRun {
@@ -299,6 +346,57 @@ mod tests {
         );
         let batch = study.run_system_batch(SystemId::Liberty);
         assert_eq!(batch.stats.peak_in_flight_messages, batch.messages());
+    }
+
+    #[test]
+    fn obs_off_by_default_and_report_when_on() {
+        let study = Study::new(0.01, 0.0002, 13).threads(2).chunk_size(256);
+        let plain = study.run_system(SystemId::Liberty);
+        assert!(plain.obs.is_none(), "no report unless asked");
+
+        let run = study.obs(ObsConfig::on()).run_system(SystemId::Liberty);
+        let report = run.obs.as_ref().expect("obs on produces a report");
+        assert_eq!(
+            run.tagged.alerts, plain.tagged.alerts,
+            "obs changes nothing"
+        );
+        assert_eq!(run.filtered, plain.filtered);
+        // Stage accounting squares with the run's own outputs.
+        assert_eq!(
+            report.counter("tagger.lines"),
+            Some(run.messages() as u64),
+            "every message went through the tag loop"
+        );
+        assert_eq!(
+            report.counter("filter.alerts_in"),
+            Some(run.raw_alerts() as u64)
+        );
+        assert_eq!(
+            report.counter("filter.alerts_kept"),
+            Some(run.filtered_alerts() as u64)
+        );
+        assert_eq!(
+            report.counter("simgen.messages"),
+            Some(run.messages() as u64)
+        );
+        for stage in ["produce", "tag", "filter"] {
+            assert!(report.stage(stage).is_some(), "stage {stage} in waterfall");
+        }
+        // Gauges mirror PipelineStats, bound included.
+        let g = report.gauge("pipeline.in_flight_batches").unwrap();
+        assert_eq!(g.peak, run.stats.peak_in_flight_batches as u64);
+        assert_eq!(g.bound, Some(run.stats.in_flight_bound_batches as u64));
+        assert_eq!(g.current, 0, "everything released by the end");
+        // Per-category counters sum to the raw alert count.
+        let per_category: u64 = report
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("category."))
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(per_category, run.raw_alerts() as u64);
+        assert!(report.wall_ns > 0);
+        assert!(report.coverage > 0.0);
     }
 
     #[test]

@@ -111,6 +111,7 @@ fn ingest_streaming_equals_batch_everywhere() {
                     threads,
                     chunk_bytes,
                     text_queue: 2,
+                    ..IngestConfig::default()
                 };
                 let run = pipeline::ingest_stream(system, text.as_bytes(), &rules, &filter, config)
                     .unwrap();

@@ -1,0 +1,72 @@
+//! Hermetic tracing and metrics for the streaming pipeline.
+//!
+//! The paper's central complaint is that raw logs lack the
+//! *operational context* needed to interpret them; our own pipeline
+//! had the same blind spot — a concurrent read → parse → tag → filter
+//! stream whose only self-knowledge was a pair of peak counters. This
+//! crate is the missing layer, std-only per the workspace's hermetic
+//! policy (it replaces what would otherwise be the `metrics` +
+//! `tracing` registry crates):
+//!
+//! * [`Recorder`] — a registry of counters, peaks, up/down gauges and
+//!   fixed-bucket log2 histograms. Counter/histogram storage is
+//!   **sharded per thread**: every recorded thread owns a
+//!   [`ThreadRecorder`] whose slots only it writes, so the tagging
+//!   hot loop never contends on a shared lock or cache line; a
+//!   [`Snapshot`] merges the shards.
+//! * Spans — [`ThreadRecorder::span`] returns an RAII guard over
+//!   `Instant` that attributes its lifetime to a [`Stage`]; stages
+//!   roll up into the run report's waterfall (wall, busy, queue-wait,
+//!   items, bytes) per pipeline stage and per pool worker. The
+//!   [`span!`] macro is sugar for the guard. This crate (plus
+//!   `sclog-bench`) is the only place allowed to touch
+//!   `Instant::now()` in hot paths — `scripts/tidy.sh` enforces it.
+//! * Exporters — [`Snapshot::report`] produces the
+//!   [`sclog_types::obs::ObsReport`] JSON schema and [`render`] the
+//!   human-readable run report.
+//!
+//! Everything is **zero-cost when disabled**: [`Recorder::disabled`]
+//! (the [`ObsConfig::off`] default) makes every handle a no-op behind
+//! one well-predicted branch, and no `Instant` is ever read.
+//!
+//! # Examples
+//!
+//! ```
+//! use sclog_obs::{ObsConfig, Recorder};
+//!
+//! let rec = ObsConfig::on().recorder();
+//! let lines = rec.counter("parse.lines");
+//! let tag = rec.stage("tag");
+//! let tr = rec.thread("worker/0");
+//! {
+//!     let _span = tr.span(tag);
+//!     tr.add(lines, 128);
+//!     tr.stage_items(tag, 128, 4096);
+//! }
+//! let report = rec.snapshot().report();
+//! assert_eq!(report.counter("parse.lines"), Some(128));
+//! assert_eq!(report.stage("tag").unwrap().items, 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod recorder;
+mod report;
+
+pub use recorder::{
+    Counter, Histogram, ObsConfig, Peak, PeakGauge, Recorder, Snapshot, SpanGuard, Stage,
+    ThreadRecorder,
+};
+pub use report::render;
+
+/// Opens a working span on a stage: `span!(thread_recorder, stage)`
+/// evaluates to the RAII [`SpanGuard`]; busy time is attributed when
+/// the guard drops. Bind it (`let _span = span!(tr, stage);`) so the
+/// guard lives for the region being measured.
+#[macro_export]
+macro_rules! span {
+    ($tr:expr, $stage:expr) => {
+        $tr.span($stage)
+    };
+}

@@ -1,0 +1,914 @@
+//! The sharded metric recorder.
+//!
+//! Layout: a [`Recorder`] owns a registry of metric *definitions*
+//! (name, kind, slot range) and a list of per-thread *shards*, each a
+//! flat `Box<[AtomicU64]>` indexed by the registry's slot offsets.
+//! Handles ([`Counter`], [`Peak`], [`Histogram`], [`Stage`]) are plain
+//! slot offsets, `Copy` and free to pass around; all writes go through
+//! a [`ThreadRecorder`], which owns one shard that only its thread
+//! writes. Uncontended relaxed atomics make the write path a handful
+//! of cycles, and a [`Snapshot`] merges every shard without stopping
+//! the writers.
+//!
+//! Registration must finish before the first shard exists (the
+//! registry *seals* when [`Recorder::thread`] is first called) so
+//! shard arrays never need to grow while shared — registering a new
+//! metric after sealing is a programmer error and panics.
+
+use sclog_types::obs::{
+    BucketObs, CounterObs, GaugeObs, HistogramObs, ObsReport, StageObs, WorkerObs,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sentinel slot offset meaning "recorder disabled": every operation
+/// on a handle carrying it is a no-op.
+const DISABLED: u32 = u32::MAX;
+
+/// Log2 histogram buckets: bucket `k` holds values of bit-length `k`
+/// (`0` has its own bucket), so bucket 64 is the final `u64` range.
+const HIST_BUCKETS: usize = 65;
+/// Histogram slot layout: count, sum, then the buckets.
+const HIST_SLOTS: usize = 2 + HIST_BUCKETS;
+const HIST_COUNT: usize = 0;
+const HIST_SUM: usize = 1;
+
+/// Stage slot layout.
+const STAGE_BUSY: usize = 0;
+const STAGE_WAIT: usize = 1;
+const STAGE_ITEMS: usize = 2;
+const STAGE_BYTES: usize = 3;
+const STAGE_SPANS: usize = 4;
+/// Nanosecond offset (+1, 0 = unset) of the earliest span start.
+const STAGE_FIRST: usize = 5;
+/// Nanosecond offset (+1) of the latest span end.
+const STAGE_LAST: usize = 6;
+const STAGE_SLOTS: usize = 7;
+
+/// Which log2 bucket a value falls in: its bit length.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of log2 bucket `k`.
+fn bucket_le(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// A monotonically increasing counter handle (merged by summing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u32);
+
+/// A high-water-mark handle (merged by taking the maximum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Peak(u32);
+
+/// A log2-bucket histogram handle for durations or sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram(u32);
+
+/// A pipeline-stage handle: spans, queue waits, items and bytes
+/// recorded against it build the run report's waterfall row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Peak,
+    Histogram,
+    Stage,
+}
+
+impl Kind {
+    fn slots(self) -> u32 {
+        match self {
+            Kind::Counter | Kind::Peak => 1,
+            Kind::Histogram => HIST_SLOTS as u32,
+            Kind::Stage => STAGE_SLOTS as u32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Def {
+    name: String,
+    kind: Kind,
+    base: u32,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    defs: Vec<Def>,
+    by_name: HashMap<String, usize>,
+    slots: u32,
+    sealed: bool,
+}
+
+#[derive(Debug)]
+struct Shard {
+    label: String,
+    slots: Box<[AtomicU64]>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    registry: Mutex<Registry>,
+    shards: Mutex<Vec<Arc<Shard>>>,
+    gauges: Mutex<Vec<(String, PeakGauge)>>,
+    epoch: Instant,
+}
+
+/// The metric registry and shard list; see the crate docs.
+///
+/// Cheap to clone (an `Arc` handle) and `Sync`, so one recorder can be
+/// shared by reference across a scoped-thread pipeline. A *disabled*
+/// recorder ([`Recorder::disabled`]) carries no storage at all: every
+/// registration returns a no-op handle and no span ever reads a clock.
+#[derive(Debug, Clone)]
+pub struct Recorder(Option<Arc<Inner>>);
+
+impl Recorder {
+    /// Creates an enabled recorder; its epoch (span offsets, report
+    /// wall time) starts now.
+    pub fn new() -> Self {
+        Recorder(Some(Arc::new(Inner {
+            registry: Mutex::new(Registry::default()),
+            shards: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        })))
+    }
+
+    /// The no-op recorder: every handle it returns is disabled.
+    pub fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// Whether this recorder actually records.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn register(&self, name: &str, kind: Kind) -> u32 {
+        let Some(inner) = &self.0 else {
+            return DISABLED;
+        };
+        let mut reg = inner.registry.lock().expect("obs registry poisoned");
+        if let Some(&i) = reg.by_name.get(name) {
+            let def = &reg.defs[i];
+            assert_eq!(
+                def.kind, kind,
+                "metric {name:?} already registered with a different kind"
+            );
+            return def.base;
+        }
+        assert!(
+            !reg.sealed,
+            "metric {name:?} registered after the first thread shard was \
+             created; register all metrics before spawning workers"
+        );
+        let base = reg.slots;
+        reg.slots += kind.slots();
+        let index = reg.defs.len();
+        reg.by_name.insert(name.to_owned(), index);
+        reg.defs.push(Def {
+            name: name.to_owned(),
+            kind,
+            base,
+        });
+        base
+    }
+
+    /// Registers (or looks up) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.register(name, Kind::Counter))
+    }
+
+    /// Registers (or looks up) a high-water mark.
+    pub fn peak(&self, name: &str) -> Peak {
+        Peak(self.register(name, Kind::Peak))
+    }
+
+    /// Registers (or looks up) a log2 histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.register(name, Kind::Histogram))
+    }
+
+    /// Registers (or looks up) a pipeline stage.
+    pub fn stage(&self, name: &str) -> Stage {
+        Stage(self.register(name, Kind::Stage))
+    }
+
+    /// Adopts a shared [`PeakGauge`] into the snapshot under `name`.
+    /// Gauges are centrally shared (they track cross-thread in-flight
+    /// counts at batch rate), so they are not sealed and may be
+    /// adopted at any time.
+    pub fn adopt_gauge(&self, name: &str, gauge: &PeakGauge) {
+        if let Some(inner) = &self.0 {
+            inner
+                .gauges
+                .lock()
+                .expect("obs gauges poisoned")
+                .push((name.to_owned(), gauge.clone()));
+        }
+    }
+
+    /// Creates this thread's shard, sealing the metric registry.
+    ///
+    /// `label` names the thread in the report's per-worker rollup.
+    /// Call once per thread and keep the handle for the thread's
+    /// lifetime; every write through it is uncontended.
+    pub fn thread(&self, label: &str) -> ThreadRecorder {
+        let Some(inner) = &self.0 else {
+            return ThreadRecorder(None);
+        };
+        let slots = {
+            let mut reg = inner.registry.lock().expect("obs registry poisoned");
+            reg.sealed = true;
+            reg.slots
+        };
+        let shard = Arc::new(Shard {
+            label: label.to_owned(),
+            slots: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        });
+        inner
+            .shards
+            .lock()
+            .expect("obs shards poisoned")
+            .push(Arc::clone(&shard));
+        ThreadRecorder(Some(ThreadInner {
+            shard,
+            epoch: inner.epoch,
+        }))
+    }
+
+    /// Merges every shard (and adopted gauge) into a consistent view.
+    /// Writers are not stopped; a snapshot taken mid-run is a valid
+    /// lower bound per metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.0 else {
+            return Snapshot {
+                report: ObsReport {
+                    wall_ns: 0,
+                    attributed_ns: 0,
+                    coverage: 1.0,
+                    stages: Vec::new(),
+                    workers: Vec::new(),
+                    counters: Vec::new(),
+                    gauges: Vec::new(),
+                    histograms: Vec::new(),
+                },
+            };
+        };
+        let wall_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let defs: Vec<Def> = inner
+            .registry
+            .lock()
+            .expect("obs registry poisoned")
+            .defs
+            .clone();
+        let shards: Vec<Arc<Shard>> = inner.shards.lock().expect("obs shards poisoned").clone();
+        let load = |shard: &Shard, slot: u32| shard.slots[slot as usize].load(Ordering::Relaxed);
+
+        let mut counters = Vec::new();
+        let mut stages = Vec::new();
+        let mut histograms = Vec::new();
+        for def in &defs {
+            match def.kind {
+                Kind::Counter => counters.push(CounterObs {
+                    name: def.name.clone(),
+                    value: shards.iter().map(|s| load(s, def.base)).sum(),
+                }),
+                Kind::Peak => counters.push(CounterObs {
+                    name: def.name.clone(),
+                    value: shards.iter().map(|s| load(s, def.base)).max().unwrap_or(0),
+                }),
+                Kind::Histogram => {
+                    let sum_slot =
+                        |off: usize| shards.iter().map(|s| load(s, def.base + off as u32)).sum();
+                    let buckets = (0..HIST_BUCKETS)
+                        .map(|k| BucketObs {
+                            le: bucket_le(k),
+                            count: sum_slot(2 + k),
+                        })
+                        .filter(|b| b.count > 0)
+                        .collect();
+                    histograms.push(HistogramObs {
+                        name: def.name.clone(),
+                        count: sum_slot(HIST_COUNT),
+                        sum: sum_slot(HIST_SUM),
+                        buckets,
+                    });
+                }
+                Kind::Stage => {
+                    let sum_slot =
+                        |off: usize| shards.iter().map(|s| load(s, def.base + off as u32)).sum();
+                    let first = shards
+                        .iter()
+                        .map(|s| load(s, def.base + STAGE_FIRST as u32))
+                        .filter(|&v| v != 0)
+                        .min()
+                        .unwrap_or(0);
+                    let last = shards
+                        .iter()
+                        .map(|s| load(s, def.base + STAGE_LAST as u32))
+                        .max()
+                        .unwrap_or(0);
+                    stages.push(StageObs {
+                        name: def.name.clone(),
+                        wall_ns: last.saturating_sub(first),
+                        busy_ns: sum_slot(STAGE_BUSY),
+                        wait_ns: sum_slot(STAGE_WAIT),
+                        items: sum_slot(STAGE_ITEMS),
+                        bytes: sum_slot(STAGE_BYTES),
+                        spans: sum_slot(STAGE_SPANS),
+                    });
+                }
+            }
+        }
+
+        // Per-thread rollup over all stage defs, for the worker table
+        // and the coverage self-check.
+        let mut workers = Vec::new();
+        let mut attributed_ns = 0u64;
+        let mut window_ns = 0u64;
+        for shard in &shards {
+            let mut busy = 0u64;
+            let mut wait = 0u64;
+            let mut items = 0u64;
+            let mut jobs = 0u64;
+            let mut first = u64::MAX;
+            let mut last = 0u64;
+            for def in &defs {
+                if def.kind != Kind::Stage {
+                    continue;
+                }
+                busy += load(shard, def.base + STAGE_BUSY as u32);
+                wait += load(shard, def.base + STAGE_WAIT as u32);
+                items += load(shard, def.base + STAGE_ITEMS as u32);
+                jobs += load(shard, def.base + STAGE_SPANS as u32);
+                let f = load(shard, def.base + STAGE_FIRST as u32);
+                if f != 0 {
+                    first = first.min(f);
+                }
+                last = last.max(load(shard, def.base + STAGE_LAST as u32));
+            }
+            if first == u64::MAX {
+                continue; // no span activity on this shard
+            }
+            let wall = last.saturating_sub(first);
+            attributed_ns += busy + wait;
+            window_ns += wall;
+            workers.push(WorkerObs {
+                label: shard.label.clone(),
+                wall_ns: wall,
+                busy_ns: busy,
+                wait_ns: wait,
+                items,
+                jobs,
+            });
+        }
+        let coverage = if window_ns == 0 {
+            1.0
+        } else {
+            attributed_ns as f64 / window_ns as f64
+        };
+
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("obs gauges poisoned")
+            .iter()
+            .map(|(name, g)| GaugeObs {
+                name: name.clone(),
+                current: g.current(),
+                peak: g.peak(),
+                bound: g.bound(),
+            })
+            .collect();
+
+        Snapshot {
+            report: ObsReport {
+                wall_ns,
+                attributed_ns,
+                coverage,
+                stages,
+                workers,
+                counters,
+                gauges,
+                histograms,
+            },
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+#[derive(Debug)]
+struct ThreadInner {
+    shard: Arc<Shard>,
+    epoch: Instant,
+}
+
+/// One thread's write handle: a private shard nobody else writes.
+///
+/// All operations are no-ops (one branch, no clock reads) when the
+/// parent recorder is disabled.
+#[derive(Debug)]
+pub struct ThreadRecorder(Option<ThreadInner>);
+
+impl ThreadRecorder {
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(t) = &self.0 {
+            if counter.0 != DISABLED {
+                t.shard.slots[counter.0 as usize].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Raises a high-water mark to at least `v`.
+    pub fn record_max(&self, peak: Peak, v: u64) {
+        if let Some(t) = &self.0 {
+            if peak.0 != DISABLED {
+                t.shard.slots[peak.0 as usize].fetch_max(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&self, hist: Histogram, v: u64) {
+        if let Some(t) = &self.0 {
+            if hist.0 != DISABLED {
+                let base = hist.0 as usize;
+                let slots = &t.shard.slots;
+                slots[base + HIST_COUNT].fetch_add(1, Ordering::Relaxed);
+                slots[base + HIST_SUM].fetch_add(v, Ordering::Relaxed);
+                slots[base + 2 + bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Credits a stage with processed items and bytes.
+    pub fn stage_items(&self, stage: Stage, items: u64, bytes: u64) {
+        if let Some(t) = &self.0 {
+            if stage.0 != DISABLED {
+                let base = stage.0 as usize;
+                t.shard.slots[base + STAGE_ITEMS].fetch_add(items, Ordering::Relaxed);
+                t.shard.slots[base + STAGE_BYTES].fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Opens a *working* span on `stage`; its lifetime is attributed
+    /// to the stage's busy time (and counted as one span) on drop.
+    pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        self.span_slot(stage, STAGE_BUSY)
+    }
+
+    /// Opens a *queue-wait* span on `stage` — wrap blocking channel
+    /// sends/receives so a thread's idle time is attributed, not lost.
+    pub fn wait_span(&self, stage: Stage) -> SpanGuard<'_> {
+        self.span_slot(stage, STAGE_WAIT)
+    }
+
+    fn span_slot(&self, stage: Stage, slot: usize) -> SpanGuard<'_> {
+        match &self.0 {
+            Some(t) if stage.0 != DISABLED => SpanGuard(Some(ActiveSpan {
+                shard: &t.shard,
+                epoch: t.epoch,
+                base: stage.0 as usize,
+                slot,
+                start: Instant::now(),
+            })),
+            _ => SpanGuard(None),
+        }
+    }
+}
+
+struct ActiveSpan<'a> {
+    shard: &'a Shard,
+    epoch: Instant,
+    base: usize,
+    slot: usize,
+    start: Instant,
+}
+
+/// RAII guard from [`ThreadRecorder::span`] / `wait_span`; attributes
+/// the elapsed time when dropped.
+#[must_use = "a span guard measures its own lifetime; bind it with `let`"]
+pub struct SpanGuard<'a>(Option<ActiveSpan<'a>>);
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(s) = self.0.take() else {
+            return;
+        };
+        let end = Instant::now();
+        let slots = &s.shard.slots;
+        let dur = end.duration_since(s.start).as_nanos() as u64;
+        slots[s.base + s.slot].fetch_add(dur, Ordering::Relaxed);
+        if s.slot == STAGE_BUSY {
+            slots[s.base + STAGE_SPANS].fetch_add(1, Ordering::Relaxed);
+        }
+        // First/last are single-writer (this thread) — the load/store
+        // pair cannot race another writer, and snapshot readers see a
+        // monotone value either way.
+        let start_off = end
+            .duration_since(s.epoch)
+            .as_nanos()
+            .saturating_sub(dur as u128) as u64
+            + 1;
+        let end_off = end.duration_since(s.epoch).as_nanos() as u64 + 1;
+        let first = slots[s.base + STAGE_FIRST].load(Ordering::Relaxed);
+        if first == 0 || start_off < first {
+            slots[s.base + STAGE_FIRST].store(start_off, Ordering::Relaxed);
+        }
+        slots[s.base + STAGE_LAST].fetch_max(end_off, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for SpanGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("active", &self.0.is_some())
+            .finish()
+    }
+}
+
+/// A merged view of every shard at one instant; convert to the
+/// portable schema with [`Snapshot::report`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    report: ObsReport,
+}
+
+impl Snapshot {
+    /// The merged report.
+    pub fn report(self) -> ObsReport {
+        self.report
+    }
+
+    /// Borrowing view of the merged report.
+    pub fn as_report(&self) -> &ObsReport {
+        &self.report
+    }
+
+    /// Convenience: a counter's merged total.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.report.counter(name)
+    }
+}
+
+/// A shared up/down gauge with a high-water mark and an optional hard
+/// bound, checked in debug builds.
+///
+/// Unlike counters and histograms this is *not* sharded: several
+/// threads add and subtract the same logical quantity (work in
+/// flight), whose peak is only meaningful on the shared value. Updates
+/// happen at batch rate, so contention is irrelevant. The gauge works
+/// standalone — the pipeline's accounting does not require an enabled
+/// recorder — and can be adopted into a report via
+/// [`Recorder::adopt_gauge`].
+///
+/// # Examples
+///
+/// ```
+/// use sclog_obs::PeakGauge;
+///
+/// let g = PeakGauge::new(Some(8));
+/// g.add(3);
+/// g.add(2);
+/// g.sub(4);
+/// assert_eq!(g.current(), 1);
+/// assert_eq!(g.peak(), 5);
+/// assert_eq!(g.bound(), Some(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeakGauge(Arc<GaugeInner>);
+
+#[derive(Debug)]
+struct GaugeInner {
+    current: AtomicU64,
+    peak: AtomicU64,
+    bound: Option<u64>,
+}
+
+impl PeakGauge {
+    /// Creates a gauge at zero, optionally with a hard bound the value
+    /// must never exceed (checked in debug builds on every `add`).
+    pub fn new(bound: Option<u64>) -> Self {
+        PeakGauge(Arc::new(GaugeInner {
+            current: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            bound,
+        }))
+    }
+
+    /// Raises the gauge by `n`, updating the peak.
+    pub fn add(&self, n: u64) {
+        let v = self.0.current.fetch_add(n, Ordering::SeqCst) + n;
+        if let Some(bound) = self.0.bound {
+            debug_assert!(
+                v <= bound,
+                "gauge accounting broken: {v} in flight exceeds the configured \
+                 bound of {bound}"
+            );
+        }
+        self.0.peak.fetch_max(v, Ordering::SeqCst);
+    }
+
+    /// Lowers the gauge by `n`.
+    pub fn sub(&self, n: u64) {
+        let prev = self.0.current.fetch_sub(n, Ordering::SeqCst);
+        debug_assert!(
+            prev >= n,
+            "gauge underflow: releasing {n} with only {prev} in flight"
+        );
+    }
+
+    /// The value right now.
+    pub fn current(&self) -> u64 {
+        self.0.current.load(Ordering::SeqCst)
+    }
+
+    /// The highest value ever observed.
+    pub fn peak(&self) -> u64 {
+        self.0.peak.load(Ordering::SeqCst)
+    }
+
+    /// The configured hard bound, if any.
+    pub fn bound(&self) -> Option<u64> {
+        self.0.bound
+    }
+}
+
+/// Whether (and how) a pipeline run records observability.
+///
+/// The default is [`ObsConfig::off`]: no recorder, no report, no
+/// clock reads — the instrumented pipeline behaves exactly as the
+/// uninstrumented one did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsConfig {
+    enabled: bool,
+}
+
+impl ObsConfig {
+    /// Observability disabled (the default).
+    pub fn off() -> Self {
+        ObsConfig { enabled: false }
+    }
+
+    /// Observability enabled: entry points will build a run report.
+    pub fn on() -> Self {
+        ObsConfig { enabled: true }
+    }
+
+    /// Whether a run under this config records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The recorder this config calls for.
+    pub fn recorder(&self) -> Recorder {
+        if self.enabled {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2_with_exact_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_le(0), 0);
+        assert_eq!(bucket_le(1), 1);
+        assert_eq!(bucket_le(8), 255);
+        assert_eq!(bucket_le(64), u64::MAX);
+        // Every value lands in the bucket whose `le` bounds it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let k = bucket_of(v);
+            assert!(v <= bucket_le(k), "{v}");
+            if k > 0 {
+                assert!(v > bucket_le(k - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observations_merge_across_shards() {
+        let rec = Recorder::new();
+        let h = rec.histogram("h");
+        std::thread::scope(|s| {
+            for vals in [[1u64, 2, 3], [256, 256, 0]] {
+                let rec = &rec;
+                s.spawn(move || {
+                    let tr = rec.thread("t");
+                    for v in vals {
+                        tr.observe(h, v);
+                    }
+                });
+            }
+        });
+        let report = rec.snapshot().report();
+        let hist = &report.histograms[0];
+        assert_eq!(hist.name, "h");
+        assert_eq!(hist.count, 6);
+        assert_eq!(hist.sum, 1 + 2 + 3 + 256 + 256);
+        // Buckets: 0 → le 0; 1 → le 1; {2,3} → le 3; {256,256} → le 511.
+        let by_le: Vec<(u64, u64)> = hist.buckets.iter().map(|b| (b.le, b.count)).collect();
+        assert_eq!(by_le, vec![(0, 1), (1, 1), (3, 2), (511, 2)]);
+        assert_eq!(hist.quantile_le(0.5), Some(3));
+        assert_eq!(hist.quantile_le(1.0), Some(511));
+    }
+
+    #[test]
+    fn sharded_counters_sum_and_peaks_max() {
+        let rec = Recorder::new();
+        let c = rec.counter("c");
+        let p = rec.peak("p");
+        std::thread::scope(|s| {
+            for k in 0..8u64 {
+                let rec = &rec;
+                s.spawn(move || {
+                    let tr = rec.thread(&format!("w/{k}"));
+                    for _ in 0..1000 {
+                        tr.add(c, 1);
+                    }
+                    tr.record_max(p, k * 10);
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("c"), Some(8000));
+        assert_eq!(snap.counter("p"), Some(70));
+    }
+
+    #[test]
+    fn registration_dedups_by_name() {
+        let rec = Recorder::new();
+        assert_eq!(rec.counter("x"), rec.counter("x"));
+        assert_ne!(rec.counter("x"), rec.counter("y"));
+        assert_eq!(rec.stage("s"), rec.stage("s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let rec = Recorder::new();
+        rec.counter("x");
+        rec.histogram("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "register all metrics before spawning")]
+    fn registration_after_seal_panics() {
+        let rec = Recorder::new();
+        rec.counter("early");
+        let _tr = rec.thread("t");
+        rec.counter("late");
+    }
+
+    #[test]
+    fn spans_attribute_busy_wait_and_windows() {
+        let rec = Recorder::new();
+        let st = rec.stage("tag");
+        let tr = rec.thread("w");
+        {
+            let _s = tr.span(st);
+            std::hint::black_box(0u64);
+        }
+        {
+            let _w = tr.wait_span(st);
+        }
+        tr.stage_items(st, 10, 100);
+        let report = rec.snapshot().report();
+        let row = report.stage("tag").expect("stage row");
+        assert_eq!(row.spans, 1, "wait spans are not jobs");
+        assert_eq!(row.items, 10);
+        assert_eq!(row.bytes, 100);
+        assert!(row.wall_ns >= row.busy_ns, "window covers the busy span");
+        assert!(report.wall_ns >= row.wall_ns);
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].label, "w");
+        assert_eq!(report.workers[0].jobs, 1);
+        assert!(report.coverage > 0.0);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        let c = rec.counter("c");
+        let h = rec.histogram("h");
+        let st = rec.stage("s");
+        let p = rec.peak("p");
+        let g = PeakGauge::new(None);
+        rec.adopt_gauge("g", &g);
+        let tr = rec.thread("t");
+        tr.add(c, 1);
+        tr.observe(h, 1);
+        tr.record_max(p, 1);
+        tr.stage_items(st, 1, 1);
+        {
+            let _s = crate::span!(tr, st);
+            let _w = tr.wait_span(st);
+        }
+        let report = rec.snapshot().report();
+        assert_eq!(report.wall_ns, 0);
+        assert!(report.counters.is_empty());
+        assert!(report.stages.is_empty());
+        assert!(report.gauges.is_empty());
+        assert_eq!(report.coverage, 1.0);
+    }
+
+    #[test]
+    fn mixed_handles_on_one_recorder_do_not_collide() {
+        // Counters, peaks, histograms and stages interleaved: slot
+        // ranges must not overlap.
+        let rec = Recorder::new();
+        let c1 = rec.counter("c1");
+        let h = rec.histogram("h");
+        let c2 = rec.counter("c2");
+        let st = rec.stage("st");
+        let p = rec.peak("p");
+        let tr = rec.thread("t");
+        tr.add(c1, 5);
+        tr.observe(h, 7);
+        tr.add(c2, 9);
+        tr.stage_items(st, 11, 13);
+        tr.record_max(p, 17);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("c1"), Some(5));
+        assert_eq!(snap.counter("c2"), Some(9));
+        assert_eq!(snap.counter("p"), Some(17));
+        let report = snap.report();
+        assert_eq!(report.histograms[0].count, 1);
+        assert_eq!(report.histograms[0].sum, 7);
+        assert_eq!(report.stage("st").unwrap().items, 11);
+        assert_eq!(report.stage("st").unwrap().bytes, 13);
+    }
+
+    #[test]
+    fn gauge_tracks_peak_and_bound() {
+        let g = PeakGauge::new(Some(10));
+        let rec = Recorder::new();
+        rec.adopt_gauge("inflight", &g);
+        g.add(4);
+        g.add(4);
+        g.sub(6);
+        let report = rec.snapshot().report();
+        let row = report.gauge("inflight").expect("gauge row");
+        assert_eq!(row.current, 2);
+        assert_eq!(row.peak, 8);
+        assert_eq!(row.bound, Some(10));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "gauge underflow")]
+    fn gauge_underflow_asserts() {
+        let g = PeakGauge::new(None);
+        g.add(1);
+        g.sub(2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the configured")]
+    fn gauge_bound_asserts() {
+        let g = PeakGauge::new(Some(1));
+        g.add(2);
+    }
+
+    #[test]
+    fn obs_config_default_is_off() {
+        assert_eq!(ObsConfig::default(), ObsConfig::off());
+        assert!(!ObsConfig::off().recorder().enabled());
+        assert!(ObsConfig::on().recorder().enabled());
+        assert!(ObsConfig::on().is_enabled());
+    }
+}

@@ -1,0 +1,182 @@
+//! Human-readable rendering of an [`ObsReport`].
+//!
+//! The JSON exporter lives on the schema type itself
+//! (`ObsReport::to_json` in `sclog-types`); this module owns the text
+//! form printed at the end of an instrumented run — a per-stage
+//! waterfall, a per-worker utilisation table, and the counter /
+//! gauge / histogram tails.
+
+use sclog_types::obs::ObsReport;
+use std::fmt::Write as _;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Renders the run report as a fixed-width text block.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_obs::{render, Recorder};
+///
+/// let rec = Recorder::new();
+/// let tag = rec.stage("tag");
+/// let tr = rec.thread("worker/0");
+/// {
+///     let _span = tr.span(tag);
+///     tr.stage_items(tag, 100, 6400);
+/// }
+/// let text = render(&rec.snapshot().report());
+/// assert!(text.contains("tag"));
+/// assert!(text.contains("worker/0"));
+/// ```
+pub fn render(report: &ObsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== run report: {:.2} ms wall, {:.1}% attributed ==",
+        ms(report.wall_ns),
+        report.coverage * 100.0
+    );
+
+    if !report.stages.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>10} {:>6} {:>10} {:>12} {:>7}",
+            "stage", "wall ms", "busy ms", "wait ms", "busy%", "items", "bytes", "spans"
+        );
+        for s in &report.stages {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>5.1}% {:>10} {:>12} {:>7}",
+                s.name,
+                ms(s.wall_ns),
+                ms(s.busy_ns),
+                ms(s.wait_ns),
+                pct(s.busy_ns, s.wall_ns),
+                s.items,
+                s.bytes,
+                s.spans
+            );
+        }
+    }
+
+    if !report.workers.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>10} {:>6} {:>10} {:>7}",
+            "worker", "wall ms", "busy ms", "wait ms", "util%", "items", "jobs"
+        );
+        for w in &report.workers {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>5.1}% {:>10} {:>7}",
+                w.label,
+                ms(w.wall_ns),
+                ms(w.busy_ns),
+                ms(w.wait_ns),
+                w.utilization() * 100.0,
+                w.items,
+                w.jobs
+            );
+        }
+    }
+
+    for g in &report.gauges {
+        let bound = match g.bound {
+            Some(b) => format!(" / bound {b}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "gauge {:<28} current {} peak {}{}",
+            g.name, g.current, g.peak, bound
+        );
+    }
+
+    for c in &report.counters {
+        let _ = writeln!(out, "counter {:<26} {}", c.name, c.value);
+    }
+
+    // Derived ratios the paper-facing docs talk about: how much work
+    // the Aho-Corasick gate saves the Pike VM, line for line.
+    if let (Some(lines), Some(execs)) = (
+        report.counter("tagger.lines"),
+        report.counter("tagger.prefilter.vm_execs"),
+    ) {
+        if execs > 0 {
+            let _ = writeln!(
+                out,
+                "prefilter: {:.1} lines per regex execution ({} lines gated to {} executions)",
+                lines as f64 / execs as f64,
+                lines,
+                execs
+            );
+        }
+    }
+
+    for h in &report.histograms {
+        let _ = writeln!(
+            out,
+            "hist {:<28} n={} mean={:.1} p50<= {} p99<= {}",
+            h.name,
+            h.count,
+            h.mean(),
+            h.quantile_le(0.50).unwrap_or(0),
+            h.quantile_le(0.99).unwrap_or(0)
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeakGauge, Recorder};
+
+    #[test]
+    fn render_covers_every_section() {
+        let rec = Recorder::new();
+        let lines = rec.counter("tagger.lines");
+        let execs = rec.counter("tagger.prefilter.vm_execs");
+        let chunk = rec.histogram("chunk.bytes");
+        let tag = rec.stage("tag");
+        let gauge = PeakGauge::new(Some(4));
+        rec.adopt_gauge("pipeline.in_flight", &gauge);
+        gauge.add(2);
+        let tr = rec.thread("worker/0");
+        {
+            let _s = tr.span(tag);
+            tr.add(lines, 1000);
+            tr.add(execs, 125);
+            tr.observe(chunk, 4096);
+            tr.stage_items(tag, 1000, 65536);
+        }
+        let text = render(&rec.snapshot().report());
+        assert!(text.contains("run report"), "{text}");
+        assert!(text.contains("tag"), "{text}");
+        assert!(text.contains("worker/0"), "{text}");
+        assert!(text.contains("pipeline.in_flight"), "{text}");
+        assert!(text.contains("bound 4"), "{text}");
+        assert!(text.contains("tagger.lines"), "{text}");
+        assert!(text.contains("8.0 lines per regex execution"), "{text}");
+        assert!(text.contains("chunk.bytes"), "{text}");
+    }
+
+    #[test]
+    fn render_of_empty_report_is_one_header_line() {
+        let text = render(&Recorder::disabled().snapshot().report());
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("run report"));
+    }
+}

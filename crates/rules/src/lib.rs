@@ -53,4 +53,4 @@ pub use loader::{export_builtin, parse_ruleset, render_ruleset, LoadError, RuleD
 pub use pool::{LineBatch, LineRef, PoolClient, TagPool, TaggedBatch};
 pub use prefilter::AhoCorasick;
 pub use re::{ProgInst, Regex};
-pub use tagger::{RuleSet, TagScratch, TaggedLog};
+pub use tagger::{RuleSet, TagCounts, TagScratch, TaggedLog};

@@ -26,6 +26,7 @@
 //! unbounded amount of in-flight text.
 
 use crate::tagger::{RuleSet, TagScratch};
+use sclog_obs::{Counter, Recorder, Stage, ThreadRecorder};
 use sclog_types::{Alert, FailureId, Message, NodeId, SourceInterner, Timestamp};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -138,8 +139,35 @@ impl TagPool {
         job_cap: usize,
         f: impl FnOnce(&PoolClient<'_, 'env>) -> R,
     ) -> R {
+        Self::scope_with(rules, threads, job_cap, &Recorder::disabled(), f)
+    }
+
+    /// [`TagPool::scope`] with an observability recorder: each worker
+    /// records its jobs, busy/queue-wait time and the prefilter
+    /// effectiveness tallies ([`crate::TagCounts`]) against the `tag`
+    /// stage, under a `tagger/{i}` thread label. Tallies stay plain
+    /// `u64`s inside the per-worker [`TagScratch`] during a batch and
+    /// are flushed to the recorder shard once per job, so an enabled
+    /// recorder adds no per-line cost to the tag loop; a disabled one
+    /// ([`Recorder::disabled`]) makes this identical to
+    /// [`TagPool::scope`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `job_cap` is zero, or if a worker thread
+    /// panics (a rule engine bug).
+    pub fn scope_with<'env, R>(
+        rules: &'env RuleSet,
+        threads: usize,
+        job_cap: usize,
+        recorder: &Recorder,
+        f: impl FnOnce(&PoolClient<'_, 'env>) -> R,
+    ) -> R {
         assert!(threads > 0, "need at least one worker");
         assert!(job_cap > 0, "job queue capacity must be positive");
+        // Register every metric before the workers spawn — the first
+        // per-thread shard seals the recorder's registry.
+        let metrics = PoolMetrics::register(recorder);
         let shared = PoolShared {
             state: Mutex::new(PoolState {
                 jobs: VecDeque::new(),
@@ -155,7 +183,12 @@ impl TagPool {
         };
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|| worker(&shared, rules)))
+                .map(|i| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        worker(shared, rules, recorder.thread(&worker_label(i)), metrics)
+                    })
+                })
                 .collect();
             let client = PoolClient { shared: &shared };
             // Close on every exit path: if `f` panics without this,
@@ -284,12 +317,54 @@ impl Drop for CloseGuard<'_, '_> {
     }
 }
 
-fn worker(shared: &PoolShared<'_>, rules: &RuleSet) {
+/// Metric handles a pool registers up front and hands to each worker.
+#[derive(Debug, Clone, Copy)]
+struct PoolMetrics {
+    stage: Stage,
+    lines: Counter,
+    bytes: Counter,
+    gated_out: Counter,
+    vm_execs: Counter,
+    matches: Counter,
+}
+
+impl PoolMetrics {
+    fn register(rec: &Recorder) -> Self {
+        PoolMetrics {
+            stage: rec.stage("tag"),
+            lines: rec.counter("tagger.lines"),
+            bytes: rec.counter("tagger.bytes"),
+            gated_out: rec.counter("tagger.prefilter.gated_out"),
+            vm_execs: rec.counter("tagger.prefilter.vm_execs"),
+            matches: rec.counter("tagger.prefilter.matches"),
+        }
+    }
+
+    /// Flushes one batch's scratch tallies into the worker's shard.
+    fn flush(&self, tr: &ThreadRecorder, counts: crate::TagCounts) {
+        tr.add(self.lines, counts.lines);
+        tr.add(self.bytes, counts.bytes);
+        tr.add(self.gated_out, counts.gated_out);
+        tr.add(self.vm_execs, counts.vm_execs);
+        tr.add(self.matches, counts.matches);
+    }
+}
+
+/// Report label for worker `i`.
+fn worker_label(i: usize) -> String {
+    format!("tagger/{i}")
+}
+
+fn worker(shared: &PoolShared<'_>, rules: &RuleSet, tr: ThreadRecorder, metrics: PoolMetrics) {
     let mut scratch = TagScratch::new();
     loop {
         let job = {
+            // Time spent here is queue wait: the worker is starved (or
+            // draining at close), not working. The wake-up notify is
+            // inside the span so lock handoff counts as wait too.
+            let _wait = tr.wait_span(metrics.stage);
             let mut state = shared.state.lock().expect("pool poisoned");
-            loop {
+            let job = loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
                 }
@@ -297,14 +372,27 @@ fn worker(shared: &PoolShared<'_>, rules: &RuleSet) {
                     return;
                 }
                 state = shared.job_ready.wait(state).expect("pool poisoned");
-            }
+            };
+            drop(state);
+            shared.job_space.notify_one();
+            job
         };
-        shared.job_space.notify_one();
-        let result = run_job(rules, &mut scratch, job);
-        let mut state = shared.state.lock().expect("pool poisoned");
-        state.results.push_back(result);
-        drop(state);
-        shared.result_ready.notify_one();
+        let result = {
+            let _busy = tr.span(metrics.stage);
+            run_job(rules, &mut scratch, job)
+        };
+        let counts = scratch.take_counts();
+        tr.stage_items(metrics.stage, result.len as u64, counts.bytes);
+        metrics.flush(&tr, counts);
+        {
+            // Delivering the result contends on the same pool lock the
+            // consumer drains — queue wait, not tagging work.
+            let _wait = tr.wait_span(metrics.stage);
+            let mut state = shared.state.lock().expect("pool poisoned");
+            state.results.push_back(result);
+            drop(state);
+            shared.result_ready.notify_one();
+        }
     }
 }
 
@@ -509,6 +597,37 @@ mod tests {
         let mut registry = CategoryRegistry::new();
         let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
         TagPool::scope(&rules, 1, 0, |_| ());
+    }
+
+    #[test]
+    fn scope_with_records_tag_stage_and_prefilter_counters() {
+        let (rules, interner, msgs) = liberty_fixture();
+        let rec = Recorder::new();
+        TagPool::scope_with(&rules, 2, 4, &rec, |pool| {
+            for (k, chunk) in msgs.chunks(100).enumerate() {
+                pool.submit_messages(k * 100, chunk, &interner, None);
+            }
+            pool.close();
+            while pool.recv().is_some() {}
+        });
+        let report = rec.snapshot().report();
+        assert_eq!(report.counter("tagger.lines"), Some(msgs.len() as u64));
+        let matches = report.counter("tagger.prefilter.matches").unwrap();
+        assert_eq!(matches, 200, "every fifth fixture line tags");
+        let execs = report.counter("tagger.prefilter.vm_execs").unwrap();
+        let gated = report.counter("tagger.prefilter.gated_out").unwrap();
+        assert!(execs >= matches, "a match costs at least one execution");
+        assert!(
+            gated + execs >= msgs.len() as u64 - matches,
+            "every untagged line is gated out or ran some regex"
+        );
+        let tag = report.stage("tag").expect("tag stage recorded");
+        assert_eq!(tag.items, msgs.len() as u64);
+        assert_eq!(tag.spans, 10, "one span per submitted batch");
+        assert!(tag.bytes > 0);
+        assert_eq!(report.workers.len(), 2);
+        assert!(report.workers.iter().any(|w| w.label == "tagger/0"));
+        assert!(report.workers.iter().any(|w| w.label == "tagger/1"));
     }
 
     #[test]

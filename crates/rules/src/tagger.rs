@@ -63,12 +63,59 @@ pub struct TagScratch {
     spans: Vec<(usize, usize)>,
     /// Candidate rule bitset filled by the prescan.
     candidates: Vec<u64>,
+    /// Prefilter effectiveness tallies, accumulated per line.
+    counts: TagCounts,
 }
 
 impl TagScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The prefilter effectiveness tallies accumulated so far.
+    pub fn counts(&self) -> TagCounts {
+        self.counts
+    }
+
+    /// Takes the accumulated tallies, resetting them to zero — how a
+    /// pool worker flushes per-batch counts into its metric shard.
+    pub fn take_counts(&mut self) -> TagCounts {
+        std::mem::take(&mut self.counts)
+    }
+}
+
+/// Prefilter effectiveness tallies for the tagging hot loop.
+///
+/// Plain `u64` increments accumulated in [`TagScratch`] (never atomics
+/// — the hot loop stays free of shared state) and flushed at batch
+/// granularity by whoever owns the scratch. Together they turn the
+/// prescan's design claim into an observed ratio: of `lines` tagged,
+/// `gated_out` never ran a single regex, and the rest cost `vm_execs`
+/// Pike-VM executions for `matches` hits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagCounts {
+    /// Lines run through the tag loop.
+    pub lines: u64,
+    /// Total bytes of those lines.
+    pub bytes: u64,
+    /// Lines the Aho-Corasick gate rejected outright (no candidate
+    /// rule, so no regex ran at all).
+    pub gated_out: u64,
+    /// Individual rule-regex (Pike VM) executions.
+    pub vm_execs: u64,
+    /// Lines that matched some rule (i.e. produced an alert).
+    pub matches: u64,
+}
+
+impl TagCounts {
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: TagCounts) {
+        self.lines += other.lines;
+        self.bytes += other.bytes;
+        self.gated_out += other.gated_out;
+        self.vm_execs += other.vm_execs;
+        self.matches += other.matches;
     }
 }
 
@@ -207,9 +254,12 @@ impl RuleSet {
     /// those run their regexes, in catalog order (first match wins).
     pub fn tag_line_with(&self, line: &str, scratch: &mut TagScratch) -> Option<CategoryId> {
         let TagScratch {
-            spans, candidates, ..
+            spans,
+            candidates,
+            counts,
+            ..
         } = scratch;
-        self.tag_line_parts(line, spans, candidates)
+        self.tag_line_parts(line, spans, candidates, counts)
     }
 
     /// Tags one rendered log line by checking every rule, with no
@@ -232,7 +282,11 @@ impl RuleSet {
         line: &str,
         spans: &mut Vec<(usize, usize)>,
         candidates: &mut Vec<u64>,
+        counts: &mut TagCounts,
     ) -> Option<CategoryId> {
+        counts.lines += 1;
+        counts.bytes += line.len() as u64;
+        let execs_at_entry = counts.vm_execs;
         self.prefilter.candidates(line, candidates);
         let mut have_spans = false;
         for (w, &word) in candidates.iter().enumerate() {
@@ -247,10 +301,15 @@ impl RuleSet {
                     field_spans(line, spans);
                     have_spans = true;
                 }
+                counts.vm_execs += 1;
                 if rule.predicate.matches_spans(line, spans) {
+                    counts.matches += 1;
                     return Some(rule.category);
                 }
             }
+        }
+        if counts.vm_execs == execs_at_entry {
+            counts.gated_out += 1;
         }
         None
     }
@@ -279,9 +338,10 @@ impl RuleSet {
             line,
             spans,
             candidates,
+            counts,
         } = scratch;
         render_native_into(msg, interner, line);
-        self.tag_line_parts(line, spans, candidates)
+        self.tag_line_parts(line, spans, candidates, counts)
     }
 
     /// Tags every message, producing the alert sequence.

@@ -152,6 +152,12 @@ impl GenStream {
         self.total - self.base
     }
 
+    /// Messages emitted so far — what a run report counts against the
+    /// generator stage.
+    pub fn emitted(&self) -> usize {
+        self.base
+    }
+
     /// Total distinct failures generated.
     pub fn failure_count(&self) -> u64 {
         self.failure_count
@@ -211,6 +217,7 @@ mod tests {
             assert_eq!(truth, batch.truth);
             assert_eq!(truth_category, batch.truth_category);
             assert_eq!(stream.remaining(), 0);
+            assert_eq!(stream.emitted(), stream.total_messages());
             assert_eq!(stream.interner().len(), batch.interner.len());
         }
     }

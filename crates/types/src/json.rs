@@ -24,6 +24,178 @@
 
 use std::fmt::Write as _;
 
+/// Checks that `s` is one complete, syntactically valid JSON value.
+///
+/// A minimal recursive-descent validator (no value construction, no
+/// number range checks beyond JSON's grammar) so tests and the
+/// `--obs-smoke` gate can prove emitted documents parse without a
+/// registry JSON crate. Returns the byte offset and a short message
+/// for the first error.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_types::json::validate;
+///
+/// assert!(validate(r#"{"a":[1,2.5e3,null,"x\n"]}"#).is_ok());
+/// assert!(validate(r#"{"a":}"#).is_err());
+/// ```
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {}", *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => expect(b, pos, "true"),
+        Some(b'f') => expect(b, pos, "false"),
+        Some(b'n') => expect(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {}", *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, ":")?;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {}", *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {}", *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {}", *pos));
+        }
+    }
+    Ok(())
+}
+
 /// Escapes `s` as JSON string contents (no surrounding quotes) onto
 /// `out`.
 pub fn escape_into(s: &str, out: &mut String) {
@@ -240,5 +412,58 @@ mod tests {
         let mut o = JsonObject::new();
         o.int("a\"b", 1);
         assert_eq!(o.finish(), r#"{"a\"b":1}"#);
+    }
+
+    #[test]
+    fn validate_accepts_what_the_writer_emits() {
+        let mut inner = JsonArray::new();
+        inner.push_num(f64::NAN).push_int(-3).push_str("x\n\"y\\");
+        let mut o = JsonObject::new();
+        o.raw("xs", &inner.finish())
+            .num("f", 1.25e-3)
+            .bool("b", false)
+            .str("esc", "ctl\u{1}");
+        validate(&o.finish()).expect("writer output must validate");
+    }
+
+    #[test]
+    fn validate_accepts_scalars_and_whitespace() {
+        for ok in [
+            "0",
+            "-12.5e+3",
+            "true",
+            "false",
+            "null",
+            r#""""#,
+            " [ 1 , { \"a\" : [] } ] ",
+            "{}",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{'a':1}"#,
+            "01e",
+            "1 2",
+            "nul",
+            r#""unterminated"#,
+            "\"raw\ncontrol\"",
+            r#""bad \x escape""#,
+            r#""bad \u12g4""#,
+            "[1",
+            "-",
+            "1.",
+            "1e",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 }

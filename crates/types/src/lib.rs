@@ -36,6 +36,7 @@ pub mod audit;
 pub mod category;
 pub mod json;
 pub mod message;
+pub mod obs;
 pub mod severity;
 pub mod source;
 pub mod system;
@@ -45,6 +46,7 @@ pub use alert::{Alert, AlertType, FailureId};
 pub use audit::{AuditFinding, AuditLevel, AuditReport, RuleHealth, SystemAudit};
 pub use category::{CategoryDef, CategoryId, CategoryRegistry};
 pub use message::Message;
+pub use obs::{BucketObs, CounterObs, GaugeObs, HistogramObs, ObsReport, StageObs, WorkerObs};
 pub use severity::{BglSeverity, Severity, SyslogSeverity};
 pub use source::{NodeId, SourceInterner};
 pub use system::{SystemId, SystemSpec, ALL_SYSTEMS};

@@ -1,0 +1,397 @@
+//! Report schema for the observability layer.
+//!
+//! The recorder and the instrumentation live in the `sclog-obs` crate;
+//! this module only defines the *vocabulary* of a run report — stage
+//! waterfall rows, per-worker rollups, counters, gauges, histograms —
+//! and their JSON rendering on top of [`crate::json`], so any crate
+//! (and the `--obs-smoke` verification gate) can speak the same schema
+//! without depending on the recorder.
+//!
+//! All durations are nanoseconds; all byte and item counts are totals
+//! over the run. A report is a snapshot: it describes one pipeline run
+//! from recorder creation to the snapshot instant (`wall_ns`).
+
+use crate::json::{JsonArray, JsonObject};
+
+/// One pipeline stage's row in the run-report waterfall.
+///
+/// `wall_ns` is the stage's active window (first span start to last
+/// span end, across every thread that ran the stage); `busy_ns` is the
+/// summed span time actually spent working and `wait_ns` the summed
+/// time blocked on a queue (waiting for a permit, a job, or a result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageObs {
+    /// Stage name (e.g. `produce`, `tag`, `filter`).
+    pub name: String,
+    /// Active window: last span end minus first span start.
+    pub wall_ns: u64,
+    /// Total time inside working spans, summed over threads.
+    pub busy_ns: u64,
+    /// Total time inside queue-wait spans, summed over threads.
+    pub wait_ns: u64,
+    /// Items (messages/lines/alerts) the stage processed.
+    pub items: u64,
+    /// Bytes the stage processed, when meaningful (0 otherwise).
+    pub bytes: u64,
+    /// Number of working spans (batches/jobs).
+    pub spans: u64,
+}
+
+impl StageObs {
+    /// Renders the stage as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("name", &self.name)
+            .uint("wall_ns", self.wall_ns)
+            .uint("busy_ns", self.busy_ns)
+            .uint("wait_ns", self.wait_ns)
+            .uint("items", self.items)
+            .uint("bytes", self.bytes)
+            .uint("spans", self.spans);
+        o.finish()
+    }
+}
+
+/// Per-thread rollup: everything one recorded thread (a `TagPool`
+/// worker, the producer, the consumer) did across all stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerObs {
+    /// The label the thread registered under (e.g. `tagger/0`).
+    pub label: String,
+    /// The thread's active window (first to last span).
+    pub wall_ns: u64,
+    /// Summed working-span time.
+    pub busy_ns: u64,
+    /// Summed queue-wait time.
+    pub wait_ns: u64,
+    /// Items processed.
+    pub items: u64,
+    /// Working spans completed (jobs, for pool workers).
+    pub jobs: u64,
+}
+
+impl WorkerObs {
+    /// Busy fraction of the thread's active window (0 when idle).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Renders the worker rollup as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("label", &self.label)
+            .uint("wall_ns", self.wall_ns)
+            .uint("busy_ns", self.busy_ns)
+            .uint("wait_ns", self.wait_ns)
+            .uint("items", self.items)
+            .uint("jobs", self.jobs)
+            .num("utilization", self.utilization());
+        o.finish()
+    }
+}
+
+/// One named counter's total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterObs {
+    /// Counter name (dotted, e.g. `tagger.prefilter.vm_execs`).
+    pub name: String,
+    /// Merged total across threads.
+    pub value: u64,
+}
+
+impl CounterObs {
+    /// Renders the counter as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("name", &self.name).uint("value", self.value);
+        o.finish()
+    }
+}
+
+/// One up/down gauge with its observed peak and configured bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeObs {
+    /// Gauge name (e.g. `pipeline.in_flight_batches`).
+    pub name: String,
+    /// Value at snapshot time (0 after a drained run).
+    pub current: u64,
+    /// Highest value observed over the run.
+    pub peak: u64,
+    /// The configured hard bound, when the gauge has one.
+    pub bound: Option<u64>,
+}
+
+impl GaugeObs {
+    /// Renders the gauge as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("name", &self.name)
+            .uint("current", self.current)
+            .uint("peak", self.peak);
+        if let Some(b) = self.bound {
+            o.uint("bound", b);
+        }
+        o.finish()
+    }
+}
+
+/// One occupied bucket of a log2 histogram: `count` observations were
+/// `<= le` (and greater than the previous bucket's `le`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketObs {
+    /// Inclusive upper bound of the bucket (`2^k - 1`).
+    pub le: u64,
+    /// Observations that fell in this bucket.
+    pub count: u64,
+}
+
+/// One named log2-bucket histogram of durations or sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramObs {
+    /// Histogram name (e.g. `tagger.job_ns`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Occupied buckets in ascending `le` order.
+    pub buckets: Vec<BucketObs>,
+}
+
+impl HistogramObs {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (`None` when the histogram is empty) — a coarse quantile, exact
+    /// only up to the log2 bucketing.
+    pub fn quantile_le(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return Some(b.le);
+            }
+        }
+        self.buckets.last().map(|b| b.le)
+    }
+
+    /// Renders the histogram as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut buckets = JsonArray::new();
+        for b in &self.buckets {
+            let mut o = JsonObject::new();
+            o.uint("le", b.le).uint("count", b.count);
+            buckets.push_raw(&o.finish());
+        }
+        let mut o = JsonObject::new();
+        o.str("name", &self.name)
+            .uint("count", self.count)
+            .uint("sum", self.sum)
+            .raw("buckets", &buckets.finish());
+        o.finish()
+    }
+}
+
+/// A full observability run report: the stage waterfall, per-thread
+/// rollups, and every registered metric, merged across threads.
+///
+/// `coverage` is the report's self-check: the fraction of recorded
+/// thread-time (each thread's first-span-to-last-span window) that is
+/// attributed to a working or waiting span. A healthy report sits
+/// near 1.0 — a low value means the instrumentation has a blind spot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Wall time from recorder creation to snapshot.
+    pub wall_ns: u64,
+    /// Total span time (busy + wait) across all threads.
+    pub attributed_ns: u64,
+    /// `attributed_ns` over the summed per-thread active windows.
+    pub coverage: f64,
+    /// Per-stage waterfall rows.
+    pub stages: Vec<StageObs>,
+    /// Per-thread rollups.
+    pub workers: Vec<WorkerObs>,
+    /// Counter totals.
+    pub counters: Vec<CounterObs>,
+    /// Gauges with peaks and bounds.
+    pub gauges: Vec<GaugeObs>,
+    /// Histograms.
+    pub histograms: Vec<HistogramObs>,
+}
+
+impl ObsReport {
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a stage row by name.
+    pub fn stage(&self, name: &str) -> Option<&StageObs> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeObs> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// Renders the report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut stages = JsonArray::new();
+        for s in &self.stages {
+            stages.push_raw(&s.to_json());
+        }
+        let mut workers = JsonArray::new();
+        for w in &self.workers {
+            workers.push_raw(&w.to_json());
+        }
+        let mut counters = JsonArray::new();
+        for c in &self.counters {
+            counters.push_raw(&c.to_json());
+        }
+        let mut gauges = JsonArray::new();
+        for g in &self.gauges {
+            gauges.push_raw(&g.to_json());
+        }
+        let mut histograms = JsonArray::new();
+        for h in &self.histograms {
+            histograms.push_raw(&h.to_json());
+        }
+        let mut o = JsonObject::new();
+        o.str("schema", "sclog.obs.v1")
+            .uint("wall_ns", self.wall_ns)
+            .uint("attributed_ns", self.attributed_ns)
+            .num("coverage", self.coverage)
+            .raw("stages", &stages.finish())
+            .raw("workers", &workers.finish())
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> ObsReport {
+        ObsReport {
+            wall_ns: 1_000,
+            attributed_ns: 950,
+            coverage: 0.95,
+            stages: vec![StageObs {
+                name: "tag".into(),
+                wall_ns: 900,
+                busy_ns: 700,
+                wait_ns: 200,
+                items: 64,
+                bytes: 4096,
+                spans: 2,
+            }],
+            workers: vec![WorkerObs {
+                label: "tagger/0".into(),
+                wall_ns: 900,
+                busy_ns: 450,
+                wait_ns: 450,
+                items: 32,
+                jobs: 1,
+            }],
+            counters: vec![CounterObs {
+                name: "tagger.lines".into(),
+                value: 64,
+            }],
+            gauges: vec![GaugeObs {
+                name: "pipeline.in_flight_batches".into(),
+                current: 0,
+                peak: 3,
+                bound: Some(6),
+            }],
+            histograms: vec![HistogramObs {
+                name: "tagger.job_ns".into(),
+                count: 2,
+                sum: 700,
+                buckets: vec![
+                    BucketObs { le: 255, count: 1 },
+                    BucketObs { le: 511, count: 1 },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_json_is_valid_and_carries_schema() {
+        let j = sample().to_json();
+        json::validate(&j).expect("report must be valid JSON");
+        assert!(j.starts_with(r#"{"schema":"sclog.obs.v1""#), "{j}");
+        for key in [
+            "wall_ns",
+            "attributed_ns",
+            "coverage",
+            "stages",
+            "workers",
+            "counters",
+            "gauges",
+            "histograms",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key}: {j}");
+        }
+    }
+
+    #[test]
+    fn lookups_find_rows() {
+        let r = sample();
+        assert_eq!(r.counter("tagger.lines"), Some(64));
+        assert_eq!(r.counter("nope"), None);
+        assert_eq!(r.stage("tag").unwrap().items, 64);
+        assert_eq!(r.gauge("pipeline.in_flight_batches").unwrap().peak, 3);
+    }
+
+    #[test]
+    fn worker_utilization_and_histogram_stats() {
+        let r = sample();
+        assert!((r.workers[0].utilization() - 0.5).abs() < 1e-12);
+        let h = &r.histograms[0];
+        assert!((h.mean() - 350.0).abs() < 1e-12);
+        assert_eq!(h.quantile_le(0.5), Some(255));
+        assert_eq!(h.quantile_le(1.0), Some(511));
+        let empty = HistogramObs {
+            name: "e".into(),
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile_le(0.5), None);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn optional_bound_is_omitted() {
+        let g = GaugeObs {
+            name: "g".into(),
+            current: 1,
+            peak: 2,
+            bound: None,
+        };
+        assert!(!g.to_json().contains("bound"));
+    }
+}

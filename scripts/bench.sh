@@ -9,6 +9,20 @@
 # Comparison pairs (serial vs parallel, batch vs streaming) interleave
 # their samples inside the harness, but numbers from a loaded host
 # still wander — rerun and compare before trusting a small delta.
+#
+# BENCH_pipeline.json also carries one observability snapshot: a
+# {"record":"obs"} line from an instrumented (untimed) study run, with
+#   threads    worker count the run used
+#   coverage   fraction of recorded thread time attributed to spans
+#   report     the full sclog.obs.v1 document — wall_ns,
+#              attributed_ns, coverage, stages[] (name/wall_ns/busy_ns/
+#              wait_ns/items/bytes/spans), workers[] (label/wall_ns/
+#              busy_ns/wait_ns/items/jobs/utilization), counters[]
+#              (name/value), gauges[] (name/current/peak/bound),
+#              histograms[] (name/count/sum/buckets[le,count])
+# so a timing regression in the timed arms can be read against the
+# stage waterfall captured on the same host. Timed arms always run
+# with obs off; the snapshot run is separate and never timed.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -9,6 +9,11 @@
 #   3. No registry dependencies anywhere: every [dependencies]-section
 #      entry in every Cargo.toml must be a `sclog-*` workspace path
 #      crate, keeping the build hermetic and `--offline`-safe.
+#   4. No raw `Instant::now()` in the pipeline/rules hot paths
+#      (crates/core/src, crates/rules/src): all timing there goes
+#      through sclog-obs spans, which are zero-cost when observability
+#      is off. Test modules are exempt, as are sclog-obs itself and
+#      the bench harness, which own the clock.
 #
 # Runs standalone or as part of scripts/verify.sh --lint.
 set -eu
@@ -70,6 +75,21 @@ for manifest in Cargo.toml crates/*/Cargo.toml; do
             complain "$manifest: registry dependency (no path): $(printf '%s' "$nonpath" | head -1)"
         fi
     fi
+done
+
+# -- 4. no raw clocks in instrumented hot paths -----------------------
+# Pipeline and rules code must time itself through sclog-obs spans so
+# a disabled recorder costs nothing; a bare Instant::now() there is a
+# timing path the run report cannot see. (Same mod-tests cut as #2;
+# sclog-obs itself and the bench harness own the clock and are not
+# scanned.)
+for srcdir in crates/core/src crates/rules/src; do
+    for f in $(find "$srcdir" -name '*.rs'); do
+        if awk '/^ *(#\[cfg\(test\)\]|mod tests)/ { exit } { print }' "$f" |
+            grep -q 'Instant::now()'; then
+            complain "$f: raw Instant::now() in pipeline/rules hot path (use sclog-obs spans)"
+        fi
+    done
 done
 
 if [ "$fail" -ne 0 ]; then

@@ -6,7 +6,8 @@
 #
 # Modes:
 #   scripts/verify.sh                the full tier-1 run (includes the
-#                                    lint gate and the bench smoke)
+#                                    lint gate and the bench and obs
+#                                    smokes)
 #   scripts/verify.sh --lint         only the lint gate: source hygiene
 #                                    (scripts/tidy.sh) plus the static
 #                                    rule-catalog audit checked against
@@ -18,6 +19,14 @@
 #                                    equivalence assertion, and the
 #                                    pipeline's in-flight bound still
 #                                    hold
+#   scripts/verify.sh --obs-smoke    only the observability smoke: run
+#                                    a small instrumented study
+#                                    (obs_report --check) and validate
+#                                    the emitted sclog.obs.v1 JSON —
+#                                    well-formed, required stage/
+#                                    counter/gauge keys present, span
+#                                    coverage >= 95%, gauge peaks
+#                                    within their bounds
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,9 +53,21 @@ bench_smoke() {
         cargo bench --offline -p sclog-bench --bench pipeline_bench >/dev/null
 }
 
+obs_smoke() {
+    echo "== obs smoke: obs_report --check (instrumented study, report validation)"
+    cargo run -q --offline --release -p sclog-bench --bin obs_report -- --check \
+        >/dev/null
+}
+
 if [ "${1-}" = "--bench-smoke" ]; then
     bench_smoke
     echo "verify: OK (bench smoke)"
+    exit 0
+fi
+
+if [ "${1-}" = "--obs-smoke" ]; then
+    obs_smoke
+    echo "verify: OK (obs smoke)"
     exit 0
 fi
 
@@ -68,5 +89,7 @@ echo "== cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
 bench_smoke
+
+obs_smoke
 
 echo "verify: OK"

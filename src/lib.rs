@@ -17,6 +17,7 @@
 pub use sclog_core as core;
 pub use sclog_desim as desim;
 pub use sclog_filter as filter;
+pub use sclog_obs as obs;
 pub use sclog_opctx as opctx;
 pub use sclog_parse as parse;
 pub use sclog_predict as predict;

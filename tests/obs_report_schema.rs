@@ -1,0 +1,87 @@
+//! Golden test pinning the `sclog.obs.v1` report schema.
+//!
+//! An instrumented ingest run exercises every report section — stages,
+//! workers, counters, gauges (bounded and unbounded), and the
+//! chunk-size histogram — so the set of JSON object keys appearing in
+//! its report is the schema's full vocabulary. That key set is pinned
+//! in `tests/golden/obs_report_keys.txt`; adding, renaming, or
+//! dropping a field shows up as a diff against the golden file, which
+//! is the signal to bump the schema tag and update consumers.
+
+use sclog::core::pipeline::{self, IngestConfig};
+use sclog::filter::SpatioTemporalFilter;
+use sclog::obs::ObsConfig;
+use sclog::rules::RuleSet;
+use sclog::simgen::{generate, Scale};
+use sclog::types::json::validate;
+use sclog::types::{CategoryRegistry, SystemId};
+use std::collections::BTreeSet;
+
+/// Every JSON object key in `json`, in sorted order. A key is a string
+/// immediately followed by `:`; string values never precede a colon in
+/// this schema.
+fn keys(json: &str) -> BTreeSet<String> {
+    let b = json.as_bytes();
+    let mut keys = BTreeSet::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < b.len() && b[j] != b'"' {
+                if b[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j + 1 < b.len() && b[j + 1] == b':' {
+                keys.insert(json[start..j].to_string());
+            }
+            i = j + 1;
+        }
+        i += 1;
+    }
+    keys
+}
+
+#[test]
+fn obs_report_keys_match_golden() {
+    let log = generate(SystemId::Liberty, Scale::new(0.005, 0.0001), 77);
+    let text = log.render();
+    let mut registry = CategoryRegistry::new();
+    let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+    let filter = SpatioTemporalFilter::paper();
+    let config = IngestConfig {
+        obs: ObsConfig::on(),
+        ..IngestConfig::with_threads(2)
+    };
+    let result =
+        pipeline::ingest_stream(SystemId::Liberty, text.as_bytes(), &rules, &filter, config)
+            .unwrap();
+    let report = result.obs.expect("obs on yields a report");
+    let json = report.to_json();
+    validate(&json).expect("report JSON parses");
+    assert!(json.starts_with("{\"schema\":\"sclog.obs.v1\""));
+
+    // The run must populate every section, or the key sweep is hollow.
+    assert!(!report.stages.is_empty());
+    assert!(!report.workers.is_empty());
+    assert!(!report.counters.is_empty());
+    assert!(report.gauges.iter().any(|g| g.bound.is_some()));
+    assert!(report.histograms.iter().any(|h| h.count > 0));
+
+    let actual = keys(&json);
+    let golden: BTreeSet<String> = include_str!("golden/obs_report_keys.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        actual,
+        golden,
+        "sclog.obs.v1 key set changed; if intentional, bump the schema \
+         tag and regenerate tests/golden/obs_report_keys.txt:\n{}",
+        actual.iter().cloned().collect::<Vec<_>>().join("\n")
+    );
+}
