@@ -21,6 +21,27 @@ use std::sync::{Arc, Condvar, Mutex};
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Error returned by [`Sender::try_send`]; the unsent value is handed
+/// back in both cases.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The ring is full right now; the value was not enqueued. A
+    /// blocking [`Sender::send`] would have waited — `try_send` is the
+    /// admission-control path that refuses instead.
+    Full(T),
+    /// The receiver has been dropped; no send can ever succeed again.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
@@ -94,6 +115,32 @@ impl<T> Sender<T> {
             }
             state = self.shared.not_full.wait(state).expect("channel poisoned");
         }
+    }
+
+    /// Sends a value only if the ring has room right now, never
+    /// blocking.
+    ///
+    /// This is the admission-control primitive: a front-end that must
+    /// answer "busy" instead of queueing unboundedly (e.g. `sclogd`'s
+    /// accept loop answering 503) calls this and handles
+    /// [`TrySendError::Full`] itself.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Disconnected`] if the receiver has been dropped,
+    /// [`TrySendError::Full`] if the ring is at capacity.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel poisoned");
+        if !state.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
     }
 }
 
@@ -268,6 +315,87 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn try_send_refuses_when_full_and_recovers() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Some(1));
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn try_send_reports_disconnect() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        let err = tx.try_send(9).unwrap_err();
+        assert_eq!(err, TrySendError::Disconnected(9));
+        assert_eq!(err.into_inner(), 9);
+    }
+
+    #[test]
+    fn receiver_drop_wakes_sender_blocked_on_full_ring() {
+        // ISSUE-6 close-while-blocked regression: a sender parked on
+        // `not_full` must observe the receiver's departure promptly, not
+        // wait out the Condvar. The receiver drops only *after* the
+        // sender has had time to block, so the wakeup must come from
+        // Receiver::drop's notify_all.
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            let blocked = s.spawn(move || tx.send(1));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(
+                blocked.join().unwrap(),
+                Err(SendError(1)),
+                "blocked sender must return Disconnected, not hang"
+            );
+        });
+    }
+
+    #[test]
+    fn sender_drop_wakes_receiver_blocked_on_empty_ring() {
+        // The mirror case: a receiver parked on `not_empty` while the
+        // last sender drops must wake and report end-of-stream.
+        let (tx, rx) = bounded::<u8>(1);
+        std::thread::scope(|s| {
+            let blocked = s.spawn(move || rx.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+            assert_eq!(
+                blocked.join().unwrap(),
+                None,
+                "blocked receiver must observe disconnect, not hang"
+            );
+        });
+    }
+
+    #[test]
+    fn receiver_drop_wakes_every_blocked_sender() {
+        // Several producers parked on the same full ring: one
+        // notify_one would strand the rest, so Receiver::drop must
+        // notify_all.
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    s.spawn(move || tx.send(i))
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            for h in handles {
+                assert!(h.join().unwrap().is_err());
+            }
+        });
     }
 
     #[test]

@@ -29,7 +29,7 @@ use sclog_filter::{AlertFilter, SpatioTemporalFilter};
 use sclog_obs::{Counter, Histogram, ObsConfig, Recorder, Stage, ThreadRecorder};
 use sclog_parse::{LineChunker, LogReader, ParseStats};
 use sclog_rules::{LineBatch, LineRef, RuleSet, TagPool, TagScratch, TaggedLog};
-use sclog_types::{Alert, ObsReport, SystemId};
+use sclog_types::{Alert, ObsReport, SourceInterner, SystemId};
 use std::io::Read;
 
 /// Tuning knobs for [`ingest_stream`].
@@ -77,6 +77,10 @@ pub struct IngestResult {
     pub filtered: Vec<Alert>,
     /// Line accounting from the parser.
     pub parse: ParseStats,
+    /// The interner naming every [`Alert::source`] in `tagged` — kept
+    /// so consumers that outlive the call (a query server holding the
+    /// alerts) can still resolve node names.
+    pub sources: SourceInterner,
     /// Pipeline memory observations.
     pub stats: PipelineStats,
     /// The run report, when [`IngestConfig::obs`] was on.
@@ -177,7 +181,9 @@ pub fn ingest_stream(
                         }
                     }
                 }
-                assert!(reasm.is_drained(), "pool closed with a sequence gap");
+                if let Some(gap) = reasm.truncation() {
+                    panic!("tagging stream truncated: {gap}");
+                }
                 tr.add(pipe_metrics.alerts_in, stream.pushed());
                 tr.add(pipe_metrics.alerts_kept, stream.kept());
                 (alerts, filtered)
@@ -224,11 +230,13 @@ pub fn ingest_stream(
         })
     });
     let (alerts, filtered) = outcome?;
+    let (_, ctx, parse) = log_reader.into_parts();
 
     Ok(IngestResult {
         tagged: TaggedLog { alerts },
         filtered,
-        parse: *log_reader.stats(),
+        parse,
+        sources: ctx.interner,
         stats: PipelineStats {
             threads: config.threads,
             batches,
@@ -337,10 +345,12 @@ fn ingest_serial(
     tr.add(serial_metrics.alerts_in, stream.pushed());
     tr.add(serial_metrics.alerts_kept, stream.kept());
     metrics.flush_parse(&tr, log_reader.stats());
+    let (_, ctx, parse) = log_reader.into_parts();
     Ok(IngestResult {
         tagged: TaggedLog { alerts },
         filtered,
-        parse: *log_reader.stats(),
+        parse,
+        sources: ctx.interner,
         stats: PipelineStats {
             threads: 1,
             batches,
@@ -358,8 +368,11 @@ fn ingest_serial(
 
 /// Parses one text chunk line by line, returning a [`LineRef`] per
 /// accepted line (span in `text` plus the parsed header fields).
-/// Line splitting matches [`str::lines`]: `\n`-separated, a trailing
-/// `\r` stripped from both the parsed text and the recorded span.
+/// Line splitting matches [`sclog_parse::logical_lines`]:
+/// `\n`-separated, a trailing `\r` stripped from both the parsed text
+/// and the recorded span — including on a final line that lacks its
+/// terminating newline, so a CRLF log cut mid-ending parses the same
+/// here as in the batch path.
 fn parse_chunk(reader: &mut LogReader, text: &str, next_index: &mut usize) -> Vec<LineRef> {
     let mut spans = Vec::new();
     let mut pos = 0usize;
@@ -413,6 +426,7 @@ pub fn ingest_batch(
         tagged,
         filtered,
         parse,
+        sources: ctx.interner,
         stats: PipelineStats {
             threads,
             batches: 1,
@@ -523,6 +537,44 @@ mod tests {
             let err = ingest_stream(SystemId::Liberty, FailAfter(3), &rules, &filter, config)
                 .unwrap_err();
             assert_eq!(err.to_string(), "link down", "t={threads}");
+        }
+    }
+
+    #[test]
+    fn crlf_text_streams_identical_to_batch() {
+        // ISSUE-6 regression: CRLF line endings — including a final
+        // line cut right after its `\r` — must parse and tag the same
+        // through the chunked stream as through the batch path, at
+        // every chunk size (so the cut can land on any boundary).
+        let text = "Dec 12 00:00:01 ln1 pbs_mom: task_check, cannot tm_reply to 9 task 1\r\n\
+                    Dec 12 00:00:02 ln2 kernel: quiet line\r\n\
+                    Dec 12 00:00:03 ln3 pbs_mom: task_check, cannot tm_reply to 9 task 1\r";
+        let (rules, _) = liberty_rules();
+        let filter = SpatioTemporalFilter::paper();
+        let batch = ingest_batch(SystemId::Liberty, text, &rules, &filter, 1);
+        assert_eq!(batch.parse.parsed, 3, "all three CRLF lines parse");
+        for threads in [1, 2] {
+            for chunk_bytes in [8, 70, 4096] {
+                let config = IngestConfig {
+                    threads,
+                    chunk_bytes,
+                    text_queue: 2,
+                    obs: ObsConfig::off(),
+                };
+                let run =
+                    ingest_stream(SystemId::Liberty, text.as_bytes(), &rules, &filter, config)
+                        .unwrap();
+                assert_eq!(
+                    run.tagged.alerts, batch.tagged.alerts,
+                    "t={threads} c={chunk_bytes}"
+                );
+                assert_eq!(run.parse, batch.parse, "t={threads} c={chunk_bytes}");
+                assert_eq!(
+                    run.sources.len(),
+                    batch.sources.len(),
+                    "t={threads} c={chunk_bytes}: interners agree"
+                );
+            }
         }
     }
 

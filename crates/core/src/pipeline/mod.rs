@@ -103,11 +103,50 @@ impl<T> Reassembler<T> {
     pub fn is_drained(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Evidence of a truncated stream, to be checked once the input has
+    /// ended: `Some` when items are still stuck behind a sequence
+    /// number that never arrived (a producer died mid-stream), `None`
+    /// when everything reassembled.
+    pub fn truncation(&self) -> Option<Truncation> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some(Truncation {
+            missing: self.next,
+            held: self.pending.keys().copied().collect(),
+        })
+    }
 }
 
 impl<T> Default for Reassembler<T> {
     fn default() -> Self {
         Reassembler::new()
+    }
+}
+
+/// A completion stream that ended with a gap: some sequence number
+/// never arrived (its producer died mid-stream), stranding later
+/// completions behind it. Reported by [`Reassembler::truncation`] so
+/// the consumer fails with an explicit diagnosis instead of hanging on
+/// — or silently dropping — the stranded work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Truncation {
+    /// The first sequence number that never arrived.
+    pub missing: u64,
+    /// Sequence numbers that did arrive but are stranded behind the
+    /// gap, in order.
+    pub held: Vec<u64>,
+}
+
+impl std::fmt::Display for Truncation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sequence {} never arrived; {} completed batch(es) stranded behind the gap",
+            self.missing,
+            self.held.len()
+        )
     }
 }
 
@@ -246,7 +285,9 @@ pub fn tag_filter_stream_with(
                             }
                         }
                     }
-                    assert!(reasm.is_drained(), "pool closed with a sequence gap");
+                    if let Some(gap) = reasm.truncation() {
+                        panic!("tagging stream truncated: {gap}");
+                    }
                     tr.add(metrics.alerts_in, stream.pushed());
                     tr.add(metrics.alerts_kept, stream.kept());
                     (alerts, filtered)
@@ -492,6 +533,25 @@ mod tests {
         let mut r = Reassembler::new();
         r.push(3, ());
         r.push(3, ());
+    }
+
+    #[test]
+    fn reassembler_reports_truncation() {
+        let mut r = Reassembler::new();
+        r.push(0, ());
+        r.push(2, ());
+        r.push(3, ());
+        assert_eq!(r.pop_ready(), Some(()));
+        assert_eq!(r.pop_ready(), None, "1 missing");
+        let gap = r.truncation().expect("stream is truncated");
+        assert_eq!(gap.missing, 1);
+        assert_eq!(gap.held, vec![2, 3]);
+        let rendered = gap.to_string();
+        assert!(rendered.contains("sequence 1"), "{rendered}");
+        assert!(rendered.contains("2 completed"), "{rendered}");
+        r.push(1, ());
+        while r.pop_ready().is_some() {}
+        assert_eq!(r.truncation(), None, "gap filled, stream complete");
     }
 
     #[test]

@@ -71,6 +71,12 @@ impl<R: Read> LineChunker<R> {
     /// target size or the input ends. Returns the split point: one past
     /// the last newline within the filled region (or the whole buffer
     /// at end of input).
+    ///
+    /// Once end of input has been observed (`done`), the underlying
+    /// reader is never touched again — a socket-like reader must not be
+    /// asked to read past EOF, where it could block or error — and
+    /// `ErrorKind::Interrupted` reads are retried per `std::io`
+    /// convention instead of killing the stream.
     fn fill(&mut self) -> std::io::Result<usize> {
         const READ_SIZE: usize = 16 * 1024;
         loop {
@@ -84,10 +90,23 @@ impl<R: Read> LineChunker<R> {
                     return Ok(from + pos + 1);
                 }
             }
+            if self.done {
+                return Ok(self.carry.len());
+            }
             // Read straight into the buffer's tail: no bounce copy.
             let old = self.carry.len();
             self.carry.resize(old + READ_SIZE, 0);
-            let n = self.reader.read(&mut self.carry[old..])?;
+            let n = match self.reader.read(&mut self.carry[old..]) {
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.carry.truncate(old);
+                    continue;
+                }
+                Err(e) => {
+                    self.carry.truncate(old);
+                    return Err(e);
+                }
+            };
             self.carry.truncate(old + n);
             if n == 0 {
                 self.done = true;
@@ -213,6 +232,120 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_target_rejected() {
         let _ = LineChunker::with_target(&b""[..], 0);
+    }
+
+    /// Yields the wrapped bytes `step` bytes per read, and panics if
+    /// read again after reporting end of input — the way a socket-like
+    /// reader must never be driven.
+    struct Strict<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+        eof_seen: bool,
+    }
+
+    impl<'a> Strict<'a> {
+        fn new(data: &'a [u8], step: usize) -> Self {
+            Strict {
+                data,
+                pos: 0,
+                step,
+                eof_seen: false,
+            }
+        }
+    }
+
+    impl Read for Strict<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            assert!(!self.eof_seen, "read past EOF");
+            let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            if n == 0 {
+                self.eof_seen = true;
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn trailing_edge_cases_are_identity_for_all_boundaries() {
+        // The three ISSUE-6 trailing-line edge cases: a final line with
+        // no `\n`, CRLF endings (with and without the final `\n`), and
+        // inputs whose length lands exactly on a read/target boundary.
+        let texts = [
+            "no newline at all",
+            "one\ntwo\nthree", // unterminated final line
+            "a\r\nb\r\nc\r\n", // CRLF, terminated
+            "a\r\nb\r\nc\r",   // CRLF cut mid-ending
+            "exact\n",         // length 6: hits step/target boundaries below
+            "ab\ncd\nef\n",    // length 9, multiple of 3
+            "\n\n\n",          // only newlines
+            "x\n\ny\r\n\r\nz", // blanks interleaved, CRLF and not
+        ];
+        for text in texts {
+            for target in [1, 2, 3, 6, 9, 1024] {
+                for step in [1, 2, 3, 7, 16 * 1024] {
+                    let chunks: Vec<String> =
+                        LineChunker::with_target(Strict::new(text.as_bytes(), step), target)
+                            .collect::<std::io::Result<_>>()
+                            .unwrap();
+                    assert_eq!(
+                        chunks.concat(),
+                        text,
+                        "identity broken: {text:?} target={target} step={step}"
+                    );
+                    assert!(
+                        chunks.iter().all(|c| !c.is_empty()),
+                        "empty chunk emitted: {text:?} target={target} step={step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_read_after_eof_when_input_ends_on_a_boundary() {
+        // "exact\n" is 6 bytes; with target 6 the split lands exactly
+        // on the end of the input. The Strict reader panics if the
+        // chunker comes back for more after seeing EOF.
+        let text = b"exact\n";
+        let mut chunker = LineChunker::with_target(Strict::new(text, 6), 6);
+        assert_eq!(chunker.next().unwrap().unwrap(), "exact\n");
+        assert!(chunker.next().is_none(), "no empty final chunk");
+        assert!(chunker.next().is_none(), "end of stream is sticky");
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried() {
+        struct Flaky {
+            data: &'static [u8],
+            pos: usize,
+            hiccup: bool,
+        }
+        impl Read for Flaky {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.hiccup = !self.hiccup;
+                if self.hiccup {
+                    return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+                }
+                let n = 1.min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let chunks: Vec<String> = LineChunker::with_target(
+            Flaky {
+                data: b"a\nbb\nccc",
+                pos: 0,
+                hiccup: false,
+            },
+            4,
+        )
+        .collect::<std::io::Result<_>>()
+        .unwrap();
+        assert_eq!(chunks.concat(), "a\nbb\nccc");
     }
 
     #[test]

@@ -81,6 +81,36 @@ pub fn render_native_into(msg: &Message, interner: &SourceInterner, out: &mut St
     }
 }
 
+/// Splits raw log text into logical lines the way the whole pipeline
+/// agrees to: `\n`-separated, one trailing `\r` stripped per line
+/// (CRLF tolerance), and no phantom empty line after a final `\n`.
+///
+/// This differs from [`str::lines`] in exactly one case — a final line
+/// with a `\r` but no terminating `\n` (a CRLF log cut mid-ending)
+/// also has its `\r` stripped, so batch parsing, chunked parsing and
+/// raw-line tagging all see the same line text no matter where a read
+/// boundary fell.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_parse::logical_lines;
+///
+/// let lines: Vec<&str> = logical_lines("a\r\n\nb\r").collect();
+/// assert_eq!(lines, vec!["a", "", "b"], "no stray carriage returns");
+/// assert_eq!(logical_lines("").count(), 0);
+/// ```
+pub fn logical_lines(text: &str) -> impl Iterator<Item = &str> {
+    let mut pieces = text.split('\n').peekable();
+    std::iter::from_fn(move || {
+        let piece = pieces.next()?;
+        if piece.is_empty() && pieces.peek().is_none() {
+            return None; // artifact of a terminating newline
+        }
+        Some(piece.strip_suffix('\r').unwrap_or(piece))
+    })
+}
+
 /// Splits a line into awk-style whitespace-separated fields.
 ///
 /// Field numbering in the expert rules is 1-based (`$1` is the first

@@ -125,8 +125,16 @@ impl LogReader {
     }
 
     /// Parses all lines of a text blob.
+    ///
+    /// Line splitting matches [`crate::logical_lines`]: `\n`-separated
+    /// with one trailing `\r` stripped per line, *including* a final
+    /// line that lacks its terminating newline. (`str::lines` would
+    /// leave the stray `\r` on such a line, so a CRLF log whose last
+    /// line was cut mid-ending used to render a message body ending in
+    /// a carriage return — and to disagree with the chunked streaming
+    /// path, which always stripped it.)
     pub fn push_text(&mut self, text: &str) {
-        self.push_lines(text.lines());
+        self.push_lines(crate::logical_lines(text));
     }
 
     /// Parses an entire byte stream incrementally, reading it in
@@ -238,6 +246,40 @@ mod tests {
         stream.push_reader(text.as_bytes()).unwrap();
         assert_eq!(stream.messages(), batch.messages());
         assert_eq!(stream.stats(), batch.stats());
+    }
+
+    #[test]
+    fn push_reader_matches_push_text_on_trailing_edge_cases() {
+        // ISSUE-6 regression matrix: a final line without `\n`, CRLF
+        // endings (including a final line cut after its `\r`), and
+        // inputs ending exactly on a chunk boundary must parse
+        // identically chunked and whole, at every chunk target.
+        let texts = [
+            "Jan  1 00:00:01 sn373 kernel: no final newline",
+            "Jan  1 00:00:01 sn373 kernel: a\r\nJan  1 00:00:02 sn374 kernel: b\r\n",
+            "Jan  1 00:00:01 sn373 kernel: a\r\nJan  1 00:00:02 sn374 kernel: cut\r",
+            "Jan  1 00:00:01 sn373 kernel: boundary\n",
+            "\r\n\r\nJan  1 00:00:03 sn375 kernel: after blanks\r",
+        ];
+        for text in texts {
+            let mut whole = LogReader::new(SystemId::Spirit, Box::new(SyslogFormat::plain()), 2005);
+            whole.push_text(text);
+            for target in [1, 4, text.len().max(1), 64 * 1024] {
+                let mut chunked =
+                    LogReader::new(SystemId::Spirit, Box::new(SyslogFormat::plain()), 2005);
+                for chunk in crate::LineChunker::with_target(text.as_bytes(), target) {
+                    chunked.push_text(&chunk.unwrap());
+                }
+                assert_eq!(chunked.messages(), whole.messages(), "{text:?} t={target}");
+                assert_eq!(chunked.stats(), whole.stats(), "{text:?} t={target}");
+            }
+            for msg in whole.messages() {
+                assert!(
+                    !msg.body.contains('\r') && !msg.facility.contains('\r'),
+                    "stray carriage return rendered into {msg:?}"
+                );
+            }
+        }
     }
 
     #[test]

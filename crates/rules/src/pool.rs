@@ -95,6 +95,10 @@ struct PoolState<'env> {
     next_seq: u64,
     delivered: u64,
     closed: bool,
+    /// A worker died mid-batch: its result can never arrive, so every
+    /// blocked peer must wake and bail instead of waiting out its
+    /// Condvar.
+    aborted: bool,
 }
 
 struct PoolShared<'env> {
@@ -103,6 +107,20 @@ struct PoolShared<'env> {
     job_ready: Condvar,
     job_space: Condvar,
     result_ready: Condvar,
+}
+
+impl<'env> PoolShared<'env> {
+    /// Locks the pool state, tolerating a poisoned mutex: a dying
+    /// worker poisons it merely by taking the lock inside its abort
+    /// guard, and the `aborted` flag — not the poison bit — is the
+    /// pool's real death signal. Treating poison as fatal here would
+    /// turn every cleanup path (including `CloseGuard::drop`, where a
+    /// second panic aborts the process) into a crash.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState<'env>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Handle for submitting batches to a running [`TagPool`] scope and
@@ -175,6 +193,7 @@ impl TagPool {
                 next_seq: 0,
                 delivered: 0,
                 closed: false,
+                aborted: false,
             }),
             job_cap,
             job_ready: Condvar::new(),
@@ -245,10 +264,16 @@ impl<'env> PoolClient<'_, 'env> {
     }
 
     fn submit_with(&self, job: impl FnOnce(u64) -> Job<'env>) -> u64 {
-        let mut state = self.shared.state.lock().expect("pool poisoned");
+        let mut state = self.shared.lock();
         while state.jobs.len() >= self.shared.job_cap {
-            state = self.shared.job_space.wait(state).expect("pool poisoned");
+            assert!(!state.aborted, "tag pool aborted: a worker died");
+            state = self
+                .shared
+                .job_space
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        assert!(!state.aborted, "tag pool aborted: a worker died");
         assert!(!state.closed, "submit after close");
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -260,27 +285,38 @@ impl<'env> PoolClient<'_, 'env> {
 
     /// Receives the next completed batch, blocking until one is ready.
     ///
-    /// Returns `None` only after [`PoolClient::close`] once every
-    /// submitted batch has been delivered — the end-of-stream signal
-    /// for a consumer running on its own thread.
+    /// Returns `None` after [`PoolClient::close`] once every submitted
+    /// batch has been delivered — the end-of-stream signal for a
+    /// consumer running on its own thread. Also returns `None` if a
+    /// worker died mid-batch: its result can never arrive, so the
+    /// stream ends early and a sequence-ordering consumer (see
+    /// `Reassembler::truncation` in `sclog-core`) diagnoses the gap
+    /// instead of blocking forever.
     pub fn recv(&self) -> Option<TaggedBatch> {
-        let mut state = self.shared.state.lock().expect("pool poisoned");
+        let mut state = self.shared.lock();
         loop {
             if let Some(r) = state.results.pop_front() {
                 state.delivered += 1;
                 return Some(r);
             }
+            if state.aborted {
+                return None;
+            }
             if state.closed && state.delivered == state.next_seq {
                 return None;
             }
-            state = self.shared.result_ready.wait(state).expect("pool poisoned");
+            state = self
+                .shared
+                .result_ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Receives a completed batch if one is ready, without blocking —
     /// lets a submitting loop drain results opportunistically.
     pub fn try_recv(&self) -> Option<TaggedBatch> {
-        let mut state = self.shared.state.lock().expect("pool poisoned");
+        let mut state = self.shared.lock();
         let r = state.results.pop_front();
         if r.is_some() {
             state.delivered += 1;
@@ -293,7 +329,7 @@ impl<'env> PoolClient<'_, 'env> {
     /// result. Called automatically when the scope closure returns;
     /// call it earlier from a producer stage that knows it is done.
     pub fn close(&self) {
-        let mut state = self.shared.state.lock().expect("pool poisoned");
+        let mut state = self.shared.lock();
         state.closed = true;
         drop(state);
         self.shared.job_ready.notify_all();
@@ -314,6 +350,32 @@ struct CloseGuard<'pool, 'env>(&'pool PoolShared<'env>);
 impl Drop for CloseGuard<'_, '_> {
     fn drop(&mut self) {
         PoolClient { shared: self.0 }.close();
+    }
+}
+
+/// Worker-exit guard: dropped during a panic (a rule-engine bug took
+/// the worker down mid-batch), it flips the pool to `aborted` and
+/// wakes every Condvar, so blocked submitters, receivers and idle
+/// workers all observe the death promptly instead of deadlocking the
+/// scope's join. A normal worker exit leaves the pool untouched.
+struct AbortOnPanic<'pool, 'env>(&'pool PoolShared<'env>);
+
+impl Drop for AbortOnPanic<'_, '_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let mut state = match self.0.state.lock() {
+            Ok(guard) => guard,
+            // The lock is only poisoned by another dying worker, whose
+            // state is still fine for setting a flag.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.aborted = true;
+        drop(state);
+        self.0.job_ready.notify_all();
+        self.0.job_space.notify_all();
+        self.0.result_ready.notify_all();
     }
 }
 
@@ -356,6 +418,7 @@ fn worker_label(i: usize) -> String {
 }
 
 fn worker(shared: &PoolShared<'_>, rules: &RuleSet, tr: ThreadRecorder, metrics: PoolMetrics) {
+    let _abort = AbortOnPanic(shared);
     let mut scratch = TagScratch::new();
     loop {
         let job = {
@@ -363,15 +426,21 @@ fn worker(shared: &PoolShared<'_>, rules: &RuleSet, tr: ThreadRecorder, metrics:
             // draining at close), not working. The wake-up notify is
             // inside the span so lock handoff counts as wait too.
             let _wait = tr.wait_span(metrics.stage);
-            let mut state = shared.state.lock().expect("pool poisoned");
+            let mut state = shared.lock();
             let job = loop {
+                if state.aborted {
+                    return;
+                }
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
                 }
                 if state.closed {
                     return;
                 }
-                state = shared.job_ready.wait(state).expect("pool poisoned");
+                state = shared
+                    .job_ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             };
             drop(state);
             shared.job_space.notify_one();
@@ -388,7 +457,7 @@ fn worker(shared: &PoolShared<'_>, rules: &RuleSet, tr: ThreadRecorder, metrics:
             // Delivering the result contends on the same pool lock the
             // consumer drains — queue wait, not tagging work.
             let _wait = tr.wait_span(metrics.stage);
-            let mut state = shared.state.lock().expect("pool poisoned");
+            let mut state = shared.lock();
             state.results.push_back(result);
             drop(state);
             shared.result_ready.notify_one();
@@ -628,6 +697,82 @@ mod tests {
         assert_eq!(report.workers.len(), 2);
         assert!(report.workers.iter().any(|w| w.label == "tagger/0"));
         assert!(report.workers.iter().any(|w| w.label == "tagger/1"));
+    }
+
+    /// A batch that panics the worker claiming it: the line span
+    /// points past the end of the text, so the slice in `run_job`
+    /// blows up — the closest thing to a rule-engine bug we can
+    /// inject from outside the crate's internals.
+    fn poison_batch() -> LineBatch {
+        LineBatch {
+            text: "short".into(),
+            lines: vec![LineRef {
+                start: 0,
+                end: 999,
+                index: 0,
+                time: Timestamp::from_secs(0),
+                source: NodeId::from_index(0),
+            }],
+        }
+    }
+
+    #[test]
+    fn dead_worker_ends_the_stream_instead_of_hanging() {
+        // ISSUE-6 kill-one-worker regression: a worker dying mid-batch
+        // must end the consumer's result stream (recv -> None) rather
+        // than leave it waiting forever for a result that cannot come,
+        // and the worker's panic must still surface out of the scope.
+        let (rules, _, _) = liberty_fixture();
+        let observed = std::sync::Arc::new(std::sync::Mutex::new(None::<u64>));
+        let obs = std::sync::Arc::clone(&observed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TagPool::scope(&rules, 2, 2, |pool| {
+                std::thread::scope(|s| {
+                    let consumer = s.spawn(|| {
+                        let mut seen = 0u64;
+                        while pool.recv().is_some() {
+                            seen += 1;
+                        }
+                        seen
+                    });
+                    pool.submit_lines(poison_batch());
+                    // No close() here: only the abort path can end the
+                    // consumer's stream.
+                    let seen = consumer.join().expect("consumer survives");
+                    *obs.lock().unwrap() = Some(seen);
+                })
+            })
+        }));
+        assert!(outcome.is_err(), "worker panic propagates from the scope");
+        let seen = observed
+            .lock()
+            .unwrap()
+            .expect("consumer ran to completion");
+        assert_eq!(seen, 0, "the poisoned batch is never delivered");
+    }
+
+    #[test]
+    fn blocked_submitter_wakes_when_a_worker_dies() {
+        // The producer side of the same regression: a submitter parked
+        // on a full job queue (or racing the death) must wake and fail
+        // loudly, not sleep through the abort.
+        let (rules, _, _) = liberty_fixture();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TagPool::scope(&rules, 1, 1, |pool| loop {
+                pool.submit_lines(poison_batch());
+            })
+        }));
+        let panic = outcome.expect_err("submitting into a dead pool fails");
+        let msg = panic
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("worker died") || msg.contains("worker panicked"),
+            "unexpected panic payload: {msg}"
+        );
     }
 
     #[test]

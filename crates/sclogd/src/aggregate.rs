@@ -1,0 +1,211 @@
+//! Materialized aggregates over the store, cached by store version.
+//!
+//! The three aggregation endpoints (`/categories`, `/interarrival`,
+//! `/hotspots`) walk every alert, which is the wrong thing to do per
+//! request on a store that only changes when something is ingested.
+//! One [`AggregateCache`] holds the rendered results keyed by the
+//! store's mutation counter: a request under the current version is a
+//! string clone; the first request after an ingest recomputes.
+//!
+//! Hotspot top-`k` is applied at serve time from the cached full
+//! ranking, so `k=5` and `k=50` share one computation.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use sclog_stats::Summary;
+use sclog_types::json::{JsonArray, JsonObject};
+
+use crate::store::{AlertStore, StoreInner};
+
+/// Rendered aggregates for one store version.
+#[derive(Debug, Clone)]
+struct Cached {
+    version: u64,
+    categories_json: String,
+    interarrival_json: String,
+    /// Full hotspot ranking: `(host, filtered-alert count)`, most
+    /// alerts first, name-ordered within ties for determinism.
+    hotspots: Vec<(String, u64)>,
+}
+
+/// Version-keyed cache of the aggregation endpoints' bodies.
+#[derive(Debug, Default)]
+pub struct AggregateCache {
+    slot: Mutex<Option<Cached>>,
+}
+
+impl AggregateCache {
+    /// An empty cache; the first request populates it.
+    pub fn new() -> Self {
+        AggregateCache::default()
+    }
+
+    fn with_current<R>(&self, store: &AlertStore, f: impl FnOnce(&Cached) -> R) -> R {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stale = match &*slot {
+            Some(cached) => cached.version != store.version(),
+            None => true,
+        };
+        if stale {
+            *slot = Some(compute(&store.read()));
+        }
+        f(slot.as_ref().expect("cache populated above"))
+    }
+
+    /// `/categories` body: per-category tagged/filtered counts.
+    pub fn categories(&self, store: &AlertStore) -> String {
+        self.with_current(store, |c| c.categories_json.clone())
+    }
+
+    /// `/interarrival` body: per-category interarrival summaries over
+    /// filter survivors.
+    pub fn interarrival(&self, store: &AlertStore) -> String {
+        self.with_current(store, |c| c.interarrival_json.clone())
+    }
+
+    /// `/hotspots` body: the `k` nodes with the most filter survivors.
+    pub fn hotspots(&self, store: &AlertStore, k: usize) -> String {
+        self.with_current(store, |c| {
+            let mut rows = JsonArray::new();
+            for (host, count) in c.hotspots.iter().take(k) {
+                let mut obj = JsonObject::new();
+                obj.str("host", host).uint("filtered", *count);
+                rows.push_raw(&obj.finish());
+            }
+            let mut body = JsonObject::new();
+            body.uint("nodes", c.hotspots.len() as u64)
+                .raw("hotspots", &rows.finish());
+            body.finish()
+        })
+    }
+}
+
+fn compute(inner: &StoreInner) -> Cached {
+    // One pass: per-category counts and survivor times, per-host
+    // survivor counts. Alerts are time-sorted, so the collected times
+    // are too — interarrival gaps are direct successive differences.
+    let mut tagged: HashMap<u16, u64> = HashMap::new();
+    let mut filtered: HashMap<u16, u64> = HashMap::new();
+    let mut times: HashMap<u16, Vec<i64>> = HashMap::new();
+    let mut per_host: HashMap<&str, u64> = HashMap::new();
+    for alert in &inner.alerts {
+        let cat = alert.category.index() as u16;
+        *tagged.entry(cat).or_default() += 1;
+        if alert.filtered {
+            *filtered.entry(cat).or_default() += 1;
+            times.entry(cat).or_default().push(alert.time.as_micros());
+            *per_host.entry(inner.host_name(alert)).or_default() += 1;
+        }
+    }
+
+    let mut cats: Vec<u16> = tagged.keys().copied().collect();
+    cats.sort_unstable();
+
+    let mut categories = JsonArray::new();
+    let mut interarrival = JsonArray::new();
+    for cat in cats {
+        let id = sclog_types::CategoryId::from_index(cat);
+        let def = inner.categories.def(id);
+        let mut obj = JsonObject::new();
+        obj.str("category", &def.name)
+            .str("system", &def.system.to_string())
+            .str("class", &def.alert_type.to_string())
+            .uint("tagged", tagged[&cat])
+            .uint("filtered", filtered.get(&cat).copied().unwrap_or(0));
+        categories.push_raw(&obj.finish());
+
+        let ts = times.get(&cat).map(Vec::as_slice).unwrap_or(&[]);
+        let gaps: Vec<f64> = ts.windows(2).map(|w| (w[1] - w[0]) as f64 / 1e6).collect();
+        let summary = Summary::from_slice(&gaps);
+        let mut obj = JsonObject::new();
+        obj.str("category", &def.name)
+            .uint("gaps", summary.count() as u64);
+        if summary.count() > 0 {
+            obj.num("mean_s", summary.mean())
+                .num("std_dev_s", summary.std_dev())
+                .num("min_s", summary.min())
+                .num("max_s", summary.max());
+        }
+        interarrival.push_raw(&obj.finish());
+    }
+
+    let mut hotspots: Vec<(String, u64)> = per_host
+        .into_iter()
+        .map(|(h, n)| (h.to_owned(), n))
+        .collect();
+    hotspots.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let wrap = |rows: JsonArray, key: &str| {
+        let mut body = JsonObject::new();
+        body.raw(key, &rows.finish());
+        body.finish()
+    };
+    Cached {
+        version: inner.version,
+        categories_json: wrap(categories, "categories"),
+        interarrival_json: wrap(interarrival, "interarrival"),
+        hotspots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_core::pipeline::ingest_batch;
+    use sclog_filter::SpatioTemporalFilter;
+    use sclog_rules::RuleSet;
+    use sclog_types::json::validate;
+    use sclog_types::{CategoryRegistry, SystemId};
+
+    fn seeded_store() -> (AlertStore, CategoryRegistry, sclog_core::IngestResult) {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        let filter = SpatioTemporalFilter::paper();
+        let text = "\
+Mar  7 07:30:00 sn373 pbs_mom: task_check, cannot tm_reply to 10 task 1\n\
+Mar  7 07:40:00 sn373 pbs_mom: task_check, cannot tm_reply to 11 task 1\n\
+Mar  7 07:50:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
+        let result = ingest_batch(SystemId::Liberty, text, &rules, &filter, 1);
+        let store = AlertStore::new();
+        store.ingest(SystemId::Liberty, &result, &registry, &[]);
+        (store, registry, result)
+    }
+
+    #[test]
+    fn aggregates_are_valid_json_and_consistent() {
+        let (store, _, result) = seeded_store();
+        let cache = AggregateCache::new();
+        let cats = cache.categories(&store);
+        validate(&cats).unwrap();
+        assert!(cats.contains("\"tagged\":3"), "body: {cats}");
+
+        let inter = cache.interarrival(&store);
+        validate(&inter).unwrap();
+        // Three survivors 600 s apart → two gaps of exactly 600 s.
+        assert!(result.filtered.len() == 3);
+        assert!(inter.contains("\"gaps\":2"), "body: {inter}");
+        assert!(inter.contains("\"mean_s\":600"), "body: {inter}");
+
+        let hot = cache.hotspots(&store, 1);
+        validate(&hot).unwrap();
+        assert!(hot.contains("\"nodes\":2"), "body: {hot}");
+        assert!(hot.contains("\"host\":\"sn373\""), "sn373 has 2 survivors");
+        assert!(!hot.contains("dn228"), "k=1 must truncate the ranking");
+    }
+
+    #[test]
+    fn cache_invalidates_on_ingest_only() {
+        let (store, registry, result) = seeded_store();
+        let cache = AggregateCache::new();
+        let before = cache.categories(&store);
+        assert_eq!(before, cache.categories(&store), "stable under reads");
+        store.ingest(SystemId::Liberty, &result, &registry, &[]);
+        let after = cache.categories(&store);
+        assert_ne!(before, after, "ingest must invalidate");
+        assert!(after.contains("\"tagged\":6"), "body: {after}");
+    }
+}

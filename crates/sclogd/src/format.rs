@@ -1,0 +1,190 @@
+//! Query evaluation and JSON rendering for `/alerts`.
+//!
+//! The store keeps alerts time-sorted, so the time window narrows to a
+//! contiguous slice by binary search before any per-alert predicate
+//! runs; everything else (host glob, category, class, severity) is a
+//! linear scan over that slice. `total` in the response counts every
+//! match; `alerts` carries at most `limit` of them, so a client can
+//! see it was truncated.
+
+use sclog_types::json::{JsonArray, JsonObject};
+
+use crate::query::{Field, FilteredSelect, Query, SeveritySelect};
+use crate::store::{StoreInner, StoredAlert};
+
+/// The contiguous index range of alerts inside the query's time
+/// window (the whole store when unbounded).
+pub fn window_bounds(inner: &StoreInner, query: &Query) -> (usize, usize) {
+    let lo = match query.from {
+        Some(from) => inner
+            .alerts
+            .partition_point(|a| a.time.as_micros() < from.as_micros()),
+        None => 0,
+    };
+    let hi = match query.to {
+        Some(to) => inner
+            .alerts
+            .partition_point(|a| a.time.as_micros() <= to.as_micros()),
+        None => inner.alerts.len(),
+    };
+    (lo, hi.max(lo))
+}
+
+/// Whether one alert satisfies every non-time predicate of the query.
+pub fn alert_matches(inner: &StoreInner, alert: &StoredAlert, query: &Query) -> bool {
+    match query.filtered {
+        FilteredSelect::All => {}
+        FilteredSelect::Survivors if !alert.filtered => return false,
+        FilteredSelect::Discarded if alert.filtered => return false,
+        _ => {}
+    }
+    if let Some(system) = query.system {
+        if inner.system_of(alert) != system {
+            return false;
+        }
+    }
+    if let Some(class) = query.class {
+        if inner.class_of(alert) != class {
+            return false;
+        }
+    }
+    if let Some(category) = &query.category {
+        if inner.category_name(alert) != category {
+            return false;
+        }
+    }
+    if let SeveritySelect::Exact(want) = query.severity {
+        if alert.severity != want {
+            return false;
+        }
+    }
+    if let Some(host) = &query.host {
+        if !host.matches_all() && !host.matches(inner.host_name(alert)) {
+            return false;
+        }
+    }
+    true
+}
+
+fn render_alert(inner: &StoreInner, alert: &StoredAlert, fields: &[Field]) -> String {
+    let mut obj = JsonObject::new();
+    for field in fields {
+        match field {
+            Field::Time => obj.str("time", &alert.time.to_iso_string()),
+            Field::Host => obj.str("host", inner.host_name(alert)),
+            Field::Category => obj.str("category", inner.category_name(alert)),
+            Field::System => obj.str("system", &inner.system_of(alert).to_string()),
+            Field::Class => obj.str("class", &inner.class_of(alert).to_string()),
+            Field::Severity => obj.str("severity", &alert.severity.to_string()),
+            Field::Index => obj.uint("index", alert.message_index as u64),
+            Field::Filtered => obj.bool("filtered", alert.filtered),
+        };
+    }
+    obj.finish()
+}
+
+/// Runs the query and renders the `/alerts` response body.
+pub fn render_alerts(inner: &StoreInner, query: &Query) -> String {
+    let (lo, hi) = window_bounds(inner, query);
+    let mut total = 0u64;
+    let mut rows = JsonArray::new();
+    let mut returned = 0usize;
+    for alert in &inner.alerts[lo..hi] {
+        if !alert_matches(inner, alert, query) {
+            continue;
+        }
+        total += 1;
+        if returned < query.limit {
+            rows.push_raw(&render_alert(inner, alert, &query.fields));
+            returned += 1;
+        }
+    }
+    let mut body = JsonObject::new();
+    body.uint("total", total)
+        .uint("returned", returned as u64)
+        .raw("alerts", &rows.finish());
+    body.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::AlertStore;
+    use sclog_core::pipeline::ingest_batch;
+    use sclog_filter::SpatioTemporalFilter;
+    use sclog_rules::RuleSet;
+    use sclog_types::json::validate;
+    use sclog_types::{CategoryRegistry, SystemId};
+
+    fn store_with_liberty() -> AlertStore {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        let filter = SpatioTemporalFilter::paper();
+        let text = "\
+Mar  7 07:30:00 sn373 pbs_mom: task_check, cannot tm_reply to 10 task 1\n\
+Mar  7 07:30:01 sn373 pbs_mom: task_check, cannot tm_reply to 11 task 1\n\
+Mar  7 09:00:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
+        let result = ingest_batch(SystemId::Liberty, text, &rules, &filter, 1);
+        assert!(!result.tagged.is_empty());
+        let store = AlertStore::new();
+        store.ingest(SystemId::Liberty, &result, &registry, &[]);
+        store
+    }
+
+    #[test]
+    fn window_narrows_by_binary_search() {
+        let store = store_with_liberty();
+        let inner = store.read();
+        // From the last alert's own second onward: the early pair
+        // (90 minutes before) must fall outside the range.
+        let last_secs = inner.alerts.last().unwrap().time.as_secs();
+        let q = Query::parse(&format!("from={last_secs}")).unwrap();
+        let (lo, hi) = window_bounds(&inner, &q);
+        assert_eq!(hi, inner.alerts.len());
+        assert!(lo > 0, "early alerts must fall outside the window");
+        // A window entirely after the log must be an empty range.
+        let q = Query::parse(&format!(
+            "from={}&to={}",
+            last_secs + 3_600,
+            last_secs + 7_200
+        ))
+        .unwrap();
+        let (lo, hi) = window_bounds(&inner, &q);
+        assert_eq!(lo, hi, "empty window must be an empty range");
+    }
+
+    #[test]
+    fn host_and_filtered_predicates_compose() {
+        let store = store_with_liberty();
+        let inner = store.read();
+        let q = Query::parse("host=sn*").unwrap();
+        let on_sn: Vec<_> = inner
+            .alerts
+            .iter()
+            .filter(|a| alert_matches(&inner, a, &q))
+            .collect();
+        assert!(!on_sn.is_empty());
+        assert!(on_sn.iter().all(|a| inner.host_name(a).starts_with("sn")));
+
+        let q = Query::parse("host=sn*&filtered=true").unwrap();
+        let survivors = inner
+            .alerts
+            .iter()
+            .filter(|a| alert_matches(&inner, a, &q))
+            .count();
+        assert!(survivors < on_sn.len(), "duplicate must be discarded");
+    }
+
+    #[test]
+    fn rendered_body_is_valid_json_with_selected_fields() {
+        let store = store_with_liberty();
+        let inner = store.read();
+        let q = Query::parse("fields=time,host,filtered&limit=2").unwrap();
+        let body = render_alerts(&inner, &q);
+        validate(&body).expect("body must be valid JSON");
+        assert!(body.contains("\"total\":3"));
+        assert!(body.contains("\"returned\":2"));
+        assert!(body.contains("\"host\":\"sn373\""));
+        assert!(!body.contains("\"category\""), "unselected field leaked");
+    }
+}

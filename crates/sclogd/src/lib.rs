@@ -1,0 +1,37 @@
+//! `sclogd`: a long-running query/analytics server over the alert
+//! store.
+//!
+//! The batch tools in this workspace answer "what happened in this
+//! log file"; `sclogd` answers the operator's next question, "what is
+//! happening on the cluster *now*", by keeping the tagged output of
+//! the streaming ingest pipeline resident and queryable over plain
+//! HTTP/1.1. It is hermetic like everything else here: `std::net`
+//! sockets, a hand-rolled request parser with hard limits, the PR 3
+//! bounded channel as the accept queue, and the workspace's own JSON
+//! writer — no external crates.
+//!
+//! Layering, bottom-up:
+//!
+//! - [`store`] — the `RwLock`-guarded alert store; ingest runs are
+//!   re-mapped into one shared host/category namespace on admission.
+//! - [`hosts`] — the small glob matcher behind `host=` filters.
+//! - [`query`] — query-string grammar; every mistake is a 400, never
+//!   a panic.
+//! - [`format`] — query evaluation and JSON rendering for `/alerts`.
+//! - [`aggregate`] — materialized `/categories`, `/interarrival` and
+//!   `/hotspots` bodies, cached by store version.
+//! - [`http`] — request head parsing under hard caps, responses with
+//!   `Content-Length` and `Connection: close`.
+//! - [`server`] — accept thread, bounded admission (503 +
+//!   `Retry-After` when saturated), worker pool, obs spans, shutdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod format;
+pub mod hosts;
+pub mod http;
+pub mod query;
+pub mod server;
+pub mod store;

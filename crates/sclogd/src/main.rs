@@ -1,0 +1,394 @@
+//! `sclogd` binary: ingest the five simulated system logs through the
+//! streaming pipeline, then serve queries over them.
+//!
+//! Run `sclogd --help` for flags. `--smoke` runs the offline
+//! self-test used by `verify.sh --serve-smoke`: it brings a server
+//! up on an ephemeral port, exercises every endpoint including the
+//! overload path, and exits nonzero on any deviation.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use sclog_core::{IngestConfig, ObsConfig};
+use sclog_filter::SpatioTemporalFilter;
+use sclog_rules::RuleSet;
+use sclog_simgen::{generate, Scale};
+use sclog_types::{CategoryRegistry, Severity, ALL_SYSTEMS};
+use sclogd::server::{Server, ServerConfig, ServerState};
+use sclogd::store::AlertStore;
+
+struct Args {
+    port: u16,
+    workers: usize,
+    accept_queue: usize,
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            port: 7479,
+            workers: 2,
+            accept_queue: 8,
+            scale: 0.02,
+            seed: 42,
+            threads: 2,
+            smoke: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+sclogd: query/analytics server over the sclog alert store
+
+USAGE: sclogd [FLAGS]
+
+FLAGS:
+  --port N          TCP port on 127.0.0.1 (default 7479; 0 = ephemeral)
+  --workers N       request worker threads (default 2)
+  --accept-queue N  bounded accept queue; beyond it, 503 (default 8)
+  --scale F         simgen scale factor in (0, 1] (default 0.02)
+  --seed N          simgen seed (default 42)
+  --threads N       ingest worker threads (default 2)
+  --smoke           run the offline self-test and exit
+  --help            this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--port" => args.port = num(&value("--port")?, "--port")?,
+            "--workers" => args.workers = num(&value("--workers")?, "--workers")?,
+            "--accept-queue" => {
+                args.accept_queue = num(&value("--accept-queue")?, "--accept-queue")?
+            }
+            "--scale" => {
+                let raw = value("--scale")?;
+                args.scale = raw
+                    .parse()
+                    .map_err(|_| format!("--scale wants a float, got {raw:?}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err(format!("--scale must be in (0, 1], got {raw}"));
+                }
+            }
+            "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
+            "--threads" => args.threads = num(&value("--threads")?, "--threads")?,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    if args.workers == 0 || args.accept_queue == 0 || args.threads == 0 {
+        return Err("--workers, --accept-queue and --threads must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag} wants a number, got {raw:?}"))
+}
+
+/// Generates and ingests all five systems into a fresh store.
+fn build_store(scale: f64, seed: u64, threads: usize) -> std::io::Result<AlertStore> {
+    let store = AlertStore::new();
+    let filter = SpatioTemporalFilter::paper();
+    for system in ALL_SYSTEMS {
+        let log = generate(system, Scale::new(scale, scale), seed);
+        let text = log.render();
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(system, &mut registry);
+        let config = IngestConfig {
+            threads,
+            obs: ObsConfig::on(),
+            ..IngestConfig::default()
+        };
+        let result =
+            sclog_core::pipeline::ingest_stream(system, text.as_bytes(), &rules, &filter, config)?;
+        // Severity is not part of the alert identity; it joins in from
+        // the generator's ground truth when the parse is 1:1 with the
+        // generated messages (a mismatch means indexes may not align).
+        let severities: Vec<Severity> = if result.parse.parsed as usize == log.messages.len() {
+            log.messages.iter().map(|m| m.severity).collect()
+        } else {
+            Vec::new()
+        };
+        store.ingest(system, &result, &registry, &severities);
+        eprintln!(
+            "ingested {system}: {} messages, {} tagged, {} filtered",
+            result.parse.parsed,
+            result.tagged.len(),
+            result.filtered.len()
+        );
+    }
+    Ok(store)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("sclogd: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.smoke {
+        return match smoke(&args) {
+            Ok(()) => {
+                println!("serve-smoke: OK");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("serve-smoke: FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let store = match build_store(args.scale, args.seed, args.threads) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("sclogd: ingest failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state = Arc::new(ServerState::new(store, sclog_obs::Recorder::new()));
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        workers: args.workers,
+        accept_queue: args.accept_queue,
+    };
+    let server = match Server::start(Arc::clone(&state), &config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sclogd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sclogd listening on http://{}", server.addr());
+    while !state.shutting_down() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    server.shutdown();
+    eprintln!("sclogd: shut down cleanly");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------- smoke
+
+/// One smoke-client response.
+struct Reply {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: String,
+}
+
+fn http_get(addr: std::net::SocketAddr, target: &str) -> Result<Reply, String> {
+    let raw = format!("GET {target} HTTP/1.1\r\nHost: smoke\r\n\r\n");
+    http_raw(addr, raw.as_bytes())
+}
+
+fn http_raw(addr: std::net::SocketAddr, raw: &[u8]) -> Result<Reply, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    stream.write_all(raw).map_err(|e| format!("write: {e}"))?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body separator in {text:?}"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = HashMap::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+        }
+    }
+    Ok(Reply {
+        status,
+        headers,
+        body: body.to_owned(),
+    })
+}
+
+fn expect(cond: bool, msg: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.to_owned())
+    }
+}
+
+fn smoke(args: &Args) -> Result<(), String> {
+    use sclog_types::json::validate;
+
+    // Phase 1: a normally-provisioned server over a five-system store.
+    // The smoke cares about correctness, not volume — clamp the scale
+    // so tier-1 verify stays fast.
+    let store = build_store(args.scale.min(0.002), args.seed, args.threads)
+        .map_err(|e| format!("ingest: {e}"))?;
+    let state = Arc::new(ServerState::new(store, sclog_obs::Recorder::new()));
+    let server = Server::start(
+        Arc::clone(&state),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            accept_queue: 8,
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+
+    let health = http_get(addr, "/healthz")?;
+    expect(health.status == 200, "healthz must be 200")?;
+    validate(&health.body).map_err(|e| format!("healthz body: {e}"))?;
+    expect(
+        health.body.contains("\"systems\":5"),
+        "store must hold all five systems",
+    )?;
+
+    for target in [
+        "/alerts?limit=5",
+        "/alerts?fields=time,host,category&limit=3",
+        "/alerts?host=*&filtered=true",
+        "/alerts?class=hardware",
+        "/alerts?system=bgl&filtered=all",
+        "/categories",
+        "/interarrival",
+        "/hotspots?k=5",
+        "/stats",
+        "/obs?source=ingest",
+    ] {
+        let reply = http_get(addr, target)?;
+        expect(reply.status == 200, &format!("{target} must be 200"))?;
+        validate(&reply.body).map_err(|e| format!("{target} body: {e}"))?;
+    }
+
+    let alerts = http_get(addr, "/alerts?limit=5")?;
+    expect(
+        alerts.body.contains("\"total\":"),
+        "alerts body must carry a total",
+    )?;
+    expect(
+        http_get(addr, "/stats")?.body.contains("\"tagged\":"),
+        "stats must carry tagged counts",
+    )?;
+
+    // Failure classification: 400 / 404 / 405, each leaving the
+    // server alive for the next request.
+    expect(
+        http_get(addr, "/alerts?limit=0")?.status == 400,
+        "limit=0 must be 400",
+    )?;
+    expect(
+        http_get(addr, "/alerts?serverity=error")?.status == 400,
+        "unknown key must be 400",
+    )?;
+    expect(http_get(addr, "/nope")?.status == 404, "404 route")?;
+    expect(
+        http_raw(addr, b"POST /alerts HTTP/1.1\r\nHost: s\r\n\r\n")?.status == 405,
+        "POST must be 405",
+    )?;
+    expect(
+        http_raw(addr, b"totally not http\r\n\r\n")?.status == 400,
+        "garbage must be 400",
+    )?;
+    expect(
+        http_get(addr, "/healthz")?.status == 200,
+        "server must survive malformed traffic",
+    )?;
+
+    // The server's own report: versioned schema, serve-stage coverage.
+    let obs = http_get(addr, "/obs")?;
+    validate(&obs.body).map_err(|e| format!("obs body: {e}"))?;
+    expect(
+        obs.body.contains("sclog.obs.v1"),
+        "obs must be a sclog.obs.v1 report",
+    )?;
+    expect(obs.body.contains("serve"), "obs must cover the serve stage")?;
+    expect(
+        obs.body.contains("http_requests"),
+        "obs must count requests",
+    )?;
+
+    // Clean shutdown through the endpoint.
+    expect(
+        http_get(addr, "/shutdown")?.status == 200,
+        "shutdown endpoint must answer before stopping",
+    )?;
+    server.shutdown();
+
+    // Phase 2: a deliberately tiny server to provoke admission
+    // control: one worker pinned by /slow, queue of one, then a burst.
+    let state = Arc::new(ServerState::new(
+        AlertStore::new(),
+        sclog_obs::Recorder::new(),
+    ));
+    let server = Server::start(
+        Arc::clone(&state),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            accept_queue: 1,
+        },
+    )
+    .map_err(|e| format!("bind overload server: {e}"))?;
+    let addr = server.addr();
+
+    let pin = std::thread::spawn(move || http_get(addr, "/slow?ms=1500"));
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Concurrent burst: with the lone worker pinned and a queue of
+    // one, most of these must be refused at the accept thread.
+    let burst: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(move || http_get(addr, "/healthz")))
+        .collect();
+    let mut saw_503 = false;
+    for handle in burst {
+        let reply = handle.join().map_err(|_| "burst thread panicked")??;
+        match reply.status {
+            503 => {
+                expect(
+                    reply.headers.get("retry-after").map(String::as_str) == Some("1"),
+                    "503 must carry Retry-After: 1",
+                )?;
+                saw_503 = true;
+            }
+            200 => {}
+            other => return Err(format!("burst reply was {other}, want 200 or 503")),
+        }
+    }
+    expect(saw_503, "burst against a saturated server must see a 503")?;
+    let pinned = pin.join().map_err(|_| "slow request thread panicked")??;
+    expect(pinned.status == 200, "pinned /slow request must finish")?;
+    expect(
+        http_get(addr, "/healthz")?.status == 200,
+        "server must recover after overload",
+    )?;
+    server.shutdown();
+    Ok(())
+}

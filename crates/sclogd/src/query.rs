@@ -1,0 +1,473 @@
+//! Query-string parsing for the alert endpoints.
+//!
+//! The grammar is deliberately small: `key=value` pairs joined by
+//! `&`, percent-encoding and `+`-for-space decoded, unknown keys
+//! rejected (a typo like `serverity=` silently matching everything is
+//! worse than a 400). Every parse failure carries a message suitable
+//! for the 400 response body.
+
+use std::collections::HashMap;
+
+use sclog_types::{AlertType, BglSeverity, Severity, SyslogSeverity, SystemId, Timestamp};
+
+use crate::hosts::HostPattern;
+
+/// Default `limit` for `/alerts` when the query names none.
+pub const DEFAULT_LIMIT: usize = 100;
+/// Hard ceiling on `limit` — a query server should never be talked
+/// into serializing its whole store in one response.
+pub const MAX_LIMIT: usize = 10_000;
+/// Default `k` for `/hotspots`.
+pub const DEFAULT_TOP_K: usize = 10;
+
+/// A malformed query; the message goes into the 400 body verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError(pub String);
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+fn err(msg: impl Into<String>) -> QueryError {
+    QueryError(msg.into())
+}
+
+/// Which severities a query asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeveritySelect {
+    /// One concrete severity (including "-", the recorded-nothing case).
+    Exact(Severity),
+    /// Any severity at all (parameter absent).
+    Any,
+}
+
+/// Whether the query wants raw tagged alerts, filter survivors, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilteredSelect {
+    /// Only alerts that survived the spatio-temporal filter.
+    Survivors,
+    /// Only alerts the filter discarded.
+    Discarded,
+    /// Everything the rules tagged.
+    All,
+}
+
+/// The fields `/alerts` can emit, in output order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// ISO-8601 timestamp.
+    Time,
+    /// Node name.
+    Host,
+    /// Category (rule) name.
+    Category,
+    /// Owning system.
+    System,
+    /// Hardware/software/indeterminate class.
+    Class,
+    /// Recorded severity.
+    Severity,
+    /// Message index within the system's parse order.
+    Index,
+    /// Whether the alert survived the filter.
+    Filtered,
+}
+
+/// All fields, the default selection.
+pub const ALL_FIELDS: [Field; 8] = [
+    Field::Time,
+    Field::Host,
+    Field::Category,
+    Field::System,
+    Field::Class,
+    Field::Severity,
+    Field::Index,
+    Field::Filtered,
+];
+
+impl Field {
+    /// The JSON key this field is emitted under.
+    pub fn key(self) -> &'static str {
+        match self {
+            Field::Time => "time",
+            Field::Host => "host",
+            Field::Category => "category",
+            Field::System => "system",
+            Field::Class => "class",
+            Field::Severity => "severity",
+            Field::Index => "index",
+            Field::Filtered => "filtered",
+        }
+    }
+
+    fn parse(name: &str) -> Result<Field, QueryError> {
+        ALL_FIELDS
+            .into_iter()
+            .find(|f| f.key() == name)
+            .ok_or_else(|| err(format!("unknown field {name:?}")))
+    }
+}
+
+/// A parsed `/alerts` (or aggregation) query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Inclusive lower time bound.
+    pub from: Option<Timestamp>,
+    /// Inclusive upper time bound.
+    pub to: Option<Timestamp>,
+    /// Host glob, `None` = any host.
+    pub host: Option<HostPattern>,
+    /// Exact category name, `None` = any.
+    pub category: Option<String>,
+    /// Owning system, `None` = any.
+    pub system: Option<SystemId>,
+    /// Hardware/software class, `None` = any.
+    pub class: Option<AlertType>,
+    /// Severity selection.
+    pub severity: SeveritySelect,
+    /// Filter-survivor selection.
+    pub filtered: FilteredSelect,
+    /// Fields to emit, in order.
+    pub fields: Vec<Field>,
+    /// Row cap for `/alerts`.
+    pub limit: usize,
+    /// Top-k for `/hotspots`.
+    pub k: usize,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query {
+            from: None,
+            to: None,
+            host: None,
+            category: None,
+            system: None,
+            class: None,
+            severity: SeveritySelect::Any,
+            filtered: FilteredSelect::All,
+            fields: ALL_FIELDS.to_vec(),
+            limit: DEFAULT_LIMIT,
+            k: DEFAULT_TOP_K,
+        }
+    }
+}
+
+impl Query {
+    /// Parses the part of a request target after `?` (may be empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryError`] describing the first problem found:
+    /// bad percent-encoding, an unknown key, an unparsable value, or
+    /// an inverted time window.
+    pub fn parse(query_string: &str) -> Result<Query, QueryError> {
+        let mut q = Query::default();
+        for (key, value) in split_pairs(query_string)? {
+            match key.as_str() {
+                "from" => q.from = Some(parse_time(&value)?),
+                "to" => q.to = Some(parse_time(&value)?),
+                "host" => {
+                    q.host = Some(HostPattern::parse(&value).map_err(err)?);
+                }
+                "category" => q.category = Some(value),
+                "system" => {
+                    q.system = Some(
+                        value
+                            .parse()
+                            .map_err(|_| err(format!("unknown system {value:?}")))?,
+                    )
+                }
+                "class" => q.class = Some(parse_class(&value)?),
+                "severity" => q.severity = SeveritySelect::Exact(parse_severity(&value)?),
+                "filtered" => {
+                    q.filtered = match value.as_str() {
+                        "true" | "1" => FilteredSelect::Survivors,
+                        "false" | "0" => FilteredSelect::Discarded,
+                        "all" => FilteredSelect::All,
+                        other => {
+                            return Err(err(format!(
+                                "filtered must be true, false or all, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                "fields" => {
+                    let mut fields = Vec::new();
+                    for name in value.split(',') {
+                        let field = Field::parse(name)?;
+                        if !fields.contains(&field) {
+                            fields.push(field);
+                        }
+                    }
+                    if fields.is_empty() {
+                        return Err(err("fields must name at least one field"));
+                    }
+                    q.fields = fields;
+                }
+                "limit" => {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| err(format!("limit must be a number, got {value:?}")))?;
+                    if n == 0 || n > MAX_LIMIT {
+                        return Err(err(format!("limit must be in 1..={MAX_LIMIT}, got {n}")));
+                    }
+                    q.limit = n;
+                }
+                "k" => {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| err(format!("k must be a number, got {value:?}")))?;
+                    if n == 0 || n > MAX_LIMIT {
+                        return Err(err(format!("k must be in 1..={MAX_LIMIT}, got {n}")));
+                    }
+                    q.k = n;
+                }
+                other => return Err(err(format!("unknown query parameter {other:?}"))),
+            }
+        }
+        if let (Some(from), Some(to)) = (q.from, q.to) {
+            if from.as_micros() > to.as_micros() {
+                return Err(err("inverted time window: from > to"));
+            }
+        }
+        Ok(q)
+    }
+}
+
+/// Splits `a=1&b=2` into decoded pairs. Duplicate keys are rejected —
+/// last-wins vs first-wins ambiguity is how query bugs hide.
+fn split_pairs(query_string: &str) -> Result<Vec<(String, String)>, QueryError> {
+    let mut pairs = Vec::new();
+    let mut seen = HashMap::new();
+    if query_string.is_empty() {
+        return Ok(pairs);
+    }
+    for raw in query_string.split('&') {
+        if raw.is_empty() {
+            continue;
+        }
+        let (k, v) = raw.split_once('=').unwrap_or((raw, ""));
+        let key = percent_decode(k)?;
+        let value = percent_decode(v)?;
+        if seen.insert(key.clone(), ()).is_some() {
+            return Err(err(format!("duplicate query parameter {key:?}")));
+        }
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+/// Decodes `%XX` escapes and `+` as space; rejects malformed escapes
+/// and non-UTF-8 results.
+pub fn percent_decode(s: &str) -> Result<String, QueryError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| err(format!("truncated percent escape in {s:?}")))?;
+                let hi = hex_val(hex[0])?;
+                let lo = hex_val(hex[1])?;
+                out.push(hi << 4 | lo);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| err(format!("percent escape decodes to invalid UTF-8 in {s:?}")))
+}
+
+fn hex_val(b: u8) -> Result<u8, QueryError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(err(format!(
+            "invalid hex digit {:?} in percent escape",
+            b as char
+        ))),
+    }
+}
+
+/// Accepts epoch seconds (possibly fractional) or `YYYY-MM-DDTHH:MM:SS`.
+fn parse_time(value: &str) -> Result<Timestamp, QueryError> {
+    if let Ok(secs) = value.parse::<f64>() {
+        let micros = secs * 1e6;
+        if !micros.is_finite() || micros < 0.0 || micros > i64::MAX as f64 {
+            return Err(err(format!("time out of range: {value:?}")));
+        }
+        return Ok(Timestamp::from_micros(micros as i64));
+    }
+    parse_iso(value).ok_or_else(|| {
+        err(format!(
+            "time must be epoch seconds or YYYY-MM-DDTHH:MM:SS, got {value:?}"
+        ))
+    })
+}
+
+fn parse_iso(value: &str) -> Option<Timestamp> {
+    let bytes = value.as_bytes();
+    if bytes.len() != 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[13] != b':' {
+        return None;
+    }
+    if bytes[10] != b'T' && bytes[10] != b' ' {
+        return None;
+    }
+    if bytes[16] != b':' {
+        return None;
+    }
+    let num = |range: std::ops::Range<usize>| value.get(range)?.parse::<u32>().ok();
+    let year = num(0..4)?;
+    let month = num(5..7)?;
+    let day = num(8..10)?;
+    let hour = num(11..13)?;
+    let minute = num(14..16)?;
+    let second = num(17..19)?;
+    if !(1970..=9999).contains(&year)
+        || !(1..=12).contains(&month)
+        || day < 1
+        || day > sclog_types::time::days_in_month(year as i32, month)
+        || hour > 23
+        || minute > 59
+        || second > 59
+    {
+        return None;
+    }
+    Some(Timestamp::from_ymd_hms(
+        year as i32,
+        month,
+        day,
+        hour,
+        minute,
+        second,
+    ))
+}
+
+fn parse_class(value: &str) -> Result<AlertType, QueryError> {
+    match value.to_ascii_lowercase().as_str() {
+        "hardware" | "h" => Ok(AlertType::Hardware),
+        "software" | "s" => Ok(AlertType::Software),
+        "indeterminate" | "i" => Ok(AlertType::Indeterminate),
+        other => Err(err(format!(
+            "class must be hardware, software or indeterminate, got {other:?}"
+        ))),
+    }
+}
+
+/// Accepts either scale's names; a collision like `error` or `warning`
+/// resolves to the syslog scale, which is tried first.
+fn parse_severity(value: &str) -> Result<Severity, QueryError> {
+    if value == "-" || value.eq_ignore_ascii_case("none") {
+        return Ok(Severity::None);
+    }
+    if let Ok(s) = value.parse::<SyslogSeverity>() {
+        return Ok(Severity::Syslog(s));
+    }
+    if let Ok(s) = value.parse::<BglSeverity>() {
+        return Ok(Severity::Bgl(s));
+    }
+    Err(err(format!("unknown severity {value:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_query_is_default() {
+        let q = Query::parse("").unwrap();
+        assert!(q.from.is_none() && q.to.is_none() && q.host.is_none());
+        assert_eq!(q.limit, DEFAULT_LIMIT);
+        assert_eq!(q.fields, ALL_FIELDS.to_vec());
+        assert_eq!(q.filtered, FilteredSelect::All);
+    }
+
+    #[test]
+    fn full_query_round_trips() {
+        let q = Query::parse(
+            "from=2005-06-12T07:00:00&to=2005-06-12T08:00:00&host=sn%2A&category=EXT3FS\
+             &system=liberty&class=software&severity=error&filtered=true\
+             &fields=time,host,category&limit=5",
+        )
+        .unwrap();
+        assert!(q.from.unwrap().as_micros() < q.to.unwrap().as_micros());
+        assert!(q.host.unwrap().matches("sn373"));
+        assert_eq!(q.category.as_deref(), Some("EXT3FS"));
+        assert_eq!(q.system, Some(SystemId::Liberty));
+        assert_eq!(q.class, Some(AlertType::Software));
+        assert_eq!(
+            q.severity,
+            SeveritySelect::Exact(Severity::Syslog(SyslogSeverity::Error))
+        );
+        assert_eq!(q.filtered, FilteredSelect::Survivors);
+        assert_eq!(q.fields, vec![Field::Time, Field::Host, Field::Category]);
+        assert_eq!(q.limit, 5);
+    }
+
+    #[test]
+    fn epoch_seconds_and_plus_decoding() {
+        let q = Query::parse("from=1118564400.5&host=a+b").unwrap();
+        assert_eq!(q.from.unwrap().as_micros(), 1_118_564_400_500_000);
+        assert!(q.host.unwrap().matches("a b"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "serverity=error",   // unknown key
+            "from=yesterday",    // unparsable time
+            "from=2&to=1",       // inverted window
+            "limit=0",           // zero limit
+            "limit=999999999",   // over cap
+            "limit=ten",         // not a number
+            "host=%zz",          // bad escape
+            "host=%e2%28%a1",    // invalid UTF-8
+            "host=",             // empty pattern
+            "class=firmware",    // unknown class
+            "severity=loud",     // unknown severity
+            "system=cray",       // unknown system
+            "filtered=maybe",    // bad tristate
+            "fields=time,color", // unknown field
+            "limit=1&limit=2",   // duplicate key
+            "host=%4",           // truncated escape
+        ] {
+            assert!(Query::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn severity_name_collisions_resolve_to_syslog() {
+        // `error` and `warning` exist on both scales; the parser must
+        // pick one deterministically (syslog, tried first).
+        assert_eq!(
+            parse_severity("error").unwrap(),
+            Severity::Syslog(SyslogSeverity::Error)
+        );
+        assert_eq!(
+            parse_severity("warn").unwrap(),
+            Severity::Syslog(SyslogSeverity::Warning)
+        );
+        // `fatal` is BG/L-only.
+        assert_eq!(
+            parse_severity("FATAL").unwrap(),
+            Severity::Bgl(BglSeverity::Fatal)
+        );
+        assert_eq!(parse_severity("-").unwrap(), Severity::None);
+    }
+}

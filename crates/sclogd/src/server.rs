@@ -1,0 +1,472 @@
+//! The serving loop: accept thread, worker pool, routing.
+//!
+//! Architecture in one paragraph: a dedicated accept thread owns the
+//! listener and `try_send`s each accepted connection into the bounded
+//! channel from the streaming pipeline (PR 3). Workers block on
+//! `recv`, parse one request per connection, answer, and close. When
+//! the ring is full the accept thread — not a worker — writes the
+//! 503 + `Retry-After` itself, so overload turns into a cheap,
+//! immediate refusal instead of an unbounded backlog. Shutdown is a
+//! flag plus a self-connect to unblock `accept`; dropping the sender
+//! then ends every worker's `recv` loop.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sclog_core::pipeline::channel::{bounded, TrySendError};
+use sclog_obs::{Counter, Recorder, Stage, ThreadRecorder};
+use sclog_types::json::JsonObject;
+
+use crate::aggregate::AggregateCache;
+use crate::http::{read_request, Request, Response};
+use crate::query::Query;
+use crate::store::AlertStore;
+use crate::{format, query};
+
+/// How long a worker waits for a slow client before giving up on the
+/// connection. Bounds the damage of a peer that connects and stalls.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// The `Retry-After` value sent with overload 503s.
+pub const RETRY_AFTER_SECS: u32 = 1;
+/// Upper bound on `/slow?ms=` so the test aid cannot wedge a worker.
+pub const MAX_SLOW_MS: u64 = 5_000;
+
+/// Metric handles, registered before any worker thread exists (the
+/// recorder's registry seals at the first `thread()` call).
+#[derive(Debug, Clone, Copy)]
+struct Metrics {
+    requests: Counter,
+    ok: Counter,
+    client_errors: Counter,
+    server_errors: Counter,
+    overload: Counter,
+    serve: Stage,
+}
+
+/// Everything the handlers share: the store, the aggregate cache, the
+/// recorder, and the shutdown latch.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The alert store queries run against.
+    pub store: AlertStore,
+    /// Version-keyed aggregate cache.
+    pub cache: AggregateCache,
+    /// The server's own recorder (serving metrics, not ingest).
+    pub recorder: Recorder,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+impl ServerState {
+    /// Builds state around a populated (or empty) store. Registers
+    /// every serving metric immediately, before the registry seals.
+    pub fn new(store: AlertStore, recorder: Recorder) -> Self {
+        let metrics = Metrics {
+            requests: recorder.counter("http_requests"),
+            ok: recorder.counter("http_2xx"),
+            client_errors: recorder.counter("http_4xx"),
+            server_errors: recorder.counter("http_5xx"),
+            overload: recorder.counter("http_503_overload"),
+            serve: recorder.stage("serve"),
+        };
+        ServerState {
+            store,
+            cache: AggregateCache::new(),
+            recorder,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            addr: Mutex::new(None),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and pokes the accept loop awake.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let addr = *self
+            .addr
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(addr) = addr {
+            // Self-connect so the accept thread returns from accept()
+            // and observes the flag; errors mean it is already gone.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Routes one parsed request to a response. Pure store-in,
+/// response-out — the unit tests and the fuzz harness call this
+/// directly, no socket required.
+pub fn handle(state: &ServerState, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::text(405, "only GET is supported");
+    }
+    match req.path.as_str() {
+        "/healthz" => {
+            let inner = state.store.read();
+            let mut obj = JsonObject::new();
+            obj.str("status", "ok")
+                .uint("version", inner.version)
+                .uint("alerts", inner.alerts.len() as u64)
+                .uint("systems", inner.systems.len() as u64);
+            Response::json(200, obj.finish())
+        }
+        "/alerts" => match Query::parse(&req.query) {
+            Ok(q) => Response::json(200, format::render_alerts(&state.store.read(), &q)),
+            Err(e) => Response::text(400, &e.to_string()),
+        },
+        "/categories" => match Query::parse(&req.query) {
+            Ok(_) => Response::json(200, state.cache.categories(&state.store)),
+            Err(e) => Response::text(400, &e.to_string()),
+        },
+        "/interarrival" => match Query::parse(&req.query) {
+            Ok(_) => Response::json(200, state.cache.interarrival(&state.store)),
+            Err(e) => Response::text(400, &e.to_string()),
+        },
+        "/hotspots" => match Query::parse(&req.query) {
+            Ok(q) => Response::json(200, state.cache.hotspots(&state.store, q.k)),
+            Err(e) => Response::text(400, &e.to_string()),
+        },
+        "/stats" => Response::json(200, render_stats(state)),
+        "/obs" => render_obs(state, &req.query),
+        "/slow" => match parse_slow_ms(&req.query) {
+            Ok(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
+            }
+            Err(e) => Response::text(400, &e),
+        },
+        "/shutdown" => {
+            state.request_shutdown();
+            Response::json(200, "{\"status\":\"shutting down\"}".to_owned())
+        }
+        _ => Response::text(404, "no such endpoint"),
+    }
+}
+
+fn render_stats(state: &ServerState) -> String {
+    let inner = state.store.read();
+    let mut rows = sclog_types::json::JsonArray::new();
+    for sys in &inner.systems {
+        let mut obj = JsonObject::new();
+        obj.str("system", &sys.system.to_string())
+            .uint("parsed", sys.parse.parsed)
+            .uint("rejected", sys.parse.rejected())
+            .uint("tagged", sys.tagged)
+            .uint("filtered", sys.filtered);
+        rows.push_raw(&obj.finish());
+    }
+    let mut body = JsonObject::new();
+    body.uint("alerts", inner.alerts.len() as u64)
+        .uint("hosts", inner.hosts.len() as u64)
+        .raw("systems", &rows.finish());
+    body.finish()
+}
+
+fn render_obs(state: &ServerState, query_string: &str) -> Response {
+    match query_string {
+        "" => Response::json(200, state.recorder.snapshot().report().to_json()),
+        "source=ingest" => {
+            let inner = state.store.read();
+            let mut rows = sclog_types::json::JsonArray::new();
+            for sys in &inner.systems {
+                if let Some(json) = &sys.obs_json {
+                    rows.push_raw(json);
+                }
+            }
+            let mut body = JsonObject::new();
+            body.raw("ingest", &rows.finish());
+            Response::json(200, body.finish())
+        }
+        _ => Response::text(400, "only ?source=ingest is understood here"),
+    }
+}
+
+fn parse_slow_ms(query_string: &str) -> Result<u64, String> {
+    let Some(value) = query_string.strip_prefix("ms=") else {
+        return Err("expected ms=<milliseconds>".to_owned());
+    };
+    let ms: u64 = query::percent_decode(value)
+        .map_err(|e| e.to_string())?
+        .parse()
+        .map_err(|_| format!("ms must be a number, got {value:?}"))?;
+    if ms > MAX_SLOW_MS {
+        return Err(format!("ms capped at {MAX_SLOW_MS}"));
+    }
+    Ok(ms)
+}
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it get 503.
+    pub accept_queue: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            accept_queue: 8,
+        }
+    }
+}
+
+/// A running server; dropping it without [`Server::shutdown`] detaches
+/// the threads (they keep serving until the process exits).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept thread and workers, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `accept_queue` is zero.
+    pub fn start(state: Arc<ServerState>, config: &ServerConfig) -> io::Result<Server> {
+        assert!(config.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        *state
+            .addr
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(addr);
+
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(config.accept_queue);
+        let conn_rx = Arc::new(conn_rx);
+        let mut threads = Vec::with_capacity(config.workers + 1);
+
+        for i in 0..config.workers {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&conn_rx);
+            let label = format!("http/{i}");
+            threads.push(std::thread::spawn(move || {
+                let thread_rec = state.recorder.thread(&label);
+                while let Some(stream) = rx.recv() {
+                    serve_connection(&state, &thread_rec, stream);
+                }
+            }));
+        }
+
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || {
+                let thread_rec = state.recorder.thread("accept");
+                accept_loop(&state, &thread_rec, &listener, conn_tx);
+            }));
+        }
+
+        Ok(Server {
+            addr,
+            state,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the server state.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains queued connections, joins every thread.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    state: &ServerState,
+    rec: &ThreadRecorder,
+    listener: &TcpListener,
+    conn_tx: sclog_core::pipeline::channel::Sender<TcpStream>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.shutting_down() {
+            return;
+        }
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                // Admission control: refuse on the accept thread so the
+                // saturation signal never queues behind the saturation.
+                rec.add(state.metrics.overload, 1);
+                refuse_overloaded(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn refuse_overloaded(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let _ = Response::overloaded(RETRY_AFTER_SECS).write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn serve_connection(state: &ServerState, rec: &ThreadRecorder, stream: TcpStream) {
+    let _span = rec.span(state.metrics.serve);
+    rec.add(state.metrics.requests, 1);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let response = match read_request(&mut reader) {
+        Ok(req) => handle(state, &req),
+        Err(e) => match e.response() {
+            Some(resp) => resp,
+            None => return, // peer vanished; nothing to write
+        },
+    };
+    match response.status {
+        200..=299 => rec.add(state.metrics.ok, 1),
+        400..=499 => rec.add(state.metrics.client_errors, 1),
+        _ => rec.add(state.metrics.server_errors, 1),
+    }
+    let mut stream = reader.into_inner();
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_state() -> ServerState {
+        ServerState::new(AlertStore::new(), Recorder::new())
+    }
+
+    fn get(path: &str, query: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            query: query.to_owned(),
+        }
+    }
+
+    #[test]
+    fn routes_resolve_without_sockets() {
+        let state = empty_state();
+        assert_eq!(handle(&state, &get("/healthz", "")).status, 200);
+        assert_eq!(handle(&state, &get("/alerts", "")).status, 200);
+        assert_eq!(handle(&state, &get("/categories", "")).status, 200);
+        assert_eq!(handle(&state, &get("/interarrival", "")).status, 200);
+        assert_eq!(handle(&state, &get("/hotspots", "k=3")).status, 200);
+        assert_eq!(handle(&state, &get("/stats", "")).status, 200);
+        assert_eq!(handle(&state, &get("/obs", "")).status, 200);
+        assert_eq!(handle(&state, &get("/obs", "source=ingest")).status, 200);
+        assert_eq!(handle(&state, &get("/nope", "")).status, 404);
+        assert_eq!(handle(&state, &get("/alerts", "limit=0")).status, 400);
+        assert_eq!(handle(&state, &get("/obs", "source=x")).status, 400);
+        assert_eq!(handle(&state, &get("/slow", "ms=abc")).status, 400);
+        assert_eq!(handle(&state, &get("/slow", "ms=999999")).status, 400);
+        assert_eq!(handle(&state, &get("/slow", "ms=0")).status, 200);
+        let mut post = get("/alerts", "");
+        post.method = "POST".to_owned();
+        assert_eq!(handle(&state, &post).status, 405);
+    }
+
+    #[test]
+    fn shutdown_endpoint_sets_the_latch() {
+        let state = empty_state();
+        assert!(!state.shutting_down());
+        assert_eq!(handle(&state, &get("/shutdown", "")).status, 200);
+        assert!(state.shutting_down());
+    }
+
+    #[test]
+    fn bodies_are_valid_json() {
+        use sclog_types::json::validate;
+        let state = empty_state();
+        for (path, query) in [
+            ("/healthz", ""),
+            ("/alerts", ""),
+            ("/categories", ""),
+            ("/interarrival", ""),
+            ("/hotspots", ""),
+            ("/stats", ""),
+            ("/obs", ""),
+            ("/obs", "source=ingest"),
+        ] {
+            let resp = handle(&state, &get(path, query));
+            validate(&resp.body).unwrap_or_else(|e| panic!("{path}?{query}: {e}"));
+        }
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        use std::io::{Read as _, Write as _};
+        let server = Server::start(
+            Arc::new(empty_state()),
+            &ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        // A malformed request must 400, and the server must survive it.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "server died after 400");
+
+        server.shutdown();
+    }
+}

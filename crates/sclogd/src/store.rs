@@ -1,0 +1,268 @@
+//! The in-memory alert store behind the query server.
+//!
+//! Each ingest run produces an [`IngestResult`] whose alerts speak the
+//! run's private dialect: `NodeId`s from that reader's interner and
+//! `CategoryId`s from whatever registry the ruleset was compiled
+//! against. The store re-maps both into its own interner/registry on
+//! admission, so alerts from five different systems share one
+//! namespace and a query can ask for `host=sn*` without caring which
+//! run interned `sn373` first.
+//!
+//! Concurrency model: one `RwLock` around the whole store. Ingest
+//! takes the write lock (rare: at startup and on explicit reload);
+//! query workers take read locks (frequent, shared). A monotonically
+//! increasing `version` lets the aggregation cache detect staleness
+//! without holding any lock across the recompute.
+
+use std::collections::HashSet;
+use std::sync::{RwLock, RwLockReadGuard};
+
+use sclog_core::IngestResult;
+use sclog_parse::ParseStats;
+use sclog_types::{
+    AlertType, CategoryId, CategoryRegistry, NodeId, Severity, SourceInterner, SystemId, Timestamp,
+};
+
+/// One alert at rest, in the store's own namespace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredAlert {
+    /// Time of the underlying message.
+    pub time: Timestamp,
+    /// Source node, interned in the store's interner.
+    pub host: NodeId,
+    /// Category, registered in the store's registry.
+    pub category: CategoryId,
+    /// Severity of the underlying message (`None` when the logging
+    /// path records none, or when ground truth was unavailable).
+    pub severity: Severity,
+    /// Index of the underlying message in its system's parse order.
+    pub message_index: usize,
+    /// Whether the alert survived the spatio-temporal filter.
+    pub filtered: bool,
+}
+
+/// Per-system ingest accounting, served by `/stats`.
+#[derive(Debug, Clone)]
+pub struct SystemStats {
+    /// The ingested system.
+    pub system: SystemId,
+    /// Line accounting from the parser.
+    pub parse: ParseStats,
+    /// Alerts the rules tagged.
+    pub tagged: u64,
+    /// Alerts surviving the spatio-temporal filter.
+    pub filtered: u64,
+    /// The ingest run's obs report (`sclog.obs.v1` JSON), when the run
+    /// recorded one.
+    pub obs_json: Option<String>,
+}
+
+/// Store contents guarded by the lock. Exposed read-only to query
+/// handlers via [`AlertStore::read`].
+#[derive(Debug, Default)]
+pub struct StoreInner {
+    /// All admitted alerts, sorted by time (ties broken by admission
+    /// order, which within a system is message order).
+    pub alerts: Vec<StoredAlert>,
+    /// Node names for every [`StoredAlert::host`].
+    pub hosts: SourceInterner,
+    /// Definitions for every [`StoredAlert::category`].
+    pub categories: CategoryRegistry,
+    /// Per-system ingest accounting, in admission order.
+    pub systems: Vec<SystemStats>,
+    /// Bumped on every mutation; caches key off it.
+    pub version: u64,
+}
+
+impl StoreInner {
+    /// Resolves a stored alert's host name.
+    pub fn host_name(&self, alert: &StoredAlert) -> &str {
+        self.hosts.name(alert.host)
+    }
+
+    /// Resolves a stored alert's category name.
+    pub fn category_name(&self, alert: &StoredAlert) -> &str {
+        &self.categories.def(alert.category).name
+    }
+
+    /// Resolves a stored alert's owning system.
+    pub fn system_of(&self, alert: &StoredAlert) -> SystemId {
+        self.categories.def(alert.category).system
+    }
+
+    /// Resolves a stored alert's hardware/software class.
+    pub fn class_of(&self, alert: &StoredAlert) -> AlertType {
+        self.categories.def(alert.category).alert_type
+    }
+}
+
+/// Thread-safe alert store: write-locked ingest, read-locked queries.
+#[derive(Debug, Default)]
+pub struct AlertStore {
+    inner: RwLock<StoreInner>,
+}
+
+impl AlertStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        AlertStore::default()
+    }
+
+    /// Admits one ingest run.
+    ///
+    /// `registry` must be the registry the run's ruleset was compiled
+    /// against (it resolves the run's `CategoryId`s). `severities`
+    /// maps message index → severity; pass `&[]` when the source has
+    /// no severity information — out-of-range indexes degrade to
+    /// [`Severity::None`] rather than failing, since severity is
+    /// advisory metadata, not part of the alert identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run's category re-registers under a different
+    /// alert type — that means two rulesets disagree about a rule, a
+    /// configuration bug worth failing loudly on.
+    pub fn ingest(
+        &self,
+        system: SystemId,
+        result: &IngestResult,
+        registry: &CategoryRegistry,
+        severities: &[Severity],
+    ) {
+        let survivors: HashSet<usize> = result.filtered.iter().map(|a| a.message_index).collect();
+        let mut inner = write_lock(&self.inner);
+        let inner = &mut *inner;
+        for alert in &result.tagged.alerts {
+            let def = registry.def(alert.category);
+            let category = inner
+                .categories
+                .register(&def.name, def.system, def.alert_type);
+            let host = inner.hosts.intern(result.sources.name(alert.source));
+            inner.alerts.push(StoredAlert {
+                time: alert.time,
+                host,
+                category,
+                severity: severities
+                    .get(alert.message_index)
+                    .copied()
+                    .unwrap_or(Severity::None),
+                message_index: alert.message_index,
+                filtered: survivors.contains(&alert.message_index),
+            });
+        }
+        // Each run arrives time-sorted; the merged view must be too,
+        // or window queries would miss alerts. Stable sort keeps
+        // message order within equal timestamps.
+        inner.alerts.sort_by_key(|a| a.time.as_micros());
+        inner.systems.push(SystemStats {
+            system,
+            parse: result.parse,
+            tagged: result.tagged.alerts.len() as u64,
+            filtered: result.filtered.len() as u64,
+            obs_json: result.obs.as_ref().map(|r| r.to_json()),
+        });
+        inner.version += 1;
+    }
+
+    /// A shared read view for query handlers.
+    pub fn read(&self) -> RwLockReadGuard<'_, StoreInner> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The current mutation counter, for cache staleness checks.
+    pub fn version(&self) -> u64 {
+        self.read().version
+    }
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_core::pipeline::ingest_batch;
+    use sclog_core::IngestResult;
+    use sclog_filter::SpatioTemporalFilter;
+    use sclog_rules::RuleSet;
+
+    fn liberty_run() -> (IngestResult, CategoryRegistry) {
+        let mut registry = CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::Liberty, &mut registry);
+        let filter = SpatioTemporalFilter::paper();
+        let text = "\
+Mar  7 07:30:00 sn373 pbs_mom: task_check, cannot tm_reply to 10 task 1\n\
+Mar  7 07:30:01 sn373 pbs_mom: task_check, cannot tm_reply to 11 task 1\n\
+Mar  7 09:00:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
+        let result = ingest_batch(SystemId::Liberty, text, &rules, &filter, 1);
+        (result, registry)
+    }
+
+    #[test]
+    fn ingest_remaps_hosts_and_categories() {
+        let (result, registry) = liberty_run();
+        assert!(!result.tagged.is_empty(), "fixture must tag alerts");
+
+        let store = AlertStore::new();
+        store.ingest(SystemId::Liberty, &result, &registry, &[]);
+        let inner = store.read();
+        assert_eq!(inner.alerts.len(), result.tagged.len());
+        assert_eq!(inner.version, 1);
+        let names: Vec<&str> = inner.alerts.iter().map(|a| inner.host_name(a)).collect();
+        assert!(names.contains(&"sn373"));
+        assert!(names.contains(&"dn228"));
+        for alert in &inner.alerts {
+            assert_eq!(inner.system_of(alert), SystemId::Liberty);
+        }
+        // The 07:30:01 duplicate on the same node is within the 5 s
+        // window: tagged but not a filter survivor.
+        let survivors = inner.alerts.iter().filter(|a| a.filtered).count();
+        assert_eq!(survivors as u64, result.filtered.len() as u64);
+        assert!(survivors < inner.alerts.len());
+    }
+
+    #[test]
+    fn double_ingest_merges_sorted_and_bumps_version() {
+        let (result, registry) = liberty_run();
+        let store = AlertStore::new();
+        store.ingest(SystemId::Liberty, &result, &registry, &[]);
+        store.ingest(SystemId::Liberty, &result, &registry, &[]);
+        let inner = store.read();
+        assert_eq!(inner.version, 2);
+        assert_eq!(inner.alerts.len(), 2 * result.tagged.len());
+        assert!(inner
+            .alerts
+            .windows(2)
+            .all(|w| w[0].time.as_micros() <= w[1].time.as_micros()));
+        // Same categories re-registered, not duplicated.
+        let mut ids: Vec<u16> = inner
+            .alerts
+            .iter()
+            .map(|a| a.category.index() as u16)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(ids.len() <= result.tagged.len());
+        assert_eq!(inner.systems.len(), 2);
+    }
+
+    #[test]
+    fn severity_lookup_degrades_to_none_out_of_range() {
+        let (result, registry) = liberty_run();
+        let store = AlertStore::new();
+        let sev = vec![Severity::Syslog(sclog_types::SyslogSeverity::Error)];
+        store.ingest(SystemId::Liberty, &result, &registry, &sev);
+        let inner = store.read();
+        for alert in &inner.alerts {
+            if alert.message_index == 0 {
+                assert!(alert.severity.as_syslog().is_some());
+            } else {
+                assert!(alert.severity.is_none());
+            }
+        }
+    }
+}

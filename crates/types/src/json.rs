@@ -5,7 +5,9 @@
 //! instead of a serialization framework this module offers two small
 //! push-style builders, [`JsonObject`] and [`JsonArray`], that emit
 //! spec-compliant JSON text (escaped strings, `null` for non-finite
-//! floats, no trailing commas).
+//! floats, no trailing commas). Writers that must not paper over a
+//! NaN with `null` close with `try_finish`, which returns the typed
+//! [`JsonError`] latched at write time.
 //!
 //! # Examples
 //!
@@ -23,6 +25,34 @@
 //! ```
 
 use std::fmt::Write as _;
+
+/// A write-time error latched by a builder and reported by
+/// [`JsonObject::try_finish`] / [`JsonArray::try_finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// A NaN or infinite float was written. JSON has no spelling for
+    /// these; the lenient `finish` path emits `null`, the strict
+    /// `try_finish` path refuses the whole document.
+    NonFinite {
+        /// The object key or array index the value was written under.
+        at: String,
+    },
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::NonFinite { at } => {
+                write!(
+                    f,
+                    "non-finite float written at {at:?} (JSON has no NaN/Infinity)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 /// Checks that `s` is one complete, syntactically valid JSON value.
 ///
@@ -234,6 +264,8 @@ fn push_str(s: &str, out: &mut String) {
 #[derive(Debug, Clone, Default)]
 pub struct JsonObject {
     buf: String,
+    /// First write-time error, latched for [`JsonObject::try_finish`].
+    err: Option<JsonError>,
 }
 
 impl JsonObject {
@@ -241,6 +273,7 @@ impl JsonObject {
     pub fn new() -> Self {
         JsonObject {
             buf: String::from("{"),
+            err: None,
         }
     }
 
@@ -274,8 +307,14 @@ impl JsonObject {
         self
     }
 
-    /// Adds a float field (`null` if non-finite).
+    /// Adds a float field (`null` if non-finite; a non-finite value
+    /// also latches the error [`JsonObject::try_finish`] reports).
     pub fn num(&mut self, name: &str, value: f64) -> &mut Self {
+        if !value.is_finite() && self.err.is_none() {
+            self.err = Some(JsonError::NonFinite {
+                at: name.to_owned(),
+            });
+        }
         self.key(name);
         push_num(value, &mut self.buf);
         self
@@ -302,12 +341,32 @@ impl JsonObject {
         out.push('}');
         out
     }
+
+    /// Closes the object like [`JsonObject::finish`], but returns the
+    /// first write-time error instead of papering over it — the strict
+    /// path for documents a machine will read back, where a silent
+    /// `null` in place of a NaN would corrupt the record.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::NonFinite`] if any [`JsonObject::num`] call wrote a
+    /// NaN or infinity.
+    pub fn try_finish(&self) -> Result<String, JsonError> {
+        match &self.err {
+            Some(e) => Err(e.clone()),
+            None => Ok(self.finish()),
+        }
+    }
 }
 
 /// Builder for a JSON array.
 #[derive(Debug, Clone, Default)]
 pub struct JsonArray {
     buf: String,
+    /// Elements pushed so far (names the index in error reports).
+    len: usize,
+    /// First write-time error, latched for [`JsonArray::try_finish`].
+    err: Option<JsonError>,
 }
 
 impl JsonArray {
@@ -315,6 +374,8 @@ impl JsonArray {
     pub fn new() -> Self {
         JsonArray {
             buf: String::from("["),
+            len: 0,
+            err: None,
         }
     }
 
@@ -322,6 +383,7 @@ impl JsonArray {
         if self.buf.len() > 1 {
             self.buf.push(',');
         }
+        self.len += 1;
         self
     }
 
@@ -339,8 +401,14 @@ impl JsonArray {
         self
     }
 
-    /// Appends a float element (`null` if non-finite).
+    /// Appends a float element (`null` if non-finite; a non-finite
+    /// value also latches the error [`JsonArray::try_finish`] reports).
     pub fn push_num(&mut self, value: f64) -> &mut Self {
+        if !value.is_finite() && self.err.is_none() {
+            self.err = Some(JsonError::NonFinite {
+                at: format!("[{}]", self.len),
+            });
+        }
         self.sep();
         push_num(value, &mut self.buf);
         self
@@ -358,6 +426,20 @@ impl JsonArray {
         let mut out = self.buf.clone();
         out.push(']');
         out
+    }
+
+    /// Closes the array like [`JsonArray::finish`], but returns the
+    /// first write-time error instead of papering over it.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::NonFinite`] if any [`JsonArray::push_num`] call
+    /// wrote a NaN or infinity.
+    pub fn try_finish(&self) -> Result<String, JsonError> {
+        match &self.err {
+            Some(e) => Err(e.clone()),
+            None => Ok(self.finish()),
+        }
     }
 }
 
@@ -394,6 +476,36 @@ mod tests {
         let mut a = JsonArray::new();
         a.push_num(f64::NAN).push_num(f64::INFINITY).push_num(0.5);
         assert_eq!(a.finish(), "[null,null,0.5]");
+    }
+
+    #[test]
+    fn try_finish_rejects_non_finite_object_fields() {
+        let mut o = JsonObject::new();
+        o.num("ok", 1.5);
+        assert_eq!(o.try_finish().unwrap(), r#"{"ok":1.5}"#);
+        o.num("rate", f64::NAN).num("late", f64::NEG_INFINITY);
+        let err = o.try_finish().unwrap_err();
+        assert_eq!(
+            err,
+            JsonError::NonFinite { at: "rate".into() },
+            "first offender is the one reported"
+        );
+        assert!(err.to_string().contains("rate"), "{err}");
+        // The lenient path still renders, with null in place.
+        assert_eq!(o.finish(), r#"{"ok":1.5,"rate":null,"late":null}"#);
+    }
+
+    #[test]
+    fn try_finish_rejects_non_finite_array_elements() {
+        let mut a = JsonArray::new();
+        a.push_num(0.5).push_int(2);
+        assert_eq!(a.try_finish().unwrap(), "[0.5,2]");
+        a.push_num(f64::INFINITY);
+        assert_eq!(
+            a.try_finish().unwrap_err(),
+            JsonError::NonFinite { at: "[2]".into() },
+            "error names the element index"
+        );
     }
 
     #[test]
@@ -465,5 +577,21 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn validate_flags_unescaped_control_characters() {
+        // Every raw control byte (0x00..=0x1F) inside a string is a
+        // spec violation; the same characters escaped are fine.
+        for byte in 0x00u8..=0x1f {
+            let doc = format!("\"ctl{}here\"", byte as char);
+            let err = validate(&doc).expect_err(&format!("raw {byte:#04x} accepted"));
+            assert!(err.contains("control"), "{byte:#04x}: {err}");
+            let escaped = format!("\"ctl\\u{byte:04x}here\"");
+            validate(&escaped).unwrap_or_else(|e| panic!("{escaped:?}: {e}"));
+        }
+        // Outside a string the same bytes are plain syntax errors, not
+        // string-content errors (0x09/0x0a/0x0d are whitespace there).
+        assert!(validate("\u{1}").is_err());
     }
 }

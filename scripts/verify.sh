@@ -27,6 +27,15 @@
 #                                    counter/gauge keys present, span
 #                                    coverage >= 95%, gauge peaks
 #                                    within their bounds
+#   scripts/verify.sh --serve-smoke  only the server smoke: boot sclogd
+#                                    against a five-system simulated
+#                                    ingest on an ephemeral port, query
+#                                    every endpoint (filters,
+#                                    aggregations, /obs), check failure
+#                                    classification (400/404/405),
+#                                    drive it into overload to observe
+#                                    503 + Retry-After, and shut down
+#                                    cleanly
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,6 +68,11 @@ obs_smoke() {
         >/dev/null
 }
 
+serve_smoke() {
+    echo "== serve smoke: sclogd --smoke (endpoints, overload 503, shutdown)"
+    cargo run -q --offline --release -p sclogd -- --smoke >/dev/null
+}
+
 if [ "${1-}" = "--bench-smoke" ]; then
     bench_smoke
     echo "verify: OK (bench smoke)"
@@ -68,6 +82,12 @@ fi
 if [ "${1-}" = "--obs-smoke" ]; then
     obs_smoke
     echo "verify: OK (obs smoke)"
+    exit 0
+fi
+
+if [ "${1-}" = "--serve-smoke" ]; then
+    serve_smoke
+    echo "verify: OK (serve smoke)"
     exit 0
 fi
 
@@ -91,5 +111,7 @@ cargo test -q --workspace --offline
 bench_smoke
 
 obs_smoke
+
+serve_smoke
 
 echo "verify: OK"
