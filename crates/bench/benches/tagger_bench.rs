@@ -16,12 +16,67 @@
 //! to stderr.
 
 use sclog_bench::{BenchGroup, HARNESS_SEED};
-use sclog_rules::RuleSet;
+use sclog_rules::{RuleSet, TagScratch};
 use sclog_simgen::{generate, Scale};
+use sclog_types::json::JsonObject;
 use sclog_types::{CategoryRegistry, SystemId};
 
 /// Threads for the parallel arms — matches the study driver's cap.
 const THREADS: usize = 4;
+
+/// One counted serial pass over the log, reported as a
+/// `{"record":"tiers",...}` line: where the engine's work actually
+/// went — prefilter-gated lines, lazy-DFA resolutions, and Pike-VM
+/// fallbacks — so a timing shift in `BENCH_tagger.json` can be traced
+/// to the tier whose share moved.
+fn emit_tier_record(system: SystemId, rules: &RuleSet, log: &sclog_simgen::GenLog) {
+    let mut scratch = TagScratch::new();
+    for msg in &log.messages {
+        let _ = rules.tag_message_with(msg, &log.interner, &mut scratch);
+    }
+    let counts = scratch.take_counts();
+    assert_eq!(
+        counts.vm_eligible,
+        counts.dfa_execs + counts.dfa_bailouts,
+        "{system}: tier accounting leaked"
+    );
+    let mut rec = JsonObject::new();
+    rec.str("record", "tiers")
+        .str("system", &format!("{system:?}").to_lowercase())
+        .uint("lines", counts.lines)
+        .uint("prefilter_gated", counts.gated_out)
+        .uint("rule_checks", counts.vm_execs)
+        .uint("vm_eligible", counts.vm_eligible)
+        .uint("dfa_resolved", counts.dfa_execs)
+        .uint("vm_fallback", counts.dfa_bailouts)
+        .uint("dfa_cache_evictions", counts.dfa_evictions)
+        .uint("matches", counts.matches);
+    println!("{}", rec.finish());
+    eprintln!(
+        "{system}: tiers — {} lines, {} gated, {} rule checks, {} dfa-resolved, {} vm-fallback",
+        counts.lines, counts.gated_out, counts.vm_execs, counts.dfa_execs, counts.dfa_bailouts
+    );
+}
+
+/// Reports the measured serial-vs-parallel ratio as a
+/// `{"record":"parallel_speedup",...}` line — only on hosts with more
+/// than one CPU, where the ratio measures parallelism rather than
+/// scheduling overhead.
+fn emit_speedup_record(system: SystemId, serial_ns: u128, parallel_ns: u128) {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cpus < 2 || parallel_ns == 0 {
+        return;
+    }
+    let mut rec = JsonObject::new();
+    rec.str("record", "parallel_speedup")
+        .str("system", &format!("{system:?}").to_lowercase())
+        .uint("host_cpus", cpus as u64)
+        .uint("threads", THREADS as u64)
+        .uint("serial_median_ns", serial_ns as u64)
+        .uint("parallel_median_ns", parallel_ns as u64)
+        .num("speedup", serial_ns as f64 / parallel_ns as f64);
+    println!("{}", rec.finish());
+}
 
 fn bench_system(system: SystemId, scale: Scale) {
     let log = generate(system, scale, HARNESS_SEED);
@@ -40,6 +95,7 @@ fn bench_system(system: SystemId, scale: Scale) {
         log.len(),
         pre.alerts.len()
     );
+    emit_tier_record(system, &rules, &log);
 
     let name = format!("tagger_{}", format!("{system:?}").to_lowercase());
     let mut group = BenchGroup::new(&name);
@@ -48,12 +104,13 @@ fn bench_system(system: SystemId, scale: Scale) {
     // Each serial/parallel comparison interleaves its samples so the
     // pair is measured under the same drift (frequency scaling,
     // allocator state) rather than one arm after the other.
-    group.bench_pair(
+    let (serial, parallel) = group.bench_pair(
         "serial_prefiltered",
         || rules.tag_messages(&log.messages, &log.interner),
         "parallel4_prefiltered",
         || rules.tag_messages_parallel(&log.messages, &log.interner, THREADS),
     );
+    emit_speedup_record(system, serial, parallel);
     group.bench_pair(
         "serial_brute",
         || rules.tag_messages_unfiltered(&log.messages, &log.interner),

@@ -26,6 +26,10 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "tagger.prefilter.gated_out",
     "tagger.prefilter.vm_execs",
     "tagger.prefilter.matches",
+    "tagger.vm.eligible",
+    "tagger.dfa.execs",
+    "tagger.dfa.bailouts",
+    "tagger.dfa.cache_evictions",
     "filter.alerts_in",
     "filter.alerts_kept",
     "simgen.messages",
@@ -81,6 +85,70 @@ fn check(report: &ObsReport, json: &str) -> Result<(), String> {
     if report.wall_ns == 0 || report.attributed_ns == 0 {
         return Err("report recorded no time".into());
     }
+    check_dfa_accounting(report)?;
+    Ok(())
+}
+
+/// The three-tier engine's books must balance: every VM-eligible regex
+/// execution resolved in the lazy DFA or bailed out to the Pike VM.
+fn check_dfa_accounting(report: &ObsReport) -> Result<(), String> {
+    let get = |name: &str| {
+        report
+            .counter(name)
+            .ok_or_else(|| format!("required counter {name} missing"))
+    };
+    let eligible = get("tagger.vm.eligible")?;
+    let execs = get("tagger.dfa.execs")?;
+    let bailouts = get("tagger.dfa.bailouts")?;
+    if eligible != execs + bailouts {
+        return Err(format!(
+            "dfa accounting broken: eligible {eligible} != execs {execs} + bailouts {bailouts}"
+        ));
+    }
+    Ok(())
+}
+
+/// The study pipeline never touches a `LineChunker`, so the chunker's
+/// SWAR counter is validated on a small instrumented text-ingest run
+/// (both serial and pooled arms). Nothing is printed on success —
+/// stdout stays a single JSON report.
+fn check_ingest_swar() -> Result<(), String> {
+    let text = sclog_simgen::generate(
+        SystemId::Spirit,
+        sclog_simgen::Scale::new(0.02, 0.0005),
+        HARNESS_SEED,
+    )
+    .render();
+    let mut registry = sclog_types::CategoryRegistry::new();
+    let rules = sclog_rules::RuleSet::builtin(SystemId::Spirit, &mut registry);
+    let filter = sclog_filter::SpatioTemporalFilter::paper();
+    for threads in [1, 2] {
+        let config = sclog_core::IngestConfig {
+            threads,
+            chunk_bytes: 1024,
+            text_queue: 2,
+            obs: ObsConfig::on(),
+        };
+        let run = sclog_core::pipeline::ingest_stream(
+            SystemId::Spirit,
+            text.as_bytes(),
+            &rules,
+            &filter,
+            config,
+        )
+        .map_err(|e| format!("ingest_stream failed: {e}"))?;
+        let report = run.obs.ok_or("ingest run lost its obs report")?;
+        let swar = report
+            .counter("chunker.swar_blocks")
+            .ok_or("required counter chunker.swar_blocks missing")?;
+        if swar == 0 {
+            return Err(format!(
+                "chunker.swar_blocks is zero on a {}-line ingest (threads={threads})",
+                report.counter("tagger.lines").unwrap_or(0)
+            ));
+        }
+        check_dfa_accounting(&report).map_err(|e| format!("ingest (threads={threads}): {e}"))?;
+    }
     Ok(())
 }
 
@@ -96,7 +164,7 @@ fn main() -> ExitCode {
     println!("{json}");
     eprintln!("{}", render(&report));
     if checking {
-        if let Err(why) = check(&report, &json) {
+        if let Err(why) = check(&report, &json).and_then(|()| check_ingest_swar()) {
             eprintln!("obs-smoke FAILED: {why}");
             return ExitCode::FAILURE;
         }

@@ -145,14 +145,15 @@ pub fn ingest_stream(
                         let _busy = tr.span(metrics.read);
                         chunks.next()
                     };
-                    let Some(chunk) = item else { return };
+                    let Some(chunk) = item else { break };
                     let bytes = chunk.as_ref().map_or(0, |t| t.len()) as u64;
                     tr.stage_items(metrics.read, 1, bytes);
                     let _wait = tr.wait_span(metrics.read);
                     if text_tx.send(chunk).is_err() {
-                        return; // parse stage bailed on an earlier error
+                        break; // parse stage bailed on an earlier error
                     }
                 }
+                tr.add(metrics.swar_blocks, chunks.swar_blocks());
             });
             let consumer = s.spawn(move || {
                 let tr = tr_cons;
@@ -260,6 +261,8 @@ struct IngestMetrics {
     parse: Stage,
     /// Size distribution of the reader's text chunks.
     chunk_bytes: Histogram,
+    /// 8-byte SWAR lanes the chunker's newline scan examined.
+    swar_blocks: Counter,
     lines_parsed: Counter,
     lines_empty: Counter,
     lines_bad_timestamp: Counter,
@@ -272,6 +275,7 @@ impl IngestMetrics {
             read: rec.stage("read"),
             parse: rec.stage("parse"),
             chunk_bytes: rec.histogram("pipeline.chunk_bytes"),
+            swar_blocks: rec.counter("chunker.swar_blocks"),
             lines_parsed: rec.counter("parse.lines"),
             lines_empty: rec.counter("parse.empty"),
             lines_bad_timestamp: rec.counter("parse.bad_timestamp"),
@@ -344,6 +348,7 @@ fn ingest_serial(
     }
     tr.add(serial_metrics.alerts_in, stream.pushed());
     tr.add(serial_metrics.alerts_kept, stream.kept());
+    tr.add(metrics.swar_blocks, chunks.swar_blocks());
     metrics.flush_parse(&tr, log_reader.stats());
     let (_, ctx, parse) = log_reader.into_parts();
     Ok(IngestResult {

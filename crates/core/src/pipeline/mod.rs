@@ -361,6 +361,10 @@ struct SerialMetrics {
     gated_out: sclog_obs::Counter,
     vm_execs: sclog_obs::Counter,
     matches: sclog_obs::Counter,
+    vm_eligible: sclog_obs::Counter,
+    dfa_execs: sclog_obs::Counter,
+    dfa_bailouts: sclog_obs::Counter,
+    dfa_evictions: sclog_obs::Counter,
     alerts_in: sclog_obs::Counter,
     alerts_kept: sclog_obs::Counter,
 }
@@ -374,6 +378,10 @@ impl SerialMetrics {
             gated_out: rec.counter("tagger.prefilter.gated_out"),
             vm_execs: rec.counter("tagger.prefilter.vm_execs"),
             matches: rec.counter("tagger.prefilter.matches"),
+            vm_eligible: rec.counter("tagger.vm.eligible"),
+            dfa_execs: rec.counter("tagger.dfa.execs"),
+            dfa_bailouts: rec.counter("tagger.dfa.bailouts"),
+            dfa_evictions: rec.counter("tagger.dfa.cache_evictions"),
             alerts_in: rec.counter("filter.alerts_in"),
             alerts_kept: rec.counter("filter.alerts_kept"),
         }
@@ -385,6 +393,10 @@ impl SerialMetrics {
         tr.add(self.gated_out, counts.gated_out);
         tr.add(self.vm_execs, counts.vm_execs);
         tr.add(self.matches, counts.matches);
+        tr.add(self.vm_eligible, counts.vm_eligible);
+        tr.add(self.dfa_execs, counts.dfa_execs);
+        tr.add(self.dfa_bailouts, counts.dfa_bailouts);
+        tr.add(self.dfa_evictions, counts.dfa_evictions);
     }
 }
 

@@ -6,6 +6,7 @@
 //! target size, always on line boundaries, so a downstream parser can
 //! treat each block exactly like a small [`str::lines`] blob.
 
+use crate::swar;
 use std::io::Read;
 
 /// Default chunk target: big enough to amortize read and dispatch
@@ -43,6 +44,9 @@ pub struct LineChunker<R: Read> {
     /// whatever the last `read` returned beyond it.
     carry: Vec<u8>,
     done: bool,
+    /// Full 8-byte SWAR lanes examined by the newline scan; exported
+    /// to the `chunker.swar_blocks` observability counter.
+    swar_blocks: u64,
 }
 
 impl<R: Read> LineChunker<R> {
@@ -64,7 +68,14 @@ impl<R: Read> LineChunker<R> {
             target: target_bytes,
             carry: Vec::new(),
             done: false,
+            swar_blocks: 0,
         }
+    }
+
+    /// Number of full 8-byte SWAR lanes the newline scan has examined
+    /// so far (see [`crate::swar`]); monotone over the chunker's life.
+    pub fn swar_blocks(&self) -> u64 {
+        self.swar_blocks
     }
 
     /// Reads until the buffer holds at least one full line past the
@@ -86,7 +97,9 @@ impl<R: Read> LineChunker<R> {
                 // A single line longer than the target keeps reading
                 // until its newline (or EOF) arrives.
                 let from = self.target - 1;
-                if let Some(pos) = self.carry[from..].iter().position(|&b| b == b'\n') {
+                if let Some(pos) =
+                    swar::find_newline_counted(&self.carry[from..], &mut self.swar_blocks)
+                {
                     return Ok(from + pos + 1);
                 }
             }
@@ -150,6 +163,7 @@ impl<R: Read> std::fmt::Debug for LineChunker<R> {
             .field("target", &self.target)
             .field("carried", &self.carry.len())
             .field("done", &self.done)
+            .field("swar_blocks", &self.swar_blocks)
             .finish()
     }
 }
@@ -346,6 +360,19 @@ mod tests {
         .collect::<std::io::Result<_>>()
         .unwrap();
         assert_eq!(chunks.concat(), "a\nbb\nccc");
+    }
+
+    #[test]
+    fn swar_blocks_counts_lanes_examined() {
+        let text = "x".repeat(100) + "\n" + &"y".repeat(50) + "\n";
+        let mut chunker = LineChunker::with_target(text.as_bytes(), 16);
+        assert_eq!(chunker.swar_blocks(), 0, "no scan before the first read");
+        let chunks: Vec<String> = (&mut chunker).collect::<std::io::Result<_>>().unwrap();
+        assert_eq!(chunks.concat(), text);
+        assert!(
+            chunker.swar_blocks() > 0,
+            "long lines past the target drive the SWAR scan"
+        );
     }
 
     #[test]

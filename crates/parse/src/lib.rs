@@ -34,6 +34,7 @@ pub mod compress;
 mod error;
 mod format;
 mod reader;
+pub mod swar;
 
 pub use chunker::{LineChunker, DEFAULT_CHUNK_BYTES};
 pub use error::ParseError;

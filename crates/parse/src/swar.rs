@@ -1,0 +1,148 @@
+//! SWAR (SIMD-within-a-register) newline scanning.
+//!
+//! The line chunker's inner loop is "find the next `\n`"; at
+//! 178 million lines a byte-at-a-time scan is the single hottest
+//! instruction stream in ingest. This module scans a `u64` lane at a
+//! time using the classic broadcast-XOR + zero-byte trick:
+//!
+//! 1. XOR the lane with `\n` broadcast to all eight bytes — a newline
+//!    byte becomes `0x00`, everything else nonzero.
+//! 2. Detect zero bytes with `(w - 0x01…01) & !w & 0x80…80`: only a
+//!    byte that was zero can both borrow into its high bit and keep
+//!    `!w`'s high bit set.
+//! 3. The first match is the lowest set high bit:
+//!    `trailing_zeros() / 8` (little-endian byte order).
+//!
+//! The scan falls back to a scalar tail for the final partial lane and
+//! counts full lanes examined so the chunker can export a
+//! `chunker.swar_blocks` observability counter.
+
+/// Bytes per SWAR lane: one `u64`.
+pub const SWAR_LANE: usize = 8;
+
+/// All-lanes broadcast of `0x01`, the subtrahend of the zero-byte trick.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// All-lanes broadcast of `0x80`, the high-bit mask of the zero-byte trick.
+const HI: u64 = 0x8080_8080_8080_8080;
+/// `\n` broadcast to all eight lanes.
+const NL: u64 = 0x0A0A_0A0A_0A0A_0A0A;
+
+/// Finds the first `\n` in `haystack` a `u64` at a time, adding the
+/// number of full 8-byte lanes examined to `lanes`.
+///
+/// Behaviourally identical to
+/// `haystack.iter().position(|&b| b == b'\n')` (see
+/// [`find_newline_scalar`], the reference the property suite compares
+/// against); the lane count feeds the `chunker.swar_blocks` counter.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_parse::swar::find_newline_counted;
+///
+/// let mut lanes = 0;
+/// assert_eq!(find_newline_counted(b"0123456789\nrest.", &mut lanes), Some(10));
+/// assert_eq!(lanes, 2, "lane 0 misses, lane 1 hits");
+/// assert_eq!(find_newline_counted(b"short", &mut lanes), None);
+/// ```
+pub fn find_newline_counted(haystack: &[u8], lanes: &mut u64) -> Option<usize> {
+    let mut i = 0;
+    let mut scanned = 0u64;
+    while let Some(lane) = haystack.get(i..i + SWAR_LANE) {
+        let w = u64::from_le_bytes(lane.try_into().expect("8-byte slice")) ^ NL;
+        scanned += 1;
+        let hit = w.wrapping_sub(LO) & !w & HI;
+        if hit != 0 {
+            *lanes += scanned;
+            return Some(i + (hit.trailing_zeros() / 8) as usize);
+        }
+        i += SWAR_LANE;
+    }
+    *lanes += scanned;
+    // Scalar tail: fewer than eight bytes remain.
+    haystack[i..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|p| i + p)
+}
+
+/// The byte-at-a-time reference implementation of
+/// [`find_newline_counted`]'s search (without lane accounting).
+///
+/// Kept public so the property suite can state the equivalence
+/// SWAR ≡ scalar directly against the shipped code rather than a
+/// reimplementation inside the test.
+pub fn find_newline_scalar(haystack: &[u8]) -> Option<usize> {
+    haystack.iter().position(|&b| b == b'\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(h: &[u8]) -> Option<usize> {
+        let mut lanes = 0;
+        let got = find_newline_counted(h, &mut lanes);
+        assert_eq!(got, find_newline_scalar(h), "{h:?}");
+        got
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        assert_eq!(find(b""), None);
+        assert_eq!(find(b"abc"), None);
+        assert_eq!(find(b"\n"), Some(0));
+        assert_eq!(find(b"ab\n"), Some(2));
+    }
+
+    #[test]
+    fn every_position_in_a_three_lane_window() {
+        for pos in 0..24 {
+            let mut bytes = vec![b'x'; 24];
+            bytes[pos] = b'\n';
+            assert_eq!(find(&bytes), Some(pos), "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn first_of_many_newlines_wins() {
+        for first in 0..16 {
+            let mut bytes = vec![b'\n'; 32];
+            for b in bytes.iter_mut().take(first) {
+                *b = b'.';
+            }
+            assert_eq!(find(&bytes), Some(first));
+        }
+    }
+
+    #[test]
+    fn high_bytes_and_nuls_are_not_false_positives() {
+        // 0x8A = 0x0A with the high bit set; 0x00 exercises the
+        // borrow path of the zero-byte trick.
+        assert_eq!(find(&[0x8A; 16]), None);
+        assert_eq!(find(&[0x00; 16]), None);
+        assert_eq!(
+            find(&[0x0B, 0x09, 0x8A, 0x00, 0xFF, 0x0A, 0x00, 0x0A]),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn lane_count_reflects_lanes_examined() {
+        let mut lanes = 0;
+        // Hit in the first lane: one lane examined.
+        assert_eq!(
+            find_newline_counted(b"\nxxxxxxxxxxxxxxx", &mut lanes),
+            Some(0)
+        );
+        assert_eq!(lanes, 1);
+        // No newline in 16 bytes: both lanes examined.
+        lanes = 0;
+        assert_eq!(find_newline_counted(&[b'x'; 16], &mut lanes), None);
+        assert_eq!(lanes, 2);
+        // Tail-only input: no lanes at all.
+        lanes = 0;
+        assert_eq!(find_newline_counted(b"tail\n", &mut lanes), Some(4));
+        assert_eq!(lanes, 0);
+    }
+}

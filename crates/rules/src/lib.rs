@@ -37,6 +37,7 @@
 
 pub mod baseline;
 pub mod catalog;
+pub mod dfa;
 pub mod discover;
 pub mod lang;
 pub mod loader;
@@ -47,6 +48,7 @@ pub mod tagger;
 
 pub use baseline::{Confusion, SeverityBaseline};
 pub use catalog::{catalog, CategorySpec};
+pub use dfa::{DfaCache, DfaProgram};
 pub use discover::{mine_templates, Template};
 pub use lang::{Predicate, RuleExpr};
 pub use loader::{export_builtin, parse_ruleset, render_ruleset, LoadError, RuleDef};

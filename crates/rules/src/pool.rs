@@ -388,6 +388,10 @@ struct PoolMetrics {
     gated_out: Counter,
     vm_execs: Counter,
     matches: Counter,
+    vm_eligible: Counter,
+    dfa_execs: Counter,
+    dfa_bailouts: Counter,
+    dfa_evictions: Counter,
 }
 
 impl PoolMetrics {
@@ -399,6 +403,10 @@ impl PoolMetrics {
             gated_out: rec.counter("tagger.prefilter.gated_out"),
             vm_execs: rec.counter("tagger.prefilter.vm_execs"),
             matches: rec.counter("tagger.prefilter.matches"),
+            vm_eligible: rec.counter("tagger.vm.eligible"),
+            dfa_execs: rec.counter("tagger.dfa.execs"),
+            dfa_bailouts: rec.counter("tagger.dfa.bailouts"),
+            dfa_evictions: rec.counter("tagger.dfa.cache_evictions"),
         }
     }
 
@@ -409,6 +417,10 @@ impl PoolMetrics {
         tr.add(self.gated_out, counts.gated_out);
         tr.add(self.vm_execs, counts.vm_execs);
         tr.add(self.matches, counts.matches);
+        tr.add(self.vm_eligible, counts.vm_eligible);
+        tr.add(self.dfa_execs, counts.dfa_execs);
+        tr.add(self.dfa_bailouts, counts.dfa_bailouts);
+        tr.add(self.dfa_evictions, counts.dfa_evictions);
     }
 }
 

@@ -242,6 +242,13 @@ impl Regex {
         self.factors.as_deref()
     }
 
+    /// True when matching short-circuits to `str::contains` (the
+    /// pattern reduced to a plain literal): such patterns never run
+    /// the Pike VM, so the tagger's DFA tier skips them entirely.
+    pub fn is_literal(&self) -> bool {
+        self.literal.is_some()
+    }
+
     /// The compiled NFA program, exposed for static analyzers.
     ///
     /// The listing mirrors the engine's internal instruction set

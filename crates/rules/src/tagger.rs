@@ -20,10 +20,13 @@
 //!   scratch per worker.
 
 use crate::catalog::{catalog, CategorySpec};
+use crate::dfa::{DfaCache, DfaProgram};
 use crate::lang::Predicate;
 use crate::prefilter::RulePrefilter;
+use crate::re::Regex;
 use sclog_parse::{field_spans, render_native, render_native_into};
 use sclog_types::{Alert, CategoryId, CategoryRegistry, Message, SourceInterner, SystemId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One compiled rule within a [`RuleSet`].
 #[derive(Debug)]
@@ -33,6 +36,82 @@ struct CompiledRule {
     /// Whether the predicate inspects split fields (`$N`, `N >= 1`);
     /// whole-line rules skip field splitting entirely.
     uses_fields: bool,
+    /// First slot of this rule's regexes in the ruleset's tier table
+    /// (one slot per regex, predicate pre-order).
+    tier_base: usize,
+}
+
+/// How one regex slot of a rule predicate executes in the hot loop.
+#[derive(Debug)]
+enum RegexTier {
+    /// The pattern reduced to a plain literal: `is_match` is
+    /// `str::contains` and never runs the Pike VM.
+    Literal,
+    /// Pike VM directly — the program was judged ineligible for lazy
+    /// determinization ([`DfaProgram::new`] declined it).
+    Vm,
+    /// Lazy DFA with Pike-VM fallback on bailout.
+    Dfa(DfaProgram),
+}
+
+/// Number of regex slots a predicate contributes to the tier table
+/// (pre-order, matching the walk in `eval_pred`).
+fn regex_count(pred: &Predicate) -> usize {
+    match pred {
+        Predicate::Line(_) | Predicate::Field(..) => 1,
+        Predicate::Not(p) => regex_count(p),
+        Predicate::And(a, b) | Predicate::Or(a, b) => regex_count(a) + regex_count(b),
+    }
+}
+
+/// Appends the tier of every regex in `pred`, pre-order.
+fn collect_tiers(pred: &Predicate, tiers: &mut Vec<RegexTier>) {
+    match pred {
+        Predicate::Line(re) | Predicate::Field(_, re) => tiers.push(if re.is_literal() {
+            RegexTier::Literal
+        } else {
+            match DfaProgram::new(re) {
+                Some(prog) => RegexTier::Dfa(prog),
+                None => RegexTier::Vm,
+            }
+        }),
+        Predicate::Not(p) => collect_tiers(p, tiers),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            collect_tiers(a, tiers);
+            collect_tiers(b, tiers);
+        }
+    }
+}
+
+/// Source of unique [`RuleSet`] stamps, so a scratch can tell whether
+/// its per-slot DFA caches belong to the ruleset it is being used
+/// with.
+static RULESET_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_stamp() -> u64 {
+    RULESET_STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-scratch lazy-DFA state: one bounded cache per DFA-eligible
+/// regex slot, built on first use and keyed to a ruleset stamp.
+#[derive(Debug, Default)]
+struct DfaScratch {
+    /// Stamp of the ruleset the caches were built for.
+    stamp: u64,
+    /// One entry per tier slot; `None` until the slot first executes.
+    caches: Vec<Option<DfaCache>>,
+}
+
+impl DfaScratch {
+    /// Points the scratch at a ruleset, dropping caches built for a
+    /// different one. A stamp match is the no-op fast path.
+    fn bind(&mut self, stamp: u64, slots: usize) {
+        if self.stamp != stamp {
+            self.caches.clear();
+            self.caches.resize_with(slots, || None);
+            self.stamp = stamp;
+        }
+    }
 }
 
 /// Reusable per-worker scratch for the tagging hot loop.
@@ -65,6 +144,8 @@ pub struct TagScratch {
     candidates: Vec<u64>,
     /// Prefilter effectiveness tallies, accumulated per line.
     counts: TagCounts,
+    /// Per-slot lazy-DFA caches (see [`crate::dfa`]).
+    dfa: DfaScratch,
 }
 
 impl TagScratch {
@@ -106,6 +187,18 @@ pub struct TagCounts {
     pub vm_execs: u64,
     /// Lines that matched some rule (i.e. produced an alert).
     pub matches: u64,
+    /// Regex executions that would run a Pike VM (non-literal pattern
+    /// actually evaluated on a string). Each is resolved by the DFA
+    /// tier or bails to the VM, so
+    /// `vm_eligible == dfa_execs + dfa_bailouts` always.
+    pub vm_eligible: u64,
+    /// VM-eligible executions the lazy DFA resolved by itself.
+    pub dfa_execs: u64,
+    /// VM-eligible executions that fell back to the Pike VM
+    /// (ineligible program, non-ASCII input, or cache overflow).
+    pub dfa_bailouts: u64,
+    /// Bounded-cache clears forced by state-cache overflow.
+    pub dfa_evictions: u64,
 }
 
 impl TagCounts {
@@ -116,6 +209,10 @@ impl TagCounts {
         self.gated_out += other.gated_out;
         self.vm_execs += other.vm_execs;
         self.matches += other.matches;
+        self.vm_eligible += other.vm_eligible;
+        self.dfa_execs += other.dfa_execs;
+        self.dfa_bailouts += other.dfa_bailouts;
+        self.dfa_evictions += other.dfa_evictions;
     }
 }
 
@@ -142,6 +239,13 @@ pub struct RuleSet {
     system: SystemId,
     rules: Vec<CompiledRule>,
     prefilter: RulePrefilter,
+    /// Execution tier of every rule regex, indexed by slot (see
+    /// [`CompiledRule::tier_base`]).
+    tiers: Vec<RegexTier>,
+    /// Bound for each per-slot [`DfaCache`].
+    dfa_max_states: usize,
+    /// Unique id tying [`TagScratch`] DFA caches to this ruleset.
+    stamp: u64,
 }
 
 impl RuleSet {
@@ -182,6 +286,7 @@ impl RuleSet {
                     uses_fields: predicate.uses_fields(),
                     predicate,
                     category,
+                    tier_base: 0,
                 }
             })
             .collect();
@@ -205,24 +310,47 @@ impl RuleSet {
                     uses_fields: predicate.uses_fields(),
                     predicate,
                     category,
+                    tier_base: 0,
                 }
             })
             .collect();
         Self::with_rules(system, rules)
     }
 
-    /// Finishes construction: builds the literal-factor prescan over
-    /// the compiled rules.
-    fn with_rules(system: SystemId, rules: Vec<CompiledRule>) -> Self {
+    /// Finishes construction: builds the literal-factor prescan and
+    /// the per-regex execution-tier table over the compiled rules.
+    fn with_rules(system: SystemId, mut rules: Vec<CompiledRule>) -> Self {
         let factors: Vec<Option<Vec<String>>> = rules
             .iter()
             .map(|r| r.predicate.required_literals())
             .collect();
+        let mut tiers = Vec::new();
+        for rule in &mut rules {
+            rule.tier_base = tiers.len();
+            collect_tiers(&rule.predicate, &mut tiers);
+        }
         RuleSet {
             system,
             prefilter: RulePrefilter::new(&factors),
             rules,
+            tiers,
+            dfa_max_states: crate::dfa::DEFAULT_MAX_STATES,
+            stamp: fresh_stamp(),
         }
+    }
+
+    /// Overrides the per-regex DFA state-cache bound (builder style).
+    ///
+    /// The default ([`crate::dfa::DEFAULT_MAX_STATES`]) comfortably
+    /// holds every catalog pattern; the conformance suite sets tiny
+    /// bounds to force the eviction and bailout paths. Results are
+    /// identical for any bound — only the DFA-vs-VM split moves.
+    pub fn with_dfa_cache_states(mut self, max_states: usize) -> Self {
+        self.dfa_max_states = max_states;
+        // New stamp: caches sized for the old bound must not be
+        // reused.
+        self.stamp = fresh_stamp();
+        self
     }
 
     /// The system this ruleset belongs to.
@@ -257,9 +385,10 @@ impl RuleSet {
             spans,
             candidates,
             counts,
+            dfa,
             ..
         } = scratch;
-        self.tag_line_parts(line, spans, candidates, counts)
+        self.tag_line_parts(line, spans, candidates, counts, dfa)
     }
 
     /// Tags one rendered log line by checking every rule, with no
@@ -283,10 +412,12 @@ impl RuleSet {
         spans: &mut Vec<(usize, usize)>,
         candidates: &mut Vec<u64>,
         counts: &mut TagCounts,
+        dfa: &mut DfaScratch,
     ) -> Option<CategoryId> {
         counts.lines += 1;
         counts.bytes += line.len() as u64;
         let execs_at_entry = counts.vm_execs;
+        dfa.bind(self.stamp, self.tiers.len());
         self.prefilter.candidates(line, candidates);
         let mut have_spans = false;
         for (w, &word) in candidates.iter().enumerate() {
@@ -302,7 +433,8 @@ impl RuleSet {
                     have_spans = true;
                 }
                 counts.vm_execs += 1;
-                if rule.predicate.matches_spans(line, spans) {
+                let mut slot = rule.tier_base;
+                if self.eval_pred(&rule.predicate, &mut slot, line, spans, dfa, counts) {
                     counts.matches += 1;
                     return Some(rule.category);
                 }
@@ -312,6 +444,101 @@ impl RuleSet {
             counts.gated_out += 1;
         }
         None
+    }
+
+    /// Evaluates one predicate tree against a line, dispatching each
+    /// leaf regex to its precompiled execution tier.
+    ///
+    /// `slot` tracks the leaf's index into [`RuleSet::tiers`] (and the
+    /// matching per-thread DFA cache slot) in pre-order; short-circuited
+    /// subtrees advance it without running anything, so every leaf
+    /// always sees its own slot. Semantics mirror
+    /// [`Predicate::matches_spans`] exactly — only the regex execution
+    /// strategy differs.
+    fn eval_pred(
+        &self,
+        pred: &Predicate,
+        slot: &mut usize,
+        line: &str,
+        spans: &[(usize, usize)],
+        dfa: &mut DfaScratch,
+        counts: &mut TagCounts,
+    ) -> bool {
+        match pred {
+            Predicate::Line(re) => {
+                let here = *slot;
+                *slot += 1;
+                self.eval_regex(re, here, line, dfa, counts)
+            }
+            Predicate::Field(n, re) => {
+                let here = *slot;
+                *slot += 1;
+                if *n == 0 {
+                    self.eval_regex(re, here, line, dfa, counts)
+                } else {
+                    // A missing field is a plain non-match: the regex
+                    // never runs, so nothing is counted against any
+                    // tier (matching `matches_spans`).
+                    spans
+                        .get(*n - 1)
+                        .is_some_and(|&(s, e)| self.eval_regex(re, here, &line[s..e], dfa, counts))
+                }
+            }
+            Predicate::Not(p) => !self.eval_pred(p, slot, line, spans, dfa, counts),
+            Predicate::And(a, b) => {
+                if !self.eval_pred(a, slot, line, spans, dfa, counts) {
+                    *slot += regex_count(b);
+                    return false;
+                }
+                self.eval_pred(b, slot, line, spans, dfa, counts)
+            }
+            Predicate::Or(a, b) => {
+                if self.eval_pred(a, slot, line, spans, dfa, counts) {
+                    *slot += regex_count(b);
+                    return true;
+                }
+                self.eval_pred(b, slot, line, spans, dfa, counts)
+            }
+        }
+    }
+
+    /// Runs the regex in tier slot `here` against `text` through the
+    /// cheapest sound engine: literal containment, the lazy DFA, or
+    /// the Pike VM (also the fallback when the DFA bails on non-ASCII
+    /// input or a cache overflow).
+    fn eval_regex(
+        &self,
+        re: &Regex,
+        here: usize,
+        text: &str,
+        dfa: &mut DfaScratch,
+        counts: &mut TagCounts,
+    ) -> bool {
+        match &self.tiers[here] {
+            RegexTier::Literal => re.is_match(text),
+            RegexTier::Vm => {
+                counts.vm_eligible += 1;
+                counts.dfa_bailouts += 1;
+                re.is_match(text)
+            }
+            RegexTier::Dfa(prog) => {
+                counts.vm_eligible += 1;
+                let cache = dfa.caches[here]
+                    .get_or_insert_with(|| DfaCache::with_max_states(self.dfa_max_states));
+                let verdict = cache.matches(prog, text);
+                counts.dfa_evictions += cache.take_evictions();
+                match verdict {
+                    Some(hit) => {
+                        counts.dfa_execs += 1;
+                        hit
+                    }
+                    None => {
+                        counts.dfa_bailouts += 1;
+                        re.is_match(text)
+                    }
+                }
+            }
+        }
     }
 
     /// Tags a message by rendering it in its native format first.
@@ -339,9 +566,10 @@ impl RuleSet {
             spans,
             candidates,
             counts,
+            dfa,
         } = scratch;
         render_native_into(msg, interner, line);
-        self.tag_line_parts(line, spans, candidates, counts)
+        self.tag_line_parts(line, spans, candidates, counts, dfa)
     }
 
     /// Tags every message, producing the alert sequence.

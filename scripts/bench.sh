@@ -10,6 +10,22 @@
 # their samples inside the harness, but numbers from a loaded host
 # still wander — rerun and compare before trusting a small delta.
 #
+# BENCH_tagger.json carries two non-timing record types alongside the
+# per-arm timings:
+#   {"record":"tiers"}            one per system, from a counted serial
+#                                 pass: lines, prefilter_gated,
+#                                 rule_checks, vm_eligible,
+#                                 dfa_resolved, vm_fallback,
+#                                 dfa_cache_evictions, matches — the
+#                                 three-tier engine's work breakdown
+#                                 (vm_eligible == dfa_resolved +
+#                                 vm_fallback always)
+#   {"record":"parallel_speedup"} serial/parallel median ratio for the
+#                                 prefiltered engine; emitted only when
+#                                 the host has more than one CPU, so a
+#                                 single-core ratio is never mistaken
+#                                 for a parallelism measurement
+#
 # BENCH_pipeline.json also carries one observability snapshot: a
 # {"record":"obs"} line from an instrumented (untimed) study run, with
 #   threads    worker count the run used

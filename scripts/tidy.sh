@@ -14,6 +14,9 @@
 #      through sclog-obs spans, which are zero-cost when observability
 #      is off. Test modules are exempt, as are sclog-obs itself and
 #      the bench harness, which own the clock.
+#   5. The lazy DFA's state cache stays bounded: every state-interning
+#      site in crates/rules/src/dfa.rs must sit behind the max_states
+#      guard, so per-pattern memory cannot grow with input.
 #
 # Runs standalone or as part of scripts/verify.sh --lint.
 set -eu
@@ -91,6 +94,26 @@ for srcdir in crates/core/src crates/rules/src; do
         fi
     done
 done
+
+# -- 5. DFA state cache is provably bounded ---------------------------
+# The lazy determinizer interns subset states on demand; the one thing
+# standing between that and unbounded memory on adversarial input is
+# the max_states check in make_state. Make sure the guard (and the
+# clear-on-overflow eviction next to it) are still present, and that
+# states are only ever interned through make_state.
+dfa=crates/rules/src/dfa.rs
+if [ -f "$dfa" ]; then
+    grep -q 'self\.states\.len() >= self\.max_states' "$dfa" ||
+        complain "$dfa: max_states overflow guard missing from the state-interning path"
+    grep -q 'self\.evictions += 1' "$dfa" ||
+        complain "$dfa: cache overflow no longer counts an eviction"
+    pushes=$(awk '/^ *(#\[cfg\(test\)\]|mod tests)/ { exit } /self\.states\.push/ { n += 1 } END { print n + 0 }' "$dfa")
+    if [ "$pushes" -ne 1 ]; then
+        complain "$dfa: expected exactly 1 state-interning site (found $pushes); new sites must respect max_states"
+    fi
+else
+    complain "$dfa: missing (the DFA tier is load-bearing for the tag hot path)"
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "tidy: FAILED" >&2

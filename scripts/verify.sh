@@ -55,8 +55,31 @@ lint() {
 
 bench_smoke() {
     echo "== bench smoke: tagger_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
-    SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
-        cargo bench --offline -p sclog-bench --bench tagger_bench >/dev/null
+    tagger_out=$(SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
+        cargo bench --offline -p sclog-bench --bench tagger_bench)
+    # Throughput floor: the prefiltered serial engine must stay within
+    # an order of magnitude of its captured speed (hundreds of
+    # ns/element; see BENCH_tagger.json). The generous 25000 ns/elem
+    # ceiling only trips on a catastrophic regression — e.g. the
+    # prescan or DFA tier silently disabled — not on host jitter.
+    echo "$tagger_out" | awk '
+        /"name":"tagger_[a-z]+\/serial_prefiltered"/ {
+            if (match($0, /"median_ns_per_element":[0-9.]+/)) {
+                v = substr($0, RSTART + 24, RLENGTH - 24) + 0
+                seen += 1
+                if (v > 25000) {
+                    printf "bench-smoke FAILED: %s ns/elem exceeds the 25000 floor\n", v
+                    exit 1
+                }
+            }
+        }
+        END {
+            if (seen < 2) {
+                printf "bench-smoke FAILED: expected 2 serial_prefiltered records, saw %d\n", seen
+                exit 1
+            }
+        }'
+    echo "   tagger throughput floor OK"
     echo "== bench smoke: pipeline_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
     SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
         cargo bench --offline -p sclog-bench --bench pipeline_bench >/dev/null
