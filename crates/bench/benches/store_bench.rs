@@ -1,0 +1,275 @@
+//! Wall-clock benchmark for the on-disk segment store behind sclogd:
+//! append throughput into WAL-backed partitions, zone-map pruning
+//! versus a full scan on a narrow range query, and a cold boot from
+//! sealed segments versus re-running simulation and ingest (the boot
+//! path `--data` replaces).
+//!
+//! Emits one JSON record per benchmark on stdout plus two derived
+//! records:
+//!   {"record":"prune_speedup"}  full-scan / pruned-scan median ratio
+//!                               on a one-day, one-system filter over
+//!                               a multi-day five-system store
+//!   {"record":"cold_boot"}      resimulate / cold-boot median ratio —
+//!                               how much faster a daemon boots from
+//!                               disk than from scratch
+//! Human-readable summaries go to stderr.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use sclog_bench::BenchGroup;
+use sclog_core::pipeline::ingest_batch;
+use sclog_filter::SpatioTemporalFilter;
+use sclog_obs::Recorder;
+use sclog_rules::RuleSet;
+use sclog_simgen::{generate, Scale};
+use sclog_store::{ScanFilter, SegmentStore, StoreConfig, StoreMetrics, StoredAlert};
+use sclog_types::json::JsonObject;
+use sclog_types::{
+    AlertType, CategoryId, NodeId, Severity, SyslogSeverity, SystemId, Timestamp, ALL_SYSTEMS,
+};
+
+const DAY_MICROS: i64 = 86_400_000_000;
+/// Days of synthetic history per system.
+const DAYS: i64 = 16;
+/// Synthetic records per (system, day) partition.
+const PER_DAY: usize = 300;
+
+/// Deterministic splitmix64 so the synthetic store is identical on
+/// every run and host.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % bound
+    }
+}
+
+/// A multi-day, multi-system batch of synthetic alerts plus the
+/// catalog ids they reference, generated against `store`'s catalog.
+fn synthetic_records(store: &mut SegmentStore, rng: &mut Rng) -> Vec<StoredAlert> {
+    let hosts: Vec<NodeId> = (0..64)
+        .map(|i| store.intern_host(&format!("node-{i:03}")))
+        .collect();
+    let mut categories: Vec<CategoryId> = Vec::new();
+    for system in ALL_SYSTEMS {
+        for (i, class) in [AlertType::Hardware, AlertType::Software]
+            .iter()
+            .enumerate()
+        {
+            categories.push(store.register_category(
+                &format!("{}_CAT_{i}", sclog_types::segment::system_slug(system)),
+                system,
+                *class,
+            ));
+        }
+    }
+    let cats_per_system = categories.len() / ALL_SYSTEMS.len();
+
+    let mut records = Vec::with_capacity(ALL_SYSTEMS.len() * DAYS as usize * PER_DAY);
+    for (s, _) in ALL_SYSTEMS.iter().enumerate() {
+        for day in 0..DAYS {
+            for i in 0..PER_DAY {
+                let category = categories[s * cats_per_system + rng.next(2) as usize];
+                records.push(StoredAlert {
+                    time: Timestamp::from_micros(
+                        day * DAY_MICROS + rng.next(DAY_MICROS as u64) as i64,
+                    ),
+                    host: hosts[rng.next(hosts.len() as u64) as usize],
+                    category,
+                    severity: match rng.next(3) {
+                        0 => Severity::None,
+                        1 => Severity::Syslog(SyslogSeverity::Error),
+                        _ => Severity::Syslog(SyslogSeverity::Warning),
+                    },
+                    message_index: i,
+                    filtered: rng.next(2) == 0,
+                    seq: 0,
+                });
+            }
+        }
+    }
+    records
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sclog-store-bench-{}-{name}", std::process::id()))
+}
+
+fn fresh(root: &Path) -> SegmentStore {
+    let _ = std::fs::remove_dir_all(root);
+    SegmentStore::open(
+        root,
+        StoreConfig {
+            // Payload caching off: scans measure real decode work, not
+            // a warm in-memory copy — the regime a freshly booted
+            // daemon is in.
+            cache_payloads: false,
+            ..StoreConfig::default()
+        },
+    )
+    .expect("open bench store")
+}
+
+fn main() {
+    let rec = Recorder::disabled().thread("bench");
+    let metrics = StoreMetrics::disabled();
+
+    // ---------------------------------------------------------- append
+    let mut rng = Rng(7);
+    let seed_root = bench_dir("seed");
+    let mut seed_store = fresh(&seed_root);
+    let records = synthetic_records(&mut seed_store, &mut rng);
+
+    let mut group = BenchGroup::new("store");
+    group
+        .sample_size(10)
+        .throughput_elements(records.len() as u64);
+    let append_root = bench_dir("append");
+    group.bench("append_fresh_store", || {
+        let mut store = fresh(&append_root);
+        let recs = synthetic_records(&mut store, &mut Rng(7));
+        store.append(&recs, &rec, &metrics).expect("append");
+        store.record_count()
+    });
+    let _ = std::fs::remove_dir_all(&append_root);
+
+    // ---------------------------------------------- pruned vs full scan
+    // One sealed, compacted store; the query asks for one day of one
+    // system out of DAYS days and five systems, so zone maps can skip
+    // almost every segment while the full scan decodes them all.
+    seed_store.append(&records, &rec, &metrics).expect("append");
+    seed_store.seal_all(&rec, &metrics).expect("seal");
+    seed_store.compact(&rec, &metrics).expect("compact");
+    let narrow = ScanFilter {
+        from: Some(Timestamp::from_micros(3 * DAY_MICROS)),
+        to: Some(Timestamp::from_micros(4 * DAY_MICROS - 1)),
+        system: Some(SystemId::Spirit),
+        ..ScanFilter::all()
+    };
+    let pruned_hits = seed_store
+        .scan(&narrow, true, &rec, &metrics)
+        .expect("pruned scan");
+    let full_hits = seed_store
+        .scan(&narrow, false, &rec, &metrics)
+        .expect("full scan");
+    assert_eq!(pruned_hits, full_hits, "pruning may never change answers");
+    assert!(
+        !pruned_hits.is_empty(),
+        "narrow window must match something"
+    );
+
+    let (pruned_ns, full_ns) = group.bench_pair(
+        "scan_pruned",
+        || {
+            seed_store
+                .scan(&narrow, true, &rec, &metrics)
+                .expect("scan")
+        },
+        "scan_full",
+        || {
+            seed_store
+                .scan(&narrow, false, &rec, &metrics)
+                .expect("scan")
+        },
+    );
+    let mut speedup = JsonObject::new();
+    speedup
+        .str("record", "prune_speedup")
+        .uint("store_records", seed_store.record_count())
+        .uint("store_segments", seed_store.segment_count() as u64)
+        .uint("window_hits", pruned_hits.len() as u64)
+        .uint("pruned_median_ns", pruned_ns as u64)
+        .uint("full_median_ns", full_ns as u64)
+        .num("speedup", full_ns as f64 / pruned_ns.max(1) as f64);
+    println!("{}", speedup.finish());
+    eprintln!(
+        "store/prune_speedup: {:.1}x ({} hits out of {} records)",
+        full_ns as f64 / pruned_ns.max(1) as f64,
+        pruned_hits.len(),
+        seed_store.record_count(),
+    );
+    drop(seed_store);
+    let _ = std::fs::remove_dir_all(&seed_root);
+
+    // ------------------------------------- cold boot vs re-simulation
+    // The store is loaded from a real ingest run (simulate, render,
+    // parse, tag, filter — the work a daemon without `--data` repeats
+    // at every boot), then sealed. Cold boot replays none of it: open
+    // the directory and scan.
+    let scale = Scale::new(0.002, 0.002);
+    let seed = 7;
+    let resimulate = || {
+        let log = generate(SystemId::BlueGeneL, scale, seed);
+        let text = log.render();
+        let mut registry = sclog_types::CategoryRegistry::new();
+        let rules = RuleSet::builtin(SystemId::BlueGeneL, &mut registry);
+        let filter = SpatioTemporalFilter::paper();
+        let result = ingest_batch(SystemId::BlueGeneL, &text, &rules, &filter, 1);
+        (result, registry)
+    };
+    let (result, registry) = resimulate();
+    let boot_root = bench_dir("boot");
+    let mut boot_store = fresh(&boot_root);
+    let survivors: HashSet<usize> = result.filtered.iter().map(|a| a.message_index).collect();
+    let stored: Vec<StoredAlert> = result
+        .tagged
+        .alerts
+        .iter()
+        .map(|alert| {
+            let def = registry.def(alert.category);
+            StoredAlert {
+                time: alert.time,
+                host: boot_store.intern_host(result.sources.name(alert.source)),
+                category: boot_store.register_category(&def.name, def.system, def.alert_type),
+                severity: Severity::None,
+                message_index: alert.message_index,
+                filtered: survivors.contains(&alert.message_index),
+                seq: 0,
+            }
+        })
+        .collect();
+    boot_store.append(&stored, &rec, &metrics).expect("append");
+    boot_store.seal_all(&rec, &metrics).expect("seal");
+    boot_store.compact(&rec, &metrics).expect("compact");
+    let alert_count = boot_store.record_count();
+    drop(boot_store);
+
+    group.throughput_elements(0);
+    let (cold_ns, resim_ns) = group.bench_pair(
+        "cold_boot",
+        || {
+            let store = SegmentStore::open(
+                &boot_root,
+                StoreConfig {
+                    cache_payloads: false,
+                    ..StoreConfig::default()
+                },
+            )
+            .expect("open");
+            store
+                .scan(&ScanFilter::all(), true, &rec, &metrics)
+                .expect("scan")
+                .len()
+        },
+        "resimulate",
+        || resimulate().0.tagged.alerts.len(),
+    );
+    let mut boot = JsonObject::new();
+    boot.str("record", "cold_boot")
+        .uint("alerts", alert_count)
+        .uint("cold_boot_median_ns", cold_ns as u64)
+        .uint("resimulate_median_ns", resim_ns as u64)
+        .num("speedup", resim_ns as f64 / cold_ns.max(1) as f64);
+    println!("{}", boot.finish());
+    eprintln!(
+        "store/cold_boot: {:.1}x faster than re-simulation ({} alerts)",
+        resim_ns as f64 / cold_ns.max(1) as f64,
+        alert_count,
+    );
+    let _ = std::fs::remove_dir_all(&boot_root);
+}

@@ -116,7 +116,8 @@ pub fn logical_lines(text: &str) -> impl Iterator<Item = &str> {
 ///
 /// Field numbering in the expert rules is 1-based (`$1` is the first
 /// field, `$0` the whole line); this returns the fields so that
-/// `fields[0]` is awk's `$1`.
+/// `fields[0]` is awk's `$1`. Splitting goes through [`field_spans`],
+/// so ASCII lines (virtually every log line) take the SWAR fast path.
 ///
 /// # Examples
 ///
@@ -127,7 +128,9 @@ pub fn logical_lines(text: &str) -> impl Iterator<Item = &str> {
 /// assert_eq!(f, vec!["a", "b", "c"]);
 /// ```
 pub fn fields(line: &str) -> Vec<&str> {
-    line.split_whitespace().collect()
+    let mut spans = Vec::new();
+    field_spans(line, &mut spans);
+    spans.iter().map(|&(s, e)| &line[s..e]).collect()
 }
 
 /// Computes the byte spans of a line's awk-style fields into a
@@ -137,6 +140,13 @@ pub fn fields(line: &str) -> Vec<&str> {
 /// `&line[start..end]` is the field; `out[0]` spans awk's `$1`. This
 /// is the reuse path of [`fields`]: spans carry no lifetime tied to
 /// the line, so one `Vec` can serve every line of a log.
+///
+/// ASCII lines are classified a `u64` lane at a time with
+/// [`swar::ascii_whitespace_mask`]; anything else falls back to
+/// [`field_spans_scalar`], which both implementations must agree with
+/// (and `split_whitespace`, the original definition — ASCII
+/// whitespace under `char::is_whitespace` is space plus
+/// `0x09..=0x0D`).
 ///
 /// # Examples
 ///
@@ -150,6 +160,19 @@ pub fn fields(line: &str) -> Vec<&str> {
 /// assert_eq!(got, vec!["a", "b", "c"]);
 /// ```
 pub fn field_spans(line: &str, out: &mut Vec<(usize, usize)>) {
+    if line.is_ascii() {
+        field_spans_ascii(line.as_bytes(), out);
+    } else {
+        field_spans_scalar(line, out);
+    }
+}
+
+/// The char-at-a-time reference implementation of [`field_spans`].
+///
+/// Handles the full Unicode whitespace set, so it is both the
+/// non-ASCII fallback and the oracle the property suite compares the
+/// SWAR path against.
+pub fn field_spans_scalar(line: &str, out: &mut Vec<(usize, usize)>) {
     out.clear();
     let mut start = None;
     for (i, c) in line.char_indices() {
@@ -166,6 +189,58 @@ pub fn field_spans(line: &str, out: &mut Vec<(usize, usize)>) {
     }
 }
 
+/// SWAR fast path of [`field_spans`]: every byte of `bytes` is ASCII.
+///
+/// Uniform lanes — all whitespace (the gap between fields) or all
+/// field bytes (the middle of a long message body) — advance eight
+/// bytes with no per-byte work; only lanes containing a boundary walk
+/// their mask bytes.
+fn field_spans_ascii(bytes: &[u8], out: &mut Vec<(usize, usize)>) {
+    use swar::{ascii_whitespace_mask, SWAR_LANE};
+
+    out.clear();
+    let mut start: Option<usize> = None;
+    let mut i = 0;
+    while let Some(lane) = bytes.get(i..i + SWAR_LANE) {
+        let w = u64::from_le_bytes(lane.try_into().expect("8-byte slice"));
+        let ws = ascii_whitespace_mask(w);
+        if ws == 0 {
+            // Entirely field bytes: extend (or open) the current field.
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if ws == swar::HI {
+            // Entirely whitespace: close the current field, if any.
+            if let Some(s) = start.take() {
+                out.push((s, i));
+            }
+        } else {
+            for (j, &m) in ws.to_le_bytes().iter().enumerate() {
+                if m != 0 {
+                    if let Some(s) = start.take() {
+                        out.push((s, i + j));
+                    }
+                } else if start.is_none() {
+                    start = Some(i + j);
+                }
+            }
+        }
+        i += SWAR_LANE;
+    }
+    for (j, &b) in bytes[i..].iter().enumerate() {
+        if b == 0x20 || (0x09..=0x0D).contains(&b) {
+            if let Some(s) = start.take() {
+                out.push((s, i + j));
+            }
+        } else if start.is_none() {
+            start = Some(i + j);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, bytes.len()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,12 +253,28 @@ mod tests {
     }
 
     #[test]
-    fn field_spans_agree_with_fields() {
+    fn field_spans_agree_with_split_whitespace() {
         let mut spans = Vec::new();
-        for line in ["  x   y  ", "", "   ", "a\tb c", "naïve  plan"] {
+        let mut scalar = Vec::new();
+        for line in [
+            "  x   y  ",
+            "",
+            "   ",
+            "a\tb c",
+            "naïve  plan",
+            // Vertical tab and form feed separate under
+            // char::is_whitespace (unlike u8::is_ascii_whitespace's
+            // notion for VT) — the SWAR classifier must agree.
+            "a\x0bb\x0cc\rd",
+            "one-lane-spanning-token another_long_token  \t trailing",
+        ] {
             field_spans(line, &mut spans);
+            field_spans_scalar(line, &mut scalar);
+            assert_eq!(spans, scalar, "SWAR vs scalar on {line:?}");
             let via_spans: Vec<&str> = spans.iter().map(|&(s, e)| &line[s..e]).collect();
-            assert_eq!(via_spans, fields(line), "{line:?}");
+            let oracle: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(via_spans, oracle, "{line:?}");
+            assert_eq!(fields(line), oracle, "{line:?}");
         }
     }
 

@@ -13,27 +13,40 @@
 //! 3. The first match is the lowest set high bit:
 //!    `trailing_zeros() / 8` (little-endian byte order).
 //!
-//! The scan falls back to a scalar tail for the final partial lane and
-//! counts full lanes examined so the chunker can export a
-//! `chunker.swar_blocks` observability counter.
+//! The hot loop is unrolled two lanes deep: both 16 bytes load and
+//! classify before either lane's hit test, so adjacent lanes'
+//! dependency chains overlap instead of serializing on the branch.
+//! The scan falls back to a single lane, then a scalar tail, for the
+//! final bytes, and counts lanes *loaded* (both lanes of a pair, even
+//! when the first hits) so the chunker's `chunker.swar_blocks`
+//! observability counter reflects work done, not work that was
+//! retroactively unnecessary.
+//!
+//! The same zero-byte trick classifies ASCII whitespace for the field
+//! splitter ([`ascii_whitespace_mask`]): equality against space plus
+//! a `0x09..=0x0D` range test, both branch-free.
 
 /// Bytes per SWAR lane: one `u64`.
 pub const SWAR_LANE: usize = 8;
 
 /// All-lanes broadcast of `0x01`, the subtrahend of the zero-byte trick.
 const LO: u64 = 0x0101_0101_0101_0101;
-/// All-lanes broadcast of `0x80`, the high-bit mask of the zero-byte trick.
-const HI: u64 = 0x8080_8080_8080_8080;
+/// All-lanes broadcast of `0x80`, the high-bit mask of the zero-byte
+/// trick — also the "every byte matched" value of a classifier mask.
+pub(crate) const HI: u64 = 0x8080_8080_8080_8080;
 /// `\n` broadcast to all eight lanes.
 const NL: u64 = 0x0A0A_0A0A_0A0A_0A0A;
+/// `' '` broadcast to all eight lanes.
+const SP: u64 = 0x2020_2020_2020_2020;
 
-/// Finds the first `\n` in `haystack` a `u64` at a time, adding the
-/// number of full 8-byte lanes examined to `lanes`.
+/// Finds the first `\n` in `haystack` two `u64` lanes at a time,
+/// adding the number of full 8-byte lanes loaded to `lanes`.
 ///
 /// Behaviourally identical to
 /// `haystack.iter().position(|&b| b == b'\n')` (see
 /// [`find_newline_scalar`], the reference the property suite compares
-/// against); the lane count feeds the `chunker.swar_blocks` counter.
+/// against); the lane count feeds the `chunker.swar_blocks` counter
+/// and counts both lanes of an unrolled pair once loaded.
 ///
 /// # Examples
 ///
@@ -42,13 +55,32 @@ const NL: u64 = 0x0A0A_0A0A_0A0A_0A0A;
 ///
 /// let mut lanes = 0;
 /// assert_eq!(find_newline_counted(b"0123456789\nrest.", &mut lanes), Some(10));
-/// assert_eq!(lanes, 2, "lane 0 misses, lane 1 hits");
+/// assert_eq!(lanes, 2, "one unrolled pair: both lanes load");
 /// assert_eq!(find_newline_counted(b"short", &mut lanes), None);
 /// ```
 pub fn find_newline_counted(haystack: &[u8], lanes: &mut u64) -> Option<usize> {
     let mut i = 0;
     let mut scanned = 0u64;
-    while let Some(lane) = haystack.get(i..i + SWAR_LANE) {
+    // Two lanes per iteration; both hit masks are computed before
+    // either test so the loads pipeline.
+    while let Some(pair) = haystack.get(i..i + 2 * SWAR_LANE) {
+        let w0 = u64::from_le_bytes(pair[..SWAR_LANE].try_into().expect("8-byte slice")) ^ NL;
+        let w1 = u64::from_le_bytes(pair[SWAR_LANE..].try_into().expect("8-byte slice")) ^ NL;
+        scanned += 2;
+        let hit0 = w0.wrapping_sub(LO) & !w0 & HI;
+        let hit1 = w1.wrapping_sub(LO) & !w1 & HI;
+        if hit0 != 0 {
+            *lanes += scanned;
+            return Some(i + (hit0.trailing_zeros() / 8) as usize);
+        }
+        if hit1 != 0 {
+            *lanes += scanned;
+            return Some(i + SWAR_LANE + (hit1.trailing_zeros() / 8) as usize);
+        }
+        i += 2 * SWAR_LANE;
+    }
+    // At most one full lane remains after the unrolled loop.
+    if let Some(lane) = haystack.get(i..i + SWAR_LANE) {
         let w = u64::from_le_bytes(lane.try_into().expect("8-byte slice")) ^ NL;
         scanned += 1;
         let hit = w.wrapping_sub(LO) & !w & HI;
@@ -64,6 +96,46 @@ pub fn find_newline_counted(haystack: &[u8], lanes: &mut u64) -> Option<usize> {
         .iter()
         .position(|&b| b == b'\n')
         .map(|p| i + p)
+}
+
+/// Marks the high bit of every ASCII-whitespace byte in `lane`.
+///
+/// Whitespace here is what `char::is_whitespace` says for ASCII:
+/// space (`0x20`) and the `0x09..=0x0D` control range (tab, newline,
+/// vertical tab, form feed, carriage return). **Every byte of `lane`
+/// must be `< 0x80`** — the cheap carry-based comparisons below are
+/// only order-preserving for bytes with a clear high bit, which is
+/// why [`crate::field_spans`] gates this path on `str::is_ascii`.
+///
+/// # Examples
+///
+/// ```
+/// use sclog_parse::swar::ascii_whitespace_mask;
+///
+/// let lane = u64::from_le_bytes(*b"a b\tcd\ne");
+/// let mask = ascii_whitespace_mask(lane);
+/// let bytes = mask.to_le_bytes();
+/// assert_eq!(bytes[1], 0x80, "space");
+/// assert_eq!(bytes[3], 0x80, "tab");
+/// assert_eq!(bytes[6], 0x80, "newline");
+/// assert_eq!(bytes[0] | bytes[2] | bytes[4] | bytes[5] | bytes[7], 0);
+/// ```
+pub fn ascii_whitespace_mask(lane: u64) -> u64 {
+    debug_assert_eq!(lane & HI, 0, "caller must supply ASCII bytes");
+    // b == 0x20, by the zero-byte trick on the XOR.
+    let sp = lane ^ SP;
+    let is_space = sp.wrapping_sub(LO) & !sp & HI;
+    // 0x09 <= b < 0x0E, by carry into the high bit: adding
+    // 0x80 - n sets a byte's high bit exactly when b >= n (valid
+    // because b < 0x80 keeps the sum inside the byte).
+    let ge_tab = lane.wrapping_add(broadcast(0x80 - 0x09)) & HI;
+    let lt_so = !(lane.wrapping_add(broadcast(0x80 - 0x0E))) & HI;
+    is_space | (ge_tab & lt_so)
+}
+
+/// `byte` copied into all eight lanes.
+const fn broadcast(byte: u8) -> u64 {
+    LO.wrapping_mul(byte as u64)
 }
 
 /// The byte-at-a-time reference implementation of
@@ -130,16 +202,21 @@ mod tests {
     #[test]
     fn lane_count_reflects_lanes_examined() {
         let mut lanes = 0;
-        // Hit in the first lane: one lane examined.
+        // Hit in the first lane of an unrolled pair: both lanes of
+        // the pair load together, so both count.
         assert_eq!(
             find_newline_counted(b"\nxxxxxxxxxxxxxxx", &mut lanes),
             Some(0)
         );
-        assert_eq!(lanes, 1);
+        assert_eq!(lanes, 2);
         // No newline in 16 bytes: both lanes examined.
         lanes = 0;
         assert_eq!(find_newline_counted(&[b'x'; 16], &mut lanes), None);
         assert_eq!(lanes, 2);
+        // 8..16 bytes: the single-lane step after the unrolled loop.
+        lanes = 0;
+        assert_eq!(find_newline_counted(b"xxxxxxxxx\n", &mut lanes), Some(9));
+        assert_eq!(lanes, 1);
         // Tail-only input: no lanes at all.
         lanes = 0;
         assert_eq!(find_newline_counted(b"tail\n", &mut lanes), Some(4));

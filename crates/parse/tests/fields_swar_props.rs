@@ -1,0 +1,92 @@
+//! Field-splitter properties: the SWAR ASCII fast path, the scalar
+//! reference, and `str::split_whitespace` (the original definition)
+//! must agree on *any* line — whitespace runs, lane-straddling
+//! tokens, and the Unicode inputs that force the fallback.
+
+use sclog_parse::{field_spans, field_spans_scalar, fields};
+use sclog_testkit::{check, Gen};
+
+/// A line biased toward splitter edge cases: long whitespace runs and
+/// long tokens (so uniform SWAR lanes occur), every ASCII whitespace
+/// byte including the 0x0B/0x0C oddballs, boundary bytes adjacent to
+/// the whitespace range (0x08, 0x0E), and occasional non-ASCII chars —
+/// some of them Unicode whitespace — to exercise the scalar fallback.
+fn gen_line(g: &mut Gen) -> String {
+    let pieces = g.usize_in(0..=12);
+    let mut line = String::new();
+    for _ in 0..pieces {
+        match g.below(6) {
+            0 => {
+                // A whitespace run.
+                for _ in 0..g.usize_in(1..=10) {
+                    line.push(*g.pick(&[' ', '\t', '\n', '\x0b', '\x0c', '\r']));
+                }
+            }
+            1 => {
+                // A token long enough to span whole lanes.
+                for _ in 0..g.usize_in(1..=20) {
+                    line.push((b'!' + g.below(94) as u8) as char);
+                }
+            }
+            2 => line.push(*g.pick(&['\x08', '\x0e', '\x1f', '\x7f'])),
+            3 if g.chance(0.5) => {
+                // Non-ASCII: field chars and Unicode whitespace
+                // (NBSP, ideographic space) alike.
+                line.push(*g.pick(&['é', '汉', '\u{a0}', '\u{3000}', '\u{2028}']));
+            }
+            _ => line.push((b' ' + g.below(95) as u8) as char),
+        }
+    }
+    line
+}
+
+#[test]
+fn swar_scalar_and_split_whitespace_agree() {
+    check("field_spans == scalar == split_whitespace", |g| {
+        let line = gen_line(g);
+        let mut spans = Vec::new();
+        let mut scalar = Vec::new();
+        field_spans(&line, &mut spans);
+        field_spans_scalar(&line, &mut scalar);
+        assert_eq!(spans, scalar, "SWAR vs scalar on {line:?}");
+        let via_spans: Vec<&str> = spans.iter().map(|&(s, e)| &line[s..e]).collect();
+        let oracle: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(via_spans, oracle, "spans vs split_whitespace on {line:?}");
+        assert_eq!(fields(&line), oracle, "fields on {line:?}");
+    });
+}
+
+#[test]
+fn every_alignment_of_a_single_separator() {
+    // Slide one space through a 24-byte token so the field boundary
+    // lands at every offset within the 8-byte lanes, including the
+    // scalar tail.
+    for pos in 0..24 {
+        let mut bytes = vec![b'x'; 24];
+        bytes[pos] = b' ';
+        let line = String::from_utf8(bytes).unwrap();
+        let mut spans = Vec::new();
+        field_spans(&line, &mut spans);
+        let via_spans: Vec<&str> = spans.iter().map(|&(s, e)| &line[s..e]).collect();
+        let oracle: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(via_spans, oracle, "separator at {pos}");
+    }
+}
+
+#[test]
+fn whitespace_set_matches_char_is_whitespace_for_all_ascii() {
+    // The SWAR classifier's notion of whitespace (via field_spans on
+    // a one-byte line) must match char::is_whitespace for every ASCII
+    // byte — including 0x0B, which u8::is_ascii_whitespace excludes.
+    let mut spans = Vec::new();
+    for b in 0u8..=0x7f {
+        let line = String::from_utf8(vec![b]).unwrap();
+        field_spans(&line, &mut spans);
+        let is_ws = spans.is_empty();
+        assert_eq!(
+            is_ws,
+            (b as char).is_whitespace(),
+            "byte {b:#04x} classified wrong"
+        );
+    }
+}

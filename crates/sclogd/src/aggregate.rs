@@ -5,15 +5,20 @@
 //! request on a store that only changes when something is ingested.
 //! One [`AggregateCache`] holds the rendered results keyed by the
 //! store's mutation counter: a request under the current version is a
-//! string clone; the first request after an ingest recomputes.
+//! string clone; the first request after an ingest (or the first ever
+//! against a store booted from disk) runs one full scan through the
+//! segment store and recomputes.
 //!
 //! Hotspot top-`k` is applied at serve time from the cached full
 //! ranking, so `k=5` and `k=50` share one computation.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::Mutex;
 
+use sclog_obs::ThreadRecorder;
 use sclog_stats::Summary;
+use sclog_store::ScanFilter;
 use sclog_types::json::{JsonArray, JsonObject};
 
 use crate::store::{AlertStore, StoreInner};
@@ -41,7 +46,12 @@ impl AggregateCache {
         AggregateCache::default()
     }
 
-    fn with_current<R>(&self, store: &AlertStore, f: impl FnOnce(&Cached) -> R) -> R {
+    fn with_current<R>(
+        &self,
+        store: &AlertStore,
+        rec: &ThreadRecorder,
+        f: impl FnOnce(&Cached) -> R,
+    ) -> Result<R, String> {
         let mut slot = self
             .slot
             .lock()
@@ -51,25 +61,42 @@ impl AggregateCache {
             None => true,
         };
         if stale {
-            *slot = Some(compute(&store.read()));
+            *slot = Some(compute(&store.read(), rec).map_err(|e| e.to_string())?);
         }
-        f(slot.as_ref().expect("cache populated above"))
+        Ok(f(slot.as_ref().expect("cache populated above")))
     }
 
     /// `/categories` body: per-category tagged/filtered counts.
-    pub fn categories(&self, store: &AlertStore) -> String {
-        self.with_current(store, |c| c.categories_json.clone())
+    ///
+    /// # Errors
+    ///
+    /// A store read failure while recomputing, as a 500 body.
+    pub fn categories(&self, store: &AlertStore, rec: &ThreadRecorder) -> Result<String, String> {
+        self.with_current(store, rec, |c| c.categories_json.clone())
     }
 
     /// `/interarrival` body: per-category interarrival summaries over
     /// filter survivors.
-    pub fn interarrival(&self, store: &AlertStore) -> String {
-        self.with_current(store, |c| c.interarrival_json.clone())
+    ///
+    /// # Errors
+    ///
+    /// A store read failure while recomputing, as a 500 body.
+    pub fn interarrival(&self, store: &AlertStore, rec: &ThreadRecorder) -> Result<String, String> {
+        self.with_current(store, rec, |c| c.interarrival_json.clone())
     }
 
     /// `/hotspots` body: the `k` nodes with the most filter survivors.
-    pub fn hotspots(&self, store: &AlertStore, k: usize) -> String {
-        self.with_current(store, |c| {
+    ///
+    /// # Errors
+    ///
+    /// A store read failure while recomputing, as a 500 body.
+    pub fn hotspots(
+        &self,
+        store: &AlertStore,
+        rec: &ThreadRecorder,
+        k: usize,
+    ) -> Result<String, String> {
+        self.with_current(store, rec, |c| {
             let mut rows = JsonArray::new();
             for (host, count) in c.hotspots.iter().take(k) {
                 let mut obj = JsonObject::new();
@@ -84,15 +111,17 @@ impl AggregateCache {
     }
 }
 
-fn compute(inner: &StoreInner) -> Cached {
-    // One pass: per-category counts and survivor times, per-host
-    // survivor counts. Alerts are time-sorted, so the collected times
-    // are too — interarrival gaps are direct successive differences.
+fn compute(inner: &StoreInner, rec: &ThreadRecorder) -> io::Result<Cached> {
+    // One unfiltered scan, then one pass: per-category counts and
+    // survivor times, per-host survivor counts. The scan returns
+    // alerts time-sorted, so the collected times are too —
+    // interarrival gaps are direct successive differences.
+    let alerts = inner.scan(&ScanFilter::all(), rec)?;
     let mut tagged: HashMap<u16, u64> = HashMap::new();
     let mut filtered: HashMap<u16, u64> = HashMap::new();
     let mut times: HashMap<u16, Vec<i64>> = HashMap::new();
     let mut per_host: HashMap<&str, u64> = HashMap::new();
-    for alert in &inner.alerts {
+    for alert in &alerts {
         let cat = alert.category.index() as u16;
         *tagged.entry(cat).or_default() += 1;
         if alert.filtered {
@@ -109,7 +138,7 @@ fn compute(inner: &StoreInner) -> Cached {
     let mut interarrival = JsonArray::new();
     for cat in cats {
         let id = sclog_types::CategoryId::from_index(cat);
-        let def = inner.categories.def(id);
+        let def = inner.categories().def(id);
         let mut obj = JsonObject::new();
         obj.str("category", &def.name)
             .str("system", &def.system.to_string())
@@ -144,12 +173,12 @@ fn compute(inner: &StoreInner) -> Cached {
         body.raw(key, &rows.finish());
         body.finish()
     };
-    Cached {
+    Ok(Cached {
         version: inner.version,
         categories_json: wrap(categories, "categories"),
         interarrival_json: wrap(interarrival, "interarrival"),
         hotspots,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -157,9 +186,14 @@ mod tests {
     use super::*;
     use sclog_core::pipeline::ingest_batch;
     use sclog_filter::SpatioTemporalFilter;
+    use sclog_obs::Recorder;
     use sclog_rules::RuleSet;
     use sclog_types::json::validate;
     use sclog_types::{CategoryRegistry, SystemId};
+
+    fn test_rec() -> ThreadRecorder {
+        Recorder::disabled().thread("test")
+    }
 
     fn seeded_store() -> (AlertStore, CategoryRegistry, sclog_core::IngestResult) {
         let mut registry = CategoryRegistry::new();
@@ -178,19 +212,20 @@ Mar  7 07:50:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
     #[test]
     fn aggregates_are_valid_json_and_consistent() {
         let (store, _, result) = seeded_store();
+        let rec = test_rec();
         let cache = AggregateCache::new();
-        let cats = cache.categories(&store);
+        let cats = cache.categories(&store, &rec).unwrap();
         validate(&cats).unwrap();
         assert!(cats.contains("\"tagged\":3"), "body: {cats}");
 
-        let inter = cache.interarrival(&store);
+        let inter = cache.interarrival(&store, &rec).unwrap();
         validate(&inter).unwrap();
         // Three survivors 600 s apart → two gaps of exactly 600 s.
         assert!(result.filtered.len() == 3);
         assert!(inter.contains("\"gaps\":2"), "body: {inter}");
         assert!(inter.contains("\"mean_s\":600"), "body: {inter}");
 
-        let hot = cache.hotspots(&store, 1);
+        let hot = cache.hotspots(&store, &rec, 1).unwrap();
         validate(&hot).unwrap();
         assert!(hot.contains("\"nodes\":2"), "body: {hot}");
         assert!(hot.contains("\"host\":\"sn373\""), "sn373 has 2 survivors");
@@ -200,11 +235,16 @@ Mar  7 07:50:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
     #[test]
     fn cache_invalidates_on_ingest_only() {
         let (store, registry, result) = seeded_store();
+        let rec = test_rec();
         let cache = AggregateCache::new();
-        let before = cache.categories(&store);
-        assert_eq!(before, cache.categories(&store), "stable under reads");
+        let before = cache.categories(&store, &rec).unwrap();
+        assert_eq!(
+            before,
+            cache.categories(&store, &rec).unwrap(),
+            "stable under reads"
+        );
         store.ingest(SystemId::Liberty, &result, &registry, &[]);
-        let after = cache.categories(&store);
+        let after = cache.categories(&store, &rec).unwrap();
         assert_ne!(before, after, "ingest must invalidate");
         assert!(after.contains("\"tagged\":6"), "body: {after}");
     }

@@ -1,69 +1,68 @@
 //! Query evaluation and JSON rendering for `/alerts`.
 //!
-//! The store keeps alerts time-sorted, so the time window narrows to a
-//! contiguous slice by binary search before any per-alert predicate
-//! runs; everything else (host glob, category, class, severity) is a
-//! linear scan over that slice. `total` in the response counts every
-//! match; `alerts` carries at most `limit` of them, so a client can
-//! see it was truncated.
+//! A parsed [`Query`] is translated into a [`ScanFilter`] the segment
+//! store can prune with: time bounds and the system pass through
+//! directly (they prune whole `(system, day)` partitions), names are
+//! resolved against the store catalog into id sets and bitsets (which
+//! prune sealed segments by zone map). `total` in the response counts
+//! every match; `alerts` carries at most `limit` of them, so a client
+//! can see it was truncated.
 
+use sclog_store::ScanFilter;
 use sclog_types::json::{JsonArray, JsonObject};
+use sclog_types::segment::{class_code, severity_code};
 
 use crate::query::{Field, FilteredSelect, Query, SeveritySelect};
 use crate::store::{StoreInner, StoredAlert};
 
-/// The contiguous index range of alerts inside the query's time
-/// window (the whole store when unbounded).
-pub fn window_bounds(inner: &StoreInner, query: &Query) -> (usize, usize) {
-    let lo = match query.from {
-        Some(from) => inner
-            .alerts
-            .partition_point(|a| a.time.as_micros() < from.as_micros()),
-        None => 0,
+/// Translates a query into the store's pruning filter.
+///
+/// The translation is exact, not approximate: a category or host name
+/// with no catalog entry becomes an empty id set (matches nothing),
+/// and a `host=*` pattern becomes no host constraint at all, so the
+/// scan's answer equals the old linear evaluation alert-for-alert.
+pub fn scan_filter(inner: &StoreInner, query: &Query) -> ScanFilter {
+    let mut filter = ScanFilter {
+        from: query.from,
+        to: query.to,
+        system: query.system,
+        ..ScanFilter::all()
     };
-    let hi = match query.to {
-        Some(to) => inner
-            .alerts
-            .partition_point(|a| a.time.as_micros() <= to.as_micros()),
-        None => inner.alerts.len(),
+    filter.filtered = match query.filtered {
+        FilteredSelect::Survivors => Some(true),
+        FilteredSelect::Discarded => Some(false),
+        FilteredSelect::All => None,
     };
-    (lo, hi.max(lo))
-}
-
-/// Whether one alert satisfies every non-time predicate of the query.
-pub fn alert_matches(inner: &StoreInner, alert: &StoredAlert, query: &Query) -> bool {
-    match query.filtered {
-        FilteredSelect::All => {}
-        FilteredSelect::Survivors if !alert.filtered => return false,
-        FilteredSelect::Discarded if alert.filtered => return false,
-        _ => {}
-    }
-    if let Some(system) = query.system {
-        if inner.system_of(alert) != system {
-            return false;
-        }
-    }
     if let Some(class) = query.class {
-        if inner.class_of(alert) != class {
-            return false;
-        }
-    }
-    if let Some(category) = &query.category {
-        if inner.category_name(alert) != category {
-            return false;
-        }
+        filter.classes = Some(1u8 << class_code(class));
     }
     if let SeveritySelect::Exact(want) = query.severity {
-        if alert.severity != want {
-            return false;
+        filter.severities = Some(1u16 << severity_code(want));
+    }
+    if let Some(category) = &query.category {
+        let categories = inner.categories();
+        let mut bits = vec![0u64; categories.len() / 64 + 1];
+        for (id, def) in categories.iter() {
+            if def.name == *category {
+                bits[id.index() / 64] |= 1 << (id.index() % 64);
+            }
         }
+        filter.categories = Some(bits);
     }
     if let Some(host) = &query.host {
-        if !host.matches_all() && !host.matches(inner.host_name(alert)) {
-            return false;
+        if !host.matches_all() {
+            // Interner order is id order, so the set arrives sorted,
+            // as ScanFilter's binary search requires.
+            let ids: Vec<u32> = inner
+                .hosts()
+                .iter()
+                .filter(|(_, name)| host.matches(name))
+                .map(|(id, _)| id.index() as u32)
+                .collect();
+            filter.hosts = Some(ids);
         }
     }
-    true
+    filter
 }
 
 fn render_alert(inner: &StoreInner, alert: &StoredAlert, fields: &[Field]) -> String {
@@ -83,27 +82,32 @@ fn render_alert(inner: &StoreInner, alert: &StoredAlert, fields: &[Field]) -> St
     obj.finish()
 }
 
-/// Runs the query and renders the `/alerts` response body.
-pub fn render_alerts(inner: &StoreInner, query: &Query) -> String {
-    let (lo, hi) = window_bounds(inner, query);
-    let mut total = 0u64;
+/// Runs the query through a pruned store scan and renders the
+/// `/alerts` response body.
+///
+/// # Errors
+///
+/// An I/O or corruption failure reading the store, as a message for
+/// the 500 body.
+pub fn render_alerts(
+    inner: &StoreInner,
+    query: &Query,
+    rec: &sclog_obs::ThreadRecorder,
+) -> Result<String, String> {
+    let hits = inner
+        .scan(&scan_filter(inner, query), rec)
+        .map_err(|e| e.to_string())?;
     let mut rows = JsonArray::new();
     let mut returned = 0usize;
-    for alert in &inner.alerts[lo..hi] {
-        if !alert_matches(inner, alert, query) {
-            continue;
-        }
-        total += 1;
-        if returned < query.limit {
-            rows.push_raw(&render_alert(inner, alert, &query.fields));
-            returned += 1;
-        }
+    for alert in hits.iter().take(query.limit) {
+        rows.push_raw(&render_alert(inner, alert, &query.fields));
+        returned += 1;
     }
     let mut body = JsonObject::new();
-    body.uint("total", total)
+    body.uint("total", hits.len() as u64)
         .uint("returned", returned as u64)
         .raw("alerts", &rows.finish());
-    body.finish()
+    Ok(body.finish())
 }
 
 #[cfg(test)]
@@ -112,9 +116,14 @@ mod tests {
     use crate::store::AlertStore;
     use sclog_core::pipeline::ingest_batch;
     use sclog_filter::SpatioTemporalFilter;
+    use sclog_obs::{Recorder, ThreadRecorder};
     use sclog_rules::RuleSet;
     use sclog_types::json::validate;
     use sclog_types::{CategoryRegistry, SystemId};
+
+    fn test_rec() -> ThreadRecorder {
+        Recorder::disabled().thread("test")
+    }
 
     fn store_with_liberty() -> AlertStore {
         let mut registry = CategoryRegistry::new();
@@ -131,48 +140,48 @@ Mar  7 09:00:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
         store
     }
 
-    #[test]
-    fn window_narrows_by_binary_search() {
-        let store = store_with_liberty();
+    fn run(store: &AlertStore, query: &str) -> Vec<StoredAlert> {
         let inner = store.read();
+        let q = Query::parse(query).unwrap();
+        inner.scan(&scan_filter(&inner, &q), &test_rec()).unwrap()
+    }
+
+    #[test]
+    fn time_window_narrows_the_scan() {
+        let store = store_with_liberty();
+        let all = run(&store, "");
+        assert_eq!(all.len(), 3);
         // From the last alert's own second onward: the early pair
         // (90 minutes before) must fall outside the range.
-        let last_secs = inner.alerts.last().unwrap().time.as_secs();
-        let q = Query::parse(&format!("from={last_secs}")).unwrap();
-        let (lo, hi) = window_bounds(&inner, &q);
-        assert_eq!(hi, inner.alerts.len());
-        assert!(lo > 0, "early alerts must fall outside the window");
-        // A window entirely after the log must be an empty range.
-        let q = Query::parse(&format!(
-            "from={}&to={}",
-            last_secs + 3_600,
-            last_secs + 7_200
-        ))
-        .unwrap();
-        let (lo, hi) = window_bounds(&inner, &q);
-        assert_eq!(lo, hi, "empty window must be an empty range");
+        let last_secs = all.last().unwrap().time.as_secs();
+        let tail = run(&store, &format!("from={last_secs}"));
+        assert!(!tail.is_empty() && tail.len() < all.len());
+        // A window entirely after the log must match nothing.
+        let empty = run(
+            &store,
+            &format!("from={}&to={}", last_secs + 3_600, last_secs + 7_200),
+        );
+        assert!(empty.is_empty(), "empty window must be an empty result");
     }
 
     #[test]
     fn host_and_filtered_predicates_compose() {
         let store = store_with_liberty();
-        let inner = store.read();
-        let q = Query::parse("host=sn*").unwrap();
-        let on_sn: Vec<_> = inner
-            .alerts
-            .iter()
-            .filter(|a| alert_matches(&inner, a, &q))
-            .collect();
+        let on_sn = run(&store, "host=sn*");
         assert!(!on_sn.is_empty());
-        assert!(on_sn.iter().all(|a| inner.host_name(a).starts_with("sn")));
+        {
+            let inner = store.read();
+            assert!(on_sn.iter().all(|a| inner.host_name(a).starts_with("sn")));
+        }
+        let survivors = run(&store, "host=sn*&filtered=true");
+        assert!(survivors.len() < on_sn.len(), "duplicate must be discarded");
+    }
 
-        let q = Query::parse("host=sn*&filtered=true").unwrap();
-        let survivors = inner
-            .alerts
-            .iter()
-            .filter(|a| alert_matches(&inner, a, &q))
-            .count();
-        assert!(survivors < on_sn.len(), "duplicate must be discarded");
+    #[test]
+    fn unknown_names_match_nothing() {
+        let store = store_with_liberty();
+        assert!(run(&store, "category=NO_SUCH_RULE").is_empty());
+        assert!(run(&store, "host=no-such-node").is_empty());
     }
 
     #[test]
@@ -180,7 +189,7 @@ Mar  7 09:00:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
         let store = store_with_liberty();
         let inner = store.read();
         let q = Query::parse("fields=time,host,filtered&limit=2").unwrap();
-        let body = render_alerts(&inner, &q);
+        let body = render_alerts(&inner, &q, &test_rec()).unwrap();
         validate(&body).expect("body must be valid JSON");
         assert!(body.contains("\"total\":3"));
         assert!(body.contains("\"returned\":2"));

@@ -1,24 +1,32 @@
 //! `sclogd` binary: ingest the five simulated system logs through the
-//! streaming pipeline, then serve queries over them.
+//! streaming pipeline into the on-disk segment store, then serve
+//! queries over them.
 //!
-//! Run `sclogd --help` for flags. `--smoke` runs the offline
-//! self-test used by `verify.sh --serve-smoke`: it brings a server
-//! up on an ephemeral port, exercises every endpoint including the
-//! overload path, and exits nonzero on any deviation.
+//! With `--data DIR` the store is persistent: a directory already
+//! holding records boots straight from disk — no simulation, no
+//! re-ingest. Without it, a throwaway store in a temp directory is
+//! ingested fresh and removed on exit.
+//!
+//! Run `sclogd --help` for flags. `--smoke` runs the offline serving
+//! self-test used by `verify.sh --serve-smoke`; `--store-smoke` runs
+//! the persistence self-test used by `verify.sh --store-smoke`
+//! (write → crash → recover → query, exits nonzero on any deviation).
 
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use sclog_core::{IngestConfig, ObsConfig};
 use sclog_filter::SpatioTemporalFilter;
+use sclog_obs::ThreadRecorder;
 use sclog_rules::RuleSet;
 use sclog_simgen::{generate, Scale};
-use sclog_types::{CategoryRegistry, Severity, ALL_SYSTEMS};
+use sclog_types::{CategoryRegistry, Severity, SystemId, ALL_SYSTEMS};
 use sclogd::server::{Server, ServerConfig, ServerState};
 use sclogd::store::AlertStore;
 
@@ -29,7 +37,9 @@ struct Args {
     scale: f64,
     seed: u64,
     threads: usize,
+    data: Option<PathBuf>,
     smoke: bool,
+    store_smoke: bool,
 }
 
 impl Default for Args {
@@ -41,7 +51,9 @@ impl Default for Args {
             scale: 0.02,
             seed: 42,
             threads: 2,
+            data: None,
             smoke: false,
+            store_smoke: false,
         }
     }
 }
@@ -58,7 +70,11 @@ FLAGS:
   --scale F         simgen scale factor in (0, 1] (default 0.02)
   --seed N          simgen seed (default 42)
   --threads N       ingest worker threads (default 2)
-  --smoke           run the offline self-test and exit
+  --data DIR        persistent store directory; boots from it when it
+                    already holds records (default: temp dir, removed
+                    on exit)
+  --smoke           run the offline serving self-test and exit
+  --store-smoke     run the persistence crash/recovery self-test and exit
   --help            this text
 ";
 
@@ -84,7 +100,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
             "--threads" => args.threads = num(&value("--threads")?, "--threads")?,
+            "--data" => args.data = Some(PathBuf::from(value("--data")?)),
             "--smoke" => args.smoke = true,
+            "--store-smoke" => args.store_smoke = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -103,39 +121,58 @@ fn num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
         .map_err(|_| format!("{flag} wants a number, got {raw:?}"))
 }
 
-/// Generates and ingests all five systems into a fresh store.
-fn build_store(scale: f64, seed: u64, threads: usize) -> std::io::Result<AlertStore> {
-    let store = AlertStore::new();
+/// Generates and ingests one system, joining severity ground truth in
+/// when the parse is 1:1 with the generated messages (a mismatch
+/// means indexes may not align; severity is advisory metadata, not
+/// part of the alert identity).
+fn ingest_system(
+    store: &AlertStore,
+    system: SystemId,
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    rec: &ThreadRecorder,
+) -> std::io::Result<()> {
+    let log = generate(system, Scale::new(scale, scale), seed);
+    let text = log.render();
+    let mut registry = CategoryRegistry::new();
+    let rules = RuleSet::builtin(system, &mut registry);
     let filter = SpatioTemporalFilter::paper();
+    let config = IngestConfig {
+        threads,
+        obs: ObsConfig::on(),
+        ..IngestConfig::default()
+    };
+    let result =
+        sclog_core::pipeline::ingest_stream(system, text.as_bytes(), &rules, &filter, config)?;
+    let severities: Vec<Severity> = if result.parse.parsed as usize == log.messages.len() {
+        log.messages.iter().map(|m| m.severity).collect()
+    } else {
+        Vec::new()
+    };
+    store.ingest_with(system, &result, &registry, &severities, rec)?;
+    eprintln!(
+        "ingested {system}: {} messages, {} tagged, {} filtered",
+        result.parse.parsed,
+        result.tagged.len(),
+        result.filtered.len()
+    );
+    Ok(())
+}
+
+/// Generates and ingests all five systems, then seals and compacts so
+/// the next boot reads zone-mapped segments instead of WAL tails.
+fn ingest_all(
+    store: &AlertStore,
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    rec: &ThreadRecorder,
+) -> std::io::Result<()> {
     for system in ALL_SYSTEMS {
-        let log = generate(system, Scale::new(scale, scale), seed);
-        let text = log.render();
-        let mut registry = CategoryRegistry::new();
-        let rules = RuleSet::builtin(system, &mut registry);
-        let config = IngestConfig {
-            threads,
-            obs: ObsConfig::on(),
-            ..IngestConfig::default()
-        };
-        let result =
-            sclog_core::pipeline::ingest_stream(system, text.as_bytes(), &rules, &filter, config)?;
-        // Severity is not part of the alert identity; it joins in from
-        // the generator's ground truth when the parse is 1:1 with the
-        // generated messages (a mismatch means indexes may not align).
-        let severities: Vec<Severity> = if result.parse.parsed as usize == log.messages.len() {
-            log.messages.iter().map(|m| m.severity).collect()
-        } else {
-            Vec::new()
-        };
-        store.ingest(system, &result, &registry, &severities);
-        eprintln!(
-            "ingested {system}: {} messages, {} tagged, {} filtered",
-            result.parse.parsed,
-            result.tagged.len(),
-            result.filtered.len()
-        );
+        ingest_system(store, system, scale, seed, threads, rec)?;
     }
-    Ok(store)
+    store.finalize(rec)
 }
 
 fn main() -> ExitCode {
@@ -158,15 +195,48 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.store_smoke {
+        return match store_smoke(&args) {
+            Ok(()) => {
+                println!("store-smoke: OK");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("store-smoke: FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
-    let store = match build_store(args.scale, args.seed, args.threads) {
-        Ok(store) => store,
-        Err(e) => {
+    let store = match &args.data {
+        Some(dir) => match AlertStore::open(dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("sclogd: cannot open store at {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => AlertStore::new(),
+    };
+    // State first: it registers serving and store metrics before the
+    // recorder's registry seals at the first thread() below.
+    let state = Arc::new(ServerState::new(store, sclog_obs::Recorder::new()));
+    if state.store.version() == 0 {
+        let rec = state.recorder.thread("ingest");
+        if let Err(e) = ingest_all(&state.store, args.scale, args.seed, args.threads, &rec) {
             eprintln!("sclogd: ingest failed: {e}");
             return ExitCode::FAILURE;
         }
-    };
-    let state = Arc::new(ServerState::new(store, sclog_obs::Recorder::new()));
+    } else {
+        let inner = state.store.read();
+        eprintln!(
+            "sclogd: booted from store at {}: {} alerts in {} segments, {} systems",
+            inner.segs.root().display(),
+            inner.alert_count(),
+            inner.segs.segment_count(),
+            inner.systems.len()
+        );
+    }
     let config = ServerConfig {
         addr: format!("127.0.0.1:{}", args.port),
         workers: args.workers,
@@ -249,9 +319,20 @@ fn smoke(args: &Args) -> Result<(), String> {
     // Phase 1: a normally-provisioned server over a five-system store.
     // The smoke cares about correctness, not volume — clamp the scale
     // so tier-1 verify stays fast.
-    let store = build_store(args.scale.min(0.002), args.seed, args.threads)
-        .map_err(|e| format!("ingest: {e}"))?;
-    let state = Arc::new(ServerState::new(store, sclog_obs::Recorder::new()));
+    let state = Arc::new(ServerState::new(
+        AlertStore::new(),
+        sclog_obs::Recorder::new(),
+    ));
+    let rec = state.recorder.thread("ingest");
+    ingest_all(
+        &state.store,
+        args.scale.min(0.002),
+        args.seed,
+        args.threads,
+        &rec,
+    )
+    .map_err(|e| format!("ingest: {e}"))?;
+    drop(rec);
     let server = Server::start(
         Arc::clone(&state),
         &ServerConfig {
@@ -390,5 +471,124 @@ fn smoke(args: &Args) -> Result<(), String> {
         "server must recover after overload",
     )?;
     server.shutdown();
+    Ok(())
+}
+
+// ---------------------------------------------------------- store smoke
+
+/// Finds a non-trivial partition WAL under `dir` (one holding at
+/// least one frame beyond its header).
+fn find_wal(dir: &Path) -> Option<PathBuf> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let entries = std::fs::read_dir(&current).ok()?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.file_name().is_some_and(|n| n == "wal.bin")
+                && std::fs::metadata(&path).is_ok_and(|m| m.len() > 10)
+            {
+                return Some(path);
+            }
+        }
+    }
+    None
+}
+
+/// The persistence self-test behind `verify.sh --store-smoke`: write
+/// through the WAL, crash two ways (garbage tail, torn frame),
+/// recover, seal, and serve queries from the cold-booted store.
+fn store_smoke(args: &Args) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("sclogd-store-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scale = args.scale.min(0.01);
+    let rec = sclog_obs::Recorder::disabled().thread("store-smoke");
+
+    // Phase 1: ingest one system persistently. No finalize — the
+    // records stay in partition WALs, modelling a daemon killed
+    // before it sealed anything.
+    let store = AlertStore::open(&dir).map_err(|e| format!("open: {e}"))?;
+    ingest_system(
+        &store,
+        SystemId::Liberty,
+        scale,
+        args.seed,
+        args.threads,
+        &rec,
+    )
+    .map_err(|e| format!("ingest: {e}"))?;
+    let total = store.read().alert_count();
+    expect(total > 0, "smoke ingest must admit alerts")?;
+    drop(store);
+
+    // Phase 2: a crash that left garbage after the last synced frame.
+    // Recovery must drop the garbage and keep every whole frame.
+    let wal = find_wal(&dir).ok_or("ingest left no populated wal.bin")?;
+    let clean = std::fs::read(&wal).map_err(|e| format!("read wal: {e}"))?;
+    let mut torn = clean.clone();
+    torn.extend_from_slice(b"torn tail");
+    std::fs::write(&wal, &torn).map_err(|e| format!("write wal: {e}"))?;
+    let store = AlertStore::open(&dir).map_err(|e| format!("reopen after garbage: {e}"))?;
+    expect(
+        store.read().alert_count() == total,
+        "garbage tail must be dropped without losing synced records",
+    )?;
+    expect(store.version() > 0, "recovered store must look non-empty")?;
+    drop(store);
+
+    // Phase 3: a crash mid-frame — cut into the WAL's final frame.
+    // Recovery keeps only fully-synced frames: no phantoms, and the
+    // store must stay consistent and sealable.
+    let cut = clean.len().saturating_sub(3).max(10);
+    std::fs::write(&wal, &clean[..cut]).map_err(|e| format!("truncate wal: {e}"))?;
+    let store = AlertStore::open(&dir).map_err(|e| format!("reopen after cut: {e}"))?;
+    let survivors = store.read().alert_count();
+    expect(survivors < total, "a torn frame must not replay")?;
+    store.finalize(&rec).map_err(|e| format!("finalize: {e}"))?;
+    drop(store);
+
+    // Phase 4: cold boot the sealed store and serve queries from it.
+    let store = AlertStore::open(&dir).map_err(|e| format!("cold boot: {e}"))?;
+    {
+        let inner = store.read();
+        expect(
+            inner.segs.segment_count() > 0,
+            "finalize must leave sealed segments",
+        )?;
+        expect(
+            inner.alert_count() == survivors,
+            "sealed store must serve exactly the recovered records",
+        )?;
+        expect(!inner.systems.is_empty(), "/stats rows must persist")?;
+    }
+    let state = Arc::new(ServerState::new(store, sclog_obs::Recorder::new()));
+    let server = Server::start(
+        Arc::clone(&state),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            accept_queue: 8,
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    let alerts = http_get(addr, "/alerts?limit=1")?;
+    expect(alerts.status == 200, "/alerts must be 200 after cold boot")?;
+    expect(
+        alerts.body.contains(&format!("\"total\":{survivors}")),
+        "cold boot must serve every recovered alert",
+    )?;
+    let stats = http_get(addr, "/stats")?;
+    expect(
+        stats.body.to_ascii_lowercase().contains("liberty"),
+        "/stats must carry the persisted system row",
+    )?;
+    expect(
+        http_get(addr, "/healthz")?.status == 200,
+        "healthz after cold boot",
+    )?;
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -64,8 +64,10 @@ pub struct ServerState {
 
 impl ServerState {
     /// Builds state around a populated (or empty) store. Registers
-    /// every serving metric immediately, before the registry seals.
+    /// every serving metric — and the store's own counters and
+    /// stages — immediately, before the registry seals.
     pub fn new(store: AlertStore, recorder: Recorder) -> Self {
+        store.register_metrics(&recorder);
         let metrics = Metrics {
             requests: recorder.counter("http_requests"),
             ok: recorder.counter("http_2xx"),
@@ -104,10 +106,20 @@ impl ServerState {
     }
 }
 
+/// Turns an aggregation/scan outcome into a response: the rendered
+/// body on success, a 500 when the store could not be read.
+fn json_or_500(result: Result<String, String>) -> Response {
+    match result {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::text(500, &format!("store read failed: {e}")),
+    }
+}
+
 /// Routes one parsed request to a response. Pure store-in,
 /// response-out — the unit tests and the fuzz harness call this
-/// directly, no socket required.
-pub fn handle(state: &ServerState, req: &Request) -> Response {
+/// directly, no socket required. `rec` credits store scan work
+/// (pruned/scanned/bytes) to the calling worker's recorder.
+pub fn handle(state: &ServerState, rec: &ThreadRecorder, req: &Request) -> Response {
     if req.method != "GET" {
         return Response::text(405, "only GET is supported");
     }
@@ -117,24 +129,24 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
             let mut obj = JsonObject::new();
             obj.str("status", "ok")
                 .uint("version", inner.version)
-                .uint("alerts", inner.alerts.len() as u64)
+                .uint("alerts", inner.alert_count())
                 .uint("systems", inner.systems.len() as u64);
             Response::json(200, obj.finish())
         }
         "/alerts" => match Query::parse(&req.query) {
-            Ok(q) => Response::json(200, format::render_alerts(&state.store.read(), &q)),
+            Ok(q) => json_or_500(format::render_alerts(&state.store.read(), &q, rec)),
             Err(e) => Response::text(400, &e.to_string()),
         },
         "/categories" => match Query::parse(&req.query) {
-            Ok(_) => Response::json(200, state.cache.categories(&state.store)),
+            Ok(_) => json_or_500(state.cache.categories(&state.store, rec)),
             Err(e) => Response::text(400, &e.to_string()),
         },
         "/interarrival" => match Query::parse(&req.query) {
-            Ok(_) => Response::json(200, state.cache.interarrival(&state.store)),
+            Ok(_) => json_or_500(state.cache.interarrival(&state.store, rec)),
             Err(e) => Response::text(400, &e.to_string()),
         },
         "/hotspots" => match Query::parse(&req.query) {
-            Ok(q) => Response::json(200, state.cache.hotspots(&state.store, q.k)),
+            Ok(q) => json_or_500(state.cache.hotspots(&state.store, rec, q.k)),
             Err(e) => Response::text(400, &e.to_string()),
         },
         "/stats" => Response::json(200, render_stats(state)),
@@ -167,8 +179,8 @@ fn render_stats(state: &ServerState) -> String {
         rows.push_raw(&obj.finish());
     }
     let mut body = JsonObject::new();
-    body.uint("alerts", inner.alerts.len() as u64)
-        .uint("hosts", inner.hosts.len() as u64)
+    body.uint("alerts", inner.alert_count())
+        .uint("hosts", inner.hosts().len() as u64)
         .raw("systems", &rows.finish());
     body.finish()
 }
@@ -351,7 +363,7 @@ fn serve_connection(state: &ServerState, rec: &ThreadRecorder, stream: TcpStream
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(stream);
     let response = match read_request(&mut reader) {
-        Ok(req) => handle(state, &req),
+        Ok(req) => handle(state, rec, &req),
         Err(e) => match e.response() {
             Some(resp) => resp,
             None => return, // peer vanished; nothing to write
@@ -375,6 +387,10 @@ mod tests {
         ServerState::new(AlertStore::new(), Recorder::new())
     }
 
+    fn test_rec(state: &ServerState) -> ThreadRecorder {
+        state.recorder.thread("test")
+    }
+
     fn get(path: &str, query: &str) -> Request {
         Request {
             method: "GET".to_owned(),
@@ -386,30 +402,35 @@ mod tests {
     #[test]
     fn routes_resolve_without_sockets() {
         let state = empty_state();
-        assert_eq!(handle(&state, &get("/healthz", "")).status, 200);
-        assert_eq!(handle(&state, &get("/alerts", "")).status, 200);
-        assert_eq!(handle(&state, &get("/categories", "")).status, 200);
-        assert_eq!(handle(&state, &get("/interarrival", "")).status, 200);
-        assert_eq!(handle(&state, &get("/hotspots", "k=3")).status, 200);
-        assert_eq!(handle(&state, &get("/stats", "")).status, 200);
-        assert_eq!(handle(&state, &get("/obs", "")).status, 200);
-        assert_eq!(handle(&state, &get("/obs", "source=ingest")).status, 200);
-        assert_eq!(handle(&state, &get("/nope", "")).status, 404);
-        assert_eq!(handle(&state, &get("/alerts", "limit=0")).status, 400);
-        assert_eq!(handle(&state, &get("/obs", "source=x")).status, 400);
-        assert_eq!(handle(&state, &get("/slow", "ms=abc")).status, 400);
-        assert_eq!(handle(&state, &get("/slow", "ms=999999")).status, 400);
-        assert_eq!(handle(&state, &get("/slow", "ms=0")).status, 200);
+        let rec = test_rec(&state);
+        assert_eq!(handle(&state, &rec, &get("/healthz", "")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/alerts", "")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/categories", "")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/interarrival", "")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/hotspots", "k=3")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/stats", "")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/obs", "")).status, 200);
+        assert_eq!(
+            handle(&state, &rec, &get("/obs", "source=ingest")).status,
+            200
+        );
+        assert_eq!(handle(&state, &rec, &get("/nope", "")).status, 404);
+        assert_eq!(handle(&state, &rec, &get("/alerts", "limit=0")).status, 400);
+        assert_eq!(handle(&state, &rec, &get("/obs", "source=x")).status, 400);
+        assert_eq!(handle(&state, &rec, &get("/slow", "ms=abc")).status, 400);
+        assert_eq!(handle(&state, &rec, &get("/slow", "ms=999999")).status, 400);
+        assert_eq!(handle(&state, &rec, &get("/slow", "ms=0")).status, 200);
         let mut post = get("/alerts", "");
         post.method = "POST".to_owned();
-        assert_eq!(handle(&state, &post).status, 405);
+        assert_eq!(handle(&state, &rec, &post).status, 405);
     }
 
     #[test]
     fn shutdown_endpoint_sets_the_latch() {
         let state = empty_state();
+        let rec = test_rec(&state);
         assert!(!state.shutting_down());
-        assert_eq!(handle(&state, &get("/shutdown", "")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/shutdown", "")).status, 200);
         assert!(state.shutting_down());
     }
 
@@ -417,6 +438,7 @@ mod tests {
     fn bodies_are_valid_json() {
         use sclog_types::json::validate;
         let state = empty_state();
+        let rec = test_rec(&state);
         for (path, query) in [
             ("/healthz", ""),
             ("/alerts", ""),
@@ -427,7 +449,7 @@ mod tests {
             ("/obs", ""),
             ("/obs", "source=ingest"),
         ] {
-            let resp = handle(&state, &get(path, query));
+            let resp = handle(&state, &rec, &get(path, query));
             validate(&resp.body).unwrap_or_else(|e| panic!("{path}?{query}: {e}"));
         }
     }

@@ -80,6 +80,7 @@ fn http_get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
 #[test]
 fn n_threads_match_the_serial_oracle() {
     let state = Arc::new(ServerState::new(frozen_store(), sclog_obs::Recorder::new()));
+    let oracle_rec = state.recorder.thread("oracle");
 
     // Serial oracle: route each query directly, no sockets, before
     // any concurrency exists.
@@ -89,6 +90,7 @@ fn n_threads_match_the_serial_oracle() {
             let (path, query) = target.split_once('?').unwrap_or((target, ""));
             let resp = handle(
                 &state,
+                &oracle_rec,
                 &sclogd::http::Request {
                     method: "GET".to_owned(),
                     path: path.to_owned(),

@@ -102,6 +102,7 @@ fn read_request_never_panics_and_classifies_4xx() {
 #[test]
 fn handle_never_panics_on_arbitrary_requests() {
     let state = fresh_state();
+    let rec = state.recorder.thread("fuzz");
     check_n("handle on arbitrary requests", 300, |g| {
         let req = Request {
             method: g.pick(&["GET", "POST", "PUT", "DELETE"]).to_string(),
@@ -125,7 +126,7 @@ fn handle_never_panics_on_arbitrary_requests() {
         };
         // /shutdown excluded: it flips the latch, which is harmless
         // here but makes the remaining cases less interesting.
-        let resp = handle(&state, &req);
+        let resp = handle(&state, &rec, &req);
         assert!(
             matches!(resp.status, 200 | 400 | 404 | 405),
             "{} {}?{} -> {}",

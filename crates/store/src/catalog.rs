@@ -1,0 +1,220 @@
+//! The store catalog: host and category name tables.
+//!
+//! Records at rest carry interned ids; the catalog is the one file
+//! that maps them back to names. Hosts are written in id order and
+//! re-interned in that order on open, so ids stay stable across
+//! restarts. Categories carry their system and class codes, which is
+//! what lets zone maps and filters reason about class and system
+//! without touching record payloads.
+//!
+//! Layout: `CATALOG_MAGIC` + version `u16`, then a varint host count
+//! and length-prefixed names, a varint category count and per
+//! category a length-prefixed name plus system and class code bytes,
+//! and a trailing CRC-32 over everything after the magic+version.
+//! Written via temp-file + rename, so it is atomically either the old
+//! or the new table.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use sclog_types::segment::{
+    class_code, class_from_code, system_code, system_from_code, CATALOG_MAGIC,
+    SEGMENT_FORMAT_VERSION,
+};
+use sclog_types::{CategoryRegistry, SourceInterner};
+
+use crate::crc::crc32;
+use crate::varint::{corrupt, get_u64, put_u64};
+
+/// The host and category tables for one store.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// Host name ↔ id table.
+    pub hosts: SourceInterner,
+    /// Category name/system/class table.
+    pub categories: CategoryRegistry,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> io::Result<String> {
+    let len = get_u64(buf, pos)?;
+    if len > 1 << 16 {
+        return Err(corrupt("catalog string length"));
+    }
+    let end = pos
+        .checked_add(len as usize)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| corrupt("catalog string (truncated)"))?;
+    let s = std::str::from_utf8(&buf[*pos..end]).map_err(|_| corrupt("catalog string (UTF-8)"))?;
+    *pos = end;
+    Ok(s.to_owned())
+}
+
+impl Catalog {
+    /// Serializes the catalog to bytes (full file image).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_u64(&mut body, self.hosts.len() as u64);
+        for (_, name) in self.hosts.iter() {
+            put_str(&mut body, name);
+        }
+        put_u64(&mut body, self.categories.len() as u64);
+        for (_, def) in self.categories.iter() {
+            put_str(&mut body, &def.name);
+            body.push(system_code(def.system));
+            body.push(class_code(def.alert_type));
+        }
+        let mut out = Vec::with_capacity(10 + body.len() + 4);
+        out.extend_from_slice(&CATALOG_MAGIC);
+        out.extend_from_slice(&SEGMENT_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Deserializes a catalog written by [`Catalog::encode`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, foreign version, CRC mismatch,
+    /// or malformed table.
+    pub fn decode(bytes: &[u8]) -> io::Result<Catalog> {
+        if bytes.len() < 14 || bytes[..8] != CATALOG_MAGIC {
+            return Err(corrupt("catalog magic"));
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != SEGMENT_FORMAT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "store: catalog format v{version}, this build reads v{SEGMENT_FORMAT_VERSION}"
+                ),
+            ));
+        }
+        let body = &bytes[10..bytes.len() - 4];
+        let crc_bytes: [u8; 4] = bytes[bytes.len() - 4..].try_into().expect("4 bytes");
+        if crc32(body) != u32::from_le_bytes(crc_bytes) {
+            return Err(corrupt("catalog CRC"));
+        }
+        let mut catalog = Catalog::default();
+        let mut pos = 0usize;
+        let host_count = get_u64(body, &mut pos)?;
+        if host_count > u64::from(u32::MAX) {
+            return Err(corrupt("catalog host count"));
+        }
+        for _ in 0..host_count {
+            let name = get_str(body, &mut pos)?;
+            catalog.hosts.intern(&name);
+        }
+        let category_count = get_u64(body, &mut pos)?;
+        if category_count > u64::from(u16::MAX) {
+            return Err(corrupt("catalog category count"));
+        }
+        for _ in 0..category_count {
+            let name = get_str(body, &mut pos)?;
+            let system = *body.get(pos).ok_or_else(|| corrupt("catalog system"))?;
+            pos += 1;
+            let class = *body.get(pos).ok_or_else(|| corrupt("catalog class"))?;
+            pos += 1;
+            let system = system_from_code(system).ok_or_else(|| corrupt("catalog system code"))?;
+            let class = class_from_code(class).ok_or_else(|| corrupt("catalog class code"))?;
+            catalog.categories.register(&name, system, class);
+        }
+        if pos != body.len() {
+            return Err(corrupt("catalog (trailing bytes)"));
+        }
+        Ok(catalog)
+    }
+
+    /// Writes the catalog to `path` atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing, syncing, or renaming.
+    pub fn persist(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads the catalog from `path`; a missing file is an empty
+    /// catalog (new store).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than `NotFound`, or [`Catalog::decode`]
+    /// corruption errors.
+    pub fn load(path: &Path) -> io::Result<Catalog> {
+        match std::fs::read(path) {
+            Ok(bytes) => Catalog::decode(&bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Catalog::default()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::{AlertType, SystemId};
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::default();
+        c.hosts.intern("sn373");
+        c.hosts.intern("admin1");
+        c.categories
+            .register("PBS_CHK", SystemId::Liberty, AlertType::Software);
+        c.categories
+            .register("KERNDTLB", SystemId::BlueGeneL, AlertType::Hardware);
+        c
+    }
+
+    #[test]
+    fn round_trip_keeps_ids_stable() {
+        let c = sample();
+        let got = Catalog::decode(&c.encode()).unwrap();
+        assert_eq!(got.hosts.len(), 2);
+        assert_eq!(got.hosts.get("sn373"), c.hosts.get("sn373"));
+        assert_eq!(got.hosts.get("admin1"), c.hosts.get("admin1"));
+        assert_eq!(got.categories.len(), 2);
+        let (id, def) = got.categories.iter().next().unwrap();
+        assert_eq!(def.name, "PBS_CHK");
+        assert_eq!(def.system, SystemId::Liberty);
+        assert_eq!(def.alert_type, AlertType::Software);
+        assert_eq!(got.categories.name(id), c.categories.name(id));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(Catalog::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(Catalog::decode(&flipped).is_err());
+    }
+
+    #[test]
+    fn persist_and_load() {
+        let dir = std::env::temp_dir().join(format!("sclog-store-cattest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.bin");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(Catalog::load(&path).unwrap().hosts.len(), 0);
+        let c = sample();
+        c.persist(&path).unwrap();
+        assert_eq!(Catalog::load(&path).unwrap().hosts.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! Zone-map-pruned, time-partitioned on-disk segment store.
+//!
+//! The paper works from *months* of logs per system — Table 1's five
+//! corpora span 139 days to over a year — and any serving layer over
+//! such a corpus lives or dies by how little of it a query touches.
+//! This crate is that layer for `sclogd`: an append-only store
+//! partitioned by `(system, day)`, holding alerts in a compact
+//! in-tree binary format (varint-delta timestamps, interned host and
+//! category ids, CRC-32 on every durable block), std-only per the
+//! workspace's hermetic policy.
+//!
+//! The architecture, bottom-up:
+//!
+//! * [`StoredAlert`] — the record at rest, plus its delta-varint
+//!   batch codec (shared by WAL frames and segment payloads).
+//! * [`ZoneMap`] / [`ScanFilter`] — each sealed segment carries a
+//!   small resident summary (time min/max, category bitset, host-id
+//!   set, severity/class bitsets); [`ZoneMap::may_match`] lets a scan
+//!   prove a segment empty *without opening it*. Pruning is
+//!   conservative, so a pruned scan is always result-identical to a
+//!   full one.
+//! * `Wal` / `Partition` — appends land in a per-partition
+//!   write-ahead log whose recovery truncates a torn tail at the last
+//!   valid frame; sealing moves the tail into an immutable segment
+//!   under an atomically-renamed manifest, and a compactor merges
+//!   runs of small segments.
+//! * [`SegmentStore`] — the facade: routes appends by `(system,
+//!   day)`, assigns the global admission sequence that keeps scans
+//!   deterministic, prunes whole partitions then individual segments,
+//!   and reports `store.segments_pruned` / `store.segments_scanned` /
+//!   `store.bytes_read` plus WAL/seal/compaction spans through
+//!   `sclog-obs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sclog_obs::Recorder;
+//! use sclog_store::{ScanFilter, SegmentStore, StoreConfig, StoreMetrics, StoredAlert};
+//! use sclog_types::{AlertType, Severity, SystemId, Timestamp};
+//!
+//! let root = std::env::temp_dir().join(format!("sclog-store-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&root);
+//! let mut store = SegmentStore::open(&root, StoreConfig::default()).unwrap();
+//! let host = store.intern_host("sn373");
+//! let category = store.register_category("PBS_CHK", SystemId::Liberty, AlertType::Software);
+//! let rec = Recorder::disabled().thread("doc");
+//! let metrics = StoreMetrics::disabled();
+//! store
+//!     .append(
+//!         &[StoredAlert {
+//!             time: Timestamp::from_ymd_hms(2005, 3, 7, 7, 30, 0),
+//!             host,
+//!             category,
+//!             severity: Severity::None,
+//!             message_index: 0,
+//!             filtered: true,
+//!             seq: 0, // assigned by the store
+//!         }],
+//!         &rec,
+//!         &metrics,
+//!     )
+//!     .unwrap();
+//! store.seal_all(&rec, &metrics).unwrap();
+//! let hits = store.scan(&ScanFilter::all(), true, &rec, &metrics).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! # std::fs::remove_dir_all(&root).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod crc;
+mod partition;
+mod record;
+mod segment;
+mod store;
+mod varint;
+pub mod wal;
+mod zonemap;
+
+pub use catalog::Catalog;
+pub use crc::crc32;
+pub use record::{decode_batch, encode_batch, StoredAlert};
+pub use segment::Segment;
+pub use store::{SegmentStore, StoreConfig, StoreMetrics};
+pub use zonemap::{ScanFilter, ZoneMap};

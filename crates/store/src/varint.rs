@@ -1,0 +1,108 @@
+//! LEB128 varints and zigzag signed mapping — the store's only
+//! integer wire encoding.
+
+use std::io;
+
+/// Appends `v` as an LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` zigzag-mapped (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`),
+/// so small-magnitude deltas of either sign stay one byte.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// A decode failure; surfaced as `InvalidData` so recovery paths can
+/// treat a torn tail like any other corruption.
+pub fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("store: corrupt {what}"))
+}
+
+/// Reads an LEB128 varint from `buf` at `*pos`, advancing it.
+///
+/// # Errors
+///
+/// `InvalidData` when the buffer ends mid-varint or the value needs
+/// more than 64 bits.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or_else(|| corrupt("varint (truncated)"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(corrupt("varint (overflow)"));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(corrupt("varint (too long)"));
+        }
+    }
+}
+
+/// Reads a zigzag-mapped signed varint (inverse of [`put_i64`]).
+///
+/// # Errors
+///
+/// Propagates [`get_u64`]'s corruption errors.
+pub fn get_i64(buf: &[u8], pos: &mut usize) -> io::Result<i64> {
+    let z = get_u64(buf, pos)?;
+    Ok((z >> 1) as i64 ^ -((z & 1) as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips_edge_values() {
+        for v in [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_round_trips_both_signs() {
+        for v in [0, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversized_inputs_error() {
+        let mut pos = 0;
+        assert!(get_u64(&[0x80], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(get_u64(&[0x80; 11], &mut pos).is_err());
+        // u64::MAX is ten bytes with top byte 0x01; 0x02 overflows.
+        let mut max = vec![0xFF; 9];
+        max.push(0x01);
+        let mut pos = 0;
+        assert_eq!(get_u64(&max, &mut pos).unwrap(), u64::MAX);
+        let mut over = vec![0xFF; 9];
+        over.push(0x02);
+        let mut pos = 0;
+        assert!(get_u64(&over, &mut pos).is_err());
+    }
+}

@@ -37,6 +37,7 @@ pub mod category;
 pub mod json;
 pub mod message;
 pub mod obs;
+pub mod segment;
 pub mod severity;
 pub mod source;
 pub mod system;

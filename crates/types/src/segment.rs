@@ -1,0 +1,165 @@
+//! On-disk segment-store schema: format version, magics, and the
+//! stable byte codes the binary codecs use.
+//!
+//! The persistent store (`sclog-store`) writes a compact in-tree
+//! binary format — there is deliberately no JSON reader in this
+//! workspace, so everything durable round-trips through the codes
+//! defined here. The schema version below is the **single definition
+//! site** for the whole workspace (`tidy.sh` check 6 pins it): any
+//! incompatible change to the segment, WAL, manifest, or catalog
+//! layout must bump it, and readers refuse files from another
+//! version rather than guessing.
+//!
+//! File layouts (all integers little-endian; `varint` is LEB128,
+//! `zigzag` maps signed to unsigned for delta coding):
+//!
+//! * **Segment** (`seg-<id>.seg`): `SEGMENT_MAGIC`, version `u16`,
+//!   zone-map length `u32`, zone-map bytes, zone CRC32 `u32`, record
+//!   payload, payload CRC32 `u32`. The zone map is self-contained, so
+//!   pruning reads the fixed header plus the zone block and never
+//!   touches the payload.
+//! * **WAL** (`wal.bin`): `WAL_MAGIC`, version `u16`, then frames of
+//!   `len u32`, `crc u32`, payload. Recovery truncates at the first
+//!   frame whose length or CRC does not check out.
+//! * **Manifest** (`MANIFEST.bin`): `MANIFEST_MAGIC`, version `u16`,
+//!   next segment id `u32`, sealed-through sequence `u64`, live
+//!   segment-id list, CRC32. Rewritten atomically (tmp + rename).
+//! * **Catalog** (`catalog.bin`): `CATALOG_MAGIC`, version `u16`,
+//!   interned host names and category definitions in id order, CRC32.
+
+use crate::alert::AlertType;
+use crate::severity::{Severity, ALL_BGL_SEVERITIES, ALL_SYSLOG_SEVERITIES};
+use crate::system::{SystemId, ALL_SYSTEMS};
+
+/// The one schema version every durable file in the store carries.
+///
+/// Single definition site, enforced by `scripts/tidy.sh` check 6.
+pub const SEGMENT_FORMAT_VERSION: u16 = 1;
+
+/// Leading magic of a sealed segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"SCLGSEG\0";
+/// Leading magic of a partition's write-ahead log.
+pub const WAL_MAGIC: [u8; 8] = *b"SCLGWAL\0";
+/// Leading magic of a partition manifest.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"SCLGMAN\0";
+/// Leading magic of the store catalog.
+pub const CATALOG_MAGIC: [u8; 8] = *b"SCLGCAT\0";
+
+/// Number of distinct severity byte codes (`0` = none, `1..=8`
+/// syslog, `9..=14` BG/L RAS); fits a `u16` bitset in zone maps.
+pub const SEVERITY_CODES: u8 = 15;
+
+/// Stable byte code for a system (its `ALL_SYSTEMS` position).
+pub fn system_code(system: SystemId) -> u8 {
+    ALL_SYSTEMS
+        .iter()
+        .position(|&s| s == system)
+        .expect("every system appears in ALL_SYSTEMS") as u8
+}
+
+/// Inverse of [`system_code`].
+pub fn system_from_code(code: u8) -> Option<SystemId> {
+    ALL_SYSTEMS.get(code as usize).copied()
+}
+
+/// Filesystem-safe directory slug for a system's partition tree.
+///
+/// Every slug parses back through `SystemId::from_str`, so a human
+/// can read a store directory and a reader can re-derive the system.
+pub fn system_slug(system: SystemId) -> &'static str {
+    match system {
+        SystemId::BlueGeneL => "bgl",
+        SystemId::Thunderbird => "thunderbird",
+        SystemId::RedStorm => "redstorm",
+        SystemId::Spirit => "spirit",
+        SystemId::Liberty => "liberty",
+    }
+}
+
+/// Stable byte code for a severity: `0` for [`Severity::None`],
+/// `1..=8` for the syslog scale, `9..=14` for the BG/L scale.
+pub fn severity_code(severity: Severity) -> u8 {
+    match severity {
+        Severity::None => 0,
+        Severity::Syslog(s) => 1 + s.priority(),
+        Severity::Bgl(b) => {
+            9 + ALL_BGL_SEVERITIES
+                .iter()
+                .position(|&x| x == b)
+                .expect("every BG/L severity appears in ALL_BGL_SEVERITIES") as u8
+        }
+    }
+}
+
+/// Inverse of [`severity_code`]; `None` for an out-of-range byte.
+pub fn severity_from_code(code: u8) -> Option<Severity> {
+    match code {
+        0 => Some(Severity::None),
+        1..=8 => Some(Severity::Syslog(ALL_SYSLOG_SEVERITIES[code as usize - 1])),
+        9..=14 => Some(Severity::Bgl(ALL_BGL_SEVERITIES[code as usize - 9])),
+        _ => None,
+    }
+}
+
+/// Stable byte code for an alert class (`0` hardware, `1` software,
+/// `2` indeterminate); fits a `u8` bitset in zone maps.
+pub fn class_code(class: AlertType) -> u8 {
+    match class {
+        AlertType::Hardware => 0,
+        AlertType::Software => 1,
+        AlertType::Indeterminate => 2,
+    }
+}
+
+/// Inverse of [`class_code`].
+pub fn class_from_code(code: u8) -> Option<AlertType> {
+    match code {
+        0 => Some(AlertType::Hardware),
+        1 => Some(AlertType::Software),
+        2 => Some(AlertType::Indeterminate),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::ALL_ALERT_TYPES;
+
+    #[test]
+    fn system_codes_round_trip() {
+        for system in ALL_SYSTEMS {
+            assert_eq!(system_from_code(system_code(system)), Some(system));
+            assert_eq!(
+                system_slug(system).parse::<SystemId>(),
+                Ok(system),
+                "slug must parse back"
+            );
+        }
+        assert_eq!(system_from_code(5), None);
+    }
+
+    #[test]
+    fn severity_codes_are_dense_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        let mut all = vec![Severity::None];
+        all.extend(ALL_SYSLOG_SEVERITIES.map(Severity::Syslog));
+        all.extend(ALL_BGL_SEVERITIES.map(Severity::Bgl));
+        for sev in all {
+            let code = severity_code(sev);
+            assert!(code < SEVERITY_CODES, "{sev:?} -> {code}");
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert_eq!(severity_from_code(code), Some(sev));
+        }
+        assert_eq!(seen.len(), SEVERITY_CODES as usize);
+        assert_eq!(severity_from_code(SEVERITY_CODES), None);
+    }
+
+    #[test]
+    fn class_codes_round_trip() {
+        for class in ALL_ALERT_TYPES {
+            assert_eq!(class_from_code(class_code(class)), Some(class));
+        }
+        assert_eq!(class_from_code(3), None);
+    }
+}

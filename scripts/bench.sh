@@ -39,6 +39,19 @@
 # so a timing regression in the timed arms can be read against the
 # stage waterfall captured on the same host. Timed arms always run
 # with obs off; the snapshot run is separate and never timed.
+#
+# BENCH_store.json carries two derived records alongside the per-arm
+# timings (append throughput, pruned vs full scan, cold boot):
+#   {"record":"prune_speedup"}    full-scan / pruned-scan median ratio
+#                                 for a one-day one-system window over
+#                                 a 16-day five-system store — the
+#                                 zone-map payoff (expected well above
+#                                 the 5x floor verify.sh enforces)
+#   {"record":"cold_boot"}        resimulate / cold-boot median ratio:
+#                                 opening sealed segments and scanning
+#                                 them versus re-running simulation +
+#                                 parse + tag + filter, the boot path
+#                                 sclogd --data replaces
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -71,4 +84,10 @@ echo "== pipeline_bench -> BENCH_pipeline.json (samples=$SCLOG_BENCH_SAMPLES)"
     cargo bench --offline -p sclog-bench --bench pipeline_bench
 } > BENCH_pipeline.json
 
-echo "bench: wrote BENCH_tagger.json BENCH_pipeline.json (host: $cpus cpus)"
+echo "== store_bench -> BENCH_store.json (samples=$SCLOG_BENCH_SAMPLES)"
+{
+    host_record 1
+    cargo bench --offline -p sclog-bench --bench store_bench
+} > BENCH_store.json
+
+echo "bench: wrote BENCH_tagger.json BENCH_pipeline.json BENCH_store.json (host: $cpus cpus)"

@@ -17,6 +17,11 @@
 #   5. The lazy DFA's state cache stays bounded: every state-interning
 #      site in crates/rules/src/dfa.rs must sit behind the max_states
 #      guard, so per-pattern memory cannot grow with input.
+#   6. The on-disk segment schema has exactly one version pin:
+#      SEGMENT_FORMAT_VERSION is defined once, in
+#      crates/types/src/segment.rs, and every other use imports it —
+#      a second definition is how two crates silently write
+#      incompatible files.
 #
 # Runs standalone or as part of scripts/verify.sh --lint.
 set -eu
@@ -113,6 +118,24 @@ if [ -f "$dfa" ]; then
     fi
 else
     complain "$dfa: missing (the DFA tier is load-bearing for the tag hot path)"
+fi
+
+# -- 6. one segment-format version pin --------------------------------
+# Every writer and reader of the on-disk store must share the one
+# SEGMENT_FORMAT_VERSION constant in crates/types/src/segment.rs. A
+# const defined anywhere else can drift from it and corrupt stores
+# that mix the two writers.
+seg=crates/types/src/segment.rs
+if [ -f "$seg" ]; then
+    grep -q '^pub const SEGMENT_FORMAT_VERSION' "$seg" ||
+        complain "$seg: SEGMENT_FORMAT_VERSION definition missing"
+    extra=$(grep -rn 'const SEGMENT_FORMAT_VERSION' src crates --include='*.rs' |
+        grep -v '^crates/types/src/segment\.rs:' || true)
+    if [ -n "$extra" ]; then
+        complain "duplicate SEGMENT_FORMAT_VERSION definition: $(printf '%s' "$extra" | head -1)"
+    fi
+else
+    complain "$seg: missing (the segment schema is load-bearing for the on-disk store)"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -36,6 +36,14 @@
 #                                    drive it into overload to observe
 #                                    503 + Retry-After, and shut down
 #                                    cleanly
+#   scripts/verify.sh --store-smoke  only the store smoke: sclogd
+#                                    --store-smoke drives the on-disk
+#                                    segment store end to end — ingest
+#                                    through the WAL, survive a torn
+#                                    tail and a truncated frame, seal,
+#                                    cold-boot from the segments, and
+#                                    serve the recovered alerts over a
+#                                    real socket
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -83,6 +91,31 @@ bench_smoke() {
     echo "== bench smoke: pipeline_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
     SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
         cargo bench --offline -p sclog-bench --bench pipeline_bench >/dev/null
+    echo "== bench smoke: store_bench (SCLOG_BENCH_SAMPLES=3, SCLOG_BENCH_WARMUP=1)"
+    store_out=$(SCLOG_BENCH_SAMPLES=3 SCLOG_BENCH_WARMUP=1 \
+        cargo bench --offline -p sclog-bench --bench store_bench)
+    # Zone-map floor: a one-day one-system window over the 16-day
+    # five-system store must prune to at least a 5x speedup over the
+    # full scan. Typical ratios are an order of magnitude above the
+    # floor, so a trip means pruning stopped working, not host jitter.
+    echo "$store_out" | awk '
+        /"record":"prune_speedup"/ {
+            if (match($0, /"speedup":[0-9.]+/)) {
+                v = substr($0, RSTART + 10, RLENGTH - 10) + 0
+                seen = 1
+                if (v < 5) {
+                    printf "bench-smoke FAILED: prune speedup %sx below the 5x floor\n", v
+                    exit 1
+                }
+            }
+        }
+        END {
+            if (!seen) {
+                print "bench-smoke FAILED: no prune_speedup record emitted"
+                exit 1
+            }
+        }'
+    echo "   store prune-speedup floor OK"
 }
 
 obs_smoke() {
@@ -94,6 +127,11 @@ obs_smoke() {
 serve_smoke() {
     echo "== serve smoke: sclogd --smoke (endpoints, overload 503, shutdown)"
     cargo run -q --offline --release -p sclogd -- --smoke >/dev/null
+}
+
+store_smoke() {
+    echo "== store smoke: sclogd --store-smoke (WAL crash recovery, cold boot, queries)"
+    cargo run -q --offline --release -p sclogd -- --store-smoke >/dev/null
 }
 
 if [ "${1-}" = "--bench-smoke" ]; then
@@ -111,6 +149,12 @@ fi
 if [ "${1-}" = "--serve-smoke" ]; then
     serve_smoke
     echo "verify: OK (serve smoke)"
+    exit 0
+fi
+
+if [ "${1-}" = "--store-smoke" ]; then
+    store_smoke
+    echo "verify: OK (store smoke)"
     exit 0
 fi
 
@@ -136,5 +180,7 @@ bench_smoke
 obs_smoke
 
 serve_smoke
+
+store_smoke
 
 echo "verify: OK"
