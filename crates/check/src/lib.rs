@@ -1,0 +1,306 @@
+//! Model-check harnesses over the workspace's hand-rolled sync
+//! protocols.
+//!
+//! This crate is the consumer of `sclog-sync`'s checker: the
+//! [`protocols`] module drives the *real* production protocols — the
+//! bounded channel behind the streaming pipeline, the [`TagPool`]
+//! job/result queues, the recorder's shard registration, the
+//! in-flight gauge's permit accounting, and the sclogd
+//! accept/shutdown handshake — and the `#[cfg(sclog_model)]` tests
+//! explore every schedule of each driver under a preemption bound,
+//! asserting no deadlock, no lost wakeup, no message loss or
+//! duplication, and the capacity/permit bounds on every interleaving.
+//!
+//! The mutation tests then prove the checker has teeth: each seeded
+//! bug shape (`sclog_sync::model::mutation` sites in the protocol
+//! sources, including the historical PR 6 close-while-blocked bug)
+//! must produce a counterexample.
+//!
+//! Run via `scripts/verify.sh --model-check`, which builds the
+//! workspace with `RUSTFLAGS="--cfg sclog_model"` into a separate
+//! target directory. In a normal build the same drivers compile
+//! against plain `std::sync` and run natively once — keeping the
+//! harness code itself inside the tier-1 test net.
+//!
+//! [`TagPool`]: sclog_rules::TagPool
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocols;
+
+#[cfg(test)]
+mod fixtures {
+    use sclog_rules::RuleSet;
+    use sclog_types::{CategoryRegistry, SystemId};
+
+    /// A real builtin ruleset for pool harnesses. Built once per call
+    /// (outside any checked closure — the ruleset is immutable shared
+    /// data, not a sync object, so reuse across schedules is fine).
+    pub fn rules() -> RuleSet {
+        let mut registry = CategoryRegistry::new();
+        RuleSet::builtin(SystemId::Liberty, &mut registry)
+    }
+}
+
+/// Native (normal-build) smoke tests: every driver must also be a
+/// correct concurrent program on real threads. This is what keeps the
+/// harnesses honest in tier-1 builds, where the facade is plain
+/// `std::sync`.
+#[cfg(all(test, not(sclog_model)))]
+mod native_tests {
+    use super::{fixtures, protocols};
+
+    #[test]
+    fn channel_no_loss_runs_natively() {
+        protocols::channel_no_loss(2, 2, 2);
+    }
+
+    #[test]
+    fn channel_close_while_blocked_runs_natively() {
+        protocols::channel_close_while_blocked();
+    }
+
+    #[test]
+    fn channel_ping_pong_runs_natively() {
+        protocols::channel_ping_pong(3);
+    }
+
+    #[test]
+    fn gauge_permit_protocol_runs_natively() {
+        protocols::gauge_permit_protocol(2, 4);
+    }
+
+    #[test]
+    fn tagpool_close_drain_runs_natively() {
+        let rules = fixtures::rules();
+        protocols::tagpool_close_drain(&rules, 2, 2, 3);
+    }
+
+    #[test]
+    fn recorder_shard_registration_runs_natively() {
+        protocols::recorder_shard_registration();
+    }
+
+    #[test]
+    fn server_shutdown_handshake_runs_natively() {
+        protocols::server_shutdown_handshake();
+    }
+}
+
+/// The model-checked harnesses (`--cfg sclog_model` builds only; see
+/// `scripts/verify.sh --model-check`).
+#[cfg(all(test, sclog_model))]
+mod model_tests {
+    use super::{fixtures, protocols};
+    use sclog_sync::model::{FailureKind, Model, Report};
+    use sclog_sync::{thread, RwLock};
+
+    /// Print the exploration summary (the `--model-check` contract:
+    /// schedule counts go to stdout) and assert the run passed.
+    fn pass(r: Report) {
+        println!("{}", r.summary());
+        r.require_pass();
+    }
+
+    // ------------------------------------------------- pass harnesses
+
+    /// The acceptance harness: 2 producers × 1 consumer × capacity 2,
+    /// exhaustively explored under preemption bound 2.
+    #[test]
+    fn channel_2p1c_cap2() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("channel_2p1c_cap2", || protocols::channel_no_loss(2, 2, 2));
+        pass(r);
+    }
+
+    /// Named regression for the PR 6 close-while-blocked wakeup fix:
+    /// dropping the receiver must wake every sender parked on the
+    /// full ring on every schedule.
+    #[test]
+    fn pr6_close_while_blocked() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("pr6_close_while_blocked", || {
+                protocols::channel_close_while_blocked()
+            });
+        pass(r);
+    }
+
+    #[test]
+    fn channel_ping_pong() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("channel_ping_pong", || protocols::channel_ping_pong(2));
+        pass(r);
+    }
+
+    /// Satellite: the `InFlightGauge` permit invariants, promoted from
+    /// `debug_assert!`s to checks on every explored schedule (both the
+    /// `model_assert!` inside `PeakGauge` and a registered invariant
+    /// evaluated at every scheduling point).
+    #[test]
+    fn gauge_permit_protocol() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("gauge_permit_protocol", || {
+                protocols::gauge_permit_protocol(2, 3)
+            });
+        pass(r);
+    }
+
+    #[test]
+    fn tagpool_close_drain() {
+        let rules = fixtures::rules();
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("tagpool_close_drain", || {
+                protocols::tagpool_close_drain(&rules, 1, 1, 2)
+            });
+        pass(r);
+    }
+
+    #[test]
+    fn recorder_registry_seal() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("recorder_registry_seal", || {
+                protocols::recorder_shard_registration()
+            });
+        pass(r);
+    }
+
+    #[test]
+    fn server_shutdown_handshake() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("server_shutdown_handshake", || {
+                protocols::server_shutdown_handshake()
+            });
+        pass(r);
+    }
+
+    /// Facade `RwLock`: a writer updating a two-field value under the
+    /// write lock is never observed half-done by concurrent readers.
+    #[test]
+    fn rwlock_no_torn_reads() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .check("rwlock_no_torn_reads", || {
+                let pair = RwLock::new((0u64, 0u64));
+                thread::scope(|s| {
+                    let pair = &pair;
+                    for _ in 0..2 {
+                        thread::spawn_in(s, move || {
+                            let g = pair.read().unwrap();
+                            assert_eq!(g.0, g.1, "torn read");
+                        });
+                    }
+                    let mut g = pair.write().unwrap();
+                    g.0 += 1;
+                    g.1 += 1;
+                });
+            });
+        pass(r);
+    }
+
+    // ------------------------------------------- mutation detection
+
+    fn detect(mutant: &str, expect: FailureKind, f: impl Fn() + Sync) {
+        let r = Model::new()
+            .preemption_bound(2)
+            .with_mutation(mutant)
+            .check(&format!("mutant:{mutant}"), f);
+        println!("{}", r.summary());
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, expect, "mutant {mutant}: {fail}");
+    }
+
+    /// The PR 6 bug itself: `Receiver::drop` forgets to wake blocked
+    /// senders. The close-while-blocked harness must deadlock.
+    #[test]
+    fn mutant_recv_drop_no_notify_is_detected() {
+        detect("recv_drop_no_notify", FailureKind::Deadlock, || {
+            protocols::channel_close_while_blocked()
+        });
+    }
+
+    /// The last sender leaving without waking the receiver strands a
+    /// consumer parked on the empty ring.
+    #[test]
+    fn mutant_send_drop_no_notify_is_detected() {
+        detect("send_drop_no_notify", FailureKind::Deadlock, || {
+            protocols::channel_no_loss(2, 1, 2)
+        });
+    }
+
+    /// A send that skips its data-ready notify loses the wakeup the
+    /// ping-pong responder depends on.
+    #[test]
+    fn mutant_send_skip_notify_ready_is_detected() {
+        detect("send_skip_notify_ready", FailureKind::Deadlock, || {
+            protocols::channel_ping_pong(1)
+        });
+    }
+
+    /// `if` instead of `while` around the receive wait: an injected
+    /// spurious wakeup makes the receiver pop an empty ring.
+    #[test]
+    fn mutant_recv_if_wait_is_detected() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .spurious_budget(1)
+            .with_mutation("recv_if_wait")
+            .check("mutant:recv_if_wait", || {
+                protocols::channel_no_loss(2, 1, 2)
+            });
+        println!("{}", r.summary());
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, FailureKind::Panic, "{fail}");
+        assert!(fail.message.contains("woke to an empty ring"), "{fail}");
+    }
+
+    /// `PoolClient::close` without the wakeups: idle workers sleep
+    /// through the close and the scope join never completes.
+    #[test]
+    fn mutant_pool_close_no_notify_is_detected() {
+        let rules = fixtures::rules();
+        detect("pool_close_no_notify", FailureKind::Deadlock, move || {
+            protocols::tagpool_close_drain(&rules, 1, 1, 1)
+        });
+    }
+
+    // ------------------------------------------------ PCT sampling
+
+    /// PCT sampling over the acceptance protocol: randomized
+    /// priority schedules, all green.
+    #[test]
+    fn pct_channel_no_loss_passes() {
+        let r = Model::new().pct("pct_channel", 0x5c10_9001, 64, 3, || {
+            protocols::channel_no_loss(2, 2, 2)
+        });
+        pass(r);
+    }
+
+    /// PCT finds a seeded lost-wakeup bug and reports a replay seed —
+    /// deterministic for a fixed master seed.
+    #[test]
+    fn pct_detects_skip_notify_and_reports_seed() {
+        let r = Model::new().with_mutation("send_skip_notify_ready").pct(
+            "pct_skip_notify",
+            0x5c10_9002,
+            64,
+            3,
+            || protocols::channel_ping_pong(1),
+        );
+        println!("{}", r.summary());
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, FailureKind::Deadlock, "{fail}");
+        assert!(
+            fail.message.contains("seed 0x"),
+            "PCT failure must print a replay seed: {}",
+            fail.message
+        );
+    }
+}

@@ -12,9 +12,18 @@
 //! channel whose receiver is gone returns the value back as an error;
 //! receiving from a channel whose senders are all gone drains the
 //! remaining queue and then reports disconnection.
+//!
+//! All primitives come from the `sclog-sync` facade (tidy check 7):
+//! in normal builds they are `std::sync` re-exports; under
+//! `--cfg sclog_model` the `sclog-check` harnesses exhaustively
+//! model-check this protocol — no deadlock, no lost wakeup, no
+//! message loss or duplication, capacity bound on every schedule —
+//! and the seeded `sclog_sync::model::mutation` bugs below prove the
+//! checker detects the historical bug shapes (see DESIGN.md §14).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+
+use sclog_sync::{model_assert, Arc, Condvar, Mutex};
 
 /// Error returned by [`Sender::send`] when the receiver has been
 /// dropped; the unsent value is handed back.
@@ -105,11 +114,18 @@ impl<T> Sender<T> {
             }
             if state.queue.len() < self.shared.capacity {
                 state.queue.push_back(value);
-                debug_assert!(
+                model_assert!(
                     state.queue.len() <= self.shared.capacity,
                     "ring buffer exceeded its configured capacity"
                 );
                 drop(state);
+                #[cfg(sclog_model)]
+                if sclog_sync::model::mutation("send_skip_notify_ready") {
+                    // Seeded bug: deliver without signalling — a
+                    // receiver already parked on `not_empty` never
+                    // learns the queue became nonempty.
+                    return Ok(());
+                }
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
@@ -156,13 +172,19 @@ impl<T> Clone for Sender<T> {
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let mut state = self.shared.state.lock().expect("channel poisoned");
-        debug_assert!(
+        model_assert!(
             state.senders >= 1,
             "sender count underflow: more drops than clones"
         );
         state.senders -= 1;
         if state.senders == 0 {
             drop(state);
+            #[cfg(sclog_model)]
+            if sclog_sync::model::mutation("send_drop_no_notify") {
+                // Seeded bug: the last producer leaves silently and a
+                // receiver parked on `not_empty` hangs forever.
+                return;
+            }
             // Wake a receiver blocked on an empty queue so it can
             // observe disconnection.
             self.shared.not_empty.notify_all();
@@ -177,6 +199,22 @@ impl<T> Receiver<T> {
     /// drained — the clean end-of-stream signal stage loops match on.
     pub fn recv(&self) -> Option<T> {
         let mut state = self.shared.state.lock().expect("channel poisoned");
+        #[cfg(sclog_model)]
+        if sclog_sync::model::mutation("recv_if_wait") {
+            // Seeded bug: `if` instead of `while` around the wait —
+            // a spurious wakeup falls through to a pop on a ring
+            // that may still be empty.
+            if state.queue.is_empty() && state.senders > 0 {
+                state = self.shared.not_empty.wait(state).expect("channel poisoned");
+            }
+            if state.queue.is_empty() && state.senders == 0 {
+                return None;
+            }
+            let value = state.queue.pop_front().expect("woke to an empty ring");
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Some(value);
+        }
         loop {
             if let Some(value) = state.queue.pop_front() {
                 drop(state);
@@ -204,6 +242,13 @@ impl<T> Drop for Receiver<T> {
         // disconnect (their queued values are dropped with the state).
         state.queue.clear();
         drop(state);
+        #[cfg(sclog_model)]
+        if sclog_sync::model::mutation("recv_drop_no_notify") {
+            // Seeded bug: the exact PR 6 close-while-blocked shape —
+            // the receiver departs without waking senders parked on
+            // `not_full`, stranding them forever.
+            return;
+        }
         self.shared.not_full.notify_all();
     }
 }

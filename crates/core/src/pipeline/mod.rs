@@ -256,8 +256,8 @@ pub fn tag_filter_stream_with(
             let gauge = &gauge;
             let tr_cons = recorder.thread("consumer");
             let tr_prod = recorder.thread("producer");
-            std::thread::scope(|s| {
-                let consumer = s.spawn(move || {
+            sclog_sync::thread::scope(|s| {
+                let consumer = sclog_sync::thread::spawn_in(s, move || {
                     let tr = tr_cons;
                     let mut reasm = Reassembler::new();
                     let mut alerts = Vec::new();
@@ -404,16 +404,24 @@ impl SerialMetrics {
 ///
 /// A thin bundle of two shared [`PeakGauge`]s: the batch gauge carries
 /// the permit-channel capacity as its hard bound (never exceeded — the
-/// debug assertion inside the gauge enforces the permit accounting),
-/// the message gauge is unbounded. Works with no recorder at all;
+/// `model_assert!` inside the gauge enforces the permit accounting on
+/// every model-checked schedule, see `sclog-check`), the message gauge
+/// is unbounded. Works with no recorder at all;
 /// [`InFlightGauge::adopt_into`] surfaces both in a run report.
-struct InFlightGauge {
+///
+/// Clones share the underlying gauges (they are `Arc`-backed), so a
+/// clone can be captured by a model-check invariant while the
+/// original drives the protocol.
+#[derive(Clone)]
+pub struct InFlightGauge {
     batches: PeakGauge,
     messages: PeakGauge,
 }
 
 impl InFlightGauge {
-    fn new(bound_batches: usize) -> Self {
+    /// Creates the gauge pair; `bound_batches` is the hard bound the
+    /// permit protocol promises never to exceed.
+    pub fn new(bound_batches: usize) -> Self {
         InFlightGauge {
             batches: PeakGauge::new(Some(bound_batches as u64)),
             messages: PeakGauge::new(None),
@@ -421,29 +429,37 @@ impl InFlightGauge {
     }
 
     /// Registers both gauges with the recorder for the run report.
-    fn adopt_into(&self, rec: &Recorder) {
+    pub fn adopt_into(&self, rec: &Recorder) {
         rec.adopt_gauge("pipeline.in_flight_batches", &self.batches);
         rec.adopt_gauge("pipeline.in_flight_messages", &self.messages);
     }
 
     /// Records a batch of `len` messages entering the pipeline.
-    fn acquire(&self, len: usize) {
+    pub fn acquire(&self, len: usize) {
         self.batches.add(1);
         self.messages.add(len as u64);
     }
 
     /// Records a batch of `len` messages leaving (processed in order).
-    fn release(&self, len: usize) {
+    pub fn release(&self, len: usize) {
         self.batches.sub(1);
         self.messages.sub(len as u64);
     }
 
-    fn peak_batches(&self) -> usize {
+    /// High-water mark of batches simultaneously in flight.
+    pub fn peak_batches(&self) -> usize {
         self.batches.peak() as usize
     }
 
-    fn peak_messages(&self) -> usize {
+    /// High-water mark of messages simultaneously in flight.
+    pub fn peak_messages(&self) -> usize {
         self.messages.peak() as usize
+    }
+
+    /// Batches in flight right now (exposed for model-check
+    /// invariants; see `sclog-check`).
+    pub fn current_batches(&self) -> usize {
+        self.batches.current() as usize
     }
 }
 

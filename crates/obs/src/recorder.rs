@@ -15,12 +15,12 @@
 //! shard arrays never need to grow while shared — registering a new
 //! metric after sealing is a programmer error and panics.
 
+use sclog_sync::{model_assert, Arc, Mutex};
 use sclog_types::obs::{
     BucketObs, CounterObs, GaugeObs, HistogramObs, ObsReport, StageObs, WorkerObs,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Sentinel slot offset meaning "recorder disabled": every operation
@@ -114,6 +114,12 @@ struct Registry {
 #[derive(Debug)]
 struct Shard {
     label: String,
+    /// Deliberately raw `std` atomics, not the `sclog-sync` facade:
+    /// each slot is single-writer data on the per-line hot path, not a
+    /// synchronization protocol — model-checking every `tr.add` would
+    /// explode the schedule space without testing anything. The
+    /// control-plane locks above and the [`PeakGauge`] (genuinely
+    /// multi-writer) are what ride the facade.
     slots: Box<[AtomicU64]>,
 }
 
@@ -572,7 +578,9 @@ impl Snapshot {
 }
 
 /// A shared up/down gauge with a high-water mark and an optional hard
-/// bound, checked in debug builds.
+/// bound, checked in debug builds and on every model-checked schedule
+/// (the bound/underflow checks are [`model_assert!`]s, hard assertions
+/// under `--cfg sclog_model`).
 ///
 /// Unlike counters and histograms this is *not* sharded: several
 /// threads add and subtract the same logical quantity (work in
@@ -600,8 +608,8 @@ pub struct PeakGauge(Arc<GaugeInner>);
 
 #[derive(Debug)]
 struct GaugeInner {
-    current: AtomicU64,
-    peak: AtomicU64,
+    current: sclog_sync::atomic::AtomicU64,
+    peak: sclog_sync::atomic::AtomicU64,
     bound: Option<u64>,
 }
 
@@ -610,8 +618,8 @@ impl PeakGauge {
     /// must never exceed (checked in debug builds on every `add`).
     pub fn new(bound: Option<u64>) -> Self {
         PeakGauge(Arc::new(GaugeInner {
-            current: AtomicU64::new(0),
-            peak: AtomicU64::new(0),
+            current: sclog_sync::atomic::AtomicU64::new(0),
+            peak: sclog_sync::atomic::AtomicU64::new(0),
             bound,
         }))
     }
@@ -620,7 +628,7 @@ impl PeakGauge {
     pub fn add(&self, n: u64) {
         let v = self.0.current.fetch_add(n, Ordering::SeqCst) + n;
         if let Some(bound) = self.0.bound {
-            debug_assert!(
+            model_assert!(
                 v <= bound,
                 "gauge accounting broken: {v} in flight exceeds the configured \
                  bound of {bound}"
@@ -632,7 +640,7 @@ impl PeakGauge {
     /// Lowers the gauge by `n`.
     pub fn sub(&self, n: u64) {
         let prev = self.0.current.fetch_sub(n, Ordering::SeqCst);
-        debug_assert!(
+        model_assert!(
             prev >= n,
             "gauge underflow: releasing {n} with only {prev} in flight"
         );

@@ -27,9 +27,9 @@
 
 use crate::tagger::{RuleSet, TagScratch};
 use sclog_obs::{Counter, Recorder, Stage, ThreadRecorder};
+use sclog_sync::{thread, Condvar, Mutex};
 use sclog_types::{Alert, FailureId, Message, NodeId, SourceInterner, Timestamp};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// One parsed line within a [`LineBatch`]: where its raw text lives in
 /// the batch's text block, plus the header fields an [`Alert`] needs.
@@ -116,10 +116,10 @@ impl<'env> PoolShared<'env> {
     /// pool's real death signal. Treating poison as fatal here would
     /// turn every cleanup path (including `CloseGuard::drop`, where a
     /// second panic aborts the process) into a crash.
-    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState<'env>> {
+    fn lock(&self) -> sclog_sync::MutexGuard<'_, PoolState<'env>> {
         self.state
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(sclog_sync::PoisonError::into_inner)
     }
 }
 
@@ -200,11 +200,11 @@ impl TagPool {
             job_space: Condvar::new(),
             result_ready: Condvar::new(),
         };
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|i| {
                     let shared = &shared;
-                    scope.spawn(move || {
+                    thread::spawn_in(scope, move || {
                         worker(shared, rules, recorder.thread(&worker_label(i)), metrics)
                     })
                 })
@@ -271,7 +271,7 @@ impl<'env> PoolClient<'_, 'env> {
                 .shared
                 .job_space
                 .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                .unwrap_or_else(sclog_sync::PoisonError::into_inner);
         }
         assert!(!state.aborted, "tag pool aborted: a worker died");
         assert!(!state.closed, "submit after close");
@@ -309,7 +309,7 @@ impl<'env> PoolClient<'_, 'env> {
                 .shared
                 .result_ready
                 .wait(state)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                .unwrap_or_else(sclog_sync::PoisonError::into_inner);
         }
     }
 
@@ -332,6 +332,13 @@ impl<'env> PoolClient<'_, 'env> {
         let mut state = self.shared.lock();
         state.closed = true;
         drop(state);
+        #[cfg(sclog_model)]
+        if sclog_sync::model::mutation("pool_close_no_notify") {
+            // Seeded bug: close without waking anyone — idle workers
+            // stay parked on `job_ready` and a draining consumer on
+            // `result_ready`, deadlocking the scope's join.
+            return;
+        }
         self.shared.job_ready.notify_all();
         self.shared.result_ready.notify_all();
     }
@@ -452,7 +459,7 @@ fn worker(shared: &PoolShared<'_>, rules: &RuleSet, tr: ThreadRecorder, metrics:
                 state = shared
                     .job_ready
                     .wait(state)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    .unwrap_or_else(sclog_sync::PoisonError::into_inner);
             };
             drop(state);
             shared.job_space.notify_one();

@@ -12,10 +12,11 @@
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
+
+use sclog_sync::atomic::{AtomicBool, Ordering};
+use sclog_sync::thread::JoinHandle;
+use sclog_sync::{Arc, Mutex};
 
 use sclog_core::pipeline::channel::{bounded, TrySendError};
 use sclog_obs::{Counter, Recorder, Stage, ThreadRecorder};
@@ -97,7 +98,7 @@ impl ServerState {
         let addr = *self
             .addr
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+            .unwrap_or_else(sclog_sync::PoisonError::into_inner);
         if let Some(addr) = addr {
             // Self-connect so the accept thread returns from accept()
             // and observes the flag; errors mean it is already gone.
@@ -265,7 +266,7 @@ impl Server {
         *state
             .addr
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(addr);
+            .unwrap_or_else(sclog_sync::PoisonError::into_inner) = Some(addr);
 
         let (conn_tx, conn_rx) = bounded::<TcpStream>(config.accept_queue);
         let conn_rx = Arc::new(conn_rx);
@@ -275,7 +276,7 @@ impl Server {
             let state = Arc::clone(&state);
             let rx = Arc::clone(&conn_rx);
             let label = format!("http/{i}");
-            threads.push(std::thread::spawn(move || {
+            threads.push(sclog_sync::thread::spawn(move || {
                 let thread_rec = state.recorder.thread(&label);
                 while let Some(stream) = rx.recv() {
                     serve_connection(&state, &thread_rec, stream);
@@ -285,7 +286,7 @@ impl Server {
 
         {
             let state = Arc::clone(&state);
-            threads.push(std::thread::spawn(move || {
+            threads.push(sclog_sync::thread::spawn(move || {
                 let thread_rec = state.recorder.thread("accept");
                 accept_loop(&state, &thread_rec, &listener, conn_tx);
             }));

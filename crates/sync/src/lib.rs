@@ -1,0 +1,122 @@
+//! Synchronization facade for the sclog workspace.
+//!
+//! Every hand-rolled sync protocol in the tree (the bounded MPSC
+//! channel, `TagPool`'s job/result queues, the `InFlightGauge` permit
+//! accounting, the obs recorder's registry sealing, `sclogd`'s
+//! accept/worker handoff) imports its primitives from this crate
+//! instead of `std::sync` (`scripts/tidy.sh` check 7 enforces it).
+//!
+//! In a normal build the facade is a literal re-export of `std::sync`
+//! and `std::thread` — zero cost, zero behavior change. Under
+//! `--cfg sclog_model` (set by `scripts/verify.sh --model-check`) the
+//! same names resolve to the deterministic model runtime in
+//! [`model`]: every acquire/wait/notify/atomic op becomes a scheduling
+//! point of a controlled scheduler that runs exactly one thread at a
+//! time and explores interleavings exhaustively under a preemption
+//! bound (DESIGN.md §14). `crates/check` hosts the harnesses.
+//!
+//! The only API difference from `std::sync` is scoped spawning: call
+//! sites use [`thread::spawn_in`]`(scope, f)` instead of
+//! `scope.spawn(f)` so the model runtime can intercept thread
+//! creation without wrapping `std::thread::Scope` (which is invariant
+//! over its lifetime and cannot be re-borrowed shorter).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+
+// Containers and error plumbing are mode-independent: the model
+// runtime models scheduling, not memory, so `Arc` stays `Arc` and the
+// poison types keep call sites (`unwrap_or_else(PoisonError::
+// into_inner)`) compiling unchanged in both modes.
+pub use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+#[cfg(not(sclog_model))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(sclog_model)]
+pub use model::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomics facade. `Ordering` is always the std enum; under model
+/// mode the orderings are recorded for traces but every access is
+/// sequentially consistent (the scheduler serializes all of them).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(sclog_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    #[cfg(sclog_model)]
+    pub use crate::model::sync::{AtomicBool, AtomicU64, AtomicUsize};
+}
+
+/// Threading facade. Normal builds pass straight through to
+/// `std::thread`; model builds register every spawned thread with the
+/// scheduler so it becomes part of the explored interleaving.
+pub mod thread {
+    pub use std::thread::Scope;
+
+    #[cfg(not(sclog_model))]
+    pub use std::thread::{scope, JoinHandle, ScopedJoinHandle};
+
+    #[cfg(sclog_model)]
+    pub use crate::model::thread::{scope, JoinHandle, ScopedJoinHandle};
+
+    /// Spawn a scoped thread. Equivalent to `scope.spawn(f)`; exists
+    /// as a free function so the model build can intercept the spawn
+    /// (see the crate docs).
+    #[cfg(not(sclog_model))]
+    #[inline]
+    pub fn spawn_in<'scope, 'env, F, T>(
+        scope: &'scope Scope<'scope, 'env>,
+        f: F,
+    ) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        scope.spawn(f)
+    }
+
+    #[cfg(sclog_model)]
+    pub use crate::model::thread::spawn_in;
+
+    /// Spawn a free (non-scoped) thread.
+    #[cfg(not(sclog_model))]
+    #[inline]
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(f)
+    }
+
+    #[cfg(sclog_model)]
+    pub use crate::model::thread::spawn;
+}
+
+/// Assert a protocol invariant.
+///
+/// Expands to `debug_assert!` in normal builds (free in release, same
+/// as the pre-facade code) but to a hard `assert!` under model mode,
+/// so the checker verifies the invariant on **every** explored
+/// schedule rather than only the schedules a live run happens to hit.
+#[cfg(not(sclog_model))]
+#[macro_export]
+macro_rules! model_assert {
+    ($($arg:tt)*) => {
+        debug_assert!($($arg)*)
+    };
+}
+
+/// Assert a protocol invariant (model build: hard assert on every
+/// explored schedule).
+#[cfg(sclog_model)]
+#[macro_export]
+macro_rules! model_assert {
+    ($($arg:tt)*) => {
+        assert!($($arg)*)
+    };
+}

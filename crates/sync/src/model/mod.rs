@@ -1,0 +1,634 @@
+//! The deterministic model checker behind `--cfg sclog_model`.
+//!
+//! [`Model::check`] runs a closure repeatedly, once per explored
+//! schedule. All concurrency inside the closure must go through the
+//! facade types (which resolve to [`sync`] in model builds) and
+//! [`thread`]; the scheduler then controls every interleaving:
+//!
+//! - exactly one thread runs at a time; every facade operation is a
+//!   scheduling point,
+//! - schedules are enumerated DFS over the decision tree, bounded by
+//!   a *preemption bound* (choices that switch away from a thread
+//!   that could have continued),
+//! - condvar waits can be woken *spuriously*, up to a per-execution
+//!   budget, so `if`-instead-of-`while` waits are caught,
+//! - states are hashed (thread statuses + op counts, object states,
+//!   budgets) and subtrees already fully explored from an identical
+//!   state are pruned,
+//! - a state where no thread can proceed is reported as a deadlock —
+//!   including "lost wakeup" states that only a spurious wakeup
+//!   could rescue.
+//!
+//! This module is compiled in *every* build (so the checker itself is
+//! exercised by normal tier-1 tests); only the facade aliasing in the
+//! crate root is switched by `--cfg sclog_model`. See DESIGN.md §14.
+
+pub mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe, Location};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+use sclog_desim::{derive_seed, RngStream};
+
+use rt::{Branch, ExecCfg, Mode, Runtime};
+
+/// Panic payload used to tear down an execution after a failure (or a
+/// prune-exit). Model threads unwind with this; the explorer swallows
+/// it. Never observed by user code.
+pub struct ModelAbort;
+
+/// Why a model execution failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No schedulable thread, unfinished threads remain (includes
+    /// lost-wakeup states).
+    Deadlock,
+    /// A model thread panicked (assertion in the protocol or the
+    /// harness closure).
+    Panic,
+    /// A registered invariant's closure panicked at a scheduling
+    /// point.
+    Invariant,
+    /// An execution exceeded the per-schedule step budget (livelock
+    /// or an oversized harness).
+    StepBudget,
+    /// The checker itself misbehaved (replay divergence) — always a
+    /// bug in sclog-sync or a nondeterministic harness.
+    Internal,
+}
+
+/// A counterexample schedule found by the checker.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Classification of the failure.
+    pub kind: FailureKind,
+    /// Human-readable description (deadlock listing, panic message).
+    pub message: String,
+    /// The last scheduling events before the failure, oldest first.
+    pub trace: Vec<String>,
+    /// The DFS decision path (choice index per decision) that
+    /// reproduces the failure; empty for PCT failures (replay those
+    /// by seed).
+    pub path: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.kind, self.message)?;
+        if !self.path.is_empty() {
+            writeln!(f, "decision path: {:?}", self.path)?;
+        }
+        if !self.trace.is_empty() {
+            writeln!(f, "schedule tail:")?;
+            for line in &self.trace {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a [`Model::check`] or [`Model::pct`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Harness name, echoed into messages.
+    pub name: String,
+    /// Executions run (including the failing one, if any).
+    pub schedules: u64,
+    /// Executions cut short because their state was already fully
+    /// explored (DFS mode only).
+    pub pruned: u64,
+    /// Whether the schedule space was exhausted (DFS) / all
+    /// iterations ran (PCT) within the budgets.
+    pub complete: bool,
+    /// The first counterexample found, if any.
+    pub failure: Option<Failure>,
+    /// Deepest decision path seen (DFS mode).
+    pub max_depth: usize,
+    /// Wall-clock time spent exploring.
+    pub elapsed: Duration,
+}
+
+impl Report {
+    /// One-line summary for harness output (schedule counts are part
+    /// of the `verify.sh --model-check` contract).
+    pub fn summary(&self) -> String {
+        format!(
+            "model-check {}: {} schedules ({} pruned), depth {}, {:?}, complete={}, {}",
+            self.name,
+            self.schedules,
+            self.pruned,
+            self.max_depth,
+            self.elapsed,
+            self.complete,
+            if self.failure.is_some() {
+                "FAILED"
+            } else {
+                "ok"
+            }
+        )
+    }
+
+    /// Panic if a counterexample was found or the exploration did not
+    /// complete within its budgets.
+    #[track_caller]
+    pub fn require_pass(&self) {
+        if let Some(fail) = &self.failure {
+            panic!("model-check {} found a counterexample:\n{fail}", self.name);
+        }
+        assert!(
+            self.complete,
+            "model-check {}: exploration incomplete after {} schedules in {:?} — raise the budgets",
+            self.name, self.schedules, self.elapsed
+        );
+    }
+
+    /// Panic unless a counterexample was found; returns it. Used by
+    /// mutation tests to prove the checker detects seeded bugs.
+    #[track_caller]
+    pub fn require_failure(&self) -> &Failure {
+        self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "model-check {}: expected a counterexample, but {} schedules passed (complete={})",
+                self.name, self.schedules, self.complete
+            )
+        })
+    }
+}
+
+/// Builder for a model-checking run.
+#[derive(Clone, Debug)]
+pub struct Model {
+    preemption_bound: usize,
+    spurious_budget: u32,
+    max_steps: u64,
+    max_schedules: u64,
+    max_time: Duration,
+    mutation: Option<String>,
+    pruning: bool,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model {
+            preemption_bound: 2,
+            spurious_budget: 1,
+            max_steps: 10_000,
+            max_schedules: 1_000_000,
+            max_time: Duration::from_secs(60),
+            mutation: None,
+            pruning: true,
+        }
+    }
+}
+
+impl Model {
+    /// A model with the default budgets (preemption bound 2, one
+    /// spurious wakeup per execution, 60 s / 1 M schedules).
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Maximum preemptive context switches per schedule. Most real
+    /// concurrency bugs need ≤ 2 (the PCT observation); raising it
+    /// grows the space combinatorially.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Spurious wakeups injectable per execution.
+    pub fn spurious_budget(mut self, budget: u32) -> Self {
+        self.spurious_budget = budget;
+        self
+    }
+
+    /// Per-execution operation budget (livelock guard).
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Hard cap on explored schedules.
+    pub fn max_schedules(mut self, schedules: u64) -> Self {
+        self.max_schedules = schedules;
+        self
+    }
+
+    /// Hard wall-clock budget for the whole exploration.
+    pub fn max_time(mut self, t: Duration) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Enable a named seeded mutation (see
+    /// [`mutation`](crate::model::mutation)) for this run.
+    pub fn with_mutation(mut self, name: &str) -> Self {
+        self.mutation = Some(name.to_string());
+        self
+    }
+
+    /// Toggle done-state hash pruning (on by default). Pruning
+    /// assumes protocol control flow does not depend on the *values*
+    /// carried through the primitives — true for every protocol in
+    /// this tree; disable it to double-check a suspicious harness.
+    pub fn pruning(mut self, on: bool) -> Self {
+        self.pruning = on;
+        self
+    }
+
+    fn exec_cfg(&self) -> ExecCfg {
+        ExecCfg {
+            max_steps: self.max_steps,
+            mutation: self.mutation.clone(),
+            pruning: self.pruning,
+        }
+    }
+
+    /// Exhaustively explore `f`'s schedules (DFS under the preemption
+    /// bound), returning the first counterexample or a completeness
+    /// report. `f` runs once per schedule and must be deterministic
+    /// apart from scheduling.
+    pub fn check<F>(&self, name: &str, f: F) -> Report
+    where
+        F: Fn() + Sync,
+    {
+        Runtime::install_panic_hook();
+        let start = Instant::now();
+        let done_states: Arc<StdMutex<HashSet<u64>>> = Arc::default();
+        let mut path: Vec<Branch> = Vec::new();
+        let mut schedules = 0u64;
+        let mut pruned = 0u64;
+        let mut max_depth = 0usize;
+        let mut failure = None;
+        let mut complete = false;
+        loop {
+            if schedules >= self.max_schedules || start.elapsed() >= self.max_time {
+                break;
+            }
+            let rt = Runtime::with_done_states(
+                self.exec_cfg(),
+                Mode::Dfs {
+                    path: std::mem::take(&mut path),
+                    cursor: 0,
+                },
+                self.spurious_budget,
+                done_states.clone(),
+            );
+            run_execution(&rt, &f);
+            schedules += 1;
+            let (p, fail, pruned_exit, _steps) = rt.final_state();
+            max_depth = max_depth.max(p.len());
+            if pruned_exit {
+                pruned += 1;
+            }
+            if fail.is_some() {
+                failure = fail;
+                break;
+            }
+            path = p;
+            // Backtrack: pop fully-explored branches (their subtree
+            // states become prunable), advance the deepest branch
+            // with a legal untried alternative.
+            let mut advanced = false;
+            while let Some(last) = path.last_mut() {
+                if let Some(k) = next_alternative(last, self.preemption_bound) {
+                    last.taken = k;
+                    advanced = true;
+                    break;
+                }
+                done_states
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(last.hash);
+                path.pop();
+            }
+            if !advanced {
+                complete = true;
+                break;
+            }
+        }
+        Report {
+            name: name.to_string(),
+            schedules,
+            pruned,
+            complete,
+            failure,
+            max_depth,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// PCT-style randomized exploration: each iteration assigns
+    /// random thread priorities with `depth - 1` priority change
+    /// points, reaching interleavings deeper than the DFS preemption
+    /// bound. Failures report the iteration seed for deterministic
+    /// replay.
+    pub fn pct<F>(
+        &self,
+        name: &str,
+        master_seed: u64,
+        iterations: u64,
+        depth: usize,
+        f: F,
+    ) -> Report
+    where
+        F: Fn() + Sync,
+    {
+        Runtime::install_panic_hook();
+        let start = Instant::now();
+        let mut schedules = 0u64;
+        let mut failure = None;
+        let mut complete = true;
+        let mut est_len = 64u64;
+        for iter in 0..iterations {
+            if start.elapsed() >= self.max_time {
+                complete = false;
+                break;
+            }
+            let iter_seed = derive_seed(master_seed, &format!("{name}/{iter}"));
+            let mut rng = RngStream::from_seed(iter_seed);
+            let change_points = (0..depth.saturating_sub(1))
+                .map(|_| rng.below(est_len.max(1)))
+                .collect();
+            let rt = Runtime::new(
+                self.exec_cfg(),
+                Mode::Pct {
+                    rng,
+                    prios: Vec::new(),
+                    change_points,
+                    next_low: 1000,
+                },
+                self.spurious_budget,
+            );
+            run_execution(&rt, &f);
+            schedules += 1;
+            let (_, fail, _, steps) = rt.final_state();
+            est_len = steps.max(1);
+            if let Some(mut fl) = fail {
+                fl.message = format!(
+                    "[PCT iteration {iter}, seed {iter_seed:#018x} (master {master_seed:#x}): \
+                     rerun Model::pct with this master seed to replay] {}",
+                    fl.message
+                );
+                failure = Some(fl);
+                break;
+            }
+        }
+        Report {
+            name: name.to_string(),
+            schedules,
+            pruned: 0,
+            complete,
+            failure,
+            max_depth: 0,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Is the named seeded mutation active in the current model run?
+///
+/// Only compiled under `--cfg sclog_model`, so any call site that is
+/// not itself `#[cfg(sclog_model)]`-gated breaks the normal build —
+/// the compiler guarantees mutations are absent from release builds
+/// (`tidy.sh` check 8 additionally greps for the gate).
+#[cfg(sclog_model)]
+pub fn mutation(name: &str) -> bool {
+    Runtime::current().is_some_and(|(rt, _)| rt.cfg.mutation.as_deref() == Some(name))
+}
+
+/// Register a protocol invariant for the current execution. The
+/// closure runs at **every** subsequent scheduling point, on whichever
+/// thread is yielding; it must be read-only (atomic loads are allowed
+/// and do not themselves become scheduling points; locking panics).
+/// A panic inside the closure is reported as [`FailureKind::
+/// Invariant`] with the given name.
+pub fn register_invariant(name: &str, f: impl Fn() + Send + Sync + 'static) {
+    let (rt, _) = Runtime::current()
+        .expect("register_invariant outside a model run — call it inside Model::check's closure");
+    rt.register_invariant(name, Box::new(f));
+}
+
+fn next_alternative(b: &Branch, preemption_bound: usize) -> Option<usize> {
+    if b.taken + 1 >= b.n {
+        return None;
+    }
+    // Choice 0 continues the previously-running thread whenever that
+    // is possible; every other choice is then a preemption and needs
+    // budget. When the switch was forced, all choices are free.
+    if b.prev_runnable && b.preemptions_before >= preemption_bound {
+        return None;
+    }
+    Some(b.taken + 1)
+}
+
+fn run_execution<F>(rt: &Arc<Runtime>, f: &F)
+where
+    F: Fn() + Sync,
+{
+    rt::Runtime::set_in_explorer(true);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let root = rt.register_thread("main", Location::caller());
+            debug_assert_eq!(root, 0, "root thread must register first");
+            let rt2 = rt.clone();
+            s.spawn(move || thread::thread_body(rt2, root, f));
+            rt.wait_done();
+        });
+    }));
+    rt::Runtime::set_in_explorer(false);
+    if let Err(payload) = res {
+        // Execution teardown unwinds every model thread with
+        // ModelAbort; std's scope replaces an unjoined child's panic
+        // payload with a plain "a scoped thread panicked" string, so
+        // both shapes are expected here. Anything else is a bug in
+        // the explorer itself.
+        let scoped_noise = payload
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("scoped thread panicked"));
+        if !payload.is::<ModelAbort>() && !scoped_noise {
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{AtomicU64, Condvar, Mutex};
+    use super::{thread, FailureKind, Model};
+    use std::sync::atomic::Ordering::SeqCst;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_protocol_passes_and_explores_many_schedules() {
+        let r = Model::new().preemption_bound(2).check("counter", || {
+            let c = Arc::new(Mutex::new(0u32));
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    let c = c.clone();
+                    thread::spawn_in(s, move || {
+                        *c.lock().unwrap() += 1;
+                    });
+                }
+            });
+            assert_eq!(*c.lock().unwrap(), 2);
+        });
+        r.require_pass();
+        assert!(r.schedules > 1, "expected >1 schedule, got {}", r.schedules);
+    }
+
+    #[test]
+    fn abba_lock_order_deadlock_is_found() {
+        let r = Model::new().preemption_bound(2).check("abba", || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            thread::scope(|s| {
+                let (a2, b2) = (a.clone(), b.clone());
+                thread::spawn_in(s, move || {
+                    let _g = a2.lock().unwrap();
+                    let _h = b2.lock().unwrap();
+                });
+                let _g = b.lock().unwrap();
+                let _h = a.lock().unwrap();
+            });
+        });
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, FailureKind::Deadlock, "{fail}");
+    }
+
+    #[test]
+    fn missing_notify_is_a_lost_wakeup_deadlock() {
+        let r = Model::new().check("lost_wakeup", || {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            thread::scope(|s| {
+                let (m2, cv2) = (m.clone(), cv.clone());
+                thread::spawn_in(s, move || {
+                    let mut flag = m2.lock().unwrap();
+                    while !*flag {
+                        flag = cv2.wait(flag).unwrap();
+                    }
+                });
+                *m.lock().unwrap() = true;
+                // Bug: no cv.notify_one() — the waiter can never wake.
+            });
+        });
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, FailureKind::Deadlock, "{fail}");
+        assert!(
+            fail.message.contains("condvar"),
+            "deadlock report should name the condvar wait: {fail}"
+        );
+    }
+
+    #[test]
+    fn if_instead_of_while_wait_is_caught_by_spurious_wakeup() {
+        let r = Model::new().spurious_budget(1).check("if_wait", || {
+            let m = Arc::new(Mutex::new(0u32));
+            let cv = Arc::new(Condvar::new());
+            thread::scope(|s| {
+                let (m2, cv2) = (m.clone(), cv.clone());
+                thread::spawn_in(s, move || {
+                    let mut items = m2.lock().unwrap();
+                    // Bug: `if`, not `while` — a spurious wakeup
+                    // falls through with the predicate still false.
+                    if *items == 0 {
+                        items = cv2.wait(items).unwrap();
+                    }
+                    assert!(*items > 0, "woke with nothing to consume");
+                });
+                *m.lock().unwrap() += 1;
+                cv.notify_one();
+            });
+        });
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, FailureKind::Panic, "{fail}");
+        assert!(
+            fail.message.contains("woke with nothing"),
+            "unexpected failure: {fail}"
+        );
+    }
+
+    #[test]
+    fn torn_read_modify_write_race_is_found() {
+        // Non-atomic increment (load; store) on a shared atomic: some
+        // schedule loses an update, and the checker must find it.
+        let r = Model::new().preemption_bound(2).check("rmw_race", || {
+            let c = Arc::new(AtomicU64::new(0));
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    let c = c.clone();
+                    thread::spawn_in(s, move || {
+                        let v = c.load(SeqCst);
+                        c.store(v + 1, SeqCst);
+                    });
+                }
+            });
+            assert_eq!(c.load(SeqCst), 2, "lost update");
+        });
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, FailureKind::Panic, "{fail}");
+    }
+
+    #[test]
+    fn fetch_add_increment_passes() {
+        let r = Model::new().preemption_bound(2).check("fetch_add", || {
+            let c = Arc::new(AtomicU64::new(0));
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    let c = c.clone();
+                    thread::spawn_in(s, move || {
+                        c.fetch_add(1, SeqCst);
+                    });
+                }
+            });
+            assert_eq!(c.load(SeqCst), 2);
+        });
+        r.require_pass();
+    }
+
+    #[test]
+    fn pct_finds_the_rmw_race_and_reports_the_seed() {
+        let r = Model::new().pct("pct_rmw", 0x5c10_6000, 256, 3, || {
+            let c = Arc::new(AtomicU64::new(0));
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    let c = c.clone();
+                    thread::spawn_in(s, move || {
+                        let v = c.load(SeqCst);
+                        c.store(v + 1, SeqCst);
+                    });
+                }
+            });
+            assert_eq!(c.load(SeqCst), 2, "lost update");
+        });
+        let fail = r.require_failure();
+        assert!(
+            fail.message.contains("seed 0x"),
+            "PCT failure must print a replay seed: {}",
+            fail.message
+        );
+    }
+
+    #[test]
+    fn registered_invariant_violation_is_reported_with_its_name() {
+        let r = Model::new().check("invariant", || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = c.clone();
+            super::register_invariant("counter_below_two", move || {
+                assert!(c2.load(SeqCst) < 2, "counter reached two");
+            });
+            c.fetch_add(1, SeqCst);
+            c.fetch_add(1, SeqCst);
+            c.fetch_add(0, SeqCst); // one more scheduling point after the violation
+        });
+        let fail = r.require_failure();
+        assert_eq!(fail.kind, FailureKind::Invariant, "{fail}");
+        assert!(fail.message.contains("counter_below_two"), "{fail}");
+    }
+}

@@ -1,0 +1,641 @@
+//! Model-mode replacements for the `std::sync` primitives.
+//!
+//! Each primitive stores its data in an inner std container (so no
+//! `unsafe` is needed for access) but routes *permission* through the
+//! [`Runtime`](super::rt::Runtime) scheduler: once the scheduler has
+//! granted logical ownership, the inner `try_lock` is guaranteed to
+//! succeed. During an abort-unwind (a failure was recorded and every
+//! thread is being torn down) the primitives degrade to plain
+//! pass-through operations so `Drop` impls in protocol code can run
+//! to completion.
+
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, LockResult, TryLockError};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+
+use super::rt::{Obj, ObjCell, Runtime, Status};
+
+fn ctx() -> (Arc<Runtime>, usize) {
+    Runtime::current().expect(
+        "sclog-sync model primitive used outside a model run — \
+         create sync objects and threads inside Model::check's closure",
+    )
+}
+
+// ---------------------------------------------------------------- Mutex
+
+/// Model mutex: logical ownership decided by the scheduler, data held
+/// in an inner `std::sync::Mutex` that is only ever `try_lock`ed
+/// after the grant.
+pub struct Mutex<T> {
+    id: ObjCell,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new model mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            id: ObjCell::new(),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    fn grab_inner(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model mutex storage locked without a scheduler grant")
+            }
+        }
+    }
+
+    /// Acquire the mutex (a scheduling point). Never returns `Err`:
+    /// the model has no poisoning (a panic aborts the execution), but
+    /// the signature matches std so call sites compile unchanged.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (rt, me) = ctx();
+        if rt.is_aborting() {
+            let inner = match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            return Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                rt,
+                me,
+                abort: true,
+            });
+        }
+        let id = self.id.ensure(&rt, || Obj::Mutex { held_by: None });
+        rt.yield_op(
+            me,
+            Location::caller(),
+            "lock",
+            |_st| Status::BlockedMutex(id),
+            |st, me| {
+                let holder = Runtime::mutex_holder_mut(st, id);
+                debug_assert!(holder.is_none(), "mutex granted while held");
+                *holder = Some(me);
+            },
+        );
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(self.grab_inner()),
+            rt,
+            me,
+            abort: false,
+        })
+    }
+
+    /// Consume the mutex, returning the data.
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.inner.into_inner() {
+            Ok(t) => Ok(t),
+            Err(p) => Ok(p.into_inner()),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for a model [`Mutex`]. Dropping releases logical ownership
+/// without a scheduling point (matching how std unlock cannot block).
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    rt: Arc<Runtime>,
+    me: usize,
+    abort: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard storage present")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard storage present")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if !self.abort {
+            self.rt.release_mutex(self.lock.id.get(), self.me);
+        }
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+/// Model condition variable with FIFO wakeup order and explicit
+/// spurious-wakeup injection (the scheduler may wake any waiter
+/// whose mutex is free, consuming the execution's spurious budget).
+pub struct Condvar {
+    id: ObjCell,
+}
+
+impl Condvar {
+    /// Create a new model condvar.
+    pub const fn new() -> Self {
+        Condvar { id: ObjCell::new() }
+    }
+
+    /// Release the guard's mutex, wait to be notified (or spuriously
+    /// woken), reacquire, and return the guard. Two scheduling
+    /// points: the release+park, and the reacquire.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (rt, me) = ctx();
+        if rt.is_aborting() {
+            // Waiting during teardown would park forever; unwind
+            // instead. (Protocol `Drop` impls in this tree never
+            // call `wait`, so this cannot double-panic.)
+            drop(guard);
+            std::panic::resume_unwind(Box::new(super::ModelAbort));
+        }
+        let lock = guard.lock;
+        let mid = lock.id.get();
+        let cid = self.id.ensure(&rt, || Obj::Condvar {
+            waiters: Vec::new(),
+        });
+        // Atomic release-and-enqueue: dropping the guard frees the
+        // mutex without a scheduling point, and no other thread runs
+        // before `yield_op`'s prepare closure enqueues us.
+        drop(guard);
+        rt.yield_op(
+            me,
+            Location::caller(),
+            "wait",
+            |st| {
+                Runtime::condvar_waiters_mut(st, cid).push(me);
+                Status::BlockedCondvar {
+                    cv: cid,
+                    mutex: mid,
+                }
+            },
+            |st, me| {
+                let holder = Runtime::mutex_holder_mut(st, mid);
+                debug_assert!(holder.is_none(), "wait woken while mutex held");
+                *holder = Some(me);
+            },
+        );
+        Ok(MutexGuard {
+            lock,
+            inner: Some(lock.grab_inner()),
+            rt,
+            me,
+            abort: false,
+        })
+    }
+
+    /// Wake the longest-waiting thread, if any (a scheduling point).
+    #[track_caller]
+    pub fn notify_one(&self) {
+        let (rt, me) = ctx();
+        if rt.is_aborting() {
+            return;
+        }
+        let cid = self.id.ensure(&rt, || Obj::Condvar {
+            waiters: Vec::new(),
+        });
+        rt.yield_op(
+            me,
+            Location::caller(),
+            "notify_one",
+            |_st| Status::Runnable,
+            |st, _me| {
+                if let Some(&t) = Runtime::condvar_waiters_mut(st, cid).first() {
+                    Runtime::wake_waiter(st, t);
+                }
+            },
+        );
+    }
+
+    /// Wake every waiting thread (a scheduling point).
+    #[track_caller]
+    pub fn notify_all(&self) {
+        let (rt, me) = ctx();
+        if rt.is_aborting() {
+            return;
+        }
+        let cid = self.id.ensure(&rt, || Obj::Condvar {
+            waiters: Vec::new(),
+        });
+        rt.yield_op(
+            me,
+            Location::caller(),
+            "notify_all",
+            |_st| Status::Runnable,
+            |st, _me| {
+                let waiters = Runtime::condvar_waiters_mut(st, cid).clone();
+                for t in waiters {
+                    Runtime::wake_waiter(st, t);
+                }
+            },
+        );
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+// --------------------------------------------------------------- RwLock
+
+/// Model reader-writer lock: readers share, writers exclude, no
+/// writer preference (acquisition order is a scheduler choice, which
+/// is exactly what the checker wants to explore).
+pub struct RwLock<T> {
+    id: ObjCell,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new model rwlock.
+    pub const fn new(t: T) -> Self {
+        RwLock {
+            id: ObjCell::new(),
+            inner: StdRwLock::new(t),
+        }
+    }
+
+    fn ensure(&self, rt: &Runtime) -> usize {
+        self.id.ensure(rt, || Obj::RwLock {
+            writer: None,
+            readers: Vec::new(),
+        })
+    }
+
+    /// Acquire a shared read lock (a scheduling point).
+    #[track_caller]
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let (rt, me) = ctx();
+        if rt.is_aborting() {
+            let inner = match self.inner.read() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            return Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(inner),
+                rt,
+                me,
+                abort: true,
+            });
+        }
+        let id = self.ensure(&rt);
+        rt.yield_op(
+            me,
+            Location::caller(),
+            "read",
+            |_st| Status::BlockedRead(id),
+            |st, me| {
+                let (writer, readers) = Runtime::rwlock_mut(st, id);
+                debug_assert!(writer.is_none(), "read granted under a writer");
+                readers.push(me);
+            },
+        );
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model rwlock storage write-locked without a grant")
+            }
+        };
+        Ok(RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+            rt,
+            me,
+            abort: false,
+        })
+    }
+
+    /// Acquire the exclusive write lock (a scheduling point).
+    #[track_caller]
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let (rt, me) = ctx();
+        if rt.is_aborting() {
+            let inner = match self.inner.write() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            return Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(inner),
+                rt,
+                me,
+                abort: true,
+            });
+        }
+        let id = self.ensure(&rt);
+        rt.yield_op(
+            me,
+            Location::caller(),
+            "write",
+            |_st| Status::BlockedWrite(id),
+            |st, me| {
+                let (writer, readers) = Runtime::rwlock_mut(st, id);
+                debug_assert!(
+                    writer.is_none() && readers.is_empty(),
+                    "write granted while held"
+                );
+                *writer = Some(me);
+            },
+        );
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model rwlock storage locked without a grant")
+            }
+        };
+        Ok(RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+            rt,
+            me,
+            abort: false,
+        })
+    }
+}
+
+/// Shared guard for a model [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    rt: Arc<Runtime>,
+    me: usize,
+    abort: bool,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard storage present")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if !self.abort {
+            self.rt.release_rwlock(self.lock.id.get(), self.me, false);
+        }
+    }
+}
+
+/// Exclusive guard for a model [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    rt: Arc<Runtime>,
+    me: usize,
+    abort: bool,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard storage present")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard storage present")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if !self.abort {
+            self.rt.release_rwlock(self.lock.id.get(), self.me, true);
+        }
+    }
+}
+
+// -------------------------------------------------------------- Atomics
+
+/// Shared implementation for the modeled atomics: every access is a
+/// scheduling point and every access is sequentially consistent (the
+/// scheduler serializes them; the declared `Ordering` is accepted for
+/// source compatibility and recorded nowhere).
+struct AtomicCell {
+    id: ObjCell,
+    init: u64,
+}
+
+impl AtomicCell {
+    const fn new(init: u64) -> Self {
+        AtomicCell {
+            id: ObjCell::new(),
+            init,
+        }
+    }
+
+    fn ensure(&self, rt: &Runtime) -> usize {
+        let init = self.init;
+        self.id.ensure(rt, || Obj::Atomic { value: init })
+    }
+
+    #[track_caller]
+    fn rmw(&self, desc: &str, f: impl FnOnce(u64) -> u64) -> u64 {
+        let (rt, me) = ctx();
+        let id = self.ensure(&rt);
+        if Runtime::in_invariant() {
+            panic!("model invariants must be read-only (attempted atomic {desc})");
+        }
+        if rt.is_aborting() {
+            let old = rt.peek_atomic(id);
+            rt.poke_atomic(id, f(old));
+            return old;
+        }
+        rt.yield_op(
+            me,
+            Location::caller(),
+            desc,
+            |_st| Status::Runnable,
+            |st, _me| {
+                let v = Runtime::atomic_mut(st, id);
+                let old = *v;
+                *v = f(old);
+                old
+            },
+        )
+    }
+
+    #[track_caller]
+    fn load(&self) -> u64 {
+        let (rt, me) = ctx();
+        let id = self.ensure(&rt);
+        if Runtime::in_invariant() || rt.is_aborting() {
+            return rt.peek_atomic(id);
+        }
+        rt.yield_op(
+            me,
+            Location::caller(),
+            "load",
+            |_st| Status::Runnable,
+            |st, _me| *Runtime::atomic_mut(st, id),
+        )
+    }
+}
+
+/// Model `AtomicU64`.
+pub struct AtomicU64 {
+    cell: AtomicCell,
+}
+
+impl AtomicU64 {
+    /// Create a new modeled atomic.
+    pub const fn new(v: u64) -> Self {
+        AtomicU64 {
+            cell: AtomicCell::new(v),
+        }
+    }
+
+    /// Load the value (a scheduling point).
+    #[track_caller]
+    pub fn load(&self, _order: Ordering) -> u64 {
+        self.cell.load()
+    }
+
+    /// Store a value (a scheduling point).
+    #[track_caller]
+    pub fn store(&self, v: u64, _order: Ordering) {
+        self.cell.rmw("store", |_| v);
+    }
+
+    /// Add, returning the previous value (a scheduling point).
+    #[track_caller]
+    pub fn fetch_add(&self, v: u64, _order: Ordering) -> u64 {
+        self.cell.rmw("fetch_add", |old| old.wrapping_add(v))
+    }
+
+    /// Subtract, returning the previous value (a scheduling point).
+    #[track_caller]
+    pub fn fetch_sub(&self, v: u64, _order: Ordering) -> u64 {
+        self.cell.rmw("fetch_sub", |old| old.wrapping_sub(v))
+    }
+
+    /// Max, returning the previous value (a scheduling point).
+    #[track_caller]
+    pub fn fetch_max(&self, v: u64, _order: Ordering) -> u64 {
+        self.cell.rmw("fetch_max", |old| old.max(v))
+    }
+
+    /// Swap, returning the previous value (a scheduling point).
+    #[track_caller]
+    pub fn swap(&self, v: u64, _order: Ordering) -> u64 {
+        self.cell.rmw("swap", |_| v)
+    }
+}
+
+/// Model `AtomicUsize`.
+pub struct AtomicUsize {
+    cell: AtomicCell,
+}
+
+impl AtomicUsize {
+    /// Create a new modeled atomic.
+    pub const fn new(v: usize) -> Self {
+        AtomicUsize {
+            cell: AtomicCell::new(v as u64),
+        }
+    }
+
+    /// Load the value (a scheduling point).
+    #[track_caller]
+    pub fn load(&self, _order: Ordering) -> usize {
+        self.cell.load() as usize
+    }
+
+    /// Store a value (a scheduling point).
+    #[track_caller]
+    pub fn store(&self, v: usize, _order: Ordering) {
+        self.cell.rmw("store", |_| v as u64);
+    }
+
+    /// Add, returning the previous value (a scheduling point).
+    #[track_caller]
+    pub fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+        self.cell.rmw("fetch_add", |old| old.wrapping_add(v as u64)) as usize
+    }
+
+    /// Subtract, returning the previous value (a scheduling point).
+    #[track_caller]
+    pub fn fetch_sub(&self, v: usize, _order: Ordering) -> usize {
+        self.cell.rmw("fetch_sub", |old| old.wrapping_sub(v as u64)) as usize
+    }
+}
+
+/// Model `AtomicBool`.
+pub struct AtomicBool {
+    cell: AtomicCell,
+}
+
+impl AtomicBool {
+    /// Create a new modeled atomic.
+    pub const fn new(v: bool) -> Self {
+        AtomicBool {
+            cell: AtomicCell::new(v as u64),
+        }
+    }
+
+    /// Load the value (a scheduling point).
+    #[track_caller]
+    pub fn load(&self, _order: Ordering) -> bool {
+        self.cell.load() != 0
+    }
+
+    /// Store a value (a scheduling point).
+    #[track_caller]
+    pub fn store(&self, v: bool, _order: Ordering) {
+        self.cell.rmw("store", |_| v as u64);
+    }
+
+    /// Swap, returning the previous value (a scheduling point).
+    #[track_caller]
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        self.cell.rmw("swap", |_| v as u64) != 0
+    }
+}
+
+// Reading an atomic is a scheduling point, which a Debug impl must
+// never be (formatting can run outside any checked execution), so
+// these print only the type name — matching std only in shape.
+macro_rules! opaque_debug {
+    ($($ty:ident),*) => {$(
+        impl std::fmt::Debug for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($ty)).finish_non_exhaustive()
+            }
+        }
+    )*};
+}
+
+opaque_debug!(AtomicU64, AtomicUsize, AtomicBool, Condvar);

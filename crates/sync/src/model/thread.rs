@@ -1,0 +1,211 @@
+//! Model-mode threading: every spawn registers the thread with the
+//! scheduler, every join is a scheduling point, and scoped spawns are
+//! pre-joined through the scheduler before `std::thread::scope`'s
+//! implicit join (which the scheduler cannot see) runs.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe, Location};
+use std::sync::Arc;
+
+use super::rt::{Runtime, Status};
+use super::ModelAbort;
+
+pub use std::thread::Scope;
+
+thread_local! {
+    /// Stack of scope frames on the spawning thread; each frame
+    /// collects the model indices spawned inside it so `scope` can
+    /// scheduler-join them before std's implicit join.
+    static SCOPES: std::cell::RefCell<Vec<Vec<usize>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn ctx() -> (Arc<Runtime>, usize) {
+    Runtime::current().expect(
+        "sclog-sync model thread op outside a model run — \
+         spawn threads inside Model::check's closure",
+    )
+}
+
+/// Run a model thread: park until first scheduled, run the closure,
+/// convert any real panic into a recorded [`Failure`](super::Failure)
+/// plus an abort-unwind, and hand the scheduling slot on.
+pub(crate) fn thread_body<T>(rt: Arc<Runtime>, me: usize, f: impl FnOnce() -> T) -> T {
+    Runtime::set_current(rt.clone(), me);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        rt.thread_start(me);
+        f()
+    }));
+    match res {
+        Ok(v) => {
+            rt.thread_finish(me);
+            v
+        }
+        Err(payload) => {
+            if !payload.is::<ModelAbort>() {
+                let msg = Runtime::take_last_panic().unwrap_or_else(|| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panicked with a non-string payload".to_string())
+                });
+                rt.record_panic(me, msg);
+            }
+            rt.thread_finish(me);
+            resume_unwind(Box::new(ModelAbort))
+        }
+    }
+}
+
+fn join_point(rt: &Arc<Runtime>, me: usize, target: usize, site: &'static Location<'static>) {
+    if rt.is_aborting() {
+        // Teardown: the target is being unwound and will exit on its
+        // own; the inner std join below suffices.
+        return;
+    }
+    rt.yield_op(
+        me,
+        site,
+        "join",
+        |_st| Status::BlockedJoin(target),
+        |_st, _me| (),
+    );
+}
+
+/// Model `thread::scope`. Passes the *std* scope straight through
+/// (so lifetimes match std exactly); spawning must go through
+/// [`spawn_in`] so the scheduler sees it.
+#[track_caller]
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    let (rt, me) = ctx();
+    let site = Location::caller();
+    SCOPES.with_borrow_mut(|s| s.push(Vec::new()));
+    std::thread::scope(|s| {
+        let out = catch_unwind(AssertUnwindSafe(|| f(s)));
+        let children = SCOPES.with_borrow_mut(|s| s.pop().unwrap_or_default());
+        match out {
+            Ok(out) => {
+                // Scheduler-join every child spawned in this frame
+                // before std's implicit join blocks this OS thread
+                // for real.
+                for idx in children {
+                    join_point(&rt, me, idx, site);
+                }
+                out
+            }
+            Err(payload) => {
+                // The scope body panicked with children possibly
+                // still parked in the scheduler. Record the failure
+                // *now* — which flips the execution to aborting and
+                // wakes every parked thread — or std's implicit join
+                // below would wait forever on threads that are never
+                // scheduled again.
+                if !payload.is::<ModelAbort>() {
+                    let msg = Runtime::take_last_panic().unwrap_or_else(|| {
+                        payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "panicked with a non-string payload".to_string())
+                    });
+                    rt.record_panic(me, msg);
+                }
+                resume_unwind(payload)
+            }
+        }
+    })
+}
+
+/// Model scoped spawn (facade equivalent of `scope.spawn(f)`).
+#[track_caller]
+pub fn spawn_in<'scope, 'env, F, T>(
+    scope: &'scope Scope<'scope, 'env>,
+    f: F,
+) -> ScopedJoinHandle<'scope, T>
+where
+    F: FnOnce() -> T + Send + 'scope,
+    T: Send + 'scope,
+{
+    let (rt, _me) = ctx();
+    let idx = rt.register_thread("spawned", Location::caller());
+    SCOPES.with_borrow_mut(|s| {
+        let frame = s
+            .last_mut()
+            .expect("spawn_in outside sclog_sync::thread::scope in a model run");
+        frame.push(idx);
+    });
+    let rt2 = rt.clone();
+    let inner = scope.spawn(move || thread_body(rt2, idx, f));
+    ScopedJoinHandle { inner, idx, rt }
+}
+
+/// Model free spawn. The thread joins the explored schedule; if it is
+/// never joined it must still finish before the closure's schedule
+/// can complete (otherwise the checker reports a deadlock).
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, _me) = ctx();
+    let idx = rt.register_thread("spawned", Location::caller());
+    let rt2 = rt.clone();
+    let inner = std::thread::spawn(move || thread_body(rt2, idx, f));
+    JoinHandle { inner, idx, rt }
+}
+
+/// Handle to a model scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    idx: usize,
+    rt: Arc<Runtime>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Join the thread (a scheduling point).
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        let (rt, me) = ctx();
+        debug_assert!(Arc::ptr_eq(&rt, &self.rt));
+        join_point(&rt, me, self.idx, Location::caller());
+        self.inner.join()
+    }
+}
+
+/// Handle to a free-spawned model thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    idx: usize,
+    rt: Arc<Runtime>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Join the thread (a scheduling point).
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        let (rt, me) = ctx();
+        debug_assert!(Arc::ptr_eq(&rt, &self.rt));
+        join_point(&rt, me, self.idx, Location::caller());
+        self.inner.join()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("idx", &self.idx)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for ScopedJoinHandle<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedJoinHandle")
+            .field("idx", &self.idx)
+            .finish()
+    }
+}

@@ -22,6 +22,18 @@
 #      crates/types/src/segment.rs, and every other use imports it —
 #      a second definition is how two crates silently write
 #      incompatible files.
+#   7. The model-checked sync protocols stay on the sclog-sync facade:
+#      channel.rs, pool.rs, recorder.rs, and server.rs must not name
+#      std::sync::{Mutex, Condvar, RwLock} outside their test modules.
+#      A direct std lock there is invisible to the model checker — the
+#      schedule exploration silently stops covering it. (std atomics
+#      are allowed where documented: single-writer hot-path data, not
+#      sync protocol.)
+#   8. Every `model::mutation(...)` call site sits directly under a
+#      `#[cfg(sclog_model)]` gate, so the seeded bugs cannot compile
+#      into a release binary. (The function itself is only *defined*
+#      under the cfg, so an ungated call would fail the normal build —
+#      this check catches it at tidy time, with a better message.)
 #
 # Runs standalone or as part of scripts/verify.sh --lint.
 set -eu
@@ -137,6 +149,41 @@ if [ -f "$seg" ]; then
 else
     complain "$seg: missing (the segment schema is load-bearing for the on-disk store)"
 fi
+
+# -- 7. sync protocols ride the facade --------------------------------
+# The four model-checked protocol files must take their locks from
+# sclog-sync, never std::sync directly — a std lock is a blind spot
+# the checker cannot schedule around. Same mod-tests cut as #2 (tests
+# run natively and may use std).
+for f in crates/core/src/pipeline/channel.rs crates/rules/src/pool.rs \
+    crates/obs/src/recorder.rs crates/sclogd/src/server.rs; do
+    [ -f "$f" ] || { complain "$f: missing (model-checked protocol file)"; continue; }
+    hit=$(awk '/^ *(#\[cfg\(test\)\]|mod tests)/ { exit } { print NR ":" $0 }' "$f" |
+        grep -E 'std::sync.*\b(Mutex|Condvar|RwLock)\b' || true)
+    if [ -n "$hit" ]; then
+        complain "$f: direct std::sync lock in a model-checked protocol (use sclog_sync): $(printf '%s' "$hit" | head -1)"
+    fi
+done
+
+# -- 8. every seeded-mutant call site is cfg-gated ---------------------
+# model::mutation() only exists under --cfg sclog_model; each call must
+# carry the cfg within the three preceding lines (idiomatically, the
+# attribute sits directly on the `if` statement), so no mutation flag
+# can survive into a release build.
+for f in $(find src crates/*/src -name '*.rs' 2>/dev/null); do
+    bad=$(awk '
+        {
+            buf[NR % 4] = $0
+            if ($0 ~ /model::mutation\(/ && $0 !~ /^ *\/\//) {
+                ok = 0
+                for (i = 0; i < 4; i++) if (buf[i] ~ /cfg\(sclog_model\)/) ok = 1
+                if (!ok) { printf "%d:%s\n", NR, $0 }
+            }
+        }' "$f")
+    if [ -n "$bad" ]; then
+        complain "$f: model::mutation() call without #[cfg(sclog_model)] nearby: $(printf '%s' "$bad" | head -1)"
+    fi
+done
 
 if [ "$fail" -ne 0 ]; then
     echo "tidy: FAILED" >&2

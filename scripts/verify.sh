@@ -44,6 +44,16 @@
 #                                    cold-boot from the segments, and
 #                                    serve the recovered alerts over a
 #                                    real socket
+#   scripts/verify.sh --model-check  only the model check: rebuild the
+#                                    workspace with --cfg sclog_model
+#                                    (into its own target dir, so the
+#                                    normal build's fingerprints are
+#                                    untouched) and exhaustively
+#                                    explore every sync protocol's
+#                                    schedules via sclog-check,
+#                                    including the seeded-mutant
+#                                    detection tests; explored-schedule
+#                                    counts are printed per harness
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -134,6 +144,15 @@ store_smoke() {
     cargo run -q --offline --release -p sclogd -- --store-smoke >/dev/null
 }
 
+model_check() {
+    echo "== model check: sclog-check under --cfg sclog_model (exhaustive schedule exploration)"
+    # Separate target dir: the cfg changes every crate's fingerprint,
+    # and sharing target/ would force a full rebuild of the normal
+    # configuration on the next plain cargo command.
+    RUSTFLAGS="$RUSTFLAGS --cfg sclog_model" CARGO_TARGET_DIR=target/model \
+        cargo test -q --offline -p sclog-sync -p sclog-check -- --nocapture
+}
+
 if [ "${1-}" = "--bench-smoke" ]; then
     bench_smoke
     echo "verify: OK (bench smoke)"
@@ -155,6 +174,12 @@ fi
 if [ "${1-}" = "--store-smoke" ]; then
     store_smoke
     echo "verify: OK (store smoke)"
+    exit 0
+fi
+
+if [ "${1-}" = "--model-check" ]; then
+    model_check
+    echo "verify: OK (model check)"
     exit 0
 fi
 
@@ -182,5 +207,7 @@ obs_smoke
 serve_smoke
 
 store_smoke
+
+model_check
 
 echo "verify: OK"
