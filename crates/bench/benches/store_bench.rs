@@ -151,10 +151,10 @@ fn main() {
         system: Some(SystemId::Spirit),
         ..ScanFilter::all()
     };
-    let pruned_hits = seed_store
+    let (pruned_hits, _) = seed_store
         .scan(&narrow, true, &rec, &metrics)
         .expect("pruned scan");
-    let full_hits = seed_store
+    let (full_hits, _) = seed_store
         .scan(&narrow, false, &rec, &metrics)
         .expect("full scan");
     assert_eq!(pruned_hits, full_hits, "pruning may never change answers");
@@ -254,6 +254,7 @@ fn main() {
             store
                 .scan(&ScanFilter::all(), true, &rec, &metrics)
                 .expect("scan")
+                .0
                 .len()
         },
         "resimulate",

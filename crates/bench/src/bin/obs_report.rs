@@ -8,14 +8,16 @@
 //! well-formedness via `sclog_types::json::validate`, presence of the
 //! keys the schema promises, span coverage of at least 95% of recorded
 //! thread time, and every bounded gauge's peak within its bound — and
-//! exits nonzero on any failure. `scripts/verify.sh --obs-smoke` runs
-//! this mode.
+//! exits nonzero on any failure. The same mode validates the PR 10
+//! trace layer: `sclog.trace.v1` serialization keys and the delta
+//! invariant (the delta of identical snapshots is all-zero).
+//! `scripts/verify.sh --obs-smoke` runs this mode.
 
 use sclog_bench::HARNESS_SEED;
 use sclog_core::{ObsConfig, Study};
-use sclog_obs::render;
+use sclog_obs::{render, History, Recorder, TraceScope};
 use sclog_types::json::validate;
-use sclog_types::{ObsReport, SystemId};
+use sclog_types::{ObsReport, QueryLogReport, QueryTrace, ScanStats, SystemId};
 use std::process::ExitCode;
 
 /// Counters the instrumented pipeline always registers; `--check`
@@ -152,6 +154,108 @@ fn check_ingest_swar() -> Result<(), String> {
     Ok(())
 }
 
+/// Requires every zero-able field of a delta report to actually be
+/// zero — the invariant `snap.delta(&snap) == 0` the trace layer
+/// promises. Gauges are instantaneous readings, not rates, so they are
+/// exempt by design.
+fn require_zero_delta(delta: &ObsReport) -> Result<(), String> {
+    if delta.wall_ns != 0 || delta.attributed_ns != 0 {
+        return Err(format!(
+            "self-delta recorded time: wall {} attributed {}",
+            delta.wall_ns, delta.attributed_ns
+        ));
+    }
+    for c in &delta.counters {
+        if c.value != 0 {
+            return Err(format!("self-delta counter {} is {}", c.name, c.value));
+        }
+    }
+    for h in &delta.histograms {
+        if h.count != 0 || h.sum != 0 || !h.buckets.is_empty() {
+            return Err(format!("self-delta histogram {} not empty", h.name));
+        }
+    }
+    for s in &delta.stages {
+        if s.busy_ns != 0 || s.wait_ns != 0 || s.items != 0 || s.bytes != 0 {
+            return Err(format!("self-delta stage {} not zero", s.name));
+        }
+    }
+    Ok(())
+}
+
+/// The PR 10 trace layer: `TraceScope` deltas, the self-delta zero
+/// invariant, and the `sclog.trace.v1` serialization of both report
+/// shapes. Runs on a private recorder; nothing is printed on success.
+fn check_trace() -> Result<(), String> {
+    let rec = Recorder::new();
+    let writes = rec.counter("trace_check.writes");
+    let tr = rec.thread("trace-check");
+
+    let scope = TraceScope::begin(&rec);
+    tr.add(writes, 3);
+    let delta = scope.finish();
+    if delta.counter("trace_check.writes") != Some(3) {
+        return Err(format!(
+            "TraceScope delta saw {:?} writes, want 3",
+            delta.counter("trace_check.writes")
+        ));
+    }
+
+    let snap = rec.snapshot();
+    require_zero_delta(&snap.delta(&snap))?;
+
+    let mut history = History::new(4);
+    history.record(rec.snapshot());
+    tr.add(writes, 1);
+    history.record(rec.snapshot());
+    let timeline = history.timeline().to_json();
+    validate(&timeline).map_err(|e| format!("timeline JSON does not parse: {e}"))?;
+    for key in [
+        "\"schema\":\"sclog.trace.v1\"",
+        "\"samples\"",
+        "\"at_ns\"",
+        "\"delta\"",
+    ] {
+        if !timeline.contains(key) {
+            return Err(format!("timeline report missing {key}"));
+        }
+    }
+
+    let qlog = QueryLogReport {
+        logged: 1,
+        queries: vec![QueryTrace {
+            trace_id: 7,
+            endpoint: "/alerts".to_owned(),
+            query: "limit=1".to_owned(),
+            micros: 42,
+            status: 200,
+            scan: Some(ScanStats {
+                rows_decoded: 5,
+                ..ScanStats::default()
+            }),
+        }],
+    };
+    let qlog = qlog.to_json();
+    validate(&qlog).map_err(|e| format!("query-log JSON does not parse: {e}"))?;
+    for key in [
+        "\"schema\":\"sclog.trace.v1\"",
+        "\"logged\"",
+        "\"queries\"",
+        "\"trace_id\"",
+        "\"endpoint\"",
+        "\"query\"",
+        "\"micros\"",
+        "\"status\"",
+        "\"scan\"",
+        "\"rows_decoded\":5",
+    ] {
+        if !qlog.contains(key) {
+            return Err(format!("query-log report missing {key}"));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let checking = std::env::args().any(|a| a == "--check");
     let run = Study::new(0.02, 0.0005, HARNESS_SEED)
@@ -164,7 +268,10 @@ fn main() -> ExitCode {
     println!("{json}");
     eprintln!("{}", render(&report));
     if checking {
-        if let Err(why) = check(&report, &json).and_then(|()| check_ingest_swar()) {
+        if let Err(why) = check(&report, &json)
+            .and_then(|()| check_ingest_swar())
+            .and_then(|()| check_trace())
+        {
             eprintln!("obs-smoke FAILED: {why}");
             return ExitCode::FAILURE;
         }

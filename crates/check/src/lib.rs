@@ -5,8 +5,9 @@
 //! [`protocols`] module drives the *real* production protocols — the
 //! bounded channel behind the streaming pipeline, the [`TagPool`]
 //! job/result queues, the recorder's shard registration, the
-//! in-flight gauge's permit accounting, and the sclogd
-//! accept/shutdown handshake — and the `#[cfg(sclog_model)]` tests
+//! in-flight gauge's permit accounting, the sclogd accept/shutdown
+//! handshake, and the timeline sampler's stop handshake — and the
+//! `#[cfg(sclog_model)]` tests
 //! explore every schedule of each driver under a preemption bound,
 //! asserting no deadlock, no lost wakeup, no message loss or
 //! duplication, and the capacity/permit bounds on every interleaving.
@@ -85,6 +86,11 @@ mod native_tests {
     #[test]
     fn server_shutdown_handshake_runs_natively() {
         protocols::server_shutdown_handshake();
+    }
+
+    #[test]
+    fn sampler_shutdown_handshake_runs_natively() {
+        protocols::sampler_shutdown_handshake();
     }
 }
 
@@ -181,6 +187,21 @@ mod model_tests {
         pass(r);
     }
 
+    /// PR 10: the timeline sampler's stop handshake, with spurious
+    /// wakeups standing in for the production timer's ticks, must
+    /// terminate on every schedule — the stop notify can never be
+    /// lost while the sampler holds-or-awaits the flag's mutex.
+    #[test]
+    fn sampler_shutdown_handshake() {
+        let r = Model::new()
+            .preemption_bound(2)
+            .spurious_budget(2)
+            .check("sampler_shutdown_handshake", || {
+                protocols::sampler_shutdown_handshake()
+            });
+        pass(r);
+    }
+
     /// Facade `RwLock`: a writer updating a two-field value under the
     /// write lock is never observed half-done by concurrent readers.
     #[test]
@@ -268,6 +289,15 @@ mod model_tests {
         let rules = fixtures::rules();
         detect("pool_close_no_notify", FailureKind::Deadlock, move || {
             protocols::tagpool_close_drain(&rules, 1, 1, 1)
+        });
+    }
+
+    /// A sampler stop that forgets its notify strands the parked
+    /// sampler with the flag raised but nobody to read it.
+    #[test]
+    fn mutant_sampler_stop_skip_notify_is_detected() {
+        detect("sampler_stop_skip_notify", FailureKind::Deadlock, || {
+            protocols::sampler_shutdown_handshake()
         });
     }
 

@@ -17,6 +17,7 @@ use sclog_obs::Recorder;
 use sclog_rules::{LineBatch, RuleSet, TagPool};
 use sclog_sync::atomic::{AtomicBool, Ordering};
 use sclog_sync::thread;
+use sclog_sync::{Condvar, Mutex, PoisonError};
 
 /// Tag a producer's `i`-th value so loss, duplication and per-producer
 /// order are all checkable from the received multiset.
@@ -218,4 +219,51 @@ pub fn server_shutdown_handshake() {
     });
     assert_eq!(served, accepted, "accepted connection stranded in the ring");
     assert!(accepted + refused <= 3, "phantom connections");
+}
+
+/// The sclogd timeline sampler's shutdown handshake
+/// (`crates/sclogd/src/sampler.rs`), shaped without a clock: the
+/// sampler parks on a condvar under the stop mutex and counts a
+/// "sample" whenever it wakes with the flag still down; the stopping
+/// side raises the flag under the same mutex, notifies, and joins.
+/// The production wait carries a timeout; here it is a plain `wait`,
+/// with the model's injected spurious wakeups standing in for timer
+/// ticks — so the proof that the stop notify is never lost does not
+/// lean on the clock bailing the thread out, which is strictly
+/// stronger than what production needs. A stop that skips its notify
+/// (the `sampler_stop_skip_notify` mutant) must strand the parked
+/// sampler forever.
+pub fn sampler_shutdown_handshake() {
+    let stop = Mutex::new(false);
+    let wake = Condvar::new();
+    thread::scope(|s| {
+        let (stop, wake) = (&stop, &wake);
+        let sampler = thread::spawn_in(s, move || {
+            let mut ticks = 0u64;
+            let mut flag = stop.lock().unwrap_or_else(PoisonError::into_inner);
+            while !*flag {
+                flag = wake.wait(flag).unwrap_or_else(PoisonError::into_inner);
+                if !*flag {
+                    // In production this arm is a timer tick: take a
+                    // sample, go back to sleep.
+                    ticks += 1;
+                }
+            }
+            ticks
+        });
+        *stop.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        #[cfg(sclog_model)]
+        if sclog_sync::model::mutation("sampler_stop_skip_notify") {
+            // Seeded bug: raise the flag but never wake the sampler.
+            // With no timeout to bail it out, it stays parked and the
+            // scope join deadlocks.
+            return;
+        }
+        wake.notify_one();
+        let _ticks = sampler.join().expect("sampler thread");
+        assert!(
+            *stop.lock().unwrap_or_else(PoisonError::into_inner),
+            "stop flag must still be raised after the join"
+        );
+    });
 }

@@ -24,6 +24,11 @@
 //! * Exporters — [`Snapshot::report`] produces the
 //!   [`sclog_types::obs::ObsReport`] JSON schema and [`render`] the
 //!   human-readable run report.
+//! * Deltas — [`Snapshot::delta`] subtracts two snapshots of the same
+//!   recorder with monotonicity checks, [`TraceScope`] brackets one
+//!   unit of work with a before/after delta, and [`History`] retains
+//!   a bounded ring of sampled snapshots that renders as the
+//!   `sclog.trace.v1` timeline (DESIGN.md §15).
 //!
 //! Everything is **zero-cost when disabled**: [`Recorder::disabled`]
 //! (the [`ObsConfig::off`] default) makes every handle a no-op behind
@@ -53,12 +58,14 @@
 
 mod recorder;
 mod report;
+mod trace;
 
 pub use recorder::{
     Counter, Histogram, ObsConfig, Peak, PeakGauge, Recorder, Snapshot, SpanGuard, Stage,
     ThreadRecorder,
 };
 pub use report::render;
+pub use trace::{History, TraceScope};
 
 /// Opens a working span on a stage: `span!(thread_recorder, stage)`
 /// evaluates to the RAII [`SpanGuard`]; busy time is attributed when

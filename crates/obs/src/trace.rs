@@ -1,0 +1,586 @@
+//! Request-scoped deltas and the sampled snapshot history.
+//!
+//! A [`Snapshot`](crate::Snapshot) is cumulative — everything since
+//! recorder creation — which makes one pathological request invisible
+//! inside server-lifetime totals. This module adds the three pieces of
+//! the `sclog.trace.v1` layer that turn cumulative snapshots into
+//! request- and interval-scoped observations:
+//!
+//! * [`Snapshot::delta`] — metric-by-metric subtraction with
+//!   monotonicity checks, producing an
+//!   [`ObsReport`](sclog_types::obs::ObsReport) whose totals are
+//!   differences.
+//! * [`TraceScope`] — a before/after delta bracketed around one unit
+//!   of work.
+//! * [`History`] — a bounded ring of periodically sampled snapshots
+//!   (fed by `sclogd`'s sampler thread) that renders as the
+//!   consecutive-delta timeline served at `/obs/timeline`.
+
+use std::collections::VecDeque;
+
+use sclog_types::obs::{
+    BucketObs, CounterObs, GaugeObs, HistogramObs, ObsReport, StageObs, WorkerObs,
+};
+use sclog_types::trace::{TimelineReport, TimelineSample};
+
+use crate::{Recorder, Snapshot};
+
+/// Subtract with the delta layer's core soundness check: every total
+/// in a later snapshot of the same recorder must be at least the
+/// earlier one. A violation means the arguments were swapped or the
+/// snapshots came from different recorders — report it loudly instead
+/// of wrapping into a garbage delta.
+fn sub_monotone(what: &str, name: &str, later: u64, earlier: u64) -> u64 {
+    assert!(
+        later >= earlier,
+        "snapshot delta: {what} {name:?} went backwards ({later} < {earlier}); \
+         deltas need two snapshots of the same recorder, earlier as the base"
+    );
+    later - earlier
+}
+
+impl Snapshot {
+    /// The difference between this snapshot and an earlier `base` of
+    /// the same recorder, as a report whose totals cover only the
+    /// interval between the two.
+    ///
+    /// Counters (including merged peaks, which are monotone under the
+    /// recorder's `fetch_max` merging), histograms, and stage/worker
+    /// rows subtract field by field; a name missing from `base` (a
+    /// shard registered between the snapshots) subtracts from zero.
+    /// Gauges are instantaneous, not cumulative, so the delta carries
+    /// this snapshot's gauge rows unchanged (their peaks are still
+    /// checked for monotonicity). `coverage` is recomputed over the
+    /// interval. The delta of a snapshot with itself is all-zero.
+    ///
+    /// # Panics
+    ///
+    /// If any total went backwards — the snapshots are from different
+    /// recorders or in the wrong order.
+    pub fn delta(&self, base: &Snapshot) -> ObsReport {
+        let later = self.as_report();
+        let earlier = base.as_report();
+        let wall_ns = sub_monotone("report", "wall_ns", later.wall_ns, earlier.wall_ns);
+        let attributed_ns = sub_monotone(
+            "report",
+            "attributed_ns",
+            later.attributed_ns,
+            earlier.attributed_ns,
+        );
+
+        let counters = delta_counters(later, earlier);
+        let stages = delta_stages(later, earlier);
+        let histograms = delta_histograms(later, earlier);
+        let gauges = delta_gauges(later, earlier);
+        let (workers, window_ns) = delta_workers(later, earlier);
+
+        let coverage = if window_ns == 0 {
+            1.0
+        } else {
+            attributed_ns as f64 / window_ns as f64
+        };
+
+        ObsReport {
+            wall_ns,
+            attributed_ns,
+            coverage,
+            stages,
+            workers,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+fn delta_counters(later: &ObsReport, earlier: &ObsReport) -> Vec<CounterObs> {
+    for c in &earlier.counters {
+        assert!(
+            later.counter(&c.name).is_some(),
+            "snapshot delta: counter {:?} vanished between snapshots",
+            c.name
+        );
+    }
+    later
+        .counters
+        .iter()
+        .map(|c| CounterObs {
+            name: c.name.clone(),
+            value: sub_monotone(
+                "counter",
+                &c.name,
+                c.value,
+                earlier.counter(&c.name).unwrap_or(0),
+            ),
+        })
+        .collect()
+}
+
+fn delta_stages(later: &ObsReport, earlier: &ObsReport) -> Vec<StageObs> {
+    for s in &earlier.stages {
+        assert!(
+            later.stage(&s.name).is_some(),
+            "snapshot delta: stage {:?} vanished between snapshots",
+            s.name
+        );
+    }
+    let zero = StageObs {
+        name: String::new(),
+        wall_ns: 0,
+        busy_ns: 0,
+        wait_ns: 0,
+        items: 0,
+        bytes: 0,
+        spans: 0,
+    };
+    later
+        .stages
+        .iter()
+        .map(|s| {
+            let b = earlier.stage(&s.name).unwrap_or(&zero);
+            StageObs {
+                name: s.name.clone(),
+                wall_ns: sub_monotone("stage wall_ns", &s.name, s.wall_ns, b.wall_ns),
+                busy_ns: sub_monotone("stage busy_ns", &s.name, s.busy_ns, b.busy_ns),
+                wait_ns: sub_monotone("stage wait_ns", &s.name, s.wait_ns, b.wait_ns),
+                items: sub_monotone("stage items", &s.name, s.items, b.items),
+                bytes: sub_monotone("stage bytes", &s.name, s.bytes, b.bytes),
+                spans: sub_monotone("stage spans", &s.name, s.spans, b.spans),
+            }
+        })
+        .collect()
+}
+
+fn delta_histograms(later: &ObsReport, earlier: &ObsReport) -> Vec<HistogramObs> {
+    let find = |report: &ObsReport, name: &str| -> Option<usize> {
+        report.histograms.iter().position(|h| h.name == name)
+    };
+    for h in &earlier.histograms {
+        assert!(
+            find(later, &h.name).is_some(),
+            "snapshot delta: histogram {:?} vanished between snapshots",
+            h.name
+        );
+    }
+    later
+        .histograms
+        .iter()
+        .map(|h| {
+            let empty = Vec::new();
+            let base = find(earlier, &h.name).map(|i| &earlier.histograms[i]);
+            let base_buckets = base.map(|b| &b.buckets).unwrap_or(&empty);
+            // A bucket occupied in the base must still be occupied (at
+            // least as full) later — per-bucket counts only grow.
+            for bb in base_buckets {
+                let have = h.buckets.iter().any(|lb| lb.le == bb.le);
+                assert!(
+                    have,
+                    "snapshot delta: histogram {:?} bucket le={} vanished between snapshots",
+                    h.name, bb.le
+                );
+            }
+            let buckets = h
+                .buckets
+                .iter()
+                .filter_map(|lb| {
+                    let b = base_buckets
+                        .iter()
+                        .find(|bb| bb.le == lb.le)
+                        .map_or(0, |bb| bb.count);
+                    let count = sub_monotone("histogram bucket", &h.name, lb.count, b);
+                    // Match snapshot semantics: only occupied buckets
+                    // appear, so an identical-snapshot delta is empty.
+                    (count > 0).then_some(BucketObs { le: lb.le, count })
+                })
+                .collect();
+            HistogramObs {
+                name: h.name.clone(),
+                count: sub_monotone(
+                    "histogram count",
+                    &h.name,
+                    h.count,
+                    base.map_or(0, |b| b.count),
+                ),
+                sum: sub_monotone("histogram sum", &h.name, h.sum, base.map_or(0, |b| b.sum)),
+                buckets,
+            }
+        })
+        .collect()
+}
+
+fn delta_gauges(later: &ObsReport, earlier: &ObsReport) -> Vec<GaugeObs> {
+    later
+        .gauges
+        .iter()
+        .map(|g| {
+            if let Some(b) = earlier.gauge(&g.name) {
+                sub_monotone("gauge peak", &g.name, g.peak, b.peak);
+            }
+            g.clone()
+        })
+        .collect()
+}
+
+/// Worker rows subtract *aggregated by label*: shards are positional
+/// inside a snapshot, so per-row matching is meaningless when a label
+/// (`http/0`, say, after a pool restart) owns several shards. Labels
+/// keep their first-appearance order from the later snapshot. Returns
+/// the rows plus the delta of the summed active windows — the
+/// denominator for interval coverage.
+fn delta_workers(later: &ObsReport, earlier: &ObsReport) -> (Vec<WorkerObs>, u64) {
+    fn aggregate(report: &ObsReport) -> (Vec<String>, Vec<WorkerObs>) {
+        let mut order: Vec<String> = Vec::new();
+        let mut rows: Vec<WorkerObs> = Vec::new();
+        for w in &report.workers {
+            match rows.iter_mut().find(|r| r.label == w.label) {
+                Some(r) => {
+                    r.wall_ns += w.wall_ns;
+                    r.busy_ns += w.busy_ns;
+                    r.wait_ns += w.wait_ns;
+                    r.items += w.items;
+                    r.jobs += w.jobs;
+                }
+                None => {
+                    order.push(w.label.clone());
+                    rows.push(w.clone());
+                }
+            }
+        }
+        (order, rows)
+    }
+    let (order, later_rows) = aggregate(later);
+    let (_, earlier_rows) = aggregate(earlier);
+    for e in &earlier_rows {
+        assert!(
+            later_rows.iter().any(|l| l.label == e.label),
+            "snapshot delta: worker {:?} vanished between snapshots",
+            e.label
+        );
+    }
+    let zero = WorkerObs {
+        label: String::new(),
+        wall_ns: 0,
+        busy_ns: 0,
+        wait_ns: 0,
+        items: 0,
+        jobs: 0,
+    };
+    let mut window_ns = 0u64;
+    let workers = order
+        .iter()
+        .map(|label| {
+            let l = later_rows
+                .iter()
+                .find(|r| &r.label == label)
+                .expect("own label");
+            let e = earlier_rows
+                .iter()
+                .find(|r| &r.label == label)
+                .unwrap_or(&zero);
+            let wall_ns = sub_monotone("worker wall_ns", label, l.wall_ns, e.wall_ns);
+            window_ns += wall_ns;
+            WorkerObs {
+                label: label.clone(),
+                wall_ns,
+                busy_ns: sub_monotone("worker busy_ns", label, l.busy_ns, e.busy_ns),
+                wait_ns: sub_monotone("worker wait_ns", label, l.wait_ns, e.wait_ns),
+                items: sub_monotone("worker items", label, l.items, e.items),
+                jobs: sub_monotone("worker jobs", label, l.jobs, e.jobs),
+            }
+        })
+        .collect();
+    (workers, window_ns)
+}
+
+/// A before/after delta bracketed around one unit of work: snapshot at
+/// [`TraceScope::begin`], snapshot again at [`TraceScope::finish`],
+/// report the difference. The report's `wall_ns` is the scope's
+/// elapsed time; its counters/histograms/stages cover only what
+/// happened inside the scope (on *every* recorded thread — the
+/// recorder is shared, so concurrent work is attributed too).
+#[derive(Debug)]
+pub struct TraceScope {
+    rec: Recorder,
+    before: Snapshot,
+}
+
+impl TraceScope {
+    /// Opens the scope by capturing the "before" snapshot.
+    pub fn begin(rec: &Recorder) -> TraceScope {
+        TraceScope {
+            rec: rec.clone(),
+            before: rec.snapshot(),
+        }
+    }
+
+    /// Closes the scope: captures the "after" snapshot and returns the
+    /// delta report for the bracketed interval.
+    pub fn finish(self) -> ObsReport {
+        self.rec.snapshot().delta(&self.before)
+    }
+}
+
+/// A bounded ring of sampled snapshots, oldest first.
+///
+/// The producer (one sampler thread) pushes a snapshot per period and
+/// the ring evicts from the front, so memory is fixed while the
+/// retained window slides. [`History::timeline`] renders the ring as
+/// its consecutive deltas — `len() - 1` interval reports, each stamped
+/// with the later endpoint's `wall_ns` (nanoseconds since recorder
+/// creation, the shared relative clock).
+#[derive(Debug)]
+pub struct History {
+    cap: usize,
+    ring: VecDeque<Snapshot>,
+}
+
+impl History {
+    /// An empty history retaining at most `cap` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// If `cap` is zero — a ring that can hold nothing records
+    /// nothing, which is always a configuration mistake.
+    pub fn new(cap: usize) -> History {
+        assert!(cap > 0, "history capacity must be positive");
+        History {
+            cap,
+            ring: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when the ring is full.
+    pub fn record(&mut self, snapshot: Snapshot) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(snapshot);
+    }
+
+    /// Retained samples (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Retained snapshots, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Snapshot> {
+        self.ring.iter()
+    }
+
+    /// The most recently recorded snapshot.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.ring.back()
+    }
+
+    /// The ring as consecutive deltas, oldest interval first (empty
+    /// until two samples exist).
+    pub fn timeline(&self) -> TimelineReport {
+        let samples = self
+            .ring
+            .iter()
+            .zip(self.ring.iter().skip(1))
+            .map(|(earlier, later)| TimelineSample {
+                at_ns: later.as_report().wall_ns,
+                delta: later.delta(earlier),
+            })
+            .collect();
+        TimelineReport { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsConfig;
+
+    fn recorder() -> Recorder {
+        ObsConfig::on().recorder()
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_all_zero() {
+        let rec = recorder();
+        let c = rec.counter("t.count");
+        let h = rec.histogram("t.hist");
+        let st = rec.stage("t.stage");
+        let tr = rec.thread("w/0");
+        {
+            let _span = tr.span(st);
+            tr.add(c, 5);
+            tr.observe(h, 9);
+            tr.stage_items(st, 3, 64);
+        }
+        let snap = rec.snapshot();
+        let d = snap.delta(&snap);
+        assert_eq!(d.wall_ns, 0);
+        assert_eq!(d.attributed_ns, 0);
+        assert_eq!(d.coverage, 1.0);
+        assert!(d.counters.iter().all(|c| c.value == 0), "{d:?}");
+        for h in &d.histograms {
+            assert_eq!((h.count, h.sum), (0, 0), "{h:?}");
+            assert!(h.buckets.is_empty(), "{h:?}");
+        }
+        for s in &d.stages {
+            assert_eq!(
+                (s.wall_ns, s.busy_ns, s.wait_ns, s.items, s.bytes, s.spans),
+                (0, 0, 0, 0, 0, 0),
+                "{s:?}"
+            );
+        }
+        for w in &d.workers {
+            assert_eq!(
+                (w.wall_ns, w.busy_ns, w.items, w.jobs),
+                (0, 0, 0, 0),
+                "{w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_isolates_the_second_interval() {
+        let rec = recorder();
+        let c = rec.counter("t.count");
+        let h = rec.histogram("t.hist");
+        let st = rec.stage("t.stage");
+        let tr = rec.thread("w/0");
+        tr.add(c, 10);
+        tr.observe(h, 3);
+        let base = rec.snapshot();
+        tr.add(c, 7);
+        tr.observe(h, 3);
+        tr.observe(h, 1000);
+        {
+            let _span = tr.span(st);
+            tr.stage_items(st, 4, 256);
+        }
+        let d = rec.snapshot().delta(&base);
+        assert_eq!(d.counter("t.count"), Some(7));
+        let hist = d.histograms.iter().find(|h| h.name == "t.hist").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 1003);
+        // 3 landed in an already-occupied bucket, 1000 in a fresh one.
+        assert_eq!(hist.buckets.iter().map(|b| b.count).sum::<u64>(), 2);
+        let stage = d.stage("t.stage").unwrap();
+        assert_eq!((stage.items, stage.bytes, stage.spans), (4, 256, 1));
+        assert!(d.wall_ns > 0, "time passed between the snapshots");
+    }
+
+    #[test]
+    fn delta_treats_fresh_shards_as_zero_based() {
+        let rec = recorder();
+        let c = rec.counter("t.count");
+        let base = {
+            let tr = rec.thread("w/0");
+            tr.add(c, 2);
+            rec.snapshot()
+        };
+        // A shard registered *after* the base snapshot: its whole
+        // contribution belongs to the interval.
+        let tr2 = rec.thread("w/1");
+        tr2.add(c, 40);
+        let d = rec.snapshot().delta(&base);
+        assert_eq!(d.counter("t.count"), Some(40));
+        let w1 = d.workers.iter().find(|w| w.label == "w/1");
+        // No spans on w/1, so it may be absent; but if present it must
+        // subtract from zero without panicking (checked implicitly).
+        let _ = w1;
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn delta_panics_when_the_base_is_newer() {
+        let rec = recorder();
+        let c = rec.counter("t.count");
+        let tr = rec.thread("w/0");
+        tr.add(c, 1);
+        let older = rec.snapshot();
+        tr.add(c, 1);
+        let newer = rec.snapshot();
+        let _ = older.delta(&newer);
+    }
+
+    #[test]
+    fn trace_scope_brackets_one_unit_of_work() {
+        let rec = recorder();
+        let c = rec.counter("t.count");
+        let tr = rec.thread("w/0");
+        tr.add(c, 100);
+        let scope = TraceScope::begin(&rec);
+        tr.add(c, 3);
+        let report = scope.finish();
+        assert_eq!(report.counter("t.count"), Some(3));
+    }
+
+    #[test]
+    fn history_evicts_oldest_and_keeps_order() {
+        let rec = recorder();
+        let c = rec.counter("t.ticks");
+        let tr = rec.thread("w/0");
+        let mut history = History::new(3);
+        assert!(history.is_empty());
+        for _ in 0..5 {
+            tr.add(c, 1);
+            history.record(rec.snapshot());
+        }
+        assert_eq!(history.len(), 3);
+        assert_eq!(history.capacity(), 3);
+        let ticks: Vec<u64> = history
+            .iter()
+            .map(|s| s.counter("t.ticks").unwrap())
+            .collect();
+        assert_eq!(ticks, vec![3, 4, 5]);
+        assert_eq!(history.latest().unwrap().counter("t.ticks"), Some(5));
+    }
+
+    #[test]
+    fn timeline_renders_consecutive_deltas_with_relative_stamps() {
+        let rec = recorder();
+        let c = rec.counter("t.ticks");
+        let tr = rec.thread("w/0");
+        let mut history = History::new(8);
+        history.record(rec.snapshot());
+        assert!(
+            history.timeline().samples.is_empty(),
+            "one sample, no interval"
+        );
+        for _ in 0..3 {
+            tr.add(c, 2);
+            history.record(rec.snapshot());
+        }
+        let timeline = history.timeline();
+        assert_eq!(timeline.samples.len(), 3);
+        let mut prev = 0;
+        for s in &timeline.samples {
+            assert_eq!(s.delta.counter("t.ticks"), Some(2));
+            assert!(s.at_ns >= prev, "relative stamps must not go backwards");
+            prev = s.at_ns;
+        }
+        let json = timeline.to_json();
+        assert!(json.starts_with(r#"{"schema":"sclog.trace.v1""#));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_history_is_rejected() {
+        let _ = History::new(0);
+    }
+
+    #[test]
+    fn disabled_recorder_produces_empty_deltas() {
+        let rec = Recorder::disabled();
+        let scope = TraceScope::begin(&rec);
+        let report = scope.finish();
+        assert_eq!(report.wall_ns, 0);
+        assert!(report.counters.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the trace layer: `Snapshot::delta` must agree
+//! with manual bookkeeping over random recorder workloads, and the
+//! `History` ring must evict in strict arrival order.
+
+use sclog_obs::{History, ObsConfig, TraceScope};
+use sclog_testkit::{check_n, Gen};
+
+/// The recorder's log2 bucket upper bound for a value, replicated
+/// independently so the histogram-delta property does not reuse the
+/// code under test.
+fn bucket_le(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let bits = 64 - v.leading_zeros();
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Hand-kept totals for one interval of a random workload.
+#[derive(Default)]
+struct Manual {
+    counters: [u64; 2],
+    hist_count: u64,
+    hist_sum: u64,
+    hist_buckets: Vec<(u64, u64)>,
+    items: u64,
+    bytes: u64,
+    spans: u64,
+}
+
+impl Manual {
+    fn observe(&mut self, v: u64) {
+        self.hist_count += 1;
+        self.hist_sum += v;
+        let le = bucket_le(v);
+        match self.hist_buckets.iter_mut().find(|(b, _)| *b == le) {
+            Some((_, n)) => *n += 1,
+            None => self.hist_buckets.push((le, 1)),
+        }
+    }
+}
+
+#[test]
+fn delta_matches_manual_subtraction() {
+    check_n("obs_delta_manual", 40, |g: &mut Gen| {
+        let rec = ObsConfig::on().recorder();
+        let counters = [rec.counter("p.a"), rec.counter("p.b")];
+        let hist = rec.histogram("p.hist");
+        let stage = rec.stage("p.stage");
+        let tr = rec.thread("prop/0");
+
+        // Phase one: arbitrary prefix traffic the delta must ignore.
+        for _ in 0..g.usize_in(0..=20) {
+            match g.below(3) {
+                0 => tr.add(counters[g.usize_in(0..=1)], g.below(1000)),
+                1 => {
+                    let shift = g.below(40);
+                    tr.observe(hist, g.below(1 << shift));
+                }
+                _ => {
+                    let _span = tr.span(stage);
+                    tr.stage_items(stage, g.below(50), g.below(4096));
+                }
+            }
+        }
+
+        // Phase two: the traced interval, mirrored by hand.
+        let scope = TraceScope::begin(&rec);
+        let mut manual = Manual::default();
+        for _ in 0..g.usize_in(0..=20) {
+            match g.below(3) {
+                0 => {
+                    let which = g.usize_in(0..=1);
+                    let n = g.below(1000);
+                    tr.add(counters[which], n);
+                    manual.counters[which] += n;
+                }
+                1 => {
+                    let shift = g.below(40);
+                    let v = g.below(1 << shift);
+                    tr.observe(hist, v);
+                    manual.observe(v);
+                }
+                _ => {
+                    let items = g.below(50);
+                    let bytes = g.below(4096);
+                    let _span = tr.span(stage);
+                    tr.stage_items(stage, items, bytes);
+                    manual.items += items;
+                    manual.bytes += bytes;
+                    manual.spans += 1;
+                }
+            }
+        }
+        let delta = scope.finish();
+
+        assert_eq!(delta.counter("p.a"), Some(manual.counters[0]));
+        assert_eq!(delta.counter("p.b"), Some(manual.counters[1]));
+
+        let h = delta
+            .histograms
+            .iter()
+            .find(|h| h.name == "p.hist")
+            .expect("registered histogram is always reported");
+        assert_eq!(h.count, manual.hist_count);
+        assert_eq!(h.sum, manual.hist_sum);
+        let mut want = manual.hist_buckets.clone();
+        want.sort_unstable();
+        let got: Vec<(u64, u64)> = h.buckets.iter().map(|b| (b.le, b.count)).collect();
+        assert_eq!(got, want, "interval bucket occupancy mismatch");
+
+        let s = delta
+            .stage("p.stage")
+            .expect("registered stage is always reported");
+        assert_eq!(
+            (s.items, s.bytes, s.spans),
+            (manual.items, manual.bytes, manual.spans)
+        );
+
+        // And the degenerate interval: a snapshot minus itself.
+        let snap = rec.snapshot();
+        let zero = snap.delta(&snap);
+        assert_eq!(zero.wall_ns, 0);
+        assert!(zero.counters.iter().all(|c| c.value == 0));
+        assert!(zero
+            .histograms
+            .iter()
+            .all(|h| h.count == 0 && h.buckets.is_empty()));
+    });
+}
+
+#[test]
+fn history_ring_wraps_in_arrival_order() {
+    check_n("obs_history_wraparound", 40, |g: &mut Gen| {
+        let rec = ObsConfig::on().recorder();
+        let ticks = rec.counter("p.ticks");
+        let tr = rec.thread("prop/0");
+        let cap = g.usize_in(1..=6);
+        let pushes = g.usize_in(0..=15);
+        let mut history = History::new(cap);
+        for i in 1..=pushes {
+            tr.add(ticks, 1);
+            history.record(rec.snapshot());
+            assert_eq!(history.len(), i.min(cap), "ring size while filling");
+        }
+
+        // Survivors are exactly the last `cap` samples, oldest first.
+        let got: Vec<u64> = history
+            .iter()
+            .map(|s| s.counter("p.ticks").unwrap())
+            .collect();
+        let want: Vec<u64> = (pushes.saturating_sub(cap) + 1..=pushes)
+            .map(|v| v as u64)
+            .collect();
+        assert_eq!(got, if pushes == 0 { Vec::new() } else { want });
+
+        // Each timeline step spans exactly one push, stamped in
+        // nondecreasing relative time.
+        let timeline = history.timeline();
+        assert_eq!(timeline.samples.len(), history.len().saturating_sub(1));
+        let mut prev_at = 0;
+        for step in &timeline.samples {
+            assert_eq!(step.delta.counter("p.ticks"), Some(1));
+            assert!(step.at_ns >= prev_at, "timeline stamps went backwards");
+            prev_at = step.at_ns;
+        }
+    });
+}

@@ -18,7 +18,7 @@ use std::sync::Mutex;
 
 use sclog_obs::ThreadRecorder;
 use sclog_stats::Summary;
-use sclog_store::ScanFilter;
+use sclog_store::{ScanFilter, ScanStats};
 use sclog_types::json::{JsonArray, JsonObject};
 
 use crate::store::{AlertStore, StoreInner};
@@ -46,12 +46,17 @@ impl AggregateCache {
         AggregateCache::default()
     }
 
+    /// Runs `f` over the current-version cache entry, recomputing it
+    /// first if stale. The second element of the result is the
+    /// recompute scan's statistics — `None` on a cache hit, which is
+    /// how a request's trace distinguishes "free" aggregate serves
+    /// from the one that paid for a full scan.
     fn with_current<R>(
         &self,
         store: &AlertStore,
         rec: &ThreadRecorder,
         f: impl FnOnce(&Cached) -> R,
-    ) -> Result<R, String> {
+    ) -> Result<(R, Option<ScanStats>), String> {
         let mut slot = self
             .slot
             .lock()
@@ -60,10 +65,13 @@ impl AggregateCache {
             Some(cached) => cached.version != store.version(),
             None => true,
         };
+        let mut scanned = None;
         if stale {
-            *slot = Some(compute(&store.read(), rec).map_err(|e| e.to_string())?);
+            let (cached, stats) = compute(&store.read(), rec).map_err(|e| e.to_string())?;
+            *slot = Some(cached);
+            scanned = Some(stats);
         }
-        Ok(f(slot.as_ref().expect("cache populated above")))
+        Ok((f(slot.as_ref().expect("cache populated above")), scanned))
     }
 
     /// `/categories` body: per-category tagged/filtered counts.
@@ -71,7 +79,11 @@ impl AggregateCache {
     /// # Errors
     ///
     /// A store read failure while recomputing, as a 500 body.
-    pub fn categories(&self, store: &AlertStore, rec: &ThreadRecorder) -> Result<String, String> {
+    pub fn categories(
+        &self,
+        store: &AlertStore,
+        rec: &ThreadRecorder,
+    ) -> Result<(String, Option<ScanStats>), String> {
         self.with_current(store, rec, |c| c.categories_json.clone())
     }
 
@@ -81,7 +93,11 @@ impl AggregateCache {
     /// # Errors
     ///
     /// A store read failure while recomputing, as a 500 body.
-    pub fn interarrival(&self, store: &AlertStore, rec: &ThreadRecorder) -> Result<String, String> {
+    pub fn interarrival(
+        &self,
+        store: &AlertStore,
+        rec: &ThreadRecorder,
+    ) -> Result<(String, Option<ScanStats>), String> {
         self.with_current(store, rec, |c| c.interarrival_json.clone())
     }
 
@@ -95,7 +111,7 @@ impl AggregateCache {
         store: &AlertStore,
         rec: &ThreadRecorder,
         k: usize,
-    ) -> Result<String, String> {
+    ) -> Result<(String, Option<ScanStats>), String> {
         self.with_current(store, rec, |c| {
             let mut rows = JsonArray::new();
             for (host, count) in c.hotspots.iter().take(k) {
@@ -111,12 +127,12 @@ impl AggregateCache {
     }
 }
 
-fn compute(inner: &StoreInner, rec: &ThreadRecorder) -> io::Result<Cached> {
+fn compute(inner: &StoreInner, rec: &ThreadRecorder) -> io::Result<(Cached, ScanStats)> {
     // One unfiltered scan, then one pass: per-category counts and
     // survivor times, per-host survivor counts. The scan returns
     // alerts time-sorted, so the collected times are too —
     // interarrival gaps are direct successive differences.
-    let alerts = inner.scan(&ScanFilter::all(), rec)?;
+    let (alerts, scan_stats) = inner.scan(&ScanFilter::all(), rec)?;
     let mut tagged: HashMap<u16, u64> = HashMap::new();
     let mut filtered: HashMap<u16, u64> = HashMap::new();
     let mut times: HashMap<u16, Vec<i64>> = HashMap::new();
@@ -173,12 +189,15 @@ fn compute(inner: &StoreInner, rec: &ThreadRecorder) -> io::Result<Cached> {
         body.raw(key, &rows.finish());
         body.finish()
     };
-    Ok(Cached {
-        version: inner.version,
-        categories_json: wrap(categories, "categories"),
-        interarrival_json: wrap(interarrival, "interarrival"),
-        hotspots,
-    })
+    Ok((
+        Cached {
+            version: inner.version,
+            categories_json: wrap(categories, "categories"),
+            interarrival_json: wrap(interarrival, "interarrival"),
+            hotspots,
+        },
+        scan_stats,
+    ))
 }
 
 #[cfg(test)]
@@ -214,18 +233,23 @@ Mar  7 07:50:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
         let (store, _, result) = seeded_store();
         let rec = test_rec();
         let cache = AggregateCache::new();
-        let cats = cache.categories(&store, &rec).unwrap();
+        let (cats, scanned) = cache.categories(&store, &rec).unwrap();
         validate(&cats).unwrap();
         assert!(cats.contains("\"tagged\":3"), "body: {cats}");
+        assert!(
+            scanned.is_some_and(|s| s.rows_decoded == 3),
+            "the recompute reports its scan: {scanned:?}"
+        );
 
-        let inter = cache.interarrival(&store, &rec).unwrap();
+        let (inter, scanned) = cache.interarrival(&store, &rec).unwrap();
         validate(&inter).unwrap();
+        assert!(scanned.is_none(), "cache hit must not claim a scan");
         // Three survivors 600 s apart → two gaps of exactly 600 s.
         assert!(result.filtered.len() == 3);
         assert!(inter.contains("\"gaps\":2"), "body: {inter}");
         assert!(inter.contains("\"mean_s\":600"), "body: {inter}");
 
-        let hot = cache.hotspots(&store, &rec, 1).unwrap();
+        let (hot, _) = cache.hotspots(&store, &rec, 1).unwrap();
         validate(&hot).unwrap();
         assert!(hot.contains("\"nodes\":2"), "body: {hot}");
         assert!(hot.contains("\"host\":\"sn373\""), "sn373 has 2 survivors");
@@ -237,14 +261,14 @@ Mar  7 07:50:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
         let (store, registry, result) = seeded_store();
         let rec = test_rec();
         let cache = AggregateCache::new();
-        let before = cache.categories(&store, &rec).unwrap();
+        let before = cache.categories(&store, &rec).unwrap().0;
         assert_eq!(
             before,
-            cache.categories(&store, &rec).unwrap(),
+            cache.categories(&store, &rec).unwrap().0,
             "stable under reads"
         );
         store.ingest(SystemId::Liberty, &result, &registry, &[]);
-        let after = cache.categories(&store, &rec).unwrap();
+        let after = cache.categories(&store, &rec).unwrap().0;
         assert_ne!(before, after, "ingest must invalidate");
         assert!(after.contains("\"tagged\":6"), "body: {after}");
     }

@@ -8,7 +8,7 @@
 //! every match; `alerts` carries at most `limit` of them, so a client
 //! can see it was truncated.
 
-use sclog_store::ScanFilter;
+use sclog_store::{ScanFilter, ScanStats};
 use sclog_types::json::{JsonArray, JsonObject};
 use sclog_types::segment::{class_code, severity_code};
 
@@ -83,7 +83,8 @@ fn render_alert(inner: &StoreInner, alert: &StoredAlert, fields: &[Field]) -> St
 }
 
 /// Runs the query through a pruned store scan and renders the
-/// `/alerts` response body.
+/// `/alerts` response body, returning the scan's by-value statistics
+/// alongside it for the request's trace.
 ///
 /// # Errors
 ///
@@ -93,8 +94,8 @@ pub fn render_alerts(
     inner: &StoreInner,
     query: &Query,
     rec: &sclog_obs::ThreadRecorder,
-) -> Result<String, String> {
-    let hits = inner
+) -> Result<(String, ScanStats), String> {
+    let (hits, stats) = inner
         .scan(&scan_filter(inner, query), rec)
         .map_err(|e| e.to_string())?;
     let mut rows = JsonArray::new();
@@ -107,7 +108,7 @@ pub fn render_alerts(
     body.uint("total", hits.len() as u64)
         .uint("returned", returned as u64)
         .raw("alerts", &rows.finish());
-    Ok(body.finish())
+    Ok((body.finish(), stats))
 }
 
 #[cfg(test)]
@@ -143,7 +144,7 @@ Mar  7 09:00:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
     fn run(store: &AlertStore, query: &str) -> Vec<StoredAlert> {
         let inner = store.read();
         let q = Query::parse(query).unwrap();
-        inner.scan(&scan_filter(&inner, &q), &test_rec()).unwrap()
+        inner.scan(&scan_filter(&inner, &q), &test_rec()).unwrap().0
     }
 
     #[test]
@@ -189,7 +190,7 @@ Mar  7 09:00:00 dn228 pbs_mom: task_check, cannot tm_reply to 12 task 1\n";
         let store = store_with_liberty();
         let inner = store.read();
         let q = Query::parse("fields=time,host,filtered&limit=2").unwrap();
-        let body = render_alerts(&inner, &q, &test_rec()).unwrap();
+        let (body, _) = render_alerts(&inner, &q, &test_rec()).unwrap();
         validate(&body).expect("body must be valid JSON");
         assert!(body.contains("\"total\":3"));
         assert!(body.contains("\"returned\":2"));

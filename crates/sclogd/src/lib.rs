@@ -22,8 +22,13 @@
 //!   `/hotspots` bodies, cached by store version.
 //! - [`http`] — request head parsing under hard caps, responses with
 //!   `Content-Length` and `Connection: close`.
+//! - `trace` — query normalization and the bounded slow-query log
+//!   behind `/obs/queries`.
+//! - `sampler` — the background thread feeding `/obs/timeline` with
+//!   periodic recorder snapshots (model-checked shutdown handshake).
 //! - [`server`] — accept thread, bounded admission (503 +
-//!   `Retry-After` when saturated), worker pool, obs spans, shutdown.
+//!   `Retry-After` when saturated), worker pool, per-request traces,
+//!   obs spans, shutdown.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +38,7 @@ pub mod format;
 pub mod hosts;
 pub mod http;
 pub mod query;
+mod sampler;
 pub mod server;
 pub mod store;
+mod trace;

@@ -40,6 +40,7 @@ struct Args {
     data: Option<PathBuf>,
     smoke: bool,
     store_smoke: bool,
+    trace_smoke: bool,
 }
 
 impl Default for Args {
@@ -54,6 +55,7 @@ impl Default for Args {
             data: None,
             smoke: false,
             store_smoke: false,
+            trace_smoke: false,
         }
     }
 }
@@ -75,6 +77,7 @@ FLAGS:
                     on exit)
   --smoke           run the offline serving self-test and exit
   --store-smoke     run the persistence crash/recovery self-test and exit
+  --trace-smoke     run the slow-query tracing self-test and exit
   --help            this text
 ";
 
@@ -103,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
             "--data" => args.data = Some(PathBuf::from(value("--data")?)),
             "--smoke" => args.smoke = true,
             "--store-smoke" => args.store_smoke = true,
+            "--trace-smoke" => args.trace_smoke = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -207,6 +211,18 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.trace_smoke {
+        return match trace_smoke(&args) {
+            Ok(()) => {
+                println!("trace-smoke: OK");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("trace-smoke: FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let store = match &args.data {
         Some(dir) => match AlertStore::open(dir) {
@@ -241,6 +257,7 @@ fn main() -> ExitCode {
         addr: format!("127.0.0.1:{}", args.port),
         workers: args.workers,
         accept_queue: args.accept_queue,
+        ..ServerConfig::default()
     };
     let server = match Server::start(Arc::clone(&state), &config) {
         Ok(server) => server,
@@ -313,6 +330,24 @@ fn expect(cond: bool, msg: &str) -> Result<(), String> {
     }
 }
 
+/// Extracts the first `"key":<digits>` at or after byte offset `from`
+/// in a JSON body — enough of a parser for the smoke assertions.
+fn u64_after(body: &str, from: usize, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let at = body[from..]
+        .find(&pat)
+        .ok_or_else(|| format!("no {pat} after offset {from}"))?
+        + from
+        + pat.len();
+    let digits: String = body[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| format!("{pat} not followed by a number"))
+}
+
 fn smoke(args: &Args) -> Result<(), String> {
     use sclog_types::json::validate;
 
@@ -339,6 +374,7 @@ fn smoke(args: &Args) -> Result<(), String> {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             accept_queue: 8,
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("bind: {e}"))?;
@@ -435,6 +471,7 @@ fn smoke(args: &Args) -> Result<(), String> {
             addr: "127.0.0.1:0".to_owned(),
             workers: 1,
             accept_queue: 1,
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("bind overload server: {e}"))?;
@@ -464,6 +501,23 @@ fn smoke(args: &Args) -> Result<(), String> {
         }
     }
     expect(saw_503, "burst against a saturated server must see a 503")?;
+
+    // Every accept-thread refusal is also a `server.rejects` count,
+    // visible both from the raw /obs report and from /obs/health.
+    let obs = http_get(addr, "/obs")?;
+    let rejects_at = obs
+        .body
+        .find("\"server.rejects\"")
+        .ok_or("/obs must carry the server.rejects counter")?;
+    expect(
+        u64_after(&obs.body, rejects_at, "value")? > 0,
+        "server.rejects must count the refused burst",
+    )?;
+    expect(
+        u64_after(&http_get(addr, "/obs/health")?.body, 0, "rejects")? > 0,
+        "/obs/health must surface the reject count",
+    )?;
+
     let pinned = pin.join().map_err(|_| "slow request thread panicked")??;
     expect(pinned.status == 200, "pinned /slow request must finish")?;
     expect(
@@ -569,6 +623,7 @@ fn store_smoke(args: &Args) -> Result<(), String> {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             accept_queue: 8,
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("bind: {e}"))?;
@@ -590,5 +645,117 @@ fn store_smoke(args: &Args) -> Result<(), String> {
     )?;
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+// ---------------------------------------------------------- trace smoke
+
+/// The tracing self-test behind `verify.sh --trace-smoke`: boot a
+/// server with a fast timeline sampler, issue one deliberately wide
+/// query (full scan) and one the zone maps can prune hard, then check
+/// that `/obs/queries` alone tells them apart — by rank and by each
+/// request's own scan statistics — and that `/obs/timeline` has been
+/// accumulating samples in the background.
+fn trace_smoke(args: &Args) -> Result<(), String> {
+    use sclog_types::json::validate;
+
+    let state = Arc::new(ServerState::new(
+        AlertStore::new(),
+        sclog_obs::Recorder::new(),
+    ));
+    let rec = state.recorder.thread("ingest");
+    ingest_all(
+        &state.store,
+        args.scale.min(0.002),
+        args.seed,
+        args.threads,
+        &rec,
+    )
+    .map_err(|e| format!("ingest: {e}"))?;
+    drop(rec);
+    let server = Server::start(
+        Arc::clone(&state),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            accept_queue: 8,
+            sample_every: std::time::Duration::from_millis(20),
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+
+    // The wide query: no predicates, maximum legal limit — nothing for
+    // the store to prune, every row decoded and rendered. The narrow
+    // query: one system, one row — whole partitions pruned up front.
+    expect(
+        http_get(addr, "/alerts?limit=10000")?.status == 200,
+        "wide query must be 200",
+    )?;
+    expect(
+        http_get(addr, "/alerts?system=bgl&limit=1")?.status == 200,
+        "narrow query must be 200",
+    )?;
+
+    // Let the sampler cover at least two periods.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let queries = http_get(addr, "/obs/queries?n=50")?;
+    expect(queries.status == 200, "/obs/queries must be 200")?;
+    validate(&queries.body).map_err(|e| format!("queries body: {e}"))?;
+    let body = &queries.body;
+    expect(
+        body.contains("\"schema\":\"sclog.trace.v1\""),
+        "/obs/queries must be a sclog.trace.v1 report",
+    )?;
+    let wide_at = body
+        .find("\"query\":\"limit=10000\"")
+        .ok_or("wide query missing from the slow log")?;
+    let narrow_at = body
+        .find("\"query\":\"limit=1&system=bgl\"")
+        .ok_or("narrow query missing from the slow log (params should be sorted)")?;
+    expect(
+        wide_at < narrow_at,
+        "the full scan must outrank the pruned query",
+    )?;
+    expect(
+        u64_after(body, wide_at, "partitions_pruned")? == 0
+            && u64_after(body, wide_at, "zones_pruned")? == 0,
+        "the wide scan must prune nothing",
+    )?;
+    expect(
+        u64_after(body, narrow_at, "partitions_pruned")? > 0,
+        "the narrow scan must prune whole partitions",
+    )?;
+    expect(
+        u64_after(body, wide_at, "rows_decoded")? > u64_after(body, narrow_at, "rows_decoded")?,
+        "the wide scan must decode more rows than the narrow one",
+    )?;
+
+    let timeline = http_get(addr, "/obs/timeline")?;
+    expect(timeline.status == 200, "/obs/timeline must be 200")?;
+    validate(&timeline.body).map_err(|e| format!("timeline body: {e}"))?;
+    expect(
+        timeline.body.contains("\"schema\":\"sclog.trace.v1\""),
+        "/obs/timeline must be a sclog.trace.v1 report",
+    )?;
+    expect(
+        timeline.body.matches("\"at_ns\"").count() >= 2,
+        "the background sampler must have recorded at least two deltas",
+    )?;
+
+    let health = http_get(addr, "/obs/health")?;
+    expect(health.status == 200, "/obs/health must be 200")?;
+    validate(&health.body).map_err(|e| format!("health body: {e}"))?;
+    expect(
+        health.body.contains("\"status\":\"ok\"") && health.body.contains("\"trace_format\":1"),
+        "health must carry the trace format version",
+    )?;
+    expect(
+        http_get(addr, "/obs")?.body.contains("http.us:/alerts"),
+        "/obs must carry the per-endpoint latency histogram",
+    )?;
+
+    server.shutdown();
     Ok(())
 }

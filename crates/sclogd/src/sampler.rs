@@ -1,0 +1,124 @@
+//! The background snapshot sampler feeding `/obs/timeline`.
+//!
+//! One thread, one job: every `period`, snapshot the server's recorder
+//! into the shared history ring, until told to stop. The interesting
+//! part is the shutdown handshake, built on the `sclog-sync` facade:
+//!
+//! - the sampler parks in `Condvar::wait_timeout` under the `stop`
+//!   mutex and takes a sample whenever it wakes with the flag still
+//!   down;
+//! - [`Sampler::stop`] raises the flag under the same mutex, notifies,
+//!   and joins.
+//!
+//! Because the flag is only ever read under the mutex the wait
+//! atomically releases, the notify can never be lost: the sampler is
+//! either parked (and is woken) or has not re-checked the flag yet
+//! (and will see it raised). `crates/check`'s
+//! `sampler_shutdown_handshake` driver model-checks exactly this shape
+//! — with plain `wait`, no timeout, so the proof does not lean on the
+//! clock — across every schedule under `verify.sh --model-check`,
+//! including a seeded skip-the-notify mutant that must deadlock.
+
+use std::time::Duration;
+
+use sclog_sync::thread::JoinHandle;
+use sclog_sync::{Arc, Condvar, Mutex, PoisonError};
+
+use crate::server::ServerState;
+
+/// Shared stop latch: flag under a mutex, condvar for the wakeup.
+#[derive(Debug, Default)]
+struct SamplerCtl {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A running sampler thread. Dropping it without [`Sampler::stop`]
+/// detaches the thread (it keeps sampling until the process exits),
+/// mirroring the server's own thread semantics.
+#[derive(Debug)]
+pub(crate) struct Sampler {
+    ctl: Arc<SamplerCtl>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Spawns the sampler: one immediate seed sample so the timeline
+    /// is never empty, then one sample per `period` until stopped.
+    pub(crate) fn start(state: &Arc<ServerState>, period: Duration) -> Sampler {
+        let ctl = Arc::new(SamplerCtl::default());
+        let thread_ctl = Arc::clone(&ctl);
+        let state = Arc::clone(state);
+        let handle = sclog_sync::thread::spawn(move || {
+            let rec = state.recorder.thread("sampler");
+            state.take_sample(&rec);
+            let mut stop = thread_ctl
+                .stop
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while !*stop {
+                let (guard, _timed_out) = thread_ctl
+                    .wake
+                    .wait_timeout(stop, period)
+                    .unwrap_or_else(PoisonError::into_inner);
+                stop = guard;
+                if !*stop {
+                    state.take_sample(&rec);
+                }
+            }
+        });
+        Sampler {
+            ctl,
+            handle: Some(handle),
+        }
+    }
+
+    /// Raises the stop flag, wakes the sampler, and joins it.
+    pub(crate) fn stop(mut self) {
+        *self.ctl.stop.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.ctl.wake.notify_one();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::AlertStore;
+    use sclog_obs::Recorder;
+
+    #[test]
+    fn sampler_seeds_then_accumulates_then_stops() {
+        let state = Arc::new(ServerState::new(AlertStore::new(), Recorder::new()));
+        let sampler = Sampler::start(&state, Duration::from_millis(5));
+        // The seed sample lands without waiting a full period.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while state.timeline_len() == 0 {
+            assert!(std::time::Instant::now() < deadline, "no seed sample");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // And periodic samples keep arriving.
+        while state.timeline_len() < 3 {
+            assert!(std::time::Instant::now() < deadline, "sampler stalled");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        let settled = state.timeline_len();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(state.timeline_len(), settled, "sampled after stop");
+    }
+
+    #[test]
+    fn stop_does_not_wait_out_a_long_period() {
+        let state = Arc::new(ServerState::new(AlertStore::new(), Recorder::new()));
+        let sampler = Sampler::start(&state, Duration::from_secs(3600));
+        let started = std::time::Instant::now();
+        sampler.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "stop must interrupt the wait, not sit out the period"
+        );
+    }
+}

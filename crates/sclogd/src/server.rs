@@ -9,23 +9,33 @@
 //! immediate refusal instead of an unbounded backlog. Shutdown is a
 //! flag plus a self-connect to unblock `accept`; dropping the sender
 //! then ends every worker's `recv` loop.
+//!
+//! Since PR 10 every request is also traced: a monotonic trace id, a
+//! per-endpoint log2 latency histogram, and a [`SlowLog`] entry with
+//! the scan's by-value [`ScanStats`], served at `/obs/queries`; a
+//! background [`Sampler`] feeds the `/obs/timeline` history ring, and
+//! `/obs/health` summarizes uptime, versions and queue pressure.
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use sclog_sync::atomic::{AtomicBool, Ordering};
+use sclog_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use sclog_sync::thread::JoinHandle;
-use sclog_sync::{Arc, Mutex};
+use sclog_sync::{Arc, Mutex, PoisonError};
 
 use sclog_core::pipeline::channel::{bounded, TrySendError};
-use sclog_obs::{Counter, Recorder, Stage, ThreadRecorder};
+use sclog_obs::{Counter, Histogram, History, Recorder, Stage, ThreadRecorder};
 use sclog_types::json::JsonObject;
+use sclog_types::segment::SEGMENT_FORMAT_VERSION;
+use sclog_types::{QueryTrace, ScanStats, TRACE_FORMAT_VERSION, TRACE_SCHEMA};
 
 use crate::aggregate::AggregateCache;
 use crate::http::{read_request, Request, Response};
 use crate::query::Query;
+use crate::sampler::Sampler;
 use crate::store::AlertStore;
+use crate::trace::{normalize_query, SlowLog};
 use crate::{format, query};
 
 /// How long a worker waits for a slow client before giving up on the
@@ -35,6 +45,39 @@ pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
 pub const RETRY_AFTER_SECS: u32 = 1;
 /// Upper bound on `/slow?ms=` so the test aid cannot wedge a worker.
 pub const MAX_SLOW_MS: u64 = 5_000;
+/// Retained slow-query log entries.
+const SLOW_LOG_CAP: usize = 128;
+/// Retained history-ring snapshots (at `sample_every` apart).
+const HISTORY_CAP: usize = 64;
+/// `/obs/queries` entries when the request names no `n=`.
+const DEFAULT_TOP_N: usize = 10;
+
+/// The route set with per-endpoint latency histograms; anything not
+/// listed (404s, malformed requests) lands in the trailing `other`.
+const ENDPOINTS: [&str; 13] = [
+    "/healthz",
+    "/alerts",
+    "/categories",
+    "/interarrival",
+    "/hotspots",
+    "/stats",
+    "/obs",
+    "/obs/queries",
+    "/obs/timeline",
+    "/obs/health",
+    "/slow",
+    "/shutdown",
+    "other",
+];
+
+/// Index into [`ENDPOINTS`] (and the latency histogram array) for a
+/// request path.
+fn endpoint_index(path: &str) -> usize {
+    ENDPOINTS[..ENDPOINTS.len() - 1]
+        .iter()
+        .position(|e| *e == path)
+        .unwrap_or(ENDPOINTS.len() - 1)
+}
 
 /// Metric handles, registered before any worker thread exists (the
 /// recorder's registry seals at the first `thread()` call).
@@ -45,6 +88,13 @@ struct Metrics {
     client_errors: Counter,
     server_errors: Counter,
     overload: Counter,
+    /// Accept-thread admission refusals (one per overload 503) —
+    /// `server.rejects` in `/obs` and `rejects` in `/obs/health`.
+    rejects: Counter,
+    /// Snapshots the background sampler has taken.
+    trace_samples: Counter,
+    /// Request latency in µs, log2-bucketed, one per [`ENDPOINTS`].
+    latency: [Histogram; ENDPOINTS.len()],
     serve: Stage,
 }
 
@@ -61,6 +111,14 @@ pub struct ServerState {
     metrics: Metrics,
     shutdown: AtomicBool,
     addr: Mutex<Option<SocketAddr>>,
+    /// Monotonic request-id source; the next id to hand out.
+    trace_ids: AtomicU64,
+    slow_log: SlowLog,
+    history: Mutex<History>,
+    /// Configured worker count / accept-queue depth, published by
+    /// `Server::start` so `/obs/health` can report them.
+    workers: AtomicUsize,
+    accept_queue: AtomicUsize,
 }
 
 impl ServerState {
@@ -75,6 +133,11 @@ impl ServerState {
             client_errors: recorder.counter("http_4xx"),
             server_errors: recorder.counter("http_5xx"),
             overload: recorder.counter("http_503_overload"),
+            rejects: recorder.counter("server.rejects"),
+            trace_samples: recorder.counter("trace.samples"),
+            latency: std::array::from_fn(|i| {
+                recorder.histogram(&format!("http.us:{}", ENDPOINTS[i]))
+            }),
             serve: recorder.stage("serve"),
         };
         ServerState {
@@ -84,12 +147,41 @@ impl ServerState {
             metrics,
             shutdown: AtomicBool::new(false),
             addr: Mutex::new(None),
+            trace_ids: AtomicU64::new(1),
+            slow_log: SlowLog::new(SLOW_LOG_CAP),
+            history: Mutex::new(History::new(HISTORY_CAP)),
+            workers: AtomicUsize::new(0),
+            accept_queue: AtomicUsize::new(0),
         }
     }
 
     /// Whether shutdown has been requested.
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The next request's trace id (monotonic, starts at 1).
+    fn next_trace_id(&self) -> u64 {
+        self.trace_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Takes one timeline sample: counts it, snapshots the recorder,
+    /// records it in the history ring. Called by the sampler thread.
+    pub(crate) fn take_sample(&self, rec: &ThreadRecorder) {
+        rec.add(self.metrics.trace_samples, 1);
+        let snapshot = self.recorder.snapshot();
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(snapshot);
+    }
+
+    /// Snapshots currently retained in the history ring.
+    pub(crate) fn timeline_len(&self) -> usize {
+        self.history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Requests shutdown and pokes the accept loop awake.
@@ -107,22 +199,40 @@ impl ServerState {
     }
 }
 
-/// Turns an aggregation/scan outcome into a response: the rendered
-/// body on success, a 500 when the store could not be read.
-fn json_or_500(result: Result<String, String>) -> Response {
+/// Turns an aggregation/scan outcome into a response plus the scan's
+/// statistics: the rendered body on success, a 500 when the store
+/// could not be read.
+fn json_or_500(
+    result: Result<(String, Option<ScanStats>), String>,
+) -> (Response, Option<ScanStats>) {
     match result {
-        Ok(body) => Response::json(200, body),
-        Err(e) => Response::text(500, &format!("store read failed: {e}")),
+        Ok((body, scan)) => (Response::json(200, body), scan),
+        Err(e) => (
+            Response::text(500, &format!("store read failed: {e}")),
+            None,
+        ),
     }
 }
 
-/// Routes one parsed request to a response. Pure store-in,
-/// response-out — the unit tests and the fuzz harness call this
-/// directly, no socket required. `rec` credits store scan work
-/// (pruned/scanned/bytes) to the calling worker's recorder.
+/// Routes one parsed request to a response, discarding the trace
+/// metadata — the shape the unit tests and the fuzz harness call
+/// directly, no socket required.
 pub fn handle(state: &ServerState, rec: &ThreadRecorder, req: &Request) -> Response {
+    handle_traced(state, rec, req).0
+}
+
+/// Routes one parsed request to a response plus, when the request ran
+/// a store scan, that scan's by-value [`ScanStats`] for the request's
+/// slow-query-log entry. Pure store-in, response-out. `rec` credits
+/// store scan work (pruned/scanned/bytes) to the calling worker's
+/// recorder.
+pub fn handle_traced(
+    state: &ServerState,
+    rec: &ThreadRecorder,
+    req: &Request,
+) -> (Response, Option<ScanStats>) {
     if req.method != "GET" {
-        return Response::text(405, "only GET is supported");
+        return (Response::text(405, "only GET is supported"), None);
     }
     match req.path.as_str() {
         "/healthz" => {
@@ -132,38 +242,57 @@ pub fn handle(state: &ServerState, rec: &ThreadRecorder, req: &Request) -> Respo
                 .uint("version", inner.version)
                 .uint("alerts", inner.alert_count())
                 .uint("systems", inner.systems.len() as u64);
-            Response::json(200, obj.finish())
+            (Response::json(200, obj.finish()), None)
         }
         "/alerts" => match Query::parse(&req.query) {
-            Ok(q) => json_or_500(format::render_alerts(&state.store.read(), &q, rec)),
-            Err(e) => Response::text(400, &e.to_string()),
+            Ok(q) => json_or_500(
+                format::render_alerts(&state.store.read(), &q, rec)
+                    .map(|(body, stats)| (body, Some(stats))),
+            ),
+            Err(e) => (Response::text(400, &e.to_string()), None),
         },
         "/categories" => match Query::parse(&req.query) {
             Ok(_) => json_or_500(state.cache.categories(&state.store, rec)),
-            Err(e) => Response::text(400, &e.to_string()),
+            Err(e) => (Response::text(400, &e.to_string()), None),
         },
         "/interarrival" => match Query::parse(&req.query) {
             Ok(_) => json_or_500(state.cache.interarrival(&state.store, rec)),
-            Err(e) => Response::text(400, &e.to_string()),
+            Err(e) => (Response::text(400, &e.to_string()), None),
         },
         "/hotspots" => match Query::parse(&req.query) {
             Ok(q) => json_or_500(state.cache.hotspots(&state.store, rec, q.k)),
-            Err(e) => Response::text(400, &e.to_string()),
+            Err(e) => (Response::text(400, &e.to_string()), None),
         },
-        "/stats" => Response::json(200, render_stats(state)),
-        "/obs" => render_obs(state, &req.query),
+        "/stats" => (Response::json(200, render_stats(state)), None),
+        "/obs" => (render_obs(state, &req.query), None),
+        "/obs/queries" => match parse_top_n(&req.query) {
+            Ok(n) => (Response::json(200, state.slow_log.render_top(n)), None),
+            Err(e) => (Response::text(400, &e), None),
+        },
+        "/obs/timeline" => {
+            let timeline = state
+                .history
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .timeline();
+            (Response::json(200, timeline.to_json()), None)
+        }
+        "/obs/health" => (Response::json(200, render_health(state)), None),
         "/slow" => match parse_slow_ms(&req.query) {
             Ok(ms) => {
                 std::thread::sleep(Duration::from_millis(ms));
-                Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
+                (Response::json(200, format!("{{\"slept_ms\":{ms}}}")), None)
             }
-            Err(e) => Response::text(400, &e),
+            Err(e) => (Response::text(400, &e), None),
         },
         "/shutdown" => {
             state.request_shutdown();
-            Response::json(200, "{\"status\":\"shutting down\"}".to_owned())
+            (
+                Response::json(200, "{\"status\":\"shutting down\"}".to_owned()),
+                None,
+            )
         }
-        _ => Response::text(404, "no such endpoint"),
+        _ => (Response::text(404, "no such endpoint"), None),
     }
 }
 
@@ -205,6 +334,54 @@ fn render_obs(state: &ServerState, query_string: &str) -> Response {
     }
 }
 
+/// The `/obs/health` body: liveness, schema/format versions, the
+/// configured serving shape, and the pressure counters an operator
+/// checks first (rejects, overload 503s, sampler progress).
+fn render_health(state: &ServerState) -> String {
+    let snapshot = state.recorder.snapshot();
+    let report = snapshot.as_report();
+    let mut obj = JsonObject::new();
+    obj.str("status", "ok")
+        .uint("uptime_ns", report.wall_ns)
+        .uint("segment_format", SEGMENT_FORMAT_VERSION as u64)
+        .uint("trace_format", TRACE_FORMAT_VERSION as u64)
+        .str("obs_schema", "sclog.obs.v1")
+        .str("trace_schema", TRACE_SCHEMA)
+        .uint("workers", state.workers.load(Ordering::Relaxed) as u64)
+        .uint(
+            "accept_queue",
+            state.accept_queue.load(Ordering::Relaxed) as u64,
+        )
+        .uint("requests", snapshot.counter("http_requests").unwrap_or(0))
+        .uint("rejects", snapshot.counter("server.rejects").unwrap_or(0))
+        .uint(
+            "overload_503",
+            snapshot.counter("http_503_overload").unwrap_or(0),
+        )
+        .uint("samples", snapshot.counter("trace.samples").unwrap_or(0))
+        .uint("slow_log", state.slow_log.len() as u64)
+        .uint("timeline", state.timeline_len() as u64);
+    obj.finish()
+}
+
+/// Parses `/obs/queries`' only parameter: `n=<count>`, defaulting to
+/// [`DEFAULT_TOP_N`] on an empty query.
+fn parse_top_n(query_string: &str) -> Result<usize, String> {
+    if query_string.is_empty() {
+        return Ok(DEFAULT_TOP_N);
+    }
+    let Some(value) = query_string.strip_prefix("n=") else {
+        return Err("expected n=<count>".to_owned());
+    };
+    let n: usize = value
+        .parse()
+        .map_err(|_| format!("n must be a number, got {value:?}"))?;
+    if n == 0 {
+        return Err("n must be positive".to_owned());
+    }
+    Ok(n)
+}
+
 fn parse_slow_ms(query_string: &str) -> Result<u64, String> {
     let Some(value) = query_string.strip_prefix("ms=") else {
         return Err("expected ms=<milliseconds>".to_owned());
@@ -228,6 +405,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded accept-queue depth; connections beyond it get 503.
     pub accept_queue: usize,
+    /// Period between background timeline samples.
+    pub sample_every: Duration,
 }
 
 impl Default for ServerConfig {
@@ -236,6 +415,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             accept_queue: 8,
+            sample_every: Duration::from_millis(250),
         }
     }
 }
@@ -247,6 +427,7 @@ pub struct Server {
     addr: SocketAddr,
     state: Arc<ServerState>,
     threads: Vec<JoinHandle<()>>,
+    sampler: Option<Sampler>,
 }
 
 impl Server {
@@ -267,6 +448,10 @@ impl Server {
             .addr
             .lock()
             .unwrap_or_else(sclog_sync::PoisonError::into_inner) = Some(addr);
+        state.workers.store(config.workers, Ordering::Relaxed);
+        state
+            .accept_queue
+            .store(config.accept_queue, Ordering::Relaxed);
 
         let (conn_tx, conn_rx) = bounded::<TcpStream>(config.accept_queue);
         let conn_rx = Arc::new(conn_rx);
@@ -292,10 +477,13 @@ impl Server {
             }));
         }
 
+        let sampler = Sampler::start(&state, config.sample_every);
+
         Ok(Server {
             addr,
             state,
             threads,
+            sampler: Some(sampler),
         })
     }
 
@@ -309,11 +497,15 @@ impl Server {
         &self.state
     }
 
-    /// Stops accepting, drains queued connections, joins every thread.
+    /// Stops accepting, drains queued connections, joins every thread
+    /// (including the timeline sampler).
     pub fn shutdown(mut self) {
         self.state.request_shutdown();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
         }
     }
 }
@@ -343,6 +535,7 @@ fn accept_loop(
                 // Admission control: refuse on the accept thread so the
                 // saturation signal never queues behind the saturation.
                 rec.add(state.metrics.overload, 1);
+                rec.add(state.metrics.rejects, 1);
                 refuse_overloaded(stream);
             }
             Err(TrySendError::Disconnected(_)) => return,
@@ -360,13 +553,18 @@ fn refuse_overloaded(stream: TcpStream) {
 fn serve_connection(state: &ServerState, rec: &ThreadRecorder, stream: TcpStream) {
     let _span = rec.span(state.metrics.serve);
     rec.add(state.metrics.requests, 1);
+    let trace_id = state.next_trace_id();
+    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader) {
-        Ok(req) => handle(state, rec, &req),
+    let (response, parsed, scan) = match read_request(&mut reader) {
+        Ok(req) => {
+            let (resp, scan) = handle_traced(state, rec, &req);
+            (resp, Some(req), scan)
+        }
         Err(e) => match e.response() {
-            Some(resp) => resp,
+            Some(resp) => (resp, None, None),
             None => return, // peer vanished; nothing to write
         },
     };
@@ -378,6 +576,25 @@ fn serve_connection(state: &ServerState, rec: &ThreadRecorder, stream: TcpStream
     let mut stream = reader.into_inner();
     let _ = response.write_to(&mut stream);
     let _ = stream.flush();
+
+    // Trace after the reply is on the wire: latency covers the whole
+    // request (handling + write), and the slow-log lock never sits on
+    // a client's critical path.
+    let micros = started.elapsed().as_micros() as u64;
+    let endpoint = parsed
+        .as_ref()
+        .map_or(ENDPOINTS.len() - 1, |r| endpoint_index(&r.path));
+    rec.observe(state.metrics.latency[endpoint], micros);
+    state.slow_log.push(QueryTrace {
+        trace_id,
+        endpoint: ENDPOINTS[endpoint].to_owned(),
+        query: parsed
+            .as_ref()
+            .map_or_else(String::new, |r| normalize_query(&r.query)),
+        micros,
+        status: response.status,
+        scan,
+    });
 }
 
 #[cfg(test)]
@@ -415,9 +632,29 @@ mod tests {
             handle(&state, &rec, &get("/obs", "source=ingest")).status,
             200
         );
+        assert_eq!(handle(&state, &rec, &get("/obs/queries", "")).status, 200);
+        assert_eq!(
+            handle(&state, &rec, &get("/obs/queries", "n=3")).status,
+            200
+        );
+        assert_eq!(handle(&state, &rec, &get("/obs/timeline", "")).status, 200);
+        assert_eq!(handle(&state, &rec, &get("/obs/health", "")).status, 200);
         assert_eq!(handle(&state, &rec, &get("/nope", "")).status, 404);
         assert_eq!(handle(&state, &rec, &get("/alerts", "limit=0")).status, 400);
         assert_eq!(handle(&state, &rec, &get("/obs", "source=x")).status, 400);
+        assert_eq!(
+            handle(&state, &rec, &get("/obs/queries", "n=0")).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &rec, &get("/obs/queries", "n=abc")).status,
+            400
+        );
+        assert_eq!(
+            handle(&state, &rec, &get("/obs/queries", "k=3")).status,
+            400,
+            "the top-k parameter is n, not k"
+        );
         assert_eq!(handle(&state, &rec, &get("/slow", "ms=abc")).status, 400);
         assert_eq!(handle(&state, &rec, &get("/slow", "ms=999999")).status, 400);
         assert_eq!(handle(&state, &rec, &get("/slow", "ms=0")).status, 200);
@@ -449,10 +686,46 @@ mod tests {
             ("/stats", ""),
             ("/obs", ""),
             ("/obs", "source=ingest"),
+            ("/obs/queries", ""),
+            ("/obs/timeline", ""),
+            ("/obs/health", ""),
         ] {
             let resp = handle(&state, &rec, &get(path, query));
             validate(&resp.body).unwrap_or_else(|e| panic!("{path}?{query}: {e}"));
         }
+    }
+
+    #[test]
+    fn traced_handling_reports_scan_stats_for_alerts_only() {
+        let state = empty_state();
+        let rec = test_rec(&state);
+        let (resp, scan) = handle_traced(&state, &rec, &get("/alerts", ""));
+        assert_eq!(resp.status, 200);
+        assert!(scan.is_some(), "/alerts must surface its scan stats");
+        let (resp, scan) = handle_traced(&state, &rec, &get("/healthz", ""));
+        assert_eq!(resp.status, 200);
+        assert!(scan.is_none(), "/healthz runs no store scan");
+        // First aggregate request pays the scan; a repeat is a cache hit.
+        let (_, first) = handle_traced(&state, &rec, &get("/categories", ""));
+        assert!(first.is_some(), "aggregate recompute must report a scan");
+        let (_, second) = handle_traced(&state, &rec, &get("/categories", ""));
+        assert!(second.is_none(), "aggregate cache hit must not");
+    }
+
+    #[test]
+    fn trace_ids_are_monotonic_and_health_reflects_config() {
+        let state = empty_state();
+        let a = state.next_trace_id();
+        let b = state.next_trace_id();
+        assert!(b > a, "trace ids must be monotonic");
+        let body = render_health(&state);
+        sclog_types::json::validate(&body).expect("health body is JSON");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(
+            body.contains("\"trace_schema\":\"sclog.trace.v1\""),
+            "{body}"
+        );
+        assert!(body.contains("\"rejects\":0"), "{body}");
     }
 
     #[test]

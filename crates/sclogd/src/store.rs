@@ -33,7 +33,7 @@ use sclog_core::IngestResult;
 use sclog_obs::{Recorder, ThreadRecorder};
 use sclog_parse::ParseStats;
 pub use sclog_store::StoredAlert;
-use sclog_store::{crc32, ScanFilter, SegmentStore, StoreConfig, StoreMetrics};
+use sclog_store::{crc32, ScanFilter, ScanStats, SegmentStore, StoreConfig, StoreMetrics};
 use sclog_types::segment::{system_code, system_from_code, SEGMENT_FORMAT_VERSION};
 use sclog_types::{AlertType, CategoryRegistry, Severity, SourceInterner, SystemId};
 
@@ -111,13 +111,18 @@ impl StoreInner {
     }
 
     /// Runs a pruned scan, crediting pruned/scanned/bytes counters to
-    /// the store's metrics through `rec`. Results arrive sorted by
-    /// `(time, seq)` — time order with admission-order ties.
+    /// the store's metrics through `rec` and returning this scan's
+    /// by-value [`ScanStats`] alongside the hits. Results arrive
+    /// sorted by `(time, seq)` — time order with admission-order ties.
     ///
     /// # Errors
     ///
     /// Any I/O failure or corruption reading a segment payload.
-    pub fn scan(&self, filter: &ScanFilter, rec: &ThreadRecorder) -> io::Result<Vec<StoredAlert>> {
+    pub fn scan(
+        &self,
+        filter: &ScanFilter,
+        rec: &ThreadRecorder,
+    ) -> io::Result<(Vec<StoredAlert>, ScanStats)> {
         self.segs.scan(filter, true, rec, &self.metrics)
     }
 }
@@ -417,6 +422,7 @@ mod tests {
         inner
             .scan(&ScanFilter::all(), &test_rec())
             .expect("scan must succeed")
+            .0
     }
 
     fn liberty_run() -> (IngestResult, CategoryRegistry) {

@@ -1,0 +1,128 @@
+//! Per-request tracing: normalized queries and the slow-query log.
+//!
+//! Every request the server parses gets a [`QueryTrace`] — trace id,
+//! endpoint, normalized query, latency, status, and the scan's
+//! [`ScanStats`](sclog_types::ScanStats) when one ran — pushed into
+//! one bounded [`SlowLog`] ring. `/obs/queries` then answers the
+//! operator's question "what were my slowest requests and *why*" from
+//! memory: the per-request zone/partition pruning numbers are exactly
+//! what distinguishes a full-scan query from a well-filtered one.
+
+use std::collections::VecDeque;
+
+use sclog_sync::{Mutex, PoisonError};
+use sclog_types::{QueryLogReport, QueryTrace};
+
+/// Canonical form of a query string for collation: parameters sorted,
+/// empty fragments dropped. `b=2&a=1` and `a=1&b=2` are the same
+/// question, and should look identical in the slow-query log.
+pub(crate) fn normalize_query(raw: &str) -> String {
+    let mut parts: Vec<&str> = raw.split('&').filter(|p| !p.is_empty()).collect();
+    parts.sort_unstable();
+    parts.join("&")
+}
+
+/// A bounded, mutex-guarded ring of recent request traces, rendered
+/// on demand as the `/obs/queries` top-k (slowest first).
+///
+/// Pushes happen after the response bytes are written, so the lock is
+/// never on a request's critical path; eviction is oldest-first, so
+/// memory stays fixed while the window slides.
+#[derive(Debug)]
+pub(crate) struct SlowLog {
+    cap: usize,
+    ring: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl SlowLog {
+    pub(crate) fn new(cap: usize) -> SlowLog {
+        assert!(cap > 0, "slow-query log capacity must be positive");
+        SlowLog {
+            cap,
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// Records one finished request, evicting the oldest beyond the
+    /// capacity.
+    pub(crate) fn push(&self, trace: QueryTrace) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// Currently retained traces.
+    pub(crate) fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// The `/obs/queries` body: the `n` slowest retained requests,
+    /// ties broken by recency (higher trace id first).
+    pub(crate) fn render_top(&self, n: usize) -> String {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let logged = ring.len() as u64;
+        let mut queries: Vec<QueryTrace> = ring.iter().cloned().collect();
+        drop(ring);
+        queries.sort_by(|a, b| b.micros.cmp(&a.micros).then(b.trace_id.cmp(&a.trace_id)));
+        queries.truncate(n);
+        QueryLogReport { logged, queries }.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sclog_types::json::validate;
+
+    fn trace(id: u64, micros: u64) -> QueryTrace {
+        QueryTrace {
+            trace_id: id,
+            endpoint: "/alerts".to_owned(),
+            query: String::new(),
+            micros,
+            status: 200,
+            scan: None,
+        }
+    }
+
+    #[test]
+    fn normalization_sorts_and_drops_empties() {
+        assert_eq!(normalize_query(""), "");
+        assert_eq!(normalize_query("b=2&a=1"), "a=1&b=2");
+        assert_eq!(normalize_query("a=1&b=2"), "a=1&b=2");
+        assert_eq!(normalize_query("&&a=1&"), "a=1");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_ranks_by_latency() {
+        let log = SlowLog::new(3);
+        for (id, micros) in [(1, 50), (2, 900), (3, 10), (4, 700)] {
+            log.push(trace(id, micros));
+        }
+        assert_eq!(log.len(), 3, "capacity 3 evicts the oldest");
+        let body = log.render_top(2);
+        validate(&body).expect("valid JSON");
+        assert!(body.contains("\"logged\":3"), "{body}");
+        // id 1 evicted; survivors ranked 900 (id 2) then 700 (id 4).
+        let p2 = body.find("\"trace_id\":2").expect("id 2 present");
+        let p4 = body.find("\"trace_id\":4").expect("id 4 present");
+        assert!(p2 < p4, "slowest first: {body}");
+        assert!(!body.contains("\"trace_id\":3"), "top-2 truncates: {body}");
+    }
+
+    #[test]
+    fn latency_ties_rank_newest_first() {
+        let log = SlowLog::new(4);
+        log.push(trace(1, 100));
+        log.push(trace(2, 100));
+        let body = log.render_top(4);
+        let p1 = body.find("\"trace_id\":1").unwrap();
+        let p2 = body.find("\"trace_id\":2").unwrap();
+        assert!(p2 < p1, "{body}");
+    }
+}

@@ -61,8 +61,9 @@
 //!     )
 //!     .unwrap();
 //! store.seal_all(&rec, &metrics).unwrap();
-//! let hits = store.scan(&ScanFilter::all(), true, &rec, &metrics).unwrap();
+//! let (hits, stats) = store.scan(&ScanFilter::all(), true, &rec, &metrics).unwrap();
 //! assert_eq!(hits.len(), 1);
+//! assert_eq!(stats.rows_decoded, 1);
 //! # std::fs::remove_dir_all(&root).unwrap();
 //! ```
 
@@ -82,6 +83,7 @@ mod zonemap;
 pub use catalog::Catalog;
 pub use crc::crc32;
 pub use record::{decode_batch, encode_batch, StoredAlert};
+pub use sclog_types::trace::ScanStats;
 pub use segment::Segment;
 pub use store::{SegmentStore, StoreConfig, StoreMetrics};
 pub use zonemap::{ScanFilter, ZoneMap};

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use sclog_obs::{Counter, Recorder, Stage, ThreadRecorder};
 use sclog_types::segment::{system_code, system_from_code, system_slug};
-use sclog_types::{AlertType, CategoryId, NodeId, SystemId, Timestamp};
+use sclog_types::{AlertType, CategoryId, NodeId, ScanStats, SystemId, Timestamp};
 
 use crate::catalog::Catalog;
 use crate::partition::Partition;
@@ -323,8 +323,10 @@ impl SegmentStore {
     /// With `prune` set, whole partitions are skipped by system and
     /// day and sealed segments by zone map before any payload is
     /// read; pruning is conservative, so the result is identical to a
-    /// full scan. Pruned/scanned/bytes counters are credited to
-    /// `metrics` through `rec`.
+    /// full scan. The returned [`ScanStats`] is this scan's by-value
+    /// accounting — what pruning skipped versus what was read and
+    /// decoded — and the same numbers are credited to the cumulative
+    /// `metrics` counters through `rec`.
     ///
     /// # Errors
     ///
@@ -335,37 +337,39 @@ impl SegmentStore {
         prune: bool,
         rec: &ThreadRecorder,
         metrics: &StoreMetrics,
-    ) -> io::Result<Vec<StoredAlert>> {
+    ) -> io::Result<(Vec<StoredAlert>, ScanStats)> {
         let day_from = filter.from.map(day_of);
         let day_to = filter.to.map(day_of);
         let system = filter.system.map(system_code);
         let mut out: Vec<StoredAlert> = Vec::new();
-        let mut pruned = 0u64;
-        let mut scanned = 0u64;
-        let mut bytes = 0u64;
+        let mut stats = ScanStats::default();
         for (&(part_system, day), partition) in &self.partitions {
             let partition_pruned = prune
                 && (system.is_some_and(|s| s != part_system)
                     || day_from.is_some_and(|d| day < d)
                     || day_to.is_some_and(|d| day > d));
             if partition_pruned {
-                pruned += partition.sealed.len() as u64;
+                stats.partitions_pruned += 1;
+                stats.zones_pruned += partition.sealed.len() as u64;
                 continue;
             }
+            stats.partitions_scanned += 1;
             for segment in &partition.sealed {
                 if prune && !segment.zone.may_match(filter) {
-                    pruned += 1;
+                    stats.zones_pruned += 1;
                     continue;
                 }
                 let (records, read) = segment.read_payload(self.config.cache_payloads)?;
-                scanned += 1;
-                bytes += read;
+                stats.zones_scanned += 1;
+                stats.bytes_read += read;
+                stats.rows_decoded += records.len() as u64;
                 out.extend(
                     records
                         .iter()
                         .filter(|r| filter.matches(r, &self.catalog.categories)),
                 );
             }
+            stats.rows_decoded += partition.tail.len() as u64;
             out.extend(
                 partition
                     .tail
@@ -373,11 +377,11 @@ impl SegmentStore {
                     .filter(|r| filter.matches(r, &self.catalog.categories)),
             );
         }
-        rec.add(metrics.segments_pruned, pruned);
-        rec.add(metrics.segments_scanned, scanned);
-        rec.add(metrics.bytes_read, bytes);
+        rec.add(metrics.segments_pruned, stats.zones_pruned);
+        rec.add(metrics.segments_scanned, stats.zones_scanned);
+        rec.add(metrics.bytes_read, stats.bytes_read);
         out.sort_by_key(|r| (r.time, r.seq));
-        Ok(out)
+        Ok((out, stats))
     }
 
     /// Total records across all partitions (sealed + tails).
@@ -482,7 +486,7 @@ mod tests {
             .unwrap();
         assert_eq!(store.record_count(), 40);
         assert_eq!(store.partition_count(), 4, "2 systems × 2 days");
-        let full = store
+        let (full, full_stats) = store
             .scan(
                 &ScanFilter::all(),
                 false,
@@ -491,6 +495,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(full.len(), 40);
+        assert_eq!(full_stats.rows_decoded, 40, "full scan decodes every row");
+        assert_eq!(full_stats.zones_pruned, 0, "nothing pruned without prune");
+        assert_eq!(full_stats.partitions_scanned, 4);
         assert!(full
             .windows(2)
             .all(|w| (w[0].time, w[0].seq) <= (w[1].time, w[1].seq)));
@@ -499,7 +506,7 @@ mod tests {
         let store = SegmentStore::open(&root, StoreConfig::default()).unwrap();
         assert_eq!(store.record_count(), 40);
         assert_eq!(store.next_seq(), 40);
-        let again = store
+        let (again, _) = store
             .scan(
                 &ScanFilter::all(),
                 true,
@@ -539,13 +546,19 @@ mod tests {
             },
         ];
         for filter in &filters {
-            let pruned = store
+            let (pruned, pstats) = store
                 .scan(filter, true, &disabled_rec(), &StoreMetrics::disabled())
                 .unwrap();
-            let full = store
+            let (full, fstats) = store
                 .scan(filter, false, &disabled_rec(), &StoreMetrics::disabled())
                 .unwrap();
             assert_eq!(pruned, full, "filter {filter:?}");
+            // Pruning only moves work from scanned to pruned.
+            assert_eq!(
+                pstats.zones_pruned + pstats.zones_scanned,
+                fstats.zones_scanned,
+                "filter {filter:?}"
+            );
         }
         std::fs::remove_dir_all(&root).unwrap();
     }
@@ -564,7 +577,7 @@ mod tests {
             system: Some(SystemId::Liberty),
             ..ScanFilter::all()
         };
-        store.scan(&filter, true, &rec, &metrics).unwrap();
+        let (_, stats) = store.scan(&filter, true, &rec, &metrics).unwrap();
         drop(rec);
         let snapshot = recorder.snapshot();
         let pruned = snapshot.counter("store.segments_pruned").unwrap();
@@ -572,6 +585,16 @@ mod tests {
         assert!(pruned > 0, "BlueGene/L partitions must be pruned");
         assert!(scanned > 0);
         assert!(snapshot.counter("store.bytes_read").unwrap() > 0);
+        // The by-value stats and the global counters are one scan's
+        // worth of the same accounting here.
+        assert_eq!(stats.zones_pruned, pruned);
+        assert_eq!(stats.zones_scanned, scanned);
+        assert_eq!(
+            stats.bytes_read,
+            snapshot.counter("store.bytes_read").unwrap()
+        );
+        assert!(stats.partitions_pruned > 0, "off-system partitions skipped");
+        assert!(stats.rows_decoded > 0);
         std::fs::remove_dir_all(&root).unwrap();
     }
 
@@ -582,7 +605,7 @@ mod tests {
         store
             .seal_all(&disabled_rec(), &StoreMetrics::disabled())
             .unwrap();
-        let before = store
+        let (before, _) = store
             .scan(
                 &ScanFilter::all(),
                 false,
@@ -596,7 +619,7 @@ mod tests {
         let removed = store
             .compact(&disabled_rec(), &StoreMetrics::disabled())
             .unwrap();
-        let after = store
+        let (after, _) = store
             .scan(
                 &ScanFilter::all(),
                 true,

@@ -144,7 +144,7 @@ fn store_survives_wal_truncation() {
             },
         )
         .unwrap();
-        let got = store
+        let (got, _) = store
             .scan(&ScanFilter::all(), true, &rec, &metrics)
             .unwrap();
         assert!(got.len() <= records.len(), "phantom records after crash");
@@ -170,7 +170,7 @@ fn store_survives_wal_truncation() {
                 &metrics,
             )
             .unwrap();
-        let after = store
+        let (after, _) = store
             .scan(&ScanFilter::all(), true, &rec, &metrics)
             .unwrap();
         assert_eq!(after.len(), survivors + 1);

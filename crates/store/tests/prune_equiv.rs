@@ -126,15 +126,35 @@ fn pruned_scan_is_result_identical_to_full_scan() {
 
         for _ in 0..8 {
             let filter = random_filter(g, &store);
-            let pruned = store.scan(&filter, true, &rec, &metrics).unwrap();
-            let full = store.scan(&filter, false, &rec, &metrics).unwrap();
+            let (pruned, pstats) = store.scan(&filter, true, &rec, &metrics).unwrap();
+            let (full, fstats) = store.scan(&filter, false, &rec, &metrics).unwrap();
             assert_eq!(pruned, full, "filter {filter:?}");
+            // ScanStats consistency: an unpruned scan visits every
+            // partition and zone; pruning may only move them to the
+            // pruned side and may never decode *more* rows. Bytes are
+            // cache-dependent, so they carry no invariant here.
+            assert_eq!(fstats.zones_pruned, 0, "filter {filter:?}");
+            assert_eq!(fstats.partitions_pruned, 0, "filter {filter:?}");
+            assert_eq!(
+                pstats.zones_pruned + pstats.zones_scanned,
+                fstats.zones_scanned,
+                "filter {filter:?}"
+            );
+            assert_eq!(
+                pstats.partitions_pruned + pstats.partitions_scanned,
+                fstats.partitions_scanned,
+                "filter {filter:?}"
+            );
+            assert!(
+                pstats.rows_decoded <= fstats.rows_decoded,
+                "filter {filter:?}: pruned scan decoded more rows"
+            );
         }
 
         // Reopening the store changes no answer either.
         drop(store);
         let store = SegmentStore::open(&root, StoreConfig::default()).unwrap();
-        let all = store
+        let (all, _) = store
             .scan(&ScanFilter::all(), true, &rec, &metrics)
             .unwrap();
         assert_eq!(all.len(), n);

@@ -42,6 +42,7 @@ pub mod severity;
 pub mod source;
 pub mod system;
 pub mod time;
+pub mod trace;
 
 pub use alert::{Alert, AlertType, FailureId};
 pub use audit::{AuditFinding, AuditLevel, AuditReport, RuleHealth, SystemAudit};
@@ -52,3 +53,7 @@ pub use severity::{BglSeverity, Severity, SyslogSeverity};
 pub use source::{NodeId, SourceInterner};
 pub use system::{SystemId, SystemSpec, ALL_SYSTEMS};
 pub use time::{Duration, Timestamp};
+pub use trace::{
+    QueryLogReport, QueryTrace, ScanStats, TimelineReport, TimelineSample, TRACE_FORMAT_VERSION,
+    TRACE_SCHEMA,
+};

@@ -34,6 +34,10 @@
 #      into a release binary. (The function itself is only *defined*
 #      under the cfg, so an ungated call would fail the normal build —
 #      this check catches it at tidy time, with a better message.)
+#   9. The trace/timeline wire schema has exactly one version pin:
+#      TRACE_FORMAT_VERSION is defined once, in
+#      crates/types/src/trace.rs, and every other use imports it —
+#      mirroring check 6 for the sclog.trace.v1 reports.
 #
 # Runs standalone or as part of scripts/verify.sh --lint.
 set -eu
@@ -151,12 +155,13 @@ else
 fi
 
 # -- 7. sync protocols ride the facade --------------------------------
-# The four model-checked protocol files must take their locks from
+# The model-checked protocol files must take their locks from
 # sclog-sync, never std::sync directly — a std lock is a blind spot
 # the checker cannot schedule around. Same mod-tests cut as #2 (tests
 # run natively and may use std).
 for f in crates/core/src/pipeline/channel.rs crates/rules/src/pool.rs \
-    crates/obs/src/recorder.rs crates/sclogd/src/server.rs; do
+    crates/obs/src/recorder.rs crates/sclogd/src/server.rs \
+    crates/sclogd/src/sampler.rs crates/sclogd/src/trace.rs; do
     [ -f "$f" ] || { complain "$f: missing (model-checked protocol file)"; continue; }
     hit=$(awk '/^ *(#\[cfg\(test\)\]|mod tests)/ { exit } { print NR ":" $0 }' "$f" |
         grep -E 'std::sync.*\b(Mutex|Condvar|RwLock)\b' || true)
@@ -184,6 +189,23 @@ for f in $(find src crates/*/src -name '*.rs' 2>/dev/null); do
         complain "$f: model::mutation() call without #[cfg(sclog_model)] nearby: $(printf '%s' "$bad" | head -1)"
     fi
 done
+
+# -- 9. one trace-format version pin ----------------------------------
+# Every producer of sclog.trace.v1 reports must share the one
+# TRACE_FORMAT_VERSION constant in crates/types/src/trace.rs, exactly
+# as check 6 pins the segment schema.
+tracev=crates/types/src/trace.rs
+if [ -f "$tracev" ]; then
+    grep -q '^pub const TRACE_FORMAT_VERSION' "$tracev" ||
+        complain "$tracev: TRACE_FORMAT_VERSION definition missing"
+    extra=$(grep -rn 'const TRACE_FORMAT_VERSION' src crates --include='*.rs' |
+        grep -v '^crates/types/src/trace\.rs:' || true)
+    if [ -n "$extra" ]; then
+        complain "duplicate TRACE_FORMAT_VERSION definition: $(printf '%s' "$extra" | head -1)"
+    fi
+else
+    complain "$tracev: missing (the trace schema is load-bearing for /obs/queries and /obs/timeline)"
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "tidy: FAILED" >&2

@@ -44,6 +44,13 @@
 #                                    cold-boot from the segments, and
 #                                    serve the recovered alerts over a
 #                                    real socket
+#   scripts/verify.sh --trace-smoke  only the tracing smoke: boot
+#                                    sclogd, issue one full-scan query
+#                                    and one tightly-filtered query,
+#                                    and assert /obs/queries ranks and
+#                                    explains them via per-request
+#                                    ScanStats while /obs/timeline
+#                                    accumulates sampler deltas
 #   scripts/verify.sh --model-check  only the model check: rebuild the
 #                                    workspace with --cfg sclog_model
 #                                    (into its own target dir, so the
@@ -144,6 +151,11 @@ store_smoke() {
     cargo run -q --offline --release -p sclogd -- --store-smoke >/dev/null
 }
 
+trace_smoke() {
+    echo "== trace smoke: sclogd --trace-smoke (slow-query log, scan stats, timeline)"
+    cargo run -q --offline --release -p sclogd -- --trace-smoke >/dev/null
+}
+
 model_check() {
     echo "== model check: sclog-check under --cfg sclog_model (exhaustive schedule exploration)"
     # Separate target dir: the cfg changes every crate's fingerprint,
@@ -177,6 +189,12 @@ if [ "${1-}" = "--store-smoke" ]; then
     exit 0
 fi
 
+if [ "${1-}" = "--trace-smoke" ]; then
+    trace_smoke
+    echo "verify: OK (trace smoke)"
+    exit 0
+fi
+
 if [ "${1-}" = "--model-check" ]; then
     model_check
     echo "verify: OK (model check)"
@@ -207,6 +225,8 @@ obs_smoke
 serve_smoke
 
 store_smoke
+
+trace_smoke
 
 model_check
 
